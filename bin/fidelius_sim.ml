@@ -1,0 +1,229 @@
+(* fidelius-sim: command-line front-end to the simulator.
+
+     fidelius_sim demo              full life-cycle walkthrough
+     fidelius_sim attacks [--id X]  security matrix (or one attack)
+     fidelius_sim xsa               quantitative XSA analysis
+     fidelius_sim bench SUITE       workload overheads (spec|parsec|fio)
+     fidelius_sim inspect           post-install system inventory *)
+
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+module Sev = Fidelius_sev
+module Core = Fidelius_core
+module Fid = Core.Fidelius
+module W = Fidelius_workloads
+module Attacks = Fidelius_attacks
+module Xsa = Fidelius_xsa
+module Rng = Fidelius_crypto.Rng
+open Cmdliner
+
+let seed_arg =
+  let doc = "Deterministic seed for the simulated platform." in
+  Arg.(value & opt int64 2026L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let stack seed =
+  let machine = Hw.Machine.create ~seed () in
+  let hv = Xen.Hypervisor.boot machine in
+  let fid = Fid.install hv in
+  (machine, hv, fid)
+
+let boot_guest fid name pages =
+  let rng = Rng.create 77L in
+  let prepared =
+    Sev.Transport.Owner.prepare ~rng ~platform_public:(Fid.platform_key fid)
+      ~policy:Sev.Firmware.policy_nodbg
+      ~kernel_pages:[ Bytes.make Hw.Addr.page_size '\000' ]
+  in
+  match Fid.boot_protected_vm fid ~name ~memory_pages:pages ~prepared with
+  | Ok d -> d
+  | Error e -> failwith e
+
+(* --- demo ------------------------------------------------------------------ *)
+
+let demo seed =
+  let machine, hv, fid = stack seed in
+  Printf.printf "platform up: %d frames of DRAM, SEV firmware initialized\n"
+    (Hw.Physmem.nr_frames machine.Hw.Machine.mem);
+  let dom = boot_guest fid "demo-tenant" 24 in
+  Printf.printf "protected guest dom%d booted from encrypted image\n" dom.Xen.Domain.domid;
+  Xen.Hypervisor.in_guest hv dom (fun () ->
+      Xen.Domain.write machine dom ~addr:0x5000 (Bytes.of_string "demo secret"));
+  (match Hw.Pagetable.lookup dom.Xen.Domain.npt 5 with
+  | Some npte -> (
+      try
+        ignore (Xen.Hypervisor.host_read hv npte.Hw.Pagetable.frame ~off:0 ~len:11);
+        print_endline "hypervisor read the secret (!!)"
+      with Hw.Mmu.Fault _ -> print_endline "hypervisor denied access to guest memory")
+  | None -> ());
+  ignore (Xen.Hypervisor.hypercall hv dom (Xen.Hypercall.Console_write "hello from the tenant"));
+  Printf.printf "guest console: %S\n" (Xen.Hypervisor.console hv dom.Xen.Domain.domid);
+  print_newline ();
+  print_string (Fid.attestation_report fid);
+  let ve, npf = Xen.Hypervisor.stats hv in
+  Printf.printf "vmexits=%d nested-page-faults=%d total-cycles=%d\n" ve npf
+    (Hw.Cost.total machine.Hw.Machine.ledger);
+  `Ok ()
+
+let demo_cmd =
+  let term = Term.(ret (const demo $ seed_arg)) in
+  Cmd.v (Cmd.info "demo" ~doc:"Boot a protected guest and exercise the life cycle") term
+
+(* --- attacks ---------------------------------------------------------------- *)
+
+let attacks id seed =
+  match id with
+  | None ->
+      Format.printf "%a@." Attacks.Runner.pp_table (Attacks.Runner.run_all ~seed ());
+      `Ok ()
+  | Some id -> (
+      match Attacks.Suite.find id with
+      | None ->
+          `Error
+            (false,
+             Printf.sprintf "unknown attack %S; known: %s" id
+               (String.concat ", "
+                  (List.map (fun a -> a.Attacks.Surface.id) Attacks.Suite.all)))
+      | Some attack ->
+          let row = Attacks.Runner.run_one ~seed attack in
+          Printf.printf "%s — %s (paper %s)\n" attack.Attacks.Surface.id
+            attack.Attacks.Surface.description attack.Attacks.Surface.paper_ref;
+          Printf.printf "  plain SEV: %s\n"
+            (Attacks.Surface.outcome_to_string row.Attacks.Runner.baseline);
+          Printf.printf "  fidelius:  %s\n"
+            (Attacks.Surface.outcome_to_string row.Attacks.Runner.fidelius);
+          `Ok ())
+
+let attacks_cmd =
+  let id =
+    Arg.(value & opt (some string) None & info [ "id" ] ~docv:"ATTACK" ~doc:"Run one attack only.")
+  in
+  let term = Term.(ret (const attacks $ id $ seed_arg)) in
+  Cmd.v (Cmd.info "attacks" ~doc:"Run the security-analysis attack catalogue") term
+
+(* --- xsa --------------------------------------------------------------------- *)
+
+let xsa verbose =
+  Format.printf "%a@." Xsa.Report.pp (Xsa.Report.compute ());
+  if verbose then begin
+    print_newline ();
+    List.iter
+      (fun r ->
+        Printf.printf "XSA-%-4d %-10s %-22s %s\n    -> %s\n" r.Xsa.Db.xsa
+          (Xsa.Db.component_to_string r.Xsa.Db.component)
+          (Xsa.Db.category_to_string r.Xsa.Db.category)
+          r.Xsa.Db.title (Xsa.Classify.why r))
+      Xsa.Db.all
+  end;
+  `Ok ()
+
+let xsa_cmd =
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"List every advisory with its rationale.")
+  in
+  let term = Term.(ret (const xsa $ verbose)) in
+  Cmd.v (Cmd.info "xsa" ~doc:"Quantitative XSA analysis (paper Section 6.2)") term
+
+(* --- bench ------------------------------------------------------------------- *)
+
+let bench suite =
+  (match suite with
+  | "spec" | "parsec" ->
+      let profiles = if suite = "spec" then W.Spec2006.all else W.Parsec.all in
+      Printf.printf "%-15s %12s %16s\n" "benchmark" "Fidelius" "Fidelius-enc";
+      let rows = W.Engine.run_suite profiles in
+      let n = float_of_int (List.length rows) in
+      let sf, se =
+        List.fold_left
+          (fun (a, b) (p, f, e) ->
+            Printf.printf "%-15s %+11.2f%% %+15.2f%%\n" p.W.Profile.name f e;
+            (a +. f, b +. e))
+          (0.0, 0.0) rows
+      in
+      Printf.printf "%-15s %+11.2f%% %+15.2f%%\n" "AVERAGE" (sf /. n) (se /. n)
+  | "fio" ->
+      Printf.printf "%-12s %14s %16s %10s\n" "operation" "Xen" "Fidelius" "slowdown";
+      List.iter
+        (fun r ->
+          Printf.printf "%-12s %10.1f %s %12.1f %s %8.2f%%\n" r.W.Fio.pattern.W.Fio.pat_name
+            r.W.Fio.xen_rate r.W.Fio.pattern.W.Fio.unit_name r.W.Fio.fidelius_rate
+            r.W.Fio.pattern.W.Fio.unit_name r.W.Fio.slowdown_pct)
+        (W.Fio.table ())
+  | other -> Printf.eprintf "unknown suite %S (spec|parsec|fio)\n" other);
+  `Ok ()
+
+let bench_cmd =
+  let suite =
+    Arg.(value & pos 0 string "spec" & info [] ~docv:"SUITE" ~doc:"spec, parsec or fio.")
+  in
+  let term = Term.(ret (const bench $ suite)) in
+  Cmd.v (Cmd.info "bench" ~doc:"Workload overheads (Figures 5/6, Table 3)") term
+
+(* --- inspect ------------------------------------------------------------------ *)
+
+let inspect seed =
+  let machine, hv, fid = stack seed in
+  let dom = boot_guest fid "inspect" 8 in
+  Printf.printf "host space id: %d, cr3: %d\n"
+    (Hw.Pagetable.id hv.Xen.Hypervisor.host_space)
+    (Hw.Cpu.cr3 machine.Hw.Machine.cpu);
+  Printf.printf "xen text frames: %s\n"
+    (String.concat " " (List.map (Printf.sprintf "0x%x") hv.Xen.Hypervisor.xen_text));
+  Printf.printf "fidelius text: %s  vmrun page: 0x%x  cr3 page: 0x%x\n"
+    (String.concat " " (List.map (Printf.sprintf "0x%x") fid.Core.Ctx.fid_text))
+    fid.Core.Ctx.vmrun_page fid.Core.Ctx.cr3_page;
+  Printf.printf "PIT radix pages: %d  GIT frames: %d\n"
+    (List.length (Core.Pit.tree_frames fid.Core.Ctx.pit))
+    (List.length (Core.Git_table.backing_frames fid.Core.Ctx.git));
+  List.iter
+    (fun op ->
+      Printf.printf "%-10s instances: %s\n" (Hw.Insn.op_to_string op)
+        (String.concat " "
+           (List.map (Printf.sprintf "0x%x") (Hw.Insn.instances machine.Hw.Machine.insns op))))
+    Hw.Insn.all_ops;
+  Printf.printf "protected guest dom%d: %d frames, PIT usage counts: guest-page=%d guest-npt=%d\n"
+    dom.Xen.Domain.domid
+    (List.length dom.Xen.Domain.frames)
+    (Core.Pit.count_usage fid.Core.Ctx.pit Core.Pit.Guest_page)
+    (Core.Pit.count_usage fid.Core.Ctx.pit Core.Pit.Guest_npt);
+  Format.printf "cycle ledger:@.%a@." Hw.Cost.pp machine.Hw.Machine.ledger;
+  `Ok ()
+
+let inspect_cmd =
+  let term = Term.(ret (const inspect $ seed_arg)) in
+  Cmd.v (Cmd.info "inspect" ~doc:"Dump the post-install system inventory") term
+
+(* --- quote -------------------------------------------------------------------- *)
+
+let quote seed nonce =
+  let machine, hv, fid = stack seed in
+  ignore machine;
+  let dom = boot_guest fid "attested" 8 in
+  let q = Core.Attest.quote fid ~guest:dom ~nonce () in
+  Printf.printf "platform quote (nonce %Ld):\n" nonce;
+  Printf.printf "  hypervisor text: %s\n"
+    (Fidelius_crypto.Sha256.hex q.Core.Attest.xen_measurement);
+  Printf.printf "  guest domid:     %s\n"
+    (match q.Core.Attest.guest_domid with Some d -> string_of_int d | None -> "-");
+  Printf.printf "  MAC:             %s\n" (Fidelius_crypto.Sha256.hex q.Core.Attest.mac);
+  let akey = Sev.Firmware.attestation_key hv.Xen.Hypervisor.fw in
+  (match
+     Core.Attest.verify ~attestation_key:akey
+       ~expected_xen_measurement:q.Core.Attest.xen_measurement ~nonce q
+   with
+  | Ok () -> print_endline "  verifier: quote ACCEPTED"
+  | Error e -> Printf.printf "  verifier: REJECTED (%s)\n" e);
+  `Ok ()
+
+let quote_cmd =
+  let nonce =
+    Arg.(value & opt int64 1L & info [ "nonce" ] ~docv:"NONCE" ~doc:"Verifier anti-replay nonce.")
+  in
+  let term = Term.(ret (const quote $ seed_arg $ nonce)) in
+  Cmd.v (Cmd.info "quote" ~doc:"Produce and verify a remote-attestation quote") term
+
+let main_cmd =
+  let doc = "Fidelius: comprehensive VM protection against an untrusted hypervisor (HPCA'18), simulated" in
+  Cmd.group (Cmd.info "fidelius_sim" ~version:"1.0.0" ~doc)
+    [ demo_cmd; attacks_cmd; xsa_cmd; bench_cmd; inspect_cmd; quote_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,110 @@
+(* Multi-tenant host: several guests at different protection levels built
+   through the xl-style toolstack, scheduled round-robin, each doing disk
+   I/O with its configured codec — while the management side snoops every
+   platter and shared buffer and reports what it could actually see.
+
+     dune exec examples/multi_tenant.exe *)
+
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+module Core = Fidelius_core
+module Xl = Core.Xl
+
+let secret_of name = Printf.sprintf "<<%s-PAYROLL-DATA>>" (String.uppercase_ascii name)
+
+let sector_payload name =
+  let s = secret_of name in
+  let b = Bytes.make Xen.Vdisk.sector_size '.' in
+  Bytes.blit_string s 0 b 0 (String.length s);
+  b
+
+let snoop_sees needle haystack =
+  let s = Bytes.to_string haystack and m = String.length needle in
+  let n = String.length s in
+  let rec scan i = i + m <= n && (String.sub s i m = needle || scan (i + 1)) in
+  scan 0
+
+let () =
+  let machine = Hw.Machine.create ~seed:77L () in
+  let hv = Xen.Hypervisor.boot machine in
+  let fid = Core.Fidelius.install hv in
+  let tenants =
+    [ ("legacy", Xl.Unprotected, Xl.Plain_io);
+      ("bank", Xl.Protected fid, Xl.Aes_ni_io);
+      ("hospital", Xl.Protected fid, Xl.Sev_api_io);
+      ("lab", Xl.Protected fid, Xl.Gek_io) ]
+  in
+  let built =
+    List.map
+      (fun (name, protection, codec) ->
+        let cfg =
+          { (Xl.default ~name) with
+            Xl.protection;
+            memory_pages = 20;
+            seed = Int64.of_int (Hashtbl.hash name);
+            disk = Some { Xl.contents = Bytes.create 4096; codec; buffer_gvfn = 120 } }
+        in
+        match Xl.create hv cfg with
+        | Ok b ->
+            Printf.printf "created %-10s dom%d  protection=%s codec=%s\n" name
+              b.Xl.domain.Xen.Domain.domid
+              (match protection with
+              | Xl.Unprotected -> "none"
+              | Xl.Plain_sev -> "plain-sev"
+              | Xl.Protected _ -> "fidelius")
+              (match codec with
+              | Xl.Plain_io -> "plain"
+              | Xl.Aes_ni_io -> "aes-ni"
+              | Xl.Sev_api_io -> "sev-api"
+              | Xl.Gek_io -> "gek");
+            (name, b)
+        | Error e -> failwith (name ^ ": " ^ e))
+      tenants
+  in
+  (* A few scheduled rounds: each tenant's turn writes its secret to disk
+     and reads it back through its own codec. *)
+  print_newline ();
+  for round = 1 to 2 do
+    List.iter
+      (fun (name, b) ->
+        match Xen.Sched.next hv.Xen.Hypervisor.sched with
+        | _ -> (
+            match b.Xl.frontend with
+            | Some fe -> (
+                let sector = round in
+                (match Xen.Blkif.write_sectors fe ~sector (sector_payload name) with
+                | Ok () -> ()
+                | Error e -> failwith e);
+                match Xen.Blkif.read_sectors fe ~sector ~count:1 with
+                | Ok back ->
+                    if round = 1 then
+                      Printf.printf "%-10s round-trips its data: %b\n" name
+                        (snoop_sees (secret_of name) back)
+                | Error e -> failwith e)
+            | None -> ()))
+      built
+  done;
+  (* The management side inspects everything it can reach. *)
+  print_newline ();
+  print_endline "management-side snooping (platter + shared buffer + DRAM):";
+  List.iter
+    (fun (name, b) ->
+      match (b.Xl.frontend, b.Xl.backend) with
+      | Some _, Some be ->
+          let platter = Xen.Vdisk.peek (Xen.Blkif.backend_disk be) ~sector:1 ~count:2 in
+          let buffer = Hw.Physmem.dump machine.Hw.Machine.mem (Xen.Blkif.shared_frame be) in
+          let frame_leak =
+            List.exists
+              (fun pfn -> snoop_sees (secret_of name) (Hw.Physmem.dump machine.Hw.Machine.mem pfn))
+              b.Xl.domain.Xen.Domain.frames
+          in
+          Printf.printf "  %-10s platter=%-5b buffer=%-5b dram=%b\n" name
+            (snoop_sees (secret_of name) platter)
+            (snoop_sees (secret_of name) buffer)
+            frame_leak
+      | _ -> ())
+    built;
+  print_newline ();
+  List.iter (fun (_, b) -> Xl.destroy hv b) built;
+  Printf.printf "all tenants destroyed; violations blocked during the run: %d\n"
+    (List.length (Core.Fidelius.violations fid))

@@ -1,0 +1,65 @@
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+module Sev = Fidelius_sev
+module Core = Fidelius_core
+module Rng = Fidelius_crypto.Rng
+
+let secret = "T0P-SECRET-TENANT-DATA-0xC0FFEE!"
+let secret_gva = Hw.Addr.addr_of 5 0
+let memory_pages = 24
+
+let kernel_pages () =
+  List.init 3 (fun i -> Bytes.make Hw.Addr.page_size (Char.chr (0x41 + i)))
+
+let write_secret machine hv dom =
+  Xen.Hypervisor.in_guest hv dom (fun () ->
+      Xen.Domain.write machine dom ~addr:secret_gva (Bytes.of_string secret))
+
+let baseline ~seed =
+  let machine = Hw.Machine.create ~seed () in
+  let hv = Xen.Hypervisor.boot machine in
+  match
+    Xen.Hypervisor.create_sev_domain hv ~name:"victim" ~memory_pages ~kernel:(kernel_pages ())
+  with
+  | Error e -> failwith ("attacks: baseline victim: " ^ e)
+  | Ok victim ->
+      write_secret machine hv victim;
+      { Surface.machine; hv; fid = None; victim; secret; secret_gva }
+
+let baseline_es ~seed =
+  let stack = baseline ~seed in
+  Xen.Hypervisor.enable_sev_es stack.Surface.hv stack.Surface.victim;
+  stack
+
+let protected_ ~seed =
+  let machine = Hw.Machine.create ~seed () in
+  let hv = Xen.Hypervisor.boot machine in
+  let fid = Core.Fidelius.install hv in
+  let rng = Rng.create (Int64.add seed 77L) in
+  let prepared =
+    Sev.Transport.Owner.prepare ~rng ~platform_public:(Core.Fidelius.platform_key fid)
+      ~policy:Sev.Firmware.policy_nodbg ~kernel_pages:(kernel_pages ())
+  in
+  match Core.Fidelius.boot_protected_vm fid ~name:"victim" ~memory_pages ~prepared with
+  | Error e -> failwith ("attacks: protected victim: " ^ e)
+  | Ok victim ->
+      write_secret machine hv victim;
+      { Surface.machine; hv; fid = Some fid; victim; secret; secret_gva }
+
+let resolve_secret_frame (stack : Surface.stack) =
+  let gfn = Hw.Addr.frame_of stack.Surface.secret_gva in
+  match Hw.Pagetable.lookup stack.Surface.victim.Xen.Domain.npt gfn with
+  | Some npte -> npte.Hw.Pagetable.frame
+  | None -> failwith "attacks: secret frame not backed"
+
+let conspirators : (Xen.Hypervisor.t * Xen.Domain.t) list ref = ref []
+
+let conspirator (stack : Surface.stack) =
+  match List.find_opt (fun (hv, _) -> hv == stack.Surface.hv) !conspirators with
+  | Some (_, dom) -> dom
+  | None ->
+      let dom =
+        Xen.Hypervisor.create_domain stack.Surface.hv ~name:"conspirator" ~memory_pages:8
+      in
+      conspirators := (stack.Surface.hv, dom) :: !conspirators;
+      dom

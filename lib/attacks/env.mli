@@ -1,0 +1,31 @@
+(** Victim environments for the attack suite.
+
+    Two stacks, identical except for Fidelius:
+    - the *baseline* is plain SEV as shipped: LAUNCH-booted guest, C-bit
+      memory, but the hypervisor keeps its direct map, writable NPTs and
+      unprotected VMCB — the configuration the paper's Section 2.2 analyzes;
+    - the *protected* stack has Fidelius installed and boots the victim
+      through the encrypted-image RECEIVE path.
+
+    In both, the victim writes a known secret into its encrypted memory so
+    leak attacks have a target. *)
+
+val secret : string
+val secret_gva : int
+
+val baseline : seed:int64 -> Surface.stack
+val baseline_es : seed:int64 -> Surface.stack
+(** Plain SEV with the SEV-ES extension enabled on the victim: register
+    state lives in the hardware-encrypted VMSA. The paper's Section 2.2
+    middle ground — VMCB/register attacks die, mapping and key-management
+    attacks survive. *)
+
+val protected_ : seed:int64 -> Surface.stack
+
+val resolve_secret_frame : Surface.stack -> Fidelius_hw.Addr.pfn
+(** Host frame holding the secret (attacker can learn it from the NPT,
+    which is readable — write-protection is not read-protection). *)
+
+val conspirator : Surface.stack -> Fidelius_xen.Domain.t
+(** A second, attacker-controlled guest on the same stack (created on
+    demand, cached). *)

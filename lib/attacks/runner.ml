@@ -1,0 +1,60 @@
+type row = {
+  attack : Surface.attack;
+  baseline : Surface.outcome;
+  sev_es : Surface.outcome;
+  fidelius : Surface.outcome;
+}
+
+let guard f =
+  try f ()
+  with
+  | Failure m -> Surface.Blocked ("aborted: " ^ m)
+  | Fidelius_xen.Hypervisor.Npf_unresolved m -> Surface.Blocked ("NPF handler refused: " ^ m)
+  | Fidelius_hw.Mmu.Fault { reason; _ } -> Surface.Blocked ("page fault: " ^ reason)
+  | Invalid_argument m -> Surface.Blocked ("hardware refused: " ^ m)
+
+let run_one ?(seed = 2024L) attack =
+  let base_stack = Env.baseline ~seed in
+  let es_stack = Env.baseline_es ~seed:(Int64.add seed 2L) in
+  let fid_stack = Env.protected_ ~seed:(Int64.add seed 1L) in
+  { attack;
+    baseline = guard (fun () -> attack.Surface.run base_stack);
+    sev_es = guard (fun () -> attack.Surface.run es_stack);
+    fidelius = guard (fun () -> attack.Surface.run fid_stack) }
+
+let run_all ?(seed = 2024L) () =
+  List.mapi (fun i a -> run_one ~seed:(Int64.add seed (Int64.of_int (i * 10))) a) Suite.all
+
+let summary rows =
+  let total = List.length rows in
+  let defended =
+    List.length (List.filter (fun r -> Surface.is_defended r.fidelius) rows)
+  in
+  let baseline_vulnerable =
+    List.length (List.filter (fun r -> not (Surface.is_defended r.baseline)) rows)
+  in
+  (total, defended, baseline_vulnerable)
+
+let pp_table fmt rows =
+  let w = 34 in
+  let trunc s = if String.length s > w then String.sub s 0 (w - 3) ^ "..." else s in
+  Format.fprintf fmt "@[<v>%-22s | %-*s | %-*s | %-*s@," "attack" w "plain SEV" w "SEV-ES" w
+    "Fidelius";
+  Format.fprintf fmt "%s@," (String.make (25 + (3 * (w + 3))) '-');
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-22s | %-*s | %-*s | %-*s@," r.attack.Surface.id w
+        (trunc (Surface.outcome_to_string r.baseline))
+        w
+        (trunc (Surface.outcome_to_string r.sev_es))
+        w
+        (trunc (Surface.outcome_to_string r.fidelius)))
+    rows;
+  let total, defended, base_vuln = summary rows in
+  let es_vuln =
+    List.length (List.filter (fun r -> not (Surface.is_defended r.sev_es)) rows)
+  in
+  Format.fprintf fmt "%s@," (String.make (25 + (3 * (w + 3))) '-');
+  Format.fprintf fmt
+    "%d attacks: plain SEV vulnerable to %d, SEV-ES still vulnerable to %d, Fidelius defends %d/%d@]"
+    total base_vuln es_vuln defended total

@@ -1,0 +1,19 @@
+(** Execute the attack catalogue against both stacks and tabulate. *)
+
+type row = {
+  attack : Surface.attack;
+  baseline : Surface.outcome;   (** plain SEV, stock Xen *)
+  sev_es : Surface.outcome;     (** plain SEV with the ES extension *)
+  fidelius : Surface.outcome;
+}
+
+val run_all : ?seed:int64 -> unit -> row list
+(** Each attack runs on a *fresh pair* of stacks so earlier attacks cannot
+    poison later ones. *)
+
+val run_one : ?seed:int64 -> Surface.attack -> row
+
+val summary : row list -> int * int * int
+(** (attacks total, defended under Fidelius, undefended under baseline). *)
+
+val pp_table : Format.formatter -> row list -> unit

@@ -1,0 +1,31 @@
+type outcome =
+  | Leaked of string
+  | Tampered of string
+  | Degraded of string
+  | Blocked of string
+
+let outcome_to_string = function
+  | Leaked m -> "LEAKED: " ^ m
+  | Tampered m -> "TAMPERED: " ^ m
+  | Degraded m -> "degraded: " ^ m
+  | Blocked m -> "blocked: " ^ m
+
+let is_defended = function
+  | Blocked _ | Degraded _ -> true
+  | Leaked _ | Tampered _ -> false
+
+type stack = {
+  machine : Fidelius_hw.Machine.t;
+  hv : Fidelius_xen.Hypervisor.t;
+  fid : Fidelius_core.Fidelius.t option;
+  victim : Fidelius_xen.Domain.t;
+  secret : string;
+  secret_gva : int;
+}
+
+type attack = {
+  id : string;
+  description : string;
+  paper_ref : string;
+  run : stack -> outcome;
+}

@@ -1,0 +1,39 @@
+(** Attack-surface vocabulary for the security evaluation (paper Section 6).
+
+    Every attack is expressed against the *architectural* channels the
+    simulator exposes — memory mappings, firmware commands, instruction
+    execution, DMA, physical access — never against OCaml internals, so an
+    attack succeeds or fails for the same mechanical reason it would on the
+    real stack. *)
+
+type outcome =
+  | Leaked of string
+      (** attacker obtained the victim's plaintext (message says how) *)
+  | Tampered of string
+      (** attacker modified protected state without detection *)
+  | Degraded of string
+      (** attack "succeeded" but yielded only ciphertext/garbage — the
+          hardware encryption held even though the software let it through *)
+  | Blocked of string
+      (** the mechanism that stopped it, with the denial reason *)
+
+val outcome_to_string : outcome -> string
+
+val is_defended : outcome -> bool
+(** [Blocked] and [Degraded] count as defended. *)
+
+type stack = {
+  machine : Fidelius_hw.Machine.t;
+  hv : Fidelius_xen.Hypervisor.t;
+  fid : Fidelius_core.Fidelius.t option;  (** [None] on the plain-SEV baseline *)
+  victim : Fidelius_xen.Domain.t;
+  secret : string;               (** plaintext the victim wrote *)
+  secret_gva : int;              (** where the victim keeps it *)
+}
+
+type attack = {
+  id : string;
+  description : string;
+  paper_ref : string;   (** paper section motivating this surface *)
+  run : stack -> outcome;
+}

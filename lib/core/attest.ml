@@ -1,0 +1,53 @@
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+module Sev = Fidelius_sev
+
+type quote = {
+  xen_measurement : bytes;
+  guest_domid : int option;
+  nonce : int64;
+  mac : bytes;
+}
+
+let payload ~xen_measurement ~guest_domid =
+  let b = Bytes.create (32 + 4) in
+  Bytes.blit xen_measurement 0 b 0 32;
+  Bytes.set_int32_be b 32 (Int32.of_int (match guest_domid with None -> -1 | Some d -> d));
+  b
+
+let quote ctx ?guest ~nonce () =
+  let fw = ctx.Ctx.hv.Xen.Hypervisor.fw in
+  let xen_measurement = ctx.Ctx.xen_measurement in
+  let guest_domid = Option.map (fun (d : Xen.Domain.t) -> d.Xen.Domain.domid) guest in
+  let mac = Sev.Firmware.attest fw ~data:(payload ~xen_measurement ~guest_domid) ~nonce in
+  { xen_measurement; guest_domid; nonce; mac }
+
+let verify ~attestation_key ~expected_xen_measurement ~nonce q =
+  if not (Int64.equal nonce q.nonce) then Error "attest: nonce mismatch (replayed quote?)"
+  else if
+    not
+      (Sev.Firmware.verify_quote ~attestation_key
+         ~data:(payload ~xen_measurement:q.xen_measurement ~guest_domid:q.guest_domid)
+         ~nonce ~quote:q.mac)
+  then Error "attest: quote MAC invalid (wrong platform or tampered)"
+  else if not (Bytes.equal q.xen_measurement expected_xen_measurement) then
+    Error "attest: hypervisor measurement differs from the expected build"
+  else Ok ()
+
+let serialize q =
+  let b = Bytes.create (32 + 4 + 8 + 32) in
+  Bytes.blit q.xen_measurement 0 b 0 32;
+  Bytes.set_int32_be b 32 (Int32.of_int (match q.guest_domid with None -> -1 | Some d -> d));
+  Bytes.set_int64_be b 36 q.nonce;
+  Bytes.blit q.mac 0 b 44 32;
+  b
+
+let deserialize b =
+  if Bytes.length b <> 76 then None
+  else
+    let domid = Int32.to_int (Bytes.get_int32_be b 32) in
+    Some
+      { xen_measurement = Bytes.sub b 0 32;
+        guest_domid = (if domid < 0 then None else Some domid);
+        nonce = Bytes.get_int64_be b 36;
+        mac = Bytes.sub b 44 32 }

@@ -1,0 +1,37 @@
+(** Remote attestation of the Fidelius platform (paper Section 4.3.1:
+    "leverages existing hardware support to issue a measurement on its
+    integrity, which can be used in remote attestation to verify its
+    validity").
+
+    A quote binds, under the platform's attestation key and a
+    verifier-chosen nonce: the hypervisor-text measurement Fidelius took at
+    late launch, and optionally a protected guest's identity. A remote
+    verifier who knows the expected hypervisor build hash can thus check
+    that the platform it is about to trust runs an unmodified hypervisor
+    with Fidelius installed. *)
+
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+
+type quote = {
+  xen_measurement : bytes;    (** SHA-256 of the hypervisor text at late launch *)
+  guest_domid : int option;
+  nonce : int64;
+  mac : bytes;                (** firmware quote over the above *)
+}
+
+val quote : Ctx.t -> ?guest:Xen.Domain.t -> nonce:int64 -> unit -> quote
+(** Ask the platform firmware to quote the late-launch state. *)
+
+val verify :
+  attestation_key:bytes ->
+  expected_xen_measurement:bytes ->
+  nonce:int64 ->
+  quote ->
+  (unit, string) result
+(** Verifier side: checks the firmware MAC, the nonce (anti-replay) and the
+    hypervisor measurement against the expected build. *)
+
+val serialize : quote -> bytes
+val deserialize : bytes -> quote option
+(** Wire format, for shipping the quote over an untrusted channel. *)

@@ -1,0 +1,31 @@
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+
+type t = {
+  hv : Xen.Hypervisor.t;
+  machine : Hw.Machine.t;
+  pit : Pit.t;
+  git : Git_table.t;
+  shadows : (int, Shadow.t) Hashtbl.t;
+  fid_text : Hw.Addr.pfn list;
+  vmrun_page : Hw.Addr.pfn;
+  cr3_page : Hw.Addr.pfn;
+  xen_measurement : bytes;
+  mutable protected_domids : int list;
+  mutable next_domain_protected : bool;
+  mutable teardown_for : int option;
+  mutable boot_window : int option;
+  mutable gate1_count : int;
+  mutable gate2_count : int;
+  mutable gate3_count : int;
+  mutable violations : string list;
+  write_once_done : (string, unit) Hashtbl.t;
+  exec_once_done : (string, unit) Hashtbl.t;
+  write_once_bits : (string, Bytes.t) Hashtbl.t;
+}
+
+let is_protected t domid = List.mem domid t.protected_domids
+
+let audit t msg = t.violations <- msg :: t.violations
+
+let violations t = t.violations

@@ -1,0 +1,33 @@
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+module Sev = Fidelius_sev
+
+type t = Ctx.t
+
+let install = Iso.install
+
+let platform_key (ctx : t) = Sev.Firmware.platform_public ctx.Ctx.hv.Xen.Hypervisor.fw
+
+let boot_protected_vm = Lifecycle.boot_protected_vm
+let start = Lifecycle.start
+let shutdown_protected_vm = Lifecycle.shutdown_protected_vm
+let write_start_info = Lifecycle.write_start_info
+let kblk_of_guest = Lifecycle.kblk_of_guest
+let attestation_report = Lifecycle.attestation_report
+
+let migrate = Migrate.migrate
+
+let aesni_codec = Io_protect.aesni_codec
+let software_codec = Io_protect.software_codec
+let setup_sev_io = Io_protect.setup_sev_io
+let sev_codec = Io_protect.sev_codec
+let setup_gek_io = Io_protect.setup_gek_io
+let gek_codec = Io_protect.gek_codec
+
+let share = Sharing.share
+let share_range = Sharing.share_range
+let unshare = Sharing.unshare
+
+let gate_counts = Gate.counts
+let violations = Ctx.violations
+let is_protected = Ctx.is_protected

@@ -1,0 +1,97 @@
+module Hw = Fidelius_hw
+
+let cr0_value ~wp = Int64.logor (if wp then 0x10000L else 0L) 0x80000000L
+
+let set_wp_via_insn (ctx : Ctx.t) wp =
+  let machine = ctx.Ctx.machine in
+  match
+    Hw.Insn.execute machine.Hw.Machine.insns
+      ~exec_ok:(Hw.Mmu.exec_ok machine ctx.Ctx.hv.Fidelius_xen.Hypervisor.host_space)
+      Hw.Insn.Mov_cr0 (cr0_value ~wp)
+  with
+  | Ok () -> ()
+  | Error e -> failwith ("fidelius gate: monopolized mov-cr0 failed: " ^ e)
+
+let with_type1 (ctx : Ctx.t) f =
+  let machine = ctx.Ctx.machine in
+  let cpu = machine.Hw.Machine.cpu in
+  if Hw.Cpu.in_fidelius cpu then Error "gate1: not re-entrant"
+  else begin
+    ctx.Ctx.gate1_count <- ctx.Ctx.gate1_count + 1;
+    Hw.Cost.charge machine.Hw.Machine.ledger "gate1" machine.Hw.Machine.costs.Hw.Cost.gate1;
+    Hw.Cpu.enter_fidelius cpu;
+    Hw.Cpu.priv_set_interrupts cpu false;
+    let restore () =
+      (* Force WP back even if the monopolized-instruction path is in a
+         broken state; the context flag must never leak. *)
+      (try set_wp_via_insn ctx true with _ -> Hw.Cpu.priv_set_wp cpu true);
+      Hw.Cpu.priv_set_interrupts cpu true;
+      Hw.Cpu.leave_fidelius cpu
+    in
+    match
+      set_wp_via_insn ctx false;
+      f ()
+    with
+    | result ->
+        restore ();
+        result
+    | exception e ->
+        restore ();
+        raise e
+  end
+
+let charge_type2 (ctx : Ctx.t) =
+  let machine = ctx.Ctx.machine in
+  ctx.Ctx.gate2_count <- ctx.Ctx.gate2_count + 1;
+  Hw.Cost.charge machine.Hw.Machine.ledger "gate2" machine.Hw.Machine.costs.Hw.Cost.gate2
+
+let with_type3 (ctx : Ctx.t) ~pfns ~executable f =
+  let machine = ctx.Ctx.machine in
+  let cpu = machine.Hw.Machine.cpu in
+  let host_space = ctx.Ctx.hv.Fidelius_xen.Hypervisor.host_space in
+  ctx.Ctx.gate3_count <- ctx.Ctx.gate3_count + 1;
+  Hw.Cost.charge machine.Hw.Machine.ledger "gate3"
+    (machine.Hw.Machine.costs.Hw.Cost.gate3 * List.length pfns);
+  Hw.Cpu.enter_fidelius cpu;
+  let with_wp_window g =
+    (try set_wp_via_insn ctx false with _ -> Hw.Cpu.priv_set_wp cpu false);
+    let finish () = try set_wp_via_insn ctx true with _ -> Hw.Cpu.priv_set_wp cpu true in
+    match g () with
+    | () -> finish ()
+    | exception e ->
+        finish ();
+        raise e
+  in
+  let withdraw () =
+    (try
+       with_wp_window (fun () ->
+           List.iter
+             (fun pfn -> Hw.Mmu.set_pte machine ~space:host_space ~table:host_space pfn None)
+             pfns)
+     with _ -> ());
+    Hw.Cpu.leave_fidelius cpu
+  in
+  (* The mapping add/withdraw is a single PTE write each way; the host
+     page-table-page is read-only for Xen, so do it inside a WP-cleared
+     window (the pre-allocated address-space trick of the paper). *)
+  match
+    with_wp_window (fun () ->
+        List.iter
+          (fun pfn ->
+            Hw.Mmu.set_pte machine ~space:host_space ~table:host_space pfn
+              (Some
+                 { Hw.Pagetable.frame = pfn;
+                   writable = not executable;
+                   executable;
+                   c_bit = false }))
+          pfns);
+    f ()
+  with
+  | result ->
+      withdraw ();
+      result
+  | exception e ->
+      withdraw ();
+      raise e
+
+let counts (ctx : Ctx.t) = (ctx.Ctx.gate1_count, ctx.Ctx.gate2_count, ctx.Ctx.gate3_count)

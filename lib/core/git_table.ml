@@ -1,0 +1,120 @@
+module Hw = Fidelius_hw
+
+type intent = {
+  initiator : int;
+  target : int;
+  gfn : Hw.Addr.gfn;
+  nr : int;
+  writable : bool;
+}
+
+(* Entry layout (24 bytes): initiator(2) target(2) gfn(8) nr(4) flags(1):
+   bit0 writable, bit1 in_use; 7 bytes pad. *)
+let entry_size = 24
+let entries_per_frame = Hw.Addr.page_size / entry_size
+let nr_frames = 2
+
+type t = {
+  machine : Hw.Machine.t;
+  frames : Hw.Addr.pfn array;
+}
+
+let create machine =
+  { machine; frames = Array.of_list (Hw.Machine.alloc_frames machine nr_frames) }
+
+let capacity t = Array.length t.frames * entries_per_frame
+
+let locate t idx = (t.frames.(idx / entries_per_frame), idx mod entries_per_frame * entry_size)
+
+let charge t =
+  Hw.Cost.charge t.machine.Hw.Machine.ledger "git" t.machine.Hw.Machine.costs.Hw.Cost.git_lookup
+
+let read_slot t idx =
+  let pfn, off = locate t idx in
+  let b = Hw.Physmem.read_raw t.machine.Hw.Machine.mem pfn ~off ~len:entry_size in
+  let flags = Char.code (Bytes.get b 16) in
+  if flags land 2 = 0 then None
+  else
+    Some
+      { initiator = Bytes.get_uint16_be b 0;
+        target = Bytes.get_uint16_be b 2;
+        gfn = Int64.to_int (Bytes.get_int64_be b 4);
+        nr = Int32.to_int (Bytes.get_int32_be b 12);
+        writable = flags land 1 <> 0 }
+
+let write_slot t idx intent =
+  let pfn, off = locate t idx in
+  let b = Bytes.make entry_size '\000' in
+  (match intent with
+  | None -> ()
+  | Some i ->
+      Bytes.set_uint16_be b 0 i.initiator;
+      Bytes.set_uint16_be b 2 i.target;
+      Bytes.set_int64_be b 4 (Int64.of_int i.gfn);
+      Bytes.set_int32_be b 12 (Int32.of_int i.nr);
+      Bytes.set b 16 (Char.chr ((if i.writable then 1 else 0) lor 2)));
+  Hw.Physmem.write_raw t.machine.Hw.Machine.mem pfn ~off b
+
+let record t intent =
+  charge t;
+  if intent.nr <= 0 then Error "pre_sharing: nr must be positive"
+  else begin
+    let rec find idx =
+      if idx >= capacity t then Error "GIT full"
+      else
+        match read_slot t idx with
+        | None ->
+            write_slot t idx (Some intent);
+            Ok ()
+        | Some _ -> find (idx + 1)
+    in
+    find 0
+  end
+
+let covers i ~initiator ~target ~gfn ~writable =
+  i.initiator = initiator && i.target = target
+  && gfn >= i.gfn
+  && gfn < i.gfn + i.nr
+  && ((not writable) || i.writable)
+
+let check t ~initiator ~target ~gfn ~writable =
+  charge t;
+  let rec scan idx =
+    if idx >= capacity t then
+      Error
+        (Printf.sprintf
+           "GIT: dom%d never declared sharing gfn 0x%x with dom%d%s" initiator gfn target
+           (if writable then " (writable)" else ""))
+    else
+      match read_slot t idx with
+      | Some i when covers i ~initiator ~target ~gfn ~writable -> Ok ()
+      | Some _ | None -> scan (idx + 1)
+  in
+  scan 0
+
+let revoke t ~initiator ~gfn =
+  for idx = 0 to capacity t - 1 do
+    match read_slot t idx with
+    | Some i when i.initiator = initiator && gfn >= i.gfn && gfn < i.gfn + i.nr ->
+        write_slot t idx None
+    | Some _ | None -> ()
+  done
+
+let revoke_domain t ~initiator =
+  for idx = 0 to capacity t - 1 do
+    match read_slot t idx with
+    | Some i when i.initiator = initiator -> write_slot t idx None
+    | Some _ | None -> ()
+  done
+
+let intents t =
+  let rec scan idx acc =
+    if idx >= capacity t then List.rev acc
+    else
+      match read_slot t idx with
+      | Some i -> scan (idx + 1) (i :: acc)
+      | None -> scan (idx + 1) acc
+  in
+  scan 0 []
+
+let backing_frames t = Array.to_list t.frames

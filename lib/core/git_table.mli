@@ -1,0 +1,40 @@
+(** Grant Information Table (paper Sections 4.3.7 and 5.2).
+
+    Before a guest creates a grant-table entry, it declares its intent
+    directly to Fidelius via the [pre_sharing_op] hypercall; the intent is
+    recorded here, in Fidelius-private frames. When the hypervisor later
+    processes [grant_table_op], the requested entry is checked against the
+    recorded intent — so a hypervisor that invents, widens (read-only to
+    writable) or redirects (different target domain) a grant is caught. *)
+
+module Hw = Fidelius_hw
+
+type intent = {
+  initiator : int;
+  target : int;
+  gfn : Hw.Addr.gfn;   (** first shared frame *)
+  nr : int;            (** number of consecutive frames *)
+  writable : bool;
+}
+
+type t
+
+val create : Hw.Machine.t -> t
+
+val record : t -> intent -> (unit, string) result
+(** Store an intent (from [pre_sharing_op]). Fails when the table is full. *)
+
+val check :
+  t -> initiator:int -> target:int -> gfn:Hw.Addr.gfn -> writable:bool ->
+  (unit, string) result
+(** Is this exact sharing covered by a recorded intent? Writable sharing
+    requires a writable intent; the gfn must fall inside the intent's
+    range. *)
+
+val revoke : t -> initiator:int -> gfn:Hw.Addr.gfn -> unit
+(** Drop intents covering [gfn] (sharing ended / domain teardown). *)
+
+val revoke_domain : t -> initiator:int -> unit
+
+val intents : t -> intent list
+val backing_frames : t -> Hw.Addr.pfn list

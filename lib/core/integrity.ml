@@ -1,0 +1,50 @@
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+
+type t = {
+  ctx : Ctx.t;
+  dom : Xen.Domain.t;
+  bmt : Hw.Bmt.t;
+}
+
+let protect ctx (dom : Xen.Domain.t) =
+  { ctx; dom; bmt = Hw.Bmt.create ctx.Ctx.machine ~frames:dom.Xen.Domain.frames }
+
+let frames_of_range t ~addr ~len =
+  let first = Hw.Addr.frame_of addr in
+  let last = Hw.Addr.frame_of (addr + max 0 (len - 1)) in
+  let rec collect gvfn acc =
+    if gvfn > last then Ok (List.rev acc)
+    else
+      (* Resolve through the guest's own tables: gva -> gfn -> pfn. *)
+      match Hw.Pagetable.lookup t.dom.Xen.Domain.gpt gvfn with
+      | None -> Error (Printf.sprintf "integrity: gva frame 0x%x unmapped" gvfn)
+      | Some gpte -> (
+          match Hw.Pagetable.lookup t.dom.Xen.Domain.npt gpte.Hw.Pagetable.frame with
+          | None -> Error (Printf.sprintf "integrity: gfn 0x%x unbacked" gpte.Hw.Pagetable.frame)
+          | Some npte -> collect (gvfn + 1) (npte.Hw.Pagetable.frame :: acc))
+  in
+  collect first []
+
+let ( let* ) = Result.bind
+
+let verified_read t ~addr ~len =
+  let* frames = frames_of_range t ~addr ~len in
+  let* () =
+    List.fold_left (fun acc pfn -> let* () = acc in Hw.Bmt.verify t.bmt pfn) (Ok ()) frames
+  in
+  Ok
+    (Xen.Hypervisor.in_guest t.ctx.Ctx.hv t.dom (fun () ->
+         Xen.Domain.read t.ctx.Ctx.machine t.dom ~addr ~len))
+
+let guest_write t ~addr data =
+  Xen.Hypervisor.in_guest t.ctx.Ctx.hv t.dom (fun () ->
+      Xen.Domain.write t.ctx.Ctx.machine t.dom ~addr data);
+  match frames_of_range t ~addr ~len:(Bytes.length data) with
+  | Ok frames -> List.iter (Hw.Bmt.update t.bmt) frames
+  | Error _ -> ()
+
+let verify_domain t = Hw.Bmt.verify_all t.bmt
+
+let root t = Hw.Bmt.root t.bmt
+let hashes_performed t = Hw.Bmt.hashes_performed t.bmt

@@ -1,0 +1,380 @@
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+module Sha256 = Fidelius_crypto.Sha256
+
+let raw_map ctx pfn proto =
+  let hv = ctx.Ctx.hv in
+  Hw.Mmu.set_pte ctx.Ctx.machine ~space:hv.Xen.Hypervisor.host_space
+    ~table:hv.Xen.Hypervisor.host_space pfn proto
+
+let identity pfn ~writable ~executable =
+  Some { Hw.Pagetable.frame = pfn; writable; executable; c_bit = false }
+
+let measure_xen_text hv =
+  let ctx = Sha256.init () in
+  List.iter
+    (fun pfn ->
+      Sha256.feed ctx (Hw.Physmem.read_raw hv.Xen.Hypervisor.machine.Hw.Machine.mem pfn ~off:0
+           ~len:Hw.Addr.page_size))
+    hv.Xen.Hypervisor.xen_text;
+  Sha256.finalize ctx
+
+(* Claim newly allocated PIT radix pages as Fidelius data and unmap them.
+   Marking can itself allocate radix pages, so iterate to a fixpoint. *)
+let mark_pit_frames ctx =
+  let rec loop () =
+    let fresh =
+      List.filter
+        (fun pfn -> (Pit.get ctx.Ctx.pit pfn).Pit.usage <> Pit.Fidelius_data)
+        (Pit.tree_frames ctx.Ctx.pit)
+    in
+    if fresh <> [] then begin
+      List.iter
+        (fun pfn ->
+          Pit.set ctx.Ctx.pit pfn
+            { Pit.owner = Pit.Fidelius; usage = Pit.Fidelius_data; asid = 0; valid = true };
+          raw_map ctx pfn None)
+        fresh;
+      loop ()
+    end
+  in
+  loop ()
+
+let protect_table_pages ctx table usage =
+  List.iter
+    (fun pfn ->
+      let info = Pit.get ctx.Ctx.pit pfn in
+      if info.Pit.usage <> usage then begin
+        Pit.set ctx.Ctx.pit pfn { Pit.owner = Pit.Xen; usage; asid = 0; valid = true };
+        raw_map ctx pfn (identity pfn ~writable:false ~executable:false)
+      end)
+    (Hw.Pagetable.backing_frames table);
+  mark_pit_frames ctx
+
+let new_shadow ctx (dom : Xen.Domain.t) =
+  match Hashtbl.find_opt ctx.Ctx.shadows dom.Xen.Domain.domid with
+  | Some s -> s
+  | None ->
+      let machine = ctx.Ctx.machine in
+      let backing = Hw.Machine.alloc_frame machine in
+      Pit.set ctx.Ctx.pit backing
+        { Pit.owner = Pit.Fidelius; usage = Pit.Fidelius_data; asid = 0; valid = true };
+      (* Shadow frames are Fidelius-private: unmapped from the hypervisor.
+         This runs outside a gate (domain-setup time), so open a WP window
+         of our own. *)
+      let cpu = machine.Hw.Machine.cpu in
+      Hw.Cpu.enter_fidelius cpu;
+      Hw.Cpu.priv_set_wp cpu false;
+      raw_map ctx backing None;
+      mark_pit_frames ctx;
+      Hw.Cpu.priv_set_wp cpu true;
+      Hw.Cpu.leave_fidelius cpu;
+      let s = Shadow.create machine ~backing in
+      Hashtbl.replace ctx.Ctx.shadows dom.Xen.Domain.domid s;
+      s
+
+(* ---- mediation hooks -------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+(* A malicious or buggy hypervisor can drive the mediated paths into
+   hardware faults (e.g. after unmapping its own page-table-pages); surface
+   those as errors rather than unwinding through the hook. *)
+let catching f =
+  try f () with Hw.Mmu.Fault { reason; _ } -> Error ("fault during mediated update: " ^ reason)
+
+let install_hooks ctx =
+  let hv = ctx.Ctx.hv in
+  let machine = ctx.Ctx.machine in
+  let med = hv.Xen.Hypervisor.med in
+  let host = hv.Xen.Hypervisor.host_space in
+
+  med.Xen.Hypervisor.npt_update <-
+    (fun dom gfn proto ->
+      Gate.with_type1 ctx (fun () -> catching (fun () ->
+          let* () = Policy.check_npt_update ctx dom gfn proto in
+          Hw.Mmu.set_pte machine ~space:host ~table:dom.Xen.Domain.npt gfn proto;
+          protect_table_pages ctx dom.Xen.Domain.npt Pit.Guest_npt;
+          Ok ())));
+
+  med.Xen.Hypervisor.host_map_update <-
+    (fun vfn proto ->
+      Gate.with_type1 ctx (fun () -> catching (fun () ->
+          let* () = Policy.check_host_map_update ctx vfn proto in
+          Hw.Mmu.set_pte machine ~space:host ~table:host vfn proto;
+          protect_table_pages ctx host Pit.Xen_pt;
+          Ok ())));
+
+  med.Xen.Hypervisor.grant_update <-
+    (fun gref entry ->
+      Gate.with_type1 ctx (fun () -> catching (fun () ->
+          let* () = Policy.check_grant_update ctx gref entry in
+          let old = Xen.Granttab.get hv.Xen.Hypervisor.granttab gref in
+          Xen.Granttab.set machine ~space:host hv.Xen.Hypervisor.granttab gref entry;
+          (* Maintain the hypervisor-side view of protected guests' shared
+             I/O frames: grant to dom0 maps the frame back in, revocation
+             takes it out. *)
+          let resolve (e : Xen.Granttab.entry) =
+            match Xen.Hypervisor.find_domain hv e.Xen.Granttab.owner with
+            | None -> None
+            | Some owner -> (
+                match Hw.Pagetable.lookup owner.Xen.Domain.npt e.Xen.Granttab.gfn with
+                | Some npte -> Some npte.Hw.Pagetable.frame
+                | None -> None)
+          in
+          (match entry with
+          | Some e when Ctx.is_protected ctx e.Xen.Granttab.owner && e.Xen.Granttab.target = 0
+            -> (
+              match resolve e with
+              | Some frame ->
+                  let info = Pit.get ctx.Ctx.pit frame in
+                  Pit.set ctx.Ctx.pit frame { info with Pit.usage = Pit.Shared_io };
+                  raw_map ctx frame
+                    (identity frame ~writable:e.Xen.Granttab.writable ~executable:false)
+              | None -> ())
+          | Some _ -> ()
+          | None -> (
+              match old with
+              | Some e when Ctx.is_protected ctx e.Xen.Granttab.owner -> (
+                  match resolve e with
+                  | Some frame ->
+                      let info = Pit.get ctx.Ctx.pit frame in
+                      Pit.set ctx.Ctx.pit frame { info with Pit.usage = Pit.Guest_page };
+                      if e.Xen.Granttab.target = 0 then raw_map ctx frame None;
+                      (* Revoke every cross-domain nested mapping of the
+                         frame: a dead grant must not leave the peer with
+                         lingering access. *)
+                      List.iter
+                        (fun (d : Xen.Domain.t) ->
+                          if d.Xen.Domain.domid <> e.Xen.Granttab.owner then
+                            List.iter
+                              (fun (gfn, _) ->
+                                Hw.Mmu.set_pte machine ~space:host ~table:d.Xen.Domain.npt gfn
+                                  None)
+                              (Hw.Pagetable.frame_mapped d.Xen.Domain.npt frame))
+                        hv.Xen.Hypervisor.domains
+                  | None -> ())
+              | Some _ | None -> ()));
+          mark_pit_frames ctx;
+          Ok ())));
+
+  med.Xen.Hypervisor.on_vmexit <-
+    (fun dom reason ->
+      if Ctx.is_protected ctx dom.Xen.Domain.domid then begin
+        Hw.Cost.charge machine.Hw.Machine.ledger "shadow"
+          (machine.Hw.Machine.costs.Hw.Cost.shadow_roundtrip / 2);
+        let shadow = new_shadow ctx dom in
+        Shadow.capture shadow machine dom.Xen.Domain.vmcb reason
+      end);
+
+  med.Xen.Hypervisor.before_vmrun <-
+    (fun dom ->
+      if Ctx.is_protected ctx dom.Xen.Domain.domid then begin
+        Hw.Cost.charge machine.Hw.Machine.ledger "shadow"
+          ((machine.Hw.Machine.costs.Hw.Cost.shadow_roundtrip + 1) / 2);
+        let shadow = new_shadow ctx dom in
+        match Shadow.last_exit shadow with
+        | None ->
+            (* First entry: the VMCB was legitimately prepared by the boot
+               flow; there is nothing to verify against yet. *)
+            Ok ()
+        | Some _ -> (
+            match Shadow.verify_and_restore shadow machine dom.Xen.Domain.vmcb with
+            | Ok () -> Ok ()
+            | Error msg ->
+                Ctx.audit ctx msg;
+                Error msg)
+      end
+      else Ok ());
+
+  med.Xen.Hypervisor.vmrun_gate <-
+    (fun f -> Gate.with_type3 ctx ~pfns:[ ctx.Ctx.vmrun_page ] ~executable:true f);
+
+  med.Xen.Hypervisor.on_guest_frame_alloc <-
+    (fun dom pfn ->
+      let result =
+        Gate.with_type1 ctx (fun () ->
+            Pit.set ctx.Ctx.pit pfn
+              { Pit.owner = Pit.Dom dom.Xen.Domain.domid;
+                usage = Pit.Guest_page;
+                asid = dom.Xen.Domain.asid;
+                valid = false };
+            if
+              Ctx.is_protected ctx dom.Xen.Domain.domid || ctx.Ctx.next_domain_protected
+            then raw_map ctx pfn None;
+            mark_pit_frames ctx;
+            Ok ())
+      in
+      match result with Ok () -> () | Error e -> failwith ("frame-alloc hook: " ^ e));
+
+  med.Xen.Hypervisor.on_guest_frame_release <-
+    (fun dom pfn ->
+      let result =
+        Gate.with_type1 ctx (fun () ->
+            ignore dom;
+            Pit.set ctx.Ctx.pit pfn
+              { Pit.owner = Pit.Nobody; usage = Pit.Free; asid = 0; valid = false };
+            Hw.Cache.invalidate_page machine.Hw.Machine.cache pfn;
+            raw_map ctx pfn (identity pfn ~writable:true ~executable:false);
+            mark_pit_frames ctx;
+            Ok ())
+      in
+      match result with Ok () -> () | Error e -> failwith ("frame-release hook: " ^ e));
+
+  med.Xen.Hypervisor.pre_sharing <-
+    (fun dom ~target ~gfn ~nr ~writable ->
+      Git_table.record ctx.Ctx.git
+        { Git_table.initiator = dom.Xen.Domain.domid; target; gfn; nr; writable });
+
+  med.Xen.Hypervisor.balloon_release <-
+    (fun dom ~gfn ->
+      (* Guest-initiated (it arrives on the domain's own hypercall path),
+         so Fidelius authorizes the unmap under teardown authority for just
+         this entry, scrubs the frame and hands it back to the host pool. *)
+      match Hw.Pagetable.lookup dom.Xen.Domain.npt gfn with
+      | None -> Error "balloon: gfn not backed"
+      | Some npte ->
+          let pfn = npte.Hw.Pagetable.frame in
+          let saved = ctx.Ctx.teardown_for in
+          ctx.Ctx.teardown_for <- Some dom.Xen.Domain.domid;
+          let result = med.Xen.Hypervisor.npt_update dom gfn None in
+          ctx.Ctx.teardown_for <- saved;
+          let* () = result in
+          dom.Xen.Domain.frames <- List.filter (fun f -> f <> pfn) dom.Xen.Domain.frames;
+          med.Xen.Hypervisor.on_guest_frame_release dom pfn;
+          Hw.Machine.free_frame machine pfn;
+          Ok ());
+
+  med.Xen.Hypervisor.enable_mem_enc <-
+    (fun dom ->
+      (* Set the C-bit on every nested mapping of the guest; each update is
+         a same-frame permission change, so the PIT policy admits it. *)
+      List.fold_left
+        (fun acc (gfn, (p : Hw.Pagetable.proto)) ->
+          let* () = acc in
+          med.Xen.Hypervisor.npt_update dom gfn (Some { p with Hw.Pagetable.c_bit = true }))
+        (Ok ())
+        (Hw.Pagetable.mapped_frames dom.Xen.Domain.npt))
+
+(* ---- privileged-instruction rehoming ---------------------------------- *)
+
+let place_gated_insns ctx =
+  let machine = ctx.Ctx.machine in
+  let cpu = machine.Hw.Machine.cpu in
+  let insns = machine.Hw.Machine.insns in
+  let bit v pos = not (Int64.equal (Int64.logand v (Int64.shift_left 1L pos)) 0L) in
+  let fid_page = List.hd ctx.Ctx.fid_text in
+  let gate2 check apply v =
+    (* The checking loop charges only hypervisor-originated executions;
+       Fidelius' own pass through the monopolized instance is part of the
+       surrounding gate's budget. *)
+    if not (Hw.Cpu.in_fidelius cpu) then Gate.charge_type2 ctx;
+    match check v with
+    | Ok () ->
+        apply v;
+        Ok ()
+    | Error e -> Error e
+  in
+  let scrub_and_place op ~page handler =
+    Hw.Insn.scrub insns op ~keep:(-1);
+    Hw.Insn.place insns op ~page ~handler
+  in
+  scrub_and_place Hw.Insn.Mov_cr0 ~page:fid_page
+    (gate2 (Policy.check_cr0 ctx) (fun v ->
+         Hw.Cpu.priv_set_wp cpu (bit v 16);
+         Hw.Cpu.priv_set_paging cpu (bit v 31)));
+  scrub_and_place Hw.Insn.Mov_cr4 ~page:fid_page
+    (gate2 (Policy.check_cr4 ctx) (fun v -> Hw.Cpu.priv_set_smep cpu (bit v 20)));
+  scrub_and_place Hw.Insn.Wrmsr ~page:fid_page
+    (gate2 (Policy.check_efer ctx) (fun v -> Hw.Cpu.priv_set_nxe cpu (bit v 11)));
+  scrub_and_place Hw.Insn.Lgdt ~page:fid_page
+    (gate2 (fun _ -> Policy.exec_once ctx ~what:"lgdt") (fun _ -> ()));
+  scrub_and_place Hw.Insn.Lidt ~page:fid_page
+    (gate2 (fun _ -> Policy.exec_once ctx ~what:"lidt") (fun _ -> ()));
+  (* mov CR3 and VMRUN live on normally-unmapped pages (type-3 gated). *)
+  scrub_and_place Hw.Insn.Mov_cr3 ~page:ctx.Ctx.cr3_page (fun v ->
+      match Policy.check_cr3 ctx v with
+      | Ok () ->
+          Hw.Cpu.priv_set_cr3 cpu (Int64.to_int v);
+          Hw.Tlb.flush_all machine.Hw.Machine.tlb;
+          Ok ()
+      | Error e -> Error e);
+  scrub_and_place Hw.Insn.Vmrun ~page:ctx.Ctx.vmrun_page (fun v ->
+      Xen.Hypervisor.vmrun_effect ctx.Ctx.hv v)
+
+(* ---- install ----------------------------------------------------------- *)
+
+let install hv =
+  let machine = hv.Xen.Hypervisor.machine in
+  let cpu = machine.Hw.Machine.cpu in
+  let xen_measurement = measure_xen_text hv in
+  let fid_text = Hw.Machine.alloc_frames machine 2 in
+  let vmrun_page = Hw.Machine.alloc_frame machine in
+  let cr3_page = Hw.Machine.alloc_frame machine in
+  let pit = Pit.create machine in
+  let git = Git_table.create machine in
+  let ctx =
+    { Ctx.hv;
+      machine;
+      pit;
+      git;
+      shadows = Hashtbl.create 8;
+      fid_text;
+      vmrun_page;
+      cr3_page;
+      xen_measurement;
+      protected_domids = [];
+      next_domain_protected = false;
+      teardown_for = None;
+      boot_window = None;
+      gate1_count = 0;
+      gate2_count = 0;
+      gate3_count = 0;
+      violations = [];
+      write_once_done = Hashtbl.create 8;
+      exec_once_done = Hashtbl.create 8;
+      write_once_bits = Hashtbl.create 8 }
+  in
+  (* PIT inventory of the running system. *)
+  let mark pfn owner usage =
+    Pit.set pit pfn { Pit.owner; usage; asid = 0; valid = true }
+  in
+  List.iter (fun pfn -> mark pfn Pit.Xen Pit.Xen_text) hv.Xen.Hypervisor.xen_text;
+  List.iter
+    (fun pfn -> mark pfn Pit.Xen Pit.Grant_table)
+    (Xen.Granttab.backing_frames hv.Xen.Hypervisor.granttab);
+  List.iter (fun pfn -> mark pfn Pit.Fidelius Pit.Fidelius_text) fid_text;
+  mark vmrun_page Pit.Fidelius Pit.Fidelius_text;
+  mark cr3_page Pit.Fidelius Pit.Fidelius_text;
+  List.iter (fun pfn -> mark pfn Pit.Fidelius Pit.Fidelius_data) (Git_table.backing_frames git);
+  (* Remap the world. Still inside Fidelius' own boot: open a WP window for
+     the stores that will progressively lock the tables. *)
+  Hw.Cpu.enter_fidelius cpu;
+  Hw.Cpu.priv_set_wp cpu false;
+  List.iter
+    (fun pfn -> raw_map ctx pfn (identity pfn ~writable:false ~executable:true))
+    fid_text;
+  raw_map ctx vmrun_page None;
+  raw_map ctx cr3_page None;
+  List.iter (fun pfn -> raw_map ctx pfn None) (Git_table.backing_frames git);
+  List.iter
+    (fun pfn -> raw_map ctx pfn (identity pfn ~writable:false ~executable:false))
+    (Xen.Granttab.backing_frames hv.Xen.Hypervisor.granttab);
+  mark_pit_frames ctx;
+  (* Finally: every page-table-page of the host space becomes read-only for
+     the hypervisor, and is recorded as such. *)
+  protect_table_pages ctx hv.Xen.Hypervisor.host_space Pit.Xen_pt;
+  Hw.Cpu.priv_set_wp cpu true;
+  Hw.Cpu.leave_fidelius cpu;
+  (* Binary scan and instruction rehoming, then the mediation hooks. *)
+  place_gated_insns ctx;
+  install_hooks ctx;
+  (* IOMMU: DMA may touch only frames whose PIT usage is harmless. *)
+  Hw.Machine.set_iommu machine
+    (Some
+       (fun pfn ->
+         match (Pit.get pit pfn).Pit.usage with
+         | Pit.Shared_io | Pit.Xen_data | Pit.Free -> true
+         | Pit.Xen_text | Pit.Xen_pt | Pit.Guest_page | Pit.Guest_npt | Pit.Grant_table
+         | Pit.Fidelius_text | Pit.Fidelius_data -> false));
+  ctx

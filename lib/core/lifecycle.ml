@@ -1,0 +1,150 @@
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+module Sev = Fidelius_sev
+
+let ( let* ) = Result.bind
+
+let start ctx dom = Xen.Hypervisor.vmrun ctx.Ctx.hv dom
+
+let load_cipher_page ctx (dom : Xen.Domain.t) ~gfn ~cipher =
+  let hv = ctx.Ctx.hv in
+  match Hw.Pagetable.lookup dom.Xen.Domain.npt gfn with
+  | None -> Error (Printf.sprintf "boot: gfn 0x%x not populated" gfn)
+  | Some npte ->
+      let pfn = npte.Hw.Pagetable.frame in
+      (* The hypervisor temporarily obtains write permission to load the
+         encrypted image (paper Section 6.2), inside the boot window. *)
+      let* () =
+        hv.Xen.Hypervisor.med.Xen.Hypervisor.host_map_update pfn
+          (Some { Hw.Pagetable.frame = pfn; writable = true; executable = false; c_bit = false })
+      in
+      Xen.Hypervisor.host_write hv pfn ~off:0 cipher;
+      let* () = hv.Xen.Hypervisor.med.Xen.Hypervisor.host_map_update pfn None in
+      Ok pfn
+
+let boot_protected_vm ctx ~name ~memory_pages ~prepared =
+  let hv = ctx.Ctx.hv in
+  let { Sev.Transport.Owner.image; wrapped_keys; owner_public; kblk = _ } = prepared in
+  if List.length image.Sev.Transport.pages > memory_pages then
+    Error "boot: encrypted image larger than guest memory"
+  else begin
+    (* 0. The frames allocated for this domain must be revoked from the
+       hypervisor as they are handed out. *)
+    ctx.Ctx.next_domain_protected <- true;
+    let dom = Xen.Hypervisor.create_domain hv ~name ~memory_pages in
+    ctx.Ctx.next_domain_protected <- false;
+    ctx.Ctx.protected_domids <- dom.Xen.Domain.domid :: ctx.Ctx.protected_domids;
+    ignore (Iso.new_shadow ctx dom);
+    let rollback msg =
+      ctx.Ctx.boot_window <- None;
+      ctx.Ctx.protected_domids <-
+        List.filter (fun d -> d <> dom.Xen.Domain.domid) ctx.Ctx.protected_domids;
+      ctx.Ctx.teardown_for <- Some dom.Xen.Domain.domid;
+      List.iter
+        (fun (gfn, _) ->
+          ignore (hv.Xen.Hypervisor.med.Xen.Hypervisor.npt_update dom gfn None))
+        (Hw.Pagetable.mapped_frames dom.Xen.Domain.npt);
+      ctx.Ctx.teardown_for <- None;
+      Xen.Hypervisor.destroy_domain hv dom;
+      Error msg
+    in
+    (* 1. RECEIVE_START: unwrap Ktek/Ktik via the platform identity. *)
+    match
+      Sev.Firmware.receive_start hv.Xen.Hypervisor.fw ~wrapped:wrapped_keys
+        ~origin_public:owner_public ~nonce:image.Sev.Transport.nonce
+        ~policy:image.Sev.Transport.policy ()
+    with
+    | Error e -> rollback ("boot: " ^ e)
+    | Ok handle -> (
+        (* 2./3. Load each transport page and re-encrypt it in place. *)
+        ctx.Ctx.boot_window <- Some dom.Xen.Domain.domid;
+        let load_all =
+          List.fold_left
+            (fun acc (index, cipher) ->
+              let* () = acc in
+              let* pfn = load_cipher_page ctx dom ~gfn:index ~cipher in
+              Sev.Firmware.receive_update_in_place hv.Xen.Hypervisor.fw ~handle ~index ~pfn)
+            (Ok ()) image.Sev.Transport.pages
+        in
+        ctx.Ctx.boot_window <- None;
+        match load_all with
+        | Error e -> rollback ("boot: " ^ e)
+        | Ok () -> (
+            (* 4. Verify the keyed measurement before the guest can run. *)
+            match
+              Sev.Firmware.receive_finish hv.Xen.Hypervisor.fw ~handle
+                ~expected:image.Sev.Transport.measurement
+            with
+            | Error e -> rollback ("boot: " ^ e)
+            | Ok () -> (
+                match
+                  Sev.Firmware.activate hv.Xen.Hypervisor.fw ~handle ~asid:dom.Xen.Domain.asid
+                with
+                | Error e -> rollback ("boot: " ^ e)
+                | Ok () ->
+                    dom.Xen.Domain.sev_handle <- Some handle;
+                    dom.Xen.Domain.sev_protected <- true;
+                    Hw.Vmcb.set dom.Xen.Domain.vmcb Hw.Vmcb.Sev_enabled 1L;
+                    (* The guest kernel maps its memory with the C-bit. *)
+                    for gvfn = 0 to memory_pages - 1 do
+                      Xen.Domain.guest_map dom ~gvfn ~gfn:gvfn ~writable:true ~executable:true
+                        ~c_bit:true
+                    done;
+                    (* 5. First entry through the gated VMRUN. *)
+                    (match start ctx dom with
+                    | Ok () -> Ok dom
+                    | Error e -> rollback ("boot: first vmrun: " ^ e)))))
+  end
+
+let shutdown_protected_vm ctx dom =
+  let hv = ctx.Ctx.hv in
+  (* Clear the NPT under teardown authority so PIT validity is maintained. *)
+  ctx.Ctx.teardown_for <- Some dom.Xen.Domain.domid;
+  List.iter
+    (fun (gfn, _) -> ignore (hv.Xen.Hypervisor.med.Xen.Hypervisor.npt_update dom gfn None))
+    (Hw.Pagetable.mapped_frames dom.Xen.Domain.npt);
+  (* DEACTIVATE/DECOMMISSION happen inside destroy_domain; frame release
+     hooks scrub PIT entries and hand frames back to the hypervisor. *)
+  Xen.Hypervisor.destroy_domain hv dom;
+  ctx.Ctx.teardown_for <- None;
+  Git_table.revoke_domain ctx.Ctx.git ~initiator:dom.Xen.Domain.domid;
+  Hashtbl.remove ctx.Ctx.shadows dom.Xen.Domain.domid;
+  ctx.Ctx.protected_domids <-
+    List.filter (fun d -> d <> dom.Xen.Domain.domid) ctx.Ctx.protected_domids
+
+let write_start_info ?(off = 0) ctx dom data =
+  let* () =
+    Policy.write_once_range ctx
+      ~region:(Printf.sprintf "start_info/dom%d" dom.Xen.Domain.domid)
+      ~off ~len:(Bytes.length data)
+  in
+  (* start_info lives in an unencrypted guest page the hypervisor fills
+     exactly once during construction. *)
+  match Hw.Pagetable.lookup dom.Xen.Domain.npt 0 with
+  | None -> Error "start_info: gfn 0 not populated"
+  | Some npte ->
+      ctx.Ctx.boot_window <- Some dom.Xen.Domain.domid;
+      let med = ctx.Ctx.hv.Xen.Hypervisor.med in
+      let pfn = npte.Hw.Pagetable.frame in
+      let* () =
+        med.Xen.Hypervisor.host_map_update pfn
+          (Some { Hw.Pagetable.frame = pfn; writable = true; executable = false; c_bit = false })
+      in
+      Xen.Hypervisor.host_write ctx.Ctx.hv pfn ~off data;
+      let* () = med.Xen.Hypervisor.host_map_update pfn None in
+      ctx.Ctx.boot_window <- None;
+      Ok ()
+
+let kblk_of_guest ctx (dom : Xen.Domain.t) =
+  Xen.Hypervisor.in_guest ctx.Ctx.hv dom (fun () ->
+      Xen.Domain.read ctx.Ctx.machine dom
+        ~addr:(Hw.Addr.addr_of 0 Sev.Transport.Owner.kblk_offset)
+        ~len:16)
+
+let attestation_report ctx =
+  let g1, g2, g3 = Gate.counts ctx in
+  Printf.sprintf
+    "fidelius attestation\n  xen-text measurement: %s\n  gates: type1=%d type2=%d type3=%d\n  violations blocked: %d\n"
+    (Fidelius_crypto.Sha256.hex ctx.Ctx.xen_measurement)
+    g1 g2 g3
+    (List.length ctx.Ctx.violations)

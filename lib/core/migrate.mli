@@ -1,0 +1,34 @@
+(** Protected VM migration (paper Section 4.3.6).
+
+    Not live: SEND_START moves the firmware context out of RUNNING, stopping
+    the guest, before its pages are exported. The snapshot crosses the
+    untrusted channel as Ktek ciphertext with a Ktik-keyed measurement; the
+    target platform's firmware re-encrypts under a fresh Kvek and verifies
+    the measurement before the guest can resume. *)
+
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+module Sev = Fidelius_sev
+
+type snapshot = {
+  image : Sev.Transport.image;
+  wrapped_keys : Fidelius_crypto.Keywrap.wrapped;
+  origin_public : Fidelius_crypto.Dh.public;
+  memory_pages : int;
+  gpt_entries : (Hw.Addr.vfn * Hw.Pagetable.proto) list;
+      (** guest page table image (part of guest memory in reality) *)
+  name : string;
+}
+
+val send : Ctx.t -> Xen.Domain.t -> target_public:Fidelius_crypto.Dh.public ->
+  (snapshot, string) result
+(** Export a protected guest for the platform identified by
+    [target_public]. The source domain is stopped (SENT state) and then
+    destroyed. *)
+
+val receive : Ctx.t -> snapshot -> (Xen.Domain.t, string) result
+(** Import on the target platform; fails closed on measurement mismatch or
+    wrong platform. *)
+
+val migrate : src:Ctx.t -> dst:Ctx.t -> Xen.Domain.t -> (Xen.Domain.t, string) result
+(** {!send} on [src] then {!receive} on [dst]. *)

@@ -1,0 +1,148 @@
+module Hw = Fidelius_hw
+
+type owner =
+  | Nobody
+  | Xen
+  | Fidelius
+  | Dom of int
+
+type usage =
+  | Free
+  | Xen_text
+  | Xen_data
+  | Xen_pt
+  | Guest_page
+  | Guest_npt
+  | Grant_table
+  | Fidelius_text
+  | Fidelius_data
+  | Shared_io
+
+type info = {
+  owner : owner;
+  usage : usage;
+  asid : int;
+  valid : bool;
+}
+
+let free_info = { owner = Nobody; usage = Free; asid = 0; valid = false }
+
+let owner_to_string = function
+  | Nobody -> "nobody"
+  | Xen -> "xen"
+  | Fidelius -> "fidelius"
+  | Dom d -> Printf.sprintf "dom%d" d
+
+let usage_to_string = function
+  | Free -> "free"
+  | Xen_text -> "xen-text"
+  | Xen_data -> "xen-data"
+  | Xen_pt -> "xen-pt"
+  | Guest_page -> "guest-page"
+  | Guest_npt -> "guest-npt"
+  | Grant_table -> "grant-table"
+  | Fidelius_text -> "fidelius-text"
+  | Fidelius_data -> "fidelius-data"
+  | Shared_io -> "shared-io"
+
+(* 32-bit leaf entry: [31] valid, [30..24] usage, [23..12] asid,
+   [11..0] owner (0 nobody, 1 xen, 2 fidelius, 3+domid). *)
+let usage_code = function
+  | Free -> 0 | Xen_text -> 1 | Xen_data -> 2 | Xen_pt -> 3 | Guest_page -> 4
+  | Guest_npt -> 5 | Grant_table -> 6 | Fidelius_text -> 7 | Fidelius_data -> 8
+  | Shared_io -> 9
+
+let usage_of_code = function
+  | 0 -> Free | 1 -> Xen_text | 2 -> Xen_data | 3 -> Xen_pt | 4 -> Guest_page
+  | 5 -> Guest_npt | 6 -> Grant_table | 7 -> Fidelius_text | 8 -> Fidelius_data
+  | 9 -> Shared_io
+  | n -> invalid_arg (Printf.sprintf "Pit: bad usage code %d" n)
+
+let owner_code = function Nobody -> 0 | Xen -> 1 | Fidelius -> 2 | Dom d -> 3 + d
+
+let owner_of_code = function
+  | 0 -> Nobody
+  | 1 -> Xen
+  | 2 -> Fidelius
+  | n -> Dom (n - 3)
+
+let encode i =
+  let v =
+    (if i.valid then 1 lsl 31 else 0)
+    lor (usage_code i.usage lsl 24)
+    lor ((i.asid land 0xfff) lsl 12)
+    lor (owner_code i.owner land 0xfff)
+  in
+  Int32.of_int v
+
+let decode v32 =
+  let v = Int32.to_int v32 land 0xffffffff in
+  { valid = v land (1 lsl 31) <> 0;
+    usage = usage_of_code ((v lsr 24) land 0x7f);
+    asid = (v lsr 12) land 0xfff;
+    owner = owner_of_code (v land 0xfff) }
+
+let entries_per_page = Hw.Addr.page_size / 4
+let slots_per_page = Hw.Addr.page_size / 4 (* level pages hold 1024 32-bit slots *)
+
+type t = {
+  machine : Hw.Machine.t;
+  root : Hw.Addr.pfn;
+  mutable allocated : Hw.Addr.pfn list;
+}
+
+let create machine =
+  let root = Hw.Machine.alloc_frame machine in
+  { machine; root; allocated = [ root ] }
+
+let page t pfn = Hw.Physmem.page t.machine.Hw.Machine.mem pfn
+
+(* Index split: leaf slot = pfn mod 1024, L2 slot = (pfn / 1024) mod 1024,
+   root slot = pfn / 1024^2. Level slots hold the child page's PFN (0 =
+   absent; frame 0 is reserved so 0 is unambiguous). *)
+let child t level_pfn slot ~alloc =
+  let bytes = page t level_pfn in
+  let v = Int32.to_int (Bytes.get_int32_be bytes (slot * 4)) in
+  if v <> 0 then Some v
+  else if not alloc then None
+  else begin
+    let fresh = Hw.Machine.alloc_frame t.machine in
+    t.allocated <- fresh :: t.allocated;
+    Bytes.set_int32_be bytes (slot * 4) (Int32.of_int fresh);
+    Some fresh
+  end
+
+let walk t pfn ~alloc =
+  if pfn < 0 then invalid_arg "Pit: negative pfn";
+  let leaf_slot = pfn mod entries_per_page in
+  let l2_slot = pfn / entries_per_page mod slots_per_page in
+  let root_slot = pfn / (entries_per_page * slots_per_page) in
+  if root_slot >= slots_per_page then invalid_arg "Pit: pfn out of radix range";
+  Hw.Cost.charge t.machine.Hw.Machine.ledger "pit"
+    t.machine.Hw.Machine.costs.Hw.Cost.pit_lookup;
+  match child t t.root root_slot ~alloc with
+  | None -> None
+  | Some l2 -> (
+      match child t l2 l2_slot ~alloc with
+      | None -> None
+      | Some leaf -> Some (leaf, leaf_slot))
+
+let set t pfn info =
+  match walk t pfn ~alloc:true with
+  | None -> assert false
+  | Some (leaf, slot) -> Bytes.set_int32_be (page t leaf) (slot * 4) (encode info)
+
+let get t pfn =
+  match walk t pfn ~alloc:false with
+  | None -> free_info
+  | Some (leaf, slot) -> decode (Bytes.get_int32_be (page t leaf) (slot * 4))
+
+let tree_frames t = t.allocated
+
+let count_usage t usage =
+  let nr = Hw.Physmem.nr_frames t.machine.Hw.Machine.mem in
+  let count = ref 0 in
+  for pfn = 1 to nr - 1 do
+    if (get t pfn).usage = usage then incr count
+  done;
+  !count

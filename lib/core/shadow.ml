@@ -1,0 +1,123 @@
+module Hw = Fidelius_hw
+module Vmcb = Hw.Vmcb
+module Cpu = Hw.Cpu
+
+let visible_regs = function
+  | Vmcb.Cpuid -> [ Cpu.Rax; Cpu.Rbx; Cpu.Rcx; Cpu.Rdx ]
+  | Vmcb.Vmmcall -> [ Cpu.Rax; Cpu.Rdi; Cpu.Rsi; Cpu.Rdx; Cpu.R8; Cpu.R9 ]
+  | Vmcb.Ioio -> [ Cpu.Rax ]
+  | Vmcb.Msr -> [ Cpu.Rax; Cpu.Rcx; Cpu.Rdx ]
+  | Vmcb.Npf | Vmcb.Hlt | Vmcb.Intr | Vmcb.Shutdown -> []
+
+let updatable_regs = function
+  | Vmcb.Cpuid -> [ Cpu.Rax; Cpu.Rbx; Cpu.Rcx; Cpu.Rdx ]
+  | Vmcb.Vmmcall -> [ Cpu.Rax ]
+  | Vmcb.Ioio -> [ Cpu.Rax ]
+  | Vmcb.Msr -> [ Cpu.Rax; Cpu.Rdx ]
+  | Vmcb.Npf | Vmcb.Hlt | Vmcb.Intr | Vmcb.Shutdown -> []
+
+let visible_fields = function
+  | Vmcb.Cpuid | Vmcb.Vmmcall | Vmcb.Ioio | Vmcb.Msr -> [ Vmcb.Rax; Vmcb.Rip ]
+  | Vmcb.Npf | Vmcb.Hlt | Vmcb.Intr | Vmcb.Shutdown -> []
+
+let updatable_fields = function
+  | Vmcb.Cpuid | Vmcb.Vmmcall | Vmcb.Ioio | Vmcb.Msr -> [ Vmcb.Rip; Vmcb.Rax ]
+  | Vmcb.Hlt | Vmcb.Intr -> [ Vmcb.Rip ]
+  | Vmcb.Npf | Vmcb.Shutdown -> []
+
+let protected_fields =
+  Vmcb.save_area @ [ Vmcb.Asid; Vmcb.Np_cr3; Vmcb.Sev_enabled; Vmcb.Np_enabled; Vmcb.Intercepts ]
+
+(* Backing-frame layout: 15 VMCB fields (8 bytes each) at offset 0, the 16
+   GPRs at offset 128, exit-reason code at 256, an in-use flag at 264. *)
+let field_off f =
+  let rec index i = function
+    | [] -> assert false
+    | x :: rest -> if x = f then i else index (i + 1) rest
+  in
+  8 * index 0 Vmcb.fields
+
+let reg_off r =
+  let rec index i = function
+    | [] -> assert false
+    | x :: rest -> if x = r then i else index (i + 1) rest
+  in
+  128 + (8 * index 0 Cpu.regs)
+
+let exit_off = 256
+let flag_off = 264
+
+type t = {
+  frame : Hw.Addr.pfn;
+  mutable captured : Vmcb.exit_reason option;
+}
+
+let create machine ~backing =
+  ignore machine;
+  { frame = backing; captured = None }
+
+let backing t = t.frame
+
+let page (machine : Hw.Machine.t) t = Hw.Physmem.page machine.Hw.Machine.mem t.frame
+
+let capture t machine vmcb reason =
+  let cpu = machine.Hw.Machine.cpu in
+  let bytes = page machine t in
+  (* Snapshot. *)
+  List.iter (fun f -> Bytes.set_int64_be bytes (field_off f) (Vmcb.get vmcb f)) Vmcb.fields;
+  List.iter (fun r -> Bytes.set_int64_be bytes (reg_off r) (Cpu.get_reg cpu r)) Cpu.regs;
+  Bytes.set_int64_be bytes exit_off (Vmcb.exit_reason_to_int64 reason);
+  Bytes.set bytes flag_off '\001';
+  t.captured <- Some reason;
+  (* Mask: zero the save area except the reason's visible fields, and zero
+     every register the hypervisor has no business reading. *)
+  let vis_f = visible_fields reason and vis_r = visible_regs reason in
+  List.iter (fun f -> if not (List.mem f vis_f) then Vmcb.set vmcb f 0L) Vmcb.save_area;
+  List.iter (fun r -> if not (List.mem r vis_r) then Cpu.set_reg cpu r 0L) Cpu.regs
+
+let last_exit t = t.captured
+
+let verify_and_restore t machine vmcb =
+  match t.captured with
+  | None -> Error "shadow: no captured state (VMRUN without a prior vmexit)"
+  | Some reason ->
+      let cpu = machine.Hw.Machine.cpu in
+      let bytes = page machine t in
+      let upd_f = updatable_fields reason in
+      let vis_f = visible_fields reason in
+      (* A non-updatable field must come back exactly as it was handed to
+         the hypervisor: the shadow value if it was visible, the mask (zero)
+         if it was hidden. *)
+      let handed f =
+        if List.mem f Vmcb.save_area && not (List.mem f vis_f) then 0L
+        else Bytes.get_int64_be bytes (field_off f)
+      in
+      let tampered =
+        List.find_opt
+          (fun f ->
+            (not (List.mem f upd_f)) && not (Int64.equal (Vmcb.get vmcb f) (handed f)))
+          protected_fields
+      in
+      (match tampered with
+      | Some f ->
+          Error
+            (Printf.sprintf "shadow: VMCB field %s tampered during %s exit"
+               (Vmcb.field_to_string f)
+               (Vmcb.exit_reason_to_string reason))
+      | None ->
+          (* Restore: non-updatable fields and registers come back from the
+             shadow; the hypervisor's updates to the allowed set stand. *)
+          let upd_r = updatable_regs reason in
+          List.iter
+            (fun f ->
+              if not (List.mem f upd_f) then
+                Vmcb.set vmcb f (Bytes.get_int64_be bytes (field_off f)))
+            Vmcb.fields;
+          List.iter
+            (fun r ->
+              if not (List.mem r upd_r) then
+                Cpu.set_reg cpu r (Bytes.get_int64_be bytes (reg_off r)))
+            Cpu.regs;
+          t.captured <- None;
+          Bytes.set bytes flag_off '\000';
+          Ok ())

@@ -1,0 +1,50 @@
+(** Guest runtime-state shadowing — Fidelius' software rendering of SEV-ES
+    (paper Sections 4.2.1 and 5.1).
+
+    On every vmexit Fidelius copies the VMCB and general-purpose registers
+    into a private frame that is unmapped from the hypervisor, then masks
+    the live copies down to the fields the exit reason legitimately needs.
+    Before VMRUN it verifies the hypervisor's modifications against the
+    shadow — only the per-exit-reason updatable set may differ — and
+    restores every other register from the shadow. *)
+
+module Hw = Fidelius_hw
+
+val visible_regs : Hw.Vmcb.exit_reason -> Hw.Cpu.reg list
+(** Registers left unmasked for the hypervisor to read, by exit reason
+    (e.g. CPUID leaves exactly RAX/RBX/RCX/RDX, paper Section 5.1). *)
+
+val updatable_regs : Hw.Vmcb.exit_reason -> Hw.Cpu.reg list
+(** Registers whose hypervisor-written values are accepted at re-entry. *)
+
+val visible_fields : Hw.Vmcb.exit_reason -> Hw.Vmcb.field list
+(** Save-area fields left unmasked in the live VMCB. *)
+
+val updatable_fields : Hw.Vmcb.exit_reason -> Hw.Vmcb.field list
+(** VMCB fields the hypervisor may legitimately change before re-entry
+    (typically RIP advance and RAX). *)
+
+val protected_fields : Hw.Vmcb.field list
+(** Fields verified against the shadow whenever not explicitly updatable:
+    the save area plus the critical control bits (ASID, NP_CR3,
+    SEV_ENABLED, NP_ENABLED, INTERCEPTS). *)
+
+type t
+
+val create : Hw.Machine.t -> backing:Hw.Addr.pfn -> t
+(** The shadow lives in [backing], a Fidelius-private frame. *)
+
+val backing : t -> Hw.Addr.pfn
+
+val capture : t -> Hw.Machine.t -> Hw.Vmcb.t -> Hw.Vmcb.exit_reason -> unit
+(** Exit side: snapshot VMCB + GPRs into the backing frame, then mask the
+    live VMCB save area and registers per the exit reason. *)
+
+val verify_and_restore :
+  t -> Hw.Machine.t -> Hw.Vmcb.t -> (unit, string) result
+(** Entry side: compare the live VMCB against the shadow (modulo the
+    updatable set for the captured exit reason); on success, restore the
+    non-updatable registers from the shadow and return. On tampering,
+    return [Error] naming the field. *)
+
+val last_exit : t -> Hw.Vmcb.exit_reason option

@@ -1,0 +1,143 @@
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+module Sev = Fidelius_sev
+module Rng = Fidelius_crypto.Rng
+
+type protection =
+  | Unprotected
+  | Plain_sev
+  | Protected of Ctx.t
+
+type codec_choice =
+  | Plain_io
+  | Aes_ni_io
+  | Sev_api_io
+  | Gek_io
+
+type disk_config = {
+  contents : bytes;
+  codec : codec_choice;
+  buffer_gvfn : Hw.Addr.vfn;
+}
+
+type config = {
+  name : string;
+  memory_pages : int;
+  kernel : bytes list;
+  protection : protection;
+  disk : disk_config option;
+  seed : int64;
+}
+
+type built = {
+  domain : Xen.Domain.t;
+  frontend : Xen.Blkif.frontend option;
+  backend : Xen.Blkif.backend option;
+  kblk : bytes option;
+  built_protection : protection;
+}
+
+let default ~name =
+  { name; memory_pages = 16; kernel = []; protection = Unprotected; disk = None; seed = 1L }
+
+let ( let* ) = Result.bind
+
+let kernel_pages config =
+  match config.kernel with
+  | [] -> [ Bytes.make Hw.Addr.page_size '\000' ]
+  | pages -> pages
+
+let build_domain hv config =
+  match config.protection with
+  | Unprotected ->
+      Ok (Xen.Hypervisor.create_domain hv ~name:config.name ~memory_pages:config.memory_pages, None)
+  | Plain_sev ->
+      let* dom =
+        Xen.Hypervisor.create_sev_domain hv ~name:config.name
+          ~memory_pages:config.memory_pages ~kernel:(kernel_pages config)
+      in
+      Ok (dom, None)
+  | Protected fid ->
+      let rng = Rng.create config.seed in
+      let prepared =
+        Sev.Transport.Owner.prepare ~rng
+          ~platform_public:(Sev.Firmware.platform_public hv.Xen.Hypervisor.fw)
+          ~policy:Sev.Firmware.policy_nodbg ~kernel_pages:(kernel_pages config)
+      in
+      let* dom =
+        Lifecycle.boot_protected_vm fid ~name:config.name ~memory_pages:config.memory_pages
+          ~prepared
+      in
+      Ok (dom, Some prepared.Sev.Transport.Owner.kblk)
+
+let attach_disk hv config dom kblk =
+  match config.disk with
+  | None -> Ok (None, None, kblk)
+  | Some disk -> (
+      let* fid, codec_kblk =
+        match (config.protection, disk.codec) with
+        | Protected fid, _ -> Ok (Some fid, kblk)
+        | _, Plain_io -> Ok (None, None)
+        | _, (Aes_ni_io | Sev_api_io | Gek_io) ->
+            Error "xl: protected I/O codecs require Fidelius protection"
+      in
+      (* With the AES-NI codec the platter holds Kblk ciphertext from the
+         start; the other codecs write their own transport format, so the
+         image is loaded through the codec after connecting. *)
+      let* initial_image, load_after =
+        match (disk.codec, codec_kblk) with
+        | Plain_io, _ -> Ok (disk.contents, false)
+        | Aes_ni_io, Some kblk -> Ok (Io_protect.encrypt_disk ~kblk disk.contents, false)
+        | Aes_ni_io, None -> Error "xl: no disk key provisioned"
+        | (Sev_api_io | Gek_io), _ ->
+            Ok (Bytes.create (max (Bytes.length disk.contents) Xen.Vdisk.sector_size), true)
+      in
+      let vdisk = Xen.Vdisk.of_bytes initial_image in
+      let* fe, be = Xen.Blkif.connect hv dom ~disk:vdisk ~buffer_gvfn:disk.buffer_gvfn in
+      let* () =
+        match (disk.codec, fid, codec_kblk) with
+        | Plain_io, _, _ -> Ok ()
+        | Aes_ni_io, Some fid, Some kblk ->
+            Xen.Blkif.set_codec fe (Io_protect.aesni_codec fid ~kblk);
+            Ok ()
+        | Sev_api_io, Some fid, _ ->
+            let* io = Io_protect.setup_sev_io fid dom ~md_gvfn:(disk.buffer_gvfn + 1) in
+            Xen.Blkif.set_codec fe (Io_protect.sev_codec io);
+            Ok ()
+        | Gek_io, Some fid, _ ->
+            let* io = Io_protect.setup_gek_io fid dom ~md_gvfn:(disk.buffer_gvfn + 1) in
+            Xen.Blkif.set_codec fe (Io_protect.gek_codec io);
+            Ok ()
+        | _ -> Error "xl: inconsistent codec configuration"
+      in
+      let* () =
+        if load_after && Bytes.length disk.contents > 0 then
+          (* Populate the encrypted disk through the guest's own codec. *)
+          let padded =
+            let n = Bytes.length disk.contents in
+            let m = (n + Xen.Vdisk.sector_size - 1) / Xen.Vdisk.sector_size
+                    * Xen.Vdisk.sector_size in
+            let b = Bytes.make m '\000' in
+            Bytes.blit disk.contents 0 b 0 n;
+            b
+          in
+          Xen.Blkif.write_sectors fe ~sector:0 padded
+        else Ok ()
+      in
+      Ok (Some fe, Some be, codec_kblk))
+
+let create hv config =
+  let* dom, kblk = build_domain hv config in
+  match attach_disk hv config dom kblk with
+  | Ok (frontend, backend, kblk) ->
+      Ok { domain = dom; frontend; backend; kblk; built_protection = config.protection }
+  | Error e ->
+      (match config.protection with
+      | Protected fid -> Lifecycle.shutdown_protected_vm fid dom
+      | Unprotected | Plain_sev -> Xen.Hypervisor.destroy_domain hv dom);
+      Error e
+
+let destroy hv built =
+  match built.built_protection with
+  | Protected fid -> Lifecycle.shutdown_protected_vm fid built.domain
+  | Unprotected | Plain_sev -> Xen.Hypervisor.destroy_domain hv built.domain

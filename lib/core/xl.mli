@@ -1,0 +1,63 @@
+(** Toolstack-style domain builder (the `xl create` of the simulator).
+
+    Gathers the pieces a real guest config names — memory size, disk image,
+    protection level, I/O encoder — and performs the whole construction
+    flow, so examples and downstream users don't have to hand-orchestrate
+    owner tooling, protected boot, disk attachment and codec selection.
+
+    Protection levels map to the stacks the paper compares:
+    - [`None_]: stock Xen guest (the baseline of Figures 5-6);
+    - [`Sev]: plain-SEV LAUNCH flow (the insecure-against-the-host baseline
+      of the security analysis);
+    - [`Fidelius]: encrypted-image RECEIVE boot; requires an installed
+      Fidelius context. *)
+
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+
+type protection =
+  | Unprotected
+  | Plain_sev
+  | Protected of Ctx.t
+
+type codec_choice =
+  | Plain_io
+  | Aes_ni_io
+  | Sev_api_io
+  | Gek_io
+
+type disk_config = {
+  contents : bytes;             (** plaintext disk image *)
+  codec : codec_choice;
+      (** non-[Plain_io] choices require [Protected] protection *)
+  buffer_gvfn : Hw.Addr.vfn;
+}
+
+type config = {
+  name : string;
+  memory_pages : int;
+  kernel : bytes list;          (** plaintext kernel pages; [] means one zeroed page *)
+  protection : protection;
+  disk : disk_config option;
+  seed : int64;                 (** drives the owner-side key material *)
+}
+
+type built = {
+  domain : Xen.Domain.t;
+  frontend : Xen.Blkif.frontend option;
+  backend : Xen.Blkif.backend option;
+  kblk : bytes option;          (** the disk key, when one was provisioned *)
+  built_protection : protection;
+}
+
+val default : name:string -> config
+(** 16 pages, stub kernel, unprotected, no disk, seed 1. *)
+
+val create : Xen.Hypervisor.t -> config -> (built, string) result
+(** Build the domain per the config. With [Aes_ni_io] the disk image is
+    stored encrypted under the owner's Kblk (the platter never sees the
+    plaintext); with [Sev_api_io]/[Gek_io] it is stored as the respective
+    transport ciphertext written through the codec. *)
+
+val destroy : Xen.Hypervisor.t -> built -> unit
+(** Tear the domain down through the path matching its protection level. *)

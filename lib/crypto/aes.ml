@@ -1,0 +1,194 @@
+(* AES-128 per FIPS-197. The state is a flat 16-int array indexed
+   [r + 4 * c] (row r, column c), matching the standard's column-major
+   byte order: input byte i lands at row [i mod 4], column [i / 4]. *)
+
+let block_size = 16
+let key_size = 16
+
+let sbox = [|
+  0x63; 0x7c; 0x77; 0x7b; 0xf2; 0x6b; 0x6f; 0xc5; 0x30; 0x01; 0x67; 0x2b; 0xfe; 0xd7; 0xab; 0x76;
+  0xca; 0x82; 0xc9; 0x7d; 0xfa; 0x59; 0x47; 0xf0; 0xad; 0xd4; 0xa2; 0xaf; 0x9c; 0xa4; 0x72; 0xc0;
+  0xb7; 0xfd; 0x93; 0x26; 0x36; 0x3f; 0xf7; 0xcc; 0x34; 0xa5; 0xe5; 0xf1; 0x71; 0xd8; 0x31; 0x15;
+  0x04; 0xc7; 0x23; 0xc3; 0x18; 0x96; 0x05; 0x9a; 0x07; 0x12; 0x80; 0xe2; 0xeb; 0x27; 0xb2; 0x75;
+  0x09; 0x83; 0x2c; 0x1a; 0x1b; 0x6e; 0x5a; 0xa0; 0x52; 0x3b; 0xd6; 0xb3; 0x29; 0xe3; 0x2f; 0x84;
+  0x53; 0xd1; 0x00; 0xed; 0x20; 0xfc; 0xb1; 0x5b; 0x6a; 0xcb; 0xbe; 0x39; 0x4a; 0x4c; 0x58; 0xcf;
+  0xd0; 0xef; 0xaa; 0xfb; 0x43; 0x4d; 0x33; 0x85; 0x45; 0xf9; 0x02; 0x7f; 0x50; 0x3c; 0x9f; 0xa8;
+  0x51; 0xa3; 0x40; 0x8f; 0x92; 0x9d; 0x38; 0xf5; 0xbc; 0xb6; 0xda; 0x21; 0x10; 0xff; 0xf3; 0xd2;
+  0xcd; 0x0c; 0x13; 0xec; 0x5f; 0x97; 0x44; 0x17; 0xc4; 0xa7; 0x7e; 0x3d; 0x64; 0x5d; 0x19; 0x73;
+  0x60; 0x81; 0x4f; 0xdc; 0x22; 0x2a; 0x90; 0x88; 0x46; 0xee; 0xb8; 0x14; 0xde; 0x5e; 0x0b; 0xdb;
+  0xe0; 0x32; 0x3a; 0x0a; 0x49; 0x06; 0x24; 0x5c; 0xc2; 0xd3; 0xac; 0x62; 0x91; 0x95; 0xe4; 0x79;
+  0xe7; 0xc8; 0x37; 0x6d; 0x8d; 0xd5; 0x4e; 0xa9; 0x6c; 0x56; 0xf4; 0xea; 0x65; 0x7a; 0xae; 0x08;
+  0xba; 0x78; 0x25; 0x2e; 0x1c; 0xa6; 0xb4; 0xc6; 0xe8; 0xdd; 0x74; 0x1f; 0x4b; 0xbd; 0x8b; 0x8a;
+  0x70; 0x3e; 0xb5; 0x66; 0x48; 0x03; 0xf6; 0x0e; 0x61; 0x35; 0x57; 0xb9; 0x86; 0xc1; 0x1d; 0x9e;
+  0xe1; 0xf8; 0x98; 0x11; 0x69; 0xd9; 0x8e; 0x94; 0x9b; 0x1e; 0x87; 0xe9; 0xce; 0x55; 0x28; 0xdf;
+  0x8c; 0xa1; 0x89; 0x0d; 0xbf; 0xe6; 0x42; 0x68; 0x41; 0x99; 0x2d; 0x0f; 0xb0; 0x54; 0xbb; 0x16
+|]
+
+let inv_sbox =
+  let t = Array.make 256 0 in
+  Array.iteri (fun i v -> t.(v) <- i) sbox;
+  t
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+
+type key = int array array
+(* 11 round keys, each a flat 16-int array in state order. *)
+
+let xtime b =
+  let b2 = b lsl 1 in
+  if b land 0x80 <> 0 then (b2 lxor 0x1b) land 0xff else b2 land 0xff
+
+(* GF(2^8) multiplication, used by (Inv)MixColumns. *)
+let gmul a b =
+  let rec loop a b acc =
+    if b = 0 then acc
+    else
+      let acc = if b land 1 <> 0 then acc lxor a else acc in
+      loop (xtime a) (b lsr 1) acc
+  in
+  loop a b 0
+
+let expand raw =
+  if Bytes.length raw <> key_size then invalid_arg "Aes.expand: key must be 16 bytes";
+  (* w.(i) holds word i of the expanded key as a 4-int array. *)
+  let w = Array.make 44 [| 0; 0; 0; 0 |] in
+  for i = 0 to 3 do
+    w.(i) <-
+      [| Char.code (Bytes.get raw (4 * i));
+         Char.code (Bytes.get raw ((4 * i) + 1));
+         Char.code (Bytes.get raw ((4 * i) + 2));
+         Char.code (Bytes.get raw ((4 * i) + 3)) |]
+  done;
+  for i = 4 to 43 do
+    let prev = w.(i - 1) in
+    let temp =
+      if i mod 4 = 0 then
+        [| sbox.(prev.(1)) lxor rcon.((i / 4) - 1);
+           sbox.(prev.(2)); sbox.(prev.(3)); sbox.(prev.(0)) |]
+      else prev
+    in
+    let base = w.(i - 4) in
+    w.(i) <-
+      [| base.(0) lxor temp.(0); base.(1) lxor temp.(1);
+         base.(2) lxor temp.(2); base.(3) lxor temp.(3) |]
+  done;
+  Array.init 11 (fun round ->
+      let rk = Array.make 16 0 in
+      for c = 0 to 3 do
+        let word = w.((4 * round) + c) in
+        for r = 0 to 3 do
+          rk.(r + (4 * c)) <- word.(r)
+        done
+      done;
+      rk)
+
+let add_round_key state rk =
+  for i = 0 to 15 do
+    state.(i) <- state.(i) lxor rk.(i)
+  done
+
+let sub_bytes state =
+  for i = 0 to 15 do
+    state.(i) <- sbox.(state.(i))
+  done
+
+let inv_sub_bytes state =
+  for i = 0 to 15 do
+    state.(i) <- inv_sbox.(state.(i))
+  done
+
+(* Row r rotates left by r positions across the four columns. *)
+let shift_rows state =
+  let at r c = state.(r + (4 * c)) in
+  let row r a b c d =
+    state.(r + 0) <- a; state.(r + 4) <- b; state.(r + 8) <- c; state.(r + 12) <- d
+  in
+  let r1 = (at 1 1, at 1 2, at 1 3, at 1 0) in
+  let r2 = (at 2 2, at 2 3, at 2 0, at 2 1) in
+  let r3 = (at 3 3, at 3 0, at 3 1, at 3 2) in
+  (let a, b, c, d = r1 in row 1 a b c d);
+  (let a, b, c, d = r2 in row 2 a b c d);
+  let a, b, c, d = r3 in row 3 a b c d
+
+let inv_shift_rows state =
+  let at r c = state.(r + (4 * c)) in
+  let row r a b c d =
+    state.(r + 0) <- a; state.(r + 4) <- b; state.(r + 8) <- c; state.(r + 12) <- d
+  in
+  let r1 = (at 1 3, at 1 0, at 1 1, at 1 2) in
+  let r2 = (at 2 2, at 2 3, at 2 0, at 2 1) in
+  let r3 = (at 3 1, at 3 2, at 3 3, at 3 0) in
+  (let a, b, c, d = r1 in row 1 a b c d);
+  (let a, b, c, d = r2 in row 2 a b c d);
+  let a, b, c, d = r3 in row 3 a b c d
+
+let mix_columns state =
+  for c = 0 to 3 do
+    let b = 4 * c in
+    let s0 = state.(b) and s1 = state.(b + 1) and s2 = state.(b + 2) and s3 = state.(b + 3) in
+    state.(b) <- xtime s0 lxor (xtime s1 lxor s1) lxor s2 lxor s3;
+    state.(b + 1) <- s0 lxor xtime s1 lxor (xtime s2 lxor s2) lxor s3;
+    state.(b + 2) <- s0 lxor s1 lxor xtime s2 lxor (xtime s3 lxor s3);
+    state.(b + 3) <- (xtime s0 lxor s0) lxor s1 lxor s2 lxor xtime s3
+  done
+
+let inv_mix_columns state =
+  for c = 0 to 3 do
+    let b = 4 * c in
+    let s0 = state.(b) and s1 = state.(b + 1) and s2 = state.(b + 2) and s3 = state.(b + 3) in
+    state.(b) <- gmul s0 14 lxor gmul s1 11 lxor gmul s2 13 lxor gmul s3 9;
+    state.(b + 1) <- gmul s0 9 lxor gmul s1 14 lxor gmul s2 11 lxor gmul s3 13;
+    state.(b + 2) <- gmul s0 13 lxor gmul s1 9 lxor gmul s2 14 lxor gmul s3 11;
+    state.(b + 3) <- gmul s0 11 lxor gmul s1 13 lxor gmul s2 9 lxor gmul s3 14
+  done
+
+let load_state src off =
+  Array.init 16 (fun i -> Char.code (Bytes.get src (off + i)))
+
+let store_state state dst off =
+  for i = 0 to 15 do
+    Bytes.set dst (off + i) (Char.chr state.(i))
+  done
+
+let encrypt_block_into key ~src ~src_off ~dst ~dst_off =
+  let state = load_state src src_off in
+  add_round_key state key.(0);
+  for round = 1 to 9 do
+    sub_bytes state;
+    shift_rows state;
+    mix_columns state;
+    add_round_key state key.(round)
+  done;
+  sub_bytes state;
+  shift_rows state;
+  add_round_key state key.(10);
+  store_state state dst dst_off
+
+let decrypt_block_into key ~src ~src_off ~dst ~dst_off =
+  let state = load_state src src_off in
+  add_round_key state key.(10);
+  for round = 9 downto 1 do
+    inv_shift_rows state;
+    inv_sub_bytes state;
+    add_round_key state key.(round);
+    inv_mix_columns state
+  done;
+  inv_shift_rows state;
+  inv_sub_bytes state;
+  add_round_key state key.(0);
+  store_state state dst dst_off
+
+let check_block plain =
+  if Bytes.length plain <> block_size then invalid_arg "Aes: block must be 16 bytes"
+
+let encrypt_block key plain =
+  check_block plain;
+  let out = Bytes.create block_size in
+  encrypt_block_into key ~src:plain ~src_off:0 ~dst:out ~dst_off:0;
+  out
+
+let decrypt_block key cipher =
+  check_block cipher;
+  let out = Bytes.create block_size in
+  decrypt_block_into key ~src:cipher ~src_off:0 ~dst:out ~dst_off:0;
+  out

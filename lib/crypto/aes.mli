@@ -1,0 +1,32 @@
+(** AES-128 block cipher (FIPS-197), implemented from scratch.
+
+    This is the cryptographic core behind every encryption engine in the
+    simulator: the SME/SEV memory-controller engine ({!Fidelius_hw.Memctrl}),
+    the simulated AES-NI instruction path and the software-AES fallback used
+    by the I/O-protection ablation. Correctness is pinned to the FIPS-197
+    appendix test vectors in the test suite. *)
+
+type key
+(** An expanded AES-128 key schedule (11 round keys). *)
+
+val block_size : int
+(** Block size in bytes (16). *)
+
+val key_size : int
+(** Key size in bytes (16). *)
+
+val expand : bytes -> key
+(** [expand raw] expands a 16-byte key. Raises [Invalid_argument] on a wrong
+    key length. *)
+
+val encrypt_block : key -> bytes -> bytes
+(** [encrypt_block k plain] encrypts one 16-byte block. Raises
+    [Invalid_argument] on a wrong block length. *)
+
+val decrypt_block : key -> bytes -> bytes
+(** Inverse of {!encrypt_block}. *)
+
+val encrypt_block_into : key -> src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> unit
+(** Allocation-free variant used on the hot memory-controller path. *)
+
+val decrypt_block_into : key -> src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> unit

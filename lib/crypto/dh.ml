@@ -1,0 +1,52 @@
+type public = int64
+type secret = int64
+
+let p = 2305843009213693951L (* 2^61 - 1 *)
+let generator = 7L
+
+(* a * b mod p by peasant multiplication: every intermediate stays below
+   2 * p < 2^62, so Int64 never overflows. *)
+let mulmod a b =
+  let rec loop a b acc =
+    if Int64.equal b 0L then acc
+    else
+      let acc =
+        if Int64.equal (Int64.logand b 1L) 1L then Int64.rem (Int64.add acc a) p else acc
+      in
+      loop (Int64.rem (Int64.add a a) p) (Int64.shift_right_logical b 1) acc
+  in
+  loop (Int64.rem a p) b 0L
+
+let powmod base expn =
+  let rec loop base expn acc =
+    if Int64.equal expn 0L then acc
+    else
+      let acc = if Int64.equal (Int64.logand expn 1L) 1L then mulmod acc base else acc in
+      loop (mulmod base base) (Int64.shift_right_logical expn 1) acc
+  in
+  loop (Int64.rem base p) expn 1L
+
+let generate rng =
+  (* Secret exponent in [2, p - 2]. *)
+  let raw = Int64.shift_right_logical (Rng.next64 rng) 3 in
+  let secret = Int64.add 2L (Int64.rem raw (Int64.sub p 3L)) in
+  (secret, powmod generator secret)
+
+let in_group x = Int64.compare x 1L > 0 && Int64.compare x p < 0
+
+let shared_secret mine theirs =
+  if not (in_group theirs) then invalid_arg "Dh.shared_secret: public value out of group";
+  let element = powmod theirs mine in
+  let material = Bytes.create (8 + 11) in
+  Bytes.set_int64_be material 0 element;
+  Bytes.blit_string "fidelius-dh" 0 material 8 11;
+  Sha256.digest material
+
+let public_to_bytes pub =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 pub;
+  b
+
+let public_of_bytes b =
+  if Bytes.length b <> 8 then invalid_arg "Dh.public_of_bytes: need 8 bytes";
+  Bytes.get_int64_be b 0

@@ -1,0 +1,11 @@
+(** HMAC-SHA256 (RFC 2104).
+
+    Used as the integrity primitive keyed by the transport integrity key
+    (Ktik) over SEV SEND/RECEIVE images, and for the key-wrapping tag. *)
+
+val mac : key:bytes -> bytes -> bytes
+(** [mac ~key data] is the 32-byte HMAC-SHA256 tag. Keys of any length are
+    accepted (hashed down if longer than the block size, per RFC 2104). *)
+
+val verify : key:bytes -> tag:bytes -> bytes -> bool
+(** Constant-shape comparison of a received tag against the recomputed one. *)

@@ -1,0 +1,54 @@
+type wrapped = {
+  nonce : int64;
+  ciphertext : bytes;
+  tag : bytes; (* HMAC over nonce || ciphertext *)
+}
+
+(* Derive distinct encryption and MAC keys from the KEK so the same secret
+   is never used for both purposes. *)
+let subkeys kek =
+  let enc = Sha256.digest (Bytes.cat kek (Bytes.of_string "wrap-enc")) in
+  let mac = Sha256.digest (Bytes.cat kek (Bytes.of_string "wrap-mac")) in
+  (Aes.expand (Bytes.sub enc 0 16), mac)
+
+let authed_payload nonce ciphertext =
+  let b = Bytes.create (8 + Bytes.length ciphertext) in
+  Bytes.set_int64_be b 0 nonce;
+  Bytes.blit ciphertext 0 b 8 (Bytes.length ciphertext);
+  b
+
+let nonce_counter = ref 0L
+
+let wrap ~kek key =
+  let enc_key, mac_key = subkeys kek in
+  nonce_counter := Int64.add !nonce_counter 1L;
+  let nonce = !nonce_counter in
+  let ciphertext = Modes.ctr_transform enc_key ~nonce key in
+  let tag = Hmac.mac ~key:mac_key (authed_payload nonce ciphertext) in
+  { nonce; ciphertext; tag }
+
+let unwrap ~kek w =
+  let enc_key, mac_key = subkeys kek in
+  if Hmac.verify ~key:mac_key ~tag:w.tag (authed_payload w.nonce w.ciphertext) then
+    Some (Modes.ctr_transform enc_key ~nonce:w.nonce w.ciphertext)
+  else None
+
+let to_bytes w =
+  let clen = Bytes.length w.ciphertext in
+  let b = Bytes.create (8 + 4 + clen + 32) in
+  Bytes.set_int64_be b 0 w.nonce;
+  Bytes.set_int32_be b 8 (Int32.of_int clen);
+  Bytes.blit w.ciphertext 0 b 12 clen;
+  Bytes.blit w.tag 0 b (12 + clen) 32;
+  b
+
+let of_bytes b =
+  if Bytes.length b < 44 then None
+  else
+    let nonce = Bytes.get_int64_be b 0 in
+    let clen = Int32.to_int (Bytes.get_int32_be b 8) in
+    if clen < 0 || Bytes.length b <> 12 + clen + 32 then None
+    else
+      let ciphertext = Bytes.sub b 12 clen in
+      let tag = Bytes.sub b (12 + clen) 32 in
+      Some { nonce; ciphertext; tag }

@@ -1,0 +1,25 @@
+(** Authenticated key wrapping.
+
+    Models the SEV firmware's Kwrap: SEND_START wraps the freshly generated
+    transport keys (Ktek, Ktik) under the master secret from the DH
+    agreement; RECEIVE_START unwraps them on the target platform. The wrap is
+    AES-CTR encryption plus an HMAC-SHA256 tag, failing closed on any
+    tampering. *)
+
+type wrapped
+(** An opaque wrapped blob: ciphertext, nonce and tag. An attacker relaying
+    it (the hypervisor) learns nothing about the enclosed key and cannot
+    modify it undetected. *)
+
+val wrap : kek:bytes -> bytes -> wrapped
+(** [wrap ~kek key] wraps [key] (any length) under the 32-byte key-encryption
+    key [kek]. *)
+
+val unwrap : kek:bytes -> wrapped -> bytes option
+(** [unwrap ~kek w] is [Some key] when the tag verifies, [None] otherwise. *)
+
+val to_bytes : wrapped -> bytes
+(** Serialized form, as carried over the (untrusted) migration channel. *)
+
+val of_bytes : bytes -> wrapped option
+(** Parse a serialized wrap; [None] on malformed input. *)

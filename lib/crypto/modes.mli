@@ -1,0 +1,41 @@
+(** Block-cipher modes of operation built on {!Aes}.
+
+    - ECB: used only by the key-wrapping primitive and tests.
+    - CTR: stream encryption of arbitrary-length buffers; used for the
+      transport encryption (TEK) of SEV SEND/RECEIVE images.
+    - XEX: tweakable per-block mode keyed by a 64-bit tweak. This is how the
+      memory-controller engine binds ciphertext to the physical address, so
+      moving ciphertext between physical locations (a remap/replay splice)
+      decrypts to garbage — the property AMD's SME physical-address tweak
+      provides.
+    - CBC-MAC: a simple authenticator used where a short keyed tag over
+      fixed-length data is needed. *)
+
+val ecb_encrypt : Aes.key -> bytes -> bytes
+(** Length must be a multiple of 16. *)
+
+val ecb_decrypt : Aes.key -> bytes -> bytes
+
+val ctr_transform : Aes.key -> nonce:int64 -> bytes -> bytes
+(** [ctr_transform k ~nonce data] encrypts or decrypts (the operation is an
+    involution) a buffer of any length. The counter block is
+    [nonce || block_index]. *)
+
+val xex_encrypt : Aes.key -> tweak:int64 -> bytes -> bytes
+(** Length must be a multiple of 16; each 16-byte block is whitened with an
+    encrypted tweak derived from [tweak + block_index]. *)
+
+val xex_decrypt : Aes.key -> tweak:int64 -> bytes -> bytes
+
+val xex_encrypt_into :
+  Aes.key -> tweak:int64 -> src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> len:int -> unit
+(** Allocation-free XEX for the memory-controller hot path. [len] must be a
+    multiple of 16. *)
+
+val xex_decrypt_into :
+  Aes.key -> tweak:int64 -> src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> len:int -> unit
+
+val cbc_mac : Aes.key -> bytes -> bytes
+(** 16-byte tag over a buffer of any length (zero-padded internally; callers
+    authenticate fixed-format data only, so length-extension shaping is not a
+    concern in the simulator). *)

@@ -1,0 +1,92 @@
+type role = Client | Server
+
+type session = {
+  enc_send : Aes.key;
+  enc_recv : Aes.key;
+  mac_send : bytes;
+  mac_recv : bytes;
+  mutable seq_send : int64;
+  mutable seq_recv : int64;
+}
+
+(* Record format: seq(8) | len(4) | ciphertext(len) | tag(32). *)
+let overhead = 8 + 4 + 32
+
+let derive shared label =
+  Sha256.digest (Bytes.cat shared (Bytes.of_string label))
+
+let session_of shared role =
+  let c2s_enc = Bytes.sub (derive shared "c2s-enc") 0 16 in
+  let s2c_enc = Bytes.sub (derive shared "s2c-enc") 0 16 in
+  let c2s_mac = derive shared "c2s-mac" in
+  let s2c_mac = derive shared "s2c-mac" in
+  match role with
+  | Client ->
+      { enc_send = Aes.expand c2s_enc;
+        enc_recv = Aes.expand s2c_enc;
+        mac_send = c2s_mac;
+        mac_recv = s2c_mac;
+        seq_send = 0L;
+        seq_recv = 0L }
+  | Server ->
+      { enc_send = Aes.expand s2c_enc;
+        enc_recv = Aes.expand c2s_enc;
+        mac_send = s2c_mac;
+        mac_recv = c2s_mac;
+        seq_send = 0L;
+        seq_recv = 0L }
+
+let client_hello rng =
+  let secret, public = Dh.generate rng in
+  (secret, Dh.public_to_bytes public)
+
+let server_accept rng ~client_hello =
+  if Bytes.length client_hello <> 8 then Error "handshake: malformed client hello"
+  else begin
+    let client_public = Dh.public_of_bytes client_hello in
+    let secret, public = Dh.generate rng in
+    match Dh.shared_secret secret client_public with
+    | shared -> Ok (session_of shared Server, Dh.public_to_bytes public)
+    | exception Invalid_argument m -> Error ("handshake: " ^ m)
+  end
+
+let client_finish secret ~server_reply =
+  if Bytes.length server_reply <> 8 then Error "handshake: malformed server reply"
+  else
+    match Dh.shared_secret secret (Dh.public_of_bytes server_reply) with
+    | shared -> Ok (session_of shared Client)
+    | exception Invalid_argument m -> Error ("handshake: " ^ m)
+
+let seal t plain =
+  let seq = t.seq_send in
+  t.seq_send <- Int64.add seq 1L;
+  let cipher = Modes.ctr_transform t.enc_send ~nonce:seq plain in
+  let n = Bytes.length cipher in
+  let record = Bytes.create (8 + 4 + n + 32) in
+  Bytes.set_int64_be record 0 seq;
+  Bytes.set_int32_be record 8 (Int32.of_int n);
+  Bytes.blit cipher 0 record 12 n;
+  let tag = Hmac.mac ~key:t.mac_send (Bytes.sub record 0 (12 + n)) in
+  Bytes.blit tag 0 record (12 + n) 32;
+  record
+
+let open_record t record =
+  if Bytes.length record < overhead then Error "record: truncated"
+  else begin
+    let seq = Bytes.get_int64_be record 0 in
+    let n = Int32.to_int (Bytes.get_int32_be record 8) in
+    if n < 0 || Bytes.length record <> overhead + n then Error "record: malformed length"
+    else if not (Int64.equal seq t.seq_recv) then
+      Error
+        (Printf.sprintf "record: sequence %Ld, expected %Ld (replayed or reordered)" seq
+           t.seq_recv)
+    else begin
+      let tag = Bytes.sub record (12 + n) 32 in
+      if not (Hmac.verify ~key:t.mac_recv ~tag (Bytes.sub record 0 (12 + n))) then
+        Error "record: MAC failure (tampered in transit)"
+      else begin
+        t.seq_recv <- Int64.add seq 1L;
+        Ok (Modes.ctr_transform t.enc_recv ~nonce:seq (Bytes.sub record 12 n))
+      end
+    end
+  end

@@ -1,0 +1,25 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    Used for SEV launch/send measurements, the Fidelius late-launch integrity
+    measurement of the hypervisor text section, and as the compression
+    function behind {!Hmac} and the {!Dh} KDF. *)
+
+val digest_size : int
+(** 32 bytes. *)
+
+val digest : bytes -> bytes
+(** [digest data] is the 32-byte SHA-256 hash of [data]. *)
+
+val digest_string : string -> bytes
+
+val hex : bytes -> string
+(** Lowercase hex rendering of a digest (or any byte string). *)
+
+type ctx
+(** Streaming interface for hashing data that arrives in pieces (e.g. the
+    per-page SEND_UPDATE measurement accumulation). *)
+
+val init : unit -> ctx
+val feed : ctx -> bytes -> unit
+val finalize : ctx -> bytes
+(** [finalize ctx] returns the digest; the context must not be fed again. *)

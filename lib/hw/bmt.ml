@@ -1,0 +1,95 @@
+module Sha256 = Fidelius_crypto.Sha256
+
+(* Cost of one SHA-256 over a page or a pair of digests, as the secure
+   processor's hash unit would charge it. *)
+let hash_page_cycles = 1600
+let hash_node_cycles = 80
+
+type t = {
+  machine : Machine.t;
+  frames : Addr.pfn array;            (* sorted *)
+  index_of : (Addr.pfn, int) Hashtbl.t;
+  levels : bytes array array;
+      (* levels.(0) = leaf digests, levels.(top) = [| root |] *)
+  mutable hashes : int;
+}
+
+let leaf_hash t pfn =
+  t.hashes <- t.hashes + 1;
+  Cost.charge t.machine.Machine.ledger "bmt" hash_page_cycles;
+  let header = Bytes.create 8 in
+  Bytes.set_int64_be header 0 (Int64.of_int pfn);
+  let ctx = Sha256.init () in
+  Sha256.feed ctx header;
+  Sha256.feed ctx (Physmem.dump t.machine.Machine.mem pfn);
+  Sha256.finalize ctx
+
+let node_hash t left right =
+  t.hashes <- t.hashes + 1;
+  Cost.charge t.machine.Machine.ledger "bmt" hash_node_cycles;
+  Sha256.digest (Bytes.cat left right)
+
+(* A missing right sibling is paired with itself (odd level widths). *)
+let sibling level i = if i lxor 1 < Array.length level then level.(i lxor 1) else level.(i)
+
+let rebuild_level t below =
+  let n = (Array.length below + 1) / 2 in
+  Array.init n (fun i ->
+      let left = below.(2 * i) in
+      let right = if (2 * i) + 1 < Array.length below then below.((2 * i) + 1) else left in
+      node_hash t left right)
+
+let create machine ~frames =
+  if frames = [] then invalid_arg "Bmt.create: no frames";
+  let frames = Array.of_list (List.sort_uniq compare frames) in
+  let index_of = Hashtbl.create (Array.length frames) in
+  Array.iteri (fun i pfn -> Hashtbl.replace index_of pfn i) frames;
+  let t = { machine; frames; index_of; levels = [||]; hashes = 0 } in
+  let leaves = Array.map (fun pfn -> leaf_hash t pfn) frames in
+  let rec build acc level =
+    if Array.length level = 1 then Array.of_list (List.rev (level :: acc))
+    else build (level :: acc) (rebuild_level t level)
+  in
+  { t with levels = build [] leaves }
+
+let root t = Bytes.copy t.levels.(Array.length t.levels - 1).(0)
+
+let covered t pfn = Hashtbl.mem t.index_of pfn
+
+let verify t pfn =
+  match Hashtbl.find_opt t.index_of pfn with
+  | None -> Error (Printf.sprintf "BMT: frame 0x%x is not integrity-protected" pfn)
+  | Some idx ->
+      (* Recompute leaf-to-root using stored siblings; compare with the
+         stored root. *)
+      let digest = ref (leaf_hash t pfn) in
+      let i = ref idx in
+      for level = 0 to Array.length t.levels - 2 do
+        let sib = sibling t.levels.(level) !i in
+        digest :=
+          (if !i land 1 = 0 then node_hash t !digest sib else node_hash t sib !digest);
+        i := !i / 2
+      done;
+      if Bytes.equal !digest t.levels.(Array.length t.levels - 1).(0) then Ok ()
+      else Error (Printf.sprintf "BMT: integrity violation detected on frame 0x%x" pfn)
+
+let verify_all t =
+  Array.fold_left
+    (fun acc pfn -> Result.bind acc (fun () -> verify t pfn))
+    (Ok ()) t.frames
+
+let update t pfn =
+  match Hashtbl.find_opt t.index_of pfn with
+  | None -> ()
+  | Some idx ->
+      t.levels.(0).(idx) <- leaf_hash t pfn;
+      let i = ref idx in
+      for level = 0 to Array.length t.levels - 2 do
+        let parent = !i / 2 in
+        let left = t.levels.(level).(2 * parent) in
+        let right = sibling t.levels.(level) (2 * parent) in
+        t.levels.(level + 1).(parent) <- node_hash t left right;
+        i := parent
+      done
+
+let hashes_performed t = t.hashes

@@ -1,0 +1,45 @@
+(** Bonsai Merkle Tree memory-integrity engine — the paper's first hardware
+    suggestion (Section 8: "Hardware-based integrity checking... can be
+    addressed by integrating a Bonsai Merkle Tree to enable hardware-based
+    integrity in the secure processor").
+
+    A binary hash tree over a chosen set of physical frames. Leaf hashes
+    bind the frame number to its contents; the root lives inside the secure
+    processor where software cannot reach it. A verified read recomputes the
+    leaf and its path: any physical tampering — Rowhammer flips, DMA
+    overwrites, ciphertext replay-in-place — is detected rather than
+    silently consumed, closing the integrity gap the paper concedes for
+    plain SEV ("Fidelius cannot strictly eradicate this malevolent bit
+    flipping").
+
+    Verification charges the cost model per hash recomputed, so the
+    integrity ablation (`bench/main.exe ablate`) can weigh the protection
+    against its overhead. *)
+
+type t
+
+val create : Machine.t -> frames:Addr.pfn list -> t
+(** Build the tree over [frames] (their *current* contents become the
+    trusted state). Raises [Invalid_argument] on an empty list. *)
+
+val root : t -> bytes
+(** The 32-byte root — conceptually register state of the secure processor,
+    exposed read-only for attestation. *)
+
+val covered : t -> Addr.pfn -> bool
+
+val verify : t -> Addr.pfn -> (unit, string) result
+(** Recompute the frame's leaf and path and compare against the root.
+    [Error] names the frame on mismatch. Frames outside the tree fail
+    closed. *)
+
+val verify_all : t -> (unit, string) result
+(** Whole-tree sweep (boot-time or attestation-time check). *)
+
+val update : t -> Addr.pfn -> unit
+(** Recompute the path after an *authorized* write to the frame (the secure
+    processor witnesses legitimate writes; attackers cannot call this —
+    physical channels bypass the CPU entirely). *)
+
+val hashes_performed : t -> int
+(** Total leaf+node hash computations so far, for the ablation. *)

@@ -1,0 +1,40 @@
+type t = {
+  lines : (int * int, bytes) Hashtbl.t;
+  order : (int * int) Queue.t;
+  nr_lines : int;
+  ledger : Cost.ledger;
+  costs : Cost.table;
+}
+
+let create ?(nr_lines = 4096) ledger =
+  { lines = Hashtbl.create nr_lines;
+    order = Queue.create ();
+    nr_lines;
+    ledger;
+    costs = Cost.default }
+
+let fill t pfn ~block plain =
+  let key = (pfn, block) in
+  if not (Hashtbl.mem t.lines key) then begin
+    if Queue.length t.order >= t.nr_lines then begin
+      let victim = Queue.pop t.order in
+      Hashtbl.remove t.lines victim
+    end;
+    Queue.push key t.order
+  end;
+  Hashtbl.replace t.lines key (Bytes.copy plain);
+  Cost.charge t.ledger "cache-fill" t.costs.Cost.cacheline_write
+
+let probe t pfn ~block =
+  match Hashtbl.find_opt t.lines (pfn, block) with
+  | Some line ->
+      Cost.charge t.ledger "cache-hit" t.costs.Cost.cache_hit;
+      Some (Bytes.copy line)
+  | None -> None
+
+let invalidate_page t pfn =
+  for block = 0 to Addr.blocks_per_page - 1 do
+    Hashtbl.remove t.lines (pfn, block)
+  done
+
+let resident t = Hashtbl.length t.lines

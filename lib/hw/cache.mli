@@ -1,0 +1,28 @@
+(** Physically-indexed cache holding plaintext.
+
+    On SEV hardware, cache lines hold plaintext; the encryption engine sits
+    between cache and DRAM. This is what enables the inter-VM remapping
+    attack the paper describes (Section 6.2, "Breaking memory privacy"): if
+    the hypervisor maps a victim's frame into a conspirator VM's NPT while
+    the victim's plaintext line is still resident, the conspirator's read
+    hits in cache and sees plaintext despite having the wrong key.
+
+    The model keys lines by physical block address only (no ASID tag —
+    matching the attack's premise), with a bounded line count and FIFO
+    eviction. *)
+
+type t
+
+val create : ?nr_lines:int -> Cost.ledger -> t
+
+val fill : t -> Addr.pfn -> block:int -> bytes -> unit
+(** Record the plaintext of a 16-byte block after a CPU access. *)
+
+val probe : t -> Addr.pfn -> block:int -> bytes option
+(** A hit returns resident plaintext — regardless of who asks. *)
+
+val invalidate_page : t -> Addr.pfn -> unit
+(** WBINVD-style eviction of all lines of a frame (used when ownership
+    changes hands under Fidelius policy). *)
+
+val resident : t -> int

@@ -1,0 +1,68 @@
+type op =
+  | Mov_cr0
+  | Mov_cr3
+  | Mov_cr4
+  | Wrmsr
+  | Vmrun
+  | Lgdt
+  | Lidt
+
+let op_to_string = function
+  | Mov_cr0 -> "mov-cr0"
+  | Mov_cr3 -> "mov-cr3"
+  | Mov_cr4 -> "mov-cr4"
+  | Wrmsr -> "wrmsr"
+  | Vmrun -> "vmrun"
+  | Lgdt -> "lgdt"
+  | Lidt -> "lidt"
+
+let all_ops = [ Mov_cr0; Mov_cr3; Mov_cr4; Wrmsr; Vmrun; Lgdt; Lidt ]
+
+type instance = {
+  page : Addr.vfn;
+  handler : int64 -> (unit, string) result;
+}
+
+type registry = {
+  mutable placed : (op * instance) list;
+  ledger : Cost.ledger;
+}
+
+let create ledger = { placed = []; ledger }
+
+let place t op ~page ~handler =
+  t.placed <- (op, { page; handler }) :: t.placed
+
+let scrub t op ~keep =
+  t.placed <-
+    List.filter
+      (fun (o, inst) -> (not (o = op)) || inst.page = keep)
+      t.placed
+
+let instances t op =
+  List.filter_map (fun (o, inst) -> if o = op then Some inst.page else None) t.placed
+
+let monopolized t op = List.length (instances t op) = 1
+
+let execute t ~exec_ok op value =
+  let candidates = List.filter (fun (o, _) -> o = op) t.placed in
+  match candidates with
+  | [] -> Error (Printf.sprintf "#UD: no %s instruction exists in the code region" (op_to_string op))
+  | _ -> (
+      Cost.charge t.ledger "insn-fetch" 1;
+      match List.find_opt (fun (_, inst) -> exec_ok inst.page) candidates with
+      | None ->
+          Error
+            (Printf.sprintf "#PF(fetch): every %s instance lives in a non-executable page"
+               (op_to_string op))
+      | Some (_, inst) -> inst.handler value)
+
+let inject t ~wx_ok op ~page ~handler =
+  if wx_ok page then begin
+    place t op ~page ~handler;
+    Ok ()
+  end
+  else
+    Error
+      (Printf.sprintf "cannot inject %s at page 0x%x: no writable+executable mapping"
+         (op_to_string op) page)

@@ -1,0 +1,57 @@
+(** Privileged-instruction placement registry.
+
+    The paper's isolation depends on controlling *where* certain privileged
+    instructions exist in the host code region (Table 2): after a binary
+    scan, each dangerous opcode exists exactly once ("monopolized"), wrapped
+    in Fidelius' gate logic; VMRUN and [mov CR3] additionally live in pages
+    that are unmapped from the hypervisor's view until a type-3 gate remaps
+    them.
+
+    The registry records instruction instances (opcode, page, handler) and
+    is the only software path to their effects: {!execute} checks that the
+    acting address space currently maps the instance's page executable —
+    i.e. the very check the hardware instruction fetch performs — and then
+    runs the installed handler, which carries the gate's policy. *)
+
+type op =
+  | Mov_cr0
+  | Mov_cr3
+  | Mov_cr4
+  | Wrmsr   (** EFER writes *)
+  | Vmrun
+  | Lgdt
+  | Lidt
+
+val op_to_string : op -> string
+val all_ops : op list
+
+type registry
+
+val create : Cost.ledger -> registry
+
+val place :
+  registry -> op -> page:Addr.vfn -> handler:(int64 -> (unit, string) result) -> unit
+(** Boot-time placement (trusted setup or pre-scan hypervisor code). *)
+
+val scrub : registry -> op -> keep:Addr.vfn -> unit
+(** The binary scan: remove every instance of [op] except those on page
+    [keep]. *)
+
+val instances : registry -> op -> Addr.vfn list
+val monopolized : registry -> op -> bool
+(** True when exactly one instance of [op] exists. *)
+
+val execute :
+  registry -> exec_ok:(Addr.vfn -> bool) -> op -> int64 -> (unit, string) result
+(** Fetch-check then run. [Error] carries the fault or policy-denial
+    reason. When several instances exist (pre-scan), the first executable
+    one runs — which is exactly why the scan matters. *)
+
+val inject :
+  registry ->
+  wx_ok:(Addr.vfn -> bool) ->
+  op -> page:Addr.vfn -> handler:(int64 -> (unit, string) result) ->
+  (unit, string) result
+(** Code-injection attempt at runtime: succeeds only if the target page is
+    simultaneously writable and executable in the acting address space
+    ([wx_ok]), which Fidelius' W^X layout rules out. *)

@@ -1,0 +1,80 @@
+module Rng = Fidelius_crypto.Rng
+
+type t = {
+  mem : Physmem.t;
+  ctrl : Memctrl.t;
+  tlb : Tlb.t;
+  cache : Cache.t;
+  ledger : Cost.ledger;
+  costs : Cost.table;
+  rng : Rng.t;
+  cpu : Cpu.t;
+  insns : Insn.registry;
+  mutable free_frames : Addr.pfn list;
+  mutable next_table_id : int;
+  mutable enforce_paging : bool;
+  mutable iommu : (Addr.pfn -> bool) option;
+}
+
+let create ?(nr_frames = 8192) ~seed () =
+  let ledger = Cost.ledger () in
+  let rng = Rng.create seed in
+  let mem = Physmem.create ~nr_frames in
+  (* Frame 0 stays reserved so that "frame 0" can never be a valid mapping
+     target, catching uninitialized-entry bugs early. *)
+  let free = List.init (nr_frames - 1) (fun i -> nr_frames - 1 - i) in
+  { mem;
+    ctrl = Memctrl.create mem ledger rng;
+    tlb = Tlb.create ledger;
+    cache = Cache.create ledger;
+    ledger;
+    costs = Cost.default;
+    rng;
+    cpu = Cpu.create ();
+    insns = Insn.create ledger;
+    free_frames = free;
+    next_table_id = 1;
+    enforce_paging = false;
+    iommu = None }
+
+let alloc_frame t =
+  match t.free_frames with
+  | [] -> failwith "Machine.alloc_frame: out of physical memory"
+  | pfn :: rest ->
+      t.free_frames <- rest;
+      pfn
+
+let alloc_frames t n = List.init n (fun _ -> alloc_frame t)
+
+let free_frame t pfn =
+  (* Scrub on free so stale secrets never leak through reallocation. *)
+  Physmem.write_raw t.mem pfn ~off:0 (Bytes.make Addr.page_size '\000');
+  Cache.invalidate_page t.cache pfn;
+  t.free_frames <- pfn :: t.free_frames
+
+let frames_free t = List.length t.free_frames
+
+let new_table t =
+  let id = t.next_table_id in
+  t.next_table_id <- id + 1;
+  Pagetable.create ~id ~mem:t.mem ~alloc:(fun () -> alloc_frame t)
+
+let dma_allowed t pfn =
+  match t.iommu with None -> true | Some ok -> ok pfn
+
+let dma_write t pfn ~off data =
+  if dma_allowed t pfn then begin
+    Cost.charge t.ledger "dma" t.costs.Cost.dram_access;
+    Physmem.write_raw t.mem pfn ~off data;
+    Ok ()
+  end
+  else Error (Printf.sprintf "IOMMU: DMA write to frame 0x%x denied" pfn)
+
+let dma_read t pfn ~off ~len =
+  if dma_allowed t pfn then begin
+    Cost.charge t.ledger "dma" t.costs.Cost.dram_access;
+    Ok (Physmem.read_raw t.mem pfn ~off ~len)
+  end
+  else Error (Printf.sprintf "IOMMU: DMA read from frame 0x%x denied" pfn)
+
+let set_iommu t filter = t.iommu <- filter

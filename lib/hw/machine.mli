@@ -1,0 +1,48 @@
+(** The simulated platform: DRAM, memory controller, TLB, cache, CPU,
+    privileged-instruction registry, frame allocator and IOMMU hook.
+
+    One [Machine.t] is one physical host. Everything above (SEV firmware,
+    Xen, Fidelius, guests) shares it and charges cycles to its ledger. *)
+
+type t = {
+  mem : Physmem.t;
+  ctrl : Memctrl.t;
+  tlb : Tlb.t;
+  cache : Cache.t;
+  ledger : Cost.ledger;
+  costs : Cost.table;
+  rng : Fidelius_crypto.Rng.t;
+  cpu : Cpu.t;
+  insns : Insn.registry;
+  mutable free_frames : Addr.pfn list;
+  mutable next_table_id : int;
+  mutable enforce_paging : bool;
+      (** Once true (paging enabled by the booted hypervisor), every PTE
+          update is permission-checked against the acting address space. *)
+  mutable iommu : (Addr.pfn -> bool) option;
+      (** DMA filter; [None] models a platform without IOMMU protection. *)
+}
+
+val create : ?nr_frames:int -> seed:int64 -> unit -> t
+(** Fresh platform. Default 8192 frames (32 MiB). Frame 0 is reserved. *)
+
+val alloc_frame : t -> Addr.pfn
+(** Pop a free frame (zeroed). Raises [Failure] when exhausted. *)
+
+val alloc_frames : t -> int -> Addr.pfn list
+
+val free_frame : t -> Addr.pfn -> unit
+(** Scrub and return a frame to the allocator. *)
+
+val frames_free : t -> int
+
+val new_table : t -> Pagetable.t
+(** Fresh page table backed by this machine's memory and allocator. *)
+
+val dma_write : t -> Addr.pfn -> off:int -> bytes -> (unit, string) result
+(** Device-originated write: bypasses the CPU's encryption engine and
+    permission checks but is subject to the IOMMU filter. *)
+
+val dma_read : t -> Addr.pfn -> off:int -> len:int -> (bytes, string) result
+
+val set_iommu : t -> (Addr.pfn -> bool) option -> unit

@@ -1,0 +1,154 @@
+module Aes = Fidelius_crypto.Aes
+module Modes = Fidelius_crypto.Modes
+module Rng = Fidelius_crypto.Rng
+
+type selector =
+  | Plain
+  | Smek
+  | Asid of int
+
+type t = {
+  mem : Physmem.t;
+  ledger : Cost.ledger;
+  smek : Aes.key;
+  slots : (int, Aes.key) Hashtbl.t;
+  costs : Cost.table;
+}
+
+let create mem ledger rng =
+  { mem;
+    ledger;
+    smek = Aes.expand (Rng.bytes rng 16);
+    slots = Hashtbl.create 16;
+    costs = Cost.default }
+
+let install_key t ~asid raw =
+  if asid <= 0 then invalid_arg "Memctrl.install_key: guest ASIDs are positive";
+  Hashtbl.replace t.slots asid (Aes.expand raw)
+
+let uninstall_key t ~asid = Hashtbl.remove t.slots asid
+
+let has_key t ~asid = Hashtbl.mem t.slots asid
+
+let key_of t = function
+  | Plain -> None
+  | Smek -> Some t.smek
+  | Asid asid -> (
+      match Hashtbl.find_opt t.slots asid with
+      | Some k -> Some k
+      | None -> invalid_arg (Printf.sprintf "Memctrl: no key installed for ASID %d" asid))
+
+(* The XEX tweak is the physical block address, binding ciphertext to its
+   location. *)
+let tweak_of pfn block = Int64.of_int (Addr.addr_of pfn (block * Addr.block_size))
+
+let charge_blocks t ~encrypted nblocks =
+  Cost.charge t.ledger "dram" (t.costs.Cost.dram_access * nblocks);
+  if encrypted then Cost.charge t.ledger "enc-engine" (t.costs.Cost.enc_extra * nblocks)
+
+let block_range off len =
+  let first = off / Addr.block_size in
+  let last = (off + len - 1) / Addr.block_size in
+  (first, last)
+
+let read t sel pfn ~off ~len =
+  if len = 0 then Bytes.create 0
+  else begin
+    match key_of t sel with
+    | None ->
+        charge_blocks t ~encrypted:false (max ((len + Addr.block_size - 1) / Addr.block_size) 1);
+        Physmem.read_raw t.mem pfn ~off ~len
+    | Some key ->
+        let first, last = block_range off len in
+        charge_blocks t ~encrypted:true (last - first + 1);
+        let span = (last - first + 1) * Addr.block_size in
+        let plain = Bytes.create span in
+        let page = Physmem.page t.mem pfn in
+        for blk = first to last do
+          Modes.xex_decrypt_into key ~tweak:(tweak_of pfn blk)
+            ~src:page ~src_off:(blk * Addr.block_size)
+            ~dst:plain ~dst_off:((blk - first) * Addr.block_size)
+            ~len:Addr.block_size
+        done;
+        Bytes.sub plain (off - (first * Addr.block_size)) len
+  end
+
+let write t sel pfn ~off data =
+  let len = Bytes.length data in
+  if len > 0 then begin
+    match key_of t sel with
+    | None ->
+        charge_blocks t ~encrypted:false (max ((len + Addr.block_size - 1) / Addr.block_size) 1);
+        Physmem.write_raw t.mem pfn ~off data
+    | Some key ->
+        (* Read-modify-write the containing blocks so unaligned stores keep
+           neighbouring plaintext intact. *)
+        let first, last = block_range off len in
+        charge_blocks t ~encrypted:true (last - first + 1);
+        let span = (last - first + 1) * Addr.block_size in
+        let plain = Bytes.create span in
+        let page = Physmem.page t.mem pfn in
+        for blk = first to last do
+          Modes.xex_decrypt_into key ~tweak:(tweak_of pfn blk)
+            ~src:page ~src_off:(blk * Addr.block_size)
+            ~dst:plain ~dst_off:((blk - first) * Addr.block_size)
+            ~len:Addr.block_size
+        done;
+        Bytes.blit data 0 plain (off - (first * Addr.block_size)) len;
+        for blk = first to last do
+          Modes.xex_encrypt_into key ~tweak:(tweak_of pfn blk)
+            ~src:plain ~src_off:((blk - first) * Addr.block_size)
+            ~dst:page ~dst_off:(blk * Addr.block_size)
+            ~len:Addr.block_size
+        done
+  end
+
+let read_u64 t sel pfn ~off =
+  Bytes.get_int64_be (read t sel pfn ~off ~len:8) 0
+
+let write_u64 t sel pfn ~off v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 v;
+  write t sel pfn ~off b
+
+let reencrypt_page t ~src ~dst pfn =
+  let plain = read t src pfn ~off:0 ~len:Addr.page_size in
+  write t dst pfn ~off:0 plain
+
+let copy_page t ~src_sel ~src ~dst_sel ~dst =
+  let plain = read t src_sel src ~off:0 ~len:Addr.page_size in
+  write t dst_sel dst ~off:0 plain
+
+let fw_charge t =
+  Cost.charge t.ledger "enc-engine"
+    ((t.costs.Cost.dram_access + t.costs.Cost.enc_extra) * Addr.blocks_per_page)
+
+let fw_write_page t ~key pfn plain =
+  if Bytes.length plain <> Addr.page_size then
+    invalid_arg "Memctrl.fw_write_page: need a full page";
+  fw_charge t;
+  let aes = Aes.expand key in
+  let page = Physmem.page t.mem pfn in
+  for blk = 0 to Addr.blocks_per_page - 1 do
+    Modes.xex_encrypt_into aes ~tweak:(tweak_of pfn blk)
+      ~src:plain ~src_off:(blk * Addr.block_size)
+      ~dst:page ~dst_off:(blk * Addr.block_size)
+      ~len:Addr.block_size
+  done
+
+let fw_encrypt_page t ~key pfn =
+  let plain = Physmem.read_raw t.mem pfn ~off:0 ~len:Addr.page_size in
+  fw_write_page t ~key pfn plain
+
+let fw_decrypt_page t ~key pfn =
+  fw_charge t;
+  let aes = Aes.expand key in
+  let page = Physmem.page t.mem pfn in
+  let plain = Bytes.create Addr.page_size in
+  for blk = 0 to Addr.blocks_per_page - 1 do
+    Modes.xex_decrypt_into aes ~tweak:(tweak_of pfn blk)
+      ~src:page ~src_off:(blk * Addr.block_size)
+      ~dst:plain ~dst_off:(blk * Addr.block_size)
+      ~len:Addr.block_size
+  done;
+  plain

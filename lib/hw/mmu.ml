@@ -1,0 +1,186 @@
+type access = Read | Write | Exec
+
+let access_to_string = function Read -> "read" | Write -> "write" | Exec -> "exec"
+
+exception Fault of { space : int; vfn : Addr.vfn; access : access; reason : string }
+exception Npt_fault of { domid : int; gfn : Addr.gfn; access : access }
+
+let fault space vfn access reason =
+  raise (Fault { space = Pagetable.id space; vfn; access; reason })
+
+let translate (m : Machine.t) space access addr =
+  let vfn = Addr.frame_of addr in
+  ignore (Tlb.lookup m.tlb ~space_id:(Pagetable.id space) vfn);
+  match Pagetable.lookup space vfn with
+  | None -> fault space vfn access "not present"
+  | Some pte -> (
+      match access with
+      | Read -> (pte.frame, pte)
+      | Write ->
+          (* Supervisor writes honour CR0.WP: clear WP and read-only
+             mappings become writable — the type-1 gate's lever. *)
+          if pte.writable || not (Cpu.wp m.cpu) then (pte.frame, pte)
+          else fault space vfn access "read-only mapping with CR0.WP set"
+      | Exec ->
+          if pte.executable || not (Cpu.nxe m.cpu) then (pte.frame, pte)
+          else fault space vfn access "non-executable mapping with EFER.NXE set")
+
+let exec_ok (m : Machine.t) space vfn =
+  match Pagetable.lookup space vfn with
+  | None -> false
+  | Some pte -> pte.executable || not (Cpu.nxe m.cpu)
+
+let wx_ok (m : Machine.t) space vfn =
+  match Pagetable.lookup space vfn with
+  | None -> false
+  | Some pte ->
+      (pte.writable || not (Cpu.wp m.cpu)) && (pte.executable || not (Cpu.nxe m.cpu))
+
+let selector_of_pte (pte : Pagetable.proto) ~asid =
+  if pte.c_bit then (match asid with None -> Memctrl.Smek | Some a -> Memctrl.Asid a)
+  else Memctrl.Plain
+
+(* Block-granular CPU access through cache + controller. [fill] decides
+   whether this access deposits plaintext lines (encrypted traffic does). *)
+let cached_read (m : Machine.t) sel pfn ~off ~len =
+  let encrypted = match sel with Memctrl.Plain -> false | Memctrl.Smek | Memctrl.Asid _ -> true in
+  let first = off / Addr.block_size in
+  let last = (off + len - 1) / Addr.block_size in
+  let span = Bytes.create ((last - first + 1) * Addr.block_size) in
+  for blk = first to last do
+    let dst_off = (blk - first) * Addr.block_size in
+    match Cache.probe m.cache pfn ~block:blk with
+    | Some line -> Bytes.blit line 0 span dst_off Addr.block_size
+    | None ->
+        let line = Memctrl.read m.ctrl sel pfn ~off:(blk * Addr.block_size) ~len:Addr.block_size in
+        if encrypted then Cache.fill m.cache pfn ~block:blk line;
+        Bytes.blit line 0 span dst_off Addr.block_size
+  done;
+  Bytes.sub span (off - (first * Addr.block_size)) len
+
+let cached_write (m : Machine.t) sel pfn ~off data =
+  let len = Bytes.length data in
+  if len > 0 then begin
+    let encrypted = match sel with Memctrl.Plain -> false | Memctrl.Smek | Memctrl.Asid _ -> true in
+    Memctrl.write m.ctrl sel pfn ~off data;
+    (* Write-through: refresh plaintext lines for the fully covered blocks;
+       invalidate partially covered ones so stale plaintext cannot linger. *)
+    let first = off / Addr.block_size in
+    let last = (off + len - 1) / Addr.block_size in
+    for blk = first to last do
+      let blk_start = blk * Addr.block_size in
+      if encrypted && blk_start >= off && blk_start + Addr.block_size <= off + len then
+        Cache.fill m.cache pfn ~block:blk (Bytes.sub data (blk_start - off) Addr.block_size)
+      else
+        match Cache.probe m.cache pfn ~block:blk with
+        | Some _ ->
+            (* Partial overwrite of a resident line: reload it through the
+               engine to keep it coherent. *)
+            let line =
+              Memctrl.read m.ctrl sel pfn ~off:blk_start ~len:Addr.block_size
+            in
+            if encrypted then Cache.fill m.cache pfn ~block:blk line
+        | None -> ()
+    done
+  end
+
+let read_frame_as (m : Machine.t) ~sel pfn ~off ~len = cached_read m sel pfn ~off ~len
+
+(* Split a byte range into per-page chunks. *)
+let iter_pages ~addr ~len f =
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let off = Addr.offset_of a in
+    let chunk = min (len - !pos) (Addr.page_size - off) in
+    f ~chunk_addr:a ~chunk_off:!pos ~chunk_len:chunk;
+    pos := !pos + chunk
+  done
+
+let read m space ~addr ~len =
+  let out = Bytes.create len in
+  iter_pages ~addr ~len (fun ~chunk_addr ~chunk_off ~chunk_len ->
+      let pfn, pte = translate m space Read chunk_addr in
+      let sel = selector_of_pte pte ~asid:None in
+      let part = cached_read m sel pfn ~off:(Addr.offset_of chunk_addr) ~len:chunk_len in
+      Bytes.blit part 0 out chunk_off chunk_len);
+  out
+
+let write m space ~addr data =
+  iter_pages ~addr ~len:(Bytes.length data) (fun ~chunk_addr ~chunk_off ~chunk_len ->
+      let pfn, pte = translate m space Write chunk_addr in
+      let sel = selector_of_pte pte ~asid:None in
+      cached_write m sel pfn ~off:(Addr.offset_of chunk_addr)
+        (Bytes.sub data chunk_off chunk_len))
+
+
+let check_frame_writable (m : Machine.t) ~space pfn =
+  if m.enforce_paging then begin
+    match Pagetable.frame_mapped space pfn with
+    | [] ->
+        raise
+          (Fault
+             { space = Pagetable.id space;
+               vfn = pfn;
+               access = Write;
+               reason = Printf.sprintf "frame 0x%x is not mapped in the acting space" pfn })
+    | maps ->
+        let writable_somewhere =
+          List.exists (fun (_, (p : Pagetable.proto)) -> p.writable) maps
+        in
+        if not (writable_somewhere || not (Cpu.wp m.cpu)) then
+          raise
+            (Fault
+               { space = Pagetable.id space;
+                 vfn = pfn;
+                 access = Write;
+                 reason =
+                   Printf.sprintf "frame 0x%x is mapped read-only and CR0.WP is set" pfn })
+  end
+
+let set_pte (m : Machine.t) ~space ~table vfn proto =
+  (* The PTE store is a memory write to the page-table-page: the acting
+     space must hold a writable mapping of that frame (or any mapping with
+     CR0.WP clear). *)
+  let backing = Pagetable.backing_frame_of table vfn in
+  check_frame_writable m ~space backing;
+  Cost.charge m.ledger "pte-write" m.costs.Cost.cacheline_write;
+  Pagetable.hw_set table vfn proto;
+  Tlb.flush_entry m.tlb ~space_id:(Pagetable.id table) vfn
+
+let guest_translate (m : Machine.t) ~domid ~gpt ~npt ~asid access addr =
+  let gvfn = Addr.frame_of addr in
+  ignore (Tlb.lookup m.tlb ~space_id:(Pagetable.id gpt) gvfn);
+  match Pagetable.lookup gpt gvfn with
+  | None -> fault gpt gvfn access "guest page table: not present"
+  | Some gpte ->
+      if access = Write && not gpte.writable then
+        fault gpt gvfn access "guest page table: read-only";
+      let gfn = gpte.frame in
+      (match Pagetable.lookup npt gfn with
+      | None -> raise (Npt_fault { domid; gfn; access })
+      | Some npte ->
+          if access = Write && not npte.writable then
+            raise (Npt_fault { domid; gfn; access });
+          (* Guest C-bit selects the guest key and takes priority; the
+             nested C-bit alone selects the host SME key. *)
+          let sel =
+            if gpte.c_bit then Memctrl.Asid asid
+            else if npte.c_bit then Memctrl.Smek
+            else Memctrl.Plain
+          in
+          (npte.frame, sel))
+
+let guest_read m ~domid ~gpt ~npt ~asid ~addr ~len =
+  let out = Bytes.create len in
+  iter_pages ~addr ~len (fun ~chunk_addr ~chunk_off ~chunk_len ->
+      let pfn, sel = guest_translate m ~domid ~gpt ~npt ~asid Read chunk_addr in
+      let part = cached_read m sel pfn ~off:(Addr.offset_of chunk_addr) ~len:chunk_len in
+      Bytes.blit part 0 out chunk_off chunk_len);
+  out
+
+let guest_write m ~domid ~gpt ~npt ~asid ~addr data =
+  iter_pages ~addr ~len:(Bytes.length data) (fun ~chunk_addr ~chunk_off ~chunk_len ->
+      let pfn, sel = guest_translate m ~domid ~gpt ~npt ~asid Write chunk_addr in
+      cached_write m sel pfn ~off:(Addr.offset_of chunk_addr)
+        (Bytes.sub data chunk_off chunk_len))

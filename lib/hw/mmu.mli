@@ -1,0 +1,87 @@
+(** Permission-checked memory access: the only software path to memory and
+    to page-table updates.
+
+    Host accesses honour the x86 supervisor rules the paper's gates rely on:
+    a write to a read-only page faults when CR0.WP is set and is silently
+    permitted when it is clear (which is exactly what the type-1 gate
+    toggles); instruction fetch requires an executable mapping.
+
+    Guest accesses perform the two-level walk — guest page table (GVA to
+    GPA, carrying the C-bit) then nested page table (GPA to HPA) — and route
+    through the memory controller under the guest's ASID key when the C-bit
+    is set. A missing or insufficient NPT entry raises {!Npt_fault}, the
+    event that becomes an NPF vmexit.
+
+    The plaintext cache sits in front of the controller: encrypted accesses
+    fill it, and *every* read probes it first, reproducing the inter-VM
+    remap leak of the paper's Section 6.2. *)
+
+type access = Read | Write | Exec
+
+val access_to_string : access -> string
+
+exception Fault of { space : int; vfn : Addr.vfn; access : access; reason : string }
+(** Host-side page fault (the event Fidelius' fault handler mediates). *)
+
+exception Npt_fault of { domid : int; gfn : Addr.gfn; access : access }
+
+val translate : Machine.t -> Pagetable.t -> access -> int -> Addr.pfn * Pagetable.proto
+(** [translate m space access addr] walks one host mapping and applies the
+    supervisor permission rules; charges TLB costs. *)
+
+val read : Machine.t -> Pagetable.t -> addr:int -> len:int -> bytes
+(** Host read (may span pages). Probes the plaintext cache per block. *)
+
+val write : Machine.t -> Pagetable.t -> addr:int -> bytes -> unit
+(** Host write; faults on read-only mappings while CR0.WP is set. *)
+
+val exec_ok : Machine.t -> Pagetable.t -> Addr.vfn -> bool
+(** Would instruction fetch from this page succeed (present, executable,
+    honouring EFER.NXE)? *)
+
+val wx_ok : Machine.t -> Pagetable.t -> Addr.vfn -> bool
+(** Is the page simultaneously writable and executable (the code-injection
+    precondition)? *)
+
+val set_pte :
+  Machine.t ->
+  space:Pagetable.t -> table:Pagetable.t -> Addr.vfn -> Pagetable.proto option -> unit
+(** Update one entry of [table], acting from address space [space]. The
+    store targets the page-table-page that holds the entry, so it faults
+    unless [space] holds a writable mapping of that frame — or holds any
+    mapping while CR0.WP is clear. Flushes the affected TLB entry. Before
+    [Machine.enforce_paging] is set (early boot), the check is waived. *)
+
+val check_frame_writable : Machine.t -> space:Pagetable.t -> Addr.pfn -> unit
+(** The store-permission rule applied to a physical frame: the acting space
+    must hold a writable mapping of it, or any mapping while CR0.WP is
+    clear. Raises {!Fault} otherwise (no-op before paging enforcement).
+    Shared by PTE updates and grant-table updates — both are just memory
+    stores into protected frames. *)
+
+val guest_translate :
+  Machine.t ->
+  domid:int -> gpt:Pagetable.t -> npt:Pagetable.t -> asid:int -> access -> int ->
+  Addr.pfn * Memctrl.selector
+(** Two-level walk; returns the host frame and the effective encryption
+    selector: the guest C-bit selects the guest's ASID key and takes
+    priority over the nested-table C-bit, which selects the host SME key
+    (paper Section 2.1). Raises {!Fault} for guest-page-table misses and
+    {!Npt_fault} for nested misses/permission shortfalls. *)
+
+val guest_read :
+  Machine.t ->
+  domid:int -> gpt:Pagetable.t -> npt:Pagetable.t -> asid:int ->
+  addr:int -> len:int -> bytes
+
+val guest_write :
+  Machine.t ->
+  domid:int -> gpt:Pagetable.t -> npt:Pagetable.t -> asid:int ->
+  addr:int -> bytes -> unit
+
+val read_frame_as :
+  Machine.t -> sel:Memctrl.selector -> Addr.pfn -> off:int -> len:int -> bytes
+(** CPU read of a physical frame under an explicit selector, probing the
+    cache. This is the primitive behind "the hypervisor maps the victim's
+    frame and reads it": plain reads of encrypted frames return ciphertext
+    from DRAM — unless a plaintext line is still cache-resident. *)

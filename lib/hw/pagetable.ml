@@ -1,0 +1,126 @@
+type proto = {
+  frame : Addr.pfn;
+  writable : bool;
+  executable : bool;
+  c_bit : bool;
+}
+
+let entries_per_page = Addr.page_size / 8
+
+type t = {
+  table_id : int;
+  mem : Physmem.t;
+  alloc : unit -> Addr.pfn;
+  groups : (int, Addr.pfn) Hashtbl.t; (* vfn/512 -> page-table-page *)
+  reverse : (Addr.pfn, (Addr.vfn, unit) Hashtbl.t) Hashtbl.t;
+  (* [reverse] is an acceleration index maintained by [hw_set]; the
+     authoritative state is always the serialized bytes in [mem]. *)
+}
+
+let create ~id ~mem ~alloc =
+  { table_id = id;
+    mem;
+    alloc;
+    groups = Hashtbl.create 64;
+    reverse = Hashtbl.create 256 }
+
+(* Entry encoding: bit 63 present, 62 writable, 61 executable, 60 c-bit,
+   low 40 bits the target frame. *)
+let encode proto =
+  let open Int64 in
+  let bit b pos = if b then shift_left 1L pos else 0L in
+  logor (of_int (proto.frame land 0xFF_FFFF_FFFF))
+    (logor (bit true 63)
+       (logor (bit proto.writable 62)
+          (logor (bit proto.executable 61) (bit proto.c_bit 60))))
+
+let decode v =
+  let open Int64 in
+  let bit pos = not (equal (logand v (shift_left 1L pos)) 0L) in
+  if not (bit 63) then None
+  else
+    Some
+      { frame = to_int (logand v 0xFF_FFFF_FFFFL);
+        writable = bit 62;
+        executable = bit 61;
+        c_bit = bit 60 }
+
+let id t = t.table_id
+let group_of vfn = vfn / entries_per_page
+let slot_of vfn = vfn mod entries_per_page
+
+let ensure_group t g =
+  match Hashtbl.find_opt t.groups g with
+  | Some pfn -> pfn
+  | None ->
+      let pfn = t.alloc () in
+      Hashtbl.replace t.groups g pfn;
+      pfn
+
+let backing_frame_of t vfn = ensure_group t (group_of vfn)
+
+let backing_frames t =
+  Hashtbl.fold (fun _ pfn acc -> pfn :: acc) t.groups []
+  |> List.sort_uniq compare
+
+let lookup t vfn =
+  match Hashtbl.find_opt t.groups (group_of vfn) with
+  | None -> None
+  | Some pfn ->
+      decode (Bytes.get_int64_be (Physmem.page t.mem pfn) (slot_of vfn * 8))
+
+let reverse_add t frame vfn =
+  let set =
+    match Hashtbl.find_opt t.reverse frame with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 4 in
+        Hashtbl.replace t.reverse frame s;
+        s
+  in
+  Hashtbl.replace set vfn ()
+
+let reverse_remove t frame vfn =
+  match Hashtbl.find_opt t.reverse frame with
+  | None -> ()
+  | Some s ->
+      Hashtbl.remove s vfn;
+      if Hashtbl.length s = 0 then Hashtbl.remove t.reverse frame
+
+let hw_set t vfn proto =
+  let pt_page = Physmem.page t.mem (ensure_group t (group_of vfn)) in
+  (match decode (Bytes.get_int64_be pt_page (slot_of vfn * 8)) with
+  | Some old -> reverse_remove t old.frame vfn
+  | None -> ());
+  match proto with
+  | Some p ->
+      Bytes.set_int64_be pt_page (slot_of vfn * 8) (encode p);
+      reverse_add t p.frame vfn
+  | None -> Bytes.set_int64_be pt_page (slot_of vfn * 8) 0L
+
+let mapped_frames t =
+  Hashtbl.fold
+    (fun g pfn acc ->
+      let page = Physmem.page t.mem pfn in
+      let base = g * entries_per_page in
+      let group_entries = ref [] in
+      for slot = 0 to entries_per_page - 1 do
+        match decode (Bytes.get_int64_be page (slot * 8)) with
+        | Some p -> group_entries := (base + slot, p) :: !group_entries
+        | None -> ()
+      done;
+      !group_entries @ acc)
+    t.groups []
+
+let frame_mapped t frame =
+  match Hashtbl.find_opt t.reverse frame with
+  | None -> []
+  | Some set ->
+      Hashtbl.fold
+        (fun vfn () acc ->
+          match lookup t vfn with
+          | Some p when p.frame = frame -> (vfn, p) :: acc
+          | Some _ | None -> acc)
+        set []
+
+let entry_count t = List.length (mapped_frames t)

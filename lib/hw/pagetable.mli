@@ -1,0 +1,57 @@
+(** Page tables (host page tables, guest page tables, and NPTs).
+
+    A table maps virtual (or guest-physical) frame numbers to {!proto}
+    entries. Entries are not OCaml-side shadow state: they are serialized
+    into *backing frames inside simulated physical memory* (8 bytes per
+    entry, 512 entries per page-table-page, allocated lazily). This is what
+    makes the paper's central mechanism meaningful in the simulator:
+
+    - "write-protect the page-table-pages" is a statement about the backing
+      frames' own mappings, checked by {!Mmu.set_pte} before any store;
+    - physical channels (DMA, Rowhammer) really can corrupt translation
+      state, because the translation state really lives in physical frames.
+
+    The raw [hw_set] mutator models the memory store a PTE update ultimately
+    is; it is reachable only through {!Mmu} (permission-checked) and the
+    machine's DMA path (IOMMU-checked). *)
+
+type proto = {
+  frame : Addr.pfn;   (** target frame (host-physical, or guest-physical for guest tables) *)
+  writable : bool;
+  executable : bool;
+  c_bit : bool;       (** request encryption for this mapping *)
+}
+
+type t
+
+val create : id:int -> mem:Physmem.t -> alloc:(unit -> Addr.pfn) -> t
+(** [create ~id ~mem ~alloc] makes an empty table whose entries are stored in
+    [mem]; [alloc] provides backing frames for page-table-pages on demand.
+    [id] keys the TLB. *)
+
+val id : t -> int
+
+val lookup : t -> Addr.vfn -> proto option
+(** Walk one entry, reading the authoritative bytes in physical memory (so
+    physical-channel corruption of a PTE is observed, as on hardware). *)
+
+val backing_frame_of : t -> Addr.vfn -> Addr.pfn
+(** The page-table-page that holds (or would hold) the entry for [vfn];
+    allocates it if absent. *)
+
+val backing_frames : t -> Addr.pfn list
+(** Every allocated page-table-page, for Fidelius to write-protect and to
+    record in the PIT. *)
+
+val hw_set : t -> Addr.vfn -> proto option -> unit
+(** Raw store of an entry ([None] clears it). No permission check — callers
+    are {!Mmu} and boot-time setup only. *)
+
+val mapped_frames : t -> (Addr.vfn * proto) list
+
+val frame_mapped : t -> Addr.pfn -> (Addr.vfn * proto) list
+(** Reverse lookup: every mapping whose target is the given frame. Used for
+    permission checks ("does the acting context hold any writable mapping of
+    this frame?") and by remap-attack detection. *)
+
+val entry_count : t -> int

@@ -1,0 +1,33 @@
+(** Simulated physical DRAM.
+
+    Pages hold whatever the memory controller stored: for C-bit traffic that
+    is ciphertext. The raw accessors model *physical* access channels —
+    cold-boot dumps, bus snooping, DMA — which bypass the CPU's encryption
+    engine and therefore see ciphertext for protected pages and plaintext for
+    unprotected ones, exactly the distinction the paper's hardware threat
+    model rests on. *)
+
+type t
+
+val create : nr_frames:int -> t
+(** Fresh zeroed memory of [nr_frames] pages. *)
+
+val nr_frames : t -> int
+
+val read_raw : t -> Addr.pfn -> off:int -> len:int -> bytes
+(** Physical-channel read (no decryption). Raises [Invalid_argument] when the
+    range leaves the page or the frame is out of bounds. *)
+
+val write_raw : t -> Addr.pfn -> off:int -> bytes -> unit
+(** Physical-channel write (e.g. a DMA device or a Rowhammer flip). *)
+
+val page : t -> Addr.pfn -> bytes
+(** The backing store of one page, shared (mutations are visible). Reserved
+    for the memory controller; everything else goes through the raw/MMU
+    paths. *)
+
+val flip_bit : t -> Addr.pfn -> off:int -> bit:int -> unit
+(** Rowhammer-style disturbance: flip one bit in place. *)
+
+val dump : t -> Addr.pfn -> bytes
+(** Cold-boot image of a page (copy). *)

@@ -1,0 +1,33 @@
+type t = {
+  cached : (int * Addr.vfn, unit) Hashtbl.t;
+  ledger : Cost.ledger;
+  costs : Cost.table;
+  mutable full_flushes : int;
+}
+
+let create ledger =
+  { cached = Hashtbl.create 1024; ledger; costs = Cost.default; full_flushes = 0 }
+
+let lookup t ~space_id vfn =
+  let key = (space_id, vfn) in
+  if Hashtbl.mem t.cached key then begin
+    Cost.charge t.ledger "tlb-hit" t.costs.Cost.cache_hit;
+    true
+  end
+  else begin
+    Cost.charge t.ledger "tlb-miss" t.costs.Cost.tlb_miss_walk;
+    Hashtbl.replace t.cached key ();
+    false
+  end
+
+let flush_entry t ~space_id vfn =
+  Hashtbl.remove t.cached (space_id, vfn);
+  Cost.charge t.ledger "tlb-flush" t.costs.Cost.tlb_flush_entry
+
+let flush_all t =
+  Hashtbl.reset t.cached;
+  t.full_flushes <- t.full_flushes + 1;
+  Cost.charge t.ledger "tlb-flush" t.costs.Cost.tlb_flush_full
+
+let entries t = Hashtbl.length t.cached
+let flushes t = t.full_flushes

@@ -1,0 +1,27 @@
+(** Translation lookaside buffer model.
+
+    The simulator does not need a TLB for correctness — translations are
+    re-walked on demand — but the *cost* of TLB maintenance is central to the
+    paper's gate design: a full flush is what makes the CR3-switch isolation
+    approach expensive, and the single-entry flush (128 cycles) dominates the
+    type-3 gate (339 cycles total). The TLB therefore tracks cached
+    translations and charges the ledger for misses and flushes. *)
+
+type t
+
+val create : Cost.ledger -> t
+
+val lookup : t -> space_id:int -> Addr.vfn -> bool
+(** [lookup t ~space_id vfn] returns whether the translation was cached, and
+    caches it if not. Charges a walk on miss, a hit cost otherwise. *)
+
+val flush_entry : t -> space_id:int -> Addr.vfn -> unit
+(** INVLPG-equivalent; charges {!Cost.table.tlb_flush_entry}. *)
+
+val flush_all : t -> unit
+(** Full flush (what a CR3 write costs on the paper's AMD parts); charges
+    {!Cost.table.tlb_flush_full}. *)
+
+val entries : t -> int
+val flushes : t -> int
+(** Count of full flushes, for the gate-design ablation. *)

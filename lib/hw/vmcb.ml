@@ -1,0 +1,84 @@
+type exit_reason =
+  | Cpuid
+  | Hlt
+  | Vmmcall
+  | Npf
+  | Ioio
+  | Msr
+  | Intr
+  | Shutdown
+
+let exit_reason_to_int64 = function
+  | Cpuid -> 0x72L
+  | Hlt -> 0x78L
+  | Vmmcall -> 0x81L
+  | Npf -> 0x400L
+  | Ioio -> 0x7bL
+  | Msr -> 0x7cL
+  | Intr -> 0x60L
+  | Shutdown -> 0x7fL
+
+let exit_reason_of_int64 = function
+  | 0x72L -> Some Cpuid
+  | 0x78L -> Some Hlt
+  | 0x81L -> Some Vmmcall
+  | 0x400L -> Some Npf
+  | 0x7bL -> Some Ioio
+  | 0x7cL -> Some Msr
+  | 0x60L -> Some Intr
+  | 0x7fL -> Some Shutdown
+  | _ -> None
+
+let exit_reason_to_string = function
+  | Cpuid -> "CPUID"
+  | Hlt -> "HLT"
+  | Vmmcall -> "VMMCALL"
+  | Npf -> "NPF"
+  | Ioio -> "IOIO"
+  | Msr -> "MSR"
+  | Intr -> "INTR"
+  | Shutdown -> "SHUTDOWN"
+
+type field =
+  | Rip | Rsp | Rax | Cr0 | Cr3 | Cr4 | Efer
+  | Exit_reason | Exit_info1 | Exit_info2
+  | Intercepts | Asid | Sev_enabled | Np_enabled | Np_cr3
+
+let fields =
+  [ Rip; Rsp; Rax; Cr0; Cr3; Cr4; Efer;
+    Exit_reason; Exit_info1; Exit_info2;
+    Intercepts; Asid; Sev_enabled; Np_enabled; Np_cr3 ]
+
+let save_area = [ Rip; Rsp; Rax; Cr0; Cr3; Cr4; Efer ]
+
+let control_area =
+  [ Exit_reason; Exit_info1; Exit_info2; Intercepts; Asid; Sev_enabled; Np_enabled; Np_cr3 ]
+
+let field_to_string = function
+  | Rip -> "rip" | Rsp -> "rsp" | Rax -> "rax"
+  | Cr0 -> "cr0" | Cr3 -> "cr3" | Cr4 -> "cr4" | Efer -> "efer"
+  | Exit_reason -> "exit_reason" | Exit_info1 -> "exit_info1" | Exit_info2 -> "exit_info2"
+  | Intercepts -> "intercepts" | Asid -> "asid"
+  | Sev_enabled -> "sev_enabled" | Np_enabled -> "np_enabled" | Np_cr3 -> "np_cr3"
+
+let index = function
+  | Rip -> 0 | Rsp -> 1 | Rax -> 2 | Cr0 -> 3 | Cr3 -> 4 | Cr4 -> 5 | Efer -> 6
+  | Exit_reason -> 7 | Exit_info1 -> 8 | Exit_info2 -> 9
+  | Intercepts -> 10 | Asid -> 11 | Sev_enabled -> 12 | Np_enabled -> 13 | Np_cr3 -> 14
+
+type t = int64 array
+
+let create () = Array.make 15 0L
+let get t f = t.(index f)
+let set t f v = t.(index f) <- v
+let copy t = Array.copy t
+let blit ~src ~dst = Array.blit src 0 dst 0 15
+
+let diff a b = List.filter (fun f -> not (Int64.equal (get a f) (get b f))) fields
+
+let exit_reason t = exit_reason_of_int64 (get t Exit_reason)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun f -> Format.fprintf fmt "%-12s 0x%Lx@," (field_to_string f) (get t f)) fields;
+  Format.fprintf fmt "@]"

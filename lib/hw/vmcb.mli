@@ -1,0 +1,59 @@
+(** Virtual Machine Control Block.
+
+    Holds the guest's runtime state across world switches plus the control
+    fields the hypervisor uses to configure interception. On plain SEV the
+    VMCB is *not* encrypted or integrity-protected — the vulnerability class
+    that motivates Fidelius' shadowing (and that SEV-ES later fixed in
+    hardware). The simulator therefore leaves it freely readable and
+    writable by whoever holds a reference; protection is layered on by
+    {!Fidelius_core.Shadow}. *)
+
+type exit_reason =
+  | Cpuid
+  | Hlt
+  | Vmmcall        (** hypercall *)
+  | Npf            (** nested page fault; fault GPA is in exit_info2 *)
+  | Ioio
+  | Msr
+  | Intr
+  | Shutdown
+
+val exit_reason_to_int64 : exit_reason -> int64
+val exit_reason_of_int64 : int64 -> exit_reason option
+val exit_reason_to_string : exit_reason -> string
+
+type field =
+  (* save area: guest state *)
+  | Rip | Rsp | Rax | Cr0 | Cr3 | Cr4 | Efer
+  (* control area *)
+  | Exit_reason | Exit_info1 | Exit_info2
+  | Intercepts | Asid | Sev_enabled | Np_enabled | Np_cr3
+
+val fields : field list
+val save_area : field list
+(** The guest-state fields (confidential once SEV-ES-style protection is
+    wanted). *)
+
+val control_area : field list
+val field_to_string : field -> string
+
+type t
+
+val create : unit -> t
+(** All-zero VMCB. *)
+
+val get : t -> field -> int64
+val set : t -> field -> int64 -> unit
+val copy : t -> t
+(** Deep copy; used by the Fidelius shadowing step. *)
+
+val blit : src:t -> dst:t -> unit
+(** Overwrite every field of [dst] with [src]'s values. *)
+
+val diff : t -> t -> field list
+(** Fields whose values differ, for exit-reason-based verification. *)
+
+val exit_reason : t -> exit_reason option
+(** Decoded [Exit_reason] field. *)
+
+val pp : Format.formatter -> t -> unit

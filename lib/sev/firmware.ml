@@ -1,0 +1,396 @@
+module Rng = Fidelius_crypto.Rng
+module Dh = Fidelius_crypto.Dh
+module Keywrap = Fidelius_crypto.Keywrap
+module Machine = Fidelius_hw.Machine
+module Memctrl = Fidelius_hw.Memctrl
+module Physmem = Fidelius_hw.Physmem
+module Addr = Fidelius_hw.Addr
+module Cost = Fidelius_hw.Cost
+
+type handle = int
+
+type guest_ctx = {
+  handle : handle;
+  mutable state : State.t;
+  kvek : bytes;
+  policy : int;
+  mutable asid : int option;
+  mutable tek : bytes option;
+  mutable tik : bytes option;
+  mutable nonce : int64;
+  mutable measure : Measure.t;
+}
+
+type t = {
+  machine : Machine.t;
+  mutable is_initialized : bool;
+  contexts : (handle, guest_ctx) Hashtbl.t;
+  mutable next_handle : handle;
+  platform_secret : Dh.secret;
+  platform_pub : Dh.public;
+  rng : Rng.t;
+  geks : (handle * int, bytes) Hashtbl.t;
+  mutable next_gek : int;
+}
+
+let policy_nodbg = 1
+let policy_nosend = 2
+
+let create machine =
+  let rng = Rng.split machine.Machine.rng in
+  let platform_secret, platform_pub = Dh.generate rng in
+  { machine;
+    is_initialized = false;
+    contexts = Hashtbl.create 16;
+    next_handle = 1;
+    platform_secret;
+    platform_pub;
+    rng;
+    geks = Hashtbl.create 16;
+    next_gek = 1 }
+
+let charge_cmd t = Cost.charge t.machine.Machine.ledger "sev-fw" t.machine.Machine.costs.Cost.firmware_cmd
+
+(* The secure processor's stores are coherent with the CPU caches: evict
+   any stale plaintext lines whenever the firmware rewrites a frame. *)
+let coherent_write t ~key pfn plain =
+  Memctrl.fw_write_page t.machine.Machine.ctrl ~key pfn plain;
+  Fidelius_hw.Cache.invalidate_page t.machine.Machine.cache pfn
+
+let coherent_encrypt t ~key pfn =
+  Memctrl.fw_encrypt_page t.machine.Machine.ctrl ~key pfn;
+  Fidelius_hw.Cache.invalidate_page t.machine.Machine.cache pfn
+let charge_page t = Cost.charge t.machine.Machine.ledger "sev-fw" t.machine.Machine.costs.Cost.firmware_page
+
+let ( let* ) = Result.bind
+
+let initialized t = t.is_initialized
+
+let init t =
+  charge_cmd t;
+  if t.is_initialized then Error "INIT: platform already initialized"
+  else begin
+    t.is_initialized <- true;
+    Ok ()
+  end
+
+let platform_public t = t.platform_pub
+
+let need_init t cmd =
+  if t.is_initialized then Ok () else Error (cmd ^ ": platform not initialized")
+
+let ctx t handle cmd =
+  match Hashtbl.find_opt t.contexts handle with
+  | Some c when c.state <> State.Decommissioned -> Ok c
+  | Some _ -> Error (Printf.sprintf "%s: handle %d is decommissioned" cmd handle)
+  | None -> Error (Printf.sprintf "%s: unknown handle %d" cmd handle)
+
+let fresh_handle t =
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  h
+
+let launch_start t ~policy =
+  charge_cmd t;
+  let* () = need_init t "LAUNCH_START" in
+  let handle = fresh_handle t in
+  Hashtbl.replace t.contexts handle
+    { handle;
+      state = State.Launching;
+      kvek = Rng.bytes t.rng 16;
+      policy;
+      asid = None;
+      tek = None;
+      tik = None;
+      nonce = 0L;
+      measure = Measure.create () };
+  Ok handle
+
+let launch_update t ~handle ~pfn =
+  charge_page t;
+  let* c = ctx t handle "LAUNCH_UPDATE" in
+  let* () = State.require c.state ~expected:[ State.Launching ] ~cmd:"LAUNCH_UPDATE" in
+  let plain = Physmem.read_raw t.machine.Machine.mem pfn ~off:0 ~len:Addr.page_size in
+  Measure.add_page c.measure ~index:pfn plain;
+  coherent_encrypt t ~key:c.kvek pfn;
+  Ok ()
+
+let launch_finish t ~handle =
+  charge_cmd t;
+  let* c = ctx t handle "LAUNCH_FINISH" in
+  let* () = State.require c.state ~expected:[ State.Launching ] ~cmd:"LAUNCH_FINISH" in
+  c.state <- State.Running;
+  (* Unkeyed digest: the launch flow's attestation root. *)
+  Ok (Measure.finalize c.measure ~tik:(Bytes.create 0))
+
+let launch_shared t ~handle =
+  charge_cmd t;
+  let* c = ctx t handle "LAUNCH(shared)" in
+  let* () = State.require c.state ~expected:[ State.Running ] ~cmd:"LAUNCH(shared)" in
+  let helper = fresh_handle t in
+  Hashtbl.replace t.contexts helper
+    { handle = helper;
+      state = State.Running;
+      kvek = Bytes.copy c.kvek;
+      policy = c.policy;
+      asid = None;
+      tek = None;
+      tik = None;
+      nonce = 0L;
+      measure = Measure.create () };
+  Ok helper
+
+(* ACTIVATE binds handle to ASID with no ownership validation: the
+   handle/ASID relationship is hypervisor-managed state, which is precisely
+   the weakness the paper points out. *)
+let activate t ~handle ~asid =
+  charge_cmd t;
+  let* c = ctx t handle "ACTIVATE" in
+  if asid <= 0 then Error "ACTIVATE: ASID must be positive"
+  else begin
+    c.asid <- Some asid;
+    Memctrl.install_key t.machine.Machine.ctrl ~asid c.kvek;
+    Ok ()
+  end
+
+let deactivate t ~handle =
+  charge_cmd t;
+  let* c = ctx t handle "DEACTIVATE" in
+  match c.asid with
+  | None -> Error "DEACTIVATE: guest not activated"
+  | Some asid ->
+      Memctrl.uninstall_key t.machine.Machine.ctrl ~asid;
+      c.asid <- None;
+      Ok ()
+
+let decommission t ~handle =
+  charge_cmd t;
+  let* c = ctx t handle "DECOMMISSION" in
+  (match c.asid with
+  | Some asid -> Memctrl.uninstall_key t.machine.Machine.ctrl ~asid
+  | None -> ());
+  c.asid <- None;
+  c.state <- State.Decommissioned;
+  (* Scrub key material. *)
+  Bytes.fill c.kvek 0 (Bytes.length c.kvek) '\000';
+  Ok ()
+
+let state_of t ~handle =
+  Option.map (fun c -> c.state) (Hashtbl.find_opt t.contexts handle)
+
+let asid_of t ~handle =
+  Option.bind (Hashtbl.find_opt t.contexts handle) (fun c -> c.asid)
+
+let send_start t ~handle ~target_public ~nonce =
+  charge_cmd t;
+  let* c = ctx t handle "SEND_START" in
+  let* () = State.require c.state ~expected:[ State.Running ] ~cmd:"SEND_START" in
+  let* () =
+    if c.policy land policy_nosend <> 0 then
+      Error "SEND_START: forbidden by guest policy (NOSEND)"
+    else Ok ()
+  in
+  let tek = Rng.bytes t.rng 16 and tik = Rng.bytes t.rng 32 in
+  c.tek <- Some tek;
+  c.tik <- Some tik;
+  c.nonce <- nonce;
+  c.measure <- Measure.create ();
+  c.state <- State.Sending;
+  let kek =
+    Transport.derive_master_secret ~secret:t.platform_secret ~peer_public:target_public ~nonce
+  in
+  Ok (Keywrap.wrap ~kek (Bytes.cat tek tik))
+
+let send_update t ~handle ~index ~src_pfn =
+  charge_page t;
+  let* c = ctx t handle "SEND_UPDATE" in
+  let* () = State.require c.state ~expected:[ State.Sending ] ~cmd:"SEND_UPDATE" in
+  match c.tek with
+  | None -> Error "SEND_UPDATE: no transport key"
+  | Some tek ->
+      let plain = Memctrl.fw_decrypt_page t.machine.Machine.ctrl ~key:c.kvek src_pfn in
+      Measure.add_page c.measure ~index plain;
+      Ok (Transport.page_cipher ~tek ~index plain)
+
+let send_finish t ~handle =
+  charge_cmd t;
+  let* c = ctx t handle "SEND_FINISH" in
+  let* () = State.require c.state ~expected:[ State.Sending ] ~cmd:"SEND_FINISH" in
+  match c.tik with
+  | None -> Error "SEND_FINISH: no integrity key"
+  | Some tik ->
+      c.state <- State.Sent;
+      Measure.add_data c.measure (Transport.measurement_meta ~policy:c.policy ~nonce:c.nonce);
+      Ok (Measure.finalize c.measure ~tik)
+
+let receive_start t ~wrapped ~origin_public ~nonce ~policy ?kvek_of () =
+  charge_cmd t;
+  let* () = need_init t "RECEIVE_START" in
+  let kek =
+    Transport.derive_master_secret ~secret:t.platform_secret ~peer_public:origin_public ~nonce
+  in
+  match Keywrap.unwrap ~kek wrapped with
+  | None -> Error "RECEIVE_START: transport key unwrap failed (wrong platform or tampered)"
+  | Some keys when Bytes.length keys <> 48 -> Error "RECEIVE_START: malformed transport keys"
+  | Some keys -> (
+      let tek = Bytes.sub keys 0 16 and tik = Bytes.sub keys 16 32 in
+      let* kvek =
+        match kvek_of with
+        | None -> Ok (Rng.bytes t.rng 16)
+        | Some h ->
+            let* src = ctx t h "RECEIVE_START(kvek_of)" in
+            Ok (Bytes.copy src.kvek)
+      in
+      let handle = fresh_handle t in
+      Hashtbl.replace t.contexts handle
+        { handle;
+          state = State.Receiving;
+          kvek;
+          policy;
+          asid = None;
+          tek = Some tek;
+          tik = Some tik;
+          nonce;
+          measure = Measure.create () };
+      Ok handle)
+
+let receive_update t ~handle ~index ~cipher ~dst_pfn =
+  charge_page t;
+  let* c = ctx t handle "RECEIVE_UPDATE" in
+  let* () = State.require c.state ~expected:[ State.Receiving ] ~cmd:"RECEIVE_UPDATE" in
+  match c.tek with
+  | None -> Error "RECEIVE_UPDATE: no transport key"
+  | Some tek ->
+      if Bytes.length cipher <> Addr.page_size then Error "RECEIVE_UPDATE: need a full page"
+      else begin
+        let plain = Transport.page_plain ~tek ~index cipher in
+        Measure.add_page c.measure ~index plain;
+        coherent_write t ~key:c.kvek dst_pfn plain;
+        Ok ()
+      end
+
+let receive_update_in_place t ~handle ~index ~pfn =
+  let cipher = Physmem.read_raw t.machine.Machine.mem pfn ~off:0 ~len:Addr.page_size in
+  receive_update t ~handle ~index ~cipher ~dst_pfn:pfn
+
+let send_update_io t ~handle ~nonce ~src_pfn ~len =
+  charge_page t;
+  let* c = ctx t handle "SEND_UPDATE(io)" in
+  let* () = State.require c.state ~expected:[ State.Sending ] ~cmd:"SEND_UPDATE(io)" in
+  match c.tek with
+  | None -> Error "SEND_UPDATE(io): no transport key"
+  | Some tek ->
+      if len <= 0 || len > Addr.page_size then Error "SEND_UPDATE(io): bad length"
+      else begin
+        let plain_page = Memctrl.fw_decrypt_page t.machine.Machine.ctrl ~key:c.kvek src_pfn in
+        let plain = Bytes.sub plain_page 0 len in
+        Ok (Fidelius_crypto.Modes.ctr_transform (Fidelius_crypto.Aes.expand tek) ~nonce plain)
+      end
+
+let receive_update_io t ~handle ~nonce ~cipher ~dst_pfn =
+  charge_page t;
+  let* c = ctx t handle "RECEIVE_UPDATE(io)" in
+  let* () = State.require c.state ~expected:[ State.Receiving ] ~cmd:"RECEIVE_UPDATE(io)" in
+  match c.tek with
+  | None -> Error "RECEIVE_UPDATE(io): no transport key"
+  | Some tek ->
+      let len = Bytes.length cipher in
+      if len <= 0 || len > Addr.page_size then Error "RECEIVE_UPDATE(io): bad length"
+      else begin
+        let plain =
+          Fidelius_crypto.Modes.ctr_transform (Fidelius_crypto.Aes.expand tek) ~nonce cipher
+        in
+        (* Read-modify-write the destination frame under Kvek so only the
+           payload prefix changes. *)
+        let page = Memctrl.fw_decrypt_page t.machine.Machine.ctrl ~key:c.kvek dst_pfn in
+        Bytes.blit plain 0 page 0 len;
+        coherent_write t ~key:c.kvek dst_pfn page;
+        Ok ()
+      end
+
+let receive_finish t ~handle ~expected =
+  charge_cmd t;
+  let* c = ctx t handle "RECEIVE_FINISH" in
+  let* () = State.require c.state ~expected:[ State.Receiving ] ~cmd:"RECEIVE_FINISH" in
+  match c.tik with
+  | None -> Error "RECEIVE_FINISH: no integrity key"
+  | Some tik ->
+      Measure.add_data c.measure (Transport.measurement_meta ~policy:c.policy ~nonce:c.nonce);
+      if Measure.verify c.measure ~tik ~expected then begin
+        c.state <- State.Running;
+        Ok ()
+      end
+      else Error "RECEIVE_FINISH: measurement mismatch (image tampered or replayed)"
+
+(* --- customized-key extension (paper Section 8) ----------------------- *)
+
+let setenc_gek t ~handle =
+  charge_cmd t;
+  let* c = ctx t handle "SETENC_GEK" in
+  let* () = State.require c.state ~expected:[ State.Running ] ~cmd:"SETENC_GEK" in
+  let id = t.next_gek in
+  t.next_gek <- id + 1;
+  Hashtbl.replace t.geks (handle, id) (Rng.bytes t.rng 16);
+  Ok id
+
+let find_gek t handle gek cmd =
+  match Hashtbl.find_opt t.geks (handle, gek) with
+  | Some k -> Ok k
+  | None -> Error (Printf.sprintf "%s: no GEK %d for handle %d" cmd gek handle)
+
+let enc_range t ~handle ~gek ~nonce ~src_pfn ~len =
+  charge_page t;
+  let* c = ctx t handle "ENC" in
+  let* () = State.require c.state ~expected:[ State.Running ] ~cmd:"ENC" in
+  let* key = find_gek t handle gek "ENC" in
+  if len <= 0 || len > Addr.page_size then Error "ENC: bad length"
+  else begin
+    let plain_page = Memctrl.fw_decrypt_page t.machine.Machine.ctrl ~key:c.kvek src_pfn in
+    let plain = Bytes.sub plain_page 0 len in
+    Ok (Fidelius_crypto.Modes.ctr_transform (Fidelius_crypto.Aes.expand key) ~nonce plain)
+  end
+
+let dec_range t ~handle ~gek ~nonce ~cipher ~dst_pfn =
+  charge_page t;
+  let* c = ctx t handle "DEC" in
+  let* () = State.require c.state ~expected:[ State.Running ] ~cmd:"DEC" in
+  let* key = find_gek t handle gek "DEC" in
+  let len = Bytes.length cipher in
+  if len <= 0 || len > Addr.page_size then Error "DEC: bad length"
+  else begin
+    let plain =
+      Fidelius_crypto.Modes.ctr_transform (Fidelius_crypto.Aes.expand key) ~nonce cipher
+    in
+    let page = Memctrl.fw_decrypt_page t.machine.Machine.ctrl ~key:c.kvek dst_pfn in
+    Bytes.blit plain 0 page 0 len;
+    coherent_write t ~key:c.kvek dst_pfn page;
+    Ok ()
+  end
+
+(* --- attestation -------------------------------------------------------- *)
+
+let attestation_key t =
+  (* Derived from the platform identity; conceptually the public half of a
+     signing pair distributed via the manufacturer certificate chain. *)
+  Fidelius_crypto.Sha256.digest
+    (Bytes.cat (Dh.public_to_bytes t.platform_pub) (Bytes.of_string "attest-key"))
+
+let quote_payload ~data ~nonce =
+  let b = Bytes.create (8 + Bytes.length data) in
+  Bytes.set_int64_be b 0 nonce;
+  Bytes.blit data 0 b 8 (Bytes.length data);
+  b
+
+let attest t ~data ~nonce =
+  charge_cmd t;
+  Fidelius_crypto.Hmac.mac ~key:(attestation_key t) (quote_payload ~data ~nonce)
+
+let verify_quote ~attestation_key ~data ~nonce ~quote =
+  Fidelius_crypto.Hmac.verify ~key:attestation_key ~tag:quote (quote_payload ~data ~nonce)
+
+let dbg_decrypt t ~handle ~pfn =
+  charge_page t;
+  let* c = ctx t handle "DBG_DECRYPT" in
+  if c.policy land policy_nodbg <> 0 then
+    Error "DBG_DECRYPT: forbidden by guest policy (NODBG)"
+  else Ok (Memctrl.fw_decrypt_page t.machine.Machine.ctrl ~key:c.kvek pfn)

@@ -1,0 +1,183 @@
+(** The SEV secure-processor firmware.
+
+    Implements the command set the paper builds on: INIT, LAUNCH_*,
+    ACTIVATE/DEACTIVATE/DECOMMISSION, SEND_*, RECEIVE_*, DBG_DECRYPT — with
+    the AMD state machine enforced per guest context. Kvek never crosses the
+    API boundary: it exists only inside contexts and in memory-controller
+    key slots.
+
+    Deliberately faithful insecurities (they are what Fidelius fixes in
+    software): ACTIVATE lets its caller bind *any* handle to *any* ASID — the
+    handle/ASID relationship is hypervisor-managed and unprotected, enabling
+    the collusive key-sharing attack of Section 2.2; and nothing here stops
+    the hypervisor from skipping or replaying page-level RECEIVE_UPDATEs —
+    only the final measurement check catches it. *)
+
+type t
+
+type handle = int
+
+val create : Fidelius_hw.Machine.t -> t
+(** Attach a secure processor to a platform. Generates the platform ECDH
+    identity key. *)
+
+val init : t -> (unit, string) result
+(** Platform INIT; all other commands fail before it. *)
+
+val initialized : t -> bool
+
+val platform_public : t -> Fidelius_crypto.Dh.public
+(** The platform's public identity key (what a guest owner targets). *)
+
+val policy_nodbg : int
+(** Guest policy bit forbidding DBG_DECRYPT. *)
+
+val policy_nosend : int
+(** Guest policy bit forbidding SEND (the guest owner opts out of
+    migration/snapshot export entirely). *)
+
+(** {2 Launch} *)
+
+val launch_start : t -> policy:int -> (handle, string) result
+(** Fresh context with a newly generated Kvek; state LAUNCHING. *)
+
+val launch_update : t -> handle:handle -> pfn:Fidelius_hw.Addr.pfn -> (unit, string) result
+(** Encrypt a plaintext-resident page in place with the guest's Kvek and
+    fold it into the launch measurement. *)
+
+val launch_finish : t -> handle:handle -> (bytes, string) result
+(** State RUNNING; returns the (unkeyed) launch digest. *)
+
+val launch_shared : t -> handle:handle -> (handle, string) result
+(** Create a helper context sharing the Kvek of an existing RUNNING guest —
+    the paper's s-dom/r-dom trick (Section 4.3.5). The helper starts
+    RUNNING with an empty measurement. *)
+
+(** {2 Activation} *)
+
+val activate : t -> handle:handle -> asid:int -> (unit, string) result
+val deactivate : t -> handle:handle -> (unit, string) result
+val decommission : t -> handle:handle -> (unit, string) result
+
+val state_of : t -> handle:handle -> State.t option
+val asid_of : t -> handle:handle -> int option
+
+(** {2 Send (migration / image creation / I/O write)} *)
+
+val send_start :
+  t ->
+  handle:handle ->
+  target_public:Fidelius_crypto.Dh.public ->
+  nonce:int64 ->
+  (Fidelius_crypto.Keywrap.wrapped, string) result
+(** Generate transport keys, wrap them for [target_public]; state SENDING
+    (stops guest execution, per the paper's no-live-migration note). *)
+
+val send_update :
+  t -> handle:handle -> index:int -> src_pfn:Fidelius_hw.Addr.pfn -> (bytes, string) result
+(** Transport ciphertext of a guest page: decrypt with Kvek, re-encrypt with
+    Ktek, fold into the send measurement. *)
+
+val send_finish : t -> handle:handle -> (bytes, string) result
+(** The keyed measurement (HMAC under Ktik); state SENT. *)
+
+(** {2 Receive (bootup from encrypted image / migration target / I/O read)} *)
+
+val receive_start :
+  t ->
+  wrapped:Fidelius_crypto.Keywrap.wrapped ->
+  origin_public:Fidelius_crypto.Dh.public ->
+  nonce:int64 ->
+  policy:int ->
+  ?kvek_of:handle ->
+  unit ->
+  (handle, string) result
+(** Unwrap Ktek/Ktik via the platform identity; fresh Kvek (or shared with
+    [kvek_of], for the r-dom helper); state RECEIVING. *)
+
+val receive_update :
+  t ->
+  handle:handle -> index:int -> cipher:bytes -> dst_pfn:Fidelius_hw.Addr.pfn ->
+  (unit, string) result
+(** Decrypt a transport page with Ktek and store it re-encrypted under Kvek
+    at [dst_pfn]. *)
+
+val receive_update_in_place :
+  t -> handle:handle -> index:int -> pfn:Fidelius_hw.Addr.pfn -> (unit, string) result
+(** Like {!receive_update} but the transport ciphertext was already loaded
+    (by the hypervisor, plaintext-in-DRAM) into [pfn]; the firmware
+    re-encrypts the frame in place — the paper's VM-bootup step 2. *)
+
+val receive_finish : t -> handle:handle -> expected:bytes -> (unit, string) result
+(** Verify the keyed measurement; state RUNNING on success, error (and no
+    transition) on mismatch. *)
+
+(** {2 Retrofitted I/O path (the paper's Section 4.3.5 reuse)}
+
+    The s-dom helper context stays in SENDING state forever and transforms
+    guest-private data (Kvek) into transport ciphertext (Ktek); the r-dom
+    helper stays in RECEIVING state and performs the inverse. The nonce is
+    caller-chosen (the disk sector number) so both directions agree. These
+    do not touch the helper's measurement. *)
+
+val send_update_io :
+  t -> handle:handle -> nonce:int64 -> src_pfn:Fidelius_hw.Addr.pfn -> len:int ->
+  (bytes, string) result
+(** Decrypt [len] bytes at the start of the guest-encrypted frame [src_pfn]
+    with Kvek and return them re-encrypted under Ktek. *)
+
+val receive_update_io :
+  t -> handle:handle -> nonce:int64 -> cipher:bytes -> dst_pfn:Fidelius_hw.Addr.pfn ->
+  (unit, string) result
+(** Decrypt transport ciphertext with Ktek and store it Kvek-encrypted at
+    the start of [dst_pfn]. *)
+
+(** {2 Customized-key extension (paper Section 8, suggestion 2)}
+
+    The paper's proposed instruction family: SETENC_GEK generates a
+    customized guest encryption key held in the firmware; ENC/DEC transform
+    a specified guest-memory range under it, usable while the guest context
+    is RUNNING. Compared to the SEND/RECEIVE retrofit this removes the
+    helper s-dom/r-dom contexts and their state-machine gymnastics (one
+    firmware command to set up instead of three, no perpetually-SENDING
+    contexts), which is exactly the simplification the paper argues for. *)
+
+val setenc_gek : t -> handle:handle -> (int, string) result
+(** Generate a fresh GEK for the guest; returns its id. The key never
+    leaves the firmware. *)
+
+val enc_range :
+  t -> handle:handle -> gek:int -> nonce:int64 -> src_pfn:Fidelius_hw.Addr.pfn -> len:int ->
+  (bytes, string) result
+(** Decrypt [len] bytes of the guest's (Kvek-encrypted) frame and return
+    them re-encrypted under the GEK. Legal in RUNNING state. *)
+
+val dec_range :
+  t -> handle:handle -> gek:int -> nonce:int64 -> cipher:bytes ->
+  dst_pfn:Fidelius_hw.Addr.pfn ->
+  (unit, string) result
+(** Inverse: GEK ciphertext lands Kvek-encrypted in the guest frame. *)
+
+(** {2 Attestation} *)
+
+val attestation_key : t -> bytes
+(** The platform's attestation verification key. On real hardware the
+    verifier gets the corresponding public key through AMD's certificate
+    chain and the quote is a signature; the simulator models the chain's
+    effect — a verifier-obtainable key that only this platform's firmware
+    can produce quotes under — with a MAC key handed out by this accessor
+    (treat calls to it as "fetched the cert chain"). *)
+
+val attest : t -> data:bytes -> nonce:int64 -> bytes
+(** Produce a 32-byte quote over [data] bound to the verifier's [nonce]. *)
+
+val verify_quote :
+  attestation_key:bytes -> data:bytes -> nonce:int64 -> quote:bytes -> bool
+(** Verifier side; pure function of the cert-chain key. *)
+
+(** {2 Debug} *)
+
+val dbg_decrypt :
+  t -> handle:handle -> pfn:Fidelius_hw.Addr.pfn -> (bytes, string) result
+(** Firmware-assisted decryption of a guest page — refused when the guest
+    policy carries {!policy_nodbg}. *)

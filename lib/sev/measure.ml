@@ -1,0 +1,29 @@
+module Sha256 = Fidelius_crypto.Sha256
+module Hmac = Fidelius_crypto.Hmac
+
+type t = { ctx : Sha256.ctx; mutable finalized : bytes option }
+
+let create () = { ctx = Sha256.init (); finalized = None }
+
+let add_page t ~index plain =
+  assert (t.finalized = None);
+  let header = Bytes.create 8 in
+  Bytes.set_int64_be header 0 (Int64.of_int index);
+  Sha256.feed t.ctx header;
+  Sha256.feed t.ctx plain
+
+let add_data t data =
+  assert (t.finalized = None);
+  Sha256.feed t.ctx data
+
+let digest t =
+  match t.finalized with
+  | Some d -> d
+  | None ->
+      let d = Sha256.finalize t.ctx in
+      t.finalized <- Some d;
+      d
+
+let finalize t ~tik = Hmac.mac ~key:tik (digest t)
+
+let verify t ~tik ~expected = Hmac.verify ~key:tik ~tag:expected (digest t)

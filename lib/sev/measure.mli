@@ -1,0 +1,21 @@
+(** Launch/transport measurement.
+
+    The firmware accumulates a running hash of every page it processes
+    during LAUNCH_UPDATE / SEND_UPDATE / RECEIVE_UPDATE; the *_FINISH
+    command produces (or verifies) the measurement, keyed with the transport
+    integrity key Ktik so that only a holder of Ktik can forge it. *)
+
+type t
+
+val create : unit -> t
+
+val add_page : t -> index:int -> bytes -> unit
+(** Fold one plaintext page (with its position) into the measurement. *)
+
+val add_data : t -> bytes -> unit
+(** Fold opaque metadata (policy bits, nonce). *)
+
+val finalize : t -> tik:bytes -> bytes
+(** The 32-byte keyed measurement. *)
+
+val verify : t -> tik:bytes -> expected:bytes -> bool

@@ -1,0 +1,26 @@
+(** SEV guest-context state machine (after the AMD SEV API spec).
+
+    Every firmware command is legal only in specific states; Fidelius' novel
+    API reuse (booting from an encrypted image via RECEIVE, I/O encryption
+    via perpetually-sending/receiving helper contexts) leans on exactly
+    these transition rules, so the simulator enforces them strictly. *)
+
+type t =
+  | Uninit      (** context allocated, no key material *)
+  | Launching   (** between LAUNCH_START and LAUNCH_FINISH *)
+  | Running     (** guest may execute *)
+  | Sending     (** between SEND_START and SEND_FINISH; guest stopped *)
+  | Receiving   (** between RECEIVE_START and RECEIVE_FINISH *)
+  | Sent        (** SEND_FINISH done; context drained *)
+  | Decommissioned
+
+val to_string : t -> string
+
+val can_transition : t -> t -> bool
+(** Legal state-machine edges. *)
+
+type 'a command_result = ('a, string) result
+
+val require : t -> expected:t list -> cmd:string -> unit command_result
+(** [require current ~expected ~cmd] is [Ok ()] when [current] is one of
+    [expected], otherwise a descriptive [Error] naming the command. *)

@@ -1,0 +1,42 @@
+(** Workload execution engine.
+
+    A run boots a fresh stack in the requested configuration, samples real
+    guest memory traffic and real hypercall round trips on it (through the
+    full MMU/encryption/gate machinery), and extrapolates the sampled
+    per-operation costs to the profile's operation counts. Overheads are
+    therefore produced by the same mechanisms as on hardware — extra
+    engine latency per encrypted line, shadowing and gate cycles per exit —
+    not by hard-coded factors.
+
+    The three configurations mirror the paper's Section 7.1:
+    - [Xen_baseline]: stock hypervisor, unprotected guest;
+    - [Fidelius]: all Fidelius mechanisms active, memory encryption off
+      (the paper had no SEV-capable board, so SME is toggled separately);
+    - [Fidelius_enc]: Fidelius plus the [enable_mem_enc] hypercall, which
+      sets the C-bit in the guest's nested mappings so the SME engine
+      encrypts its memory traffic. *)
+
+type config =
+  | Xen_baseline
+  | Fidelius
+  | Fidelius_enc
+
+val config_to_string : config -> string
+
+type result = {
+  profile : Profile.t;
+  config : config;
+  cycles : int;                     (** extrapolated total for the run *)
+  per_access : float;               (** sampled cycles per 64-byte access *)
+  per_exit : float;                 (** sampled cycles per hypervisor round trip *)
+  breakdown : (string * int) list;  (** ledger categories sampled during the run *)
+}
+
+val run : Profile.t -> config -> result
+
+val overhead_pct : base:result -> result -> float
+(** [(cycles - base.cycles) / base.cycles * 100]. *)
+
+val run_suite : Profile.t list -> (Profile.t * float * float) list
+(** For each profile: (profile, Fidelius overhead %, Fidelius-enc overhead %)
+    against the Xen baseline. *)

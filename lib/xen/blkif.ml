@@ -1,0 +1,217 @@
+module Hw = Fidelius_hw
+
+type codec = {
+  codec_name : string;
+  encode : sector:int -> bytes -> bytes;
+  decode : sector:int -> bytes -> bytes;
+}
+
+let identity_codec =
+  { codec_name = "identity"; encode = (fun ~sector:_ b -> b); decode = (fun ~sector:_ b -> b) }
+
+let sectors_per_frame = Hw.Addr.page_size / Vdisk.sector_size
+
+type backend = {
+  hv : Hypervisor.t;
+  disk : Vdisk.t;
+  ring : Ring.t;
+  gref : int;
+  b_shared_frame : Hw.Addr.pfn;
+  mutable served : int;
+}
+
+type frontend = {
+  f_hv : Hypervisor.t;
+  dom : Domain.t;
+  f_ring : Ring.t;
+  f_gref : int;
+  buffer_gva : int;
+  event_port : int;
+  mutable codec : codec;
+  mutable next_req_id : int;
+}
+
+let ( let* ) = Result.bind
+
+let process_ring be =
+  let rec loop () =
+    match Ring.pop_request be.ring with
+    | None -> ()
+    | Some req ->
+        be.served <- be.served + 1;
+        let len = req.Ring.count * Vdisk.sector_size in
+        let costs = be.hv.Hypervisor.machine.Hw.Machine.costs in
+        Hw.Cost.charge be.hv.Hypervisor.machine.Hw.Machine.ledger "blk-io"
+          (costs.Hw.Cost.io_sector * req.Ring.count);
+        let status =
+          match Granttab.get be.hv.Hypervisor.granttab req.Ring.data_gref with
+          | None -> Error "backend: data grant vanished"
+          | Some entry when entry.Granttab.target <> 0 -> Error "backend: grant not for dom0"
+          | Some _ -> (
+              try
+                (match req.Ring.op with
+                | Ring.Write ->
+                    let data =
+                      Hypervisor.host_read be.hv be.b_shared_frame ~off:req.Ring.data_off ~len
+                    in
+                    Vdisk.write be.disk ~sector:req.Ring.sector data
+                | Ring.Read ->
+                    let data = Vdisk.read be.disk ~sector:req.Ring.sector ~count:req.Ring.count in
+                    Hypervisor.host_write be.hv be.b_shared_frame ~off:req.Ring.data_off data);
+                Ok ()
+              with
+              | Invalid_argument m -> Error m
+              | Hw.Mmu.Fault { reason; _ } -> Error ("backend fault: " ^ reason))
+        in
+        Ring.push_response be.ring { Ring.resp_id = req.Ring.req_id; status };
+        loop ()
+  in
+  loop ()
+
+let connect hv dom ~disk ~buffer_gvfn =
+  let machine = hv.Hypervisor.machine in
+  (* The guest sets up an unencrypted buffer page (DMA memory cannot carry
+     the C-bit) and faults it in. *)
+  let buffer_gfn = Domain.alloc_gfn dom in
+  Domain.guest_map dom ~gvfn:buffer_gvfn ~gfn:buffer_gfn ~writable:true ~executable:false
+    ~c_bit:false;
+  let buffer_gva = Hw.Addr.addr_of buffer_gvfn 0 in
+  Hypervisor.in_guest hv dom (fun () ->
+      Domain.write machine dom ~addr:buffer_gva (Bytes.make Hw.Addr.page_size '\000'));
+  (* Declare the sharing intent first (Fidelius' pre_sharing_op; a no-op on
+     stock Xen), then grant to dom0 and publish the wiring via XenStore. *)
+  let* _ =
+    Hypervisor.hypercall hv dom
+      (Hypercall.Pre_sharing { target = 0; gfn = buffer_gfn; nr = 1; writable = true })
+  in
+  let* gref64 =
+    Hypervisor.hypercall hv dom
+      (Hypercall.Grant_table_op
+         (Hypercall.Grant_access { target = 0; gfn = buffer_gfn; writable = true }))
+  in
+  let gref = Int64.to_int gref64 in
+  let event_port = Event.alloc_unbound hv.Hypervisor.events ~domid:dom.Domain.domid ~remote:0 in
+  Xenstore.write hv.Hypervisor.store ~domid:dom.Domain.domid
+    ~path:(Printf.sprintf "/local/domain/%d/device/vbd/ring-ref" dom.Domain.domid)
+    (string_of_int gref);
+  Xenstore.write hv.Hypervisor.store ~domid:dom.Domain.domid
+    ~path:(Printf.sprintf "/local/domain/%d/device/vbd/event-channel" dom.Domain.domid)
+    (string_of_int event_port);
+  (* Back-end side: bind the channel and resolve the grant to a frame. *)
+  let* back_port = Event.bind hv.Hypervisor.events ~domid:0 ~remote_port:event_port in
+  ignore back_port;
+  match Granttab.get hv.Hypervisor.granttab gref with
+  | None -> Error "backend: grant not found"
+  | Some entry -> (
+      match Hw.Pagetable.lookup dom.Domain.npt entry.Granttab.gfn with
+      | None -> Error "backend: granted gfn unbacked"
+      | Some npte ->
+          let ring = Ring.create () in
+          let be =
+            { hv;
+              disk;
+              ring;
+              gref;
+              b_shared_frame = npte.Hw.Pagetable.frame;
+              served = 0 }
+          in
+          Event.on_event hv.Hypervisor.events ~domid:0 ~port:back_port (fun () ->
+              process_ring be);
+          let fe =
+            { f_hv = hv;
+              dom;
+              f_ring = ring;
+              f_gref = gref;
+              buffer_gva;
+              event_port;
+              codec = identity_codec;
+              next_req_id = 1 }
+          in
+          Ok (fe, be))
+
+let set_codec fe codec = fe.codec <- codec
+
+let fresh_req_id fe =
+  let id = fe.next_req_id in
+  fe.next_req_id <- id + 1;
+  id
+
+let submit fe req =
+  Ring.push_request fe.f_ring req;
+  let* _ =
+    Hypervisor.hypercall fe.f_hv fe.dom (Hypercall.Event_send { port = fe.event_port })
+  in
+  match Ring.pop_response fe.f_ring with
+  | None -> Error "frontend: no response from backend"
+  | Some resp -> resp.Ring.status
+
+let write_sectors fe ~sector data =
+  let len = Bytes.length data in
+  if len mod Vdisk.sector_size <> 0 then
+    Error "write_sectors: length must be a multiple of 512"
+  else begin
+    let machine = fe.f_hv.Hypervisor.machine in
+    let rec chunk sector off remaining =
+      if remaining = 0 then Ok ()
+      else begin
+        let count = min (remaining / Vdisk.sector_size) sectors_per_frame in
+        let clen = count * Vdisk.sector_size in
+        let piece = Bytes.sub data off clen in
+        let encoded = fe.codec.encode ~sector piece in
+        if Bytes.length encoded <> clen then Error "codec changed the payload size"
+        else begin
+          Hypervisor.in_guest fe.f_hv fe.dom (fun () ->
+              Domain.write machine fe.dom ~addr:fe.buffer_gva encoded);
+          let* () =
+            submit fe
+              { Ring.req_id = fresh_req_id fe;
+                op = Ring.Write;
+                sector;
+                count;
+                data_gref = fe.f_gref;
+                data_off = 0 }
+          in
+          chunk (sector + count) (off + clen) (remaining - clen)
+        end
+      end
+    in
+    chunk sector 0 len
+  end
+
+let read_sectors fe ~sector ~count =
+  if count <= 0 then Error "read_sectors: count must be positive"
+  else begin
+    let machine = fe.f_hv.Hypervisor.machine in
+    let out = Bytes.create (count * Vdisk.sector_size) in
+    let rec chunk sector done_sectors =
+      if done_sectors = count then Ok out
+      else begin
+        let n = min (count - done_sectors) sectors_per_frame in
+        let clen = n * Vdisk.sector_size in
+        let* () =
+          submit fe
+            { Ring.req_id = fresh_req_id fe;
+              op = Ring.Read;
+              sector;
+              count = n;
+              data_gref = fe.f_gref;
+              data_off = 0 }
+        in
+        let raw =
+          Hypervisor.in_guest fe.f_hv fe.dom (fun () ->
+              Domain.read machine fe.dom ~addr:fe.buffer_gva ~len:clen)
+        in
+        let decoded = fe.codec.decode ~sector raw in
+        if Bytes.length decoded <> clen then Error "codec changed the payload size"
+        else begin
+          Bytes.blit decoded 0 out (done_sectors * Vdisk.sector_size) clen;
+          chunk (sector + n) (done_sectors + n)
+        end
+      end
+    in
+    chunk sector 0
+  end
+
+let shared_frame be = be.b_shared_frame
+let backend_disk be = be.disk
+let requests_served be = be.served

@@ -1,0 +1,61 @@
+(** Para-virtualized block device: front-end (guest) and back-end (driver
+    domain) over a shared ring and a granted data frame.
+
+    This is the I/O path of paper Section 2.3/4.3.5. The shared data frame
+    is an unencrypted guest page (DMA-style memory cannot carry the C-bit),
+    so whatever the front-end places there is readable by the back-end and
+    by the hypervisor — hence the paper's two encoders, which the front-end
+    accepts as a {!codec}:
+
+    - the identity codec (stock Xen): plaintext crosses the shared frame;
+    - AES-NI codec (Fidelius): sectors encrypted with the disk key Kblk;
+    - SEV codec (Fidelius): sectors transformed by the s-dom/r-dom firmware
+      contexts.
+
+    The data movements are real memory traffic through the simulated MMU on
+    both sides; the cost model charges the appropriate encoder rates. *)
+
+module Hw = Fidelius_hw
+
+type codec = {
+  codec_name : string;
+  encode : sector:int -> bytes -> bytes;
+  (** Applied by the front-end before data enters the shared frame. *)
+  decode : sector:int -> bytes -> bytes;
+  (** Applied by the front-end after data leaves the shared frame. *)
+}
+
+val identity_codec : codec
+
+type backend
+type frontend
+
+val connect :
+  Hypervisor.t ->
+  Domain.t ->
+  disk:Vdisk.t ->
+  buffer_gvfn:Hw.Addr.vfn ->
+  (frontend * backend, string) result
+(** Wire a guest front-end to a dom0 back-end serving [disk]:
+    the guest maps a fresh unencrypted page at [buffer_gvfn] as the shared
+    data buffer, grants it to dom0, publishes the grant reference and event
+    channel through XenStore, and dom0 binds the ring. *)
+
+val set_codec : frontend -> codec -> unit
+
+val read_sectors : frontend -> sector:int -> count:int -> (bytes, string) result
+(** Guest-visible read: back-end copies disk sectors into the shared frame,
+    front-end copies them out and decodes. At most a frame's worth
+    (8 sectors) per call. *)
+
+val write_sectors : frontend -> sector:int -> bytes -> (unit, string) result
+(** Guest-visible write: front-end encodes into the shared frame, back-end
+    copies to disk. *)
+
+val shared_frame : backend -> Hw.Addr.pfn
+(** The host frame backing the shared buffer — the attacker's observation
+    point on the I/O path. *)
+
+val backend_disk : backend -> Vdisk.t
+
+val requests_served : backend -> int

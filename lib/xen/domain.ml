@@ -1,0 +1,75 @@
+module Hw = Fidelius_hw
+
+type lifecycle =
+  | Created
+  | Runnable
+  | Paused
+  | Dying
+
+type t = {
+  domid : int;
+  name : string;
+  is_dom0 : bool;
+  gpt : Hw.Pagetable.t;
+  npt : Hw.Pagetable.t;
+  vmcb : Hw.Vmcb.t;
+  mutable asid : int;
+  mutable sev_handle : int option;
+  mutable sev_protected : bool;
+  mutable sev_es : bool;
+  vmsa : Hw.Vmcb.t;
+  vmsa_regs : int64 array;
+  mutable last_exit : Hw.Vmcb.exit_reason option;
+  mutable state : lifecycle;
+  mutable frames : Hw.Addr.pfn list;
+  mutable next_free_gfn : Hw.Addr.gfn;
+  msrs : (int, int64) Hashtbl.t;
+}
+
+let create machine ~domid ~name ~is_dom0 ~asid =
+  let vmcb = Hw.Vmcb.create () in
+  Hw.Vmcb.set vmcb Hw.Vmcb.Asid (Int64.of_int asid);
+  { domid;
+    name;
+    is_dom0;
+    gpt = Hw.Machine.new_table machine;
+    npt = Hw.Machine.new_table machine;
+    vmcb;
+    asid;
+    sev_handle = None;
+    sev_protected = false;
+    sev_es = false;
+    vmsa = Hw.Vmcb.create ();
+    vmsa_regs = Array.make 16 0L;
+    last_exit = None;
+    state = Created;
+    frames = [];
+    next_free_gfn = 0;
+    msrs = Hashtbl.create 8 }
+
+let guest_map t ~gvfn ~gfn ~writable ~executable ~c_bit =
+  Hw.Pagetable.hw_set t.gpt gvfn
+    (Some { Hw.Pagetable.frame = gfn; writable; executable; c_bit })
+
+let guest_unmap t ~gvfn = Hw.Pagetable.hw_set t.gpt gvfn None
+
+let read machine t ~addr ~len =
+  Hw.Mmu.guest_read machine ~domid:t.domid ~gpt:t.gpt ~npt:t.npt ~asid:t.asid ~addr ~len
+
+let write machine t ~addr data =
+  Hw.Mmu.guest_write machine ~domid:t.domid ~gpt:t.gpt ~npt:t.npt ~asid:t.asid ~addr data
+
+let alloc_gfn t =
+  let gfn = t.next_free_gfn in
+  t.next_free_gfn <- gfn + 1;
+  gfn
+
+let pp fmt t =
+  Format.fprintf fmt "dom%d(%s)%s asid=%d %s" t.domid t.name
+    (if t.sev_protected then "[SEV]" else "")
+    t.asid
+    (match t.state with
+    | Created -> "created"
+    | Runnable -> "runnable"
+    | Paused -> "paused"
+    | Dying -> "dying")

@@ -1,0 +1,77 @@
+module Cost = Fidelius_hw.Cost
+
+type port = int
+
+type channel = {
+  a_dom : int;
+  a_port : port;
+  mutable b_dom : int option;
+  mutable b_port : port option;
+}
+
+type t = {
+  mutable channels : channel list;
+  handlers : (int * port, unit -> unit) Hashtbl.t;
+  pending_set : (int * port, unit) Hashtbl.t;
+  ledger : Cost.ledger;
+  costs : Cost.table;
+  mutable next_port : port;
+}
+
+let create ledger =
+  { channels = [];
+    handlers = Hashtbl.create 16;
+    pending_set = Hashtbl.create 16;
+    ledger;
+    costs = Cost.default;
+    next_port = 1 }
+
+let fresh_port t =
+  let p = t.next_port in
+  t.next_port <- p + 1;
+  p
+
+let alloc_unbound t ~domid ~remote =
+  let port = fresh_port t in
+  t.channels <- { a_dom = domid; a_port = port; b_dom = Some remote; b_port = None } :: t.channels;
+  port
+
+let bind t ~domid ~remote_port =
+  let candidate =
+    List.find_opt
+      (fun c -> c.a_port = remote_port && c.b_dom = Some domid && c.b_port = None)
+      t.channels
+  in
+  match candidate with
+  | None -> Error (Printf.sprintf "evtchn: port %d not offered to dom%d" remote_port domid)
+  | Some c ->
+      let port = fresh_port t in
+      c.b_port <- Some port;
+      Ok port
+
+let peer t ~domid ~port =
+  let rec find = function
+    | [] -> None
+    | c :: rest ->
+        if c.a_dom = domid && c.a_port = port then
+          match (c.b_dom, c.b_port) with
+          | Some d, Some p -> Some (d, p)
+          | _ -> None
+        else if c.b_dom = Some domid && c.b_port = Some port then Some (c.a_dom, c.a_port)
+        else find rest
+  in
+  find t.channels
+
+let on_event t ~domid ~port f = Hashtbl.replace t.handlers (domid, port) f
+
+let send t ~domid ~port =
+  match peer t ~domid ~port with
+  | None -> Error (Printf.sprintf "evtchn: dom%d port %d is not bound" domid port)
+  | Some (peer_dom, peer_port) ->
+      Cost.charge t.ledger "evtchn" t.costs.Cost.event_channel;
+      (match Hashtbl.find_opt t.handlers (peer_dom, peer_port) with
+      | Some f -> f ()
+      | None -> Hashtbl.replace t.pending_set (peer_dom, peer_port) ());
+      Ok ()
+
+let pending t ~domid ~port = Hashtbl.mem t.pending_set (domid, port)

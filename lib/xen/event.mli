@@ -1,0 +1,27 @@
+(** Event channels: Xen's asynchronous notification primitive.
+
+    A channel binds two domains' ports; [send] marks the remote port pending
+    and [dispatch] runs the handler the receiving side registered. The PV
+    block protocol and Fidelius' retrofitted I/O-encryption notifications
+    both ride on this. *)
+
+type t
+
+type port = int
+
+val create : Fidelius_hw.Cost.ledger -> t
+
+val alloc_unbound : t -> domid:int -> remote:int -> port
+(** Allocate a port on [domid] that [remote] may bind to. *)
+
+val bind : t -> domid:int -> remote_port:port -> (port, string) result
+(** Complete the interdomain binding; returns the local port. *)
+
+val on_event : t -> domid:int -> port:port -> (unit -> unit) -> unit
+(** Register the handler run when this port is notified. *)
+
+val send : t -> domid:int -> port:port -> (unit, string) result
+(** Notify the peer port; its handler (if any) runs synchronously here,
+    which models the scheduler promptly running the notified vCPU. *)
+
+val pending : t -> domid:int -> port:port -> bool

@@ -1,0 +1,89 @@
+module Hw = Fidelius_hw
+
+type entry = {
+  owner : int;
+  target : int;
+  gfn : Hw.Addr.gfn;
+  writable : bool;
+  in_use : bool;
+}
+
+let entry_size = 16
+let entries_per_frame = Hw.Addr.page_size / entry_size
+
+type t = {
+  machine : Hw.Machine.t;
+  frames : Hw.Addr.pfn array;
+}
+
+let create machine ~nr_frames =
+  if nr_frames <= 0 then invalid_arg "Granttab.create: nr_frames must be positive";
+  { machine; frames = Array.of_list (Hw.Machine.alloc_frames machine nr_frames) }
+
+let backing_frames t = Array.to_list t.frames
+let capacity t = Array.length t.frames * entries_per_frame
+
+let locate t gref =
+  if gref < 0 || gref >= capacity t then None
+  else Some (t.frames.(gref / entries_per_frame), gref mod entries_per_frame * entry_size)
+
+(* Layout: owner(2) target(2) gfn(8) flags(1): bit0 writable, bit1 in_use. *)
+let encode e =
+  let b = Bytes.make entry_size '\000' in
+  Bytes.set_uint16_be b 0 e.owner;
+  Bytes.set_uint16_be b 2 e.target;
+  Bytes.set_int64_be b 4 (Int64.of_int e.gfn);
+  Bytes.set b 12
+    (Char.chr ((if e.writable then 1 else 0) lor if e.in_use then 2 else 0));
+  b
+
+let decode b =
+  let flags = Char.code (Bytes.get b 12) in
+  if flags land 2 = 0 then None
+  else
+    Some
+      { owner = Bytes.get_uint16_be b 0;
+        target = Bytes.get_uint16_be b 2;
+        gfn = Int64.to_int (Bytes.get_int64_be b 4);
+        writable = flags land 1 <> 0;
+        in_use = true }
+
+let get t gref =
+  match locate t gref with
+  | None -> None
+  | Some (pfn, off) ->
+      decode (Hw.Physmem.read_raw t.machine.Hw.Machine.mem pfn ~off ~len:entry_size)
+
+let set machine ~space t gref entry =
+  match locate t gref with
+  | None -> invalid_arg (Printf.sprintf "Granttab.set: grant ref %d out of range" gref)
+  | Some (pfn, off) ->
+      Hw.Mmu.check_frame_writable machine ~space pfn;
+      Hw.Cost.charge machine.Hw.Machine.ledger "grant-write"
+        machine.Hw.Machine.costs.Hw.Cost.cacheline_write;
+      let bytes =
+        match entry with Some e -> encode e | None -> Bytes.make entry_size '\000'
+      in
+      Hw.Physmem.write_raw machine.Hw.Machine.mem pfn ~off bytes
+
+let find_free t =
+  let cap = capacity t in
+  let rec scan gref =
+    if gref >= cap then None
+    else
+      match get t gref with
+      | None -> Some gref
+      | Some _ -> scan (gref + 1)
+  in
+  scan 0
+
+let entries t =
+  let cap = capacity t in
+  let rec scan gref acc =
+    if gref >= cap then List.rev acc
+    else
+      match get t gref with
+      | Some e -> scan (gref + 1) ((gref, e) :: acc)
+      | None -> scan (gref + 1) acc
+  in
+  scan 0 []

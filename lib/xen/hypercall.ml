@@ -1,0 +1,35 @@
+type grant_op =
+  | Grant_access of { target : int; gfn : Fidelius_hw.Addr.gfn; writable : bool }
+  | Map_grant of { gref : int }
+  | End_access of { gref : int }
+
+type call =
+  | Void
+  | Console_write of string
+  | Event_send of { port : int }
+  | Grant_table_op of grant_op
+  | Pre_sharing of { target : int; gfn : Fidelius_hw.Addr.gfn; nr : int; writable : bool }
+  | Enable_mem_enc
+  | Balloon_release of { gfn : Fidelius_hw.Addr.gfn }
+
+let number = function
+  | Void -> 0
+  | Console_write _ -> 18
+  | Event_send _ -> 32
+  | Grant_table_op _ -> 20
+  | Pre_sharing _ -> 63
+  | Enable_mem_enc -> 64
+  | Balloon_release _ -> 65
+
+let to_string = function
+  | Void -> "void"
+  | Console_write _ -> "console_write"
+  | Event_send { port } -> Printf.sprintf "event_send(%d)" port
+  | Grant_table_op (Grant_access { target; gfn; writable }) ->
+      Printf.sprintf "grant_access(target=%d gfn=0x%x w=%b)" target gfn writable
+  | Grant_table_op (Map_grant { gref }) -> Printf.sprintf "map_grant(%d)" gref
+  | Grant_table_op (End_access { gref }) -> Printf.sprintf "end_access(%d)" gref
+  | Pre_sharing { target; gfn; nr; writable } ->
+      Printf.sprintf "pre_sharing(target=%d gfn=0x%x nr=%d w=%b)" target gfn nr writable
+  | Enable_mem_enc -> "enable_mem_enc"
+  | Balloon_release { gfn } -> Printf.sprintf "balloon_release(gfn=0x%x)" gfn

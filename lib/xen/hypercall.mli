@@ -1,0 +1,28 @@
+(** Hypercall vocabulary.
+
+    [Pre_sharing] is the hypercall Fidelius *adds* (paper Section 4.3.7): the
+    granting guest declares its sharing intent directly to Fidelius before
+    the ordinary grant-table flow, giving the GIT its ground truth.
+    [Enable_mem_enc] is the paper's evaluation hypercall (Section 7.1): the
+    guest asks for the C-bit to be set in its nested mappings so subsequent
+    memory traffic is encrypted by the SME engine. *)
+
+type grant_op =
+  | Grant_access of { target : int; gfn : Fidelius_hw.Addr.gfn; writable : bool }
+  | Map_grant of { gref : int }
+  | End_access of { gref : int }
+
+type call =
+  | Void                  (** the paper's micro-benchmark round trip *)
+  | Console_write of string
+  | Event_send of { port : int }
+  | Grant_table_op of grant_op
+  | Pre_sharing of { target : int; gfn : Fidelius_hw.Addr.gfn; nr : int; writable : bool }
+  | Enable_mem_enc
+  | Balloon_release of { gfn : Fidelius_hw.Addr.gfn }
+      (** guest voluntarily returns one of its pages to the host pool *)
+
+val number : call -> int
+(** ABI number, loaded into RAX before VMMCALL. *)
+
+val to_string : call -> string

@@ -1,0 +1,129 @@
+module Hw = Fidelius_hw
+
+type wire = {
+  mutable endpoints : endpoint list; (* at most two, in connect order *)
+  queues : (int, bytes Queue.t) Hashtbl.t; (* receiver slot -> inbound frames *)
+  mutable log : bytes list;
+  mutable forwarded : int;
+}
+
+and endpoint = {
+  hv : Hypervisor.t;
+  dom : Domain.t;
+  e_wire : wire;
+  slot : int;                 (* 0 or 1 *)
+  buffer_gva : int;
+  shared_frame : Hw.Addr.pfn;
+}
+
+let create_wire () =
+  let queues = Hashtbl.create 2 in
+  Hashtbl.replace queues 0 (Queue.create ());
+  Hashtbl.replace queues 1 (Queue.create ());
+  { endpoints = []; queues; log = []; forwarded = 0 }
+
+let ( let* ) = Result.bind
+
+let connect hv dom ~wire ~buffer_gvfn =
+  if List.length wire.endpoints >= 2 then Error "netif: wire already has two endpoints"
+  else begin
+    let machine = hv.Hypervisor.machine in
+    let buffer_gfn = Domain.alloc_gfn dom in
+    Domain.guest_map dom ~gvfn:buffer_gvfn ~gfn:buffer_gfn ~writable:true ~executable:false
+      ~c_bit:false;
+    let buffer_gva = Hw.Addr.addr_of buffer_gvfn 0 in
+    Hypervisor.in_guest hv dom (fun () ->
+        Domain.write machine dom ~addr:buffer_gva (Bytes.make Hw.Addr.page_size '\000'));
+    let* _ =
+      Hypervisor.hypercall hv dom
+        (Hypercall.Pre_sharing { target = 0; gfn = buffer_gfn; nr = 1; writable = true })
+    in
+    let* _gref64 =
+      Hypervisor.hypercall hv dom
+        (Hypercall.Grant_table_op
+           (Hypercall.Grant_access { target = 0; gfn = buffer_gfn; writable = true }))
+    in
+    match Hw.Pagetable.lookup dom.Domain.npt buffer_gfn with
+    | None -> Error "netif: shared frame unbacked"
+    | Some npte ->
+        let ep =
+          { hv;
+            dom;
+            e_wire = wire;
+            slot = List.length wire.endpoints;
+            buffer_gva;
+            shared_frame = npte.Hw.Pagetable.frame }
+        in
+        wire.endpoints <- wire.endpoints @ [ ep ];
+        Ok ep
+  end
+
+let frame_cost ep n =
+  let machine = ep.hv.Hypervisor.machine in
+  Hw.Cost.charge machine.Hw.Machine.ledger "netif"
+    (machine.Hw.Machine.costs.Hw.Cost.event_channel
+    + (n / Hw.Addr.block_size * machine.Hw.Machine.costs.Hw.Cost.memcpy_block / 10))
+
+(* Frames are length-prefixed in the shared buffer so the backend copies
+   exactly what the guest wrote. *)
+let send ep frame =
+  let n = Bytes.length frame in
+  if n + 4 > Hw.Addr.page_size then Error "netif: frame larger than the shared buffer"
+  else begin
+    let machine = ep.hv.Hypervisor.machine in
+    frame_cost ep n;
+    (* Front end: stage the frame in the shared page. *)
+    let staged = Bytes.create (4 + n) in
+    Bytes.set_int32_be staged 0 (Int32.of_int n);
+    Bytes.blit frame 0 staged 4 n;
+    Hypervisor.in_guest ep.hv ep.dom (fun () ->
+        Domain.write machine ep.dom ~addr:ep.buffer_gva staged);
+    (* Back end (dom0): read it out through the host mapping and forward
+       onto the wire toward the peer slot. *)
+    let raw = Hypervisor.host_read ep.hv ep.shared_frame ~off:0 ~len:(4 + n) in
+    let len = Int32.to_int (Bytes.get_int32_be raw 0) in
+    let payload = Bytes.sub raw 4 len in
+    let dest = 1 - ep.slot in
+    Queue.push payload (Hashtbl.find ep.e_wire.queues dest);
+    ep.e_wire.log <- payload :: ep.e_wire.log;
+    ep.e_wire.forwarded <- ep.e_wire.forwarded + 1;
+    Ok ()
+  end
+
+let recv ep =
+  let q = Hashtbl.find ep.e_wire.queues ep.slot in
+  if Queue.is_empty q then Ok None
+  else begin
+    let machine = ep.hv.Hypervisor.machine in
+    let payload = Queue.pop q in
+    let n = Bytes.length payload in
+    frame_cost ep n;
+    (* Back end copies into the shared page; front end reads it out. *)
+    let staged = Bytes.create (4 + n) in
+    Bytes.set_int32_be staged 0 (Int32.of_int n);
+    Bytes.blit payload 0 staged 4 n;
+    Hypervisor.host_write ep.hv ep.shared_frame ~off:0 staged;
+    let raw =
+      Hypervisor.in_guest ep.hv ep.dom (fun () ->
+          Domain.read machine ep.dom ~addr:ep.buffer_gva ~len:(4 + n))
+    in
+    let len = Int32.to_int (Bytes.get_int32_be raw 0) in
+    Ok (Some (Bytes.sub raw 4 len))
+  end
+
+let pending ep = Queue.length (Hashtbl.find ep.e_wire.queues ep.slot)
+
+let snoop wire =
+  Hashtbl.fold (fun _ q acc -> List.of_seq (Queue.to_seq q) @ acc) wire.queues []
+
+let snoop_log wire = List.rev wire.log
+
+let tamper wire f =
+  Hashtbl.iter
+    (fun _ q ->
+      let frames = List.of_seq (Queue.to_seq q) in
+      Queue.clear q;
+      List.iter (fun frame -> Queue.push (f frame) q) frames)
+    wire.queues
+
+let frames_forwarded wire = wire.forwarded

@@ -1,0 +1,51 @@
+(** Para-virtualized network interface.
+
+    The same trust shape as the block path: frames cross an unencrypted
+    shared page granted to dom0, whose virtual switch ("the wire") forwards
+    them — and can read or rewrite every byte. The paper assumes SSL covers
+    this channel (Section 4.3.5); pairing this module with
+    {!Fidelius_crypto.Secure_channel} demonstrates that assumption holding:
+    the driver domain sees only handshake public values and record
+    ciphertext, and any tampering breaks the record MACs.
+
+    A {!wire} is a point-to-point vif pair between the first two endpoints
+    connected to it, with explicit dom0-side snoop and tamper channels for
+    the attack suite. *)
+
+module Hw = Fidelius_hw
+
+type wire
+type endpoint
+
+val create_wire : unit -> wire
+
+val connect :
+  Hypervisor.t -> Domain.t -> wire:wire -> buffer_gvfn:Hw.Addr.vfn ->
+  (endpoint, string) result
+(** Attach a guest: allocates the unencrypted shared frame, declares intent
+    and grants it to dom0, binds the event channel. At most two endpoints
+    per wire. *)
+
+val send : endpoint -> bytes -> (unit, string) result
+(** Transmit one frame (at most a page): front-end copies it into the
+    shared buffer, the back-end forwards it onto the wire toward the peer.
+    Charges per-frame costs. *)
+
+val recv : endpoint -> (bytes option, string) result
+(** Take the next queued inbound frame, copied in through the shared
+    buffer. [None] when the queue is empty. *)
+
+val pending : endpoint -> int
+
+(** {2 The driver domain's view} *)
+
+val snoop : wire -> bytes list
+(** Every frame currently queued anywhere on the wire, as dom0 sees it. *)
+
+val snoop_log : wire -> bytes list
+(** Every frame that ever crossed the wire (dom0 records traffic). *)
+
+val tamper : wire -> (bytes -> bytes) -> unit
+(** Rewrite all queued frames (man-in-the-middle). *)
+
+val frames_forwarded : wire -> int

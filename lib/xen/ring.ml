@@ -1,0 +1,28 @@
+type op = Read | Write
+
+type request = {
+  req_id : int;
+  op : op;
+  sector : int;
+  count : int;
+  data_gref : int;
+  data_off : int;
+}
+
+type response = {
+  resp_id : int;
+  status : (unit, string) result;
+}
+
+type t = {
+  requests : request Queue.t;
+  responses : response Queue.t;
+}
+
+let create () = { requests = Queue.create (); responses = Queue.create () }
+
+let push_request t r = Queue.push r t.requests
+let pop_request t = if Queue.is_empty t.requests then None else Some (Queue.pop t.requests)
+let push_response t r = Queue.push r t.responses
+let pop_response t = if Queue.is_empty t.responses then None else Some (Queue.pop t.responses)
+let requests_pending t = Queue.length t.requests

@@ -1,0 +1,34 @@
+(** Para-virtualized I/O ring (block protocol flavour).
+
+    Ring *data* travels through real simulated memory: each request names a
+    grant reference for the data frame, and both ends copy sector payloads
+    through their own (permission- and encryption-checked) access paths.
+    The descriptor queues themselves are modelled as host-side queues
+    attached to the shared frame — their few bytes of metadata carry no
+    confidential payload, matching the paper's focus on protecting the data
+    path rather than ring indices. *)
+
+type op = Read | Write
+
+type request = {
+  req_id : int;
+  op : op;
+  sector : int;      (** first 512-byte sector *)
+  count : int;       (** number of sectors *)
+  data_gref : int;   (** grant reference of the data buffer frame *)
+  data_off : int;    (** offset of the payload inside that frame *)
+}
+
+type response = {
+  resp_id : int;
+  status : (unit, string) result;
+}
+
+type t
+
+val create : unit -> t
+val push_request : t -> request -> unit
+val pop_request : t -> request option
+val push_response : t -> response -> unit
+val pop_response : t -> response option
+val requests_pending : t -> int

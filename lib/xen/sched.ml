@@ -1,0 +1,20 @@
+type t = { mutable queue : Domain.t list }
+
+let create () = { queue = [] }
+
+let add t dom =
+  if not (List.memq dom t.queue) then t.queue <- t.queue @ [ dom ]
+
+let remove t dom = t.queue <- List.filter (fun d -> not (d == dom)) t.queue
+
+let is_runnable (d : Domain.t) = d.Domain.state = Domain.Runnable
+
+let next t =
+  match List.filter is_runnable t.queue with
+  | [] -> None
+  | dom :: _ ->
+      (* Rotate the chosen domain to the back. *)
+      t.queue <- List.filter (fun d -> not (d == dom)) t.queue @ [ dom ];
+      Some dom
+
+let runnable t = List.filter is_runnable t.queue

@@ -1,0 +1,14 @@
+(** Round-robin vCPU scheduler (credit-scheduler stand-in).
+
+    The simulator runs one domain's work at a time; the scheduler's job is
+    to pick whose turn it is and to account world switches. *)
+
+type t
+
+val create : unit -> t
+val add : t -> Domain.t -> unit
+val remove : t -> Domain.t -> unit
+val next : t -> Domain.t option
+(** Next runnable domain, rotating fairly; [None] when none are runnable. *)
+
+val runnable : t -> Domain.t list

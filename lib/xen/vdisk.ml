@@ -1,0 +1,33 @@
+type t = { mutable data : bytes }
+
+let sector_size = 512
+
+let create ~nr_sectors =
+  if nr_sectors <= 0 then invalid_arg "Vdisk.create: nr_sectors must be positive";
+  { data = Bytes.make (nr_sectors * sector_size) '\000' }
+
+let of_bytes b =
+  let len = Bytes.length b in
+  let padded = ((len + sector_size - 1) / sector_size) * sector_size in
+  let data = Bytes.make (max padded sector_size) '\000' in
+  Bytes.blit b 0 data 0 len;
+  { data }
+
+let nr_sectors t = Bytes.length t.data / sector_size
+
+let check t sector count =
+  if sector < 0 || count < 0 || (sector + count) * sector_size > Bytes.length t.data then
+    invalid_arg (Printf.sprintf "Vdisk: sectors %d+%d out of range" sector count)
+
+let read t ~sector ~count =
+  check t sector count;
+  Bytes.sub t.data (sector * sector_size) (count * sector_size)
+
+let write t ~sector data =
+  let len = Bytes.length data in
+  if len mod sector_size <> 0 then
+    invalid_arg "Vdisk.write: length must be a multiple of the sector size";
+  check t sector (len / sector_size);
+  Bytes.blit data 0 t.data (sector * sector_size) len
+
+let peek = read

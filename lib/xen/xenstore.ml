@@ -1,0 +1,28 @@
+type t = { store : (string, string) Hashtbl.t }
+
+let create () = { store = Hashtbl.create 64 }
+
+let own_prefix domid = Printf.sprintf "/local/domain/%d/" domid
+
+let write t ~domid ~path value =
+  let allowed =
+    domid = 0
+    || String.length path >= String.length (own_prefix domid)
+       && String.sub path 0 (String.length (own_prefix domid)) = own_prefix domid
+  in
+  if not allowed then
+    invalid_arg (Printf.sprintf "xenstore: dom%d may not write %s" domid path);
+  Hashtbl.replace t.store path value
+
+let read t ~path = Hashtbl.find_opt t.store path
+
+let tamper t ~path value = Hashtbl.replace t.store path value
+
+let keys t ~prefix =
+  Hashtbl.fold
+    (fun k _ acc ->
+      if String.length k >= String.length prefix && String.sub k 0 (String.length prefix) = prefix
+      then k :: acc
+      else acc)
+    t.store []
+  |> List.sort compare

@@ -1,0 +1,23 @@
+(** XenStore: the shared configuration tree guests use to exchange
+    front/back-end wiring (grant references, event-channel ports).
+
+    Untrusted in the threat model — it is management-VM infrastructure — so
+    nothing confidential may ever be placed here; Fidelius' secure-sharing
+    flow treats what it reads from XenStore as attacker-controlled and
+    re-validates it against the GIT. *)
+
+type t
+
+val create : unit -> t
+
+val write : t -> domid:int -> path:string -> string -> unit
+(** Writes are allowed in the writer's own subtree ["/local/domain/<id>/"]
+    and anywhere for dom0 (id 0). Raises [Invalid_argument] otherwise. *)
+
+val read : t -> path:string -> string option
+
+val tamper : t -> path:string -> string -> unit
+(** Management-VM tampering channel for the attack suite: overwrite any
+    entry, no permission applied. *)
+
+val keys : t -> prefix:string -> string list

@@ -1,0 +1,136 @@
+type component =
+  | Hypervisor
+  | Qemu
+
+type category =
+  | Privilege_escalation
+  | Information_leak
+  | Guest_internal
+  | Denial_of_service
+
+type record = {
+  xsa : int;
+  component : component;
+  category : category;
+  title : string;
+  year : int;
+}
+
+let component_to_string = function Hypervisor -> "hypervisor" | Qemu -> "qemu"
+
+let category_to_string = function
+  | Privilege_escalation -> "privilege-escalation"
+  | Information_leak -> "information-leak"
+  | Guest_internal -> "guest-internal"
+  | Denial_of_service -> "denial-of-service"
+
+(* Real advisories pinned with their published titles. *)
+let pinned =
+  [ (7, Hypervisor, Privilege_escalation, "PV privilege escalation (SYSRET #GP handling)", 2012);
+    (15, Hypervisor, Privilege_escalation, "guest using max number of event channels", 2012);
+    (29, Qemu, Denial_of_service, "qemu xenstore-based vulnerabilities", 2012);
+    (44, Hypervisor, Privilege_escalation, "SYSENTER in 32-bit PV guests on 64-bit Xen", 2013);
+    (45, Hypervisor, Denial_of_service, "several long-latency operations not preemptible", 2013);
+    (108, Hypervisor, Information_leak, "improper MSR range for x2APIC emulation", 2014);
+    (123, Hypervisor, Privilege_escalation, "hypervisor memory corruption via x86 emulator", 2015);
+    (133, Qemu, Privilege_escalation, "privilege escalation via emulated floppy (VENOM)", 2015);
+    (148, Hypervisor, Privilege_escalation, "uncontrolled creation of large page mappings by PV guests", 2015);
+    (155, Hypervisor, Privilege_escalation, "paravirtualized drivers incautious about shared memory", 2015);
+    (182, Hypervisor, Privilege_escalation, "x86 PV privilege escalation via pagetable recursion", 2016);
+    (191, Hypervisor, Guest_internal, "x86 null segments not always treated as unusable", 2016);
+    (200, Hypervisor, Information_leak, "x86 CMPXCHG8B emulation leaks stack contents", 2016);
+    (212, Hypervisor, Privilege_escalation, "broken check in memory_exchange() permits PV writes", 2017);
+    (213, Hypervisor, Privilege_escalation, "IRET to 64-bit mode from 32-bit PV kernel", 2017);
+    (219, Hypervisor, Information_leak, "insufficient grant unmapping checks on x86 PV", 2017) ]
+
+(* Synthesized titles for the remaining records. *)
+let privesc_titles =
+  [| "PV pagetable validation race permits writable mapping";
+     "grant table version switch mishandles status frames";
+     "x86 instruction emulator stack underflow";
+     "mod_l2_entry instruction-fetch confusion";
+     "HVM control register intercept bypass";
+     "event channel out-of-bounds port use";
+     "memory hotplug path misses ownership check" |]
+
+let leak_titles =
+  [| "hypervisor stack bytes leaked via hypercall return";
+     "uninitialized struct padding copied to guest";
+     "x86 segment register state leaks across vCPU switch";
+     "emulator reads beyond instruction boundary";
+     "trace buffer exposes host addresses" |]
+
+let guest_titles =
+  [| "guest vCPU state mishandled after failed task switch";
+     "in-guest FPU state confusion";
+     "guest linear-address check skipped for implicit access" |]
+
+let dos_titles =
+  [| "malicious guest can livelock a physical CPU";
+     "unbounded loop in P2M cleanup";
+     "watchdog starvation via repeated hypercall";
+     "NULL dereference reachable from guest";
+     "assertion failure in shadow paging";
+     "page reference leak exhausts host memory";
+     "IOMMU fault storm stalls dom0";
+     "scheduler credit underflow hangs vCPU" |]
+
+let qemu_titles =
+  [| "qemu IDE emulation heap overread";
+     "qemu VGA banked access out-of-bounds";
+     "qemu network device DMA reentrancy";
+     "qemu PCI passthrough config space corruption";
+     "qemu block backend integer overflow" |]
+
+(* Category distribution of the 219 non-pinned records, chosen so the whole
+   corpus matches the paper exactly:
+   hypervisor: 31 privesc, 22 leak, 14 guest-internal, 110 DoS (= 177);
+   qemu: 58. Pinned records already supply 10 hypervisor-privesc, 3 leak,
+   1 guest, 2 DoS (hypervisor) and 2 qemu. *)
+let all =
+  let pinned_records =
+    List.map (fun (xsa, component, category, title, year) -> { xsa; component; category; title; year }) pinned
+  in
+  let pinned_ids = List.map (fun r -> r.xsa) pinned_records in
+  let needed =
+    [ (Hypervisor, Privilege_escalation, 31 - 9, privesc_titles);
+      (Hypervisor, Information_leak, 22 - 3, leak_titles);
+      (Hypervisor, Guest_internal, 14 - 1, guest_titles);
+      (Hypervisor, Denial_of_service, 110 - 1, dos_titles);
+      (Qemu, Denial_of_service, 44 - 1, qemu_titles);
+      (Qemu, Privilege_escalation, 9 - 1, qemu_titles);
+      (Qemu, Information_leak, 5, qemu_titles) ]
+  in
+  (* Deal the synthetic categories across the free XSA numbers in a fixed
+     interleaving so numbers of every category spread over the years. *)
+  let free_ids =
+    List.filter (fun n -> not (List.mem n pinned_ids)) (List.init 239 (fun i -> i + 1))
+  in
+  let deck =
+    List.concat_map
+      (fun (component, category, n, titles) ->
+        List.init n (fun i -> (component, category, titles.(i mod Array.length titles))))
+      needed
+  in
+  (* Deterministic shuffle of the deck by striding. *)
+  let deck = Array.of_list deck in
+  let len = Array.length deck in
+  let stride = 53 (* coprime with len *) in
+  let shuffled = List.init len (fun i -> deck.(i * stride mod len)) in
+  let synth =
+    List.map2
+      (fun xsa (component, category, title) ->
+        let year = 2012 + (xsa * 6 / 240) in
+        { xsa; component; category; title; year })
+      (List.filteri (fun i _ -> i < len) free_ids)
+      shuffled
+  in
+  List.sort (fun a b -> compare a.xsa b.xsa) (pinned_records @ synth)
+
+let count ?component ?category () =
+  List.length
+    (List.filter
+       (fun r ->
+         (match component with None -> true | Some c -> r.component = c)
+         && match category with None -> true | Some c -> r.category = c)
+       all)

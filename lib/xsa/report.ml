@@ -1,0 +1,43 @@
+type summary = {
+  total : int;
+  hypervisor_related : int;
+  thwarted_privilege : int;
+  thwarted_leak : int;
+  guest_flaws : int;
+  dos : int;
+  qemu : int;
+}
+
+let compute () =
+  { total = Db.count ();
+    hypervisor_related = Db.count ~component:Db.Hypervisor ();
+    thwarted_privilege = Db.count ~component:Db.Hypervisor ~category:Db.Privilege_escalation ();
+    thwarted_leak = Db.count ~component:Db.Hypervisor ~category:Db.Information_leak ();
+    guest_flaws = Db.count ~component:Db.Hypervisor ~category:Db.Guest_internal ();
+    dos = Db.count ~component:Db.Hypervisor ~category:Db.Denial_of_service ();
+    qemu = Db.count ~component:Db.Qemu () }
+
+let pct_of_hypervisor s n = 100.0 *. float_of_int n /. float_of_int s.hypervisor_related
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>XSA corpus: %d advisories@,\
+     hypervisor-related: %d (rest are QEMU: %d)@,\
+     thwarted by Fidelius:@,\
+    \  privilege escalation: %d (%.1f%%)@,\
+    \  information leakage:  %d (%.1f%%)@,\
+     not considered:@,\
+    \  guest-internal flaws: %d (%.1f%%)@,\
+    \  denial of service:    %d (%.1f%%)@]" s.total s.hypervisor_related s.qemu
+    s.thwarted_privilege
+    (pct_of_hypervisor s s.thwarted_privilege)
+    s.thwarted_leak
+    (pct_of_hypervisor s s.thwarted_leak)
+    s.guest_flaws
+    (pct_of_hypervisor s s.guest_flaws)
+    s.dos
+    (pct_of_hypervisor s s.dos)
+
+let sample_thwarted n =
+  List.filteri (fun i _ -> i < n)
+    (List.filter (fun r -> Classify.effect_of r = Classify.Thwarted) Db.all)

@@ -1,0 +1,21 @@
+(** The quantitative XSA summary of paper Section 6.2. *)
+
+type summary = {
+  total : int;                    (** 235 *)
+  hypervisor_related : int;       (** 177 *)
+  thwarted_privilege : int;       (** 31 (17.5% of 177) *)
+  thwarted_leak : int;            (** 22 (12.4%) *)
+  guest_flaws : int;              (** 14 (7.9%) *)
+  dos : int;
+  qemu : int;
+}
+
+val compute : unit -> summary
+
+val pct_of_hypervisor : summary -> int -> float
+
+val pp : Format.formatter -> summary -> unit
+(** Paper-style rendering with the percentages of Section 6.2. *)
+
+val sample_thwarted : int -> Db.record list
+(** A few thwarted records for display. *)

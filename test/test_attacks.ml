@@ -1,0 +1,150 @@
+(* The security evaluation as a test suite: every attack in the catalogue
+   must be defended under Fidelius, and the attacks the paper says plain SEV
+   is vulnerable to must indeed succeed on the baseline. *)
+
+module Surface = Fidelius_attacks.Surface
+module Suite = Fidelius_attacks.Suite
+module Runner = Fidelius_attacks.Runner
+
+let rows = lazy (Runner.run_all ())
+
+let find_row id =
+  match List.find_opt (fun r -> r.Runner.attack.Surface.id = id) (Lazy.force rows) with
+  | Some r -> r
+  | None -> Alcotest.fail ("no such attack: " ^ id)
+
+let expect_defended id () =
+  let r = find_row id in
+  Alcotest.(check bool)
+    (id ^ " defended by Fidelius: " ^ Surface.outcome_to_string r.Runner.fidelius)
+    true
+    (Surface.is_defended r.Runner.fidelius)
+
+let expect_baseline_vulnerable id () =
+  let r = find_row id in
+  Alcotest.(check bool)
+    (id ^ " succeeds on plain SEV: " ^ Surface.outcome_to_string r.Runner.baseline)
+    false
+    (Surface.is_defended r.Runner.baseline)
+
+let expect_baseline_defended id () =
+  (* Attacks the SEV hardware itself already stops (physical channels). *)
+  let r = find_row id in
+  Alcotest.(check bool)
+    (id ^ " already held by SEV hardware")
+    true
+    (Surface.is_defended r.Runner.baseline)
+
+let fidelius_blocked_by id fragment () =
+  let r = find_row id in
+  match r.Runner.fidelius with
+  | Surface.Blocked msg ->
+      let contains hay needle =
+        let n = String.length hay and m = String.length needle in
+        let rec scan i = i + m <= n && (String.sub hay i m = needle || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s blocked by %s (got: %s)" id fragment msg)
+        true (contains msg fragment)
+  | other ->
+      Alcotest.fail (id ^ ": expected Blocked, got " ^ Surface.outcome_to_string other)
+
+let test_summary () =
+  let total, defended, baseline_vulnerable = Runner.summary (Lazy.force rows) in
+  Alcotest.(check int) "catalogue size" (List.length Suite.all) total;
+  Alcotest.(check int) "Fidelius defends everything" total defended;
+  (* The paper's Section 2.2 analysis: plain SEV is broken on most of the
+     host-software surface. *)
+  Alcotest.(check bool) "baseline broadly vulnerable" true (baseline_vulnerable >= 15)
+
+let test_catalogue_structure () =
+  Alcotest.(check bool) "has hardware subset" true (List.length Suite.hardware >= 4);
+  Alcotest.(check bool) "has host-software subset" true (List.length Suite.host_software >= 15);
+  List.iter
+    (fun (a : Surface.attack) ->
+      Alcotest.(check bool) (a.Surface.id ^ " has paper ref") true
+        (String.length a.Surface.paper_ref > 0))
+    Suite.all;
+  Alcotest.(check bool) "find works" true (Suite.find "cold-boot" <> None);
+  Alcotest.(check bool) "find unknown" true (Suite.find "nope" = None)
+
+let vulnerable_baseline =
+  [ "vmcb-register-harvest"; "vmcb-control-tamper"; "vmcb-sev-disable"; "direct-map-read";
+    "host-remap"; "inter-vm-remap"; "grant-forgery"; "grant-widening"; "mapping-widening"; "balloon-reclaim";
+    "exit-reason-forgery"; "double-map"; "iago-forged-return";
+    "keyshare-abuse"; "wp-disable"; "smep-disable"; "nxe-disable"; "rogue-vmrun"; "rogue-cr3";
+    "code-injection"; "unmap-monitor-text"; "io-snoop"; "dma-overwrite-pt" ]
+
+let hardware_held_by_sev = [ "cold-boot"; "bus-snoop"; "dma-read-guest"; "rowhammer" ]
+
+(* The paper's Section 2.2: SEV-ES closes the VMCB/register surfaces... *)
+let es_defends = [ "vmcb-register-harvest"; "vmcb-sev-disable"; "exit-reason-forgery" ]
+
+(* ...but the second-level mapping and the handle/ASID key-sharing surfaces
+   remain ("this handle-ASID relationship is not protected by SEV-ES"). *)
+let es_still_vulnerable =
+  [ "vmcb-control-tamper"; "direct-map-read"; "host-remap"; "inter-vm-remap";
+    "grant-forgery"; "grant-widening"; "keyshare-abuse"; "wp-disable"; "rogue-vmrun";
+    "io-snoop"; "dma-overwrite-pt" ]
+
+let expect_es_defended id () =
+  let r = find_row id in
+  Alcotest.(check bool)
+    (id ^ " held by SEV-ES: " ^ Surface.outcome_to_string r.Runner.sev_es)
+    true
+    (Surface.is_defended r.Runner.sev_es)
+
+let expect_es_vulnerable id () =
+  let r = find_row id in
+  Alcotest.(check bool)
+    (id ^ " still breaks SEV-ES: " ^ Surface.outcome_to_string r.Runner.sev_es)
+    false
+    (Surface.is_defended r.Runner.sev_es)
+
+let mechanism_checks =
+  [ ("vmcb-control-tamper", "shadow");
+    ("vmcb-sev-disable", "shadow");
+    ("inter-vm-remap", "PIT");
+    ("grant-forgery", "GIT");
+    ("grant-widening", "GIT");
+    ("mapping-widening", "PIT");
+    ("balloon-reclaim", "teardown");
+    ("exit-reason-forgery", "shadow");
+    ("double-map", "double mapping");
+    ("wp-disable", "CR0 policy");
+    ("smep-disable", "CR4 policy");
+    ("nxe-disable", "EFER policy");
+    ("rogue-vmrun", "#PF(fetch)");
+    ("rogue-cr3", "#PF(fetch)");
+    ("unmap-monitor-text", "may not be revoked");
+    ("dma-overwrite-pt", "IOMMU") ]
+
+let () =
+  Alcotest.run "attacks"
+    [ ( "fidelius-defends",
+        List.map
+          (fun (a : Surface.attack) ->
+            Alcotest.test_case a.Surface.id `Quick (expect_defended a.Surface.id))
+          Suite.all );
+      ( "baseline-vulnerable",
+        List.map
+          (fun id -> Alcotest.test_case id `Quick (expect_baseline_vulnerable id))
+          vulnerable_baseline );
+      ( "sev-es-closes (paper 2.2)",
+        List.map (fun id -> Alcotest.test_case id `Quick (expect_es_defended id)) es_defends );
+      ( "sev-es-remains-open (paper 2.2)",
+        List.map (fun id -> Alcotest.test_case id `Quick (expect_es_vulnerable id))
+          es_still_vulnerable );
+      ( "sev-hardware-holds",
+        List.map
+          (fun id -> Alcotest.test_case id `Quick (expect_baseline_defended id))
+          hardware_held_by_sev );
+      ( "mechanisms",
+        List.map
+          (fun (id, frag) ->
+            Alcotest.test_case (id ^ " via " ^ frag) `Quick (fidelius_blocked_by id frag))
+          mechanism_checks );
+      ( "summary",
+        [ Alcotest.test_case "totals" `Quick test_summary;
+          Alcotest.test_case "catalogue" `Quick test_catalogue_structure ] ) ]

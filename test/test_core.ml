@@ -1,0 +1,1124 @@
+(* Tests for the Fidelius core: installation invariants (the paper's
+   Tables 1 and 2), PIT/GIT, gates, shadowing, policies, the protected VM
+   life cycle, I/O protection, sharing and migration. *)
+
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+module Sev = Fidelius_sev
+module Core = Fidelius_core
+module Fid = Core.Fidelius
+module Hv = Xen.Hypervisor
+module Domain = Xen.Domain
+module Pit = Core.Pit
+module Git = Core.Git_table
+module Gate = Core.Gate
+module Shadow = Core.Shadow
+module Policy = Core.Policy
+module Rng = Fidelius_crypto.Rng
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let page c = Bytes.make Hw.Addr.page_size c
+
+let installed () =
+  let m = Hw.Machine.create ~seed:61L () in
+  let hv = Hv.boot m in
+  let fid = Fid.install hv in
+  (m, hv, fid)
+
+let owner_image fid ?(pages = 3) () =
+  let rng = Rng.create 62L in
+  Sev.Transport.Owner.prepare ~rng ~platform_public:(Fid.platform_key fid)
+    ~policy:Sev.Firmware.policy_nodbg
+    ~kernel_pages:(List.init pages (fun i -> page (Char.chr (65 + i))))
+
+let protected_vm ?(memory_pages = 16) (m, hv, fid) name =
+  ignore m;
+  ignore hv;
+  let prepared = owner_image fid () in
+  (ok (Fid.boot_protected_vm fid ~name ~memory_pages ~prepared), prepared)
+
+(* --- installation invariants (Table 1 / Table 2) ---------------------------- *)
+
+let test_table1_permissions () =
+  let _, hv, fid = installed () in
+  let host = hv.Hv.host_space in
+  let perm_of pfn = Hw.Pagetable.lookup host pfn in
+  (* Page tables (Xen): read-only. *)
+  List.iter
+    (fun pfn ->
+      match perm_of pfn with
+      | Some pte -> Alcotest.(check bool) "xen PT page read-only" false pte.Hw.Pagetable.writable
+      | None -> Alcotest.fail "xen PT page should stay mapped (read-only)")
+    (Hw.Pagetable.backing_frames host);
+  (* Grant tables: read-only. *)
+  List.iter
+    (fun pfn ->
+      match perm_of pfn with
+      | Some pte -> Alcotest.(check bool) "grant table read-only" false pte.Hw.Pagetable.writable
+      | None -> Alcotest.fail "grant table should stay mapped")
+    (Xen.Granttab.backing_frames hv.Hv.granttab);
+  (* PIT/GIT (Fidelius data): unmapped. *)
+  List.iter
+    (fun pfn -> Alcotest.(check bool) "PIT pages unmapped" true (perm_of pfn = None))
+    (Pit.tree_frames fid.Core.Ctx.pit);
+  List.iter
+    (fun pfn -> Alcotest.(check bool) "GIT pages unmapped" true (perm_of pfn = None))
+    (Git.backing_frames fid.Core.Ctx.git);
+  (* Fidelius text: executable, not writable; VMRUN/CR3 pages unmapped. *)
+  List.iter
+    (fun pfn ->
+      match perm_of pfn with
+      | Some pte ->
+          Alcotest.(check bool) "fid text executable" true pte.Hw.Pagetable.executable;
+          Alcotest.(check bool) "fid text read-only" false pte.Hw.Pagetable.writable
+      | None -> Alcotest.fail "fid text mapped")
+    fid.Core.Ctx.fid_text;
+  Alcotest.(check bool) "vmrun page unmapped" true (perm_of fid.Core.Ctx.vmrun_page = None);
+  Alcotest.(check bool) "cr3 page unmapped" true (perm_of fid.Core.Ctx.cr3_page = None)
+
+let test_table2_instructions () =
+  let m, _, fid = installed () in
+  let insns = m.Hw.Machine.insns in
+  (* Every privileged op is monopolized after the binary scan. *)
+  List.iter
+    (fun op ->
+      Alcotest.(check bool)
+        (Hw.Insn.op_to_string op ^ " monopolized")
+        true (Hw.Insn.monopolized insns op))
+    Hw.Insn.all_ops;
+  (* Type-2 ops live in Fidelius text; VMRUN/mov-CR3 on their own pages. *)
+  let fid_page = List.hd fid.Core.Ctx.fid_text in
+  List.iter
+    (fun op ->
+      Alcotest.(check (list int)) (Hw.Insn.op_to_string op ^ " in fid text") [ fid_page ]
+        (Hw.Insn.instances insns op))
+    [ Hw.Insn.Mov_cr0; Hw.Insn.Mov_cr4; Hw.Insn.Wrmsr; Hw.Insn.Lgdt; Hw.Insn.Lidt ];
+  Alcotest.(check (list int)) "vmrun rehomed" [ fid.Core.Ctx.vmrun_page ]
+    (Hw.Insn.instances insns Hw.Insn.Vmrun);
+  Alcotest.(check (list int)) "mov-cr3 rehomed" [ fid.Core.Ctx.cr3_page ]
+    (Hw.Insn.instances insns Hw.Insn.Mov_cr3)
+
+let test_measurement_recorded () =
+  let _, hv, fid = installed () in
+  Alcotest.(check bool) "xen text measured" true
+    (Bytes.equal fid.Core.Ctx.xen_measurement (Core.Iso.measure_xen_text hv));
+  let report = Fid.attestation_report fid in
+  Alcotest.(check bool) "report mentions measurement" true
+    (String.length report > 64)
+
+(* --- PIT ---------------------------------------------------------------------- *)
+
+let pit_info_gen =
+  QCheck.map
+    (fun (o, u, asid, valid) ->
+      let owner = match o mod 4 with 0 -> Pit.Nobody | 1 -> Pit.Xen | 2 -> Pit.Fidelius | _ -> Pit.Dom (o mod 100) in
+      let usage =
+        match u mod 10 with
+        | 0 -> Pit.Free | 1 -> Pit.Xen_text | 2 -> Pit.Xen_data | 3 -> Pit.Xen_pt
+        | 4 -> Pit.Guest_page | 5 -> Pit.Guest_npt | 6 -> Pit.Grant_table
+        | 7 -> Pit.Fidelius_text | 8 -> Pit.Fidelius_data | _ -> Pit.Shared_io
+      in
+      { Pit.owner; usage; asid = asid mod 4096; valid })
+    (QCheck.quad QCheck.small_nat QCheck.small_nat QCheck.small_nat QCheck.bool)
+
+let test_pit_roundtrip =
+  QCheck.Test.make ~name:"PIT set/get roundtrip" ~count:200
+    (QCheck.pair (QCheck.int_bound 8000) pit_info_gen)
+    (fun (pfn, info) ->
+      let m = Hw.Machine.create ~nr_frames:64 ~seed:1L () in
+      let pit = Pit.create m in
+      Pit.set pit pfn info;
+      Pit.get pit pfn = info)
+
+let test_pit_default_free () =
+  let m = Hw.Machine.create ~nr_frames:64 ~seed:1L () in
+  let pit = Pit.create m in
+  Alcotest.(check bool) "unrecorded frame is free" true (Pit.get pit 42 = Pit.free_info)
+
+let test_pit_multiple_entries () =
+  let m = Hw.Machine.create ~nr_frames:64 ~seed:1L () in
+  let pit = Pit.create m in
+  let info1 = { Pit.owner = Pit.Dom 1; usage = Pit.Guest_page; asid = 1; valid = true } in
+  let info2 = { Pit.owner = Pit.Xen; usage = Pit.Xen_pt; asid = 0; valid = true } in
+  Pit.set pit 10 info1;
+  Pit.set pit 20 info2;
+  Pit.set pit 2000 info2;
+  Alcotest.(check bool) "entry 10" true (Pit.get pit 10 = info1);
+  Alcotest.(check bool) "entry 2000" true (Pit.get pit 2000 = info2);
+  (* count_usage scans physical frames, so only the in-range entry counts *)
+  Alcotest.(check int) "usage count" 1 (Pit.count_usage pit Pit.Xen_pt)
+
+let test_pit_radix_growth () =
+  let m = Hw.Machine.create ~nr_frames:64 ~seed:1L () in
+  let pit = Pit.create m in
+  let before = List.length (Pit.tree_frames pit) in
+  Pit.set pit 5000 { Pit.free_info with Pit.owner = Pit.Xen };
+  Alcotest.(check bool) "radix grew" true (List.length (Pit.tree_frames pit) > before)
+
+(* --- GIT ----------------------------------------------------------------------- *)
+
+let git_env () =
+  let m = Hw.Machine.create ~nr_frames:64 ~seed:2L () in
+  Git.create m
+
+let test_git_record_check () =
+  let git = git_env () in
+  ok (Git.record git { Git.initiator = 1; target = 2; gfn = 10; nr = 4; writable = false });
+  Alcotest.(check bool) "covered gfn ok" true
+    (Result.is_ok (Git.check git ~initiator:1 ~target:2 ~gfn:12 ~writable:false));
+  Alcotest.(check bool) "outside range denied" true
+    (Result.is_error (Git.check git ~initiator:1 ~target:2 ~gfn:14 ~writable:false));
+  Alcotest.(check bool) "wrong target denied" true
+    (Result.is_error (Git.check git ~initiator:1 ~target:3 ~gfn:10 ~writable:false));
+  Alcotest.(check bool) "widening denied" true
+    (Result.is_error (Git.check git ~initiator:1 ~target:2 ~gfn:10 ~writable:true))
+
+let test_git_writable_intent () =
+  let git = git_env () in
+  ok (Git.record git { Git.initiator = 1; target = 2; gfn = 5; nr = 1; writable = true });
+  Alcotest.(check bool) "writable ok" true
+    (Result.is_ok (Git.check git ~initiator:1 ~target:2 ~gfn:5 ~writable:true));
+  Alcotest.(check bool) "narrower read ok" true
+    (Result.is_ok (Git.check git ~initiator:1 ~target:2 ~gfn:5 ~writable:false))
+
+let test_git_revoke () =
+  let git = git_env () in
+  ok (Git.record git { Git.initiator = 1; target = 2; gfn = 5; nr = 1; writable = true });
+  ok (Git.record git { Git.initiator = 1; target = 3; gfn = 9; nr = 1; writable = true });
+  Git.revoke git ~initiator:1 ~gfn:5;
+  Alcotest.(check bool) "revoked" true
+    (Result.is_error (Git.check git ~initiator:1 ~target:2 ~gfn:5 ~writable:true));
+  Alcotest.(check int) "other intent remains" 1 (List.length (Git.intents git));
+  Git.revoke_domain git ~initiator:1;
+  Alcotest.(check int) "domain revoked" 0 (List.length (Git.intents git))
+
+let test_git_bad_nr () =
+  let git = git_env () in
+  Alcotest.(check bool) "nr 0 rejected" true
+    (Result.is_error (Git.record git { Git.initiator = 1; target = 2; gfn = 5; nr = 0; writable = false }))
+
+let test_git_property =
+  QCheck.Test.make ~name:"GIT check covers exactly the declared range" ~count:100
+    (QCheck.quad (QCheck.int_bound 100) (QCheck.int_bound 20) QCheck.small_nat QCheck.bool)
+    (fun (gfn, nr, probe, writable) ->
+      let nr = max 1 nr in
+      let git = git_env () in
+      (match Git.record git { Git.initiator = 1; target = 2; gfn; nr; writable } with
+      | Ok () -> ()
+      | Error _ -> QCheck.assume_fail ());
+      let inside = probe >= gfn && probe < gfn + nr in
+      Result.is_ok (Git.check git ~initiator:1 ~target:2 ~gfn:probe ~writable) = inside)
+
+(* --- gates ------------------------------------------------------------------------ *)
+
+let test_gate1_cost_and_wp () =
+  let m, _, fid = installed () in
+  let t0 = Hw.Cost.category m.Hw.Machine.ledger "gate1" in
+  let saw_wp_open = ref false in
+  ignore
+    (ok
+       (Gate.with_type1 fid (fun () ->
+            saw_wp_open := not (Hw.Cpu.wp m.Hw.Machine.cpu);
+            Ok ())));
+  Alcotest.(check bool) "WP cleared inside" true !saw_wp_open;
+  Alcotest.(check bool) "WP restored" true (Hw.Cpu.wp m.Hw.Machine.cpu);
+  Alcotest.(check bool) "not in fidelius after" false (Hw.Cpu.in_fidelius m.Hw.Machine.cpu);
+  Alcotest.(check int) "charged 306 cycles"
+    (t0 + m.Hw.Machine.costs.Hw.Cost.gate1)
+    (Hw.Cost.category m.Hw.Machine.ledger "gate1")
+
+let test_gate1_restores_on_exception () =
+  let m, _, fid = installed () in
+  (try
+     ignore (Gate.with_type1 fid (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  Alcotest.(check bool) "WP restored after raise" true (Hw.Cpu.wp m.Hw.Machine.cpu);
+  Alcotest.(check bool) "fidelius flag cleared" false (Hw.Cpu.in_fidelius m.Hw.Machine.cpu)
+
+let test_gate1_not_reentrant () =
+  let _, _, fid = installed () in
+  let inner_result = ref (Ok ()) in
+  ignore
+    (ok
+       (Gate.with_type1 fid (fun () ->
+            inner_result := Gate.with_type1 fid (fun () -> Ok ());
+            Ok ())));
+  Alcotest.(check bool) "nested gate rejected" true (Result.is_error !inner_result)
+
+let test_gate3_mapping_window () =
+  let m, hv, fid = installed () in
+  let target = fid.Core.Ctx.vmrun_page in
+  Alcotest.(check bool) "unmapped before" true
+    (Hw.Pagetable.lookup hv.Hv.host_space target = None);
+  ignore
+    (ok
+       (Gate.with_type3 fid ~pfns:[ target ] ~executable:true (fun () ->
+            Alcotest.(check bool) "mapped inside" true
+              (Hw.Mmu.exec_ok m hv.Hv.host_space target);
+            Ok ())));
+  Alcotest.(check bool) "withdrawn after" true
+    (Hw.Pagetable.lookup hv.Hv.host_space target = None)
+
+let test_gate_counts () =
+  let _, hv, fid = installed () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:2 in
+  let g1a, _, g3a = Gate.counts fid in
+  ignore (ok (Hv.hypercall hv dom Xen.Hypercall.Void));
+  let g1b, _, g3b = Gate.counts fid in
+  Alcotest.(check bool) "vmrun used a type-3 gate" true (g3b > g3a);
+  ignore (g1a, g1b)
+
+(* --- shadow ------------------------------------------------------------------------- *)
+
+let shadow_env () =
+  let m = Hw.Machine.create ~nr_frames:128 ~seed:3L () in
+  let backing = Hw.Machine.alloc_frame m in
+  let s = Shadow.create m ~backing in
+  let vmcb = Hw.Vmcb.create () in
+  Hw.Vmcb.set vmcb Hw.Vmcb.Rip 0x1000L;
+  Hw.Vmcb.set vmcb Hw.Vmcb.Rsp 0x8000L;
+  Hw.Vmcb.set vmcb Hw.Vmcb.Asid 3L;
+  Hw.Vmcb.set vmcb Hw.Vmcb.Cr3 0x55L;
+  (m, s, vmcb)
+
+let test_shadow_mask_and_restore () =
+  let m, s, vmcb = shadow_env () in
+  Hw.Cpu.set_reg m.Hw.Machine.cpu Hw.Cpu.Rbx 0x42L;
+  Shadow.capture s m vmcb Hw.Vmcb.Npf;
+  Alcotest.(check int64) "rip masked" 0L (Hw.Vmcb.get vmcb Hw.Vmcb.Rip);
+  Alcotest.(check int64) "rbx masked" 0L (Hw.Cpu.get_reg m.Hw.Machine.cpu Hw.Cpu.Rbx);
+  Alcotest.(check int64) "control area visible" 3L (Hw.Vmcb.get vmcb Hw.Vmcb.Asid);
+  ok (Shadow.verify_and_restore s m vmcb);
+  Alcotest.(check int64) "rip restored" 0x1000L (Hw.Vmcb.get vmcb Hw.Vmcb.Rip);
+  Alcotest.(check int64) "rbx restored" 0x42L (Hw.Cpu.get_reg m.Hw.Machine.cpu Hw.Cpu.Rbx)
+
+let test_shadow_visible_fields_by_reason () =
+  let m, s, vmcb = shadow_env () in
+  Hw.Vmcb.set vmcb Hw.Vmcb.Rax 0x99L;
+  Shadow.capture s m vmcb Hw.Vmcb.Vmmcall;
+  Alcotest.(check int64) "rax visible for hypercall" 0x99L (Hw.Vmcb.get vmcb Hw.Vmcb.Rax);
+  Alcotest.(check int64) "rsp hidden" 0L (Hw.Vmcb.get vmcb Hw.Vmcb.Rsp);
+  ok (Shadow.verify_and_restore s m vmcb)
+
+let test_shadow_allows_legit_updates () =
+  let m, s, vmcb = shadow_env () in
+  Shadow.capture s m vmcb Hw.Vmcb.Vmmcall;
+  (* Hypervisor advances RIP and writes the return value: allowed. *)
+  Hw.Vmcb.set vmcb Hw.Vmcb.Rip (Int64.add (Hw.Vmcb.get vmcb Hw.Vmcb.Rip) 3L);
+  Hw.Vmcb.set vmcb Hw.Vmcb.Rax 0x77L;
+  ok (Shadow.verify_and_restore s m vmcb);
+  Alcotest.(check int64) "rax update stands" 0x77L (Hw.Vmcb.get vmcb Hw.Vmcb.Rax)
+
+let test_shadow_detects_every_protected_field () =
+  (* For every protected field and a non-updatable exit reason, tampering
+     is detected. *)
+  List.iter
+    (fun field ->
+      let m, s, vmcb = shadow_env () in
+      Shadow.capture s m vmcb Hw.Vmcb.Npf;
+      Hw.Vmcb.set vmcb field (Int64.add (Hw.Vmcb.get vmcb field) 0x1234L);
+      match Shadow.verify_and_restore s m vmcb with
+      | Error _ -> ()
+      | Ok () ->
+          Alcotest.fail
+            (Printf.sprintf "tampering %s went undetected" (Hw.Vmcb.field_to_string field)))
+    Shadow.protected_fields
+
+let test_shadow_rejects_entry_without_capture () =
+  let m, s, vmcb = shadow_env () in
+  Alcotest.(check bool) "no capture, no entry" true
+    (Result.is_error (Shadow.verify_and_restore s m vmcb))
+
+let test_shadow_backing_unreadable_frame () =
+  let m, s, vmcb = shadow_env () in
+  Shadow.capture s m vmcb Hw.Vmcb.Hlt;
+  (* The shadow really lives in its backing frame. *)
+  let raw = Hw.Physmem.dump m.Hw.Machine.mem (Shadow.backing s) in
+  Alcotest.(check int64) "rip snapshot in frame" 0x1000L (Bytes.get_int64_be raw 0);
+  ok (Shadow.verify_and_restore s m vmcb)
+
+(* --- policies ------------------------------------------------------------------------ *)
+
+let test_policy_cr_bits () =
+  let m, _, fid = installed () in
+  Alcotest.(check bool) "PG clear denied" true
+    (Result.is_error (Policy.check_cr0 fid 0x10000L));
+  Alcotest.(check bool) "WP clear denied" true
+    (Result.is_error (Policy.check_cr0 fid 0x80000000L));
+  Alcotest.(check bool) "both set ok" true
+    (Result.is_ok (Policy.check_cr0 fid 0x80010000L));
+  Alcotest.(check bool) "SMEP clear denied" true (Result.is_error (Policy.check_cr4 fid 0L));
+  Alcotest.(check bool) "NXE clear denied" true (Result.is_error (Policy.check_efer fid 0L));
+  (* Inside the Fidelius context the same writes are allowed. *)
+  Hw.Cpu.enter_fidelius m.Hw.Machine.cpu;
+  Alcotest.(check bool) "fidelius may clear WP" true
+    (Result.is_ok (Policy.check_cr0 fid 0x80000000L));
+  Hw.Cpu.leave_fidelius m.Hw.Machine.cpu
+
+let test_policy_cr3 () =
+  let m, hv, fid = installed () in
+  Alcotest.(check bool) "host space valid" true
+    (Result.is_ok (Policy.check_cr3 fid (Int64.of_int (Hw.Pagetable.id hv.Hv.host_space))));
+  let rogue = Hw.Machine.new_table m in
+  Alcotest.(check bool) "rogue space invalid" true
+    (Result.is_error (Policy.check_cr3 fid (Int64.of_int (Hw.Pagetable.id rogue))))
+
+let test_policy_once () =
+  let _, _, fid = installed () in
+  Alcotest.(check bool) "first write ok" true (Result.is_ok (Policy.write_once fid ~region:"r1"));
+  Alcotest.(check bool) "second denied" true (Result.is_error (Policy.write_once fid ~region:"r1"));
+  Alcotest.(check bool) "other region ok" true (Result.is_ok (Policy.write_once fid ~region:"r2"));
+  Alcotest.(check bool) "exec once" true (Result.is_ok (Policy.exec_once fid ~what:"lgdt"));
+  Alcotest.(check bool) "exec twice denied" true (Result.is_error (Policy.exec_once fid ~what:"lgdt"))
+
+let test_policy_audit_log () =
+  let _, _, fid = installed () in
+  let before = List.length (Fid.violations fid) in
+  ignore (Policy.check_cr0 fid 0L);
+  Alcotest.(check int) "denial audited" (before + 1) (List.length (Fid.violations fid))
+
+let test_policy_wx () =
+  let _, _, fid = installed () in
+  Alcotest.(check bool) "W^X denied" true
+    (Result.is_error
+       (Policy.check_host_map_update fid 50
+          (Some { Hw.Pagetable.frame = 50; writable = true; executable = true; c_bit = false })))
+
+(* --- lifecycle ------------------------------------------------------------------------ *)
+
+let test_protected_boot () =
+  let (m, hv, fid) = installed () in
+  let dom, prepared = protected_vm (m, hv, fid) "tenant" in
+  Alcotest.(check bool) "protected" true (Fid.is_protected fid dom.Domain.domid);
+  Alcotest.(check bool) "firmware RUNNING" true
+    (match dom.Domain.sev_handle with
+    | Some h -> Sev.Firmware.state_of hv.Hv.fw ~handle:h = Some Sev.State.Running
+    | None -> false);
+  (* Kernel pages decrypt for the guest. *)
+  let b = Hv.in_guest hv dom (fun () -> Domain.read m dom ~addr:0x2000 ~len:4) in
+  Alcotest.(check string) "page 2 content" "CCCC" (Bytes.to_string b);
+  (* The owner's disk key is recoverable only from inside. *)
+  Alcotest.(check bool) "kblk matches" true
+    (Bytes.equal (Fid.kblk_of_guest fid dom) prepared.Sev.Transport.Owner.kblk);
+  (* Guest frames are unmapped from the hypervisor. *)
+  (match Hw.Pagetable.lookup dom.Domain.npt 0 with
+  | Some npte ->
+      Alcotest.(check bool) "frame revoked from host" true
+        (Hw.Pagetable.lookup hv.Hv.host_space npte.Hw.Pagetable.frame = None)
+  | None -> Alcotest.fail "gfn 0 unbacked")
+
+let test_boot_tampered_image_fails () =
+  let (_, hv, fid) = installed () in
+  let prepared = owner_image fid () in
+  let tampered_pages =
+    List.map
+      (fun (i, c) ->
+        let c = Bytes.copy c in
+        if i = 1 then Bytes.set c 0 (Char.chr (Char.code (Bytes.get c 0) lxor 1));
+        (i, c))
+      prepared.Sev.Transport.Owner.image.Sev.Transport.pages
+  in
+  let prepared =
+    { prepared with
+      Sev.Transport.Owner.image =
+        { prepared.Sev.Transport.Owner.image with Sev.Transport.pages = tampered_pages } }
+  in
+  let doms_before = List.length hv.Hv.domains in
+  Alcotest.(check bool) "tampered image rejected" true
+    (Result.is_error (Fid.boot_protected_vm fid ~name:"evil" ~memory_pages:8 ~prepared));
+  Alcotest.(check int) "rollback removed the domain" doms_before (List.length hv.Hv.domains)
+
+let test_nosend_policy () =
+  (* A guest whose owner set NOSEND cannot be exported at all. *)
+  let _, hv, fid = installed () in
+  let rng = Rng.create 64L in
+  let prepared =
+    Sev.Transport.Owner.prepare ~rng ~platform_public:(Fid.platform_key fid)
+      ~policy:(Sev.Firmware.policy_nodbg lor Sev.Firmware.policy_nosend)
+      ~kernel_pages:[ page 'N' ]
+  in
+  let dom = ok (Fid.boot_protected_vm fid ~name:"sealed" ~memory_pages:8 ~prepared) in
+  let handle = Option.get dom.Domain.sev_handle in
+  Alcotest.(check bool) "SEND refused" true
+    (Result.is_error
+       (Sev.Firmware.send_start hv.Hv.fw ~handle
+          ~target_public:(Fid.platform_key fid) ~nonce:1L));
+  let m2 = Hw.Machine.create ~seed:72L () in
+  let fid2 = Fid.install (Hv.boot m2) in
+  Alcotest.(check bool) "migration refused" true
+    (Result.is_error (Fid.migrate ~src:fid ~dst:fid2 dom))
+
+let test_boot_wrong_platform_fails () =
+  let (_, _, fid) = installed () in
+  let rng = Rng.create 63L in
+  let other_secret, other_public = Fidelius_crypto.Dh.generate rng in
+  ignore other_secret;
+  let prepared =
+    Sev.Transport.Owner.prepare ~rng ~platform_public:other_public ~policy:1
+      ~kernel_pages:[ page 'Z' ]
+  in
+  Alcotest.(check bool) "image for another platform rejected" true
+    (Result.is_error (Fid.boot_protected_vm fid ~name:"misdirected" ~memory_pages:8 ~prepared))
+
+let test_hypercall_roundtrip_protected () =
+  let env = installed () in
+  let _, hv, _ = env in
+  let dom, _ = protected_vm env "tenant" in
+  Alcotest.(check int64) "void ok" 0L (ok (Hv.hypercall hv dom Xen.Hypercall.Void));
+  ignore (ok (Hv.hypercall hv dom (Xen.Hypercall.Console_write "from protected guest")));
+  Alcotest.(check string) "console" "from protected guest" (Hv.console hv dom.Domain.domid)
+
+let test_cpuid_under_masking () =
+  (* The CPUID flow works through Fidelius' shadowing: the leaf register is
+     visible, the four results are the updatable set, and every other
+     register comes back from the shadow. *)
+  let ((m, hv, _) as env) = installed () in
+  let dom, _ = protected_vm env "cpuid" in
+  let cpu = m.Hw.Machine.cpu in
+  Hw.Cpu.set_reg cpu Hw.Cpu.R12 0xFEEDL;
+  (match Hv.cpuid hv dom ~leaf:0x8000001F with
+  | Ok (a, _, _, _) -> Alcotest.(check int64) "SEV leaf under Fidelius" 3L a
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int64) "bystander register restored" 0xFEEDL
+    (Hw.Cpu.get_reg cpu Hw.Cpu.R12)
+
+let test_msr_under_masking () =
+  let ((_, hv, _) as env) = installed () in
+  let dom, _ = protected_vm env "msr" in
+  ok (Hv.wrmsr_guest hv dom ~msr:0x20 42L);
+  Alcotest.(check int64) "msr roundtrip under Fidelius" 42L (ok (Hv.rdmsr hv dom ~msr:0x20))
+
+let test_shutdown_cleans_up () =
+  let ((m, hv, fid) as env) = installed () in
+  let dom, _ = protected_vm env "tenant" in
+  let handle = Option.get dom.Domain.sev_handle in
+  let frames = dom.Domain.frames in
+  Fid.shutdown_protected_vm fid dom;
+  Alcotest.(check bool) "decommissioned" true
+    (Sev.Firmware.state_of hv.Hv.fw ~handle = Some Sev.State.Decommissioned);
+  Alcotest.(check bool) "no longer protected" false (Fid.is_protected fid dom.Domain.domid);
+  (* Frames scrubbed, PIT reset, direct map restored. *)
+  List.iter
+    (fun pfn ->
+      Alcotest.(check bool) "PIT freed" true ((Pit.get fid.Core.Ctx.pit pfn).Pit.usage = Pit.Free);
+      Alcotest.(check bool) "host mapping restored" true
+        (Hw.Pagetable.lookup hv.Hv.host_space pfn <> None);
+      Alcotest.(check string) "scrubbed" "\000\000"
+        (Bytes.to_string (Hw.Physmem.read_raw m.Hw.Machine.mem pfn ~off:0 ~len:2)))
+    frames
+
+let test_write_start_info_once () =
+  let env = installed () in
+  let _, _, fid = env in
+  let dom, _ = protected_vm env "tenant" in
+  Alcotest.(check bool) "first write ok" true
+    (Result.is_ok (Fid.write_start_info fid dom (Bytes.of_string "start info")));
+  (* Byte-granular bit-vector (paper 5.3): a disjoint range is fine, any
+     overlap is denied. *)
+  Alcotest.(check bool) "disjoint range ok" true
+    (Result.is_ok (Fid.write_start_info ~off:100 fid dom (Bytes.of_string "more fields")));
+  Alcotest.(check bool) "overlapping rewrite denied" true
+    (Result.is_error (Fid.write_start_info ~off:4 fid dom (Bytes.of_string "again")));
+  Alcotest.(check bool) "exact rewrite denied" true
+    (Result.is_error (Fid.write_start_info fid dom (Bytes.of_string "start info")));
+  Alcotest.(check bool) "out of page denied" true
+    (Result.is_error (Fid.write_start_info ~off:4090 fid dom (Bytes.of_string "overflowing")))
+
+(* --- io protection ---------------------------------------------------------------------- *)
+
+let test_aesni_codec_roundtrip () =
+  let ((m, hv, fid) as env) = installed () in
+  ignore m;
+  let dom, prepared = protected_vm env "io" in
+  let kblk = prepared.Sev.Transport.Owner.kblk in
+  let plain = Bytes.init (8 * 512) (fun i -> Char.chr (i land 0xff)) in
+  let disk = Xen.Vdisk.of_bytes (Core.Io_protect.encrypt_disk ~kblk plain) in
+  let fe, _ = ok (Xen.Blkif.connect hv dom ~disk ~buffer_gvfn:200) in
+  Xen.Blkif.set_codec fe (Fid.aesni_codec fid ~kblk);
+  let got = ok (Xen.Blkif.read_sectors fe ~sector:0 ~count:8) in
+  Alcotest.(check bool) "owner-encrypted disk mounts" true (Bytes.equal got plain);
+  ok (Xen.Blkif.write_sectors fe ~sector:2 (Bytes.make 512 'W'));
+  Alcotest.(check bool) "platter stays ciphertext" false
+    (Bytes.for_all (fun c -> c = 'W') (Xen.Vdisk.peek disk ~sector:2 ~count:1));
+  let back = ok (Xen.Blkif.read_sectors fe ~sector:2 ~count:1) in
+  Alcotest.(check bool) "written data reads back" true (Bytes.for_all (fun c -> c = 'W') back)
+
+let test_disk_encrypt_helpers () =
+  let kblk = Bytes.make 16 'd' in
+  let data = Bytes.of_string "some disk image content" in
+  let enc = Core.Io_protect.encrypt_disk ~kblk data in
+  let dec = Core.Io_protect.decrypt_disk ~kblk enc in
+  Alcotest.(check string) "roundtrip (padded)" "some disk image content"
+    (Bytes.to_string (Bytes.sub dec 0 (Bytes.length data)));
+  Alcotest.(check int) "padded to sectors" 512 (Bytes.length enc)
+
+let test_sev_codec_roundtrip () =
+  let ((_, hv, fid) as env) = installed () in
+  let dom, _ = protected_vm env "sevio" in
+  let io = ok (Fid.setup_sev_io fid dom ~md_gvfn:300) in
+  let s_handle, r_handle = Core.Io_protect.helper_handles io in
+  Alcotest.(check bool) "s-dom SENDING" true
+    (Sev.Firmware.state_of hv.Hv.fw ~handle:s_handle = Some Sev.State.Sending);
+  Alcotest.(check bool) "r-dom RECEIVING" true
+    (Sev.Firmware.state_of hv.Hv.fw ~handle:r_handle = Some Sev.State.Receiving);
+  let disk = Xen.Vdisk.create ~nr_sectors:32 in
+  let fe, _ = ok (Xen.Blkif.connect hv dom ~disk ~buffer_gvfn:301) in
+  Xen.Blkif.set_codec fe (Fid.sev_codec io);
+  ok (Xen.Blkif.write_sectors fe ~sector:4 (Bytes.make 1024 'S'));
+  Alcotest.(check bool) "platter ciphertext" false
+    (Bytes.for_all (fun c -> c = 'S') (Xen.Vdisk.peek disk ~sector:4 ~count:1));
+  let got = ok (Xen.Blkif.read_sectors fe ~sector:4 ~count:2) in
+  Alcotest.(check bool) "roundtrip" true (Bytes.for_all (fun c -> c = 'S') got)
+
+let test_software_codec_roundtrip () =
+  (* The ablation baseline: same transformation as AES-NI, charged at the
+     software rate. *)
+  let ((m, hv, fid) as env) = installed () in
+  ignore m;
+  let dom, prepared = protected_vm env "sw-io" in
+  let kblk = prepared.Sev.Transport.Owner.kblk in
+  let disk = Xen.Vdisk.create ~nr_sectors:16 in
+  let fe, _ = ok (Xen.Blkif.connect hv dom ~disk ~buffer_gvfn:210) in
+  Xen.Blkif.set_codec fe (Fid.software_codec fid ~kblk);
+  ok (Xen.Blkif.write_sectors fe ~sector:1 (Bytes.make 512 's'));
+  let before = Hw.Cost.category hv.Hv.machine.Hw.Machine.ledger "io-encode-sw" in
+  let b = ok (Xen.Blkif.read_sectors fe ~sector:1 ~count:1) in
+  Alcotest.(check bool) "roundtrip" true (Bytes.for_all (fun c -> c = 's') b);
+  Alcotest.(check bool) "charged at the software rate" true
+    (Hw.Cost.category hv.Hv.machine.Hw.Machine.ledger "io-encode-sw" > before);
+  (* Software and AES-NI codecs interoperate: same Kblk scheme on disk. *)
+  Xen.Blkif.set_codec fe (Fid.aesni_codec fid ~kblk);
+  let b2 = ok (Xen.Blkif.read_sectors fe ~sector:1 ~count:1) in
+  Alcotest.(check bool) "codecs interoperate" true (Bytes.for_all (fun c -> c = 's') b2)
+
+let test_sev_io_needs_protection () =
+  let _, hv, fid = installed () in
+  let plain_dom = Hv.create_domain hv ~name:"plain" ~memory_pages:4 in
+  Alcotest.(check bool) "unprotected domain refused" true
+    (Result.is_error (Fid.setup_sev_io fid plain_dom ~md_gvfn:10))
+
+(* --- sharing ------------------------------------------------------------------------------ *)
+
+let test_sharing_flow () =
+  let ((m, hv, fid) as env) = installed () in
+  ignore m;
+  ignore hv;
+  let a, _ = protected_vm env "alice" in
+  let b, _ = protected_vm env "bob" in
+  let sh = ok (Fid.share fid ~owner:a ~peer:b ~owner_gvfn:40 ~peer_gvfn:41 ~writable:true) in
+  Core.Sharing.owner_write fid a sh ~off:0 (Bytes.of_string "hi bob");
+  Alcotest.(check string) "peer reads" "hi bob"
+    (Bytes.to_string (Core.Sharing.peer_read fid b sh ~off:0 ~len:6));
+  Core.Sharing.peer_write fid b sh ~off:100 (Bytes.of_string "hi alice");
+  Alcotest.(check string) "owner reads reply" "hi alice"
+    (Bytes.to_string (Core.Sharing.peer_read fid b sh ~off:100 ~len:8));
+  ok (Fid.unshare fid ~owner:a sh);
+  Alcotest.(check bool) "GIT intent revoked" true
+    (Result.is_error
+       (Git.check fid.Core.Ctx.git ~initiator:a.Domain.domid ~target:b.Domain.domid
+          ~gfn:sh.Core.Sharing.owner_gfn ~writable:true));
+  (* The peer's nested mapping died with the grant: a further access
+     demand-faults onto a fresh zero page — the owner's data is gone. *)
+  let got = Core.Sharing.peer_read fid b sh ~off:0 ~len:6 in
+  Alcotest.(check bool) "peer no longer sees owner data" false
+    (Bytes.to_string got = "hi bob");
+  Alcotest.(check bool) "demand-zero page" true
+    (Bytes.for_all (fun c -> c = '\000') got);
+  (* The owner keeps its own page. *)
+  Core.Sharing.owner_write fid a sh ~off:0 (Bytes.of_string "mine")
+
+let test_share_range () =
+  let ((m, _, fid) as env) = installed () in
+  ignore m;
+  let a, _ = protected_vm env "alice" in
+  let b, _ = protected_vm env "bob" in
+  let shares =
+    ok (Fid.share_range fid ~owner:a ~peer:b ~owner_gvfn:60 ~peer_gvfn:70 ~nr:3 ~writable:true)
+  in
+  Alcotest.(check int) "three pages" 3 (List.length shares);
+  (* Each page is independently usable under the one declared intent. *)
+  List.iteri
+    (fun i sh ->
+      let msg = Printf.sprintf "page-%d" i in
+      Core.Sharing.owner_write fid a sh ~off:0 (Bytes.of_string msg);
+      Alcotest.(check string) msg msg
+        (Bytes.to_string (Core.Sharing.peer_read fid b sh ~off:0 ~len:(String.length msg))))
+    shares;
+  (* A grant just past the declared range is denied. *)
+  let last = List.nth shares 2 in
+  let beyond = last.Core.Sharing.owner_gfn + 1 in
+  Alcotest.(check bool) "past-range grant denied" true
+    (Result.is_error
+       (fid.Core.Ctx.hv.Hv.med.Hv.grant_update 14
+          (Some
+             { Xen.Granttab.owner = a.Domain.domid;
+               target = b.Domain.domid;
+               gfn = beyond;
+               writable = true;
+               in_use = true })))
+
+let test_sharing_requires_intent () =
+  let ((_, hv, _fid) as env) = installed () in
+  let a, _ = protected_vm env "alice" in
+  let b, _ = protected_vm env "bob" in
+  (* Grant without pre_sharing: the GIT denies it. *)
+  let gfn = Domain.alloc_gfn a in
+  Domain.guest_map a ~gvfn:45 ~gfn ~writable:true ~executable:false ~c_bit:false;
+  Hv.in_guest hv a (fun () ->
+      Domain.write hv.Hv.machine a ~addr:(Hw.Addr.addr_of 45 0) (Bytes.make 16 '\000'));
+  Alcotest.(check bool) "undeclared grant denied" true
+    (Result.is_error
+       (Hv.hypercall hv a
+          (Xen.Hypercall.Grant_table_op
+             (Xen.Hypercall.Grant_access { target = b.Domain.domid; gfn; writable = true }))))
+
+(* --- ballooning --------------------------------------------------------------- *)
+
+let test_balloon_release () =
+  let ((m, hv, fid) as env) = installed () in
+  let dom, _ = protected_vm env "balloonist" in
+  let gfn = 10 in
+  let frame =
+    match Hw.Pagetable.lookup dom.Domain.npt gfn with
+    | Some npte -> npte.Hw.Pagetable.frame
+    | None -> Alcotest.fail "gfn unbacked"
+  in
+  Hv.in_guest hv dom (fun () ->
+      Domain.write m dom ~addr:(Hw.Addr.addr_of gfn 0) (Bytes.of_string "residue"));
+  let free_before = Hw.Machine.frames_free m in
+  (match Hv.hypercall hv dom (Xen.Hypercall.Balloon_release { gfn }) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "frame returned to pool" (free_before + 1) (Hw.Machine.frames_free m);
+  Alcotest.(check bool) "mapping gone" true (Hw.Pagetable.lookup dom.Domain.npt gfn = None);
+  Alcotest.(check bool) "PIT freed" true
+    ((Pit.get fid.Core.Ctx.pit frame).Pit.usage = Pit.Free);
+  Alcotest.(check string) "scrubbed" "\000\000\000"
+    (Bytes.to_string (Hw.Physmem.read_raw m.Hw.Machine.mem frame ~off:0 ~len:3));
+  (* The guest can no longer touch the released page... *)
+  Alcotest.(check bool) "double release fails" true
+    (Result.is_error (Hv.hypercall hv dom (Xen.Hypercall.Balloon_release { gfn })));
+  (* ...while the hypervisor's unilateral reclaim is still denied. *)
+  Alcotest.(check bool) "unilateral reclaim still denied" true
+    (Result.is_error (hv.Hv.med.Hv.npt_update dom 11 None))
+
+let test_balloon_unbacked () =
+  let ((_, hv, _) as env) = installed () in
+  let dom, _ = protected_vm env "balloonist" in
+  Alcotest.(check bool) "unbacked gfn" true
+    (Result.is_error (Hv.hypercall hv dom (Xen.Hypercall.Balloon_release { gfn = 9999 })))
+
+(* --- attestation ---------------------------------------------------------------- *)
+
+let test_attestation_flow () =
+  let ((_, hv, fid) as env) = installed () in
+  let dom, _ = protected_vm env "attested" in
+  let akey = Sev.Firmware.attestation_key hv.Hv.fw in
+  let expected = Core.Iso.measure_xen_text hv in
+  let q = Core.Attest.quote fid ~guest:dom ~nonce:42L () in
+  Alcotest.(check bool) "verifies" true
+    (Result.is_ok (Core.Attest.verify ~attestation_key:akey
+                     ~expected_xen_measurement:expected ~nonce:42L q));
+  (* Serialization roundtrip across the untrusted channel. *)
+  (match Core.Attest.deserialize (Core.Attest.serialize q) with
+  | Some q' ->
+      Alcotest.(check bool) "wire roundtrip verifies" true
+        (Result.is_ok (Core.Attest.verify ~attestation_key:akey
+                         ~expected_xen_measurement:expected ~nonce:42L q'))
+  | None -> Alcotest.fail "deserialize");
+  (* Wrong nonce = replay. *)
+  Alcotest.(check bool) "replayed quote rejected" true
+    (Result.is_error (Core.Attest.verify ~attestation_key:akey
+                        ~expected_xen_measurement:expected ~nonce:43L q));
+  (* Forged measurement breaks the MAC. *)
+  let forged = { q with Core.Attest.xen_measurement = Bytes.make 32 'x' } in
+  Alcotest.(check bool) "forged measurement rejected" true
+    (Result.is_error (Core.Attest.verify ~attestation_key:akey
+                        ~expected_xen_measurement:(Bytes.make 32 'x') ~nonce:42L forged));
+  (* A different platform cannot produce quotes under this key. *)
+  let m2 = Hw.Machine.create ~seed:71L () in
+  let fid2 = Fid.install (Hv.boot m2) in
+  let alien = Core.Attest.quote fid2 ~nonce:42L () in
+  Alcotest.(check bool) "alien platform rejected" true
+    (Result.is_error (Core.Attest.verify ~attestation_key:akey
+                        ~expected_xen_measurement:alien.Core.Attest.xen_measurement
+                        ~nonce:42L alien))
+
+let test_attestation_detects_modified_hypervisor () =
+  (* A platform whose hypervisor text was modified before late launch
+     measures differently; a verifier pinning the known-good hash notices. *)
+  let m1 = Hw.Machine.create ~seed:61L () in
+  let hv1 = Hv.boot m1 in
+  let good = Core.Iso.measure_xen_text hv1 in
+  let m2 = Hw.Machine.create ~seed:61L () in
+  let hv2 = Hv.boot m2 in
+  (* "Patch" one byte of hypervisor text before Fidelius is installed. *)
+  Hw.Physmem.write_raw m2.Hw.Machine.mem (List.hd hv2.Hv.xen_text) ~off:0
+    (Bytes.of_string "\x90");
+  let fid2 = Fid.install hv2 in
+  let q = Core.Attest.quote fid2 ~nonce:7L () in
+  Alcotest.(check bool) "modified build flagged" true
+    (Result.is_error
+       (Core.Attest.verify ~attestation_key:(Sev.Firmware.attestation_key hv2.Hv.fw)
+          ~expected_xen_measurement:good ~nonce:7L q))
+
+(* --- xl toolstack ------------------------------------------------------------- *)
+
+let test_xl_unprotected () =
+  let _, hv, _ = installed () in
+  let cfg =
+    { (Core.Xl.default ~name:"plain") with
+      Core.Xl.disk =
+        Some { Core.Xl.contents = Bytes.make 2048 'p'; codec = Core.Xl.Plain_io; buffer_gvfn = 100 } }
+  in
+  let built = ok (Core.Xl.create hv cfg) in
+  (match built.Core.Xl.frontend with
+  | Some fe ->
+      let b = ok (Xen.Blkif.read_sectors fe ~sector:0 ~count:2) in
+      Alcotest.(check bool) "plain disk readable" true (Bytes.for_all (fun c -> c = 'p') b)
+  | None -> Alcotest.fail "no frontend");
+  Core.Xl.destroy hv built;
+  Alcotest.(check bool) "destroyed" true
+    (Hv.find_domain hv built.Core.Xl.domain.Domain.domid = None)
+
+let test_xl_protected_aesni () =
+  let _, hv, fid = installed () in
+  let contents = Bytes.init 4096 (fun i -> Char.chr (i land 0xff)) in
+  let cfg =
+    { (Core.Xl.default ~name:"tenant") with
+      Core.Xl.protection = Core.Xl.Protected fid;
+      disk = Some { Core.Xl.contents; codec = Core.Xl.Aes_ni_io; buffer_gvfn = 100 } }
+  in
+  let built = ok (Core.Xl.create hv cfg) in
+  Alcotest.(check bool) "protected" true
+    (Fid.is_protected fid built.Core.Xl.domain.Domain.domid);
+  (match built.Core.Xl.frontend with
+  | Some fe ->
+      let b = ok (Xen.Blkif.read_sectors fe ~sector:0 ~count:8) in
+      Alcotest.(check bool) "owner image mounts" true (Bytes.equal b contents)
+  | None -> Alcotest.fail "no frontend");
+  Core.Xl.destroy hv built;
+  Alcotest.(check bool) "shutdown clears protection" false
+    (Fid.is_protected fid built.Core.Xl.domain.Domain.domid)
+
+let test_xl_gek_disk () =
+  let _, hv, fid = installed () in
+  let contents = Bytes.make 1024 'g' in
+  let cfg =
+    { (Core.Xl.default ~name:"gek-tenant") with
+      Core.Xl.protection = Core.Xl.Protected fid;
+      disk = Some { Core.Xl.contents; codec = Core.Xl.Gek_io; buffer_gvfn = 100 } }
+  in
+  let built = ok (Core.Xl.create hv cfg) in
+  (match built.Core.Xl.frontend with
+  | Some fe ->
+      let b = ok (Xen.Blkif.read_sectors fe ~sector:0 ~count:2) in
+      Alcotest.(check bool) "gek disk roundtrip" true (Bytes.for_all (fun c -> c = 'g') b)
+  | None -> Alcotest.fail "no frontend");
+  Core.Xl.destroy hv built
+
+let test_xl_codec_needs_protection () =
+  let _, hv, _ = installed () in
+  let cfg =
+    { (Core.Xl.default ~name:"bad") with
+      Core.Xl.disk =
+        Some { Core.Xl.contents = Bytes.create 512; codec = Core.Xl.Aes_ni_io; buffer_gvfn = 100 } }
+  in
+  Alcotest.(check bool) "rejected" true (Result.is_error (Core.Xl.create hv cfg));
+  Alcotest.(check bool) "rolled back" true
+    (List.for_all (fun (d : Domain.t) -> d.Domain.name <> "bad") hv.Hv.domains)
+
+(* --- stateful isolation property --------------------------------------------- *)
+
+(* Whatever sequence of mediated operations a malicious hypervisor issues,
+   the isolation invariants must hold afterwards. *)
+let isolation_invariants (m, hv, fid) victim =
+  let host = hv.Hv.host_space in
+  (* 1. no hypervisor mapping *targets* a protected-guest private frame *)
+  List.iter
+    (fun pfn ->
+      let info = Pit.get fid.Core.Ctx.pit pfn in
+      if info.Pit.usage = Pit.Guest_page then
+        if Hw.Pagetable.frame_mapped host pfn <> [] then
+          Alcotest.fail (Printf.sprintf "host maps protected frame 0x%x" pfn))
+    victim.Domain.frames;
+  (* 2. W^X everywhere in the host space *)
+  List.iter
+    (fun (vfn, (p : Hw.Pagetable.proto)) ->
+      if p.Hw.Pagetable.writable && p.Hw.Pagetable.executable then
+        Alcotest.fail (Printf.sprintf "host W+X mapping at vfn 0x%x" vfn))
+    (Hw.Pagetable.mapped_frames host);
+  (* 3. no writable host mapping targets a page-table-page or the grant table *)
+  List.iter
+    (fun pfn ->
+      if
+        List.exists
+          (fun (_, (p : Hw.Pagetable.proto)) -> p.Hw.Pagetable.writable)
+          (Hw.Pagetable.frame_mapped host pfn)
+      then Alcotest.fail (Printf.sprintf "PT/grant frame 0x%x writable" pfn))
+    (Hw.Pagetable.backing_frames host
+    @ Hw.Pagetable.backing_frames victim.Domain.npt
+    @ Xen.Granttab.backing_frames hv.Hv.granttab);
+  (* 4. victim NPT maps only frames the PIT assigns to it *)
+  List.iter
+    (fun (_, (p : Hw.Pagetable.proto)) ->
+      match (Pit.get fid.Core.Ctx.pit p.Hw.Pagetable.frame).Pit.owner with
+      | Pit.Dom d when d = victim.Domain.domid -> ()
+      | owner ->
+          Alcotest.fail
+            (Printf.sprintf "victim NPT maps frame 0x%x owned by %s" p.Hw.Pagetable.frame
+               (Pit.owner_to_string owner)))
+    (Hw.Pagetable.mapped_frames victim.Domain.npt);
+  (* 5. CPU protection bits survived *)
+  Alcotest.(check bool) "WP" true (Hw.Cpu.wp m.Hw.Machine.cpu);
+  Alcotest.(check bool) "SMEP" true (Hw.Cpu.smep m.Hw.Machine.cpu);
+  Alcotest.(check bool) "NXE" true (Hw.Cpu.nxe m.Hw.Machine.cpu)
+
+let test_isolation_survives_random_ops =
+  QCheck.Test.make ~name:"isolation invariants survive random mediated op sequences" ~count:15
+    QCheck.int64
+    (fun seed ->
+      let env = installed () in
+      let m, hv, _ = env in
+      let victim, _ = protected_vm env "victim" in
+      let evil = Hv.create_domain hv ~name:"evil" ~memory_pages:4 in
+      let rng = Fidelius_crypto.Rng.create seed in
+      let rand_frame () =
+        match Fidelius_crypto.Rng.int rng 3 with
+        | 0 -> List.nth victim.Domain.frames (Fidelius_crypto.Rng.int rng (List.length victim.Domain.frames))
+        | 1 -> List.hd (Hw.Pagetable.backing_frames hv.Hv.host_space)
+        | _ -> 1 + Fidelius_crypto.Rng.int rng 4000
+      in
+      let rand_proto () =
+        Some
+          { Hw.Pagetable.frame = rand_frame ();
+            writable = Fidelius_crypto.Rng.int rng 2 = 0;
+            executable = Fidelius_crypto.Rng.int rng 2 = 0;
+            c_bit = Fidelius_crypto.Rng.int rng 2 = 0 }
+      in
+      for _ = 1 to 40 do
+        (* A hypervisor that faults itself (e.g. after unmapping its own
+           structures) is a self-DoS, out of the threat model: absorb it. *)
+        try
+          match Fidelius_crypto.Rng.int rng 7 with
+        | 0 ->
+            ignore (hv.Hv.med.Hv.host_map_update (rand_frame ())
+                      (if Fidelius_crypto.Rng.int rng 4 = 0 then None else rand_proto ()))
+        | 1 ->
+            let dom = if Fidelius_crypto.Rng.int rng 2 = 0 then victim else evil in
+            ignore (hv.Hv.med.Hv.npt_update dom (Fidelius_crypto.Rng.int rng 64)
+                      (if Fidelius_crypto.Rng.int rng 4 = 0 then None else rand_proto ()))
+        | 2 ->
+            let entry =
+              { Xen.Granttab.owner = victim.Domain.domid;
+                target = Fidelius_crypto.Rng.int rng 4;
+                gfn = Fidelius_crypto.Rng.int rng 32;
+                writable = Fidelius_crypto.Rng.int rng 2 = 0;
+                in_use = true }
+            in
+            ignore (hv.Hv.med.Hv.grant_update (Fidelius_crypto.Rng.int rng 16)
+                      (if Fidelius_crypto.Rng.int rng 3 = 0 then None else Some entry))
+        | 3 ->
+            let ops = [| Hw.Insn.Mov_cr0; Hw.Insn.Mov_cr4; Hw.Insn.Wrmsr; Hw.Insn.Mov_cr3 |] in
+            ignore
+              (Hw.Insn.execute m.Hw.Machine.insns
+                 ~exec_ok:(Hw.Mmu.exec_ok m hv.Hv.host_space)
+                 ops.(Fidelius_crypto.Rng.int rng 4)
+                 (Fidelius_crypto.Rng.next64 rng))
+        | 4 -> ignore (Hv.hypercall hv evil Xen.Hypercall.Void)
+        | 5 ->
+            (* vmexit, random VMCB scribble, attempt re-entry, then repair *)
+            Hv.vmexit hv victim Hw.Vmcb.Hlt ~info1:0L ~info2:0L;
+            let field = List.nth Hw.Vmcb.fields (Fidelius_crypto.Rng.int rng 15) in
+            let old = Hw.Vmcb.get victim.Domain.vmcb field in
+            Hw.Vmcb.set victim.Domain.vmcb field (Fidelius_crypto.Rng.next64 rng);
+            (match Hv.vmrun hv victim with
+            | Ok () -> ()
+            | Error _ ->
+                Hw.Vmcb.set victim.Domain.vmcb field old;
+                ignore (Hv.vmrun hv victim))
+          | _ ->
+              ignore
+                (Hw.Machine.dma_write m (rand_frame ()) ~off:0
+                   (Bytes.make 8 (Char.chr (Fidelius_crypto.Rng.int rng 256))))
+        with Hw.Mmu.Fault _ | Hv.Npf_unresolved _ -> ()
+      done;
+      isolation_invariants env victim;
+      true)
+
+(* --- migration ------------------------------------------------------------------------------ *)
+
+let second_machine ?(seed = 71L) () =
+  let m2 = Hw.Machine.create ~seed () in
+  let hv2 = Hv.boot m2 in
+  let fid2 = Fid.install hv2 in
+  (m2, hv2, fid2)
+
+let test_migration_roundtrip () =
+  let ((m1, hv1, fid1) as env) = installed () in
+  ignore m1;
+  let dom, _ = protected_vm env "traveller" in
+  (* Put a runtime secret in memory beyond the kernel image. *)
+  Hv.in_guest hv1 dom (fun () ->
+      Domain.write hv1.Hv.machine dom ~addr:0x6000 (Bytes.of_string "runtime state"));
+  let m2, hv2, fid2 = second_machine () in
+  let dom' = ok (Fid.migrate ~src:fid1 ~dst:fid2 dom) in
+  Alcotest.(check bool) "source destroyed" true (Hv.find_domain hv1 dom.Domain.domid = None);
+  let b = Hv.in_guest hv2 dom' (fun () -> Domain.read m2 dom' ~addr:0x6000 ~len:13) in
+  Alcotest.(check string) "runtime state survives" "runtime state" (Bytes.to_string b);
+  let k = Hv.in_guest hv2 dom' (fun () -> Domain.read m2 dom' ~addr:0x1000 ~len:4) in
+  Alcotest.(check string) "kernel survives" "BBBB" (Bytes.to_string k);
+  Alcotest.(check bool) "protected on target" true (Fid.is_protected fid2 dom'.Domain.domid)
+
+let test_migration_tampered_snapshot () =
+  let ((_, _, fid1) as env) = installed () in
+  let dom, _ = protected_vm env "traveller" in
+  let _, _, fid2 = second_machine () in
+  let target_public = Fid.platform_key fid2 in
+  let snap = ok (Core.Migrate.send fid1 dom ~target_public) in
+  let tampered =
+    { snap with
+      Core.Migrate.image =
+        { snap.Core.Migrate.image with
+          Sev.Transport.pages =
+            List.map
+              (fun (i, c) ->
+                let c = Bytes.copy c in
+                Bytes.set c 7 (Char.chr (Char.code (Bytes.get c 7) lxor 2));
+                (i, c))
+              snap.Core.Migrate.image.Sev.Transport.pages } }
+  in
+  Alcotest.(check bool) "tampered snapshot refused" true
+    (Result.is_error (Core.Migrate.receive fid2 tampered))
+
+let test_migration_wrong_target () =
+  let ((_, _, fid1) as env) = installed () in
+  let dom, _ = protected_vm env "traveller" in
+  let _, _, fid2 = second_machine () in
+  let _, _, fid3 = second_machine ~seed:72L () in
+  (* Snapshot aimed at machine 2 cannot be received by machine 3. *)
+  let snap = ok (Core.Migrate.send fid1 dom ~target_public:(Fid.platform_key fid2)) in
+  Alcotest.(check bool) "wrong target refused" true
+    (Result.is_error (Core.Migrate.receive fid3 snap))
+
+let test_migration_preserves_arbitrary_state =
+  QCheck.Test.make ~name:"migration preserves arbitrary guest memory" ~count:5
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 4)
+       (QCheck.pair (QCheck.int_bound 9) (QCheck.string_of_size (QCheck.Gen.int_range 1 64))))
+    (fun writes ->
+      let ((m1, hv1, fid1) as env) = installed () in
+      ignore m1;
+      let dom, _ = protected_vm env "prop-traveller" in
+      (* Scatter random payloads across the guest's pages (distinct pages to
+         avoid self-overwrites confusing the check). *)
+      let writes =
+        List.sort_uniq (fun (a, _) (b, _) -> compare a b) writes
+      in
+      List.iter
+        (fun (page, payload) ->
+          Hv.in_guest hv1 dom (fun () ->
+              Domain.write hv1.Hv.machine dom
+                ~addr:(Hw.Addr.addr_of (4 + page) 0)
+                (Bytes.of_string payload)))
+        writes;
+      let m2, hv2, fid2 = second_machine ~seed:(Int64.of_int (Hashtbl.hash writes)) () in
+      ignore m2;
+      match Core.Migrate.migrate ~src:fid1 ~dst:fid2 dom with
+      | Error _ -> false
+      | Ok dom' ->
+          List.for_all
+            (fun (page, payload) ->
+              let got =
+                Hv.in_guest hv2 dom' (fun () ->
+                    Domain.read hv2.Hv.machine dom'
+                      ~addr:(Hw.Addr.addr_of (4 + page) 0)
+                      ~len:(String.length payload))
+              in
+              Bytes.to_string got = payload)
+            writes)
+
+let test_migration_requires_protection () =
+  let _, hv, fid = installed () in
+  let plain = Hv.create_domain hv ~name:"plain" ~memory_pages:4 in
+  let _, _, fid2 = second_machine () in
+  Alcotest.(check bool) "unprotected refused" true
+    (Result.is_error (Fid.migrate ~src:fid ~dst:fid2 plain))
+
+let prop t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "core"
+    [ ( "install",
+        [ Alcotest.test_case "Table 1 permissions" `Quick test_table1_permissions;
+          Alcotest.test_case "Table 2 instructions" `Quick test_table2_instructions;
+          Alcotest.test_case "measurement" `Quick test_measurement_recorded ] );
+      ( "pit",
+        [ prop test_pit_roundtrip;
+          Alcotest.test_case "default free" `Quick test_pit_default_free;
+          Alcotest.test_case "multiple entries" `Quick test_pit_multiple_entries;
+          Alcotest.test_case "radix growth" `Quick test_pit_radix_growth ] );
+      ( "git",
+        [ Alcotest.test_case "record/check" `Quick test_git_record_check;
+          Alcotest.test_case "writable intent" `Quick test_git_writable_intent;
+          Alcotest.test_case "revoke" `Quick test_git_revoke;
+          Alcotest.test_case "bad nr" `Quick test_git_bad_nr;
+          prop test_git_property ] );
+      ( "gates",
+        [ Alcotest.test_case "type-1 cost and WP" `Quick test_gate1_cost_and_wp;
+          Alcotest.test_case "exception safety" `Quick test_gate1_restores_on_exception;
+          Alcotest.test_case "no re-entry" `Quick test_gate1_not_reentrant;
+          Alcotest.test_case "type-3 window" `Quick test_gate3_mapping_window;
+          Alcotest.test_case "counters" `Quick test_gate_counts ] );
+      ( "shadow",
+        [ Alcotest.test_case "mask and restore" `Quick test_shadow_mask_and_restore;
+          Alcotest.test_case "visibility by reason" `Quick test_shadow_visible_fields_by_reason;
+          Alcotest.test_case "legit updates" `Quick test_shadow_allows_legit_updates;
+          Alcotest.test_case "tamper detection (all fields)" `Quick
+            test_shadow_detects_every_protected_field;
+          Alcotest.test_case "entry needs capture" `Quick test_shadow_rejects_entry_without_capture;
+          Alcotest.test_case "backing frame" `Quick test_shadow_backing_unreadable_frame ] );
+      ( "policy",
+        [ Alcotest.test_case "CR bits" `Quick test_policy_cr_bits;
+          Alcotest.test_case "CR3 validity" `Quick test_policy_cr3;
+          Alcotest.test_case "write/exec once" `Quick test_policy_once;
+          Alcotest.test_case "audit log" `Quick test_policy_audit_log;
+          Alcotest.test_case "W^X" `Quick test_policy_wx ] );
+      ( "lifecycle",
+        [ Alcotest.test_case "protected boot" `Quick test_protected_boot;
+          Alcotest.test_case "tampered image" `Quick test_boot_tampered_image_fails;
+          Alcotest.test_case "wrong platform" `Quick test_boot_wrong_platform_fails;
+          Alcotest.test_case "NOSEND policy" `Quick test_nosend_policy;
+          Alcotest.test_case "hypercalls" `Quick test_hypercall_roundtrip_protected;
+          Alcotest.test_case "cpuid under masking" `Quick test_cpuid_under_masking;
+          Alcotest.test_case "msr under masking" `Quick test_msr_under_masking;
+          Alcotest.test_case "shutdown cleanup" `Quick test_shutdown_cleans_up;
+          Alcotest.test_case "start_info write-once" `Quick test_write_start_info_once ] );
+      ( "io",
+        [ Alcotest.test_case "aes-ni codec" `Quick test_aesni_codec_roundtrip;
+          Alcotest.test_case "disk helpers" `Quick test_disk_encrypt_helpers;
+          Alcotest.test_case "sev codec" `Quick test_sev_codec_roundtrip;
+          Alcotest.test_case "software codec" `Quick test_software_codec_roundtrip;
+          Alcotest.test_case "needs protection" `Quick test_sev_io_needs_protection ] );
+      ( "sharing",
+        [ Alcotest.test_case "flow" `Quick test_sharing_flow;
+          Alcotest.test_case "requires intent" `Quick test_sharing_requires_intent;
+          Alcotest.test_case "multi-frame range" `Quick test_share_range ] );
+      ( "balloon",
+        [ Alcotest.test_case "guest-initiated release" `Quick test_balloon_release;
+          Alcotest.test_case "unbacked gfn" `Quick test_balloon_unbacked ] );
+      ( "attestation",
+        [ Alcotest.test_case "quote/verify flow" `Quick test_attestation_flow;
+          Alcotest.test_case "modified hypervisor detected" `Quick
+            test_attestation_detects_modified_hypervisor ] );
+      ( "xl",
+        [ Alcotest.test_case "unprotected + plain disk" `Quick test_xl_unprotected;
+          Alcotest.test_case "protected + aes-ni disk" `Quick test_xl_protected_aesni;
+          Alcotest.test_case "gek disk" `Quick test_xl_gek_disk;
+          Alcotest.test_case "codec needs protection" `Quick test_xl_codec_needs_protection ] );
+      ("isolation-property", [ prop test_isolation_survives_random_ops ]);
+      ( "migration",
+        [ Alcotest.test_case "roundtrip" `Quick test_migration_roundtrip;
+          Alcotest.test_case "tampered snapshot" `Quick test_migration_tampered_snapshot;
+          Alcotest.test_case "wrong target" `Quick test_migration_wrong_target;
+          Alcotest.test_case "requires protection" `Quick test_migration_requires_protection;
+          prop test_migration_preserves_arbitrary_state ] ) ]

@@ -1,0 +1,335 @@
+(* Unit and property tests for the cryptographic substrate. *)
+
+module Aes = Fidelius_crypto.Aes
+module Modes = Fidelius_crypto.Modes
+module Sha256 = Fidelius_crypto.Sha256
+module Hmac = Fidelius_crypto.Hmac
+module Dh = Fidelius_crypto.Dh
+module Keywrap = Fidelius_crypto.Keywrap
+module Rng = Fidelius_crypto.Rng
+
+let unhex s =
+  let n = String.length s / 2 in
+  Bytes.init n (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+let hex = Sha256.hex
+
+let check_hex name expected actual = Alcotest.(check string) name expected (hex actual)
+
+(* --- AES (FIPS-197 appendix C.1 and appendix B) ------------------------- *)
+
+let test_aes_fips_c1 () =
+  let key = Aes.expand (unhex "000102030405060708090a0b0c0d0e0f") in
+  let ct = Aes.encrypt_block key (unhex "00112233445566778899aabbccddeeff") in
+  check_hex "FIPS C.1 ciphertext" "69c4e0d86a7b0430d8cdb78070b4c55a" ct;
+  let pt = Aes.decrypt_block key ct in
+  check_hex "FIPS C.1 decrypt" "00112233445566778899aabbccddeeff" pt
+
+let test_aes_appendix_b () =
+  let key = Aes.expand (unhex "2b7e151628aed2a6abf7158809cf4f3c") in
+  let ct = Aes.encrypt_block key (unhex "3243f6a8885a308d313198a2e0370734") in
+  check_hex "FIPS appendix B" "3925841d02dc09fbdc118597196a0b32" ct
+
+let test_aes_wrong_sizes () =
+  Alcotest.check_raises "short key" (Invalid_argument "Aes.expand: key must be 16 bytes")
+    (fun () -> ignore (Aes.expand (Bytes.create 8)));
+  let key = Aes.expand (Bytes.create 16) in
+  Alcotest.check_raises "short block" (Invalid_argument "Aes: block must be 16 bytes")
+    (fun () -> ignore (Aes.encrypt_block key (Bytes.create 15)))
+
+let test_aes_roundtrip_prop =
+  QCheck.Test.make ~name:"aes encrypt/decrypt roundtrip" ~count:200
+    (QCheck.pair (QCheck.string_of_size (QCheck.Gen.return 16))
+       (QCheck.string_of_size (QCheck.Gen.return 16)))
+    (fun (k, p) ->
+      let key = Aes.expand (Bytes.of_string k) in
+      let pt = Bytes.of_string p in
+      Bytes.equal (Aes.decrypt_block key (Aes.encrypt_block key pt)) pt)
+
+let test_aes_key_sensitivity =
+  QCheck.Test.make ~name:"different keys give different ciphertext" ~count:100
+    (QCheck.pair (QCheck.string_of_size (QCheck.Gen.return 16))
+       (QCheck.string_of_size (QCheck.Gen.return 16)))
+    (fun (k1, k2) ->
+      QCheck.assume (k1 <> k2);
+      let pt = Bytes.make 16 'A' in
+      let c1 = Aes.encrypt_block (Aes.expand (Bytes.of_string k1)) pt in
+      let c2 = Aes.encrypt_block (Aes.expand (Bytes.of_string k2)) pt in
+      not (Bytes.equal c1 c2))
+
+let test_aes_into_matches_alloc () =
+  let rng = Rng.create 5L in
+  let key = Aes.expand (Rng.bytes rng 16) in
+  let pt = Rng.bytes rng 16 in
+  let dst = Bytes.create 16 in
+  Aes.encrypt_block_into key ~src:pt ~src_off:0 ~dst ~dst_off:0;
+  Alcotest.(check bool) "into = alloc" true (Bytes.equal dst (Aes.encrypt_block key pt))
+
+(* --- SHA-256 (FIPS 180-4 vectors) --------------------------------------- *)
+
+let test_sha_vectors () =
+  check_hex "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.digest_string "");
+  check_hex "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.digest_string "abc");
+  check_hex "448-bit" "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.digest_string "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_hex "million a" "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest_string (String.make 1_000_000 'a'))
+
+let test_sha_streaming_equals_oneshot =
+  QCheck.Test.make ~name:"streaming = one-shot for arbitrary chunking" ~count:100
+    (QCheck.pair QCheck.string (QCheck.small_int))
+    (fun (s, cut) ->
+      let data = Bytes.of_string s in
+      let n = Bytes.length data in
+      let cut = if n = 0 then 0 else cut mod (n + 1) in
+      let ctx = Sha256.init () in
+      Sha256.feed ctx (Bytes.sub data 0 cut);
+      Sha256.feed ctx (Bytes.sub data cut (n - cut));
+      Bytes.equal (Sha256.finalize ctx) (Sha256.digest data))
+
+(* --- HMAC (RFC 4231) ----------------------------------------------------- *)
+
+let test_hmac_rfc4231 () =
+  let tag1 =
+    Hmac.mac ~key:(Bytes.make 20 '\x0b') (Bytes.of_string "Hi There")
+  in
+  check_hex "case 1" "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7" tag1;
+  let tag2 =
+    Hmac.mac ~key:(Bytes.of_string "Jefe") (Bytes.of_string "what do ya want for nothing?")
+  in
+  check_hex "case 2" "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843" tag2;
+  let tag3 = Hmac.mac ~key:(Bytes.make 20 '\xaa') (Bytes.make 50 '\xdd') in
+  check_hex "case 3" "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe" tag3
+
+let test_hmac_long_key () =
+  (* Keys longer than the block size are hashed down (RFC 4231 case 6). *)
+  let key = Bytes.make 131 '\xaa' in
+  let tag = Hmac.mac ~key (Bytes.of_string "Test Using Larger Than Block-Size Key - Hash Key First") in
+  check_hex "case 6" "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54" tag
+
+let test_hmac_verify () =
+  let key = Bytes.of_string "k" in
+  let data = Bytes.of_string "payload" in
+  let tag = Hmac.mac ~key data in
+  Alcotest.(check bool) "verifies" true (Hmac.verify ~key ~tag data);
+  let bad = Bytes.copy tag in
+  Bytes.set bad 0 (Char.chr (Char.code (Bytes.get bad 0) lxor 1));
+  Alcotest.(check bool) "tampered tag rejected" false (Hmac.verify ~key ~tag:bad data);
+  Alcotest.(check bool) "wrong length rejected" false
+    (Hmac.verify ~key ~tag:(Bytes.create 4) data)
+
+let test_hmac_distinct_keys =
+  QCheck.Test.make ~name:"hmac differs under different keys" ~count:100
+    (QCheck.pair QCheck.string QCheck.string)
+    (fun (k1, k2) ->
+      QCheck.assume (k1 <> k2);
+      let d = Bytes.of_string "same data" in
+      not (Bytes.equal (Hmac.mac ~key:(Bytes.of_string k1) d) (Hmac.mac ~key:(Bytes.of_string k2) d)))
+
+(* --- Modes --------------------------------------------------------------- *)
+
+let sized_string n = QCheck.string_of_size (QCheck.Gen.return n)
+
+let test_ecb_roundtrip =
+  QCheck.Test.make ~name:"ECB roundtrip (multiple of 16)" ~count:100
+    (QCheck.pair (sized_string 16) (sized_string 64))
+    (fun (k, p) ->
+      let key = Aes.expand (Bytes.of_string k) in
+      let pt = Bytes.of_string p in
+      Bytes.equal (Modes.ecb_decrypt key (Modes.ecb_encrypt key pt)) pt)
+
+let test_ctr_involution =
+  QCheck.Test.make ~name:"CTR transform is an involution (any length)" ~count:100
+    (QCheck.pair (sized_string 16) QCheck.string)
+    (fun (k, p) ->
+      let key = Aes.expand (Bytes.of_string k) in
+      let pt = Bytes.of_string p in
+      Bytes.equal (Modes.ctr_transform key ~nonce:42L (Modes.ctr_transform key ~nonce:42L pt)) pt)
+
+let test_ctr_nonce_matters () =
+  let key = Aes.expand (Bytes.make 16 'k') in
+  let pt = Bytes.make 32 'p' in
+  let c1 = Modes.ctr_transform key ~nonce:1L pt in
+  let c2 = Modes.ctr_transform key ~nonce:2L pt in
+  Alcotest.(check bool) "different nonces differ" false (Bytes.equal c1 c2)
+
+let test_xex_roundtrip =
+  QCheck.Test.make ~name:"XEX roundtrip" ~count:100
+    (QCheck.triple (sized_string 16) (sized_string 48) QCheck.int64)
+    (fun (k, p, tweak) ->
+      let key = Aes.expand (Bytes.of_string k) in
+      let pt = Bytes.of_string p in
+      Bytes.equal (Modes.xex_decrypt key ~tweak (Modes.xex_encrypt key ~tweak pt)) pt)
+
+let test_xex_relocation_garbles () =
+  let key = Aes.expand (Bytes.make 16 'x') in
+  let pt = Bytes.of_string "sixteen byte msg" in
+  let ct = Modes.xex_encrypt key ~tweak:0x1000L pt in
+  let moved = Modes.xex_decrypt key ~tweak:0x2000L ct in
+  Alcotest.(check bool) "moved ciphertext decrypts to garbage" false (Bytes.equal moved pt)
+
+let test_xex_bad_length () =
+  let key = Aes.expand (Bytes.make 16 'x') in
+  Alcotest.check_raises "odd length rejected"
+    (Invalid_argument "Modes.xex_encrypt: length must be a multiple of 16") (fun () ->
+      ignore (Modes.xex_encrypt key ~tweak:0L (Bytes.create 17)))
+
+let test_cbc_mac () =
+  let key = Aes.expand (Bytes.make 16 'm') in
+  let t1 = Modes.cbc_mac key (Bytes.of_string "hello") in
+  let t2 = Modes.cbc_mac key (Bytes.of_string "hello") in
+  let t3 = Modes.cbc_mac key (Bytes.of_string "hellp") in
+  Alcotest.(check bool) "deterministic" true (Bytes.equal t1 t2);
+  Alcotest.(check bool) "input-sensitive" false (Bytes.equal t1 t3);
+  Alcotest.(check int) "tag is one block" 16 (Bytes.length (Modes.cbc_mac key (Bytes.create 0)))
+
+(* --- DH ------------------------------------------------------------------ *)
+
+let test_dh_agreement =
+  QCheck.Test.make ~name:"both sides derive the same secret" ~count:100 QCheck.int64
+    (fun seed ->
+      let rng = Rng.create seed in
+      let sa, pa = Dh.generate rng in
+      let sb, pb = Dh.generate rng in
+      Bytes.equal (Dh.shared_secret sa pb) (Dh.shared_secret sb pa))
+
+let test_dh_public_in_group =
+  QCheck.Test.make ~name:"public values lie in the group" ~count:100 QCheck.int64
+    (fun seed ->
+      let rng = Rng.create seed in
+      let _, pub = Dh.generate rng in
+      Int64.compare pub 1L > 0 && Int64.compare pub Dh.p < 0)
+
+let test_dh_third_party_differs () =
+  let rng = Rng.create 9L in
+  let sa, _pa = Dh.generate rng in
+  let _sb, pb = Dh.generate rng in
+  let sm, _pm = Dh.generate rng in
+  (* The man in the middle with its own secret does not derive the pair's key. *)
+  Alcotest.(check bool) "mitm differs" false
+    (Bytes.equal (Dh.shared_secret sa pb) (Dh.shared_secret sm pb))
+
+let test_dh_rejects_out_of_group () =
+  let rng = Rng.create 10L in
+  let s, _ = Dh.generate rng in
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Dh.shared_secret: public value out of group") (fun () ->
+      ignore (Dh.shared_secret s 0L))
+
+let test_dh_serialization () =
+  let rng = Rng.create 11L in
+  let _, pub = Dh.generate rng in
+  Alcotest.(check int64) "roundtrip" pub (Dh.public_of_bytes (Dh.public_to_bytes pub))
+
+(* --- Keywrap ------------------------------------------------------------- *)
+
+let test_wrap_roundtrip =
+  QCheck.Test.make ~name:"wrap/unwrap roundtrip" ~count:100 QCheck.string
+    (fun s ->
+      let kek = Sha256.digest_string "kek" in
+      let w = Keywrap.wrap ~kek (Bytes.of_string s) in
+      match Keywrap.unwrap ~kek w with
+      | Some k -> Bytes.to_string k = s
+      | None -> false)
+
+let test_wrap_wrong_kek () =
+  let w = Keywrap.wrap ~kek:(Sha256.digest_string "a") (Bytes.of_string "key material") in
+  Alcotest.(check bool) "wrong kek fails" true
+    (Keywrap.unwrap ~kek:(Sha256.digest_string "b") w = None)
+
+let test_wrap_tamper () =
+  let kek = Sha256.digest_string "kek" in
+  let w = Keywrap.wrap ~kek (Bytes.of_string "key material") in
+  let b = Keywrap.to_bytes w in
+  Bytes.set b 13 (Char.chr (Char.code (Bytes.get b 13) lxor 0x40));
+  match Keywrap.of_bytes b with
+  | None -> Alcotest.(check bool) "parse may fail" true true
+  | Some w' -> Alcotest.(check bool) "tampered unwrap fails" true (Keywrap.unwrap ~kek w' = None)
+
+let test_wrap_serialization =
+  QCheck.Test.make ~name:"serialized wrap parses back and unwraps" ~count:100 QCheck.string
+    (fun s ->
+      let kek = Sha256.digest_string "serialize" in
+      let w = Keywrap.wrap ~kek (Bytes.of_string s) in
+      match Keywrap.of_bytes (Keywrap.to_bytes w) with
+      | None -> false
+      | Some w' -> (
+          match Keywrap.unwrap ~kek w' with
+          | Some k -> Bytes.to_string k = s
+          | None -> false))
+
+let test_wrap_nonces_differ () =
+  let kek = Sha256.digest_string "kek" in
+  let w1 = Keywrap.wrap ~kek (Bytes.of_string "same") in
+  let w2 = Keywrap.wrap ~kek (Bytes.of_string "same") in
+  Alcotest.(check bool) "two wraps of same key differ" false
+    (Bytes.equal (Keywrap.to_bytes w1) (Keywrap.to_bytes w2))
+
+(* --- RNG ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 123L and b = Rng.create 123L in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same stream" (Rng.next64 a) (Rng.next64 b)
+  done
+
+let test_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    (QCheck.pair QCheck.int64 QCheck.small_int)
+    (fun (seed, bound) ->
+      let bound = max 1 bound in
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7L in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split stream differs" false
+    (Int64.equal (Rng.next64 a) (Rng.next64 b))
+
+let prop t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "crypto"
+    [ ( "aes",
+        [ Alcotest.test_case "FIPS C.1" `Quick test_aes_fips_c1;
+          Alcotest.test_case "FIPS appendix B" `Quick test_aes_appendix_b;
+          Alcotest.test_case "size validation" `Quick test_aes_wrong_sizes;
+          Alcotest.test_case "into variant" `Quick test_aes_into_matches_alloc;
+          prop test_aes_roundtrip_prop;
+          prop test_aes_key_sensitivity ] );
+      ( "sha256",
+        [ Alcotest.test_case "FIPS vectors" `Quick test_sha_vectors;
+          prop test_sha_streaming_equals_oneshot ] );
+      ( "hmac",
+        [ Alcotest.test_case "RFC 4231 cases 1-3" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "RFC 4231 long key" `Quick test_hmac_long_key;
+          Alcotest.test_case "verify" `Quick test_hmac_verify;
+          prop test_hmac_distinct_keys ] );
+      ( "modes",
+        [ prop test_ecb_roundtrip;
+          prop test_ctr_involution;
+          Alcotest.test_case "CTR nonce sensitivity" `Quick test_ctr_nonce_matters;
+          prop test_xex_roundtrip;
+          Alcotest.test_case "XEX relocation garbles" `Quick test_xex_relocation_garbles;
+          Alcotest.test_case "XEX length check" `Quick test_xex_bad_length;
+          Alcotest.test_case "CBC-MAC" `Quick test_cbc_mac ] );
+      ( "dh",
+        [ prop test_dh_agreement;
+          prop test_dh_public_in_group;
+          Alcotest.test_case "man-in-the-middle differs" `Quick test_dh_third_party_differs;
+          Alcotest.test_case "out-of-group rejected" `Quick test_dh_rejects_out_of_group;
+          Alcotest.test_case "serialization" `Quick test_dh_serialization ] );
+      ( "keywrap",
+        [ prop test_wrap_roundtrip;
+          Alcotest.test_case "wrong kek" `Quick test_wrap_wrong_kek;
+          Alcotest.test_case "tamper detection" `Quick test_wrap_tamper;
+          prop test_wrap_serialization;
+          Alcotest.test_case "nonce freshness" `Quick test_wrap_nonces_differ ] );
+      ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          prop test_rng_int_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent ] ) ]

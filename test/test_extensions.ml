@@ -1,0 +1,252 @@
+(* Tests for the Section 8 hardware-suggestion extensions: the Bonsai
+   Merkle Tree integrity engine and the customized-key (GEK) API. *)
+
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+module Sev = Fidelius_sev
+module Core = Fidelius_core
+module Fid = Core.Fidelius
+module Bmt = Hw.Bmt
+module Rng = Fidelius_crypto.Rng
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+(* --- BMT (hardware layer) -------------------------------------------------- *)
+
+let bmt_env n =
+  let m = Hw.Machine.create ~nr_frames:128 ~seed:13L () in
+  let frames = Hw.Machine.alloc_frames m n in
+  List.iteri
+    (fun i pfn ->
+      Hw.Physmem.write_raw m.Hw.Machine.mem pfn ~off:0
+        (Bytes.make Hw.Addr.page_size (Char.chr (65 + i))))
+    frames;
+  (m, frames, Bmt.create m ~frames)
+
+let test_bmt_clean_verifies () =
+  let _, frames, bmt = bmt_env 5 in
+  Alcotest.(check bool) "all frames verify" true (Result.is_ok (Bmt.verify_all bmt));
+  List.iter
+    (fun pfn -> Alcotest.(check bool) "single verify" true (Result.is_ok (Bmt.verify bmt pfn)))
+    frames
+
+let test_bmt_detects_any_flip =
+  QCheck.Test.make ~name:"BMT detects any single-bit flip in any frame" ~count:60
+    (QCheck.triple (QCheck.int_bound 4) (QCheck.int_bound (Hw.Addr.page_size - 1))
+       (QCheck.int_bound 7))
+    (fun (which, off, bit) ->
+      let m, frames, bmt = bmt_env 5 in
+      let victim = List.nth frames which in
+      Hw.Physmem.flip_bit m.Hw.Machine.mem victim ~off ~bit;
+      Result.is_error (Bmt.verify bmt victim)
+      && Result.is_error (Bmt.verify_all bmt)
+      (* ...and the other frames still verify individually *)
+      && List.for_all
+           (fun pfn -> pfn = victim || Result.is_ok (Bmt.verify bmt pfn))
+           frames)
+
+let test_bmt_update_rebinds () =
+  let m, frames, bmt = bmt_env 3 in
+  let pfn = List.nth frames 1 in
+  let old_root = Bmt.root bmt in
+  Hw.Physmem.write_raw m.Hw.Machine.mem pfn ~off:10 (Bytes.of_string "legit update");
+  Alcotest.(check bool) "stale tree flags the write" true (Result.is_error (Bmt.verify bmt pfn));
+  Bmt.update bmt pfn;
+  Alcotest.(check bool) "verifies after update" true (Result.is_ok (Bmt.verify bmt pfn));
+  Alcotest.(check bool) "root changed" false (Bytes.equal old_root (Bmt.root bmt));
+  Alcotest.(check bool) "whole tree consistent" true (Result.is_ok (Bmt.verify_all bmt))
+
+let test_bmt_uncovered_fails_closed () =
+  let _, _, bmt = bmt_env 3 in
+  Alcotest.(check bool) "uncovered frame" true (Result.is_error (Bmt.verify bmt 99));
+  Alcotest.(check bool) "covered query" true (not (Bmt.covered bmt 99))
+
+let test_bmt_single_frame_tree () =
+  let m, frames, bmt = bmt_env 1 in
+  Alcotest.(check bool) "one-leaf tree verifies" true (Result.is_ok (Bmt.verify_all bmt));
+  Hw.Physmem.flip_bit m.Hw.Machine.mem (List.hd frames) ~off:0 ~bit:0;
+  Alcotest.(check bool) "and detects" true (Result.is_error (Bmt.verify_all bmt))
+
+let test_bmt_odd_width_levels () =
+  (* 7 leaves exercises the self-paired odd nodes at every level. *)
+  let m, frames, bmt = bmt_env 7 in
+  Alcotest.(check bool) "odd tree verifies" true (Result.is_ok (Bmt.verify_all bmt));
+  let last = List.nth frames 6 in
+  Hw.Physmem.flip_bit m.Hw.Machine.mem last ~off:100 ~bit:5;
+  Alcotest.(check bool) "last leaf detected" true (Result.is_error (Bmt.verify bmt last))
+
+let test_bmt_charges_cycles () =
+  let m, frames, bmt = bmt_env 4 in
+  let before = Hw.Cost.category m.Hw.Machine.ledger "bmt" in
+  let hashes_before = Bmt.hashes_performed bmt in
+  ignore (Bmt.verify bmt (List.hd frames));
+  Alcotest.(check bool) "hash work accounted" true
+    (Hw.Cost.category m.Hw.Machine.ledger "bmt" > before
+    && Bmt.hashes_performed bmt > hashes_before)
+
+(* --- Integrity (core layer) ------------------------------------------------- *)
+
+let protected_env () =
+  let m = Hw.Machine.create ~seed:14L () in
+  let hv = Xen.Hypervisor.boot m in
+  let fid = Fid.install hv in
+  let rng = Rng.create 15L in
+  let prepared =
+    Sev.Transport.Owner.prepare ~rng ~platform_public:(Fid.platform_key fid)
+      ~policy:Sev.Firmware.policy_nodbg
+      ~kernel_pages:[ Bytes.make Hw.Addr.page_size '\000' ]
+  in
+  let dom = ok (Fid.boot_protected_vm fid ~name:"ext" ~memory_pages:12 ~prepared) in
+  (m, hv, fid, dom)
+
+let test_integrity_flow () =
+  let _, _, fid, dom = protected_env () in
+  let integ = Core.Integrity.protect fid dom in
+  Core.Integrity.guest_write integ ~addr:0x3000 (Bytes.of_string "ledger row");
+  (match Core.Integrity.verified_read integ ~addr:0x3000 ~len:10 with
+  | Ok b -> Alcotest.(check string) "verified read" "ledger row" (Bytes.to_string b)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "domain sweep clean" true
+    (Result.is_ok (Core.Integrity.verify_domain integ))
+
+let test_integrity_detects_rowhammer () =
+  let m, _, fid, dom = protected_env () in
+  let integ = Core.Integrity.protect fid dom in
+  Core.Integrity.guest_write integ ~addr:0x3000 (Bytes.of_string "ledger row");
+  (match Hw.Pagetable.lookup dom.Xen.Domain.npt 3 with
+  | Some npte ->
+      Hw.Cache.invalidate_page m.Hw.Machine.cache npte.Hw.Pagetable.frame;
+      Hw.Physmem.flip_bit m.Hw.Machine.mem npte.Hw.Pagetable.frame ~off:2 ~bit:1
+  | None -> Alcotest.fail "frame missing");
+  Alcotest.(check bool) "flip detected on read" true
+    (Result.is_error (Core.Integrity.verified_read integ ~addr:0x3000 ~len:10));
+  Alcotest.(check bool) "flip detected on sweep" true
+    (Result.is_error (Core.Integrity.verify_domain integ))
+
+let test_integrity_detects_ciphertext_replay () =
+  (* The in-place ciphertext-restore replay that plain Fidelius only blocks
+     via mapping permissions: with BMT it is *detected* even if the
+     attacker finds a physical write channel. *)
+  let m, _, fid, dom = protected_env () in
+  let integ = Core.Integrity.protect fid dom in
+  Core.Integrity.guest_write integ ~addr:0x3000 (Bytes.of_string "OLD-VALUE");
+  let frame =
+    match Hw.Pagetable.lookup dom.Xen.Domain.npt 3 with
+    | Some npte -> npte.Hw.Pagetable.frame
+    | None -> Alcotest.fail "frame"
+  in
+  let stale = Hw.Physmem.dump m.Hw.Machine.mem frame in
+  Core.Integrity.guest_write integ ~addr:0x3000 (Bytes.of_string "NEW-VALUE");
+  (* Physical replay of the stale ciphertext (e.g. a malicious DIMM). *)
+  Hw.Physmem.write_raw m.Hw.Machine.mem frame ~off:0 stale;
+  Hw.Cache.invalidate_page m.Hw.Machine.cache frame;
+  Alcotest.(check bool) "replay detected" true
+    (Result.is_error (Core.Integrity.verified_read integ ~addr:0x3000 ~len:9))
+
+let test_integrity_unmapped_range () =
+  let _, _, fid, dom = protected_env () in
+  let integ = Core.Integrity.protect fid dom in
+  Alcotest.(check bool) "unmapped gva fails closed" true
+    (Result.is_error (Core.Integrity.verified_read integ ~addr:(Hw.Addr.addr_of 500 0) ~len:8))
+
+(* --- GEK / customized keys ---------------------------------------------------- *)
+
+let test_gek_firmware_roundtrip () =
+  let m, hv, _, dom = protected_env () in
+  let fw = hv.Xen.Hypervisor.fw in
+  let handle = Option.get dom.Xen.Domain.sev_handle in
+  let gek = ok (Sev.Firmware.setenc_gek fw ~handle) in
+  (* Guest stays RUNNING throughout. *)
+  Alcotest.(check bool) "still running" true
+    (Sev.Firmware.state_of fw ~handle = Some Sev.State.Running);
+  let frame =
+    match Hw.Pagetable.lookup dom.Xen.Domain.npt 2 with
+    | Some npte -> npte.Hw.Pagetable.frame
+    | None -> Alcotest.fail "frame"
+  in
+  Xen.Hypervisor.in_guest hv dom (fun () ->
+      Xen.Domain.write m dom ~addr:0x2000 (Bytes.of_string "customized-key!!"));
+  let cipher = ok (Sev.Firmware.enc_range fw ~handle ~gek ~nonce:3L ~src_pfn:frame ~len:16) in
+  Alcotest.(check bool) "ciphertext" false (Bytes.to_string cipher = "customized-key!!");
+  Xen.Hypervisor.in_guest hv dom (fun () ->
+      Xen.Domain.write m dom ~addr:0x2000 (Bytes.make 16 '\000'));
+  ok (Sev.Firmware.dec_range fw ~handle ~gek ~nonce:3L ~cipher ~dst_pfn:frame);
+  let back =
+    Xen.Hypervisor.in_guest hv dom (fun () -> Xen.Domain.read m dom ~addr:0x2000 ~len:16)
+  in
+  Alcotest.(check string) "roundtrip" "customized-key!!" (Bytes.to_string back)
+
+let test_gek_isolation () =
+  let _, hv, _, dom = protected_env () in
+  let fw = hv.Xen.Hypervisor.fw in
+  let handle = Option.get dom.Xen.Domain.sev_handle in
+  let gek = ok (Sev.Firmware.setenc_gek fw ~handle) in
+  Alcotest.(check bool) "unknown gek id" true
+    (Result.is_error (Sev.Firmware.enc_range fw ~handle ~gek:(gek + 77) ~nonce:0L
+                        ~src_pfn:1 ~len:16));
+  Alcotest.(check bool) "unknown handle" true
+    (Result.is_error (Sev.Firmware.setenc_gek fw ~handle:999))
+
+let test_gek_nonce_binding () =
+  let m, hv, _, dom = protected_env () in
+  let fw = hv.Xen.Hypervisor.fw in
+  let handle = Option.get dom.Xen.Domain.sev_handle in
+  let gek = ok (Sev.Firmware.setenc_gek fw ~handle) in
+  let frame =
+    match Hw.Pagetable.lookup dom.Xen.Domain.npt 2 with
+    | Some npte -> npte.Hw.Pagetable.frame
+    | None -> Alcotest.fail "frame"
+  in
+  Xen.Hypervisor.in_guest hv dom (fun () ->
+      Xen.Domain.write m dom ~addr:0x2000 (Bytes.of_string "sector payload!!"));
+  let cipher = ok (Sev.Firmware.enc_range fw ~handle ~gek ~nonce:5L ~src_pfn:frame ~len:16) in
+  ok (Sev.Firmware.dec_range fw ~handle ~gek ~nonce:6L ~cipher ~dst_pfn:frame);
+  let back =
+    Xen.Hypervisor.in_guest hv dom (fun () -> Xen.Domain.read m dom ~addr:0x2000 ~len:16)
+  in
+  Alcotest.(check bool) "wrong nonce garbles" false (Bytes.to_string back = "sector payload!!")
+
+let test_gek_codec_blkif () =
+  let m, hv, fid, dom = protected_env () in
+  ignore m;
+  let io = ok (Fid.setup_gek_io fid dom ~md_gvfn:310) in
+  let disk = Xen.Vdisk.create ~nr_sectors:16 in
+  let fe, _ = ok (Xen.Blkif.connect hv dom ~disk ~buffer_gvfn:311) in
+  Xen.Blkif.set_codec fe (Fid.gek_codec io);
+  ok (Xen.Blkif.write_sectors fe ~sector:2 (Bytes.make 1024 'G'));
+  Alcotest.(check bool) "platter ciphertext" false
+    (Bytes.for_all (fun c -> c = 'G') (Xen.Vdisk.peek disk ~sector:2 ~count:1));
+  let b = ok (Xen.Blkif.read_sectors fe ~sector:2 ~count:2) in
+  Alcotest.(check bool) "roundtrip" true (Bytes.for_all (fun c -> c = 'G') b);
+  Alcotest.(check bool) "gek id assigned" true (Core.Io_protect.gek_id io > 0)
+
+let test_gek_requires_protection () =
+  let _, hv, fid, _ = protected_env () in
+  let plain = Xen.Hypervisor.create_domain hv ~name:"plain" ~memory_pages:4 in
+  Alcotest.(check bool) "unprotected refused" true
+    (Result.is_error (Fid.setup_gek_io fid plain ~md_gvfn:10))
+
+let prop t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "extensions"
+    [ ( "bmt",
+        [ Alcotest.test_case "clean verifies" `Quick test_bmt_clean_verifies;
+          prop test_bmt_detects_any_flip;
+          Alcotest.test_case "authorized update" `Quick test_bmt_update_rebinds;
+          Alcotest.test_case "fails closed" `Quick test_bmt_uncovered_fails_closed;
+          Alcotest.test_case "single-leaf tree" `Quick test_bmt_single_frame_tree;
+          Alcotest.test_case "odd-width levels" `Quick test_bmt_odd_width_levels;
+          Alcotest.test_case "cycle accounting" `Quick test_bmt_charges_cycles ] );
+      ( "integrity",
+        [ Alcotest.test_case "verified access" `Quick test_integrity_flow;
+          Alcotest.test_case "rowhammer detected" `Quick test_integrity_detects_rowhammer;
+          Alcotest.test_case "ciphertext replay detected" `Quick
+            test_integrity_detects_ciphertext_replay;
+          Alcotest.test_case "unmapped range" `Quick test_integrity_unmapped_range ] );
+      ( "gek",
+        [ Alcotest.test_case "firmware roundtrip" `Quick test_gek_firmware_roundtrip;
+          Alcotest.test_case "isolation" `Quick test_gek_isolation;
+          Alcotest.test_case "nonce binding" `Quick test_gek_nonce_binding;
+          Alcotest.test_case "blkif codec" `Quick test_gek_codec_blkif;
+          Alcotest.test_case "requires protection" `Quick test_gek_requires_protection ] ) ]

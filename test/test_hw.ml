@@ -1,0 +1,622 @@
+(* Unit and property tests for the hardware model. *)
+
+module Hw = Fidelius_hw
+module Addr = Hw.Addr
+module Cost = Hw.Cost
+module Physmem = Hw.Physmem
+module Memctrl = Hw.Memctrl
+module Tlb = Hw.Tlb
+module Cache = Hw.Cache
+module Pagetable = Hw.Pagetable
+module Cpu = Hw.Cpu
+module Vmcb = Hw.Vmcb
+module Insn = Hw.Insn
+module Machine = Hw.Machine
+module Mmu = Hw.Mmu
+module Rng = Fidelius_crypto.Rng
+
+let machine () = Machine.create ~nr_frames:256 ~seed:31L ()
+
+(* --- Addr ----------------------------------------------------------------- *)
+
+let test_addr_roundtrip =
+  QCheck.Test.make ~name:"frame/offset split-join" ~count:200
+    (QCheck.pair (QCheck.int_bound 0xFFFFF) (QCheck.int_bound (Addr.page_size - 1)))
+    (fun (frame, off) ->
+      let a = Addr.addr_of frame off in
+      Addr.frame_of a = frame && Addr.offset_of a = off)
+
+let test_addr_constants () =
+  Alcotest.(check int) "page size" 4096 Addr.page_size;
+  Alcotest.(check int) "block size" 16 Addr.block_size;
+  Alcotest.(check int) "blocks per page" 256 Addr.blocks_per_page
+
+(* --- Cost ------------------------------------------------------------------ *)
+
+let test_ledger () =
+  let l = Cost.ledger () in
+  Cost.charge l "a" 10;
+  Cost.charge l "b" 5;
+  Cost.charge l "a" 7;
+  Alcotest.(check int) "total" 22 (Cost.total l);
+  Alcotest.(check int) "category a" 17 (Cost.category l "a");
+  Alcotest.(check int) "unknown category" 0 (Cost.category l "zzz");
+  (match Cost.categories l with
+  | (top, v) :: _ ->
+      Alcotest.(check string) "sorted desc" "a" top;
+      Alcotest.(check int) "top value" 17 v
+  | [] -> Alcotest.fail "empty categories");
+  Cost.reset l;
+  Alcotest.(check int) "reset" 0 (Cost.total l)
+
+let test_cost_paper_constants () =
+  let c = Cost.default in
+  Alcotest.(check int) "gate1 = 306" 306 c.Cost.gate1;
+  Alcotest.(check int) "gate2 = 16" 16 c.Cost.gate2;
+  Alcotest.(check int) "gate3 = 339" 339 c.Cost.gate3;
+  Alcotest.(check int) "tlb entry flush = 128" 128 c.Cost.tlb_flush_entry;
+  Alcotest.(check bool) "cacheline write < 2" true (c.Cost.cacheline_write <= 2);
+  Alcotest.(check int) "shadow roundtrip = 661" 661 c.Cost.shadow_roundtrip;
+  (* I/O encoder ratios of Section 7.2. *)
+  let ratio a b = float_of_int a /. float_of_int b in
+  Alcotest.(check bool) "AES-NI ~ +11.5%" true
+    (abs_float (ratio c.Cost.aesni_block c.Cost.memcpy_block -. 1.115) < 0.01);
+  Alcotest.(check bool) "SEV engine ~ +8.7%" true
+    (abs_float (ratio c.Cost.sev_engine_block c.Cost.memcpy_block -. 1.087) < 0.01);
+  Alcotest.(check bool) "software AES > 20x" true
+    (ratio c.Cost.sw_aes_block c.Cost.memcpy_block > 20.0)
+
+(* --- Physmem ---------------------------------------------------------------- *)
+
+let test_physmem_rw () =
+  let mem = Physmem.create ~nr_frames:4 in
+  Physmem.write_raw mem 2 ~off:100 (Bytes.of_string "hello");
+  Alcotest.(check string) "read back" "hello"
+    (Bytes.to_string (Physmem.read_raw mem 2 ~off:100 ~len:5));
+  Alcotest.(check string) "other frame untouched" "\000\000\000\000\000"
+    (Bytes.to_string (Physmem.read_raw mem 1 ~off:100 ~len:5))
+
+let test_physmem_bounds () =
+  let mem = Physmem.create ~nr_frames:2 in
+  Alcotest.check_raises "frame oob" (Invalid_argument "Physmem: frame 0x5 out of bounds")
+    (fun () -> ignore (Physmem.read_raw mem 5 ~off:0 ~len:1));
+  Alcotest.check_raises "range oob" (Invalid_argument "Physmem: range 4090+10 leaves the page")
+    (fun () -> ignore (Physmem.read_raw mem 1 ~off:4090 ~len:10))
+
+let test_physmem_flip () =
+  let mem = Physmem.create ~nr_frames:2 in
+  Physmem.write_raw mem 1 ~off:0 (Bytes.of_string "\x0f");
+  Physmem.flip_bit mem 1 ~off:0 ~bit:4;
+  Alcotest.(check string) "bit flipped" "\x1f"
+    (Bytes.to_string (Physmem.read_raw mem 1 ~off:0 ~len:1))
+
+let test_physmem_dump_is_copy () =
+  let mem = Physmem.create ~nr_frames:2 in
+  let dump = Physmem.dump mem 1 in
+  Bytes.set dump 0 'X';
+  Alcotest.(check char) "original unchanged" '\000'
+    (Bytes.get (Physmem.read_raw mem 1 ~off:0 ~len:1) 0)
+
+(* --- Memctrl ----------------------------------------------------------------- *)
+
+let ctrl_env () =
+  let mem = Physmem.create ~nr_frames:16 in
+  let ledger = Cost.ledger () in
+  let ctrl = Memctrl.create mem ledger (Rng.create 3L) in
+  (mem, ledger, ctrl)
+
+let test_memctrl_plain () =
+  let _, _, ctrl = ctrl_env () in
+  Memctrl.write ctrl Memctrl.Plain 3 ~off:7 (Bytes.of_string "plain data");
+  Alcotest.(check string) "plain roundtrip" "plain data"
+    (Bytes.to_string (Memctrl.read ctrl Memctrl.Plain 3 ~off:7 ~len:10))
+
+let test_memctrl_encrypted_roundtrip () =
+  let mem, _, ctrl = ctrl_env () in
+  Memctrl.install_key ctrl ~asid:1 (Bytes.make 16 'k');
+  Memctrl.write ctrl (Memctrl.Asid 1) 3 ~off:5 (Bytes.of_string "secret-bytes");
+  Alcotest.(check string) "decrypting read" "secret-bytes"
+    (Bytes.to_string (Memctrl.read ctrl (Memctrl.Asid 1) 3 ~off:5 ~len:12));
+  (* The DRAM holds ciphertext. *)
+  let raw = Physmem.read_raw mem 3 ~off:5 ~len:12 in
+  Alcotest.(check bool) "DRAM is ciphertext" false (Bytes.to_string raw = "secret-bytes")
+
+let test_memctrl_wrong_key_garbage () =
+  let _, _, ctrl = ctrl_env () in
+  Memctrl.install_key ctrl ~asid:1 (Bytes.make 16 'a');
+  Memctrl.install_key ctrl ~asid:2 (Bytes.make 16 'b');
+  Memctrl.write ctrl (Memctrl.Asid 1) 4 ~off:0 (Bytes.of_string "0123456789abcdef");
+  let other = Memctrl.read ctrl (Memctrl.Asid 2) 4 ~off:0 ~len:16 in
+  Alcotest.(check bool) "wrong ASID sees garbage" false
+    (Bytes.to_string other = "0123456789abcdef")
+
+let test_memctrl_uninstall () =
+  let _, _, ctrl = ctrl_env () in
+  Memctrl.install_key ctrl ~asid:1 (Bytes.make 16 'k');
+  Alcotest.(check bool) "has key" true (Memctrl.has_key ctrl ~asid:1);
+  Memctrl.uninstall_key ctrl ~asid:1;
+  Alcotest.(check bool) "key gone" false (Memctrl.has_key ctrl ~asid:1);
+  Alcotest.check_raises "traffic without key"
+    (Invalid_argument "Memctrl: no key installed for ASID 1") (fun () ->
+      ignore (Memctrl.read ctrl (Memctrl.Asid 1) 3 ~off:0 ~len:16))
+
+let test_memctrl_partial_rmw =
+  QCheck.Test.make ~name:"unaligned encrypted writes preserve neighbours" ~count:50
+    (QCheck.pair (QCheck.int_bound 200) (QCheck.int_bound 40))
+    (fun (off, len) ->
+      let len = max 1 len in
+      let _, _, ctrl = ctrl_env () in
+      Memctrl.install_key ctrl ~asid:1 (Bytes.make 16 'q');
+      let base = Bytes.init 256 (fun i -> Char.chr (i land 0xff)) in
+      Memctrl.write ctrl (Memctrl.Asid 1) 5 ~off:0 base;
+      Memctrl.write ctrl (Memctrl.Asid 1) 5 ~off (Bytes.make len 'Z');
+      let expect = Bytes.copy base in
+      Bytes.fill expect off len 'Z';
+      Bytes.equal (Memctrl.read ctrl (Memctrl.Asid 1) 5 ~off:0 ~len:256) expect)
+
+let test_memctrl_reencrypt_and_copy () =
+  let _, _, ctrl = ctrl_env () in
+  Memctrl.install_key ctrl ~asid:1 (Bytes.make 16 'a');
+  Memctrl.install_key ctrl ~asid:2 (Bytes.make 16 'b');
+  Memctrl.write ctrl (Memctrl.Asid 1) 6 ~off:0 (Bytes.of_string "migrate me pls!!");
+  Memctrl.reencrypt_page ctrl ~src:(Memctrl.Asid 1) ~dst:(Memctrl.Asid 2) 6;
+  Alcotest.(check string) "reencrypted" "migrate me pls!!"
+    (Bytes.to_string (Memctrl.read ctrl (Memctrl.Asid 2) 6 ~off:0 ~len:16));
+  Memctrl.copy_page ctrl ~src_sel:(Memctrl.Asid 2) ~src:6 ~dst_sel:Memctrl.Plain ~dst:7;
+  Alcotest.(check string) "copied to plain" "migrate me pls!!"
+    (Bytes.to_string (Memctrl.read ctrl Memctrl.Plain 7 ~off:0 ~len:16))
+
+let test_memctrl_fw_matches_slot () =
+  (* Pages prepared with a raw key decrypt correctly through the slot. *)
+  let _, _, ctrl = ctrl_env () in
+  let key = Bytes.make 16 'v' in
+  let plain = Bytes.init Addr.page_size (fun i -> Char.chr (i land 0xff)) in
+  Memctrl.fw_write_page ctrl ~key 8 plain;
+  Memctrl.install_key ctrl ~asid:3 key;
+  Alcotest.(check bool) "slot traffic decrypts fw page" true
+    (Bytes.equal (Memctrl.read ctrl (Memctrl.Asid 3) 8 ~off:0 ~len:Addr.page_size) plain);
+  Alcotest.(check bool) "fw_decrypt agrees" true
+    (Bytes.equal (Memctrl.fw_decrypt_page ctrl ~key 8) plain)
+
+let test_memctrl_charges () =
+  let _, ledger, ctrl = ctrl_env () in
+  let before = Cost.total ledger in
+  ignore (Memctrl.read ctrl Memctrl.Plain 1 ~off:0 ~len:16);
+  let plain_cost = Cost.total ledger - before in
+  Memctrl.install_key ctrl ~asid:1 (Bytes.make 16 'c');
+  let before = Cost.total ledger in
+  ignore (Memctrl.read ctrl (Memctrl.Asid 1) 1 ~off:0 ~len:16);
+  let enc_cost = Cost.total ledger - before in
+  Alcotest.(check bool) "encrypted access costs more" true (enc_cost > plain_cost)
+
+(* --- TLB ---------------------------------------------------------------------- *)
+
+let test_tlb () =
+  let l = Cost.ledger () in
+  let tlb = Tlb.create l in
+  Alcotest.(check bool) "first lookup misses" false (Tlb.lookup tlb ~space_id:1 5);
+  Alcotest.(check bool) "second hits" true (Tlb.lookup tlb ~space_id:1 5);
+  Alcotest.(check bool) "other space misses" false (Tlb.lookup tlb ~space_id:2 5);
+  Tlb.flush_entry tlb ~space_id:1 5;
+  Alcotest.(check bool) "flushed entry misses" false (Tlb.lookup tlb ~space_id:1 5);
+  Tlb.flush_all tlb;
+  Alcotest.(check int) "flush_all counted" 1 (Tlb.flushes tlb);
+  Alcotest.(check int) "empty after full flush" 0 (Tlb.entries tlb)
+
+(* --- Cache --------------------------------------------------------------------- *)
+
+let test_cache_fill_probe () =
+  let cache = Cache.create (Cost.ledger ()) in
+  let line = Bytes.make 16 'L' in
+  Cache.fill cache 7 ~block:3 line;
+  (match Cache.probe cache 7 ~block:3 with
+  | Some got -> Alcotest.(check bool) "line content" true (Bytes.equal got line)
+  | None -> Alcotest.fail "expected hit");
+  Alcotest.(check bool) "other block misses" true (Cache.probe cache 7 ~block:4 = None)
+
+let test_cache_eviction () =
+  let cache = Cache.create ~nr_lines:4 (Cost.ledger ()) in
+  for b = 0 to 5 do
+    Cache.fill cache 1 ~block:b (Bytes.make 16 (Char.chr (65 + b)))
+  done;
+  Alcotest.(check bool) "oldest evicted" true (Cache.probe cache 1 ~block:0 = None);
+  Alcotest.(check bool) "newest resident" true (Cache.probe cache 1 ~block:5 <> None);
+  Alcotest.(check int) "bounded" 4 (Cache.resident cache)
+
+let test_cache_invalidate () =
+  let cache = Cache.create (Cost.ledger ()) in
+  Cache.fill cache 2 ~block:0 (Bytes.make 16 'x');
+  Cache.invalidate_page cache 2;
+  Alcotest.(check bool) "invalidated" true (Cache.probe cache 2 ~block:0 = None)
+
+let test_cache_returns_copies () =
+  let cache = Cache.create (Cost.ledger ()) in
+  Cache.fill cache 3 ~block:0 (Bytes.make 16 'a');
+  (match Cache.probe cache 3 ~block:0 with
+  | Some line -> Bytes.set line 0 'Z'
+  | None -> Alcotest.fail "miss");
+  match Cache.probe cache 3 ~block:0 with
+  | Some line -> Alcotest.(check char) "line unaffected" 'a' (Bytes.get line 0)
+  | None -> Alcotest.fail "miss"
+
+(* --- Pagetable ------------------------------------------------------------------ *)
+
+let table m = Machine.new_table m
+
+let proto_gen =
+  QCheck.map
+    (fun (frame, w, x, c) -> { Pagetable.frame; writable = w; executable = x; c_bit = c })
+    (QCheck.quad (QCheck.int_bound 0xFFFF) QCheck.bool QCheck.bool QCheck.bool)
+
+let test_pt_roundtrip =
+  QCheck.Test.make ~name:"PTE set/lookup roundtrip" ~count:200
+    (QCheck.pair (QCheck.int_bound 5000) proto_gen)
+    (fun (vfn, proto) ->
+      let m = machine () in
+      let t = table m in
+      Pagetable.hw_set t vfn (Some proto);
+      Pagetable.lookup t vfn = Some proto)
+
+let test_pt_clear () =
+  let m = machine () in
+  let t = table m in
+  Pagetable.hw_set t 9 (Some { Pagetable.frame = 3; writable = true; executable = false; c_bit = false });
+  Pagetable.hw_set t 9 None;
+  Alcotest.(check bool) "cleared" true (Pagetable.lookup t 9 = None)
+
+let test_pt_backing_and_reverse () =
+  let m = machine () in
+  let t = table m in
+  Pagetable.hw_set t 0 (Some { Pagetable.frame = 7; writable = true; executable = false; c_bit = false });
+  Pagetable.hw_set t 600 (Some { Pagetable.frame = 7; writable = false; executable = false; c_bit = false });
+  Alcotest.(check int) "two groups allocated" 2 (List.length (Pagetable.backing_frames t));
+  Alcotest.(check int) "reverse map finds both" 2 (List.length (Pagetable.frame_mapped t 7));
+  Pagetable.hw_set t 0 None;
+  Alcotest.(check int) "reverse shrinks" 1 (List.length (Pagetable.frame_mapped t 7));
+  Alcotest.(check int) "entry count" 1 (Pagetable.entry_count t)
+
+let test_pt_lives_in_physmem () =
+  (* A raw physical write to the page-table-page changes the translation. *)
+  let m = machine () in
+  let t = table m in
+  Pagetable.hw_set t 3 (Some { Pagetable.frame = 9; writable = true; executable = false; c_bit = false });
+  let pt_page = Pagetable.backing_frame_of t 3 in
+  (* Zero the 8 entry bytes: the mapping disappears from the hardware walk. *)
+  Physmem.write_raw m.Machine.mem pt_page ~off:(3 * 8) (Bytes.make 8 '\000');
+  Alcotest.(check bool) "raw store cleared the PTE" true (Pagetable.lookup t 3 = None)
+
+(* --- Cpu / Vmcb ------------------------------------------------------------------- *)
+
+let test_cpu_regs () =
+  let cpu = Cpu.create () in
+  Cpu.set_reg cpu Cpu.Rax 42L;
+  Cpu.set_reg cpu Cpu.R15 7L;
+  Alcotest.(check int64) "rax" 42L (Cpu.get_reg cpu Cpu.Rax);
+  Alcotest.(check int) "16 regs" 16 (List.length (Cpu.all_regs cpu));
+  Cpu.clear_regs cpu;
+  Alcotest.(check int64) "cleared" 0L (Cpu.get_reg cpu Cpu.R15)
+
+let test_cpu_defaults () =
+  let cpu = Cpu.create () in
+  Alcotest.(check bool) "WP on" true (Cpu.wp cpu);
+  Alcotest.(check bool) "paging on" true (Cpu.paging cpu);
+  Alcotest.(check bool) "SMEP on" true (Cpu.smep cpu);
+  Alcotest.(check bool) "NXE on" true (Cpu.nxe cpu);
+  Alcotest.(check bool) "host mode" true (Cpu.mode cpu = Cpu.Host);
+  Alcotest.(check bool) "not in fidelius" false (Cpu.in_fidelius cpu)
+
+let test_reg_names () =
+  List.iter
+    (fun r ->
+      match Cpu.reg_of_string (Cpu.reg_to_string r) with
+      | Some r' -> Alcotest.(check bool) "name roundtrip" true (r = r')
+      | None -> Alcotest.fail "name roundtrip")
+    Cpu.regs
+
+let test_vmcb () =
+  let v = Vmcb.create () in
+  Vmcb.set v Vmcb.Rip 0x1000L;
+  Vmcb.set v Vmcb.Asid 3L;
+  let copy = Vmcb.copy v in
+  Vmcb.set v Vmcb.Rip 0x2000L;
+  Alcotest.(check int64) "copy is deep" 0x1000L (Vmcb.get copy Vmcb.Rip);
+  Alcotest.(check bool) "diff finds rip" true (List.mem Vmcb.Rip (Vmcb.diff v copy));
+  Alcotest.(check bool) "diff excludes asid" false (List.mem Vmcb.Asid (Vmcb.diff v copy));
+  Vmcb.blit ~src:copy ~dst:v;
+  Alcotest.(check int64) "blit restores" 0x1000L (Vmcb.get v Vmcb.Rip)
+
+let test_exit_reason_codes () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "code roundtrip" true
+        (Vmcb.exit_reason_of_int64 (Vmcb.exit_reason_to_int64 r) = Some r))
+    [ Vmcb.Cpuid; Vmcb.Hlt; Vmcb.Vmmcall; Vmcb.Npf; Vmcb.Ioio; Vmcb.Msr; Vmcb.Intr; Vmcb.Shutdown ];
+  Alcotest.(check bool) "unknown code" true (Vmcb.exit_reason_of_int64 0xdeadL = None)
+
+(* --- Insn ------------------------------------------------------------------------- *)
+
+let test_insn_registry () =
+  let reg = Insn.create (Cost.ledger ()) in
+  let hits = ref 0 in
+  Insn.place reg Insn.Mov_cr0 ~page:10 ~handler:(fun _ -> incr hits; Ok ());
+  Insn.place reg Insn.Mov_cr0 ~page:11 ~handler:(fun _ -> incr hits; Ok ());
+  Alcotest.(check bool) "not monopolized" false (Insn.monopolized reg Insn.Mov_cr0);
+  Insn.scrub reg Insn.Mov_cr0 ~keep:10;
+  Alcotest.(check bool) "monopolized after scrub" true (Insn.monopolized reg Insn.Mov_cr0);
+  Alcotest.(check (list int)) "only page 10" [ 10 ] (Insn.instances reg Insn.Mov_cr0)
+
+let test_insn_execute_fetch_check () =
+  let reg = Insn.create (Cost.ledger ()) in
+  Insn.place reg Insn.Vmrun ~page:20 ~handler:(fun _ -> Ok ());
+  Alcotest.(check bool) "unmapped page faults" true
+    (Result.is_error (Insn.execute reg ~exec_ok:(fun _ -> false) Insn.Vmrun 0L));
+  Alcotest.(check bool) "mapped page executes" true
+    (Result.is_ok (Insn.execute reg ~exec_ok:(fun p -> p = 20) Insn.Vmrun 0L));
+  Alcotest.(check bool) "missing op is #UD" true
+    (Result.is_error (Insn.execute reg ~exec_ok:(fun _ -> true) Insn.Lgdt 0L))
+
+let test_insn_inject () =
+  let reg = Insn.create (Cost.ledger ()) in
+  Alcotest.(check bool) "no W^X no injection" true
+    (Result.is_error (Insn.inject reg ~wx_ok:(fun _ -> false) Insn.Mov_cr3 ~page:5 ~handler:(fun _ -> Ok ())));
+  Alcotest.(check bool) "W^X page allows injection" true
+    (Result.is_ok (Insn.inject reg ~wx_ok:(fun _ -> true) Insn.Mov_cr3 ~page:5 ~handler:(fun _ -> Ok ())))
+
+(* --- Machine ------------------------------------------------------------------------ *)
+
+let test_machine_alloc_scrub () =
+  let m = machine () in
+  let pfn = Machine.alloc_frame m in
+  Physmem.write_raw m.Machine.mem pfn ~off:0 (Bytes.of_string "stale secret");
+  Machine.free_frame m pfn;
+  (* The freed frame is scrubbed before reuse. *)
+  Alcotest.(check string) "scrubbed" "\000\000\000\000"
+    (Bytes.to_string (Physmem.read_raw m.Machine.mem pfn ~off:0 ~len:4))
+
+let test_machine_alloc_unique () =
+  let m = machine () in
+  let frames = Machine.alloc_frames m 50 in
+  Alcotest.(check int) "all distinct" 50 (List.length (List.sort_uniq compare frames));
+  Alcotest.(check bool) "frame 0 reserved" false (List.mem 0 frames)
+
+let test_machine_exhaustion () =
+  let m = Machine.create ~nr_frames:4 ~seed:1L () in
+  ignore (Machine.alloc_frames m 3);
+  Alcotest.check_raises "exhausted" (Failure "Machine.alloc_frame: out of physical memory")
+    (fun () -> ignore (Machine.alloc_frame m))
+
+let test_machine_dma_iommu () =
+  let m = machine () in
+  Alcotest.(check bool) "no IOMMU: allowed" true
+    (Result.is_ok (Machine.dma_write m 5 ~off:0 (Bytes.of_string "dev")));
+  Machine.set_iommu m (Some (fun pfn -> pfn <> 5));
+  Alcotest.(check bool) "filtered frame denied" true
+    (Result.is_error (Machine.dma_write m 5 ~off:0 (Bytes.of_string "dev")));
+  Alcotest.(check bool) "other frame allowed" true
+    (Result.is_ok (Machine.dma_read m 6 ~off:0 ~len:4))
+
+(* --- Mmu --------------------------------------------------------------------------- *)
+
+let mmu_env () =
+  let m = machine () in
+  let space = Machine.new_table m in
+  (* Identity-map a few frames with varied permissions. *)
+  let map vfn ~w ~x =
+    Pagetable.hw_set space vfn (Some { Pagetable.frame = vfn; writable = w; executable = x; c_bit = false })
+  in
+  map 2 ~w:true ~x:false;
+  map 3 ~w:false ~x:false;
+  map 4 ~w:false ~x:true;
+  (m, space)
+
+let test_mmu_rw () =
+  let m, space = mmu_env () in
+  Mmu.write m space ~addr:(Addr.addr_of 2 10) (Bytes.of_string "host data");
+  Alcotest.(check string) "host rw" "host data"
+    (Bytes.to_string (Mmu.read m space ~addr:(Addr.addr_of 2 10) ~len:9))
+
+let test_mmu_not_present () =
+  let m, space = mmu_env () in
+  (try
+     ignore (Mmu.read m space ~addr:(Addr.addr_of 50 0) ~len:1);
+     Alcotest.fail "expected fault"
+   with Mmu.Fault { reason; _ } -> Alcotest.(check string) "reason" "not present" reason)
+
+let test_mmu_wp_semantics () =
+  let m, space = mmu_env () in
+  (* Read-only page: write faults with WP set... *)
+  (try
+     Mmu.write m space ~addr:(Addr.addr_of 3 0) (Bytes.of_string "x");
+     Alcotest.fail "expected fault"
+   with Mmu.Fault _ -> ());
+  (* ...and succeeds with WP clear (supervisor override). *)
+  Cpu.priv_set_wp m.Machine.cpu false;
+  Mmu.write m space ~addr:(Addr.addr_of 3 0) (Bytes.of_string "y");
+  Cpu.priv_set_wp m.Machine.cpu true;
+  Alcotest.(check string) "written under WP=0" "y"
+    (Bytes.to_string (Mmu.read m space ~addr:(Addr.addr_of 3 0) ~len:1))
+
+let test_mmu_exec_nx () =
+  let m, space = mmu_env () in
+  Alcotest.(check bool) "exec page ok" true (Mmu.exec_ok m space 4);
+  Alcotest.(check bool) "nx page blocked" false (Mmu.exec_ok m space 3);
+  Cpu.priv_set_nxe m.Machine.cpu false;
+  Alcotest.(check bool) "NXE off: everything executable" true (Mmu.exec_ok m space 3);
+  Cpu.priv_set_nxe m.Machine.cpu true
+
+let test_mmu_wx () =
+  let m, space = mmu_env () in
+  Alcotest.(check bool) "rw page is not wx" false (Mmu.wx_ok m space 2);
+  Pagetable.hw_set space 6
+    (Some { Pagetable.frame = 6; writable = true; executable = true; c_bit = false });
+  Alcotest.(check bool) "w+x page detected" true (Mmu.wx_ok m space 6)
+
+let test_mmu_set_pte_mediation () =
+  let m = machine () in
+  m.Machine.enforce_paging <- false;
+  let space = Machine.new_table m in
+  let target = Machine.new_table m in
+  (* Build the acting space: it maps the target's page-table-page RO. *)
+  let backing = Pagetable.backing_frame_of target 0 in
+  Pagetable.hw_set space backing
+    (Some { Pagetable.frame = backing; writable = false; executable = false; c_bit = false });
+  m.Machine.enforce_paging <- true;
+  (* Write-protected: update faults... *)
+  (try
+     Mmu.set_pte m ~space ~table:target 0
+       (Some { Pagetable.frame = 9; writable = true; executable = false; c_bit = false });
+     Alcotest.fail "expected fault"
+   with Mmu.Fault _ -> ());
+  (* ...but goes through when WP is clear (the type-1 gate lever). *)
+  Cpu.priv_set_wp m.Machine.cpu false;
+  Mmu.set_pte m ~space ~table:target 0
+    (Some { Pagetable.frame = 9; writable = true; executable = false; c_bit = false });
+  Cpu.priv_set_wp m.Machine.cpu true;
+  Alcotest.(check bool) "entry landed" true (Pagetable.lookup target 0 <> None);
+  (* A page-table-page with no mapping at all in the acting space also
+     faults, WP or not. *)
+  m.Machine.enforce_paging <- true;
+  let orphan = Machine.new_table m in
+  try
+    Mmu.set_pte m ~space ~table:orphan 0
+      (Some { Pagetable.frame = 9; writable = true; executable = false; c_bit = false });
+    Alcotest.fail "expected fault"
+  with Mmu.Fault _ -> ()
+
+let guest_env () =
+  let m = machine () in
+  let gpt = Machine.new_table m and npt = Machine.new_table m in
+  Memctrl.install_key m.Machine.ctrl ~asid:7 (Bytes.make 16 'g');
+  (* gva 1 -> gfn 1 (encrypted), gva 2 -> gfn 2 (plain); gfn n -> pfn 10+n *)
+  Pagetable.hw_set gpt 1 (Some { Pagetable.frame = 1; writable = true; executable = false; c_bit = true });
+  Pagetable.hw_set gpt 2 (Some { Pagetable.frame = 2; writable = true; executable = false; c_bit = false });
+  Pagetable.hw_set gpt 3 (Some { Pagetable.frame = 3; writable = false; executable = false; c_bit = false });
+  Pagetable.hw_set npt 1 (Some { Pagetable.frame = 11; writable = true; executable = false; c_bit = false });
+  Pagetable.hw_set npt 2 (Some { Pagetable.frame = 12; writable = true; executable = false; c_bit = false });
+  Pagetable.hw_set npt 3 (Some { Pagetable.frame = 13; writable = true; executable = false; c_bit = false });
+  (m, gpt, npt)
+
+let test_guest_walk_selectors () =
+  let m, gpt, npt = guest_env () in
+  let _, sel1 = Mmu.guest_translate m ~domid:1 ~gpt ~npt ~asid:7 Mmu.Read (Addr.addr_of 1 0) in
+  let _, sel2 = Mmu.guest_translate m ~domid:1 ~gpt ~npt ~asid:7 Mmu.Read (Addr.addr_of 2 0) in
+  Alcotest.(check bool) "c-bit selects guest key" true (sel1 = Memctrl.Asid 7);
+  Alcotest.(check bool) "no c-bit is plain" true (sel2 = Memctrl.Plain)
+
+let test_guest_sme_priority () =
+  let m, gpt, npt = guest_env () in
+  (* Nested C-bit alone -> SME host key; guest C-bit takes priority. *)
+  Pagetable.hw_set npt 2 (Some { Pagetable.frame = 12; writable = true; executable = false; c_bit = true });
+  Pagetable.hw_set npt 1 (Some { Pagetable.frame = 11; writable = true; executable = false; c_bit = true });
+  let _, sel2 = Mmu.guest_translate m ~domid:1 ~gpt ~npt ~asid:7 Mmu.Read (Addr.addr_of 2 0) in
+  let _, sel1 = Mmu.guest_translate m ~domid:1 ~gpt ~npt ~asid:7 Mmu.Read (Addr.addr_of 1 0) in
+  Alcotest.(check bool) "nested c-bit is SME" true (sel2 = Memctrl.Smek);
+  Alcotest.(check bool) "guest c-bit wins" true (sel1 = Memctrl.Asid 7)
+
+let test_guest_rw_encrypted () =
+  let m, gpt, npt = guest_env () in
+  Mmu.guest_write m ~domid:1 ~gpt ~npt ~asid:7 ~addr:(Addr.addr_of 1 0)
+    (Bytes.of_string "enc guest data");
+  Alcotest.(check string) "guest reads own data" "enc guest data"
+    (Bytes.to_string (Mmu.guest_read m ~domid:1 ~gpt ~npt ~asid:7 ~addr:(Addr.addr_of 1 0) ~len:14));
+  let raw = Physmem.read_raw m.Machine.mem 11 ~off:0 ~len:14 in
+  Alcotest.(check bool) "DRAM ciphertext" false (Bytes.to_string raw = "enc guest data")
+
+let test_guest_npt_fault () =
+  let m, gpt, npt = guest_env () in
+  Pagetable.hw_set gpt 5 (Some { Pagetable.frame = 9; writable = true; executable = false; c_bit = false });
+  try
+    ignore (Mmu.guest_read m ~domid:1 ~gpt ~npt ~asid:7 ~addr:(Addr.addr_of 5 0) ~len:1);
+    Alcotest.fail "expected NPT fault"
+  with Mmu.Npt_fault { gfn; domid; _ } ->
+    Alcotest.(check int) "faulting gfn" 9 gfn;
+    Alcotest.(check int) "domid" 1 domid
+
+let test_guest_gpt_protections () =
+  let m, gpt, npt = guest_env () in
+  (try
+     ignore (Mmu.guest_read m ~domid:1 ~gpt ~npt ~asid:7 ~addr:(Addr.addr_of 9 0) ~len:1);
+     Alcotest.fail "expected guest PT fault"
+   with Mmu.Fault { reason; _ } ->
+     Alcotest.(check string) "gpt miss" "guest page table: not present" reason);
+  try
+    Mmu.guest_write m ~domid:1 ~gpt ~npt ~asid:7 ~addr:(Addr.addr_of 3 0) (Bytes.of_string "x");
+    Alcotest.fail "expected guest RO fault"
+  with Mmu.Fault { reason; _ } ->
+    Alcotest.(check string) "gpt ro" "guest page table: read-only" reason
+
+let test_cache_leak_channel () =
+  (* The plaintext-cache remap channel the paper describes: after a guest
+     encrypted access, a Plain read of the same frame hits the cache. *)
+  let m, gpt, npt = guest_env () in
+  Mmu.guest_write m ~domid:1 ~gpt ~npt ~asid:7 ~addr:(Addr.addr_of 1 0)
+    (Bytes.of_string "0123456789abcdef");
+  let snoop = Mmu.read_frame_as m ~sel:Memctrl.Plain 11 ~off:0 ~len:16 in
+  Alcotest.(check string) "resident line leaks" "0123456789abcdef" (Bytes.to_string snoop);
+  Cache.invalidate_page m.Machine.cache 11;
+  let snoop2 = Mmu.read_frame_as m ~sel:Memctrl.Plain 11 ~off:0 ~len:16 in
+  Alcotest.(check bool) "after eviction only ciphertext" false
+    (Bytes.to_string snoop2 = "0123456789abcdef")
+
+let prop t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "hw"
+    [ ( "addr",
+        [ prop test_addr_roundtrip; Alcotest.test_case "constants" `Quick test_addr_constants ] );
+      ( "cost",
+        [ Alcotest.test_case "ledger" `Quick test_ledger;
+          Alcotest.test_case "paper constants" `Quick test_cost_paper_constants ] );
+      ( "physmem",
+        [ Alcotest.test_case "rw" `Quick test_physmem_rw;
+          Alcotest.test_case "bounds" `Quick test_physmem_bounds;
+          Alcotest.test_case "bit flip" `Quick test_physmem_flip;
+          Alcotest.test_case "dump is a copy" `Quick test_physmem_dump_is_copy ] );
+      ( "memctrl",
+        [ Alcotest.test_case "plain" `Quick test_memctrl_plain;
+          Alcotest.test_case "encrypted roundtrip" `Quick test_memctrl_encrypted_roundtrip;
+          Alcotest.test_case "wrong key garbage" `Quick test_memctrl_wrong_key_garbage;
+          Alcotest.test_case "uninstall" `Quick test_memctrl_uninstall;
+          prop test_memctrl_partial_rmw;
+          Alcotest.test_case "reencrypt/copy" `Quick test_memctrl_reencrypt_and_copy;
+          Alcotest.test_case "fw/slot agreement" `Quick test_memctrl_fw_matches_slot;
+          Alcotest.test_case "cost charging" `Quick test_memctrl_charges ] );
+      ("tlb", [ Alcotest.test_case "lookup/flush" `Quick test_tlb ]);
+      ( "cache",
+        [ Alcotest.test_case "fill/probe" `Quick test_cache_fill_probe;
+          Alcotest.test_case "eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "invalidate" `Quick test_cache_invalidate;
+          Alcotest.test_case "copies" `Quick test_cache_returns_copies ] );
+      ( "pagetable",
+        [ prop test_pt_roundtrip;
+          Alcotest.test_case "clear" `Quick test_pt_clear;
+          Alcotest.test_case "backing/reverse" `Quick test_pt_backing_and_reverse;
+          Alcotest.test_case "entries live in physmem" `Quick test_pt_lives_in_physmem ] );
+      ( "cpu-vmcb",
+        [ Alcotest.test_case "registers" `Quick test_cpu_regs;
+          Alcotest.test_case "defaults" `Quick test_cpu_defaults;
+          Alcotest.test_case "reg names" `Quick test_reg_names;
+          Alcotest.test_case "vmcb" `Quick test_vmcb;
+          Alcotest.test_case "exit reason codes" `Quick test_exit_reason_codes ] );
+      ( "insn",
+        [ Alcotest.test_case "registry/scrub" `Quick test_insn_registry;
+          Alcotest.test_case "fetch check" `Quick test_insn_execute_fetch_check;
+          Alcotest.test_case "inject" `Quick test_insn_inject ] );
+      ( "machine",
+        [ Alcotest.test_case "alloc scrub" `Quick test_machine_alloc_scrub;
+          Alcotest.test_case "alloc unique" `Quick test_machine_alloc_unique;
+          Alcotest.test_case "exhaustion" `Quick test_machine_exhaustion;
+          Alcotest.test_case "dma/iommu" `Quick test_machine_dma_iommu ] );
+      ( "mmu",
+        [ Alcotest.test_case "host rw" `Quick test_mmu_rw;
+          Alcotest.test_case "not present" `Quick test_mmu_not_present;
+          Alcotest.test_case "WP semantics" `Quick test_mmu_wp_semantics;
+          Alcotest.test_case "exec/NX" `Quick test_mmu_exec_nx;
+          Alcotest.test_case "W^X detection" `Quick test_mmu_wx;
+          Alcotest.test_case "set_pte mediation" `Quick test_mmu_set_pte_mediation;
+          Alcotest.test_case "guest selectors" `Quick test_guest_walk_selectors;
+          Alcotest.test_case "SME priority" `Quick test_guest_sme_priority;
+          Alcotest.test_case "guest encrypted rw" `Quick test_guest_rw_encrypted;
+          Alcotest.test_case "NPT fault" `Quick test_guest_npt_fault;
+          Alcotest.test_case "guest PT protections" `Quick test_guest_gpt_protections;
+          Alcotest.test_case "cache leak channel" `Quick test_cache_leak_channel ] ) ]

@@ -1,0 +1,178 @@
+(* Tests for the PV network path and the TLS-like secure channel — the
+   substrate behind the paper's "network I/O data has been protected by the
+   SSL protocol" assumption (Section 4.3.5). *)
+
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+module Sc = Fidelius_crypto.Secure_channel
+module Rng = Fidelius_crypto.Rng
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+(* --- secure channel ---------------------------------------------------- *)
+
+let sessions () =
+  let rng = Rng.create 33L in
+  let secret, hello = Sc.client_hello rng in
+  let server, reply = ok (Sc.server_accept rng ~client_hello:hello) in
+  let client = ok (Sc.client_finish secret ~server_reply:reply) in
+  (client, server)
+
+let test_channel_roundtrip () =
+  let client, server = sessions () in
+  let r = Sc.seal client (Bytes.of_string "hello over TLS") in
+  Alcotest.(check string) "c->s" "hello over TLS" (Bytes.to_string (ok (Sc.open_record server r)));
+  let r2 = Sc.seal server (Bytes.of_string "and back") in
+  Alcotest.(check string) "s->c" "and back" (Bytes.to_string (ok (Sc.open_record client r2)))
+
+let test_channel_confidential () =
+  let client, _ = sessions () in
+  let record = Sc.seal client (Bytes.of_string "SECRET-PAYLOAD") in
+  let s = Bytes.to_string record in
+  let contains needle =
+    let n = String.length s and m = String.length needle in
+    let rec scan i = i + m <= n && (String.sub s i m = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "ciphertext only" false (contains "SECRET")
+
+let test_channel_tamper () =
+  let client, server = sessions () in
+  let record = Sc.seal client (Bytes.of_string "payment: 10 EUR") in
+  Bytes.set record 14 (Char.chr (Char.code (Bytes.get record 14) lxor 0x01));
+  Alcotest.(check bool) "bit flip detected" true (Result.is_error (Sc.open_record server record))
+
+let test_channel_replay_reorder () =
+  let client, server = sessions () in
+  let r1 = Sc.seal client (Bytes.of_string "one") in
+  let r2 = Sc.seal client (Bytes.of_string "two") in
+  (* Reorder: r2 first. *)
+  Alcotest.(check bool) "reorder detected" true (Result.is_error (Sc.open_record server r2));
+  ignore (ok (Sc.open_record server r1));
+  ignore (ok (Sc.open_record server r2));
+  (* Replay r2. *)
+  Alcotest.(check bool) "replay detected" true (Result.is_error (Sc.open_record server r2))
+
+let test_channel_truncation () =
+  let client, server = sessions () in
+  let r = Sc.seal client (Bytes.of_string "data") in
+  Alcotest.(check bool) "truncation detected" true
+    (Result.is_error (Sc.open_record server (Bytes.sub r 0 (Bytes.length r - 1))));
+  Alcotest.(check bool) "garbage detected" true
+    (Result.is_error (Sc.open_record server (Bytes.create 5)))
+
+let test_channel_property =
+  QCheck.Test.make ~name:"arbitrary payloads roundtrip in order" ~count:50
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 10) QCheck.string)
+    (fun payloads ->
+      let client, server = sessions () in
+      List.for_all
+        (fun p ->
+          match Sc.open_record server (Sc.seal client (Bytes.of_string p)) with
+          | Ok got -> Bytes.to_string got = p
+          | Error _ -> false)
+        payloads)
+
+(* --- netif --------------------------------------------------------------- *)
+
+let net_env () =
+  let m = Hw.Machine.create ~seed:34L () in
+  let hv = Xen.Hypervisor.boot m in
+  let a = Xen.Hypervisor.create_domain hv ~name:"a" ~memory_pages:8 in
+  let b = Xen.Hypervisor.create_domain hv ~name:"b" ~memory_pages:8 in
+  let wire = Xen.Netif.create_wire () in
+  let ea = ok (Xen.Netif.connect hv a ~wire ~buffer_gvfn:100) in
+  let eb = ok (Xen.Netif.connect hv b ~wire ~buffer_gvfn:100) in
+  (m, hv, wire, ea, eb)
+
+let test_netif_roundtrip () =
+  let _, _, wire, ea, eb = net_env () in
+  ok (Xen.Netif.send ea (Bytes.of_string "frame one"));
+  ok (Xen.Netif.send ea (Bytes.of_string "frame two"));
+  Alcotest.(check int) "queued" 2 (Xen.Netif.pending eb);
+  (match ok (Xen.Netif.recv eb) with
+  | Some f -> Alcotest.(check string) "fifo" "frame one" (Bytes.to_string f)
+  | None -> Alcotest.fail "no frame");
+  (match ok (Xen.Netif.recv eb) with
+  | Some f -> Alcotest.(check string) "second" "frame two" (Bytes.to_string f)
+  | None -> Alcotest.fail "no frame");
+  Alcotest.(check bool) "drained" true (ok (Xen.Netif.recv eb) = None);
+  Alcotest.(check int) "forwarded" 2 (Xen.Netif.frames_forwarded wire)
+
+let test_netif_bidirectional () =
+  let _, _, _, ea, eb = net_env () in
+  ok (Xen.Netif.send ea (Bytes.of_string "ping"));
+  ok (Xen.Netif.send eb (Bytes.of_string "pong"));
+  Alcotest.(check bool) "a got pong" true
+    (match ok (Xen.Netif.recv ea) with Some f -> Bytes.to_string f = "pong" | None -> false);
+  Alcotest.(check bool) "b got ping" true
+    (match ok (Xen.Netif.recv eb) with Some f -> Bytes.to_string f = "ping" | None -> false)
+
+let test_netif_limits () =
+  let _, hv, wire, ea, _ = net_env () in
+  Alcotest.(check bool) "oversized frame" true
+    (Result.is_error (Xen.Netif.send ea (Bytes.create Hw.Addr.page_size)));
+  let c = Xen.Hypervisor.create_domain hv ~name:"c" ~memory_pages:4 in
+  Alcotest.(check bool) "third endpoint refused" true
+    (Result.is_error (Xen.Netif.connect hv c ~wire ~buffer_gvfn:100))
+
+let test_netif_dom0_snoops_plaintext () =
+  (* Without the secure channel, the wire and the log are plaintext: the
+     insecurity the SSL assumption must cover. *)
+  let _, _, wire, ea, _ = net_env () in
+  ok (Xen.Netif.send ea (Bytes.of_string "PLAINTEXT-CREDENTIALS"));
+  Alcotest.(check bool) "dom0 reads the frame" true
+    (List.exists (fun f -> Bytes.to_string f = "PLAINTEXT-CREDENTIALS") (Xen.Netif.snoop wire))
+
+let contains needle hay =
+  let s = Bytes.to_string hay in
+  let n = String.length s and m = String.length needle in
+  let rec scan i = i + m <= n && (String.sub s i m = needle || scan (i + 1)) in
+  scan 0
+
+let test_tls_over_netif () =
+  (* The full story: handshake and records over the PV wire; dom0 sees only
+     ciphertext; tampering is detected by the receiver. *)
+  let _, _, wire, ea, eb = net_env () in
+  let rng = Rng.create 35L in
+  let secret, hello = Sc.client_hello rng in
+  ok (Xen.Netif.send ea hello);
+  let hello' = Option.get (ok (Xen.Netif.recv eb)) in
+  let server, reply = ok (Sc.server_accept rng ~client_hello:hello') in
+  ok (Xen.Netif.send eb reply);
+  let reply' = Option.get (ok (Xen.Netif.recv ea)) in
+  let client = ok (Sc.client_finish secret ~server_reply:reply') in
+  (* Application data. *)
+  ok (Xen.Netif.send ea (Sc.seal client (Bytes.of_string "CARD-NUMBER-4242")));
+  Alcotest.(check bool) "dom0 log has no plaintext" false
+    (List.exists (contains "CARD-NUMBER") (Xen.Netif.snoop_log wire));
+  let record = Option.get (ok (Xen.Netif.recv eb)) in
+  Alcotest.(check string) "server decrypts" "CARD-NUMBER-4242"
+    (Bytes.to_string (ok (Sc.open_record server record)));
+  (* Next record gets rewritten on the wire. *)
+  ok (Xen.Netif.send ea (Sc.seal client (Bytes.of_string "amount: 10")));
+  Xen.Netif.tamper wire (fun f ->
+      let f = Bytes.copy f in
+      if Bytes.length f > 13 then Bytes.set f 13 '\xff';
+      f);
+  let tampered = Option.get (ok (Xen.Netif.recv eb)) in
+  Alcotest.(check bool) "tampering detected" true
+    (Result.is_error (Sc.open_record server tampered))
+
+let prop t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "net"
+    [ ( "secure-channel",
+        [ Alcotest.test_case "roundtrip" `Quick test_channel_roundtrip;
+          Alcotest.test_case "confidentiality" `Quick test_channel_confidential;
+          Alcotest.test_case "tamper" `Quick test_channel_tamper;
+          Alcotest.test_case "replay/reorder" `Quick test_channel_replay_reorder;
+          Alcotest.test_case "truncation" `Quick test_channel_truncation;
+          prop test_channel_property ] );
+      ( "netif",
+        [ Alcotest.test_case "roundtrip" `Quick test_netif_roundtrip;
+          Alcotest.test_case "bidirectional" `Quick test_netif_bidirectional;
+          Alcotest.test_case "limits" `Quick test_netif_limits;
+          Alcotest.test_case "dom0 snoops plaintext" `Quick test_netif_dom0_snoops_plaintext ] );
+      ("tls-over-pv", [ Alcotest.test_case "end to end" `Quick test_tls_over_netif ]) ]

@@ -1,0 +1,474 @@
+(* Tests for the Xen substrate: boot, domains, hypercalls, grants, events,
+   XenStore, PV block I/O and world-switch machinery. *)
+
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+module Hv = Xen.Hypervisor
+module Domain = Xen.Domain
+module Granttab = Xen.Granttab
+module Event = Xen.Event
+module Xenstore = Xen.Xenstore
+module Ring = Xen.Ring
+module Vdisk = Xen.Vdisk
+module Blkif = Xen.Blkif
+module Sched = Xen.Sched
+module Hypercall = Xen.Hypercall
+
+let boot () =
+  let m = Hw.Machine.create ~seed:41L () in
+  (m, Hv.boot m)
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+(* --- boot invariants ------------------------------------------------------- *)
+
+let test_boot_invariants () =
+  let m, hv = boot () in
+  Alcotest.(check bool) "paging enforced" true m.Hw.Machine.enforce_paging;
+  Alcotest.(check int) "cr3 = host space" (Hw.Pagetable.id hv.Hv.host_space)
+    (Hw.Cpu.cr3 m.Hw.Machine.cpu);
+  Alcotest.(check bool) "dom0 present" true (Hv.find_domain hv 0 <> None);
+  Alcotest.(check bool) "firmware initialized" true (Fidelius_sev.Firmware.initialized hv.Hv.fw);
+  (* Stock Xen carries multiple stray copies of the privileged ops. *)
+  Alcotest.(check bool) "mov-cr0 not monopolized at boot" false
+    (Hw.Insn.monopolized m.Hw.Machine.insns Hw.Insn.Mov_cr0);
+  (* Text frames are identity-mapped executable and read-only. *)
+  List.iter
+    (fun pfn ->
+      match Hw.Pagetable.lookup hv.Hv.host_space pfn with
+      | Some pte ->
+          Alcotest.(check bool) "text exec" true pte.Hw.Pagetable.executable;
+          Alcotest.(check bool) "text ro" false pte.Hw.Pagetable.writable
+      | None -> Alcotest.fail "text unmapped")
+    hv.Hv.xen_text
+
+let test_direct_map_covers_ram () =
+  let m, hv = boot () in
+  let nr = Hw.Physmem.nr_frames m.Hw.Machine.mem in
+  let missing = ref 0 in
+  for pfn = 1 to nr - 1 do
+    if Hw.Pagetable.lookup hv.Hv.host_space pfn = None then incr missing
+  done;
+  Alcotest.(check int) "all frames direct-mapped" 0 !missing
+
+(* --- domains ---------------------------------------------------------------- *)
+
+let test_create_domain () =
+  let _, hv = boot () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:8 in
+  Alcotest.(check int) "8 frames" 8 (List.length dom.Domain.frames);
+  Alcotest.(check int) "npt populated" 8 (Hw.Pagetable.entry_count dom.Domain.npt);
+  Alcotest.(check bool) "runnable" true (dom.Domain.state = Domain.Runnable);
+  Alcotest.(check bool) "distinct asids" true
+    (let d2 = Hv.create_domain hv ~name:"g2" ~memory_pages:4 in
+     d2.Domain.asid <> dom.Domain.asid)
+
+let test_guest_rw () =
+  let m, hv = boot () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:8 in
+  Hv.in_guest hv dom (fun () ->
+      Domain.write m dom ~addr:0x3000 (Bytes.of_string "guest"));
+  let b = Hv.in_guest hv dom (fun () -> Domain.read m dom ~addr:0x3000 ~len:5) in
+  Alcotest.(check string) "rw" "guest" (Bytes.to_string b)
+
+let test_npf_demand_alloc () =
+  let m, hv = boot () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:4 in
+  (* Map a guest virtual page at a gfn beyond the populated range. *)
+  let gfn = Domain.alloc_gfn dom in
+  Domain.guest_map dom ~gvfn:50 ~gfn ~writable:true ~executable:false ~c_bit:false;
+  let _, npf0 = Hv.stats hv in
+  Hv.in_guest hv dom (fun () -> Domain.write m dom ~addr:(Hw.Addr.addr_of 50 0) (Bytes.of_string "x"));
+  let _, npf1 = Hv.stats hv in
+  Alcotest.(check int) "one NPF served" 1 (npf1 - npf0);
+  Alcotest.(check bool) "gfn now backed" true (Hw.Pagetable.lookup dom.Domain.npt gfn <> None)
+
+let test_destroy_domain () =
+  let m, hv = boot () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:8 in
+  let frames = dom.Domain.frames in
+  let free_before = Hw.Machine.frames_free m in
+  Hv.destroy_domain hv dom;
+  Alcotest.(check int) "frames returned" (free_before + 8) (Hw.Machine.frames_free m);
+  Alcotest.(check bool) "gone from list" true (Hv.find_domain hv dom.Domain.domid = None);
+  (* Freed frames were scrubbed. *)
+  List.iter
+    (fun pfn ->
+      Alcotest.(check string) "scrubbed" "\000\000"
+        (Bytes.to_string (Hw.Physmem.read_raw m.Hw.Machine.mem pfn ~off:0 ~len:2)))
+    frames
+
+let test_sev_domain () =
+  let m, hv = boot () in
+  let kernel = [ Bytes.make Hw.Addr.page_size 'K' ] in
+  let dom = ok (Hv.create_sev_domain hv ~name:"s" ~memory_pages:8 ~kernel) in
+  Alcotest.(check bool) "protected flag" true dom.Domain.sev_protected;
+  Alcotest.(check bool) "sev_enabled in VMCB" true
+    (Hw.Vmcb.get dom.Domain.vmcb Hw.Vmcb.Sev_enabled = 1L);
+  let b = Hv.in_guest hv dom (fun () -> Domain.read m dom ~addr:0 ~len:4) in
+  Alcotest.(check string) "kernel decrypts for guest" "KKKK" (Bytes.to_string b);
+  (* DRAM is ciphertext. *)
+  match Hw.Pagetable.lookup dom.Domain.npt 0 with
+  | Some npte ->
+      let raw = Hw.Physmem.read_raw m.Hw.Machine.mem npte.Hw.Pagetable.frame ~off:0 ~len:4 in
+      Alcotest.(check bool) "DRAM ciphertext" false (Bytes.to_string raw = "KKKK")
+  | None -> Alcotest.fail "gfn 0 unbacked"
+
+let test_sev_kernel_too_big () =
+  let _, hv = boot () in
+  let kernel = List.init 5 (fun _ -> Bytes.make Hw.Addr.page_size 'K') in
+  Alcotest.(check bool) "oversized kernel rejected" true
+    (Result.is_error (Hv.create_sev_domain hv ~name:"s" ~memory_pages:4 ~kernel))
+
+(* --- world switches ----------------------------------------------------------- *)
+
+let test_vmexit_vmrun_state () =
+  let m, hv = boot () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:4 in
+  ok (Hv.vmrun hv dom);
+  Alcotest.(check bool) "guest mode" true
+    (Hw.Cpu.mode m.Hw.Machine.cpu = Hw.Cpu.Guest dom.Domain.domid);
+  Hw.Cpu.set_reg m.Hw.Machine.cpu Hw.Cpu.Rax 0x1234L;
+  Hw.Cpu.set_rip m.Hw.Machine.cpu 0x4000L;
+  Hv.vmexit hv dom Hw.Vmcb.Cpuid ~info1:1L ~info2:2L;
+  Alcotest.(check bool) "host mode" true (Hw.Cpu.mode m.Hw.Machine.cpu = Hw.Cpu.Host);
+  Alcotest.(check int64) "rax saved" 0x1234L (Hw.Vmcb.get dom.Domain.vmcb Hw.Vmcb.Rax);
+  Alcotest.(check int64) "rip saved" 0x4000L (Hw.Vmcb.get dom.Domain.vmcb Hw.Vmcb.Rip);
+  Alcotest.(check int64) "exit info" 2L (Hw.Vmcb.get dom.Domain.vmcb Hw.Vmcb.Exit_info2);
+  Hw.Cpu.set_reg m.Hw.Machine.cpu Hw.Cpu.Rax 0L;
+  ok (Hv.vmrun hv dom);
+  Alcotest.(check int64) "rax reloaded" 0x1234L (Hw.Cpu.get_reg m.Hw.Machine.cpu Hw.Cpu.Rax)
+
+let test_vmrun_unknown_domain () =
+  let m, hv = boot () in
+  ignore hv;
+  Alcotest.(check bool) "bad domid" true
+    (Result.is_error
+       (Hw.Insn.execute m.Hw.Machine.insns ~exec_ok:(fun _ -> true) Hw.Insn.Vmrun 99L))
+
+(* --- hypercalls ------------------------------------------------------------------ *)
+
+let test_void_hypercall () =
+  let _, hv = boot () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:4 in
+  let v0, _ = Hv.stats hv in
+  Alcotest.(check int64) "void returns 0" 0L (ok (Hv.hypercall hv dom Hypercall.Void));
+  let v1, _ = Hv.stats hv in
+  Alcotest.(check int) "one vmexit" 1 (v1 - v0)
+
+let test_console_hypercall () =
+  let _, hv = boot () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:4 in
+  ignore (ok (Hv.hypercall hv dom (Hypercall.Console_write "hello ")));
+  ignore (ok (Hv.hypercall hv dom (Hypercall.Console_write "world")));
+  Alcotest.(check string) "console accumulates" "hello world" (Hv.console hv dom.Domain.domid);
+  Alcotest.(check string) "other console empty" "" (Hv.console hv 42)
+
+let test_grant_flow () =
+  let m, hv = boot () in
+  let owner = Hv.create_domain hv ~name:"owner" ~memory_pages:8 in
+  let peer = Hv.create_domain hv ~name:"peer" ~memory_pages:8 in
+  (* Owner offers gfn 3 read-only. *)
+  let gref =
+    Int64.to_int
+      (ok (Hv.hypercall hv owner
+             (Hypercall.Grant_table_op
+                (Hypercall.Grant_access { target = peer.Domain.domid; gfn = 3; writable = false }))))
+  in
+  (match Granttab.get hv.Hv.granttab gref with
+  | Some e ->
+      Alcotest.(check int) "owner recorded" owner.Domain.domid e.Granttab.owner;
+      Alcotest.(check bool) "read-only" false e.Granttab.writable
+  | None -> Alcotest.fail "grant missing");
+  (* A third party cannot map it. *)
+  let third = Hv.create_domain hv ~name:"third" ~memory_pages:4 in
+  Alcotest.(check bool) "wrong target denied" true
+    (Result.is_error
+       (Hv.hypercall hv third (Hypercall.Grant_table_op (Hypercall.Map_grant { gref }))));
+  (* The intended peer maps it and sees the owner's data. *)
+  Hv.in_guest hv owner (fun () ->
+      Domain.write m owner ~addr:(Hw.Addr.addr_of 3 0) (Bytes.of_string "shared!"));
+  let peer_gfn =
+    Int64.to_int
+      (ok (Hv.hypercall hv peer (Hypercall.Grant_table_op (Hypercall.Map_grant { gref }))))
+  in
+  Domain.guest_map peer ~gvfn:60 ~gfn:peer_gfn ~writable:false ~executable:false ~c_bit:false;
+  let b = Hv.in_guest hv peer (fun () -> Domain.read m peer ~addr:(Hw.Addr.addr_of 60 0) ~len:7) in
+  Alcotest.(check string) "peer reads shared page" "shared!" (Bytes.to_string b);
+  (* Peer cannot write through a read-only nested mapping. *)
+  (try
+     Hv.in_guest hv peer (fun () ->
+         Domain.write m peer ~addr:(Hw.Addr.addr_of 60 0) (Bytes.of_string "x"));
+     Alcotest.fail "expected write denial"
+   with Hv.Npf_unresolved _ | Hw.Mmu.Fault _ -> ());
+  (* Only the owner can end access. *)
+  Alcotest.(check bool) "peer cannot end" true
+    (Result.is_error
+       (Hv.hypercall hv peer (Hypercall.Grant_table_op (Hypercall.End_access { gref }))));
+  ignore (ok (Hv.hypercall hv owner (Hypercall.Grant_table_op (Hypercall.End_access { gref }))));
+  Alcotest.(check bool) "grant freed" true (Granttab.get hv.Hv.granttab gref = None)
+
+(* --- granttab serialization -------------------------------------------------------- *)
+
+let test_granttab_encode () =
+  let m, hv = boot () in
+  let e = { Granttab.owner = 5; target = 7; gfn = 0x1234; writable = true; in_use = true } in
+  Granttab.set m ~space:hv.Hv.host_space hv.Hv.granttab 11 (Some e);
+  Alcotest.(check bool) "roundtrip" true (Granttab.get hv.Hv.granttab 11 = Some e);
+  Granttab.set m ~space:hv.Hv.host_space hv.Hv.granttab 11 None;
+  Alcotest.(check bool) "cleared" true (Granttab.get hv.Hv.granttab 11 = None);
+  Alcotest.(check bool) "oob get" true (Granttab.get hv.Hv.granttab 99999 = None);
+  Alcotest.check_raises "oob set"
+    (Invalid_argument "Granttab.set: grant ref 99999 out of range") (fun () ->
+      Granttab.set m ~space:hv.Hv.host_space hv.Hv.granttab 99999 None)
+
+let test_granttab_find_free () =
+  let m, hv = boot () in
+  let t = hv.Hv.granttab in
+  let e = { Granttab.owner = 1; target = 2; gfn = 1; writable = false; in_use = true } in
+  Granttab.set m ~space:hv.Hv.host_space t 0 (Some e);
+  Alcotest.(check bool) "skips used slot" true (Granttab.find_free t = Some 1);
+  Alcotest.(check int) "entries list" 1 (List.length (Granttab.entries t))
+
+(* --- events / xenstore --------------------------------------------------------------- *)
+
+let test_event_channels () =
+  let l = Hw.Cost.ledger () in
+  let ev = Event.create l in
+  let port = Event.alloc_unbound ev ~domid:1 ~remote:2 in
+  Alcotest.(check bool) "wrong dom cannot bind" true
+    (Result.is_error (Event.bind ev ~domid:3 ~remote_port:port));
+  let bport = ok (Event.bind ev ~domid:2 ~remote_port:port) in
+  let fired = ref 0 in
+  Event.on_event ev ~domid:2 ~port:bport (fun () -> incr fired);
+  ok (Event.send ev ~domid:1 ~port);
+  Alcotest.(check int) "handler ran" 1 !fired;
+  (* Reverse direction: notify 1 from 2; no handler -> pending. *)
+  ok (Event.send ev ~domid:2 ~port:bport);
+  Alcotest.(check bool) "pending flagged" true (Event.pending ev ~domid:1 ~port);
+  Alcotest.(check bool) "unbound send fails" true
+    (Result.is_error (Event.send ev ~domid:9 ~port:1234))
+
+let test_xenstore () =
+  let s = Xenstore.create () in
+  Xenstore.write s ~domid:3 ~path:"/local/domain/3/device/vbd/ring-ref" "17";
+  Alcotest.(check bool) "read back" true
+    (Xenstore.read s ~path:"/local/domain/3/device/vbd/ring-ref" = Some "17");
+  Alcotest.check_raises "foreign subtree denied"
+    (Invalid_argument "xenstore: dom3 may not write /local/domain/4/x") (fun () ->
+      Xenstore.write s ~domid:3 ~path:"/local/domain/4/x" "evil");
+  Xenstore.write s ~domid:0 ~path:"/anywhere" "dom0 may";
+  Xenstore.tamper s ~path:"/local/domain/3/device/vbd/ring-ref" "666";
+  Alcotest.(check bool) "tamper channel works" true
+    (Xenstore.read s ~path:"/local/domain/3/device/vbd/ring-ref" = Some "666");
+  Alcotest.(check int) "keys by prefix" 1 (List.length (Xenstore.keys s ~prefix:"/anywhere"))
+
+(* --- ring / vdisk ---------------------------------------------------------------------- *)
+
+let test_ring () =
+  let r = Ring.create () in
+  Alcotest.(check bool) "empty" true (Ring.pop_request r = None);
+  Ring.push_request r
+    { Ring.req_id = 1; op = Ring.Read; sector = 0; count = 1; data_gref = 0; data_off = 0 };
+  Alcotest.(check int) "pending" 1 (Ring.requests_pending r);
+  (match Ring.pop_request r with
+  | Some req -> Alcotest.(check int) "fifo" 1 req.Ring.req_id
+  | None -> Alcotest.fail "pop");
+  Ring.push_response r { Ring.resp_id = 1; status = Ok () };
+  Alcotest.(check bool) "response" true (Ring.pop_response r <> None)
+
+let test_vdisk () =
+  let d = Vdisk.create ~nr_sectors:8 in
+  Vdisk.write d ~sector:2 (Bytes.make 1024 'z');
+  Alcotest.(check bool) "read back" true
+    (Bytes.for_all (fun c -> c = 'z') (Vdisk.read d ~sector:2 ~count:2));
+  Alcotest.check_raises "oob" (Invalid_argument "Vdisk: sectors 7+2 out of range") (fun () ->
+      ignore (Vdisk.read d ~sector:7 ~count:2));
+  Alcotest.check_raises "partial sector"
+    (Invalid_argument "Vdisk.write: length must be a multiple of the sector size") (fun () ->
+      Vdisk.write d ~sector:0 (Bytes.create 100));
+  let d2 = Vdisk.of_bytes (Bytes.make 700 'q') in
+  Alcotest.(check int) "rounded up" 2 (Vdisk.nr_sectors d2)
+
+(* --- blkif -------------------------------------------------------------------------------- *)
+
+let test_blkif_roundtrip () =
+  let _, hv = boot () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:8 in
+  let disk = Vdisk.create ~nr_sectors:64 in
+  let fe, be = ok (Blkif.connect hv dom ~disk ~buffer_gvfn:100) in
+  ok (Blkif.write_sectors fe ~sector:5 (Bytes.make 2048 'D'));
+  let b = ok (Blkif.read_sectors fe ~sector:5 ~count:4) in
+  Alcotest.(check bool) "roundtrip" true (Bytes.for_all (fun c -> c = 'D') b);
+  Alcotest.(check bool) "requests served" true (Blkif.requests_served be >= 2);
+  (* Identity codec means plaintext hits the platter — the insecurity the
+     Fidelius codecs remove. *)
+  Alcotest.(check bool) "platter plaintext" true
+    (Bytes.for_all (fun c -> c = 'D') (Vdisk.peek disk ~sector:5 ~count:1))
+
+let test_blkif_large_transfer_chunks () =
+  let _, hv = boot () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:8 in
+  let disk = Vdisk.create ~nr_sectors:128 in
+  let fe, be = ok (Blkif.connect hv dom ~disk ~buffer_gvfn:100) in
+  (* 16 KiB spans multiple one-page ring requests. *)
+  ok (Blkif.write_sectors fe ~sector:0 (Bytes.make 16384 'L'));
+  Alcotest.(check bool) "chunked into >= 4 requests" true (Blkif.requests_served be >= 4);
+  let b = ok (Blkif.read_sectors fe ~sector:0 ~count:32) in
+  Alcotest.(check bool) "content" true (Bytes.for_all (fun c -> c = 'L') b)
+
+let test_blkif_validation () =
+  let _, hv = boot () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:8 in
+  let disk = Vdisk.create ~nr_sectors:8 in
+  let fe, _ = ok (Blkif.connect hv dom ~disk ~buffer_gvfn:100) in
+  Alcotest.(check bool) "partial sector write rejected" true
+    (Result.is_error (Blkif.write_sectors fe ~sector:0 (Bytes.create 100)));
+  Alcotest.(check bool) "zero count read rejected" true
+    (Result.is_error (Blkif.read_sectors fe ~sector:0 ~count:0));
+  Alcotest.(check bool) "oob read surfaces backend error" true
+    (Result.is_error (Blkif.read_sectors fe ~sector:7 ~count:4))
+
+(* --- sched ------------------------------------------------------------------------------- *)
+
+let test_sched () =
+  let m, hv = boot () in
+  ignore m;
+  let s = Sched.create () in
+  let d1 = Hv.create_domain hv ~name:"a" ~memory_pages:2 in
+  let d2 = Hv.create_domain hv ~name:"b" ~memory_pages:2 in
+  Sched.add s d1;
+  Sched.add s d2;
+  Sched.add s d1 (* duplicate ignored *);
+  Alcotest.(check int) "two runnable" 2 (List.length (Sched.runnable s));
+  let first = Sched.next s in
+  let second = Sched.next s in
+  Alcotest.(check bool) "round robin rotates" true
+    (match (first, second) with Some a, Some b -> not (a == b) | _ -> false);
+  d1.Domain.state <- Domain.Paused;
+  d2.Domain.state <- Domain.Paused;
+  Alcotest.(check bool) "none runnable" true (Sched.next s = None);
+  d1.Domain.state <- Domain.Runnable;
+  Sched.remove s d1;
+  Alcotest.(check bool) "removed" true (Sched.next s = None)
+
+let test_cpuid_emulation () =
+  let m, hv = boot () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:4 in
+  (match Hv.cpuid hv dom ~leaf:0 with
+  | Ok (a, b, _, _) ->
+      Alcotest.(check int64) "max leaf" 0x8000001FL a;
+      Alcotest.(check bool) "vendor string packed" true (b <> 0L)
+  | Error e -> Alcotest.fail e);
+  (match Hv.cpuid hv dom ~leaf:1 with
+  | Ok (_, _, c, _) ->
+      Alcotest.(check bool) "AES-NI advertised" true
+        (Int64.logand c (Int64.shift_left 1L 25) <> 0L)
+  | Error e -> Alcotest.fail e);
+  (* The SEV leaf reflects protection. *)
+  (match Hv.cpuid hv dom ~leaf:0x8000001F with
+  | Ok (a, _, _, _) -> Alcotest.(check int64) "plain guest: SME only" 1L a
+  | Error e -> Alcotest.fail e);
+  let sev = ok (Hv.create_sev_domain hv ~name:"s" ~memory_pages:4
+                  ~kernel:[ Bytes.make Hw.Addr.page_size 'K' ]) in
+  (match Hv.cpuid hv sev ~leaf:0x8000001F with
+  | Ok (a, b, _, _) ->
+      Alcotest.(check int64) "SEV guest: SME+SEV" 3L a;
+      Alcotest.(check int64) "C-bit position" 47L b
+  | Error e -> Alcotest.fail e);
+  ignore m
+
+let test_msr_emulation () =
+  let _, hv = boot () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:4 in
+  Alcotest.(check int64) "unwritten MSR reads 0" 0L (ok (Hv.rdmsr hv dom ~msr:0x10));
+  ok (Hv.wrmsr_guest hv dom ~msr:0x10 0x1234_5678_9ABCL);
+  Alcotest.(check int64) "written MSR reads back" 0x1234_5678_9ABCL
+    (ok (Hv.rdmsr hv dom ~msr:0x10));
+  Alcotest.(check int64) "EFER reflects NXE" 0x800L (ok (Hv.rdmsr hv dom ~msr:0xC0000080));
+  Alcotest.(check bool) "guest EFER write refused" true
+    (Result.is_error (Hv.wrmsr_guest hv dom ~msr:0xC0000080 0L));
+  (* MSRs are per-domain. *)
+  let dom2 = Hv.create_domain hv ~name:"g2" ~memory_pages:4 in
+  Alcotest.(check int64) "isolated per domain" 0L (ok (Hv.rdmsr hv dom2 ~msr:0x10))
+
+let test_sev_es_semantics () =
+  let m, hv = boot () in
+  let dom = ok (Hv.create_sev_domain hv ~name:"es" ~memory_pages:4
+                  ~kernel:[ Bytes.make Hw.Addr.page_size 'E' ]) in
+  Hv.enable_sev_es hv dom;
+  let cpu = m.Hw.Machine.cpu in
+  (* Exit with register state: hardware hides it... *)
+  Hw.Cpu.set_reg cpu Hw.Cpu.Rbx 0xC0DEL;
+  Hw.Cpu.set_reg cpu Hw.Cpu.Rsp 0x9000L;
+  Hw.Cpu.set_rip cpu 0x3000L;
+  Hv.vmexit hv dom Hw.Vmcb.Npf ~info1:0L ~info2:0L;
+  Alcotest.(check int64) "rbx hidden" 0L (Hw.Cpu.get_reg cpu Hw.Cpu.Rbx);
+  Alcotest.(check int64) "rip hidden in VMCB (NPF exposes nothing)" 0L
+    (Hw.Vmcb.get dom.Domain.vmcb Hw.Vmcb.Rip);
+  Alcotest.(check int64) "rsp hidden in VMCB" 0L (Hw.Vmcb.get dom.Domain.vmcb Hw.Vmcb.Rsp);
+  (* ...the hypervisor scribbles the save area, and hardware ignores it. *)
+  Hw.Vmcb.set dom.Domain.vmcb Hw.Vmcb.Rip 0xBADL;
+  Hw.Vmcb.set dom.Domain.vmcb Hw.Vmcb.Rsp 0xBADL;
+  ok (Hv.vmrun hv dom);
+  Alcotest.(check int64) "rip restored from VMSA" 0x3000L (Hw.Cpu.rip cpu);
+  Alcotest.(check int64) "rsp restored from VMSA" 0x9000L (Hw.Cpu.get_reg cpu Hw.Cpu.Rsp);
+  Alcotest.(check int64) "rbx restored from VMSA" 0xC0DEL (Hw.Cpu.get_reg cpu Hw.Cpu.Rbx);
+  (* Hypercalls still function through the GHCB exchange. *)
+  Alcotest.(check int64) "void hypercall under ES" 0L (ok (Hv.hypercall hv dom Hypercall.Void));
+  (* SEV_ENABLED cannot be stripped across a world switch. *)
+  Hv.vmexit hv dom Hw.Vmcb.Hlt ~info1:0L ~info2:0L;
+  Hw.Vmcb.set dom.Domain.vmcb Hw.Vmcb.Sev_enabled 0L;
+  Alcotest.(check bool) "hardware consistency check" true (Result.is_error (Hv.vmrun hv dom));
+  Hw.Vmcb.set dom.Domain.vmcb Hw.Vmcb.Sev_enabled 1L;
+  ok (Hv.vmrun hv dom)
+
+let test_hypercall_numbers_distinct () =
+  let calls =
+    [ Hypercall.Void;
+      Hypercall.Console_write "";
+      Hypercall.Event_send { port = 0 };
+      Hypercall.Grant_table_op (Hypercall.Map_grant { gref = 0 });
+      Hypercall.Pre_sharing { target = 0; gfn = 0; nr = 0; writable = false };
+      Hypercall.Enable_mem_enc ]
+  in
+  let numbers = List.map Hypercall.number calls in
+  Alcotest.(check int) "distinct ABI numbers" (List.length numbers)
+    (List.length (List.sort_uniq compare numbers))
+
+let () =
+  Alcotest.run "xen"
+    [ ( "boot",
+        [ Alcotest.test_case "invariants" `Quick test_boot_invariants;
+          Alcotest.test_case "direct map" `Quick test_direct_map_covers_ram ] );
+      ( "domains",
+        [ Alcotest.test_case "create" `Quick test_create_domain;
+          Alcotest.test_case "guest rw" `Quick test_guest_rw;
+          Alcotest.test_case "NPF demand alloc" `Quick test_npf_demand_alloc;
+          Alcotest.test_case "destroy" `Quick test_destroy_domain;
+          Alcotest.test_case "sev domain" `Quick test_sev_domain;
+          Alcotest.test_case "kernel too big" `Quick test_sev_kernel_too_big ] );
+      ( "world-switch",
+        [ Alcotest.test_case "vmexit/vmrun state" `Quick test_vmexit_vmrun_state;
+          Alcotest.test_case "unknown domain" `Quick test_vmrun_unknown_domain ] );
+      ( "hypercalls",
+        [ Alcotest.test_case "void" `Quick test_void_hypercall;
+          Alcotest.test_case "console" `Quick test_console_hypercall;
+          Alcotest.test_case "grant flow" `Quick test_grant_flow;
+          Alcotest.test_case "ABI numbers" `Quick test_hypercall_numbers_distinct;
+          Alcotest.test_case "cpuid emulation" `Quick test_cpuid_emulation;
+          Alcotest.test_case "sev-es semantics" `Quick test_sev_es_semantics;
+          Alcotest.test_case "msr emulation" `Quick test_msr_emulation ] );
+      ( "granttab",
+        [ Alcotest.test_case "encode/decode" `Quick test_granttab_encode;
+          Alcotest.test_case "find_free" `Quick test_granttab_find_free ] );
+      ( "events-store",
+        [ Alcotest.test_case "event channels" `Quick test_event_channels;
+          Alcotest.test_case "xenstore" `Quick test_xenstore ] );
+      ( "block",
+        [ Alcotest.test_case "ring" `Quick test_ring;
+          Alcotest.test_case "vdisk" `Quick test_vdisk;
+          Alcotest.test_case "blkif roundtrip" `Quick test_blkif_roundtrip;
+          Alcotest.test_case "chunking" `Quick test_blkif_large_transfer_chunks;
+          Alcotest.test_case "validation" `Quick test_blkif_validation ] );
+      ("sched", [ Alcotest.test_case "round robin" `Quick test_sched ]) ]

@@ -1,0 +1,92 @@
+(* The quantitative XSA analysis (paper Section 6.2) as a test suite. *)
+
+module Db = Fidelius_xsa.Db
+module Classify = Fidelius_xsa.Classify
+module Report = Fidelius_xsa.Report
+
+let test_corpus_size () =
+  Alcotest.(check int) "235 advisories" 235 (List.length Db.all);
+  Alcotest.(check int) "numbers unique" 235
+    (List.length (List.sort_uniq compare (List.map (fun r -> r.Db.xsa) Db.all)))
+
+let test_paper_numbers () =
+  let s = Report.compute () in
+  Alcotest.(check int) "total" 235 s.Report.total;
+  Alcotest.(check int) "hypervisor-related" 177 s.Report.hypervisor_related;
+  Alcotest.(check int) "thwarted privesc" 31 s.Report.thwarted_privilege;
+  Alcotest.(check int) "thwarted leaks" 22 s.Report.thwarted_leak;
+  Alcotest.(check int) "guest flaws" 14 s.Report.guest_flaws;
+  Alcotest.(check int) "qemu" 58 s.Report.qemu;
+  Alcotest.(check int) "partition" s.Report.hypervisor_related
+    (s.Report.thwarted_privilege + s.Report.thwarted_leak + s.Report.guest_flaws + s.Report.dos)
+
+let test_paper_percentages () =
+  let s = Report.compute () in
+  let close a b = abs_float (a -. b) < 0.1 in
+  Alcotest.(check bool) "17.5%" true
+    (close (Report.pct_of_hypervisor s s.Report.thwarted_privilege) 17.5);
+  Alcotest.(check bool) "12.4%" true
+    (close (Report.pct_of_hypervisor s s.Report.thwarted_leak) 12.4);
+  Alcotest.(check bool) "7.9%" true
+    (close (Report.pct_of_hypervisor s s.Report.guest_flaws) 7.9)
+
+let test_classification_rules () =
+  List.iter
+    (fun r ->
+      let e = Classify.effect_of r in
+      (match r.Db.component with
+      | Db.Qemu -> Alcotest.(check bool) "qemu out of scope" true (e = Classify.Out_of_scope_qemu)
+      | Db.Hypervisor -> (
+          match r.Db.category with
+          | Db.Privilege_escalation | Db.Information_leak ->
+              Alcotest.(check bool) "hv privesc/leak thwarted" true (e = Classify.Thwarted)
+          | Db.Guest_internal ->
+              Alcotest.(check bool) "guest flaw" true (e = Classify.Guest_flaw)
+          | Db.Denial_of_service ->
+              Alcotest.(check bool) "dos" true (e = Classify.Dos_not_targeted)));
+      Alcotest.(check bool) "rationale nonempty" true (String.length (Classify.why r) > 0))
+    Db.all
+
+let test_pinned_records () =
+  let find n = List.find_opt (fun r -> r.Db.xsa = n) Db.all in
+  (match find 148 with
+  | Some r ->
+      Alcotest.(check bool) "XSA-148 is hypervisor privesc" true
+        (r.Db.component = Db.Hypervisor && r.Db.category = Db.Privilege_escalation);
+      Alcotest.(check bool) "XSA-148 thwarted" true (Classify.effect_of r = Classify.Thwarted)
+  | None -> Alcotest.fail "XSA-148 missing");
+  (match find 108 with
+  | Some r ->
+      Alcotest.(check bool) "XSA-108 is info leak" true (r.Db.category = Db.Information_leak)
+  | None -> Alcotest.fail "XSA-108 missing");
+  match find 133 with
+  | Some r -> Alcotest.(check bool) "XSA-133 (VENOM) is qemu" true (r.Db.component = Db.Qemu)
+  | None -> Alcotest.fail "XSA-133 missing"
+
+let test_years_plausible () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "year in range" true (r.Db.year >= 2011 && r.Db.year <= 2018))
+    Db.all
+
+let test_sample_and_count () =
+  Alcotest.(check int) "sample size" 5 (List.length (Report.sample_thwarted 5));
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "samples are thwarted" true
+        (Classify.effect_of r = Classify.Thwarted))
+    (Report.sample_thwarted 10);
+  Alcotest.(check int) "count filter composes" 31
+    (Db.count ~component:Db.Hypervisor ~category:Db.Privilege_escalation ())
+
+let () =
+  Alcotest.run "xsa"
+    [ ( "corpus",
+        [ Alcotest.test_case "size" `Quick test_corpus_size;
+          Alcotest.test_case "paper numbers" `Quick test_paper_numbers;
+          Alcotest.test_case "paper percentages" `Quick test_paper_percentages;
+          Alcotest.test_case "years" `Quick test_years_plausible ] );
+      ( "classification",
+        [ Alcotest.test_case "rules" `Quick test_classification_rules;
+          Alcotest.test_case "pinned records" `Quick test_pinned_records;
+          Alcotest.test_case "sampling/count" `Quick test_sample_and_count ] ) ]
