@@ -315,7 +315,26 @@ let ablate () =
 
 (* ---- Bechamel wall-clock measurements ---------------------------------------------- *)
 
-let bechamel () =
+let write_bench_json results =
+  (try Unix.mkdir results_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = Filename.concat results_dir "bench.json" in
+  let oc = open_out path in
+  output_string oc "{\n";
+  let n = List.length results in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  %S: %.1f%s\n" name ns (if i = n - 1 then "" else ","))
+    results;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "  [written: %s]\n" path
+
+(* [quota] bounds the measurement time per test; the smoke variant uses a
+   tiny quota so CI can catch perf-path breakage (a primitive that stops
+   running at all, or regresses by an order of magnitude) in seconds.
+   Smoke numbers are noisy, so only the full run records results/bench.json
+   (the machine-readable perf trajectory future PRs compare against). *)
+let bechamel ?(quota = 0.25) ?(record = true) () =
   header "Bechamel: real wall-clock cost of the hot primitives (ns/run)";
   let open Bechamel in
   let open Toolkit in
@@ -352,18 +371,25 @@ let bechamel () =
   let benchmark () =
     let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
     let instances = Instance.[ monotonic_clock ] in
-    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) () in
     let raw = Benchmark.all cfg instances tests in
     let results = Analyze.all ols Instance.monotonic_clock raw in
     Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
     |> List.sort compare
   in
-  List.iter
-    (fun (name, ols) ->
-      match Analyze.OLS.estimates ols with
-      | Some [ est ] -> Printf.printf "  %-22s %12.1f ns/run\n" name est
-      | _ -> Printf.printf "  %-22s (no estimate)\n" name)
-    (benchmark ())
+  let estimates =
+    List.filter_map
+      (fun (name, ols) ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] ->
+            Printf.printf "  %-22s %12.1f ns/run\n" name est;
+            Some (name, est)
+        | _ ->
+            Printf.printf "  %-22s (no estimate)\n" name;
+            None)
+      (benchmark ())
+  in
+  if record then write_bench_json estimates
 
 (* ---- driver --------------------------------------------------------------------------- *)
 
@@ -391,9 +417,11 @@ let () =
   | "tab2" -> tab2 ()
   | "ablate" -> ablate ()
   | "bechamel" -> bechamel ()
+  | "bechamel-smoke" -> bechamel ~quota:0.01 ~record:false ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
-        "unknown section %S; expected fig5|fig6|tab3|micro|xsa|attacks|tab1|tab2|ablate|bechamel|all\n"
+        "unknown section %S; expected \
+         fig5|fig6|tab3|micro|xsa|attacks|tab1|tab2|ablate|bechamel|bechamel-smoke|all\n"
         other;
       exit 1

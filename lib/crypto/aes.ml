@@ -1,6 +1,15 @@
-(* AES-128 per FIPS-197. The state is a flat 16-int array indexed
-   [r + 4 * c] (row r, column c), matching the standard's column-major
-   byte order: input byte i lands at row [i mod 4], column [i / 4]. *)
+(* AES-128 per FIPS-197, implemented with 32-bit T-tables.
+
+   Each Te/Td entry fuses SubBytes + MixColumns for one byte position, so a
+   round is 16 table lookups and 16 XORs over four 32-bit words instead of
+   byte-wise SubBytes/ShiftRows/MixColumns passes. ShiftRows is absorbed into
+   which state word each lookup reads from. Words are big-endian: byte i of
+   the block is byte i of word i/4, so word w holds column w of the FIPS
+   state (input byte i lands at row [i mod 4], column [i / 4]).
+
+   The decrypt path uses the equivalent inverse cipher: InvMixColumns is
+   pre-applied to round keys 1..9 at expansion time, which lets the inverse
+   rounds use the same lookup-and-XOR shape as the forward rounds. *)
 
 let block_size = 16
 let key_size = 16
@@ -31,14 +40,11 @@ let inv_sbox =
 
 let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
 
-type key = int array array
-(* 11 round keys, each a flat 16-int array in state order. *)
-
 let xtime b =
   let b2 = b lsl 1 in
   if b land 0x80 <> 0 then (b2 lxor 0x1b) land 0xff else b2 land 0xff
 
-(* GF(2^8) multiplication, used by (Inv)MixColumns. *)
+(* GF(2^8) multiplication, used only at table-build and key-expansion time. *)
 let gmul a b =
   let rec loop a b acc =
     if b = 0 then acc
@@ -48,135 +54,180 @@ let gmul a b =
   in
   loop a b 0
 
+let ror8 w = ((w lsr 8) lor (w lsl 24)) land 0xFFFFFFFF
+
+(* Te0.(x) = S[x] * (02, 01, 01, 03) as a big-endian column; Te1..Te3 are
+   byte rotations of Te0 for the other three byte positions. *)
+let te0 = Array.make 256 0
+let te1 = Array.make 256 0
+let te2 = Array.make 256 0
+let te3 = Array.make 256 0
+
+(* Td0.(x) = IS[x] * (0e, 09, 0d, 0b), likewise rotated for Td1..Td3. *)
+let td0 = Array.make 256 0
+let td1 = Array.make 256 0
+let td2 = Array.make 256 0
+let td3 = Array.make 256 0
+
+let () =
+  for x = 0 to 255 do
+    let s = sbox.(x) in
+    let s2 = xtime s in
+    let s3 = s2 lxor s in
+    let e = (s2 lsl 24) lor (s lsl 16) lor (s lsl 8) lor s3 in
+    te0.(x) <- e;
+    te1.(x) <- ror8 e;
+    te2.(x) <- ror8 (ror8 e);
+    te3.(x) <- ror8 (ror8 (ror8 e));
+    let s = inv_sbox.(x) in
+    let d = (gmul s 14 lsl 24) lor (gmul s 9 lsl 16) lor (gmul s 13 lsl 8) lor gmul s 11 in
+    td0.(x) <- d;
+    td1.(x) <- ror8 d;
+    td2.(x) <- ror8 (ror8 d);
+    td3.(x) <- ror8 (ror8 (ror8 d))
+  done
+
+type key = {
+  ek : int array;  (* 44 encryption round-key words, big-endian packed *)
+  dk : int array;  (* decryption schedule: reversed rounds, InvMixColumns
+                      pre-applied to rounds 1..9 (equivalent inverse cipher) *)
+  st : int array;  (* 4-word scratch for the round state; reusing it keeps
+                      the block functions allocation-free (single-threaded) *)
+}
+
+let sub_word w =
+  (sbox.((w lsr 24) land 0xff) lsl 24)
+  lor (sbox.((w lsr 16) land 0xff) lsl 16)
+  lor (sbox.((w lsr 8) land 0xff) lsl 8)
+  lor sbox.(w land 0xff)
+
+let rot_word w = ((w lsl 8) lor (w lsr 24)) land 0xFFFFFFFF
+
+(* InvMixColumns on one big-endian column word. *)
+let inv_mix_word w =
+  let b0 = (w lsr 24) land 0xff and b1 = (w lsr 16) land 0xff
+  and b2 = (w lsr 8) land 0xff and b3 = w land 0xff in
+  ((gmul b0 14 lxor gmul b1 11 lxor gmul b2 13 lxor gmul b3 9) lsl 24)
+  lor ((gmul b0 9 lxor gmul b1 14 lxor gmul b2 11 lxor gmul b3 13) lsl 16)
+  lor ((gmul b0 13 lxor gmul b1 9 lxor gmul b2 14 lxor gmul b3 11) lsl 8)
+  lor (gmul b0 11 lxor gmul b1 13 lxor gmul b2 9 lxor gmul b3 14)
+
 let expand raw =
   if Bytes.length raw <> key_size then invalid_arg "Aes.expand: key must be 16 bytes";
-  (* w.(i) holds word i of the expanded key as a 4-int array. *)
-  let w = Array.make 44 [| 0; 0; 0; 0 |] in
+  let ek = Array.make 44 0 in
   for i = 0 to 3 do
-    w.(i) <-
-      [| Char.code (Bytes.get raw (4 * i));
-         Char.code (Bytes.get raw ((4 * i) + 1));
-         Char.code (Bytes.get raw ((4 * i) + 2));
-         Char.code (Bytes.get raw ((4 * i) + 3)) |]
+    ek.(i) <-
+      (Char.code (Bytes.get raw (4 * i)) lsl 24)
+      lor (Char.code (Bytes.get raw ((4 * i) + 1)) lsl 16)
+      lor (Char.code (Bytes.get raw ((4 * i) + 2)) lsl 8)
+      lor Char.code (Bytes.get raw ((4 * i) + 3))
   done;
   for i = 4 to 43 do
-    let prev = w.(i - 1) in
-    let temp =
-      if i mod 4 = 0 then
-        [| sbox.(prev.(1)) lxor rcon.((i / 4) - 1);
-           sbox.(prev.(2)); sbox.(prev.(3)); sbox.(prev.(0)) |]
-      else prev
+    let t = ek.(i - 1) in
+    let t =
+      if i land 3 = 0 then sub_word (rot_word t) lxor (rcon.((i / 4) - 1) lsl 24)
+      else t
     in
-    let base = w.(i - 4) in
-    w.(i) <-
-      [| base.(0) lxor temp.(0); base.(1) lxor temp.(1);
-         base.(2) lxor temp.(2); base.(3) lxor temp.(3) |]
+    ek.(i) <- ek.(i - 4) lxor t
   done;
-  Array.init 11 (fun round ->
-      let rk = Array.make 16 0 in
-      for c = 0 to 3 do
-        let word = w.((4 * round) + c) in
-        for r = 0 to 3 do
-          rk.(r + (4 * c)) <- word.(r)
-        done
-      done;
-      rk)
+  let dk = Array.make 44 0 in
+  for round = 0 to 10 do
+    for c = 0 to 3 do
+      dk.((4 * round) + c) <- ek.((4 * (10 - round)) + c)
+    done
+  done;
+  for i = 4 to 39 do
+    dk.(i) <- inv_mix_word dk.(i)
+  done;
+  { ek; dk; st = Array.make 4 0 }
 
-let add_round_key state rk =
-  for i = 0 to 15 do
-    state.(i) <- state.(i) lxor rk.(i)
-  done
+let schedule_words { ek; _ } = Array.copy ek
 
-let sub_bytes state =
-  for i = 0 to 15 do
-    state.(i) <- sbox.(state.(i))
-  done
+let load_word src off =
+  (Char.code (Bytes.unsafe_get src off) lsl 24)
+  lor (Char.code (Bytes.unsafe_get src (off + 1)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get src (off + 2)) lsl 8)
+  lor Char.code (Bytes.unsafe_get src (off + 3))
 
-let inv_sub_bytes state =
-  for i = 0 to 15 do
-    state.(i) <- inv_sbox.(state.(i))
-  done
+let store_word dst off w =
+  Bytes.unsafe_set dst off (Char.unsafe_chr ((w lsr 24) land 0xff));
+  Bytes.unsafe_set dst (off + 1) (Char.unsafe_chr ((w lsr 16) land 0xff));
+  Bytes.unsafe_set dst (off + 2) (Char.unsafe_chr ((w lsr 8) land 0xff));
+  Bytes.unsafe_set dst (off + 3) (Char.unsafe_chr (w land 0xff))
 
-(* Row r rotates left by r positions across the four columns. *)
-let shift_rows state =
-  let at r c = state.(r + (4 * c)) in
-  let row r a b c d =
-    state.(r + 0) <- a; state.(r + 4) <- b; state.(r + 8) <- c; state.(r + 12) <- d
-  in
-  let r1 = (at 1 1, at 1 2, at 1 3, at 1 0) in
-  let r2 = (at 2 2, at 2 3, at 2 0, at 2 1) in
-  let r3 = (at 3 3, at 3 0, at 3 1, at 3 2) in
-  (let a, b, c, d = r1 in row 1 a b c d);
-  (let a, b, c, d = r2 in row 2 a b c d);
-  let a, b, c, d = r3 in row 3 a b c d
+let check_range name buf off =
+  if off < 0 || off + block_size > Bytes.length buf then
+    invalid_arg ("Aes: " ^ name ^ " range out of bounds")
 
-let inv_shift_rows state =
-  let at r c = state.(r + (4 * c)) in
-  let row r a b c d =
-    state.(r + 0) <- a; state.(r + 4) <- b; state.(r + 8) <- c; state.(r + 12) <- d
-  in
-  let r1 = (at 1 3, at 1 0, at 1 1, at 1 2) in
-  let r2 = (at 2 2, at 2 3, at 2 0, at 2 1) in
-  let r3 = (at 3 1, at 3 2, at 3 3, at 3 0) in
-  (let a, b, c, d = r1 in row 1 a b c d);
-  (let a, b, c, d = r2 in row 2 a b c d);
-  let a, b, c, d = r3 in row 3 a b c d
-
-let mix_columns state =
-  for c = 0 to 3 do
-    let b = 4 * c in
-    let s0 = state.(b) and s1 = state.(b + 1) and s2 = state.(b + 2) and s3 = state.(b + 3) in
-    state.(b) <- xtime s0 lxor (xtime s1 lxor s1) lxor s2 lxor s3;
-    state.(b + 1) <- s0 lxor xtime s1 lxor (xtime s2 lxor s2) lxor s3;
-    state.(b + 2) <- s0 lxor s1 lxor xtime s2 lxor (xtime s3 lxor s3);
-    state.(b + 3) <- (xtime s0 lxor s0) lxor s1 lxor s2 lxor xtime s3
-  done
-
-let inv_mix_columns state =
-  for c = 0 to 3 do
-    let b = 4 * c in
-    let s0 = state.(b) and s1 = state.(b + 1) and s2 = state.(b + 2) and s3 = state.(b + 3) in
-    state.(b) <- gmul s0 14 lxor gmul s1 11 lxor gmul s2 13 lxor gmul s3 9;
-    state.(b + 1) <- gmul s0 9 lxor gmul s1 14 lxor gmul s2 11 lxor gmul s3 13;
-    state.(b + 2) <- gmul s0 13 lxor gmul s1 9 lxor gmul s2 14 lxor gmul s3 11;
-    state.(b + 3) <- gmul s0 11 lxor gmul s1 13 lxor gmul s2 9 lxor gmul s3 14
-  done
-
-let load_state src off =
-  Array.init 16 (fun i -> Char.code (Bytes.get src (off + i)))
-
-let store_state state dst off =
-  for i = 0 to 15 do
-    Bytes.set dst (off + i) (Char.chr state.(i))
-  done
-
+(* The four state words are fully loaded before anything is stored, so
+   src and dst may alias (in-place block operations are safe). *)
 let encrypt_block_into key ~src ~src_off ~dst ~dst_off =
-  let state = load_state src src_off in
-  add_round_key state key.(0);
+  check_range "src" src src_off;
+  check_range "dst" dst dst_off;
+  let ek = key.ek and st = key.st in
+  st.(0) <- load_word src src_off lxor ek.(0);
+  st.(1) <- load_word src (src_off + 4) lxor ek.(1);
+  st.(2) <- load_word src (src_off + 8) lxor ek.(2);
+  st.(3) <- load_word src (src_off + 12) lxor ek.(3);
   for round = 1 to 9 do
-    sub_bytes state;
-    shift_rows state;
-    mix_columns state;
-    add_round_key state key.(round)
+    let b = 4 * round in
+    let s0 = st.(0) and s1 = st.(1) and s2 = st.(2) and s3 = st.(3) in
+    st.(0) <- te0.(s0 lsr 24) lxor te1.((s1 lsr 16) land 0xff)
+              lxor te2.((s2 lsr 8) land 0xff) lxor te3.(s3 land 0xff) lxor ek.(b);
+    st.(1) <- te0.(s1 lsr 24) lxor te1.((s2 lsr 16) land 0xff)
+              lxor te2.((s3 lsr 8) land 0xff) lxor te3.(s0 land 0xff) lxor ek.(b + 1);
+    st.(2) <- te0.(s2 lsr 24) lxor te1.((s3 lsr 16) land 0xff)
+              lxor te2.((s0 lsr 8) land 0xff) lxor te3.(s1 land 0xff) lxor ek.(b + 2);
+    st.(3) <- te0.(s3 lsr 24) lxor te1.((s0 lsr 16) land 0xff)
+              lxor te2.((s1 lsr 8) land 0xff) lxor te3.(s2 land 0xff) lxor ek.(b + 3)
   done;
-  sub_bytes state;
-  shift_rows state;
-  add_round_key state key.(10);
-  store_state state dst dst_off
+  let s0 = st.(0) and s1 = st.(1) and s2 = st.(2) and s3 = st.(3) in
+  store_word dst dst_off
+    (((sbox.(s0 lsr 24) lsl 24) lor (sbox.((s1 lsr 16) land 0xff) lsl 16)
+      lor (sbox.((s2 lsr 8) land 0xff) lsl 8) lor sbox.(s3 land 0xff)) lxor ek.(40));
+  store_word dst (dst_off + 4)
+    (((sbox.(s1 lsr 24) lsl 24) lor (sbox.((s2 lsr 16) land 0xff) lsl 16)
+      lor (sbox.((s3 lsr 8) land 0xff) lsl 8) lor sbox.(s0 land 0xff)) lxor ek.(41));
+  store_word dst (dst_off + 8)
+    (((sbox.(s2 lsr 24) lsl 24) lor (sbox.((s3 lsr 16) land 0xff) lsl 16)
+      lor (sbox.((s0 lsr 8) land 0xff) lsl 8) lor sbox.(s1 land 0xff)) lxor ek.(42));
+  store_word dst (dst_off + 12)
+    (((sbox.(s3 lsr 24) lsl 24) lor (sbox.((s0 lsr 16) land 0xff) lsl 16)
+      lor (sbox.((s1 lsr 8) land 0xff) lsl 8) lor sbox.(s2 land 0xff)) lxor ek.(43))
 
 let decrypt_block_into key ~src ~src_off ~dst ~dst_off =
-  let state = load_state src src_off in
-  add_round_key state key.(10);
-  for round = 9 downto 1 do
-    inv_shift_rows state;
-    inv_sub_bytes state;
-    add_round_key state key.(round);
-    inv_mix_columns state
+  check_range "src" src src_off;
+  check_range "dst" dst dst_off;
+  let dk = key.dk and st = key.st in
+  st.(0) <- load_word src src_off lxor dk.(0);
+  st.(1) <- load_word src (src_off + 4) lxor dk.(1);
+  st.(2) <- load_word src (src_off + 8) lxor dk.(2);
+  st.(3) <- load_word src (src_off + 12) lxor dk.(3);
+  for round = 1 to 9 do
+    let b = 4 * round in
+    let s0 = st.(0) and s1 = st.(1) and s2 = st.(2) and s3 = st.(3) in
+    st.(0) <- td0.(s0 lsr 24) lxor td1.((s3 lsr 16) land 0xff)
+              lxor td2.((s2 lsr 8) land 0xff) lxor td3.(s1 land 0xff) lxor dk.(b);
+    st.(1) <- td0.(s1 lsr 24) lxor td1.((s0 lsr 16) land 0xff)
+              lxor td2.((s3 lsr 8) land 0xff) lxor td3.(s2 land 0xff) lxor dk.(b + 1);
+    st.(2) <- td0.(s2 lsr 24) lxor td1.((s1 lsr 16) land 0xff)
+              lxor td2.((s0 lsr 8) land 0xff) lxor td3.(s3 land 0xff) lxor dk.(b + 2);
+    st.(3) <- td0.(s3 lsr 24) lxor td1.((s2 lsr 16) land 0xff)
+              lxor td2.((s1 lsr 8) land 0xff) lxor td3.(s0 land 0xff) lxor dk.(b + 3)
   done;
-  inv_shift_rows state;
-  inv_sub_bytes state;
-  add_round_key state key.(0);
-  store_state state dst dst_off
+  let s0 = st.(0) and s1 = st.(1) and s2 = st.(2) and s3 = st.(3) in
+  store_word dst dst_off
+    (((inv_sbox.(s0 lsr 24) lsl 24) lor (inv_sbox.((s3 lsr 16) land 0xff) lsl 16)
+      lor (inv_sbox.((s2 lsr 8) land 0xff) lsl 8) lor inv_sbox.(s1 land 0xff)) lxor dk.(40));
+  store_word dst (dst_off + 4)
+    (((inv_sbox.(s1 lsr 24) lsl 24) lor (inv_sbox.((s0 lsr 16) land 0xff) lsl 16)
+      lor (inv_sbox.((s3 lsr 8) land 0xff) lsl 8) lor inv_sbox.(s2 land 0xff)) lxor dk.(41));
+  store_word dst (dst_off + 8)
+    (((inv_sbox.(s2 lsr 24) lsl 24) lor (inv_sbox.((s1 lsr 16) land 0xff) lsl 16)
+      lor (inv_sbox.((s0 lsr 8) land 0xff) lsl 8) lor inv_sbox.(s3 land 0xff)) lxor dk.(42));
+  store_word dst (dst_off + 12)
+    (((inv_sbox.(s3 lsr 24) lsl 24) lor (inv_sbox.((s2 lsr 16) land 0xff) lsl 16)
+      lor (inv_sbox.((s1 lsr 8) land 0xff) lsl 8) lor inv_sbox.(s0 land 0xff)) lxor dk.(43))
 
 let check_block plain =
   if Bytes.length plain <> block_size then invalid_arg "Aes: block must be 16 bytes"

@@ -7,7 +7,11 @@
     appendix test vectors in the test suite. *)
 
 type key
-(** An expanded AES-128 key schedule (11 round keys). *)
+(** An expanded AES-128 key schedule: 44 encryption round-key words plus the
+    equivalent-inverse-cipher decryption schedule (InvMixColumns pre-applied
+    to rounds 1..9), both as flat int arrays for the T-table block functions.
+    Each key also carries a small reusable scratch state, so a [key] must not
+    be shared between threads (the simulator is single-threaded). *)
 
 val block_size : int
 (** Block size in bytes (16). *)
@@ -30,3 +34,8 @@ val encrypt_block_into : key -> src:bytes -> src_off:int -> dst:bytes -> dst_off
 (** Allocation-free variant used on the hot memory-controller path. *)
 
 val decrypt_block_into : key -> src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> unit
+
+val schedule_words : key -> int array
+(** The 44 expanded encryption round-key words (big-endian packed), exposed
+    so the FIPS-197 Appendix A key-expansion vectors can be checked in the
+    test suite. Returns a copy. *)

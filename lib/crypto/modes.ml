@@ -24,35 +24,34 @@ let ecb_decrypt key data =
   done;
   out
 
-let counter_block nonce index =
-  let b = Bytes.create 16 in
-  Bytes.set_int64_be b 0 nonce;
-  Bytes.set_int64_be b 8 (Int64.of_int index);
-  b
-
 let ctr_transform key ~nonce data =
   let n = Bytes.length data in
   let out = Bytes.create n in
+  (* One counter block and one keystream buffer reused for every block. *)
+  let ctr = Bytes.create 16 in
+  let ks = Bytes.create 16 in
+  Bytes.set_int64_be ctr 0 nonce;
   let nblocks = (n + 15) / 16 in
   for blk = 0 to nblocks - 1 do
-    let keystream = Aes.encrypt_block key (counter_block nonce blk) in
+    Bytes.set_int64_be ctr 8 (Int64.of_int blk);
+    Aes.encrypt_block_into key ~src:ctr ~src_off:0 ~dst:ks ~dst_off:0;
     let base = blk * 16 in
     let len = min 16 (n - base) in
     for j = 0 to len - 1 do
-      let c = Char.code (Bytes.get data (base + j)) lxor Char.code (Bytes.get keystream j) in
+      let c = Char.code (Bytes.get data (base + j)) lxor Char.code (Bytes.get ks j) in
       Bytes.set out (base + j) (Char.chr c)
     done
   done;
   out
 
-(* The tweak mask for block i is AES_k(tweak + i): a cheap XEX variant
-   whose only required property here is that the mask depends on the
-   position, which defeats ciphertext relocation. *)
-let tweak_mask key tweak index =
-  let b = Bytes.create 16 in
-  Bytes.set_int64_be b 0 (Int64.add tweak (Int64.of_int index));
-  Bytes.set_int64_be b 8 0xF1DE11F5L;
-  Aes.encrypt_block key b
+(* The tweak mask for block i is AES_k(tweak0 + i * tweak_step): a cheap XEX
+   variant whose only required property here is that the mask depends on the
+   position, which defeats ciphertext relocation. [tweak_step] lets a single
+   span call reproduce what used to be a per-block loop with per-block tweaks
+   (the memory controller steps the tweak by the physical block address). *)
+let set_tweak_block tb tweak0 tweak_step blk =
+  Bytes.set_int64_be tb 0 (Int64.add tweak0 (Int64.mul tweak_step (Int64.of_int blk)));
+  Bytes.set_int64_be tb 8 0xF1DE11F5L
 
 let xor_into mask buf off =
   for j = 0 to 15 do
@@ -60,27 +59,42 @@ let xor_into mask buf off =
     Bytes.set buf (off + j) (Char.chr c)
   done
 
-let xex_encrypt_into key ~tweak ~src ~src_off ~dst ~dst_off ~len =
-  if len mod 16 <> 0 then invalid_arg "Modes.xex_encrypt_into: len must be a multiple of 16";
-  let tmp = Bytes.create 16 in
+let check_span name len =
+  if len mod 16 <> 0 then invalid_arg (name ^ ": len must be a multiple of 16")
+
+let xex_encrypt_span key ~tweak0 ~tweak_step ~src ~src_off ~dst ~dst_off ~len =
+  check_span "Modes.xex_encrypt_into" len;
+  let tb = Bytes.create 16 in
+  let mask = Bytes.create 16 in
   for blk = 0 to (len / 16) - 1 do
-    let mask = tweak_mask key tweak blk in
-    Bytes.blit src (src_off + (blk * 16)) tmp 0 16;
-    xor_into mask tmp 0;
-    Aes.encrypt_block_into key ~src:tmp ~src_off:0 ~dst ~dst_off:(dst_off + (blk * 16));
-    xor_into mask dst (dst_off + (blk * 16))
+    set_tweak_block tb tweak0 tweak_step blk;
+    Aes.encrypt_block_into key ~src:tb ~src_off:0 ~dst:mask ~dst_off:0;
+    let o = blk * 16 in
+    Bytes.blit src (src_off + o) dst (dst_off + o) 16;
+    xor_into mask dst (dst_off + o);
+    Aes.encrypt_block_into key ~src:dst ~src_off:(dst_off + o) ~dst ~dst_off:(dst_off + o);
+    xor_into mask dst (dst_off + o)
   done
 
-let xex_decrypt_into key ~tweak ~src ~src_off ~dst ~dst_off ~len =
-  if len mod 16 <> 0 then invalid_arg "Modes.xex_decrypt_into: len must be a multiple of 16";
-  let tmp = Bytes.create 16 in
+let xex_decrypt_span key ~tweak0 ~tweak_step ~src ~src_off ~dst ~dst_off ~len =
+  check_span "Modes.xex_decrypt_into" len;
+  let tb = Bytes.create 16 in
+  let mask = Bytes.create 16 in
   for blk = 0 to (len / 16) - 1 do
-    let mask = tweak_mask key tweak blk in
-    Bytes.blit src (src_off + (blk * 16)) tmp 0 16;
-    xor_into mask tmp 0;
-    Aes.decrypt_block_into key ~src:tmp ~src_off:0 ~dst ~dst_off:(dst_off + (blk * 16));
-    xor_into mask dst (dst_off + (blk * 16))
+    set_tweak_block tb tweak0 tweak_step blk;
+    Aes.encrypt_block_into key ~src:tb ~src_off:0 ~dst:mask ~dst_off:0;
+    let o = blk * 16 in
+    Bytes.blit src (src_off + o) dst (dst_off + o) 16;
+    xor_into mask dst (dst_off + o);
+    Aes.decrypt_block_into key ~src:dst ~src_off:(dst_off + o) ~dst ~dst_off:(dst_off + o);
+    xor_into mask dst (dst_off + o)
   done
+
+let xex_encrypt_into key ~tweak ~src ~src_off ~dst ~dst_off ~len =
+  xex_encrypt_span key ~tweak0:tweak ~tweak_step:1L ~src ~src_off ~dst ~dst_off ~len
+
+let xex_decrypt_into key ~tweak ~src ~src_off ~dst ~dst_off ~len =
+  xex_decrypt_span key ~tweak0:tweak ~tweak_step:1L ~src ~src_off ~dst ~dst_off ~len
 
 let xex_encrypt key ~tweak data =
   check_multiple "Modes.xex_encrypt" data;
@@ -96,17 +110,17 @@ let xex_decrypt key ~tweak data =
 
 let cbc_mac key data =
   let n = Bytes.length data in
-  let padded_len = if n = 0 then 16 else ((n + 15) / 16) * 16 in
-  let padded = Bytes.make padded_len '\000' in
-  Bytes.blit data 0 padded 0 n;
+  (* Zero-padding a copy is equivalent to only XORing the bytes that exist,
+     so the accumulator is updated straight from [data] — no padded copy. *)
+  let nblocks = if n = 0 then 1 else (n + 15) / 16 in
   let acc = Bytes.make 16 '\000' in
-  let i = ref 0 in
-  while !i < padded_len do
-    for j = 0 to 15 do
-      let c = Char.code (Bytes.get acc j) lxor Char.code (Bytes.get padded (!i + j)) in
+  for blk = 0 to nblocks - 1 do
+    let base = blk * 16 in
+    let len = min 16 (n - base) in
+    for j = 0 to len - 1 do
+      let c = Char.code (Bytes.get acc j) lxor Char.code (Bytes.get data (base + j)) in
       Bytes.set acc j (Char.chr c)
     done;
-    Aes.encrypt_block_into key ~src:acc ~src_off:0 ~dst:acc ~dst_off:0;
-    i := !i + 16
+    Aes.encrypt_block_into key ~src:acc ~src_off:0 ~dst:acc ~dst_off:0
   done;
   acc

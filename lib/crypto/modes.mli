@@ -29,11 +29,28 @@ val xex_decrypt : Aes.key -> tweak:int64 -> bytes -> bytes
 
 val xex_encrypt_into :
   Aes.key -> tweak:int64 -> src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> len:int -> unit
-(** Allocation-free XEX for the memory-controller hot path. [len] must be a
-    multiple of 16. *)
+(** Allocation-light XEX for the memory-controller hot path: block [i] of the
+    span is whitened with [AES_k(tweak + i)]. [len] must be a multiple of 16.
+    [src] and [dst] may be the same buffer at the same offset. *)
 
 val xex_decrypt_into :
   Aes.key -> tweak:int64 -> src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> len:int -> unit
+
+val xex_encrypt_span :
+  Aes.key ->
+  tweak0:int64 -> tweak_step:int64 ->
+  src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> len:int -> unit
+(** Span-granular XEX: block [i] is whitened with
+    [AES_k(tweak0 + i * tweak_step)]. A whole page (or any multi-block run)
+    whose per-block tweaks advance by a fixed stride — e.g. the memory
+    controller's physical-block-address tweak, stride 16 — is processed in
+    one call with a single reused tweak/mask buffer pair, bit-identically to
+    the equivalent per-block loop. [len] must be a multiple of 16. *)
+
+val xex_decrypt_span :
+  Aes.key ->
+  tweak0:int64 -> tweak_step:int64 ->
+  src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> len:int -> unit
 
 val cbc_mac : Aes.key -> bytes -> bytes
 (** 16-byte tag over a buffer of any length (zero-padded internally; callers

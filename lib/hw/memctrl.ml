@@ -12,15 +12,34 @@ type t = {
   ledger : Cost.ledger;
   smek : Aes.key;
   slots : (int, Aes.key) Hashtbl.t;
+  fw_keys : (string, Aes.key) Hashtbl.t;
   costs : Cost.table;
 }
+
+let fw_key_cache_max = 256
 
 let create mem ledger rng =
   { mem;
     ledger;
     smek = Aes.expand (Rng.bytes rng 16);
     slots = Hashtbl.create 16;
+    fw_keys = Hashtbl.create 16;
     costs = Cost.default }
+
+(* The firmware drives whole-page operations with raw (not slot-installed)
+   keys, and re-uses the same Kvek for every page of a launch or migration —
+   expanding it once per page is pure waste. Cache the schedule, keyed by the
+   key bytes; the cache is flushed when it grows past a generous bound so a
+   long-lived platform cycling many guests cannot leak schedules forever. *)
+let fw_key t raw =
+  let id = Bytes.to_string raw in
+  match Hashtbl.find_opt t.fw_keys id with
+  | Some k -> k
+  | None ->
+      if Hashtbl.length t.fw_keys >= fw_key_cache_max then Hashtbl.reset t.fw_keys;
+      let k = Aes.expand raw in
+      Hashtbl.add t.fw_keys id k;
+      k
 
 let install_key t ~asid raw =
   if asid <= 0 then invalid_arg "Memctrl.install_key: guest ASIDs are positive";
@@ -39,8 +58,11 @@ let key_of t = function
       | None -> invalid_arg (Printf.sprintf "Memctrl: no key installed for ASID %d" asid))
 
 (* The XEX tweak is the physical block address, binding ciphertext to its
-   location. *)
+   location. Consecutive blocks step the tweak by the block size, which is
+   what lets a multi-block span go through one [Modes.xex_*_span] call. *)
 let tweak_of pfn block = Int64.of_int (Addr.addr_of pfn (block * Addr.block_size))
+
+let tweak_step = Int64.of_int Addr.block_size
 
 let charge_blocks t ~encrypted nblocks =
   Cost.charge t.ledger "dram" (t.costs.Cost.dram_access * nblocks);
@@ -54,53 +76,43 @@ let block_range off len =
 let read t sel pfn ~off ~len =
   if len = 0 then Bytes.create 0
   else begin
+    let first, last = block_range off len in
     match key_of t sel with
     | None ->
-        charge_blocks t ~encrypted:false (max ((len + Addr.block_size - 1) / Addr.block_size) 1);
+        (* DRAM traffic is block-granular even without encryption: an
+           unaligned access touching two blocks costs two accesses. *)
+        charge_blocks t ~encrypted:false (last - first + 1);
         Physmem.read_raw t.mem pfn ~off ~len
     | Some key ->
-        let first, last = block_range off len in
         charge_blocks t ~encrypted:true (last - first + 1);
         let span = (last - first + 1) * Addr.block_size in
         let plain = Bytes.create span in
         let page = Physmem.page t.mem pfn in
-        for blk = first to last do
-          Modes.xex_decrypt_into key ~tweak:(tweak_of pfn blk)
-            ~src:page ~src_off:(blk * Addr.block_size)
-            ~dst:plain ~dst_off:((blk - first) * Addr.block_size)
-            ~len:Addr.block_size
-        done;
+        Modes.xex_decrypt_span key ~tweak0:(tweak_of pfn first) ~tweak_step
+          ~src:page ~src_off:(first * Addr.block_size) ~dst:plain ~dst_off:0 ~len:span;
         Bytes.sub plain (off - (first * Addr.block_size)) len
   end
 
 let write t sel pfn ~off data =
   let len = Bytes.length data in
   if len > 0 then begin
+    let first, last = block_range off len in
     match key_of t sel with
     | None ->
-        charge_blocks t ~encrypted:false (max ((len + Addr.block_size - 1) / Addr.block_size) 1);
+        charge_blocks t ~encrypted:false (last - first + 1);
         Physmem.write_raw t.mem pfn ~off data
     | Some key ->
         (* Read-modify-write the containing blocks so unaligned stores keep
            neighbouring plaintext intact. *)
-        let first, last = block_range off len in
         charge_blocks t ~encrypted:true (last - first + 1);
         let span = (last - first + 1) * Addr.block_size in
         let plain = Bytes.create span in
         let page = Physmem.page t.mem pfn in
-        for blk = first to last do
-          Modes.xex_decrypt_into key ~tweak:(tweak_of pfn blk)
-            ~src:page ~src_off:(blk * Addr.block_size)
-            ~dst:plain ~dst_off:((blk - first) * Addr.block_size)
-            ~len:Addr.block_size
-        done;
+        Modes.xex_decrypt_span key ~tweak0:(tweak_of pfn first) ~tweak_step
+          ~src:page ~src_off:(first * Addr.block_size) ~dst:plain ~dst_off:0 ~len:span;
         Bytes.blit data 0 plain (off - (first * Addr.block_size)) len;
-        for blk = first to last do
-          Modes.xex_encrypt_into key ~tweak:(tweak_of pfn blk)
-            ~src:plain ~src_off:((blk - first) * Addr.block_size)
-            ~dst:page ~dst_off:(blk * Addr.block_size)
-            ~len:Addr.block_size
-        done
+        Modes.xex_encrypt_span key ~tweak0:(tweak_of pfn first) ~tweak_step
+          ~src:plain ~src_off:0 ~dst:page ~dst_off:(first * Addr.block_size) ~len:span
   end
 
 let read_u64 t sel pfn ~off =
@@ -127,14 +139,10 @@ let fw_write_page t ~key pfn plain =
   if Bytes.length plain <> Addr.page_size then
     invalid_arg "Memctrl.fw_write_page: need a full page";
   fw_charge t;
-  let aes = Aes.expand key in
+  let aes = fw_key t key in
   let page = Physmem.page t.mem pfn in
-  for blk = 0 to Addr.blocks_per_page - 1 do
-    Modes.xex_encrypt_into aes ~tweak:(tweak_of pfn blk)
-      ~src:plain ~src_off:(blk * Addr.block_size)
-      ~dst:page ~dst_off:(blk * Addr.block_size)
-      ~len:Addr.block_size
-  done
+  Modes.xex_encrypt_span aes ~tweak0:(tweak_of pfn 0) ~tweak_step
+    ~src:plain ~src_off:0 ~dst:page ~dst_off:0 ~len:Addr.page_size
 
 let fw_encrypt_page t ~key pfn =
   let plain = Physmem.read_raw t.mem pfn ~off:0 ~len:Addr.page_size in
@@ -142,13 +150,9 @@ let fw_encrypt_page t ~key pfn =
 
 let fw_decrypt_page t ~key pfn =
   fw_charge t;
-  let aes = Aes.expand key in
+  let aes = fw_key t key in
   let page = Physmem.page t.mem pfn in
   let plain = Bytes.create Addr.page_size in
-  for blk = 0 to Addr.blocks_per_page - 1 do
-    Modes.xex_decrypt_into aes ~tweak:(tweak_of pfn blk)
-      ~src:page ~src_off:(blk * Addr.block_size)
-      ~dst:plain ~dst_off:(blk * Addr.block_size)
-      ~len:Addr.block_size
-  done;
+  Modes.xex_decrypt_span aes ~tweak0:(tweak_of pfn 0) ~tweak_step
+    ~src:page ~src_off:0 ~dst:plain ~dst_off:0 ~len:Addr.page_size;
   plain

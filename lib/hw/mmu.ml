@@ -40,22 +40,39 @@ let selector_of_pte (pte : Pagetable.proto) ~asid =
   if pte.c_bit then (match asid with None -> Memctrl.Smek | Some a -> Memctrl.Asid a)
   else Memctrl.Plain
 
-(* Block-granular CPU access through cache + controller. [fill] decides
+(* Block-granular CPU access through cache + controller. Consecutive cache
+   misses are fetched from the controller as one span (one decryption pass
+   per run instead of one per block); per-block charges are linear in the
+   block count, so the ledger sees the same cost either way. [fill] decides
    whether this access deposits plaintext lines (encrypted traffic does). *)
 let cached_read (m : Machine.t) sel pfn ~off ~len =
   let encrypted = match sel with Memctrl.Plain -> false | Memctrl.Smek | Memctrl.Asid _ -> true in
   let first = off / Addr.block_size in
   let last = (off + len - 1) / Addr.block_size in
   let span = Bytes.create ((last - first + 1) * Addr.block_size) in
+  let fetch_run run_first run_last =
+    let run_len = (run_last - run_first + 1) * Addr.block_size in
+    let lines =
+      Memctrl.read m.ctrl sel pfn ~off:(run_first * Addr.block_size) ~len:run_len
+    in
+    Bytes.blit lines 0 span ((run_first - first) * Addr.block_size) run_len;
+    if encrypted then
+      for blk = run_first to run_last do
+        Cache.fill m.cache pfn ~block:blk
+          (Bytes.sub lines ((blk - run_first) * Addr.block_size) Addr.block_size)
+      done
+  in
+  let pending = ref (-1) in
+  (* start of the current miss run, -1 if none *)
+  let flush upto = if !pending >= 0 then (fetch_run !pending upto; pending := -1) in
   for blk = first to last do
-    let dst_off = (blk - first) * Addr.block_size in
     match Cache.probe m.cache pfn ~block:blk with
-    | Some line -> Bytes.blit line 0 span dst_off Addr.block_size
-    | None ->
-        let line = Memctrl.read m.ctrl sel pfn ~off:(blk * Addr.block_size) ~len:Addr.block_size in
-        if encrypted then Cache.fill m.cache pfn ~block:blk line;
-        Bytes.blit line 0 span dst_off Addr.block_size
+    | Some line ->
+        flush (blk - 1);
+        Bytes.blit line 0 span ((blk - first) * Addr.block_size) Addr.block_size
+    | None -> if !pending < 0 then pending := blk
   done;
+  flush last;
   Bytes.sub span (off - (first * Addr.block_size)) len
 
 let cached_write (m : Machine.t) sel pfn ~off data =
@@ -64,13 +81,18 @@ let cached_write (m : Machine.t) sel pfn ~off data =
     let encrypted = match sel with Memctrl.Plain -> false | Memctrl.Smek | Memctrl.Asid _ -> true in
     Memctrl.write m.ctrl sel pfn ~off data;
     (* Write-through: refresh plaintext lines for the fully covered blocks;
-       invalidate partially covered ones so stale plaintext cannot linger. *)
+       invalidate partially covered ones so stale plaintext cannot linger.
+       [Cache.fill] copies its argument, so one line buffer serves the whole
+       span. *)
+    let line_buf = Bytes.create Addr.block_size in
     let first = off / Addr.block_size in
     let last = (off + len - 1) / Addr.block_size in
     for blk = first to last do
       let blk_start = blk * Addr.block_size in
-      if encrypted && blk_start >= off && blk_start + Addr.block_size <= off + len then
-        Cache.fill m.cache pfn ~block:blk (Bytes.sub data (blk_start - off) Addr.block_size)
+      if encrypted && blk_start >= off && blk_start + Addr.block_size <= off + len then begin
+        Bytes.blit data (blk_start - off) line_buf 0 Addr.block_size;
+        Cache.fill m.cache pfn ~block:blk line_buf
+      end
       else
         match Cache.probe m.cache pfn ~block:blk with
         | Some _ ->

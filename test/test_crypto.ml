@@ -65,6 +65,61 @@ let test_aes_into_matches_alloc () =
   Aes.encrypt_block_into key ~src:pt ~src_off:0 ~dst ~dst_off:0;
   Alcotest.(check bool) "into = alloc" true (Bytes.equal dst (Aes.encrypt_block key pt))
 
+(* FIPS-197 Appendix A.1: key-expansion words for 2b7e1516...4f3c. Pins the
+   T-table schedule to the standard, not just to ciphertext test vectors. *)
+let test_aes_key_expansion_fips_a1 () =
+  let key = Aes.expand (unhex "2b7e151628aed2a6abf7158809cf4f3c") in
+  let w = Aes.schedule_words key in
+  Alcotest.(check int) "44 words" 44 (Array.length w);
+  let expect = [ (0, 0x2b7e1516); (1, 0x28aed2a6); (2, 0xabf71588); (3, 0x09cf4f3c);
+                 (4, 0xa0fafe17); (5, 0x88542cb1); (6, 0x23a33939); (7, 0x2a6c7605);
+                 (8, 0xf2c295f2); (20, 0xd4d1c6f8); (32, 0xead27321); (36, 0xac7766f3);
+                 (40, 0xd014f9a8); (41, 0xc9ee2589); (42, 0xe13f0cc8); (43, 0xb6630ca6) ] in
+  List.iter
+    (fun (i, v) ->
+      Alcotest.(check int) (Printf.sprintf "w[%d]" i) v w.(i))
+    expect
+
+(* FIPS-197 Appendix C.1 equivalent-inverse-cipher sanity: decrypting at an
+   offset inside a larger buffer (the memory-controller usage pattern). *)
+let test_aes_into_at_offset =
+  QCheck.Test.make ~name:"into variants honour offsets" ~count:200
+    (QCheck.triple
+       (QCheck.string_of_size (QCheck.Gen.return 16))
+       (QCheck.int_bound 40) (QCheck.int_bound 40))
+    (fun (k, src_off, dst_off) ->
+      let key = Aes.expand (Bytes.of_string k) in
+      let rng = Rng.create (Int64.of_int (src_off + (64 * dst_off))) in
+      let buf = Rng.bytes rng 64 in
+      let enc = Bytes.make 64 '\000' in
+      Aes.encrypt_block_into key ~src:buf ~src_off ~dst:enc ~dst_off;
+      let dec = Bytes.make 64 '\000' in
+      Aes.decrypt_block_into key ~src:enc ~src_off:dst_off ~dst:dec ~dst_off:src_off;
+      Bytes.equal (Bytes.sub dec src_off 16) (Bytes.sub buf src_off 16)
+      && Bytes.equal (Aes.decrypt_block key (Bytes.sub enc dst_off 16)) (Bytes.sub buf src_off 16))
+
+let test_aes_inplace () =
+  let rng = Rng.create 6L in
+  let key = Aes.expand (Rng.bytes rng 16) in
+  let pt = Rng.bytes rng 16 in
+  let buf = Bytes.copy pt in
+  Aes.encrypt_block_into key ~src:buf ~src_off:0 ~dst:buf ~dst_off:0;
+  Alcotest.(check bool) "in-place = out-of-place" true
+    (Bytes.equal buf (Aes.encrypt_block key pt));
+  Aes.decrypt_block_into key ~src:buf ~src_off:0 ~dst:buf ~dst_off:0;
+  Alcotest.(check bool) "in-place roundtrip" true (Bytes.equal buf pt)
+
+let test_aes_bad_range () =
+  let key = Aes.expand (Bytes.create 16) in
+  Alcotest.check_raises "src overrun" (Invalid_argument "Aes: src range out of bounds")
+    (fun () ->
+      Aes.encrypt_block_into key ~src:(Bytes.create 20) ~src_off:8 ~dst:(Bytes.create 16)
+        ~dst_off:0);
+  Alcotest.check_raises "dst overrun" (Invalid_argument "Aes: dst range out of bounds")
+    (fun () ->
+      Aes.encrypt_block_into key ~src:(Bytes.create 16) ~src_off:0 ~dst:(Bytes.create 20)
+        ~dst_off:8)
+
 (* --- SHA-256 (FIPS 180-4 vectors) --------------------------------------- *)
 
 let test_sha_vectors () =
@@ -185,6 +240,95 @@ let test_cbc_mac () =
   Alcotest.(check bool) "input-sensitive" false (Bytes.equal t1 t3);
   Alcotest.(check int) "tag is one block" 16 (Bytes.length (Modes.cbc_mac key (Bytes.create 0)))
 
+let test_cbc_mac_zero_pad_equiv =
+  QCheck.Test.make ~name:"CBC-MAC of data = MAC of zero-padded data" ~count:100
+    QCheck.string
+    (fun s ->
+      QCheck.assume (String.length s > 0);
+      let key = Aes.expand (Bytes.make 16 'm') in
+      let data = Bytes.of_string s in
+      let n = Bytes.length data in
+      let padded = Bytes.make ((n + 15) / 16 * 16) '\000' in
+      Bytes.blit data 0 padded 0 n;
+      Bytes.equal (Modes.cbc_mac key data) (Modes.cbc_mac key padded))
+
+(* Span calls must be bit-identical to a loop of per-block xex_*_into calls
+   with tweak_i = tweak0 + i * tweak_step -- this is the equivalence the
+   memory controller relies on when it hands whole spans to the crypto layer. *)
+let test_xex_span_equals_blocks =
+  QCheck.Test.make ~name:"XEX span = per-block loop (random len/offset/step)" ~count:200
+    (QCheck.quad
+       (QCheck.string_of_size (QCheck.Gen.return 16))
+       (QCheck.int_bound 15) (QCheck.int_bound 31) QCheck.int64)
+    (fun (k, nblocks, off, tweak0) ->
+      let nblocks = nblocks + 1 in
+      let len = nblocks * 16 in
+      let key = Aes.expand (Bytes.of_string k) in
+      let tweak_step = 16L in
+      let rng = Rng.create (Int64.add tweak0 (Int64.of_int off)) in
+      let src = Rng.bytes rng (off + len + 7) in
+      let span = Bytes.make (Bytes.length src) '\000' in
+      Modes.xex_encrypt_span key ~tweak0 ~tweak_step ~src ~src_off:off ~dst:span ~dst_off:off
+        ~len;
+      let manual = Bytes.copy src in
+      for b = 0 to nblocks - 1 do
+        let tweak = Int64.add tweak0 (Int64.mul tweak_step (Int64.of_int b)) in
+        Modes.xex_encrypt_into key ~tweak ~src ~src_off:(off + (16 * b)) ~dst:manual
+          ~dst_off:(off + (16 * b)) ~len:16
+      done;
+      Bytes.equal (Bytes.sub span off len) (Bytes.sub manual off len)
+      &&
+      (* and the decrypt span inverts it in place *)
+      let back = Bytes.copy span in
+      Modes.xex_decrypt_span key ~tweak0 ~tweak_step ~src:back ~src_off:off ~dst:back
+        ~dst_off:off ~len;
+      Bytes.equal (Bytes.sub back off len) (Bytes.sub src off len))
+
+let test_xex_span_step_one_matches_into =
+  QCheck.Test.make ~name:"XEX span with step 1 = xex_*_into" ~count:100
+    (QCheck.pair (QCheck.string_of_size (QCheck.Gen.return 16)) QCheck.int64)
+    (fun (k, tweak) ->
+      let key = Aes.expand (Bytes.of_string k) in
+      let rng = Rng.create tweak in
+      let src = Rng.bytes rng 64 in
+      let a = Bytes.make 64 '\000' and b = Bytes.make 64 '\000' in
+      Modes.xex_encrypt_span key ~tweak0:tweak ~tweak_step:1L ~src ~src_off:0 ~dst:a
+        ~dst_off:0 ~len:64;
+      Modes.xex_encrypt_into key ~tweak ~src ~src_off:0 ~dst:b ~dst_off:0 ~len:64;
+      Bytes.equal a b)
+
+let test_ctr_random_lengths =
+  QCheck.Test.make ~name:"CTR roundtrip over random lengths" ~count:100
+    (QCheck.pair (QCheck.string_of_size QCheck.Gen.small_nat) QCheck.int64)
+    (fun (p, nonce) ->
+      let key = Aes.expand (Bytes.make 16 'c') in
+      let pt = Bytes.of_string p in
+      Bytes.equal (Modes.ctr_transform key ~nonce (Modes.ctr_transform key ~nonce pt)) pt)
+
+(* Golden digests captured from the seed (pre-T-table) implementation: any
+   drift in ciphertext bits across the rewrite fails these. *)
+let golden_key () = Aes.expand (unhex "000102030405060708090a0b0c0d0e0f")
+
+let golden_page () = Bytes.init 4096 (fun i -> Char.chr ((i * 7 + 3) land 0xff))
+
+let test_golden_xex_page () =
+  let ct = Modes.xex_encrypt (golden_key ()) ~tweak:0x40L (golden_page ()) in
+  check_hex "XEX page digest" "1e91d6ec9633bfbe5eeaebdd40436a81156eca32ea8ca50945602ee573f3fb60"
+    (Sha256.digest ct)
+
+let test_golden_ctr () =
+  let ct =
+    Modes.ctr_transform (golden_key ()) ~nonce:0x1234L (Bytes.sub (golden_page ()) 0 1000)
+  in
+  check_hex "CTR digest" "06e7cd77daad655e9ea415a5ba08e0621f7829ce9befd92c8a046dc0b8cbe277"
+    (Sha256.digest ct)
+
+let test_golden_cbc_mac () =
+  check_hex "CBC-MAC short" "a3a5fcf64804dbb99b2781aebfe338c9"
+    (Modes.cbc_mac (golden_key ()) (Bytes.of_string "hello"));
+  check_hex "CBC-MAC long" "a06c7d531922c5e423e09b141aa9abbf"
+    (Modes.cbc_mac (golden_key ()) (Bytes.sub (golden_page ()) 0 1000))
+
 (* --- DH ------------------------------------------------------------------ *)
 
 let test_dh_agreement =
@@ -299,6 +443,10 @@ let () =
           Alcotest.test_case "FIPS appendix B" `Quick test_aes_appendix_b;
           Alcotest.test_case "size validation" `Quick test_aes_wrong_sizes;
           Alcotest.test_case "into variant" `Quick test_aes_into_matches_alloc;
+          Alcotest.test_case "FIPS A.1 key expansion" `Quick test_aes_key_expansion_fips_a1;
+          Alcotest.test_case "in-place block ops" `Quick test_aes_inplace;
+          Alcotest.test_case "range validation" `Quick test_aes_bad_range;
+          prop test_aes_into_at_offset;
           prop test_aes_roundtrip_prop;
           prop test_aes_key_sensitivity ] );
       ( "sha256",
@@ -316,7 +464,15 @@ let () =
           prop test_xex_roundtrip;
           Alcotest.test_case "XEX relocation garbles" `Quick test_xex_relocation_garbles;
           Alcotest.test_case "XEX length check" `Quick test_xex_bad_length;
-          Alcotest.test_case "CBC-MAC" `Quick test_cbc_mac ] );
+          Alcotest.test_case "CBC-MAC" `Quick test_cbc_mac;
+          prop test_cbc_mac_zero_pad_equiv;
+          prop test_xex_span_equals_blocks;
+          prop test_xex_span_step_one_matches_into;
+          prop test_ctr_random_lengths ] );
+      ( "golden",
+        [ Alcotest.test_case "XEX page ciphertext" `Quick test_golden_xex_page;
+          Alcotest.test_case "CTR keystream" `Quick test_golden_ctr;
+          Alcotest.test_case "CBC-MAC tags" `Quick test_golden_cbc_mac ] );
       ( "dh",
         [ prop test_dh_agreement;
           prop test_dh_public_in_group;

@@ -14,6 +14,7 @@ module Insn = Hw.Insn
 module Machine = Hw.Machine
 module Mmu = Hw.Mmu
 module Rng = Fidelius_crypto.Rng
+module Sha256 = Fidelius_crypto.Sha256
 
 let machine () = Machine.create ~nr_frames:256 ~seed:31L ()
 
@@ -188,6 +189,33 @@ let test_memctrl_charges () =
   ignore (Memctrl.read ctrl (Memctrl.Asid 1) 1 ~off:0 ~len:16);
   let enc_cost = Cost.total ledger - before in
   Alcotest.(check bool) "encrypted access costs more" true (enc_cost > plain_cost)
+
+(* Golden ciphertext regression: digests and ledger total captured from the
+   seed (pre-T-table) memory controller. Catches any drift in per-block
+   tweak derivation, XEX masking, or cost accounting across crypto rewrites. *)
+let test_memctrl_golden () =
+  let unhex s =
+    let n = String.length s / 2 in
+    Bytes.init n (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+  in
+  let plain = Bytes.init Addr.page_size (fun i -> Char.chr ((i * 7 + 3) land 0xff)) in
+  let rawkey = unhex "000102030405060708090a0b0c0d0e0f" in
+  let mem = Physmem.create ~nr_frames:8 in
+  let ledger = Cost.ledger () in
+  let ctrl = Memctrl.create mem ledger (Rng.create 42L) in
+  Memctrl.fw_write_page ctrl ~key:rawkey 3 plain;
+  Alcotest.(check string) "fw page ciphertext digest"
+    "edb5dd45e8f29a2878a68c7093c8e5ed847e85fbdd8464b72cbaf42f7e3ca8d6"
+    (Sha256.hex (Sha256.digest (Physmem.dump mem 3)));
+  Memctrl.install_key ctrl ~asid:1 rawkey;
+  Memctrl.write ctrl (Memctrl.Asid 1) 4 ~off:60 (Bytes.sub plain 0 100);
+  Alcotest.(check string) "unaligned slot write digest"
+    "4f85a1bca320771b853f6b0360a23a880925194d10ae13a83b14e22465586cf7"
+    (Sha256.hex (Sha256.digest (Physmem.dump mem 4)));
+  Alcotest.(check bool) "readback matches" true
+    (Bytes.equal (Memctrl.read ctrl (Memctrl.Asid 1) 4 ~off:60 ~len:100)
+       (Bytes.sub plain 0 100));
+  Alcotest.(check int) "ledger total unchanged" 54000 (Cost.total ledger)
 
 (* --- TLB ---------------------------------------------------------------------- *)
 
@@ -580,7 +608,8 @@ let () =
           prop test_memctrl_partial_rmw;
           Alcotest.test_case "reencrypt/copy" `Quick test_memctrl_reencrypt_and_copy;
           Alcotest.test_case "fw/slot agreement" `Quick test_memctrl_fw_matches_slot;
-          Alcotest.test_case "cost charging" `Quick test_memctrl_charges ] );
+          Alcotest.test_case "cost charging" `Quick test_memctrl_charges;
+          Alcotest.test_case "golden page digests" `Quick test_memctrl_golden ] );
       ("tlb", [ Alcotest.test_case "lookup/flush" `Quick test_tlb ]);
       ( "cache",
         [ Alcotest.test_case "fill/probe" `Quick test_cache_fill_probe;
