@@ -4,6 +4,7 @@
      fidelius_sim attacks [--id X]  security matrix (or one attack)
      fidelius_sim xsa               quantitative XSA analysis
      fidelius_sim bench SUITE       workload overheads (spec|parsec|fio)
+     fidelius_sim trace demo        record an event trace of a scenario
      fidelius_sim inspect           post-install system inventory *)
 
 module Hw = Fidelius_hw
@@ -14,6 +15,7 @@ module Fid = Core.Fidelius
 module W = Fidelius_workloads
 module Attacks = Fidelius_attacks
 module Xsa = Fidelius_xsa
+module Obs = Fidelius_obs
 module Rng = Fidelius_crypto.Rng
 open Cmdliner
 
@@ -21,11 +23,12 @@ let seed_arg =
   let doc = "Deterministic seed for the simulated platform." in
   Arg.(value & opt int64 2026L & info [ "seed" ] ~docv:"SEED" ~doc)
 
-let stack seed =
-  let machine = Hw.Machine.create ~seed () in
+let stack_on machine =
   let hv = Xen.Hypervisor.boot machine in
   let fid = Fid.install hv in
   (machine, hv, fid)
+
+let stack seed = stack_on (Hw.Machine.create ~seed ())
 
 let boot_guest fid name pages =
   let rng = Rng.create 77L in
@@ -40,28 +43,38 @@ let boot_guest fid name pages =
 
 (* --- demo ------------------------------------------------------------------ *)
 
-let demo seed =
-  let machine, hv, fid = stack seed in
-  Printf.printf "platform up: %d frames of DRAM, SEV firmware initialized\n"
+(* The demo scenario doubles as the trace recording workload, so the
+   narration is routed through [say] and muted under [quiet]. *)
+let run_demo_scenario ?(quiet = false) machine =
+  let say fmt = if quiet then Printf.ifprintf stdout fmt else Printf.printf fmt in
+  let mark label = if !Obs.Trace.on then Obs.Trace.emit (Obs.Trace.Mark label) in
+  let machine, hv, fid = stack_on machine in
+  say "platform up: %d frames of DRAM, SEV firmware initialized\n"
     (Hw.Physmem.nr_frames machine.Hw.Machine.mem);
+  mark "platform-up";
   let dom = boot_guest fid "demo-tenant" 24 in
-  Printf.printf "protected guest dom%d booted from encrypted image\n" dom.Xen.Domain.domid;
+  say "protected guest dom%d booted from encrypted image\n" dom.Xen.Domain.domid;
+  mark "guest-booted";
   Xen.Hypervisor.in_guest hv dom (fun () ->
       Xen.Domain.write machine dom ~addr:0x5000 (Bytes.of_string "demo secret"));
   (match Hw.Pagetable.lookup dom.Xen.Domain.npt 5 with
   | Some npte -> (
       try
         ignore (Xen.Hypervisor.host_read hv npte.Hw.Pagetable.frame ~off:0 ~len:11);
-        print_endline "hypervisor read the secret (!!)"
-      with Hw.Mmu.Fault _ -> print_endline "hypervisor denied access to guest memory")
+        say "hypervisor read the secret (!!)\n"
+      with Hw.Mmu.Fault _ -> say "hypervisor denied access to guest memory\n")
   | None -> ());
   ignore (Xen.Hypervisor.hypercall hv dom (Xen.Hypercall.Console_write "hello from the tenant"));
-  Printf.printf "guest console: %S\n" (Xen.Hypervisor.console hv dom.Xen.Domain.domid);
-  print_newline ();
-  print_string (Fid.attestation_report fid);
+  say "guest console: %S\n" (Xen.Hypervisor.console hv dom.Xen.Domain.domid);
+  say "\n";
+  say "%s" (Fid.attestation_report fid);
   let ve, npf = Xen.Hypervisor.stats hv in
-  Printf.printf "vmexits=%d nested-page-faults=%d total-cycles=%d\n" ve npf
+  say "vmexits=%d nested-page-faults=%d total-cycles=%d\n" ve npf
     (Hw.Cost.total machine.Hw.Machine.ledger);
+  mark "scenario-done"
+
+let demo seed =
+  run_demo_scenario (Hw.Machine.create ~seed ());
   `Ok ()
 
 let demo_cmd =
@@ -72,9 +85,17 @@ let demo_cmd =
 
 let attacks id seed =
   match id with
-  | None ->
-      Format.printf "%a@." Attacks.Runner.pp_table (Attacks.Runner.run_all ~seed ());
-      `Ok ()
+  | None -> (
+      let rows = Attacks.Runner.run_all ~seed () in
+      Format.printf "%a@." Attacks.Runner.pp_table rows;
+      match Attacks.Runner.errors rows with
+      | [] -> `Ok ()
+      | errs ->
+          List.iter
+            (fun (id, stack, msg) ->
+              Printf.eprintf "harness error: %s on %s: %s\n" id stack msg)
+            errs;
+          `Error (false, Printf.sprintf "%d attack run(s) errored" (List.length errs)))
   | Some id -> (
       match Attacks.Suite.find id with
       | None ->
@@ -125,22 +146,42 @@ let xsa_cmd =
 
 (* --- bench ------------------------------------------------------------------- *)
 
-let bench suite =
+let pp_counts label counts =
+  Printf.printf "    %-12s %s\n" label
+    (String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) counts))
+
+let bench suite breakdown =
   (match suite with
   | "spec" | "parsec" ->
       let profiles = if suite = "spec" then W.Spec2006.all else W.Parsec.all in
       Printf.printf "%-15s %12s %16s\n" "benchmark" "Fidelius" "Fidelius-enc";
-      let rows = W.Engine.run_suite profiles in
+      (* Same three runs [Engine.run_suite] performs, kept by hand so the
+         per-run ledgers are available for --breakdown. *)
+      let rows =
+        List.map
+          (fun p ->
+            let base = W.Engine.run p W.Engine.Xen_baseline in
+            let fid = W.Engine.run p W.Engine.Fidelius in
+            let enc = W.Engine.run p W.Engine.Fidelius_enc in
+            (p, W.Engine.overhead_pct ~base fid, W.Engine.overhead_pct ~base enc, enc))
+          profiles
+      in
       let n = float_of_int (List.length rows) in
       let sf, se =
         List.fold_left
-          (fun (a, b) (p, f, e) ->
+          (fun (a, b) (p, f, e, enc) ->
             Printf.printf "%-15s %+11.2f%% %+15.2f%%\n" p.W.Profile.name f e;
+            if breakdown then begin
+              pp_counts "cycles:" enc.W.Engine.breakdown;
+              pp_counts "scopes:" enc.W.Engine.attribution
+            end;
             (a +. f, b +. e))
           (0.0, 0.0) rows
       in
       Printf.printf "%-15s %+11.2f%% %+15.2f%%\n" "AVERAGE" (sf /. n) (se /. n)
   | "fio" ->
+      if breakdown then
+        prerr_endline "note: --breakdown applies to the sampled suites (spec|parsec) only";
       Printf.printf "%-12s %14s %16s %10s\n" "operation" "Xen" "Fidelius" "slowdown";
       List.iter
         (fun r ->
@@ -155,8 +196,123 @@ let bench_cmd =
   let suite =
     Arg.(value & pos 0 string "spec" & info [] ~docv:"SUITE" ~doc:"spec, parsec or fio.")
   in
-  let term = Term.(ret (const bench $ suite)) in
+  let breakdown =
+    Arg.(
+      value & flag
+      & info [ "breakdown" ]
+          ~doc:"After each row, print the Fidelius-enc run's ledger categories and per-scope attribution.")
+  in
+  let term = Term.(ret (const bench $ suite $ breakdown)) in
   Cmd.v (Cmd.info "bench" ~doc:"Workload overheads (Figures 5/6, Table 3)") term
+
+(* --- trace -------------------------------------------------------------------- *)
+
+let sum_counts counts = List.fold_left (fun acc (_, v) -> acc + v) 0 counts
+
+(* Self-check the exported artifact: reparse it with the library's own
+   parser and re-verify the attribution invariant from the parsed bytes,
+   so a formatting or attribution bug fails the command (and the
+   trace-smoke alias) rather than producing a silently broken file. *)
+let validate_chrome content ~total =
+  match Obs.Json.parse content with
+  | exception Obs.Json.Parse_error e -> Error ("output is not valid JSON: " ^ e)
+  | json -> (
+      match Obs.Json.member "traceEvents" json with
+      | Some (Obs.Json.Arr (_ :: _ as events)) -> (
+          let other = Obs.Json.member "otherData" json in
+          let att =
+            Option.bind other (fun o -> Obs.Json.member "attribution" o)
+          in
+          match att with
+          | Some (Obs.Json.Obj fields) ->
+              let s =
+                List.fold_left
+                  (fun acc (_, v) ->
+                    match v with Obs.Json.Int n -> acc + n | _ -> acc)
+                  0 fields
+              in
+              if s <> total then
+                Error
+                  (Printf.sprintf "attribution sums to %d, ledger total is %d" s total)
+              else Ok (List.length events)
+          | _ -> Error "otherData.attribution missing")
+      | _ -> Error "traceEvents missing or empty")
+
+let validate_jsonl content =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' content)
+  in
+  if lines = [] then Error "no events recorded"
+  else
+    let rec check n = function
+      | [] -> Ok n
+      | l :: rest -> (
+          match Obs.Json.parse l with
+          | exception Obs.Json.Parse_error e ->
+              Error (Printf.sprintf "line %d is not valid JSON: %s" (n + 1) e)
+          | json ->
+              if Obs.Json.member "seq" json = None || Obs.Json.member "name" json = None
+              then Error (Printf.sprintf "line %d lacks seq/name" (n + 1))
+              else check (n + 1) rest)
+    in
+    check 0 lines
+
+let trace scenario out format seed =
+  match scenario with
+  | "demo" -> (
+      let machine = Hw.Machine.create ~seed () in
+      let ledger = machine.Hw.Machine.ledger in
+      Obs.Trace.enable ~clock:(fun () -> Hw.Cost.total ledger) ();
+      run_demo_scenario ~quiet:true machine;
+      Obs.Trace.disable ();
+      let attribution = Hw.Cost.scopes ledger in
+      let total = Hw.Cost.total ledger in
+      let content, validation =
+        match format with
+        | "chrome" ->
+            let c =
+              Obs.Json.to_string (Obs.Trace.to_chrome ~attribution ~total_cycles:total ())
+              ^ "\n"
+            in
+            (c, validate_chrome c ~total)
+        | "jsonl" ->
+            let c = Obs.Trace.to_jsonl () in
+            (c, validate_jsonl c)
+        | other -> ("", Error (Printf.sprintf "unknown format %S (chrome|jsonl)" other))
+      in
+      match validation with
+      | Error e -> `Error (false, "trace: " ^ e)
+      | Ok events ->
+          let dir = Filename.dirname out in
+          if dir <> "." && dir <> "" && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          Out_channel.with_open_bin out (fun oc -> output_string oc content);
+          Printf.printf
+            "trace: %d events recorded (%d dropped), %d cycles attributed across %d scopes -> %s\n"
+            events (Obs.Trace.dropped ()) (sum_counts attribution)
+            (List.length attribution) out;
+          `Ok ())
+  | other -> `Error (false, Printf.sprintf "unknown scenario %S (only: demo)" other)
+
+let trace_cmd =
+  let scenario =
+    Arg.(value & pos 0 string "demo" & info [] ~docv:"SCENARIO" ~doc:"Scenario to record (demo).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string (Filename.concat "results" "trace.json")
+      & info [ "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let format =
+    Arg.(
+      value & opt string "chrome"
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"chrome (trace_event JSON for about://tracing) or jsonl (one event per line).")
+  in
+  let term = Term.(ret (const trace $ scenario $ out $ format $ seed_arg)) in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Record a structured event trace of a scenario with cycle attribution")
+    term
 
 (* --- inspect ------------------------------------------------------------------ *)
 
@@ -224,6 +380,6 @@ let quote_cmd =
 let main_cmd =
   let doc = "Fidelius: comprehensive VM protection against an untrusted hypervisor (HPCA'18), simulated" in
   Cmd.group (Cmd.info "fidelius_sim" ~version:"1.0.0" ~doc)
-    [ demo_cmd; attacks_cmd; xsa_cmd; bench_cmd; inspect_cmd; quote_cmd ]
+    [ demo_cmd; attacks_cmd; xsa_cmd; bench_cmd; trace_cmd; inspect_cmd; quote_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -5,13 +5,18 @@ type row = {
   fidelius : Surface.outcome;
 }
 
+(* Only exceptions that model a defense mechanism turning the attacker
+   away count as [Blocked]. Anything else — [Failure], [Invalid_argument],
+   a programming error in an attack — is a harness fault and must surface
+   as [Errored]: mapping it to [Blocked] would count simulator crashes as
+   successful defenses. *)
 let guard f =
   try f ()
   with
-  | Failure m -> Surface.Blocked ("aborted: " ^ m)
+  | Fidelius_hw.Denial.Denied m -> Surface.Blocked m
   | Fidelius_xen.Hypervisor.Npf_unresolved m -> Surface.Blocked ("NPF handler refused: " ^ m)
   | Fidelius_hw.Mmu.Fault { reason; _ } -> Surface.Blocked ("page fault: " ^ reason)
-  | Invalid_argument m -> Surface.Blocked ("hardware refused: " ^ m)
+  | e -> Surface.Errored (Printexc.to_string e)
 
 let run_one ?(seed = 2024L) attack =
   let base_stack = Env.baseline ~seed in
@@ -24,6 +29,15 @@ let run_one ?(seed = 2024L) attack =
 
 let run_all ?(seed = 2024L) () =
   List.mapi (fun i a -> run_one ~seed:(Int64.add seed (Int64.of_int (i * 10))) a) Suite.all
+
+let errors rows =
+  List.concat_map
+    (fun r ->
+      List.filter_map
+        (fun (stack, o) ->
+          match o with Surface.Errored m -> Some (r.attack.Surface.id, stack, m) | _ -> None)
+        [ ("baseline", r.baseline); ("sev-es", r.sev_es); ("fidelius", r.fidelius) ])
+    rows
 
 let summary rows =
   let total = List.length rows in

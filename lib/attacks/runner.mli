@@ -13,6 +13,11 @@ val run_all : ?seed:int64 -> unit -> row list
 
 val run_one : ?seed:int64 -> Surface.attack -> row
 
+val errors : row list -> (string * string * string) list
+(** [(attack id, stack name, message)] for every {!Surface.Errored}
+    outcome on any stack. Non-empty means the harness itself broke — the
+    suite must treat that as a failure, never as a defense. *)
+
 val summary : row list -> int * int * int
 (** (attacks total, defended under Fidelius, undefended under baseline). *)
 

@@ -3,16 +3,18 @@ type outcome =
   | Tampered of string
   | Degraded of string
   | Blocked of string
+  | Errored of string
 
 let outcome_to_string = function
   | Leaked m -> "LEAKED: " ^ m
   | Tampered m -> "TAMPERED: " ^ m
   | Degraded m -> "degraded: " ^ m
   | Blocked m -> "blocked: " ^ m
+  | Errored m -> "ERRORED: " ^ m
 
 let is_defended = function
   | Blocked _ | Degraded _ -> true
-  | Leaked _ | Tampered _ -> false
+  | Leaked _ | Tampered _ | Errored _ -> false
 
 type stack = {
   machine : Fidelius_hw.Machine.t;

@@ -16,11 +16,15 @@ type outcome =
           hardware encryption held even though the software let it through *)
   | Blocked of string
       (** the mechanism that stopped it, with the denial reason *)
+  | Errored of string
+      (** the simulator itself failed — NOT a defense. A crash used to be
+          indistinguishable from a block, which silently inflated the
+          defended count; [Errored] keeps harness bugs visible. *)
 
 val outcome_to_string : outcome -> string
 
 val is_defended : outcome -> bool
-(** [Blocked] and [Degraded] count as defended. *)
+(** [Blocked] and [Degraded] count as defended; [Errored] does not. *)
 
 type stack = {
   machine : Fidelius_hw.Machine.t;

@@ -1,6 +1,7 @@
 module Hw = Fidelius_hw
 module Vmcb = Hw.Vmcb
 module Cpu = Hw.Cpu
+module Trace = Fidelius_obs.Trace
 
 let visible_regs = function
   | Vmcb.Cpuid -> [ Cpu.Rax; Cpu.Rbx; Cpu.Rcx; Cpu.Rdx ]
@@ -69,6 +70,8 @@ let capture t machine vmcb reason =
   Bytes.set_int64_be bytes exit_off (Vmcb.exit_reason_to_int64 reason);
   Bytes.set bytes flag_off '\001';
   t.captured <- Some reason;
+  if !Trace.on then
+    Trace.emit (Trace.Shadow_capture (Vmcb.exit_reason_to_string reason));
   (* Mask: zero the save area except the reason's visible fields, and zero
      every register the hypervisor has no business reading. *)
   let vis_f = visible_fields reason and vis_r = visible_regs reason in
@@ -100,11 +103,13 @@ let verify_and_restore t machine vmcb =
       in
       (match tampered with
       | Some f ->
+          if !Trace.on then Trace.emit (Trace.Shadow_verify { ok = false });
           Error
             (Printf.sprintf "shadow: VMCB field %s tampered during %s exit"
                (Vmcb.field_to_string f)
                (Vmcb.exit_reason_to_string reason))
       | None ->
+          if !Trace.on then Trace.emit (Trace.Shadow_verify { ok = true });
           (* Restore: non-updatable fields and registers come back from the
              shadow; the hypervisor's updates to the allowed set stand. *)
           let upd_r = updatable_regs reason in

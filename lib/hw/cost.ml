@@ -1,3 +1,5 @@
+module Trace = Fidelius_obs.Trace
+
 type table = {
   dram_access : int;
   enc_extra : int;
@@ -76,28 +78,110 @@ let default = {
 type ledger = {
   mutable cycles : int;
   by_category : (string, int ref) Hashtbl.t;
+  mutable scope_stack : string list;  (* innermost first *)
+  by_scope : (string, int ref) Hashtbl.t;
+  by_scope_category : (string, (string, int ref) Hashtbl.t) Hashtbl.t;
 }
 
-let ledger () = { cycles = 0; by_category = Hashtbl.create 32 }
+let root_scope = "(root)"
+
+let ledger () =
+  { cycles = 0;
+    by_category = Hashtbl.create 32;
+    scope_stack = [];
+    by_scope = Hashtbl.create 8;
+    by_scope_category = Hashtbl.create 8 }
+
+let bump tbl key n =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add tbl key (ref n)
 
 let charge l cat n =
+  if n < 0 then
+    invalid_arg (Printf.sprintf "Cost.charge: negative charge %d to %S" n cat);
   l.cycles <- l.cycles + n;
-  match Hashtbl.find_opt l.by_category cat with
-  | Some r -> r := !r + n
-  | None -> Hashtbl.add l.by_category cat (ref n)
+  bump l.by_category cat n;
+  (* Book to the innermost active scope only: scope totals (plus the
+     implicit root remainder) then partition the global total exactly. *)
+  match l.scope_stack with
+  | [] -> ()
+  | scope :: _ ->
+      bump l.by_scope scope n;
+      let cats =
+        match Hashtbl.find_opt l.by_scope_category scope with
+        | Some h -> h
+        | None ->
+            let h = Hashtbl.create 8 in
+            Hashtbl.add l.by_scope_category scope h;
+            h
+      in
+      bump cats cat n
+
+let with_scope l scope f =
+  if scope = root_scope then invalid_arg "Cost.with_scope: (root) is reserved";
+  l.scope_stack <- scope :: l.scope_stack;
+  if !Trace.on then Trace.push_scope scope;
+  Fun.protect
+    ~finally:(fun () ->
+      (match l.scope_stack with [] -> () | _ :: rest -> l.scope_stack <- rest);
+      if !Trace.on then Trace.pop_scope ())
+    f
 
 let total l = l.cycles
 
 let category l cat =
   match Hashtbl.find_opt l.by_category cat with Some r -> !r | None -> 0
 
+(* Descending by cycles; ties broken on the label so the order never
+   depends on hash-table iteration. *)
+let sort_counts counts =
+  List.sort
+    (fun (ka, a) (kb, b) -> if a <> b then compare b a else compare ka kb)
+    counts
+
 let categories l =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) l.by_category []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  sort_counts (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) l.by_category [])
+
+let scoped_sum l = Hashtbl.fold (fun _ r acc -> acc + !r) l.by_scope 0
+
+let scopes l =
+  let named = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) l.by_scope [] in
+  let rest = l.cycles - scoped_sum l in
+  let all = if rest > 0 || named = [] then (root_scope, rest) :: named else named in
+  sort_counts all
+
+let scope_total l scope =
+  if scope = root_scope then l.cycles - scoped_sum l
+  else match Hashtbl.find_opt l.by_scope scope with Some r -> !r | None -> 0
+
+let scope_categories l scope =
+  if scope = root_scope then begin
+    (* Whatever of each category is not accounted to a named scope. *)
+    let residue = Hashtbl.create 32 in
+    Hashtbl.iter (fun k r -> Hashtbl.replace residue k !r) l.by_category;
+    Hashtbl.iter
+      (fun _ cats ->
+        Hashtbl.iter
+          (fun k r ->
+            match Hashtbl.find_opt residue k with
+            | Some v -> Hashtbl.replace residue k (v - !r)
+            | None -> ())
+          cats)
+      l.by_scope_category;
+    sort_counts
+      (Hashtbl.fold (fun k v acc -> if v > 0 then (k, v) :: acc else acc) residue [])
+  end
+  else
+    match Hashtbl.find_opt l.by_scope_category scope with
+    | None -> []
+    | Some cats -> sort_counts (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) cats [])
 
 let reset l =
   l.cycles <- 0;
-  Hashtbl.reset l.by_category
+  Hashtbl.reset l.by_category;
+  Hashtbl.reset l.by_scope;
+  Hashtbl.reset l.by_scope_category
 
 let snapshot = total
 

@@ -54,7 +54,21 @@ type ledger
 val ledger : unit -> ledger
 
 val charge : ledger -> string -> int -> unit
-(** [charge l category cycles] adds to the total and the category. *)
+(** [charge l category cycles] adds to the total, the category, and (when a
+    scope is active) the innermost scope. Negative amounts would corrupt
+    the attribution invariants and raise [Invalid_argument]. *)
+
+val root_scope : string
+(** ["(root)"] — the implicit scope owning every cycle charged outside any
+    [with_scope]. Reserved: passing it to {!with_scope} raises. *)
+
+val with_scope : ledger -> string -> (unit -> 'a) -> 'a
+(** [with_scope l "dom3" f] runs [f] with ["dom3"] as the innermost
+    attribution scope: every charge inside is booked both globally and to
+    that scope (and mirrored to the event trace's scope tag). Scopes nest;
+    a charge is attributed to the innermost only, so
+    [sum (scopes l) = total l] holds at all times. The scope is popped on
+    exceptions too. *)
 
 val total : ledger -> int
 
@@ -62,7 +76,20 @@ val category : ledger -> string -> int
 (** 0 when the category was never charged. *)
 
 val categories : ledger -> (string * int) list
-(** Sorted by descending cycles. *)
+(** Sorted by descending cycles; ties broken on the category name so the
+    listing is deterministic. *)
+
+val scopes : ledger -> (string * int) list
+(** Per-scope cycle attribution, including the {!root_scope} remainder;
+    entries sum exactly to {!total}. Sorted like {!categories}. *)
+
+val scope_total : ledger -> string -> int
+(** 0 for scopes never charged; for {!root_scope}, the unattributed
+    remainder. *)
+
+val scope_categories : ledger -> string -> (string * int) list
+(** Category breakdown within one scope (for {!root_scope}: the residue of
+    each category not booked to any named scope). *)
 
 val reset : ledger -> unit
 

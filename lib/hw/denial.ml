@@ -1,0 +1,3 @@
+exception Denied of string
+
+let deny fmt = Printf.ksprintf (fun m -> raise (Denied m)) fmt

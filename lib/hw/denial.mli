@@ -1,0 +1,14 @@
+(** Dedicated exception for *intentional* security denials.
+
+    The attack runner must be able to tell a defense mechanism refusing an
+    operation apart from the simulator crashing: both used to surface as
+    bare [Failure]/[Invalid_argument], so a bug in the model could
+    masquerade as a successful defense (the misclassification SEVurity
+    exploits in real SEV evaluations). Defense sites that abort by
+    exception raise {!Denied}; everything else reaching the runner is
+    reported as an [Errored] outcome and fails the suite. *)
+
+exception Denied of string
+
+val deny : ('a, unit, string, 'b) format4 -> 'a
+(** [deny fmt ...] raises {!Denied} with the formatted reason. *)

@@ -1,6 +1,7 @@
 module Aes = Fidelius_crypto.Aes
 module Modes = Fidelius_crypto.Modes
 module Rng = Fidelius_crypto.Rng
+module Trace = Fidelius_obs.Trace
 
 type selector =
   | Plain
@@ -66,7 +67,8 @@ let tweak_step = Int64.of_int Addr.block_size
 
 let charge_blocks t ~encrypted nblocks =
   Cost.charge t.ledger "dram" (t.costs.Cost.dram_access * nblocks);
-  if encrypted then Cost.charge t.ledger "enc-engine" (t.costs.Cost.enc_extra * nblocks)
+  if encrypted then Cost.charge t.ledger "enc-engine" (t.costs.Cost.enc_extra * nblocks);
+  if !Trace.on then Trace.emit (Trace.Dram { blocks = nblocks; encrypted })
 
 let block_range off len =
   let first = off / Addr.block_size in
@@ -133,7 +135,9 @@ let copy_page t ~src_sel ~src ~dst_sel ~dst =
 
 let fw_charge t =
   Cost.charge t.ledger "enc-engine"
-    ((t.costs.Cost.dram_access + t.costs.Cost.enc_extra) * Addr.blocks_per_page)
+    ((t.costs.Cost.dram_access + t.costs.Cost.enc_extra) * Addr.blocks_per_page);
+  if !Trace.on then
+    Trace.emit (Trace.Dram { blocks = Addr.blocks_per_page; encrypted = true })
 
 let fw_write_page t ~key pfn plain =
   if Bytes.length plain <> Addr.page_size then

@@ -1,3 +1,5 @@
+module Trace = Fidelius_obs.Trace
+
 type t = {
   cached : (int * Addr.vfn, unit) Hashtbl.t;
   ledger : Cost.ledger;
@@ -16,18 +18,21 @@ let lookup t ~space_id vfn =
   end
   else begin
     Cost.charge t.ledger "tlb-miss" t.costs.Cost.tlb_miss_walk;
+    if !Trace.on then Trace.emit (Trace.Walk { space = space_id; vfn });
     Hashtbl.replace t.cached key ();
     false
   end
 
 let flush_entry t ~space_id vfn =
   Hashtbl.remove t.cached (space_id, vfn);
-  Cost.charge t.ledger "tlb-flush" t.costs.Cost.tlb_flush_entry
+  Cost.charge t.ledger "tlb-flush" t.costs.Cost.tlb_flush_entry;
+  if !Trace.on then Trace.emit (Trace.Tlb_flush { full = false })
 
 let flush_all t =
   Hashtbl.reset t.cached;
   t.full_flushes <- t.full_flushes + 1;
-  Cost.charge t.ledger "tlb-flush" t.costs.Cost.tlb_flush_full
+  Cost.charge t.ledger "tlb-flush" t.costs.Cost.tlb_flush_full;
+  if !Trace.on then Trace.emit (Trace.Tlb_flush { full = true })
 
 let entries t = Hashtbl.length t.cached
 let flushes t = t.full_flushes

@@ -1,0 +1,167 @@
+type event =
+  | Vmrun of { domid : int }
+  | Vmexit of { domid : int; reason : string }
+  | Npf of { domid : int; gfn : int }
+  | Hypercall of string
+  | Gate of int
+  | Shadow_capture of string
+  | Shadow_verify of { ok : bool }
+  | Fw_cmd of string
+  | Dram of { blocks : int; encrypted : bool }
+  | Walk of { space : int; vfn : int }
+  | Tlb_flush of { full : bool }
+  | Pte_write of { vfn : int }
+  | Mark of string
+
+type entry = {
+  seq : int;
+  ts : int;
+  scope : string;
+  event : event;
+}
+
+let default_capacity = 65536
+
+let on = ref false
+
+type state = {
+  mutable buf : entry array;
+  mutable capacity : int;
+  mutable next : int;  (* slot the next entry lands in *)
+  mutable total : int;  (* entries emitted since last clear *)
+  mutable clock : unit -> int;
+  mutable scopes : string list;
+}
+
+let dummy = { seq = -1; ts = 0; scope = ""; event = Mark "" }
+
+let st =
+  { buf = [||];
+    capacity = default_capacity;
+    next = 0;
+    total = 0;
+    clock = (fun () -> 0);
+    scopes = [] }
+
+let enabled () = !on
+
+let clear () =
+  st.buf <- [||];
+  st.next <- 0;
+  st.total <- 0
+
+let set_clock f = st.clock <- f
+
+let enable ?(capacity = default_capacity) ?clock () =
+  if capacity <= 0 then invalid_arg "Trace.enable: capacity must be positive";
+  clear ();
+  st.capacity <- capacity;
+  (match clock with Some f -> st.clock <- f | None -> ());
+  on := true
+
+let disable () = on := false
+
+let push_scope s = st.scopes <- s :: st.scopes
+
+let pop_scope () =
+  match st.scopes with [] -> () | _ :: rest -> st.scopes <- rest
+
+let emit event =
+  if !on then begin
+    if Array.length st.buf = 0 then st.buf <- Array.make st.capacity dummy;
+    let scope = match st.scopes with [] -> "" | s :: _ -> s in
+    st.buf.(st.next) <- { seq = st.total; ts = st.clock (); scope; event };
+    st.next <- (st.next + 1) mod st.capacity;
+    st.total <- st.total + 1
+  end
+
+let emitted () = st.total
+
+let dropped () = max 0 (st.total - st.capacity)
+
+let entries () =
+  let n = min st.total st.capacity in
+  if n = 0 then []
+  else begin
+    (* Oldest entry sits at [next] once the ring has wrapped. *)
+    let start = if st.total > st.capacity then st.next else 0 in
+    List.init n (fun i -> st.buf.((start + i) mod st.capacity))
+  end
+
+(* --- export ------------------------------------------------------------ *)
+
+let event_name = function
+  | Vmrun _ -> "vmrun"
+  | Vmexit _ -> "vmexit"
+  | Npf _ -> "npf"
+  | Hypercall _ -> "hypercall"
+  | Gate _ -> "gate"
+  | Shadow_capture _ -> "shadow-capture"
+  | Shadow_verify _ -> "shadow-verify"
+  | Fw_cmd _ -> "fw-cmd"
+  | Dram _ -> "dram"
+  | Walk _ -> "walk"
+  | Tlb_flush _ -> "tlb-flush"
+  | Pte_write _ -> "pte-write"
+  | Mark _ -> "mark"
+
+let event_args = function
+  | Vmrun { domid } -> [ ("domid", Json.Int domid) ]
+  | Vmexit { domid; reason } -> [ ("domid", Json.Int domid); ("reason", Json.Str reason) ]
+  | Npf { domid; gfn } -> [ ("domid", Json.Int domid); ("gfn", Json.Int gfn) ]
+  | Hypercall name -> [ ("call", Json.Str name) ]
+  | Gate n -> [ ("type", Json.Int n) ]
+  | Shadow_capture reason -> [ ("reason", Json.Str reason) ]
+  | Shadow_verify { ok } -> [ ("ok", Json.Bool ok) ]
+  | Fw_cmd name -> [ ("cmd", Json.Str name) ]
+  | Dram { blocks; encrypted } ->
+      [ ("blocks", Json.Int blocks); ("encrypted", Json.Bool encrypted) ]
+  | Walk { space; vfn } -> [ ("space", Json.Int space); ("vfn", Json.Int vfn) ]
+  | Tlb_flush { full } -> [ ("full", Json.Bool full) ]
+  | Pte_write { vfn } -> [ ("vfn", Json.Int vfn) ]
+  | Mark label -> [ ("label", Json.Str label) ]
+
+let entry_json e =
+  Json.Obj
+    [ ("seq", Json.Int e.seq);
+      ("ts", Json.Int e.ts);
+      ("scope", Json.Str e.scope);
+      ("name", Json.Str (event_name e.event));
+      ("args", Json.Obj (event_args e.event)) ]
+
+let to_jsonl () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Json.to_buffer buf (entry_json e);
+      Buffer.add_char buf '\n')
+    (entries ());
+  Buffer.contents buf
+
+let to_chrome ?(attribution = []) ?total_cycles () =
+  let events =
+    List.map
+      (fun e ->
+        Json.Obj
+          [ ("name", Json.Str (event_name e.event));
+            ("cat", Json.Str (if e.scope = "" then "platform" else e.scope));
+            ("ph", Json.Str "i");
+            ("s", Json.Str "t");
+            ("ts", Json.Int e.ts);
+            ("pid", Json.Int 1);
+            ("tid", Json.Int 1);
+            ("args", Json.Obj (("seq", Json.Int e.seq) :: event_args e.event)) ])
+      (entries ())
+  in
+  let other =
+    [ ("emitted", Json.Int (emitted ())); ("dropped", Json.Int (dropped ())) ]
+    @ (match total_cycles with Some t -> [ ("total_cycles", Json.Int t) ] | None -> [])
+    @
+    match attribution with
+    | [] -> []
+    | att -> [ ("attribution", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) att)) ]
+  in
+  Json.Obj
+    [ ("traceEvents", Json.Arr events);
+      ("displayTimeUnit", Json.Str "ns");
+      ("otherData", Json.Obj other) ]

@@ -1,0 +1,87 @@
+(** Bounded, deterministic event trace of the simulated platform.
+
+    Every layer of the stack — memory controller, TLB, hypervisor,
+    Fidelius gates, SEV firmware — emits structured events here when
+    tracing is enabled. Timestamps are read from the cost ledger (via the
+    installed {!set_clock} hook), never from wall time, so two runs with
+    the same seed produce byte-identical traces: the determinism contract
+    the golden-trace tests pin.
+
+    The store is a ring buffer: once [capacity] events have been recorded
+    the oldest are overwritten and counted in {!dropped}. The disabled
+    path is one mutable-bool load — emit sites guard with
+    [if !Trace.on then Trace.emit ...] so no event is even allocated.
+
+    This is process-global state (like a tracing daemon's ring), intended
+    for single-machine scenario runs; {!enable} clears any previous
+    recording. *)
+
+type event =
+  | Vmrun of { domid : int }
+  | Vmexit of { domid : int; reason : string }
+  | Npf of { domid : int; gfn : int }
+  | Hypercall of string
+  | Gate of int  (** gate type: 1, 2 or 3 *)
+  | Shadow_capture of string  (** exit reason being shadowed *)
+  | Shadow_verify of { ok : bool }
+  | Fw_cmd of string  (** SEV firmware API command mnemonic *)
+  | Dram of { blocks : int; encrypted : bool }
+  | Walk of { space : int; vfn : int }  (** page-table walk on TLB miss *)
+  | Tlb_flush of { full : bool }
+  | Pte_write of { vfn : int }
+  | Mark of string  (** free-form scenario milestone *)
+
+type entry = {
+  seq : int;  (** monotonic emission index, 0-based, survives ring wrap *)
+  ts : int;  (** ledger cycles at emission time *)
+  scope : string;  (** innermost cost scope, "" outside any scope *)
+  event : event;
+}
+
+val on : bool ref
+(** The cheap guard. Do not set directly; use {!enable}/{!disable}. *)
+
+val enabled : unit -> bool
+
+val enable : ?capacity:int -> ?clock:(unit -> int) -> unit -> unit
+(** Clears the buffer and starts recording. [capacity] defaults to 65536
+    entries; [clock] defaults to the previously installed clock (a
+    constant 0 if none was ever installed). *)
+
+val disable : unit -> unit
+(** Stops recording; the buffer is retained for export. *)
+
+val clear : unit -> unit
+
+val set_clock : (unit -> int) -> unit
+(** Install the timestamp source, typically
+    [fun () -> Cost.total machine.ledger]. *)
+
+val push_scope : string -> unit
+val pop_scope : unit -> unit
+(** Scope tagging for emitted events; driven by [Cost.with_scope].
+    [pop_scope] on an empty stack is a no-op. *)
+
+val emit : event -> unit
+
+val entries : unit -> entry list
+(** Oldest first. *)
+
+val emitted : unit -> int
+(** Total events emitted since the last {!clear}, including dropped. *)
+
+val dropped : unit -> int
+
+val event_name : event -> string
+val event_args : event -> (string * Json.t) list
+
+val to_jsonl : unit -> string
+(** One JSON object per line:
+    [{"seq":N,"ts":N,"scope":S,"name":S,"args":{...}}]. *)
+
+val to_chrome : ?attribution:(string * int) list -> ?total_cycles:int -> unit -> Json.t
+(** Chrome [trace_event] format: an object with a [traceEvents] array of
+    instant events (timestamps in ledger cycles) and an [otherData]
+    section carrying the per-scope cycle attribution and the ledger
+    total, so viewers and tests can check that attribution sums to the
+    total. *)

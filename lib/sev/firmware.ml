@@ -49,7 +49,11 @@ let create machine =
     geks = Hashtbl.create 16;
     next_gek = 1 }
 
-let charge_cmd t = Cost.charge t.machine.Machine.ledger "sev-fw" t.machine.Machine.costs.Cost.firmware_cmd
+module Trace = Fidelius_obs.Trace
+
+let charge_cmd t name =
+  Cost.charge t.machine.Machine.ledger "sev-fw" t.machine.Machine.costs.Cost.firmware_cmd;
+  if !Trace.on then Trace.emit (Trace.Fw_cmd name)
 
 (* The secure processor's stores are coherent with the CPU caches: evict
    any stale plaintext lines whenever the firmware rewrites a frame. *)
@@ -60,14 +64,16 @@ let coherent_write t ~key pfn plain =
 let coherent_encrypt t ~key pfn =
   Memctrl.fw_encrypt_page t.machine.Machine.ctrl ~key pfn;
   Fidelius_hw.Cache.invalidate_page t.machine.Machine.cache pfn
-let charge_page t = Cost.charge t.machine.Machine.ledger "sev-fw" t.machine.Machine.costs.Cost.firmware_page
+let charge_page t name =
+  Cost.charge t.machine.Machine.ledger "sev-fw" t.machine.Machine.costs.Cost.firmware_page;
+  if !Trace.on then Trace.emit (Trace.Fw_cmd name)
 
 let ( let* ) = Result.bind
 
 let initialized t = t.is_initialized
 
 let init t =
-  charge_cmd t;
+  charge_cmd t "INIT";
   if t.is_initialized then Error "INIT: platform already initialized"
   else begin
     t.is_initialized <- true;
@@ -91,7 +97,7 @@ let fresh_handle t =
   h
 
 let launch_start t ~policy =
-  charge_cmd t;
+  charge_cmd t "LAUNCH_START";
   let* () = need_init t "LAUNCH_START" in
   let handle = fresh_handle t in
   Hashtbl.replace t.contexts handle
@@ -107,7 +113,7 @@ let launch_start t ~policy =
   Ok handle
 
 let launch_update t ~handle ~pfn =
-  charge_page t;
+  charge_page t "LAUNCH_UPDATE";
   let* c = ctx t handle "LAUNCH_UPDATE" in
   let* () = State.require c.state ~expected:[ State.Launching ] ~cmd:"LAUNCH_UPDATE" in
   let plain = Physmem.read_raw t.machine.Machine.mem pfn ~off:0 ~len:Addr.page_size in
@@ -116,7 +122,7 @@ let launch_update t ~handle ~pfn =
   Ok ()
 
 let launch_finish t ~handle =
-  charge_cmd t;
+  charge_cmd t "LAUNCH_FINISH";
   let* c = ctx t handle "LAUNCH_FINISH" in
   let* () = State.require c.state ~expected:[ State.Launching ] ~cmd:"LAUNCH_FINISH" in
   c.state <- State.Running;
@@ -124,7 +130,7 @@ let launch_finish t ~handle =
   Ok (Measure.finalize c.measure ~tik:(Bytes.create 0))
 
 let launch_shared t ~handle =
-  charge_cmd t;
+  charge_cmd t "LAUNCH(shared)";
   let* c = ctx t handle "LAUNCH(shared)" in
   let* () = State.require c.state ~expected:[ State.Running ] ~cmd:"LAUNCH(shared)" in
   let helper = fresh_handle t in
@@ -144,7 +150,7 @@ let launch_shared t ~handle =
    handle/ASID relationship is hypervisor-managed state, which is precisely
    the weakness the paper points out. *)
 let activate t ~handle ~asid =
-  charge_cmd t;
+  charge_cmd t "ACTIVATE";
   let* c = ctx t handle "ACTIVATE" in
   if asid <= 0 then Error "ACTIVATE: ASID must be positive"
   else begin
@@ -154,7 +160,7 @@ let activate t ~handle ~asid =
   end
 
 let deactivate t ~handle =
-  charge_cmd t;
+  charge_cmd t "DEACTIVATE";
   let* c = ctx t handle "DEACTIVATE" in
   match c.asid with
   | None -> Error "DEACTIVATE: guest not activated"
@@ -164,7 +170,7 @@ let deactivate t ~handle =
       Ok ()
 
 let decommission t ~handle =
-  charge_cmd t;
+  charge_cmd t "DECOMMISSION";
   let* c = ctx t handle "DECOMMISSION" in
   (match c.asid with
   | Some asid -> Memctrl.uninstall_key t.machine.Machine.ctrl ~asid
@@ -182,7 +188,7 @@ let asid_of t ~handle =
   Option.bind (Hashtbl.find_opt t.contexts handle) (fun c -> c.asid)
 
 let send_start t ~handle ~target_public ~nonce =
-  charge_cmd t;
+  charge_cmd t "SEND_START";
   let* c = ctx t handle "SEND_START" in
   let* () = State.require c.state ~expected:[ State.Running ] ~cmd:"SEND_START" in
   let* () =
@@ -202,7 +208,7 @@ let send_start t ~handle ~target_public ~nonce =
   Ok (Keywrap.wrap ~kek (Bytes.cat tek tik))
 
 let send_update t ~handle ~index ~src_pfn =
-  charge_page t;
+  charge_page t "SEND_UPDATE";
   let* c = ctx t handle "SEND_UPDATE" in
   let* () = State.require c.state ~expected:[ State.Sending ] ~cmd:"SEND_UPDATE" in
   match c.tek with
@@ -213,7 +219,7 @@ let send_update t ~handle ~index ~src_pfn =
       Ok (Transport.page_cipher ~tek ~index plain)
 
 let send_finish t ~handle =
-  charge_cmd t;
+  charge_cmd t "SEND_FINISH";
   let* c = ctx t handle "SEND_FINISH" in
   let* () = State.require c.state ~expected:[ State.Sending ] ~cmd:"SEND_FINISH" in
   match c.tik with
@@ -224,7 +230,7 @@ let send_finish t ~handle =
       Ok (Measure.finalize c.measure ~tik)
 
 let receive_start t ~wrapped ~origin_public ~nonce ~policy ?kvek_of () =
-  charge_cmd t;
+  charge_cmd t "RECEIVE_START";
   let* () = need_init t "RECEIVE_START" in
   let kek =
     Transport.derive_master_secret ~secret:t.platform_secret ~peer_public:origin_public ~nonce
@@ -255,7 +261,7 @@ let receive_start t ~wrapped ~origin_public ~nonce ~policy ?kvek_of () =
       Ok handle)
 
 let receive_update t ~handle ~index ~cipher ~dst_pfn =
-  charge_page t;
+  charge_page t "RECEIVE_UPDATE";
   let* c = ctx t handle "RECEIVE_UPDATE" in
   let* () = State.require c.state ~expected:[ State.Receiving ] ~cmd:"RECEIVE_UPDATE" in
   match c.tek with
@@ -274,7 +280,7 @@ let receive_update_in_place t ~handle ~index ~pfn =
   receive_update t ~handle ~index ~cipher ~dst_pfn:pfn
 
 let send_update_io t ~handle ~nonce ~src_pfn ~len =
-  charge_page t;
+  charge_page t "SEND_UPDATE(io)";
   let* c = ctx t handle "SEND_UPDATE(io)" in
   let* () = State.require c.state ~expected:[ State.Sending ] ~cmd:"SEND_UPDATE(io)" in
   match c.tek with
@@ -288,7 +294,7 @@ let send_update_io t ~handle ~nonce ~src_pfn ~len =
       end
 
 let receive_update_io t ~handle ~nonce ~cipher ~dst_pfn =
-  charge_page t;
+  charge_page t "RECEIVE_UPDATE(io)";
   let* c = ctx t handle "RECEIVE_UPDATE(io)" in
   let* () = State.require c.state ~expected:[ State.Receiving ] ~cmd:"RECEIVE_UPDATE(io)" in
   match c.tek with
@@ -309,7 +315,7 @@ let receive_update_io t ~handle ~nonce ~cipher ~dst_pfn =
       end
 
 let receive_finish t ~handle ~expected =
-  charge_cmd t;
+  charge_cmd t "RECEIVE_FINISH";
   let* c = ctx t handle "RECEIVE_FINISH" in
   let* () = State.require c.state ~expected:[ State.Receiving ] ~cmd:"RECEIVE_FINISH" in
   match c.tik with
@@ -325,7 +331,7 @@ let receive_finish t ~handle ~expected =
 (* --- customized-key extension (paper Section 8) ----------------------- *)
 
 let setenc_gek t ~handle =
-  charge_cmd t;
+  charge_cmd t "SETENC_GEK";
   let* c = ctx t handle "SETENC_GEK" in
   let* () = State.require c.state ~expected:[ State.Running ] ~cmd:"SETENC_GEK" in
   let id = t.next_gek in
@@ -339,7 +345,7 @@ let find_gek t handle gek cmd =
   | None -> Error (Printf.sprintf "%s: no GEK %d for handle %d" cmd gek handle)
 
 let enc_range t ~handle ~gek ~nonce ~src_pfn ~len =
-  charge_page t;
+  charge_page t "ENC";
   let* c = ctx t handle "ENC" in
   let* () = State.require c.state ~expected:[ State.Running ] ~cmd:"ENC" in
   let* key = find_gek t handle gek "ENC" in
@@ -351,7 +357,7 @@ let enc_range t ~handle ~gek ~nonce ~src_pfn ~len =
   end
 
 let dec_range t ~handle ~gek ~nonce ~cipher ~dst_pfn =
-  charge_page t;
+  charge_page t "DEC";
   let* c = ctx t handle "DEC" in
   let* () = State.require c.state ~expected:[ State.Running ] ~cmd:"DEC" in
   let* key = find_gek t handle gek "DEC" in
@@ -382,14 +388,14 @@ let quote_payload ~data ~nonce =
   b
 
 let attest t ~data ~nonce =
-  charge_cmd t;
+  charge_cmd t "ATTEST";
   Fidelius_crypto.Hmac.mac ~key:(attestation_key t) (quote_payload ~data ~nonce)
 
 let verify_quote ~attestation_key ~data ~nonce ~quote =
   Fidelius_crypto.Hmac.verify ~key:attestation_key ~tag:quote (quote_payload ~data ~nonce)
 
 let dbg_decrypt t ~handle ~pfn =
-  charge_page t;
+  charge_page t "DBG_DECRYPT";
   let* c = ctx t handle "DBG_DECRYPT" in
   if c.policy land policy_nodbg <> 0 then
     Error "DBG_DECRYPT: forbidden by guest policy (NODBG)"

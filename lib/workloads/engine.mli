@@ -23,6 +23,12 @@ type config =
 
 val config_to_string : config -> string
 
+val seed_of : Profile.t -> config -> int64
+(** Deterministic per-(profile, config) platform seed, derived with a
+    stable FNV-1a hash of ["name/config"] so the sampled results — and the
+    golden CSVs pinned in the tests — survive OCaml upgrades (unlike
+    [Hashtbl.hash]). Always positive. *)
+
 type result = {
   profile : Profile.t;
   config : config;
@@ -30,6 +36,9 @@ type result = {
   per_access : float;               (** sampled cycles per 64-byte access *)
   per_exit : float;                 (** sampled cycles per hypervisor round trip *)
   breakdown : (string * int) list;  (** ledger categories sampled during the run *)
+  attribution : (string * int) list;
+      (** per-scope cycle attribution ("dom1", "(root)", …); sums to the
+          run ledger's total *)
 }
 
 val run : Profile.t -> config -> result

@@ -1,7 +1,13 @@
 module Hw = Fidelius_hw
 module Sev = Fidelius_sev
+module Trace = Fidelius_obs.Trace
 
 exception Npf_unresolved of string
+
+(* Per-domain cost-attribution scope: every cycle charged while the
+   hypervisor works on behalf of a domain (guest execution, hypercall
+   round trips, NPF handling) is booked to this label. *)
+let dom_scope dom = "dom" ^ string_of_int dom.Domain.domid
 
 type mediation = {
   mutable npt_update :
@@ -145,6 +151,7 @@ let do_vmrun_effect t dom =
   let machine = t.machine in
   let cpu = machine.Hw.Machine.cpu in
   Hw.Cost.charge machine.Hw.Machine.ledger "world-switch" machine.Hw.Machine.costs.Hw.Cost.vmrun;
+  if !Trace.on then Trace.emit (Trace.Vmrun { domid = dom.Domain.domid });
   if dom.Domain.sev_es then begin
     (* Hardware consistency check: an ES guest cannot be re-entered with
        its SEV control stripped. *)
@@ -364,6 +371,10 @@ let vmexit t dom reason ~info1 ~info2 =
   let cpu = machine.Hw.Machine.cpu in
   t.vmexit_count <- t.vmexit_count + 1;
   Hw.Cost.charge machine.Hw.Machine.ledger "world-switch" machine.Hw.Machine.costs.Hw.Cost.vmexit;
+  if !Trace.on then
+    Trace.emit
+      (Trace.Vmexit
+         { domid = dom.Domain.domid; reason = Hw.Vmcb.exit_reason_to_string reason });
   let vmcb = dom.Domain.vmcb in
   Hw.Vmcb.set vmcb Hw.Vmcb.Rip (Hw.Cpu.rip cpu);
   Hw.Vmcb.set vmcb Hw.Vmcb.Rax (Hw.Cpu.get_reg cpu Hw.Cpu.Rax);
@@ -406,6 +417,7 @@ let vmrun t dom =
 
 let handle_npf t dom ~gfn =
   t.npf_count <- t.npf_count + 1;
+  if !Trace.on then Trace.emit (Trace.Npf { domid = dom.Domain.domid; gfn });
   match Hw.Pagetable.lookup dom.Domain.npt gfn with
   | Some _ ->
       (* Mapping exists (permission-level violation): leave it to policy. *)
@@ -417,7 +429,7 @@ let handle_npf t dom ~gfn =
       t.med.npt_update dom gfn
         (Some { Hw.Pagetable.frame = pfn; writable = true; executable = true; c_bit = false })
 
-let rec in_guest t dom f =
+let rec in_guest_unscoped t dom f =
   try f ()
   with Hw.Mmu.Npt_fault { gfn; _ } ->
     vmexit t dom Hw.Vmcb.Npf ~info1:0L ~info2:(Int64.of_int gfn);
@@ -427,7 +439,11 @@ let rec in_guest t dom f =
     (match vmrun t dom with
     | Ok () -> ()
     | Error e -> raise (Npf_unresolved ("vmrun after NPF: " ^ e)));
-    in_guest t dom f
+    in_guest_unscoped t dom f
+
+let in_guest t dom f =
+  Hw.Cost.with_scope t.machine.Hw.Machine.ledger (dom_scope dom) (fun () ->
+      in_guest_unscoped t dom f)
 
 (* --- hypercalls -------------------------------------------------------- *)
 
@@ -489,6 +505,7 @@ let dispatch t dom call =
   let machine = t.machine in
   Hw.Cost.charge machine.Hw.Machine.ledger "hypercall"
     machine.Hw.Machine.costs.Hw.Cost.hypercall_base;
+  if !Trace.on then Trace.emit (Trace.Hypercall (Hypercall.to_string call));
   match call with
   | Hypercall.Void -> Ok 0L
   | Hypercall.Console_write s ->
@@ -509,21 +526,22 @@ let dispatch t dom call =
       Ok 0L
 
 let hypercall t dom call =
-  let machine = t.machine in
-  let cpu = machine.Hw.Machine.cpu in
-  (* Guest marshals the hypercall number, then VMMCALL traps. *)
-  Hw.Cpu.set_reg cpu Hw.Cpu.Rax (Int64.of_int (Hypercall.number call));
-  vmexit t dom Hw.Vmcb.Vmmcall ~info1:0L ~info2:0L;
-  let result = dispatch t dom call in
-  let ret = match result with Ok v -> v | Error _ -> -1L in
-  (* The hypervisor advances the guest RIP past VMMCALL and stores the
-     return value in the VMCB's RAX slot. *)
-  Hw.Vmcb.set dom.Domain.vmcb Hw.Vmcb.Rax ret;
-  Hw.Vmcb.set dom.Domain.vmcb Hw.Vmcb.Rip
-    (Int64.add (Hw.Vmcb.get dom.Domain.vmcb Hw.Vmcb.Rip) 3L);
-  match vmrun t dom with
-  | Ok () -> result
-  | Error e -> Error ("vmrun: " ^ e)
+  Hw.Cost.with_scope t.machine.Hw.Machine.ledger (dom_scope dom) (fun () ->
+      let machine = t.machine in
+      let cpu = machine.Hw.Machine.cpu in
+      (* Guest marshals the hypercall number, then VMMCALL traps. *)
+      Hw.Cpu.set_reg cpu Hw.Cpu.Rax (Int64.of_int (Hypercall.number call));
+      vmexit t dom Hw.Vmcb.Vmmcall ~info1:0L ~info2:0L;
+      let result = dispatch t dom call in
+      let ret = match result with Ok v -> v | Error _ -> -1L in
+      (* The hypervisor advances the guest RIP past VMMCALL and stores the
+         return value in the VMCB's RAX slot. *)
+      Hw.Vmcb.set dom.Domain.vmcb Hw.Vmcb.Rax ret;
+      Hw.Vmcb.set dom.Domain.vmcb Hw.Vmcb.Rip
+        (Int64.add (Hw.Vmcb.get dom.Domain.vmcb Hw.Vmcb.Rip) 3L);
+      match vmrun t dom with
+      | Ok () -> result
+      | Error e -> Error ("vmrun: " ^ e))
 
 (* --- instruction emulation --------------------------------------------- *)
 

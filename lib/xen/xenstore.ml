@@ -10,8 +10,11 @@ let write t ~domid ~path value =
     || String.length path >= String.length (own_prefix domid)
        && String.sub path 0 (String.length (own_prefix domid)) = own_prefix domid
   in
+  (* An ACL rejection is the store *defending* itself, not a caller bug:
+     raise the dedicated denial exception so the attack harness can tell
+     it apart from a crash. *)
   if not allowed then
-    invalid_arg (Printf.sprintf "xenstore: dom%d may not write %s" domid path);
+    Fidelius_hw.Denial.deny "xenstore: dom%d may not write %s" domid path;
   Hashtbl.replace t.store path value
 
 let read t ~path = Hashtbl.find_opt t.store path

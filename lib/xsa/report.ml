@@ -17,9 +17,19 @@ let compute () =
     dos = Db.count ~component:Db.Hypervisor ~category:Db.Denial_of_service ();
     qemu = Db.count ~component:Db.Qemu () }
 
-let pct_of_hypervisor s n = 100.0 *. float_of_int n /. float_of_int s.hypervisor_related
+(* An empty corpus slice must not propagate as "nan%" through the report:
+   0/0 advisories thwarted reads as 0. *)
+let pct_of_hypervisor s n =
+  if s.hypervisor_related = 0 then 0.0
+  else 100.0 *. float_of_int n /. float_of_int s.hypervisor_related
 
 let pp fmt s =
+  if s.hypervisor_related = 0 then
+    Format.fprintf fmt
+      "@[<v>XSA corpus: %d advisories@,\
+       hypervisor-related: 0 — percentages omitted (empty denominator)@]"
+      s.total
+  else
   Format.fprintf fmt
     "@[<v>XSA corpus: %d advisories@,\
      hypervisor-related: %d (rest are QEMU: %d)@,\

@@ -13,6 +13,8 @@ type summary = {
 val compute : unit -> summary
 
 val pct_of_hypervisor : summary -> int -> float
+(** Percentage of the hypervisor-related slice; 0.0 (not nan) when that
+    slice is empty. *)
 
 val pp : Format.formatter -> summary -> unit
 (** Paper-style rendering with the percentages of Section 6.2. *)

@@ -50,6 +50,34 @@ let fidelius_blocked_by id fragment () =
   | other ->
       Alcotest.fail (id ^ ": expected Blocked, got " ^ Surface.outcome_to_string other)
 
+let test_no_harness_errors () =
+  (* A simulator crash must never be scored as a defense: the runner maps
+     unexpected exceptions to [Errored], and the shipped suite must have
+     none on any stack — every Blocked row is a genuine denial reason. *)
+  (match Runner.errors (Lazy.force rows) with
+  | [] -> ()
+  | errs ->
+      Alcotest.failf "%d harness error(s): %s" (List.length errs)
+        (String.concat "; "
+           (List.map (fun (id, stack, m) -> id ^ "/" ^ stack ^ ": " ^ m) errs)));
+  List.iter
+    (fun r ->
+      List.iter
+        (fun o ->
+          match o with
+          | Surface.Errored m ->
+              Alcotest.failf "%s errored but is_defended scored it: %s"
+                r.Runner.attack.Surface.id m
+          | _ -> ())
+        [ r.Runner.baseline; r.Runner.sev_es; r.Runner.fidelius ])
+    (Lazy.force rows)
+
+let test_errored_not_defended () =
+  Alcotest.(check bool) "Errored is not a defense" false
+    (Surface.is_defended (Surface.Errored "boom"));
+  Alcotest.(check string) "rendering" "ERRORED: boom"
+    (Surface.outcome_to_string (Surface.Errored "boom"))
+
 let test_summary () =
   let total, defended, baseline_vulnerable = Runner.summary (Lazy.force rows) in
   Alcotest.(check int) "catalogue size" (List.length Suite.all) total;
@@ -147,4 +175,6 @@ let () =
           mechanism_checks );
       ( "summary",
         [ Alcotest.test_case "totals" `Quick test_summary;
+          Alcotest.test_case "no harness errors" `Quick test_no_harness_errors;
+          Alcotest.test_case "errored scoring" `Quick test_errored_not_defended;
           Alcotest.test_case "catalogue" `Quick test_catalogue_structure ] ) ]

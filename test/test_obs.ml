@@ -1,0 +1,320 @@
+(* Tests for the observability subsystem: the Cost scope-attribution
+   invariant, the trace ring buffer, and both exporters. The golden JSONL
+   trace pins the determinism contract — ledger-clock timestamps mean the
+   same seed yields a byte-identical trace. *)
+
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+module Sev = Fidelius_sev
+module Core = Fidelius_core
+module Rng = Fidelius_crypto.Rng
+module Cost = Hw.Cost
+module Obs = Fidelius_obs
+module Trace = Obs.Trace
+module Json = Obs.Json
+
+(* --- Cost scope attribution -------------------------------------------- *)
+
+let test_scope_basics () =
+  let l = Cost.ledger () in
+  Cost.charge l "a" 10;
+  Cost.with_scope l "dom1" (fun () -> Cost.charge l "a" 5);
+  Alcotest.(check int) "total" 15 (Cost.total l);
+  Alcotest.(check int) "dom1" 5 (Cost.scope_total l "dom1");
+  Alcotest.(check int) "root remainder" 10 (Cost.scope_total l Cost.root_scope);
+  Alcotest.(check (list (pair string int))) "scopes listing"
+    [ ("(root)", 10); ("dom1", 5) ]
+    (Cost.scopes l)
+
+let test_scope_innermost_only () =
+  let l = Cost.ledger () in
+  Cost.with_scope l "outer" (fun () ->
+      Cost.charge l "a" 1;
+      Cost.with_scope l "inner" (fun () -> Cost.charge l "a" 2);
+      Cost.charge l "a" 4);
+  Alcotest.(check int) "outer books its own charges only" 5
+    (Cost.scope_total l "outer");
+  Alcotest.(check int) "inner" 2 (Cost.scope_total l "inner");
+  Alcotest.(check int) "no root residue" 0 (Cost.scope_total l Cost.root_scope)
+
+let test_scope_exception_safety () =
+  let l = Cost.ledger () in
+  (try Cost.with_scope l "doomed" (fun () -> Cost.charge l "a" 3; failwith "boom")
+   with Failure _ -> ());
+  Cost.charge l "a" 7;
+  Alcotest.(check int) "scope popped on raise" 7 (Cost.scope_total l Cost.root_scope);
+  Alcotest.(check int) "charges inside kept" 3 (Cost.scope_total l "doomed")
+
+let test_negative_charge_rejected () =
+  let l = Cost.ledger () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Cost.charge: negative charge -4 to \"dram\"") (fun () ->
+      Cost.charge l "dram" (-4));
+  Alcotest.(check int) "nothing booked" 0 (Cost.total l)
+
+let test_root_scope_reserved () =
+  let l = Cost.ledger () in
+  Alcotest.(check bool) "with_scope rejects (root)" true
+    (try
+       Cost.with_scope l Cost.root_scope (fun () -> false)
+     with Invalid_argument _ -> true)
+
+let test_categories_tie_break () =
+  let l = Cost.ledger () in
+  List.iter (fun c -> Cost.charge l c 5) [ "zeta"; "alpha"; "mid" ];
+  Cost.charge l "big" 9;
+  Alcotest.(check (list (pair string int))) "desc count, asc name on ties"
+    [ ("big", 9); ("alpha", 5); ("mid", 5); ("zeta", 5) ]
+    (Cost.categories l)
+
+(* Property: under arbitrary nesting and charging, per-scope attribution
+   sums exactly to the global total, and scope_categories agree with the
+   per-scope totals. *)
+type op = Charge of int | Scoped of int * op list
+
+let op_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then map (fun c -> Charge c) (int_bound 1000)
+          else
+            frequency
+              [ (2, map (fun c -> Charge c) (int_bound 1000));
+                ( 1,
+                  map2
+                    (fun s ops -> Scoped (s, ops))
+                    (int_bound 4)
+                    (list_size (int_bound 4) (self (n / 2))) ) ])
+        n)
+
+let rec op_print = function
+  | Charge c -> Printf.sprintf "Charge %d" c
+  | Scoped (s, ops) ->
+      Printf.sprintf "Scoped (%d, [%s])" s (String.concat "; " (List.map op_print ops))
+
+let arbitrary_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_print ops))
+    QCheck.Gen.(list_size (int_bound 8) op_gen)
+
+let scope_name i = Printf.sprintf "scope%d" i
+
+let rec interpret l = function
+  | Charge c -> Cost.charge l "work" c
+  | Scoped (s, ops) ->
+      Cost.with_scope l (scope_name s) (fun () -> List.iter (interpret l) ops)
+
+let prop_scope_sums_to_total =
+  QCheck.Test.make ~count:300 ~name:"sum(scopes) = total under nesting"
+    arbitrary_ops (fun ops ->
+      let l = Cost.ledger () in
+      List.iter (interpret l) ops;
+      let scope_sum = List.fold_left (fun a (_, v) -> a + v) 0 (Cost.scopes l) in
+      let per_scope_cats_ok =
+        List.for_all
+          (fun (s, v) ->
+            v
+            = List.fold_left (fun a (_, c) -> a + c) 0 (Cost.scope_categories l s))
+          (Cost.scopes l)
+      in
+      scope_sum = Cost.total l && per_scope_cats_ok)
+
+(* --- trace ring buffer -------------------------------------------------- *)
+
+(* Tracing is process-global: every test that records re-enables from a
+   clean state and disables afterwards. *)
+let with_trace ?capacity ?clock f =
+  Trace.enable ?capacity ?clock ();
+  Fun.protect ~finally:(fun () -> Trace.disable (); Trace.clear ()) f
+
+let test_ring_wrap () =
+  with_trace ~capacity:4 (fun () ->
+      for i = 0 to 9 do
+        Trace.emit (Trace.Gate (1 + (i mod 3)))
+      done;
+      Alcotest.(check int) "emitted" 10 (Trace.emitted ());
+      Alcotest.(check int) "dropped" 6 (Trace.dropped ());
+      let es = Trace.entries () in
+      Alcotest.(check int) "retained" 4 (List.length es);
+      Alcotest.(check (list int)) "oldest-first, newest retained" [ 6; 7; 8; 9 ]
+        (List.map (fun e -> e.Trace.seq) es))
+
+let test_disabled_emits_nothing () =
+  Trace.clear ();
+  Alcotest.(check bool) "off" false (Trace.enabled ());
+  Trace.emit (Trace.Mark "ignored");
+  Alcotest.(check int) "no entries" 0 (List.length (Trace.entries ()))
+
+let test_clock_and_scope_tagging () =
+  let l = Cost.ledger () in
+  with_trace ~clock:(fun () -> Cost.total l) (fun () ->
+      Cost.charge l "setup" 100;
+      Trace.emit (Trace.Mark "before");
+      Cost.with_scope l "dom7" (fun () ->
+          Cost.charge l "work" 23;
+          Trace.emit (Trace.Mark "inside"));
+      match Trace.entries () with
+      | [ a; b ] ->
+          Alcotest.(check int) "ledger timestamp" 100 a.Trace.ts;
+          Alcotest.(check string) "unscoped" "" a.Trace.scope;
+          Alcotest.(check int) "later timestamp" 123 b.Trace.ts;
+          Alcotest.(check string) "scope mirrored from Cost.with_scope" "dom7"
+            b.Trace.scope
+      | es -> Alcotest.failf "expected 2 entries, got %d" (List.length es))
+
+(* --- golden JSONL trace -------------------------------------------------- *)
+
+(* The demo scenario distilled to its post-boot core: a protected guest
+   writes a secret, the hypervisor round-trips a hypercall. Boot noise is
+   excluded (tracing starts after install) to keep the golden file small;
+   the full demo trace is exercised end-to-end by the trace-smoke alias. *)
+let demo_slice () =
+  let machine = Hw.Machine.create ~seed:2026L () in
+  let ledger = machine.Hw.Machine.ledger in
+  let hv = Xen.Hypervisor.boot machine in
+  let fid = Core.Fidelius.install hv in
+  let rng = Rng.create 77L in
+  let prepared =
+    Sev.Transport.Owner.prepare ~rng
+      ~platform_public:(Core.Fidelius.platform_key fid)
+      ~policy:Sev.Firmware.policy_nodbg
+      ~kernel_pages:[ Bytes.make Hw.Addr.page_size '\000' ]
+  in
+  let dom =
+    match
+      Core.Fidelius.boot_protected_vm fid ~name:"golden" ~memory_pages:8 ~prepared
+    with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  Trace.enable ~clock:(fun () -> Cost.total ledger) ();
+  Trace.emit (Trace.Mark "slice-start");
+  Xen.Hypervisor.in_guest hv dom (fun () ->
+      Xen.Domain.write machine dom ~addr:0x3000 (Bytes.of_string "golden secret"));
+  ignore (Xen.Hypervisor.hypercall hv dom (Xen.Hypercall.Console_write "hi"));
+  Trace.emit (Trace.Mark "slice-end");
+  Trace.disable ();
+  (machine, ledger)
+
+(* cwd is test/ under `dune runtest`, the workspace root under `dune exec`. *)
+let read_golden name =
+  let candidates =
+    [ Filename.concat "golden" name; Filename.concat (Filename.concat "test" "golden") name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> In_channel.with_open_bin path In_channel.input_all
+  | None -> Alcotest.failf "golden file %s not found" name
+
+let test_golden_jsonl () =
+  let _machine, _ledger = demo_slice () in
+  let actual = Trace.to_jsonl () in
+  Trace.clear ();
+  let golden = read_golden "trace_demo.jsonl" in
+  if golden <> actual then begin
+    (* Dump next to the runner so a deliberate regeneration is one copy. *)
+    Out_channel.with_open_bin "trace_demo.actual.jsonl" (fun oc ->
+        output_string oc actual);
+    Alcotest.failf
+      "golden trace mismatch (%d vs %d bytes); actual dumped to %s"
+      (String.length golden) (String.length actual)
+      (Filename.concat (Sys.getcwd ()) "trace_demo.actual.jsonl")
+  end
+
+let test_jsonl_well_formed () =
+  let _machine, ledger = demo_slice () in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Trace.to_jsonl ()))
+  in
+  Trace.clear ();
+  Alcotest.(check bool) "non-empty" true (lines <> []);
+  let last_seq = ref (-1) and last_ts = ref (-1) in
+  List.iter
+    (fun line ->
+      let j = Json.parse line in
+      let geti k =
+        match Json.member k j with
+        | Some (Json.Int n) -> n
+        | _ -> Alcotest.failf "missing int %S in %s" k line
+      in
+      let seq = geti "seq" and ts = geti "ts" in
+      Alcotest.(check bool) "seq strictly increasing" true (seq > !last_seq);
+      Alcotest.(check bool) "ts non-decreasing" true (ts >= !last_ts);
+      Alcotest.(check bool) "ts within ledger" true (ts <= Cost.total ledger);
+      last_seq := seq;
+      last_ts := ts)
+    lines
+
+(* --- Chrome exporter round-trip ----------------------------------------- *)
+
+let test_chrome_roundtrip () =
+  let _machine, ledger = demo_slice () in
+  let attribution = Cost.scopes ledger in
+  let total = Cost.total ledger in
+  let events = List.length (Trace.entries ()) in
+  let json = Trace.to_chrome ~attribution ~total_cycles:total () in
+  Trace.clear ();
+  let reparsed = Json.parse (Json.to_string json) in
+  Alcotest.(check bool) "print/parse round-trips structurally" true
+    (reparsed = json);
+  (match Json.member "traceEvents" reparsed with
+  | Some (Json.Arr evs) -> Alcotest.(check int) "all events exported" events (List.length evs)
+  | _ -> Alcotest.fail "traceEvents missing");
+  match Option.bind (Json.member "otherData" reparsed) (Json.member "attribution") with
+  | Some (Json.Obj fields) ->
+      let s =
+        List.fold_left
+          (fun a (_, v) -> match v with Json.Int n -> a + n | _ -> a)
+          0 fields
+      in
+      Alcotest.(check int) "attribution sums to ledger total" total s
+  | _ -> Alcotest.fail "otherData.attribution missing"
+
+(* --- Json parser --------------------------------------------------------- *)
+
+let test_json_escapes () =
+  let j = Json.Obj [ ("k\"\\\n", Json.Str "v\t\x01") ] in
+  Alcotest.(check bool) "escape round-trip" true (Json.parse (Json.to_string j) = j)
+
+let test_json_values () =
+  List.iter
+    (fun (s, v) -> Alcotest.(check bool) s true (Json.parse s = v))
+    [ ("null", Json.Null);
+      ("true", Json.Bool true);
+      ("-42", Json.Int (-42));
+      ("2.5", Json.Float 2.5);
+      ("[1,[2],{}]", Json.Arr [ Json.Int 1; Json.Arr [ Json.Int 2 ]; Json.Obj [] ]);
+      ("  {\"a\" : 1}  ", Json.Obj [ ("a", Json.Int 1) ]) ]
+
+let test_json_rejects () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " rejected") true
+        (try
+           ignore (Json.parse s);
+           false
+         with Json.Parse_error _ -> true))
+    [ "{"; "[1,]"; "nul"; "\"unterminated"; "1 2"; "" ]
+
+let () =
+  Alcotest.run "obs"
+    [ ( "cost-scopes",
+        [ Alcotest.test_case "basics" `Quick test_scope_basics;
+          Alcotest.test_case "innermost-only booking" `Quick test_scope_innermost_only;
+          Alcotest.test_case "exception safety" `Quick test_scope_exception_safety;
+          Alcotest.test_case "negative charge" `Quick test_negative_charge_rejected;
+          Alcotest.test_case "root reserved" `Quick test_root_scope_reserved;
+          Alcotest.test_case "tie-break" `Quick test_categories_tie_break;
+          QCheck_alcotest.to_alcotest prop_scope_sums_to_total ] );
+      ( "ring",
+        [ Alcotest.test_case "wrap" `Quick test_ring_wrap;
+          Alcotest.test_case "disabled" `Quick test_disabled_emits_nothing;
+          Alcotest.test_case "clock and scope" `Quick test_clock_and_scope_tagging ] );
+      ( "export",
+        [ Alcotest.test_case "golden jsonl" `Slow test_golden_jsonl;
+          Alcotest.test_case "jsonl well-formed" `Quick test_jsonl_well_formed;
+          Alcotest.test_case "chrome round-trip" `Quick test_chrome_roundtrip ] );
+      ( "json",
+        [ Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "values" `Quick test_json_values;
+          Alcotest.test_case "rejects" `Quick test_json_rejects ] ) ]

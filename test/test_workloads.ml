@@ -148,6 +148,63 @@ let test_fio_random_much_slower_than_seq () =
   let rr_mbs = rr.Fio.xen_rate /. 1024.0 in
   Alcotest.(check bool) "seq >> rand" true (sr.Fio.xen_rate > 10.0 *. rr_mbs)
 
+(* --- golden CSVs ------------------------------------------------------------ *)
+
+(* The evaluation CSVs are pinned byte-for-byte: the engine seeds come from
+   a stable FNV-1a hash (not [Hashtbl.hash], which changes across OCaml
+   releases), so any drift here means either a deliberate model change —
+   regenerate with `bench/main.exe fig5 fig6 tab3` and copy from results/ —
+   or an accidental nondeterminism, which this test exists to catch. *)
+(* cwd is test/ under `dune runtest`, the workspace root under `dune exec`. *)
+let read_golden name =
+  let candidates =
+    [ Filename.concat "golden" name; Filename.concat (Filename.concat "test" "golden") name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> In_channel.with_open_bin path In_channel.input_all
+  | None -> Alcotest.failf "golden file %s not found" name
+
+let check_golden name header rows =
+  let actual = String.concat "" (List.map (fun r -> r ^ "\n") (header :: rows)) in
+  Alcotest.(check string) (name ^ " matches golden") (read_golden name) actual
+
+let figure_rows rows =
+  List.map
+    (fun (p, f, e) -> Printf.sprintf "%s,%.3f,%.3f" p.Profile.name f e)
+    rows
+
+let test_golden_figure_5 () =
+  check_golden "figure_5.csv" "benchmark,fidelius_pct,fidelius_enc_pct"
+    (figure_rows (Lazy.force spec))
+
+let test_golden_figure_6 () =
+  check_golden "figure_6.csv" "benchmark,fidelius_pct,fidelius_enc_pct"
+    (figure_rows (Lazy.force parsec))
+
+let test_golden_table_3 () =
+  check_golden "table_3.csv" "operation,xen_rate,fidelius_rate,unit,slowdown_pct"
+    (List.map
+       (fun r ->
+         Printf.sprintf "%s,%.2f,%.2f,%s,%.3f" r.Fio.pattern.Fio.pat_name r.Fio.xen_rate
+           r.Fio.fidelius_rate r.Fio.pattern.Fio.unit_name r.Fio.slowdown_pct)
+       (Lazy.force fio))
+
+let test_seed_stability () =
+  (* The FNV-1a-derived seeds are part of the golden contract. *)
+  Alcotest.(check bool) "distinct per config" true
+    (Engine.seed_of (find_spec "mcf") Engine.Fidelius
+    <> Engine.seed_of (find_spec "mcf") Engine.Fidelius_enc);
+  Alcotest.(check bool) "distinct per profile" true
+    (Engine.seed_of (find_spec "mcf") Engine.Fidelius
+    <> Engine.seed_of (find_spec "bzip2") Engine.Fidelius);
+  Alcotest.(check bool) "positive" true
+    (List.for_all
+       (fun p ->
+         List.for_all
+           (fun c -> Engine.seed_of p c > 0L)
+           [ Engine.Xen_baseline; Engine.Fidelius; Engine.Fidelius_enc ])
+       (W.Spec2006.all @ W.Parsec.all))
+
 let test_config_names () =
   Alcotest.(check string) "xen" "xen" (Engine.config_to_string Engine.Xen_baseline);
   Alcotest.(check string) "fidelius" "fidelius" (Engine.config_to_string Engine.Fidelius);
@@ -170,4 +227,9 @@ let () =
         [ Alcotest.test_case "patterns" `Quick test_fio_patterns_present;
           Alcotest.test_case "Table 3 shape" `Quick test_fio_shape;
           Alcotest.test_case "rates" `Quick test_fio_rates_positive;
-          Alcotest.test_case "rand vs seq" `Quick test_fio_random_much_slower_than_seq ] ) ]
+          Alcotest.test_case "rand vs seq" `Quick test_fio_random_much_slower_than_seq ] );
+      ( "golden",
+        [ Alcotest.test_case "seed stability" `Quick test_seed_stability;
+          Alcotest.test_case "figure 5 CSV" `Slow test_golden_figure_5;
+          Alcotest.test_case "figure 6 CSV" `Slow test_golden_figure_6;
+          Alcotest.test_case "table 3 CSV" `Quick test_golden_table_3 ] ) ]

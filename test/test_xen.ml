@@ -255,8 +255,8 @@ let test_xenstore () =
   Alcotest.(check bool) "read back" true
     (Xenstore.read s ~path:"/local/domain/3/device/vbd/ring-ref" = Some "17");
   Alcotest.check_raises "foreign subtree denied"
-    (Invalid_argument "xenstore: dom3 may not write /local/domain/4/x") (fun () ->
-      Xenstore.write s ~domid:3 ~path:"/local/domain/4/x" "evil");
+    (Fidelius_hw.Denial.Denied "xenstore: dom3 may not write /local/domain/4/x")
+    (fun () -> Xenstore.write s ~domid:3 ~path:"/local/domain/4/x" "evil");
   Xenstore.write s ~domid:0 ~path:"/anywhere" "dom0 may";
   Xenstore.tamper s ~path:"/local/domain/3/device/vbd/ring-ref" "666";
   Alcotest.(check bool) "tamper channel works" true

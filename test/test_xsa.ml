@@ -30,6 +30,30 @@ let test_paper_percentages () =
   Alcotest.(check bool) "7.9%" true
     (close (Report.pct_of_hypervisor s s.Report.guest_flaws) 7.9)
 
+let test_empty_denominator () =
+  (* An empty hypervisor slice must read as 0%, never nan%, and the report
+     must render a count-is-zero note instead of percentage rows. *)
+  let empty =
+    { Report.total = 3;
+      hypervisor_related = 0;
+      thwarted_privilege = 0;
+      thwarted_leak = 0;
+      guest_flaws = 0;
+      dos = 0;
+      qemu = 3 }
+  in
+  let pct = Report.pct_of_hypervisor empty 0 in
+  Alcotest.(check bool) "not nan" false (Float.is_nan pct);
+  Alcotest.(check (float 0.0)) "zero" 0.0 pct;
+  let rendered = Format.asprintf "%a" Report.pp empty in
+  let contains hay needle =
+    let n = String.length hay and m = String.length needle in
+    let rec scan i = i + m <= n && (String.sub hay i m = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "no nan in output" false (contains rendered "nan");
+  Alcotest.(check bool) "zero-count note" true (contains rendered "percentages omitted")
+
 let test_classification_rules () =
   List.iter
     (fun r ->
@@ -85,6 +109,7 @@ let () =
         [ Alcotest.test_case "size" `Quick test_corpus_size;
           Alcotest.test_case "paper numbers" `Quick test_paper_numbers;
           Alcotest.test_case "paper percentages" `Quick test_paper_percentages;
+          Alcotest.test_case "empty denominator" `Quick test_empty_denominator;
           Alcotest.test_case "years" `Quick test_years_plausible ] );
       ( "classification",
         [ Alcotest.test_case "rules" `Quick test_classification_rules;
