@@ -1,0 +1,27 @@
+# Convenience entry points; everything is plain dune underneath.
+#
+#   make build   compile everything
+#   make test    full test suite (includes the trace-export smoke check)
+#   make doc     API docs via odoc, warnings-as-errors (skips if odoc absent)
+#   make matrix  differential fault-injection matrix (nonzero exit on any
+#                silent corruption or harness error in the Fidelius column)
+#   make check   what CI runs: build + tests + docs
+
+.PHONY: build test doc matrix check clean
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+doc:
+	sh tools/doc.sh
+
+matrix:
+	dune exec bin/fidelius_sim.exe -- inject matrix
+
+check: build test doc
+
+clean:
+	dune clean

@@ -5,6 +5,7 @@
      fidelius_sim xsa               quantitative XSA analysis
      fidelius_sim bench SUITE       workload overheads (spec|parsec|fio)
      fidelius_sim trace demo        record an event trace of a scenario
+     fidelius_sim inject matrix     differential fault-injection matrix
      fidelius_sim inspect           post-install system inventory *)
 
 module Hw = Fidelius_hw
@@ -348,6 +349,55 @@ let inspect_cmd =
   let term = Term.(ret (const inspect $ seed_arg)) in
   Cmd.v (Cmd.info "inspect" ~doc:"Dump the post-install system inventory") term
 
+(* --- inject ------------------------------------------------------------------- *)
+
+let inject_matrix seed sites =
+  let module Matrix = Fidelius_inject_matrix.Matrix in
+  let module Site = Fidelius_inject.Site in
+  match
+    List.fold_left
+      (fun acc name ->
+        match acc with
+        | Error _ as e -> e
+        | Ok sites -> (
+            match Site.of_string name with
+            | Some s -> Ok (s :: sites)
+            | None -> Error name))
+      (Ok []) sites
+  with
+  | Error name ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown fault site %S (known: %s)" name
+            (String.concat " " (List.map Site.to_string Site.all)) )
+  | Ok chosen ->
+      let sites = if chosen = [] then Site.all else List.rev chosen in
+      let report = Matrix.run ~seed ~sites () in
+      Format.printf "%a@." Matrix.pp_table report;
+      if Matrix.fidelius_clean report then `Ok ()
+      else
+        `Error
+          ( false,
+            "fault matrix: the Fidelius column shows silent corruption or a harness error" )
+
+let inject_cmd =
+  let sites =
+    Arg.(
+      value & opt_all string []
+      & info [ "site" ] ~docv:"SITE"
+          ~doc:"Fault site to include (repeatable); default is all sites.")
+  in
+  let matrix =
+    let term = Term.(ret (const inject_matrix $ seed_arg $ sites)) in
+    Cmd.v
+      (Cmd.info "matrix"
+         ~doc:
+           "Differential fault matrix: every fault site against plain SEV and Fidelius; exits \
+            nonzero if the Fidelius column shows silent corruption or a harness error")
+      term
+  in
+  Cmd.group (Cmd.info "inject" ~doc:"Deterministic fault injection") [ matrix ]
+
 (* --- quote -------------------------------------------------------------------- *)
 
 let quote seed nonce =
@@ -380,6 +430,6 @@ let quote_cmd =
 let main_cmd =
   let doc = "Fidelius: comprehensive VM protection against an untrusted hypervisor (HPCA'18), simulated" in
   Cmd.group (Cmd.info "fidelius_sim" ~version:"1.0.0" ~doc)
-    [ demo_cmd; attacks_cmd; xsa_cmd; bench_cmd; trace_cmd; inspect_cmd; quote_cmd ]
+    [ demo_cmd; attacks_cmd; xsa_cmd; bench_cmd; trace_cmd; inject_cmd; inspect_cmd; quote_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -45,7 +45,7 @@ let () =
   let snap =
     match Core.Migrate.send fid1 dom ~target_public:(Fid.platform_key fid2) with
     | Ok s -> s
-    | Error e -> failwith e
+    | Error e -> failwith (Core.Migrate.error_to_string e)
   in
   Printf.printf "snapshot: %d pages, source domain destroyed (no live migration)\n"
     (List.length snap.Core.Migrate.image.Sev.Transport.pages);
@@ -63,7 +63,9 @@ let () =
 
   (* Import on machine 2. *)
   let dom' =
-    match Core.Migrate.receive fid2 snap with Ok d -> d | Error e -> failwith e
+    match Core.Migrate.receive fid2 snap with
+    | Ok d -> d
+    | Error e -> failwith (Core.Migrate.error_to_string e)
   in
   let state =
     Xen.Hypervisor.in_guest hv2 dom' (fun () ->
@@ -88,4 +90,4 @@ let () =
   in
   match Core.Migrate.receive fid2 tampered with
   | Ok _ -> print_endline "!!! tampered snapshot accepted"
-  | Error e -> Printf.printf "tampered snapshot refused: %s\n" e
+  | Error e -> Printf.printf "tampered snapshot refused: %s\n" (Core.Migrate.error_to_string e)

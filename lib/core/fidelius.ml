@@ -8,14 +8,20 @@ let install = Iso.install
 
 let platform_key (ctx : t) = Sev.Firmware.platform_public ctx.Ctx.hv.Xen.Hypervisor.fw
 
-let boot_protected_vm = Lifecycle.boot_protected_vm
+(* The facade keeps string errors for casual callers; the typed variants
+   live in Lifecycle/Migrate for consumers that must classify failures
+   (the fault matrix, migration tests). *)
+let boot_protected_vm ctx ~name ~memory_pages ~prepared =
+  Result.map_error Lifecycle.boot_error_to_string
+    (Lifecycle.boot_protected_vm ctx ~name ~memory_pages ~prepared)
 let start = Lifecycle.start
 let shutdown_protected_vm = Lifecycle.shutdown_protected_vm
 let write_start_info = Lifecycle.write_start_info
 let kblk_of_guest = Lifecycle.kblk_of_guest
 let attestation_report = Lifecycle.attestation_report
 
-let migrate = Migrate.migrate
+let migrate ~src ~dst dom =
+  Result.map_error Migrate.error_to_string (Migrate.migrate ~src ~dst dom)
 
 let aesni_codec = Io_protect.aesni_codec
 let software_codec = Io_protect.software_codec

@@ -8,7 +8,16 @@ type t = {
 }
 
 let protect ctx (dom : Xen.Domain.t) =
-  { ctx; dom; bmt = Hw.Bmt.create ctx.Ctx.machine ~frames:dom.Xen.Domain.frames }
+  let bmt = Hw.Bmt.create ctx.Ctx.machine ~frames:dom.Xen.Domain.frames in
+  (* Arm the controller's inline check: any encrypted fetch of a covered
+     frame is verified against the tree as it happens, so a misrouted or
+     disturbed fill surfaces as a Denial.Denied at the access — not as
+     silently garbled guest state. Frames outside the tree pass through. *)
+  Hw.Memctrl.set_fetch_check ctx.Ctx.machine.Hw.Machine.ctrl
+    (Some
+       (fun pfn data ->
+         if Hw.Bmt.covered bmt pfn then Hw.Bmt.verify_fetched bmt pfn ~data else Ok ()));
+  { ctx; dom; bmt }
 
 let frames_of_range t ~addr ~len =
   let first = Hw.Addr.frame_of addr in

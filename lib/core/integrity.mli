@@ -17,7 +17,13 @@ type t
 
 val protect : Ctx.t -> Xen.Domain.t -> t
 (** Build the tree over every frame currently backing the domain. The tree
-    pages live with the secure processor (no frames are consumed). *)
+    pages live with the secure processor (no frames are consumed). Also
+    arms the memory controller's inline fetch check
+    ({!Hw.Memctrl.set_fetch_check}): encrypted reads of covered frames are
+    verified against the tree as they happen and raise
+    [Hw.Denial.Denied] on mismatch, catching misrouted fetches that a
+    DRAM-content sweep cannot see. One inline check per controller — the
+    latest [protect] wins. *)
 
 val verified_read :
   t -> addr:int -> len:int -> (bytes, string) result

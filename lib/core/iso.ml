@@ -205,7 +205,10 @@ let install_hooks ctx =
             mark_pit_frames ctx;
             Ok ())
       in
-      match result with Ok () -> () | Error e -> failwith ("frame-alloc hook: " ^ e));
+      (* A refused gate here is Fidelius denying the transition, not a
+         harness crash: raise the Denial-class error the attack runner
+         (and the fault matrix) classify as an intentional block. *)
+      match result with Ok () -> () | Error e -> Hw.Denial.deny "frame-alloc hook: %s" e);
 
   med.Xen.Hypervisor.on_guest_frame_release <-
     (fun dom pfn ->
@@ -219,7 +222,7 @@ let install_hooks ctx =
             mark_pit_frames ctx;
             Ok ())
       in
-      match result with Ok () -> () | Error e -> failwith ("frame-release hook: " ^ e));
+      match result with Ok () -> () | Error e -> Hw.Denial.deny "frame-release hook: %s" e);
 
   med.Xen.Hypervisor.pre_sharing <-
     (fun dom ~target ~gfn ~nr ~writable ->

@@ -4,6 +4,25 @@ module Sev = Fidelius_sev
 
 let ( let* ) = Result.bind
 
+(* Classified by call site, not by string matching: the boot path knows
+   whether a step was the platform's verification verdict or mere
+   mechanics, and downstream consumers (migration, the fault matrix) need
+   that distinction to tell "fail closed with detection" from "boot simply
+   did not happen". *)
+type boot_error =
+  | Rejected of string
+      (* firmware verification refused the image: RECEIVE_START key unwrap
+         or RECEIVE_FINISH measurement *)
+  | Failed of string
+      (* mechanical boot failure: image too large, load/mediation error,
+         ACTIVATE, first VMRUN *)
+
+let boot_error_to_string = function Rejected e | Failed e -> e
+
+let pp_boot_error fmt = function
+  | Rejected e -> Format.fprintf fmt "rejected: %s" e
+  | Failed e -> Format.fprintf fmt "failed: %s" e
+
 let start ctx dom = Xen.Hypervisor.vmrun ctx.Ctx.hv dom
 
 let load_cipher_page ctx (dom : Xen.Domain.t) ~gfn ~cipher =
@@ -26,7 +45,7 @@ let boot_protected_vm ctx ~name ~memory_pages ~prepared =
   let hv = ctx.Ctx.hv in
   let { Sev.Transport.Owner.image; wrapped_keys; owner_public; kblk = _ } = prepared in
   if List.length image.Sev.Transport.pages > memory_pages then
-    Error "boot: encrypted image larger than guest memory"
+    Error (Failed "boot: encrypted image larger than guest memory")
   else begin
     (* 0. The frames allocated for this domain must be revoked from the
        hypervisor as they are handed out. *)
@@ -35,7 +54,7 @@ let boot_protected_vm ctx ~name ~memory_pages ~prepared =
     ctx.Ctx.next_domain_protected <- false;
     ctx.Ctx.protected_domids <- dom.Xen.Domain.domid :: ctx.Ctx.protected_domids;
     ignore (Iso.new_shadow ctx dom);
-    let rollback msg =
+    let rollback err =
       ctx.Ctx.boot_window <- None;
       ctx.Ctx.protected_domids <-
         List.filter (fun d -> d <> dom.Xen.Domain.domid) ctx.Ctx.protected_domids;
@@ -46,7 +65,7 @@ let boot_protected_vm ctx ~name ~memory_pages ~prepared =
         (Hw.Pagetable.mapped_frames dom.Xen.Domain.npt);
       ctx.Ctx.teardown_for <- None;
       Xen.Hypervisor.destroy_domain hv dom;
-      Error msg
+      Error err
     in
     (* 1. RECEIVE_START: unwrap Ktek/Ktik via the platform identity. *)
     match
@@ -54,7 +73,7 @@ let boot_protected_vm ctx ~name ~memory_pages ~prepared =
         ~origin_public:owner_public ~nonce:image.Sev.Transport.nonce
         ~policy:image.Sev.Transport.policy ()
     with
-    | Error e -> rollback ("boot: " ^ e)
+    | Error e -> rollback (Rejected ("boot: " ^ e))
     | Ok handle -> (
         (* 2./3. Load each transport page and re-encrypt it in place. *)
         ctx.Ctx.boot_window <- Some dom.Xen.Domain.domid;
@@ -68,19 +87,19 @@ let boot_protected_vm ctx ~name ~memory_pages ~prepared =
         in
         ctx.Ctx.boot_window <- None;
         match load_all with
-        | Error e -> rollback ("boot: " ^ e)
+        | Error e -> rollback (Failed ("boot: " ^ e))
         | Ok () -> (
             (* 4. Verify the keyed measurement before the guest can run. *)
             match
               Sev.Firmware.receive_finish hv.Xen.Hypervisor.fw ~handle
                 ~expected:image.Sev.Transport.measurement
             with
-            | Error e -> rollback ("boot: " ^ e)
+            | Error e -> rollback (Rejected ("boot: " ^ e))
             | Ok () -> (
                 match
                   Sev.Firmware.activate hv.Xen.Hypervisor.fw ~handle ~asid:dom.Xen.Domain.asid
                 with
-                | Error e -> rollback ("boot: " ^ e)
+                | Error e -> rollback (Failed ("boot: " ^ e))
                 | Ok () ->
                     dom.Xen.Domain.sev_handle <- Some handle;
                     dom.Xen.Domain.sev_protected <- true;
@@ -93,7 +112,7 @@ let boot_protected_vm ctx ~name ~memory_pages ~prepared =
                     (* 5. First entry through the gated VMRUN. *)
                     (match start ctx dom with
                     | Ok () -> Ok dom
-                    | Error e -> rollback ("boot: first vmrun: " ^ e)))))
+                    | Error e -> rollback (Failed ("boot: first vmrun: " ^ e))))))
   end
 
 let shutdown_protected_vm ctx dom =

@@ -12,17 +12,29 @@ module Hw = Fidelius_hw
 module Xen = Fidelius_xen
 module Sev = Fidelius_sev
 
+type boot_error =
+  | Rejected of string
+      (** the platform's verification verdict: RECEIVE_START key unwrap or
+          RECEIVE_FINISH measurement refused the image *)
+  | Failed of string
+      (** mechanical boot failure — image too large, page load or mediation
+          error, ACTIVATE, first VMRUN — classified by call site, never by
+          matching error strings *)
+
+val boot_error_to_string : boot_error -> string
+val pp_boot_error : Format.formatter -> boot_error -> unit
+
 val boot_protected_vm :
   Ctx.t ->
   name:string ->
   memory_pages:int ->
   prepared:Sev.Transport.Owner.prepared ->
-  (Xen.Domain.t, string) result
+  (Xen.Domain.t, boot_error) result
 (** Boot a protected guest from an owner-prepared encrypted image. On
     success the domain is RUNNING in the firmware, ACTIVATEd, its frames are
     unmapped from the hypervisor, its NPT write-protected, its guest page
     table C-bit-mapped, and the first VMRUN has executed through the type-3
-    gate. *)
+    gate. Any failure rolls the partial domain back before returning. *)
 
 val start : Ctx.t -> Xen.Domain.t -> (unit, string) result
 (** (Re-)enter the guest through the gated VMRUN path. *)

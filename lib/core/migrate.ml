@@ -2,6 +2,8 @@ module Hw = Fidelius_hw
 module Xen = Fidelius_xen
 module Sev = Fidelius_sev
 module Rng = Fidelius_crypto.Rng
+module Plan = Fidelius_inject.Plan
+module Site = Fidelius_inject.Site
 
 type snapshot = {
   image : Sev.Transport.image;
@@ -12,17 +14,37 @@ type snapshot = {
   name : string;
 }
 
+type error =
+  | Not_protected
+  | Send_refused of string
+  | Truncated of { expected : int; got : int }
+  | Malformed of string
+  | Rejected of string
+  | Boot_failed of string
+
+let pp_error fmt = function
+  | Not_protected -> Format.pp_print_string fmt "migrate: domain is not SEV-protected"
+  | Send_refused e -> Format.fprintf fmt "migrate: send refused: %s" e
+  | Truncated { expected; got } ->
+      Format.fprintf fmt "migrate: snapshot truncated (expected %d pages, got %d)" expected got
+  | Malformed e -> Format.fprintf fmt "migrate: malformed snapshot: %s" e
+  | Rejected e -> Format.fprintf fmt "migrate: target platform rejected the image: %s" e
+  | Boot_failed e -> Format.fprintf fmt "migrate: receive-side boot failed: %s" e
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
 let ( let* ) = Result.bind
 
 let send ctx (dom : Xen.Domain.t) ~target_public =
   let hv = ctx.Ctx.hv in
   let fw = hv.Xen.Hypervisor.fw in
   match dom.Xen.Domain.sev_handle with
-  | None -> Error "migrate: domain is not SEV-protected"
+  | None -> Error Not_protected
   | Some handle ->
+      let refuse r = Result.map_error (fun e -> Send_refused e) r in
       let nonce = Rng.next64 ctx.Ctx.machine.Fidelius_hw.Machine.rng in
       (* SEND_START stops the guest: no live migration (paper 4.3.6). *)
-      let* wrapped_keys = Sev.Firmware.send_start fw ~handle ~target_public ~nonce in
+      let* wrapped_keys = refuse (Sev.Firmware.send_start fw ~handle ~target_public ~nonce) in
       dom.Xen.Domain.state <- Xen.Domain.Paused;
       let mapped =
         Hw.Pagetable.mapped_frames dom.Xen.Domain.npt
@@ -33,13 +55,15 @@ let send ctx (dom : Xen.Domain.t) ~target_public =
           (fun acc (gfn, (npte : Hw.Pagetable.proto)) ->
             let* acc = acc in
             let* cipher =
-              Sev.Firmware.send_update fw ~handle ~index:gfn ~src_pfn:npte.Hw.Pagetable.frame
+              refuse
+                (Sev.Firmware.send_update fw ~handle ~index:gfn
+                   ~src_pfn:npte.Hw.Pagetable.frame)
             in
             Ok ((gfn, cipher) :: acc))
           (Ok []) mapped
       in
       let pages = List.rev pages in
-      let* raw_measurement = Sev.Firmware.send_finish fw ~handle in
+      let* raw_measurement = refuse (Sev.Firmware.send_finish fw ~handle) in
       (* The transport image format folds policy and nonce into the keyed
          measurement; replicate the owner-side framing so RECEIVE_FINISH on
          the target verifies the same value. The firmware's page-only
@@ -58,7 +82,62 @@ let send ctx (dom : Xen.Domain.t) ~target_public =
       Lifecycle.shutdown_protected_vm ctx dom;
       Ok snap
 
+(* The untrusted channel between [send] and [receive]. With a fault plan
+   armed it may lose trailing pages or flip ciphertext bits; with no plan
+   installed it is the identity. [migrate] routes through it, so the fault
+   matrix exercises the same path production code uses. *)
+let transmit snap =
+  if not !Plan.on then snap
+  else begin
+    let pages = snap.image.Sev.Transport.pages in
+    let pages =
+      if pages <> [] && Plan.fire Site.Snapshot_truncate then
+        (* lossy channel: the trailing page never arrives *)
+        List.filteri (fun i _ -> i < List.length pages - 1) pages
+      else pages
+    in
+    let pages =
+      if pages <> [] && Plan.fire Site.Snapshot_flip then begin
+        let victim = Plan.draw Site.Snapshot_flip ~bound:(List.length pages) in
+        List.mapi
+          (fun i (gfn, cipher) ->
+            if i <> victim then (gfn, cipher)
+            else begin
+              let c = Bytes.copy cipher in
+              let bit = Plan.draw Site.Snapshot_flip ~bound:(Bytes.length c * 8) in
+              let byte = bit / 8 in
+              Bytes.set c byte
+                (Char.chr (Char.code (Bytes.get c byte) lxor (1 lsl (bit mod 8))));
+              (gfn, c)
+            end)
+          pages
+      end
+      else pages
+    in
+    { snap with image = { snap.image with Sev.Transport.pages } }
+  end
+
+(* Structural checks first, so an obviously damaged snapshot is refused
+   with a precise typed error before any firmware state is created. *)
+let validate snap =
+  let pages = snap.image.Sev.Transport.pages in
+  let got = List.length pages in
+  if got < snap.memory_pages then Error (Truncated { expected = snap.memory_pages; got })
+  else begin
+    let bad =
+      List.find_opt (fun (_, c) -> Bytes.length c <> Hw.Addr.page_size) pages
+    in
+    match bad with
+    | Some (gfn, c) ->
+        Error
+          (Malformed
+             (Printf.sprintf "page for gfn 0x%x is %d bytes, want %d" gfn (Bytes.length c)
+                Hw.Addr.page_size))
+    | None -> Ok ()
+  end
+
 let receive ctx snap =
+  let* () = validate snap in
   let prepared =
     { Sev.Transport.Owner.image = snap.image;
       wrapped_keys = snap.wrapped_keys;
@@ -70,7 +149,12 @@ let receive ctx snap =
     List.fold_left (fun m (gfn, _) -> max m (gfn + 1)) snap.memory_pages
       snap.image.Sev.Transport.pages
   in
-  let* dom = Lifecycle.boot_protected_vm ctx ~name:snap.name ~memory_pages ~prepared in
+  let* dom =
+    match Lifecycle.boot_protected_vm ctx ~name:snap.name ~memory_pages ~prepared with
+    | Ok dom -> Ok dom
+    | Error (Lifecycle.Rejected e) -> Error (Rejected e)
+    | Error (Lifecycle.Failed e) -> Error (Boot_failed e)
+  in
   (* Restore the guest page table (in reality it lives inside the migrated
      memory; the simulator keeps it as a separate structure). *)
   List.iter (fun (gvfn, proto) -> Hw.Pagetable.hw_set dom.Xen.Domain.gpt gvfn (Some proto))
@@ -79,8 +163,8 @@ let receive ctx snap =
 
 let migrate ~src ~dst dom =
   match dom.Xen.Domain.sev_handle with
-  | None -> Error "migrate: domain is not SEV-protected"
+  | None -> Error Not_protected
   | Some _ ->
       let target_public = Sev.Firmware.platform_public dst.Ctx.hv.Xen.Hypervisor.fw in
       let* snap = send src dom ~target_public in
-      receive dst snap
+      receive dst (transmit snap)

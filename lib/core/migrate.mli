@@ -20,15 +20,41 @@ type snapshot = {
   name : string;
 }
 
+type error =
+  | Not_protected  (** the domain has no SEV firmware context *)
+  | Send_refused of string  (** source firmware refused a SEND command *)
+  | Truncated of { expected : int; got : int }
+      (** snapshot arrived with fewer pages than the source exported *)
+  | Malformed of string  (** a snapshot page is not page-sized *)
+  | Rejected of string
+      (** target platform's verification verdict: transport-key unwrap or
+          measurement check refused the image *)
+  | Boot_failed of string
+      (** receive-side construction failed before the guest ran *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
 val send : Ctx.t -> Xen.Domain.t -> target_public:Fidelius_crypto.Dh.public ->
-  (snapshot, string) result
+  (snapshot, error) result
 (** Export a protected guest for the platform identified by
     [target_public]. The source domain is stopped (SENT state) and then
     destroyed. *)
 
-val receive : Ctx.t -> snapshot -> (Xen.Domain.t, string) result
-(** Import on the target platform; fails closed on measurement mismatch or
-    wrong platform. *)
+val transmit : snapshot -> snapshot
+(** The untrusted channel between {!send} and {!receive}. The identity
+    unless a fault plan ({!Fidelius_inject.Plan}) arms the
+    [Snapshot_truncate]/[Snapshot_flip] sites, in which case trailing
+    pages may be dropped or ciphertext bits flipped — deterministically,
+    per the plan's seed. *)
 
-val migrate : src:Ctx.t -> dst:Ctx.t -> Xen.Domain.t -> (Xen.Domain.t, string) result
-(** {!send} on [src] then {!receive} on [dst]. *)
+val receive : Ctx.t -> snapshot -> (Xen.Domain.t, error) result
+(** Import on the target platform. Fails closed with a typed error:
+    structurally damaged snapshots are refused up front ([Truncated],
+    [Malformed]) before any firmware state exists; a tampered image
+    surfaces as [Rejected] when RECEIVE_FINISH's keyed measurement check
+    fails, after the partial domain is rolled back. *)
+
+val migrate : src:Ctx.t -> dst:Ctx.t -> Xen.Domain.t -> (Xen.Domain.t, error) result
+(** {!send} on [src], {!transmit} across the channel, {!receive} on
+    [dst]. *)

@@ -65,8 +65,9 @@ let build_domain hv config =
           ~policy:Sev.Firmware.policy_nodbg ~kernel_pages:(kernel_pages config)
       in
       let* dom =
-        Lifecycle.boot_protected_vm fid ~name:config.name ~memory_pages:config.memory_pages
-          ~prepared
+        Result.map_error Lifecycle.boot_error_to_string
+          (Lifecycle.boot_protected_vm fid ~name:config.name
+             ~memory_pages:config.memory_pages ~prepared)
       in
       Ok (dom, Some prepared.Sev.Transport.Owner.kblk)
 

@@ -73,6 +73,34 @@ let verify t pfn =
       if Bytes.equal !digest t.levels.(Array.length t.levels - 1).(0) then Ok ()
       else Error (Printf.sprintf "BMT: integrity violation detected on frame 0x%x" pfn)
 
+(* Inline pipeline check of a fetched page: same leaf-to-root walk as
+   {!verify}, but over the bytes the memory controller actually fetched
+   rather than what DRAM currently stores, and free of charge — the
+   engine verifies in parallel with the fill, so the simulator books no
+   extra cycles and the explicit verify paths keep their exact costs. *)
+let verify_fetched t pfn ~data =
+  match Hashtbl.find_opt t.index_of pfn with
+  | None -> Error (Printf.sprintf "BMT: frame 0x%x is not integrity-protected" pfn)
+  | Some idx ->
+      let header = Bytes.create 8 in
+      Bytes.set_int64_be header 0 (Int64.of_int pfn);
+      let ctx = Sha256.init () in
+      Sha256.feed ctx header;
+      Sha256.feed ctx data;
+      let digest = ref (Sha256.finalize ctx) in
+      let i = ref idx in
+      for level = 0 to Array.length t.levels - 2 do
+        let sib = sibling t.levels.(level) !i in
+        digest :=
+          (if !i land 1 = 0 then Sha256.digest (Bytes.cat !digest sib)
+           else Sha256.digest (Bytes.cat sib !digest));
+        i := !i / 2
+      done;
+      if Bytes.equal !digest t.levels.(Array.length t.levels - 1).(0) then Ok ()
+      else
+        Error
+          (Printf.sprintf "BMT: fetched data for frame 0x%x does not match the tree" pfn)
+
 let verify_all t =
   Array.fold_left
     (fun acc pfn -> Result.bind acc (fun () -> verify t pfn))

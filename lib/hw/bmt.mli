@@ -36,6 +36,15 @@ val verify : t -> Addr.pfn -> (unit, string) result
 val verify_all : t -> (unit, string) result
 (** Whole-tree sweep (boot-time or attestation-time check). *)
 
+val verify_fetched : t -> Addr.pfn -> data:bytes -> (unit, string) result
+(** Inline check of the page [data] a fetch actually returned against the
+    tree path for [pfn]. Unlike {!verify} this catches misrouted fetches
+    (address-aliasing/remap faults) where DRAM still holds pristine bytes
+    but the bus delivered another frame's. Modeled as the engine's
+    parallel verification pipeline: charges no cycles and does not count
+    toward {!hashes_performed}, so enabling it leaves the ablation's
+    explicit verify costs untouched. *)
+
 val update : t -> Addr.pfn -> unit
 (** Recompute the path after an *authorized* write to the frame (the secure
     processor witnesses legitimate writes; attackers cannot call this —

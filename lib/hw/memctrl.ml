@@ -2,6 +2,8 @@ module Aes = Fidelius_crypto.Aes
 module Modes = Fidelius_crypto.Modes
 module Rng = Fidelius_crypto.Rng
 module Trace = Fidelius_obs.Trace
+module Plan = Fidelius_inject.Plan
+module Site = Fidelius_inject.Site
 
 type selector =
   | Plain
@@ -15,6 +17,7 @@ type t = {
   slots : (int, Aes.key) Hashtbl.t;
   fw_keys : (string, Aes.key) Hashtbl.t;
   costs : Cost.table;
+  mutable fetch_check : (Addr.pfn -> bytes -> (unit, string) result) option;
 }
 
 let fw_key_cache_max = 256
@@ -25,7 +28,10 @@ let create mem ledger rng =
     smek = Aes.expand (Rng.bytes rng 16);
     slots = Hashtbl.create 16;
     fw_keys = Hashtbl.create 16;
-    costs = Cost.default }
+    costs = Cost.default;
+    fetch_check = None }
+
+let set_fetch_check t check = t.fetch_check <- check
 
 (* The firmware drives whole-page operations with raw (not slot-installed)
    keys, and re-uses the same Kvek for every page of a launch or migration —
@@ -75,21 +81,47 @@ let block_range off len =
   let last = (off + len - 1) / Addr.block_size in
   (first, last)
 
+(* Fault sites live on the CPU read path only: a disturbed DRAM row or an
+   aliased address decode corrupts what the CPU sees. The firmware page
+   paths model the encryption engine's internal DMA and stay exact, so an
+   injected fault can never silently fold into a launch/migration
+   measurement. *)
+let faulted_src t pfn ~off ~len =
+  if Plan.fire Site.Dram_flip then begin
+    let bit = Plan.draw Site.Dram_flip ~bound:(len * 8) in
+    Physmem.flip_bit t.mem pfn ~off:(off + (bit / 8)) ~bit:(bit mod 8)
+  end;
+  if Plan.fire Site.Dram_remap && Physmem.nr_frames t.mem > 1 then
+    (* Aliased row decode: ciphertext is fetched from the adjacent frame
+       while the engine still tweaks with the address the CPU issued. *)
+    (if pfn + 1 < Physmem.nr_frames t.mem then pfn + 1 else pfn - 1)
+  else pfn
+
 let read t sel pfn ~off ~len =
   if len = 0 then Bytes.create 0
   else begin
+    let src_pfn = if !Plan.on then faulted_src t pfn ~off ~len else pfn in
     let first, last = block_range off len in
     match key_of t sel with
     | None ->
         (* DRAM traffic is block-granular even without encryption: an
            unaligned access touching two blocks costs two accesses. *)
         charge_blocks t ~encrypted:false (last - first + 1);
-        Physmem.read_raw t.mem pfn ~off ~len
+        Physmem.read_raw t.mem src_pfn ~off ~len
     | Some key ->
         charge_blocks t ~encrypted:true (last - first + 1);
         let span = (last - first + 1) * Addr.block_size in
         let plain = Bytes.create span in
-        let page = Physmem.page t.mem pfn in
+        let page = Physmem.page t.mem src_pfn in
+        (* Integrity engine, if armed: check the ciphertext actually
+           fetched against the tree entry for the *requested* frame, so a
+           misrouted or disturbed fill is refused before any data flows. *)
+        (match t.fetch_check with
+        | None -> ()
+        | Some check -> (
+            match check pfn page with
+            | Ok () -> ()
+            | Error e -> Denial.deny "memory integrity: %s" e));
         Modes.xex_decrypt_span key ~tweak0:(tweak_of pfn first) ~tweak_step
           ~src:page ~src_off:(first * Addr.block_size) ~dst:plain ~dst_off:0 ~len:span;
         Bytes.sub plain (off - (first * Addr.block_size)) len

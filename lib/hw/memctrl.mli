@@ -70,3 +70,18 @@ val fw_decrypt_page : t -> key:bytes -> Addr.pfn -> bytes
 
 val fw_write_page : t -> key:bytes -> Addr.pfn -> bytes -> unit
 (** Store a full plaintext page encrypted under a raw key. *)
+
+(** {2 Inline integrity engine}
+
+    Hook point for the hardware-integrity extension ({!Bmt},
+    [Core.Integrity]): when armed, every encrypted CPU read hands the
+    ciphertext page it actually fetched — together with the frame number
+    the CPU {e requested} — to the check. A mismatch (disturbed row,
+    aliased address decode, replay) raises {!Denial.Denied}, so corrupted
+    data never reaches software. Disarmed (the default), the cost is one
+    option match per read and behaviour is bit-for-bit unchanged. *)
+
+val set_fetch_check : t -> (Addr.pfn -> bytes -> (unit, string) result) option -> unit
+(** Install ([Some]) or clear ([None]) the inline check. Installing
+    replaces any previous check — compose externally if two protected
+    regions must coexist. *)

@@ -1,4 +1,6 @@
 module Trace = Fidelius_obs.Trace
+module Plan = Fidelius_inject.Plan
+module Site = Fidelius_inject.Site
 
 type t = {
   cached : (int * Addr.vfn, unit) Hashtbl.t;
@@ -23,16 +25,24 @@ let lookup t ~space_id vfn =
     false
   end
 
+(* A hypervisor that "forgets" TLB maintenance does no work at all: the
+   omitted flush charges nothing and invalidates nothing. *)
 let flush_entry t ~space_id vfn =
-  Hashtbl.remove t.cached (space_id, vfn);
-  Cost.charge t.ledger "tlb-flush" t.costs.Cost.tlb_flush_entry;
-  if !Trace.on then Trace.emit (Trace.Tlb_flush { full = false })
+  if !Plan.on && Plan.fire Site.Tlb_omit_flush then ()
+  else begin
+    Hashtbl.remove t.cached (space_id, vfn);
+    Cost.charge t.ledger "tlb-flush" t.costs.Cost.tlb_flush_entry;
+    if !Trace.on then Trace.emit (Trace.Tlb_flush { full = false })
+  end
 
 let flush_all t =
-  Hashtbl.reset t.cached;
-  t.full_flushes <- t.full_flushes + 1;
-  Cost.charge t.ledger "tlb-flush" t.costs.Cost.tlb_flush_full;
-  if !Trace.on then Trace.emit (Trace.Tlb_flush { full = true })
+  if !Plan.on && Plan.fire Site.Tlb_omit_flush then ()
+  else begin
+    Hashtbl.reset t.cached;
+    t.full_flushes <- t.full_flushes + 1;
+    Cost.charge t.ledger "tlb-flush" t.costs.Cost.tlb_flush_full;
+    if !Trace.on then Trace.emit (Trace.Tlb_flush { full = true })
+  end
 
 let entries t = Hashtbl.length t.cached
 let flushes t = t.full_flushes

@@ -1,0 +1,80 @@
+(** Deterministic, seed-driven fault plan.
+
+    A plan arms a subset of {!Site.t}s with a firing probability and an
+    optional firing budget. Product code asks [if !Plan.on && Plan.fire
+    Site.X then ...] at each instrumented site — the same
+    zero-cost-when-off discipline as [Obs.Trace]: with no plan installed
+    the guard is a single mutable-bool load and nothing else runs.
+
+    {2 Determinism}
+
+    Whether occurrence [k] at site [s] fires is a pure function of
+    [(plan seed, Site.index s, k)] — a splitmix64-style finalizer hashed
+    over the triple, mapped to [0,1) and compared against the rule's
+    probability. No hidden generator state is shared between sites, so
+    adding instrumentation at one site can never shift another site's
+    schedule, and the same seed always reproduces the same firing
+    schedule. Fault {e parameters} (which bit to flip, which frame to
+    remap to) come from {!draw}, keyed the same way over a separate
+    per-site draw counter.
+
+    A rule with [probability = 0.] never fires, emits no trace events and
+    charges no cost: running under such a plan is byte-identical to
+    running with injection disabled (pinned by a qcheck property).
+
+    {2 Observability}
+
+    Every firing emits [Obs.Trace.Fault {site; hit}] when tracing is
+    enabled, so a trace shows exactly which fault landed when. *)
+
+type rule = {
+  site : Site.t;
+  probability : float;  (** chance each occurrence fires, in [0,1] *)
+  max_fires : int;  (** firing budget; occurrences beyond it never fire *)
+}
+
+val always : ?max_fires:int -> Site.t -> rule
+(** [always site] is [{site; probability = 1.; max_fires = 1}] — the
+    single-shot deterministic rule the matrix runner uses. *)
+
+type t
+
+val make : ?seed:int64 -> rule list -> t
+(** [make ~seed rules] builds a plan. Sites not mentioned never fire.
+    Duplicate sites: the last rule wins. [seed] defaults to [2026L].
+    Raises [Invalid_argument] on a probability outside [0,1] or a
+    negative [max_fires]. *)
+
+val seed : t -> int64
+
+val on : bool ref
+(** The cheap guard; true iff a plan is installed. Do not set directly. *)
+
+val install : t -> unit
+(** Makes [t] the process-global active plan (replacing any previous one)
+    and raises {!on}. Counters are {e not} reset — install a fresh plan
+    for a fresh schedule. *)
+
+val uninstall : unit -> unit
+(** Clears {!on}; subsequent [fire] calls return false. *)
+
+val installed : unit -> t option
+
+val fire : Site.t -> bool
+(** Decide occurrence [k] at this site (and advance the site's occurrence
+    counter). False when no plan is installed or the site is unarmed.
+    Emits the trace event on true. *)
+
+val draw : Site.t -> bound:int -> int
+(** Deterministic fault parameter in [\[0, bound)], from the plan's seed
+    and the site's draw counter. Meant to be called only after {!fire}
+    returned true. Raises [Invalid_argument] if [bound <= 0] or no plan
+    is installed. *)
+
+val fires : t -> (Site.t * int) list
+(** Firing counts so far, armed sites only, declaration order. *)
+
+val total_fires : t -> int
+
+val occurrences : t -> Site.t -> int
+(** How many times the site's guard was consulted. *)

@@ -1,0 +1,37 @@
+type t =
+  | Dram_flip
+  | Dram_remap
+  | Fw_drop
+  | Fw_replay
+  | Tlb_omit_flush
+  | Spurious_npf
+  | Snapshot_truncate
+  | Snapshot_flip
+
+let all =
+  [ Dram_flip; Dram_remap; Fw_drop; Fw_replay; Tlb_omit_flush; Spurious_npf;
+    Snapshot_truncate; Snapshot_flip ]
+
+let index = function
+  | Dram_flip -> 0
+  | Dram_remap -> 1
+  | Fw_drop -> 2
+  | Fw_replay -> 3
+  | Tlb_omit_flush -> 4
+  | Spurious_npf -> 5
+  | Snapshot_truncate -> 6
+  | Snapshot_flip -> 7
+
+let to_string = function
+  | Dram_flip -> "dram-flip"
+  | Dram_remap -> "dram-remap"
+  | Fw_drop -> "fw-drop"
+  | Fw_replay -> "fw-replay"
+  | Tlb_omit_flush -> "tlb-omit-flush"
+  | Spurious_npf -> "spurious-npf"
+  | Snapshot_truncate -> "snapshot-truncate"
+  | Snapshot_flip -> "snapshot-flip"
+
+let of_string s = List.find_opt (fun t -> to_string t = s) all
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

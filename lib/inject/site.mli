@@ -1,0 +1,32 @@
+(** The fault-site taxonomy.
+
+    Each constructor names one place in the simulated platform where a
+    deterministic fault can be armed. The set mirrors the misbehaviours the
+    literature attributes to a hostile platform: DRAM-level ciphertext
+    corruption (SEVurity-style bit-flips, Rowhammer), hypervisor page
+    remapping (Hetzelt & Buhren), dropped/replayed firmware commands,
+    TLB-maintenance omission, spurious #NPF storms, and a lossy/tampering
+    migration channel. *)
+
+type t =
+  | Dram_flip  (** flip one bit of stored ciphertext before a CPU read *)
+  | Dram_remap
+      (** serve a CPU read with the neighbouring frame's ciphertext — the
+          physical-address tweak of XEX must turn this into garbage *)
+  | Fw_drop  (** silently discard a RECEIVE_UPDATE firmware command *)
+  | Fw_replay  (** apply a RECEIVE_UPDATE firmware command twice *)
+  | Tlb_omit_flush  (** skip a requested TLB invalidation *)
+  | Spurious_npf  (** raise an unsolicited nested page fault mid-guest *)
+  | Snapshot_truncate  (** drop trailing pages from a migration snapshot *)
+  | Snapshot_flip  (** flip one bit of a migration snapshot page *)
+
+val all : t list
+(** Every site, in declaration order. *)
+
+val index : t -> int
+(** Stable 0-based position in {!all}; part of the determinism contract
+    (the firing schedule hashes over it). *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

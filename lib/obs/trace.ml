@@ -11,6 +11,7 @@ type event =
   | Walk of { space : int; vfn : int }
   | Tlb_flush of { full : bool }
   | Pte_write of { vfn : int }
+  | Fault of { site : string; hit : int }
   | Mark of string
 
 type entry = {
@@ -103,6 +104,7 @@ let event_name = function
   | Walk _ -> "walk"
   | Tlb_flush _ -> "tlb-flush"
   | Pte_write _ -> "pte-write"
+  | Fault _ -> "fault"
   | Mark _ -> "mark"
 
 let event_args = function
@@ -119,6 +121,7 @@ let event_args = function
   | Walk { space; vfn } -> [ ("space", Json.Int space); ("vfn", Json.Int vfn) ]
   | Tlb_flush { full } -> [ ("full", Json.Bool full) ]
   | Pte_write { vfn } -> [ ("vfn", Json.Int vfn) ]
+  | Fault { site; hit } -> [ ("site", Json.Str site); ("hit", Json.Int hit) ]
   | Mark label -> [ ("label", Json.Str label) ]
 
 let entry_json e =

@@ -29,6 +29,9 @@ type event =
   | Walk of { space : int; vfn : int }  (** page-table walk on TLB miss *)
   | Tlb_flush of { full : bool }
   | Pte_write of { vfn : int }
+  | Fault of { site : string; hit : int }
+      (** an armed injection site fired; [hit] is the per-site firing
+          ordinal (1-based), so traces show exactly which fault landed when *)
   | Mark of string  (** free-form scenario milestone *)
 
 type entry = {

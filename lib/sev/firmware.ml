@@ -6,6 +6,8 @@ module Memctrl = Fidelius_hw.Memctrl
 module Physmem = Fidelius_hw.Physmem
 module Addr = Fidelius_hw.Addr
 module Cost = Fidelius_hw.Cost
+module Plan = Fidelius_inject.Plan
+module Site = Fidelius_inject.Site
 
 type handle = int
 
@@ -268,10 +270,18 @@ let receive_update t ~handle ~index ~cipher ~dst_pfn =
   | None -> Error "RECEIVE_UPDATE: no transport key"
   | Some tek ->
       if Bytes.length cipher <> Addr.page_size then Error "RECEIVE_UPDATE: need a full page"
+      else if !Plan.on && Plan.fire Site.Fw_drop then
+        (* a hostile platform silently discards the command yet reports
+           success; the gap must surface at RECEIVE_FINISH, not here *)
+        Ok ()
       else begin
-        let plain = Transport.page_plain ~tek ~index cipher in
-        Measure.add_page c.measure ~index plain;
-        coherent_write t ~key:c.kvek dst_pfn plain;
+        let apply () =
+          let plain = Transport.page_plain ~tek ~index cipher in
+          Measure.add_page c.measure ~index plain;
+          coherent_write t ~key:c.kvek dst_pfn plain
+        in
+        apply ();
+        if !Plan.on && Plan.fire Site.Fw_replay then apply ();
         Ok ()
       end
 

@@ -1,6 +1,8 @@
 module Hw = Fidelius_hw
 module Sev = Fidelius_sev
 module Trace = Fidelius_obs.Trace
+module Plan = Fidelius_inject.Plan
+module Site = Fidelius_inject.Site
 
 exception Npf_unresolved of string
 
@@ -429,16 +431,25 @@ let handle_npf t dom ~gfn =
       t.med.npt_update dom gfn
         (Some { Hw.Pagetable.frame = pfn; writable = true; executable = true; c_bit = false })
 
+let service_npf t dom ~gfn ~ctx =
+  vmexit t dom Hw.Vmcb.Npf ~info1:0L ~info2:(Int64.of_int gfn);
+  (match handle_npf t dom ~gfn with
+  | Ok () -> ()
+  | Error e -> raise (Npf_unresolved e));
+  match vmrun t dom with
+  | Ok () -> ()
+  | Error e -> raise (Npf_unresolved ("vmrun after " ^ ctx ^ ": " ^ e))
+
 let rec in_guest_unscoped t dom f =
+  if !Plan.on && Plan.fire Site.Spurious_npf then
+    (* Unsolicited exit/resume cycle on the guest's first gfn: the platform
+       interrupts the guest for no architectural reason. Every mediation
+       hook on the fault path still runs, so a defence that cannot survive
+       a benign extra world switch shows up here. *)
+    service_npf t dom ~gfn:0 ~ctx:"spurious NPF";
   try f ()
   with Hw.Mmu.Npt_fault { gfn; _ } ->
-    vmexit t dom Hw.Vmcb.Npf ~info1:0L ~info2:(Int64.of_int gfn);
-    (match handle_npf t dom ~gfn with
-    | Ok () -> ()
-    | Error e -> raise (Npf_unresolved e));
-    (match vmrun t dom with
-    | Ok () -> ()
-    | Error e -> raise (Npf_unresolved ("vmrun after NPF: " ^ e)));
+    service_npf t dom ~gfn ~ctx:"NPF";
     in_guest_unscoped t dom f
 
 let in_guest t dom f =

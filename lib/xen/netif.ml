@@ -82,12 +82,19 @@ let send ep frame =
        onto the wire toward the peer slot. *)
     let raw = Hypervisor.host_read ep.hv ep.shared_frame ~off:0 ~len:(4 + n) in
     let len = Int32.to_int (Bytes.get_int32_be raw 0) in
-    let payload = Bytes.sub raw 4 len in
-    let dest = 1 - ep.slot in
-    Queue.push payload (Hashtbl.find ep.e_wire.queues dest);
-    ep.e_wire.log <- payload :: ep.e_wire.log;
-    ep.e_wire.forwarded <- ep.e_wire.forwarded + 1;
-    Ok ()
+    (* The prefix crossed a guest-writable shared page: it is input, not an
+       invariant. A corrupted (or hostile) length must fail the operation,
+       never index out of the staging copy. *)
+    if len < 0 || len > Bytes.length raw - 4 then
+      Error "netif: corrupt frame length on the shared ring"
+    else begin
+      let payload = Bytes.sub raw 4 len in
+      let dest = 1 - ep.slot in
+      Queue.push payload (Hashtbl.find ep.e_wire.queues dest);
+      ep.e_wire.log <- payload :: ep.e_wire.log;
+      ep.e_wire.forwarded <- ep.e_wire.forwarded + 1;
+      Ok ()
+    end
   end
 
 let recv ep =
@@ -108,7 +115,9 @@ let recv ep =
           Domain.read machine ep.dom ~addr:ep.buffer_gva ~len:(4 + n))
     in
     let len = Int32.to_int (Bytes.get_int32_be raw 0) in
-    Ok (Some (Bytes.sub raw 4 len))
+    if len < 0 || len > Bytes.length raw - 4 then
+      Error "netif: corrupt frame length on the shared ring"
+    else Ok (Some (Bytes.sub raw 4 len))
   end
 
 let pending ep = Queue.length (Hashtbl.find ep.e_wire.queues ep.slot)

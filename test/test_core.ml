@@ -975,7 +975,9 @@ let test_migration_tampered_snapshot () =
   let dom, _ = protected_vm env "traveller" in
   let _, _, fid2 = second_machine () in
   let target_public = Fid.platform_key fid2 in
-  let snap = ok (Core.Migrate.send fid1 dom ~target_public) in
+  let snap =
+    ok (Result.map_error Core.Migrate.error_to_string (Core.Migrate.send fid1 dom ~target_public))
+  in
   let tampered =
     { snap with
       Core.Migrate.image =
@@ -988,8 +990,12 @@ let test_migration_tampered_snapshot () =
                 (i, c))
               snap.Core.Migrate.image.Sev.Transport.pages } }
   in
-  Alcotest.(check bool) "tampered snapshot refused" true
-    (Result.is_error (Core.Migrate.receive fid2 tampered))
+  (* The refusal must carry the platform's verdict, not a generic error:
+     the measurement check is what caught the tampering. *)
+  Alcotest.(check bool) "tampered snapshot refused as Rejected" true
+    (match Core.Migrate.receive fid2 tampered with
+    | Error (Core.Migrate.Rejected _) -> true
+    | _ -> false)
 
 let test_migration_wrong_target () =
   let ((_, _, fid1) as env) = installed () in
@@ -997,9 +1003,15 @@ let test_migration_wrong_target () =
   let _, _, fid2 = second_machine () in
   let _, _, fid3 = second_machine ~seed:72L () in
   (* Snapshot aimed at machine 2 cannot be received by machine 3. *)
-  let snap = ok (Core.Migrate.send fid1 dom ~target_public:(Fid.platform_key fid2)) in
-  Alcotest.(check bool) "wrong target refused" true
-    (Result.is_error (Core.Migrate.receive fid3 snap))
+  let snap =
+    ok
+      (Result.map_error Core.Migrate.error_to_string
+         (Core.Migrate.send fid1 dom ~target_public:(Fid.platform_key fid2)))
+  in
+  Alcotest.(check bool) "wrong target refused as Rejected" true
+    (match Core.Migrate.receive fid3 snap with
+    | Error (Core.Migrate.Rejected _) -> true
+    | _ -> false)
 
 let test_migration_preserves_arbitrary_state =
   QCheck.Test.make ~name:"migration preserves arbitrary guest memory" ~count:5

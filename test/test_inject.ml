@@ -1,0 +1,220 @@
+(* Tests for the fault-injection subsystem: plan determinism and firing
+   budgets, the probability-0 no-perturbation property (a disarmed plan is
+   byte-identical to no plan at all, ledger and trace included), typed
+   fail-closed migration errors under transport faults, and matrix
+   determinism on a reduced cell set. *)
+
+module Hw = Fidelius_hw
+module Xen = Fidelius_xen
+module Sev = Fidelius_sev
+module Core = Fidelius_core
+module Fid = Core.Fidelius
+module Hv = Xen.Hypervisor
+module Domain = Xen.Domain
+module Rng = Fidelius_crypto.Rng
+module Site = Fidelius_inject.Site
+module Plan = Fidelius_inject.Plan
+module Matrix = Fidelius_inject_matrix.Matrix
+module Trace = Fidelius_obs.Trace
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let page c = Bytes.make Hw.Addr.page_size c
+
+let installed ?(seed = 61L) () =
+  let m = Hw.Machine.create ~seed () in
+  let hv = Hv.boot m in
+  let fid = Fid.install hv in
+  (m, hv, fid)
+
+let protected_vm ?(memory_pages = 16) fid name =
+  let rng = Rng.create 62L in
+  let prepared =
+    Sev.Transport.Owner.prepare ~rng ~platform_public:(Fid.platform_key fid)
+      ~policy:Sev.Firmware.policy_nodbg
+      ~kernel_pages:[ page 'A'; page 'B'; page 'C' ]
+  in
+  ok (Fid.boot_protected_vm fid ~name ~memory_pages ~prepared)
+
+(* --- plan mechanics ----------------------------------------------------- *)
+
+let with_installed plan f =
+  Plan.install plan;
+  Fun.protect ~finally:Plan.uninstall f
+
+let test_single_shot_budget () =
+  let plan = Plan.make ~seed:1L [ Plan.always Site.Dram_flip ] in
+  with_installed plan (fun () ->
+      Alcotest.(check bool) "first occurrence fires" true (Plan.fire Site.Dram_flip);
+      Alcotest.(check bool) "budget exhausted" false (Plan.fire Site.Dram_flip);
+      Alcotest.(check bool) "other sites never armed" false (Plan.fire Site.Fw_drop));
+  Alcotest.(check int) "one firing recorded" 1 (Plan.total_fires plan);
+  Alcotest.(check int) "occurrences still counted" 2 (Plan.occurrences plan Site.Dram_flip)
+
+let test_same_seed_same_schedule () =
+  let schedule seed =
+    let plan =
+      Plan.make ~seed [ { Plan.site = Site.Fw_replay; probability = 0.4; max_fires = max_int } ]
+    in
+    with_installed plan (fun () -> List.init 200 (fun _ -> Plan.fire Site.Fw_replay))
+  in
+  Alcotest.(check (list bool)) "identical schedule" (schedule 7L) (schedule 7L);
+  Alcotest.(check bool) "some occurrences fire" true (List.mem true (schedule 7L));
+  Alcotest.(check bool) "some occurrences do not" true (List.mem false (schedule 7L))
+
+let test_sites_independent () =
+  (* Arming a second site must not shift the first site's schedule. *)
+  let schedule rules =
+    let plan = Plan.make ~seed:9L rules in
+    with_installed plan (fun () ->
+        List.init 100 (fun _ ->
+            let a = Plan.fire Site.Tlb_omit_flush in
+            ignore (Plan.fire Site.Spurious_npf);
+            a))
+  in
+  let alone =
+    schedule [ { Plan.site = Site.Tlb_omit_flush; probability = 0.3; max_fires = max_int } ]
+  in
+  let paired =
+    schedule
+      [ { Plan.site = Site.Tlb_omit_flush; probability = 0.3; max_fires = max_int };
+        { Plan.site = Site.Spurious_npf; probability = 0.7; max_fires = max_int } ]
+  in
+  Alcotest.(check (list bool)) "schedule unmoved by other site" alone paired
+
+let test_make_validates () =
+  Alcotest.(check bool) "probability > 1 rejected" true
+    (try
+       ignore (Plan.make [ { Plan.site = Site.Dram_flip; probability = 1.5; max_fires = 1 } ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative budget rejected" true
+    (try
+       ignore (Plan.make [ { Plan.site = Site.Dram_flip; probability = 0.5; max_fires = -1 } ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- probability 0 perturbs nothing ------------------------------------- *)
+
+(* Drive a representative workload (protected boot, guest writes and reads,
+   a TLB-flushing remap cycle) and return every observable the harness
+   cares about: final ledger total, per-category ledger, and the full
+   trace. Under a probability-0 plan all of it must be byte-identical to a
+   run with no plan installed. *)
+let observable_run ~machine_seed ~with_plan =
+  let m, hv, fid = installed ~seed:machine_seed () in
+  Trace.set_clock (fun () -> Hw.Cost.total m.Hw.Machine.ledger);
+  Trace.enable ();
+  let finishing () =
+    let t = Trace.to_jsonl () in
+    Trace.disable ();
+    Trace.clear ();
+    t
+  in
+  let plan =
+    Plan.make ~seed:5L
+      (List.map (fun s -> { Plan.site = s; probability = 0.; max_fires = max_int }) Site.all)
+  in
+  if with_plan then Plan.install plan;
+  Fun.protect
+    ~finally:(fun () -> if with_plan then Plan.uninstall ())
+    (fun () ->
+      let dom = protected_vm fid "prob0" in
+      Hv.in_guest hv dom (fun () ->
+          Domain.write m dom ~addr:0x5000 (Bytes.of_string "observable payload"));
+      let b = Hv.in_guest hv dom (fun () -> Domain.read m dom ~addr:0x5000 ~len:18) in
+      Alcotest.(check string) "workload readback" "observable payload" (Bytes.to_string b);
+      let trace = finishing () in
+      (Hw.Cost.total m.Hw.Machine.ledger, Hw.Cost.categories m.Hw.Machine.ledger, trace))
+
+let test_probability_zero_is_inert =
+  QCheck.Test.make ~name:"probability-0 plan perturbs nothing" ~count:5
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let machine_seed = Int64.of_int (seed + 1) in
+      let base = observable_run ~machine_seed ~with_plan:false in
+      let armed = observable_run ~machine_seed ~with_plan:true in
+      base = armed)
+
+(* --- migration under transport faults ----------------------------------- *)
+
+let migration_pair () =
+  let _, hv1, fid1 = installed ~seed:81L () in
+  let dom = protected_vm fid1 "traveller" in
+  Hv.in_guest hv1 dom (fun () ->
+      Domain.write hv1.Hv.machine dom ~addr:0x6000 (Bytes.of_string "runtime state"));
+  let _, _, fid2 = installed ~seed:82L () in
+  (fid1, dom, fid2)
+
+let test_truncated_snapshot_fails_closed () =
+  let fid1, dom, fid2 = migration_pair () in
+  with_installed
+    (Plan.make ~seed:3L [ Plan.always Site.Snapshot_truncate ])
+    (fun () ->
+      match Core.Migrate.migrate ~src:fid1 ~dst:fid2 dom with
+      | Error (Core.Migrate.Truncated { expected; got }) ->
+          Alcotest.(check bool) "page deficit reported" true (got < expected)
+      | Error e -> Alcotest.fail ("expected Truncated, got " ^ Core.Migrate.error_to_string e)
+      | Ok _ -> Alcotest.fail "truncated snapshot was accepted")
+
+let test_flipped_snapshot_fails_closed () =
+  let fid1, dom, fid2 = migration_pair () in
+  with_installed
+    (Plan.make ~seed:3L [ Plan.always Site.Snapshot_flip ])
+    (fun () ->
+      match Core.Migrate.migrate ~src:fid1 ~dst:fid2 dom with
+      | Error (Core.Migrate.Rejected _) -> ()
+      | Error e -> Alcotest.fail ("expected Rejected, got " ^ Core.Migrate.error_to_string e)
+      | Ok _ -> Alcotest.fail "bit-flipped snapshot was accepted")
+
+(* --- matrix -------------------------------------------------------------- *)
+
+let reduced_attacks () =
+  match Fidelius_attacks.Suite.all with
+  | a :: b :: _ -> [ a; b ]
+  | _ -> Alcotest.fail "attack suite too small"
+
+let test_matrix_deterministic () =
+  let run () =
+    Matrix.run ~seed:11L
+      ~sites:[ Site.Snapshot_truncate; Site.Fw_drop ]
+      ~attacks:(reduced_attacks ()) ()
+  in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check bool) "same seed, identical report" true (r1 = r2);
+  Alcotest.(check int) "2 sites x 2 stacks" 4 (List.length r1.Matrix.cells)
+
+let test_matrix_fidelius_clean_on_transport_faults () =
+  let report =
+    Matrix.run ~seed:11L
+      ~sites:[ Site.Snapshot_truncate; Site.Snapshot_flip ]
+      ~attacks:(reduced_attacks ()) ()
+  in
+  Alcotest.(check bool) "no silent corruption in the Fidelius column" true
+    (Matrix.fidelius_clean report);
+  List.iter
+    (fun (c : Matrix.cell) ->
+      if c.Matrix.stack = Matrix.Fidelius then
+        Alcotest.(check bool)
+          (Site.to_string c.Matrix.site ^ " detected on Fidelius")
+          true
+          (c.Matrix.verdict = Matrix.Detected))
+    report.Matrix.cells
+
+let () =
+  Alcotest.run "inject"
+    [ ( "plan",
+        [ Alcotest.test_case "single-shot budget" `Quick test_single_shot_budget;
+          Alcotest.test_case "same seed, same schedule" `Quick test_same_seed_same_schedule;
+          Alcotest.test_case "sites independent" `Quick test_sites_independent;
+          Alcotest.test_case "make validates" `Quick test_make_validates;
+          QCheck_alcotest.to_alcotest test_probability_zero_is_inert ] );
+      ( "migration-faults",
+        [ Alcotest.test_case "truncation fails closed" `Quick
+            test_truncated_snapshot_fails_closed;
+          Alcotest.test_case "bit flip fails closed" `Quick test_flipped_snapshot_fails_closed ]
+      );
+      ( "matrix",
+        [ Alcotest.test_case "deterministic" `Quick test_matrix_deterministic;
+          Alcotest.test_case "fidelius column clean" `Quick
+            test_matrix_fidelius_clean_on_transport_faults ] )
+    ]
