@@ -1,13 +1,17 @@
 # Convenience entry points; everything is plain dune underneath.
 #
-#   make build   compile everything
-#   make test    full test suite (includes the trace-export smoke check)
-#   make doc     API docs via odoc, warnings-as-errors (skips if odoc absent)
-#   make matrix  differential fault-injection matrix (nonzero exit on any
-#                silent corruption or harness error in the Fidelius column)
-#   make check   what CI runs: build + tests + docs
+#   make build       compile everything
+#   make test        full test suite (includes the trace-export and fleet
+#                    determinism smoke checks)
+#   make doc         API docs via odoc, warnings-as-errors (skips if odoc absent)
+#   make doc-strict  same, but odoc missing is an error (ODOC_REQUIRED=1)
+#   make matrix      differential fault-injection matrix (nonzero exit on any
+#                    silent corruption or harness error in the Fidelius column)
+#   make fleet       fleet scaling benchmark: VMs/sec vs domain count
+#                    (results/fleet.csv, results/fleet_trace.json, bench.json)
+#   make check       what CI runs: build + tests + matrix + fleet smoke + docs
 
-.PHONY: build test doc matrix check clean
+.PHONY: build test doc doc-strict matrix fleet fleet-smoke check clean
 
 build:
 	dune build @all
@@ -18,10 +22,19 @@ test:
 doc:
 	sh tools/doc.sh
 
+doc-strict:
+	ODOC_REQUIRED=1 sh tools/doc.sh
+
 matrix:
 	dune exec bin/fidelius_sim.exe -- inject matrix
 
-check: build test doc
+fleet:
+	dune exec bench/main.exe -- fleet
+
+fleet-smoke:
+	dune build @fleet-smoke
+
+check: build test matrix fleet-smoke doc
 
 clean:
 	dune clean

@@ -4,7 +4,8 @@
    the security matrix, the ablations of DESIGN.md §4, and Bechamel
    wall-clock measurements of the hot primitives.
 
-   Usage: main.exe [fig5|fig6|tab3|micro|xsa|attacks|tab1|tab2|ablate|bechamel|all]
+   Usage: main.exe [fig5|fig6|tab3|micro|xsa|attacks|tab1|tab2|ablate|bechamel|fleet|all]
+          main.exe fleet [--vms N] [--domains 1,2,4,8]
    With no argument (or "all"), everything runs in paper order. *)
 
 module Hw = Fidelius_hw
@@ -391,6 +392,101 @@ let bechamel ?(quota = 0.25) ?(record = true) () =
   in
   if record then write_bench_json estimates
 
+(* ---- fleet scaling (SCALING.md) ---------------------------------------------------- *)
+
+(* bench.json is written by two sections (bechamel and fleet); each must
+   merge into the existing file, not clobber the other's keys. The file
+   is our own line-per-entry format, so the "parser" is a line scan. *)
+let read_bench_json () =
+  let path = Filename.concat results_dir "bench.json" in
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rec loop acc =
+      match input_line ic with
+      | exception End_of_file -> List.rev acc
+      | line -> (
+          match String.index_opt line '"' with
+          | None -> loop acc
+          | Some i -> (
+              match String.index_from_opt line (i + 1) '"' with
+              | None -> loop acc
+              | Some j -> (
+                  let name = String.sub line (i + 1) (j - i - 1) in
+                  let rest = String.sub line (j + 1) (String.length line - j - 1) in
+                  let num =
+                    String.trim rest |> String.split_on_char ':' |> List.rev |> List.hd
+                    |> String.split_on_char ',' |> List.hd |> String.trim
+                  in
+                  match float_of_string_opt num with
+                  | Some v -> loop ((name, v) :: acc)
+                  | None -> loop acc)))
+    in
+    let entries = loop [] in
+    close_in ic;
+    entries
+  end
+
+let update_bench_json kvs =
+  let keep (k, _) = not (List.mem_assoc k kvs) in
+  write_bench_json (List.filter keep (read_bench_json ()) @ kvs)
+
+let write_file name contents =
+  (try Unix.mkdir results_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = Filename.concat results_dir name in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "  [written: %s]\n" path
+
+(* The deterministic artifacts (per-VM CSV, merged Chrome trace) come
+   from whichever timed run finished last — the fleet determinism
+   contract (pinned in test/test_fleet.ml) says every run produced
+   identical bytes, and the smoke rule re-checks it across two domain
+   counts. Only the VMs/sec column is wall-clock. *)
+let fleet ?(vms = 16) ?(domain_counts = [ 1; 2; 4; 8 ]) ?(record = true) () =
+  header
+    (Printf.sprintf
+       "Fleet: %d protected-VM simulations sharded across OCaml domains (see SCALING.md)" vms);
+  Printf.printf "%8s %10s %10s %10s\n" "domains" "seconds" "VMs/sec" "speedup";
+  let timed =
+    List.map
+      (fun d ->
+        let t0 = Unix.gettimeofday () in
+        let t = W.Fleetbench.run ~domains:d ~vms () in
+        let dt = Unix.gettimeofday () -. t0 in
+        (d, dt, t))
+      domain_counts
+  in
+  let base_dt = match timed with (_, dt, _) :: _ -> dt | [] -> 1.0 in
+  let curve =
+    List.map
+      (fun (d, dt, _) ->
+        let rate = float_of_int vms /. dt in
+        Printf.printf "%8d %10.3f %10.1f %9.2fx\n" d dt rate (base_dt /. dt);
+        (Printf.sprintf "fleet/vms-per-sec-d%d" d, rate))
+      timed
+  in
+  (match List.rev timed with
+  | (_, _, t) :: _ ->
+      write_file "fleet.csv" (W.Fleetbench.csv t);
+      write_file "fleet_trace.json" (Fidelius_obs.Json.to_string (W.Fleetbench.chrome t) ^ "\n")
+  | [] -> ());
+  if record then update_bench_json curve
+
+(* Tiny fleet for CI: checks the sharded run still works and that two
+   domain counts produce byte-identical artifacts, in a few seconds. *)
+let fleet_smoke () =
+  let a = W.Fleetbench.run ~domains:1 ~vms:4 () in
+  let b = W.Fleetbench.run ~domains:3 ~vms:4 () in
+  if W.Fleetbench.csv a <> W.Fleetbench.csv b then
+    failwith "fleet-smoke: per-VM CSV differs between domain counts";
+  if
+    Fidelius_obs.Json.to_string (W.Fleetbench.chrome a)
+    <> Fidelius_obs.Json.to_string (W.Fleetbench.chrome b)
+  then failwith "fleet-smoke: merged Chrome trace differs between domain counts";
+  Printf.printf "fleet-smoke: 4 VMs, domains 1 vs 3: artifacts byte-identical\n"
+
 (* ---- driver --------------------------------------------------------------------------- *)
 
 let all () =
@@ -403,7 +499,26 @@ let all () =
   tab3 ();
   micro ();
   ablate ();
+  fleet ();
   bechamel ()
+
+(* [--flag v] scanned from the section's trailing arguments. *)
+let flag_arg name =
+  let rec go i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 2
+
+let fleet_cli () =
+  let vms = Option.map int_of_string (flag_arg "--vms") in
+  let domain_counts =
+    Option.map
+      (fun s -> List.map int_of_string (String.split_on_char ',' s))
+      (flag_arg "--domains")
+  in
+  fleet ?vms ?domain_counts ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -418,10 +533,13 @@ let () =
   | "ablate" -> ablate ()
   | "bechamel" -> bechamel ()
   | "bechamel-smoke" -> bechamel ~quota:0.01 ~record:false ()
+  | "fleet" -> fleet_cli ()
+  | "fleet-smoke" -> fleet_smoke ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
         "unknown section %S; expected \
-         fig5|fig6|tab3|micro|xsa|attacks|tab1|tab2|ablate|bechamel|bechamel-smoke|all\n"
+         fig5|fig6|tab3|micro|xsa|attacks|tab1|tab2|ablate|bechamel|bechamel-smoke|fleet|\
+         fleet-smoke|all\n"
         other;
       exit 1

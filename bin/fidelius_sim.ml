@@ -24,6 +24,13 @@ let seed_arg =
   let doc = "Deterministic seed for the simulated platform." in
   Arg.(value & opt int64 2026L & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains to shard independent runs across (default: the runtime's \
+     recommended count). Results are identical for any value — see SCALING.md."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
 let stack_on machine =
   let hv = Xen.Hypervisor.boot machine in
   let fid = Fid.install hv in
@@ -48,7 +55,7 @@ let boot_guest fid name pages =
    narration is routed through [say] and muted under [quiet]. *)
 let run_demo_scenario ?(quiet = false) machine =
   let say fmt = if quiet then Printf.ifprintf stdout fmt else Printf.printf fmt in
-  let mark label = if !Obs.Trace.on then Obs.Trace.emit (Obs.Trace.Mark label) in
+  let mark label = if Obs.Trace.enabled () then Obs.Trace.emit (Obs.Trace.Mark label) in
   let machine, hv, fid = stack_on machine in
   say "platform up: %d frames of DRAM, SEV firmware initialized\n"
     (Hw.Physmem.nr_frames machine.Hw.Machine.mem);
@@ -84,10 +91,10 @@ let demo_cmd =
 
 (* --- attacks ---------------------------------------------------------------- *)
 
-let attacks id seed =
+let attacks id seed domains =
   match id with
   | None -> (
-      let rows = Attacks.Runner.run_all ~seed () in
+      let rows = Attacks.Runner.run_all ~seed ?domains () in
       Format.printf "%a@." Attacks.Runner.pp_table rows;
       match Attacks.Runner.errors rows with
       | [] -> `Ok ()
@@ -119,7 +126,7 @@ let attacks_cmd =
   let id =
     Arg.(value & opt (some string) None & info [ "id" ] ~docv:"ATTACK" ~doc:"Run one attack only.")
   in
-  let term = Term.(ret (const attacks $ id $ seed_arg)) in
+  let term = Term.(ret (const attacks $ id $ seed_arg $ domains_arg)) in
   Cmd.v (Cmd.info "attacks" ~doc:"Run the security-analysis attack catalogue") term
 
 (* --- xsa --------------------------------------------------------------------- *)
@@ -351,7 +358,7 @@ let inspect_cmd =
 
 (* --- inject ------------------------------------------------------------------- *)
 
-let inject_matrix seed sites =
+let inject_matrix seed domains sites =
   let module Matrix = Fidelius_inject_matrix.Matrix in
   let module Site = Fidelius_inject.Site in
   match
@@ -372,7 +379,7 @@ let inject_matrix seed sites =
             (String.concat " " (List.map Site.to_string Site.all)) )
   | Ok chosen ->
       let sites = if chosen = [] then Site.all else List.rev chosen in
-      let report = Matrix.run ~seed ~sites () in
+      let report = Matrix.run ~seed ?domains ~sites () in
       Format.printf "%a@." Matrix.pp_table report;
       if Matrix.fidelius_clean report then `Ok ()
       else
@@ -388,7 +395,7 @@ let inject_cmd =
           ~doc:"Fault site to include (repeatable); default is all sites.")
   in
   let matrix =
-    let term = Term.(ret (const inject_matrix $ seed_arg $ sites)) in
+    let term = Term.(ret (const inject_matrix $ seed_arg $ domains_arg $ sites)) in
     Cmd.v
       (Cmd.info "matrix"
          ~doc:

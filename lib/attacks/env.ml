@@ -24,7 +24,8 @@ let baseline ~seed =
   | Error e -> failwith ("attacks: baseline victim: " ^ e)
   | Ok victim ->
       write_secret machine hv victim;
-      { Surface.machine; hv; fid = None; victim; secret; secret_gva }
+      { Surface.machine; hv; fid = None; victim; secret; secret_gva;
+        conspirator = None }
 
 let baseline_es ~seed =
   let stack = baseline ~seed in
@@ -44,7 +45,8 @@ let protected_ ~seed =
   | Error e -> failwith ("attacks: protected victim: " ^ e)
   | Ok victim ->
       write_secret machine hv victim;
-      { Surface.machine; hv; fid = Some fid; victim; secret; secret_gva }
+      { Surface.machine; hv; fid = Some fid; victim; secret; secret_gva;
+        conspirator = None }
 
 let resolve_secret_frame (stack : Surface.stack) =
   let gfn = Hw.Addr.frame_of stack.Surface.secret_gva in
@@ -52,14 +54,17 @@ let resolve_secret_frame (stack : Surface.stack) =
   | Some npte -> npte.Hw.Pagetable.frame
   | None -> failwith "attacks: secret frame not backed"
 
-let conspirators : (Xen.Hypervisor.t * Xen.Domain.t) list ref = ref []
-
+(* The conspirator lives in the stack record, not in a module global: the
+   old global list was keyed by physical equality on the hypervisor and
+   never pruned, so it leaked stacks and — worse — made attack outcomes
+   depend on which stacks had run before in the same process. Per-stack
+   state is trivially shard-safe. *)
 let conspirator (stack : Surface.stack) =
-  match List.find_opt (fun (hv, _) -> hv == stack.Surface.hv) !conspirators with
-  | Some (_, dom) -> dom
+  match stack.Surface.conspirator with
+  | Some dom -> dom
   | None ->
       let dom =
         Xen.Hypervisor.create_domain stack.Surface.hv ~name:"conspirator" ~memory_pages:8
       in
-      conspirators := (stack.Surface.hv, dom) :: !conspirators;
+      stack.Surface.conspirator <- Some dom;
       dom

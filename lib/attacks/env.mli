@@ -27,5 +27,7 @@ val resolve_secret_frame : Surface.stack -> Fidelius_hw.Addr.pfn
     which is readable — write-protection is not read-protection). *)
 
 val conspirator : Surface.stack -> Fidelius_xen.Domain.t
-(** A second, attacker-controlled guest on the same stack (created on
-    demand, cached). *)
+(** A second, attacker-controlled guest on the same stack — created on
+    first use and cached in the stack's own [conspirator] field, so two
+    stacks (and two fleet shards) never share one, and a stack holds no
+    state that outlives it. *)

@@ -18,7 +18,24 @@ let guard f =
   | Fidelius_hw.Mmu.Fault { reason; _ } -> Surface.Blocked ("page fault: " ^ reason)
   | e -> Surface.Errored (Printexc.to_string e)
 
+(* FNV-1a, 64-bit — same stable hash Workloads.Engine uses for its run
+   seeds. The per-attack seed hashes the attack *id*, not its position in
+   [Suite.all], so reordering the catalogue (or running a single attack in
+   isolation) can never change any attack's stacks. *)
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let seed_of ~seed (attack : Surface.attack) =
+  Int64.add seed
+    (Int64.logand (fnv1a64 attack.Surface.id) 0x3fffffffffffffffL)
+
 let run_one ?(seed = 2024L) attack =
+  let seed = seed_of ~seed attack in
   let base_stack = Env.baseline ~seed in
   let es_stack = Env.baseline_es ~seed:(Int64.add seed 2L) in
   let fid_stack = Env.protected_ ~seed:(Int64.add seed 1L) in
@@ -27,8 +44,8 @@ let run_one ?(seed = 2024L) attack =
     sev_es = guard (fun () -> attack.Surface.run es_stack);
     fidelius = guard (fun () -> attack.Surface.run fid_stack) }
 
-let run_all ?(seed = 2024L) () =
-  List.mapi (fun i a -> run_one ~seed:(Int64.add seed (Int64.of_int (i * 10))) a) Suite.all
+let run_all ?(seed = 2024L) ?domains () =
+  Fidelius_fleet.Pool.map_list ?domains (fun a -> run_one ~seed a) Suite.all
 
 let errors rows =
   List.concat_map

@@ -23,6 +23,7 @@ type stack = {
   victim : Fidelius_xen.Domain.t;
   secret : string;
   secret_gva : int;
+  mutable conspirator : Fidelius_xen.Domain.t option;
 }
 
 type attack = {

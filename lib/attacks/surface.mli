@@ -33,6 +33,12 @@ type stack = {
   victim : Fidelius_xen.Domain.t;
   secret : string;               (** plaintext the victim wrote *)
   secret_gva : int;              (** where the victim keeps it *)
+  mutable conspirator : Fidelius_xen.Domain.t option;
+      (** the attacker-controlled peer VM, created on first use by
+          [Env.conspirator]. Lives in the stack (not a module global) so
+          every stack — and therefore every fleet shard — owns its own;
+          attacks can never observe a conspirator created by an earlier
+          or concurrent attack. *)
 }
 
 type attack = {

@@ -20,7 +20,7 @@ let with_type1 (ctx : Ctx.t) f =
   else begin
     ctx.Ctx.gate1_count <- ctx.Ctx.gate1_count + 1;
     Hw.Cost.charge machine.Hw.Machine.ledger "gate1" machine.Hw.Machine.costs.Hw.Cost.gate1;
-    if !Trace.on then Trace.emit (Trace.Gate 1);
+    if Trace.enabled () then Trace.emit (Trace.Gate 1);
     Hw.Cpu.enter_fidelius cpu;
     Hw.Cpu.priv_set_interrupts cpu false;
     let restore () =
@@ -46,7 +46,7 @@ let charge_type2 (ctx : Ctx.t) =
   let machine = ctx.Ctx.machine in
   ctx.Ctx.gate2_count <- ctx.Ctx.gate2_count + 1;
   Hw.Cost.charge machine.Hw.Machine.ledger "gate2" machine.Hw.Machine.costs.Hw.Cost.gate2;
-  if !Trace.on then Trace.emit (Trace.Gate 2)
+  if Trace.enabled () then Trace.emit (Trace.Gate 2)
 
 let with_type3 (ctx : Ctx.t) ~pfns ~executable f =
   let machine = ctx.Ctx.machine in
@@ -55,7 +55,7 @@ let with_type3 (ctx : Ctx.t) ~pfns ~executable f =
   ctx.Ctx.gate3_count <- ctx.Ctx.gate3_count + 1;
   Hw.Cost.charge machine.Hw.Machine.ledger "gate3"
     (machine.Hw.Machine.costs.Hw.Cost.gate3 * List.length pfns);
-  if !Trace.on then Trace.emit (Trace.Gate 3);
+  if Trace.enabled () then Trace.emit (Trace.Gate 3);
   Hw.Cpu.enter_fidelius cpu;
   let with_wp_window g =
     (try set_wp_via_insn ctx false with _ -> Hw.Cpu.priv_set_wp cpu false);

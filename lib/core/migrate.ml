@@ -87,7 +87,7 @@ let send ctx (dom : Xen.Domain.t) ~target_public =
    installed it is the identity. [migrate] routes through it, so the fault
    matrix exercises the same path production code uses. *)
 let transmit snap =
-  if not !Plan.on then snap
+  if not (Plan.armed ()) then snap
   else begin
     let pages = snap.image.Sev.Transport.pages in
     let pages =

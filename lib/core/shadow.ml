@@ -70,7 +70,7 @@ let capture t machine vmcb reason =
   Bytes.set_int64_be bytes exit_off (Vmcb.exit_reason_to_int64 reason);
   Bytes.set bytes flag_off '\001';
   t.captured <- Some reason;
-  if !Trace.on then
+  if Trace.enabled () then
     Trace.emit (Trace.Shadow_capture (Vmcb.exit_reason_to_string reason));
   (* Mask: zero the save area except the reason's visible fields, and zero
      every register the hypervisor has no business reading. *)
@@ -103,13 +103,13 @@ let verify_and_restore t machine vmcb =
       in
       (match tampered with
       | Some f ->
-          if !Trace.on then Trace.emit (Trace.Shadow_verify { ok = false });
+          if Trace.enabled () then Trace.emit (Trace.Shadow_verify { ok = false });
           Error
             (Printf.sprintf "shadow: VMCB field %s tampered during %s exit"
                (Vmcb.field_to_string f)
                (Vmcb.exit_reason_to_string reason))
       | None ->
-          if !Trace.on then Trace.emit (Trace.Shadow_verify { ok = true });
+          if Trace.enabled () then Trace.emit (Trace.Shadow_verify { ok = true });
           (* Restore: non-updatable fields and registers come back from the
              shadow; the hypervisor's updates to the allowed set stand. *)
           let upd_r = updatable_regs reason in

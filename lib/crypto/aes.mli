@@ -10,8 +10,13 @@ type key
 (** An expanded AES-128 key schedule: 44 encryption round-key words plus the
     equivalent-inverse-cipher decryption schedule (InvMixColumns pre-applied
     to rounds 1..9), both as flat int arrays for the T-table block functions.
-    Each key also carries a small reusable scratch state, so a [key] must not
-    be shared between threads (the simulator is single-threaded). *)
+
+    Thread-safety: each key carries a small mutable scratch state reused
+    across calls, so a [key] must never be shared between domains.
+    Under the fleet runner ([Fidelius_fleet.Pool]) this holds by
+    construction — every shard builds its own machine, whose engines
+    {!expand} their own keys; only hand a key to another domain if the
+    expanding domain never touches it again. *)
 
 val block_size : int
 (** Block size in bytes (16). *)

@@ -9,7 +9,13 @@
       decrypts to garbage — the property AMD's SME physical-address tweak
       provides.
     - CBC-MAC: a simple authenticator used where a short keyed tag over
-      fixed-length data is needed. *)
+      fixed-length data is needed.
+
+    Every function here is deterministic — output depends only on the
+    key, tweak/nonce and input bytes — and allocates no hidden state of
+    its own, but all of them drive the {e key's} mutable scratch buffers,
+    so concurrent calls on one {!Aes.key} from two domains are a data
+    race (see {!Aes.key}); give each domain its own expanded key. *)
 
 val ecb_encrypt : Aes.key -> bytes -> bytes
 (** Length must be a multiple of 16. *)

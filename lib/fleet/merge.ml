@@ -1,0 +1,50 @@
+module Trace = Fidelius_obs.Trace
+module Json = Fidelius_obs.Json
+
+let chrome_of_shards shards =
+  let process_meta pid label =
+    Json.Obj
+      [ ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int 1);
+        ("args", Json.Obj [ ("name", Json.Str label) ]) ]
+  in
+  let events =
+    List.concat
+      (List.mapi
+         (fun k (label, entries) ->
+           let pid = k + 1 in
+           process_meta pid label :: List.map (Trace.chrome_event ~pid) entries)
+         shards)
+  in
+  let per_shard =
+    List.map (fun (label, entries) -> (label, Json.Int (List.length entries))) shards
+  in
+  Json.Obj
+    [ ("traceEvents", Json.Arr events);
+      ("displayTimeUnit", Json.Str "ns");
+      ("otherData",
+       Json.Obj
+         [ ("shards", Json.Int (List.length shards));
+           ("events_per_shard", Json.Obj per_shard) ]) ]
+
+let sum_counts listings =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (List.iter (fun (k, v) ->
+         Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k))))
+    listings;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (ka, a) (kb, b) -> if a <> b then compare b a else compare ka kb)
+
+let csv ~header rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (List.iter (fun row ->
+         Buffer.add_string buf row;
+         Buffer.add_char buf '\n'))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** Deterministic merging of per-shard fleet results.
+
+    Every merge in this module folds its input {e in the order given} —
+    callers pass shard results in canonical job order (what
+    {!Pool.map} returns), so merged output is byte-identical for any
+    domain count. Nothing here reads domain-local state; all inputs are
+    plain values handed over by finished shards. *)
+
+val chrome_of_shards :
+  (string * Fidelius_obs.Trace.entry list) list -> Fidelius_obs.Json.t
+(** [chrome_of_shards [(label0, entries0); ...]] renders the shards'
+    captures as one Chrome [trace_event] document in which shard [k]
+    appears as its own process row: [pid = k + 1], named [label_k] via a
+    [process_name] metadata event. Event order inside a shard is the
+    shard's own emission order; shards appear in list order, so the
+    document's bytes depend only on the input, not on how many domains
+    produced it. [otherData] carries the shard count and per-shard event
+    counts (label order preserved). *)
+
+val sum_counts : (string * int) list list -> (string * int) list
+(** Pointwise sum of per-shard counter listings (ledger categories,
+    scope attributions...). The result is sorted by descending count,
+    ties broken on the label — the same canonical order [Hw.Cost] uses —
+    so the merged listing never depends on input interleaving. *)
+
+val csv : header:string -> (string list) list -> string
+(** [csv ~header rows] assembles per-shard row groups into one CSV
+    string, header first, then every shard's rows in shard order,
+    ["\n"]-terminated. Purely concatenation — no reordering, no
+    formatting — so shards keep full control of their cells. *)

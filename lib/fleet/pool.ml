@@ -1,0 +1,50 @@
+let recommended_domains () = max 1 (Domain.recommended_domain_count ())
+
+let chunks ~njobs ~ndomains =
+  if njobs < 0 then invalid_arg "Pool.chunks: njobs must be >= 0";
+  if ndomains < 1 then invalid_arg "Pool.chunks: ndomains must be >= 1";
+  let d = min ndomains (max njobs 1) in
+  let q = njobs / d and r = njobs mod d in
+  List.init d (fun i -> ((i * q) + min i r, q + if i < r then 1 else 0))
+
+exception Job_failed of { job : int; exn : exn }
+
+(* One slot per job, written by exactly one worker domain; [Domain.join]
+   publishes every write before the main domain reads any slot back. *)
+type 'a slot =
+  | Pending
+  | Done of 'a
+  | Raised of exn
+
+let map ?domains ~njobs f =
+  let ndomains =
+    match domains with
+    | None -> recommended_domains ()
+    | Some d -> if d < 1 then invalid_arg "Pool.map: domains must be >= 1" else d
+  in
+  if njobs < 0 then invalid_arg "Pool.map: njobs must be >= 0";
+  if njobs = 0 then []
+  else begin
+    let slots = Array.make njobs Pending in
+    let worker (start, len) () =
+      for j = start to start + len - 1 do
+        slots.(j) <- (try Done (f j) with e -> Raised e)
+      done
+    in
+    (* Jobs run on spawned domains even when the pool has a single worker,
+       so a job sees pristine domain-local state (no inherited trace ring
+       or fault plan) regardless of the domain count — otherwise
+       [~domains:1] and [~domains:n] could observably differ. *)
+    chunks ~njobs ~ndomains
+    |> List.map (fun chunk -> Domain.spawn (worker chunk))
+    |> List.iter Domain.join;
+    (* Report the lowest failing job, not the first domain to crash. *)
+    Array.iteri
+      (fun job -> function Raised exn -> raise (Job_failed { job; exn }) | _ -> ())
+      slots;
+    Array.to_list (Array.map (function Done v -> v | Raised _ | Pending -> assert false) slots)
+  end
+
+let map_list ?domains f xs =
+  let arr = Array.of_list xs in
+  map ?domains ~njobs:(Array.length arr) (fun j -> f arr.(j))

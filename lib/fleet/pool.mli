@@ -1,0 +1,63 @@
+(** Fixed-size multicore job pool ([Domain.spawn]-based, no dependencies
+    beyond the OCaml 5 runtime).
+
+    [map ~njobs f] runs the jobs [f 0 .. f (njobs - 1)] across a pool of
+    worker domains and returns the results {e in canonical job order} —
+    the caller can never observe scheduling order, which is the
+    foundation of the fleet determinism contract (see [SCALING.md]):
+    provided each job is itself deterministic and touches only state it
+    owns, the returned list is identical for every [domains] value,
+    including 1.
+
+    {2 Scheduling}
+
+    Scheduling is chunked and static: job [j] belongs to the domain given
+    by {!chunks}, a pure function of [(njobs, ndomains)]. There is no
+    work-stealing and no shared queue, so no lock, no contention, and no
+    run-to-run variation in which domain executes which job.
+
+    {2 State ownership}
+
+    Jobs always execute on freshly spawned domains — never on the caller's
+    domain, even when [domains = 1] — so every job starts from pristine
+    [Domain.DLS] state: tracing disabled ({!Fidelius_obs.Trace}), no fault
+    plan installed ([Fidelius_inject.Plan]). A job must construct (or be
+    handed exclusive ownership of) every piece of mutable state it
+    touches; sharing a machine, ledger, or expanded AES key between jobs
+    is a data race. *)
+
+val recommended_domains : unit -> int
+(** The runtime's suggested parallelism ([Domain.recommended_domain_count]),
+    at least 1. The default for every [?domains] argument in the fleet. *)
+
+val chunks : njobs:int -> ndomains:int -> (int * int) list
+(** [chunks ~njobs ~ndomains] is the static job → domain assignment: one
+    [(start, len)] pair per worker domain, covering [0 .. njobs - 1] with
+    contiguous, disjoint, in-order chunks whose lengths differ by at most
+    one. A pure function of its two arguments — part of the determinism
+    contract, pinned by a qcheck partition property. At most
+    [max njobs 1] domains are used, so no worker is ever empty (except
+    the single worker of an empty job list). Raises [Invalid_argument]
+    if [njobs < 0] or [ndomains < 1]. *)
+
+exception Job_failed of { job : int; exn : exn }
+(** Raised by {!map} after all workers have joined, carrying the
+    lowest-numbered failing job and its original exception. Deterministic:
+    the reported job index does not depend on which domain crashed
+    first. *)
+
+val map : ?domains:int -> njobs:int -> (int -> 'a) -> 'a list
+(** [map ~domains ~njobs f] runs every job on the pool and returns
+    [[f 0; f 1; ...; f (njobs - 1)]] in job order. [domains] defaults to
+    {!recommended_domains} and is clamped to [njobs] (an idle domain is
+    never spawned); [njobs = 0] returns [[]] without spawning.
+
+    If any job raises, the remaining jobs still run to completion
+    (failure of one shard never aborts another's work), and once every
+    worker has joined, {!Job_failed} is raised for the lowest failing job
+    index. Raises [Invalid_argument] if [njobs < 0] or [domains < 1]. *)
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list f xs] is {!map} over the elements of [xs], preserving list
+    order. The list is forced into an array up front, so [xs] itself is
+    not consulted concurrently. *)

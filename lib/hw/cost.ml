@@ -121,11 +121,11 @@ let charge l cat n =
 let with_scope l scope f =
   if scope = root_scope then invalid_arg "Cost.with_scope: (root) is reserved";
   l.scope_stack <- scope :: l.scope_stack;
-  if !Trace.on then Trace.push_scope scope;
+  if Trace.enabled () then Trace.push_scope scope;
   Fun.protect
     ~finally:(fun () ->
       (match l.scope_stack with [] -> () | _ :: rest -> l.scope_stack <- rest);
-      if !Trace.on then Trace.pop_scope ())
+      if Trace.enabled () then Trace.pop_scope ())
     f
 
 let total l = l.cycles

@@ -74,7 +74,7 @@ let tweak_step = Int64.of_int Addr.block_size
 let charge_blocks t ~encrypted nblocks =
   Cost.charge t.ledger "dram" (t.costs.Cost.dram_access * nblocks);
   if encrypted then Cost.charge t.ledger "enc-engine" (t.costs.Cost.enc_extra * nblocks);
-  if !Trace.on then Trace.emit (Trace.Dram { blocks = nblocks; encrypted })
+  if Trace.enabled () then Trace.emit (Trace.Dram { blocks = nblocks; encrypted })
 
 let block_range off len =
   let first = off / Addr.block_size in
@@ -100,7 +100,7 @@ let faulted_src t pfn ~off ~len =
 let read t sel pfn ~off ~len =
   if len = 0 then Bytes.create 0
   else begin
-    let src_pfn = if !Plan.on then faulted_src t pfn ~off ~len else pfn in
+    let src_pfn = if Plan.armed () then faulted_src t pfn ~off ~len else pfn in
     let first, last = block_range off len in
     match key_of t sel with
     | None ->
@@ -168,7 +168,7 @@ let copy_page t ~src_sel ~src ~dst_sel ~dst =
 let fw_charge t =
   Cost.charge t.ledger "enc-engine"
     ((t.costs.Cost.dram_access + t.costs.Cost.enc_extra) * Addr.blocks_per_page);
-  if !Trace.on then
+  if Trace.enabled () then
     Trace.emit (Trace.Dram { blocks = Addr.blocks_per_page; encrypted = true })
 
 let fw_write_page t ~key pfn plain =

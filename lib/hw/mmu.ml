@@ -169,7 +169,7 @@ let set_pte (m : Machine.t) ~space ~table vfn proto =
   let backing = Pagetable.backing_frame_of table vfn in
   check_frame_writable m ~space backing;
   Cost.charge m.ledger "pte-write" m.costs.Cost.cacheline_write;
-  if !Trace.on then Trace.emit (Trace.Pte_write { vfn });
+  if Trace.enabled () then Trace.emit (Trace.Pte_write { vfn });
   Pagetable.hw_set table vfn proto;
   Tlb.flush_entry m.tlb ~space_id:(Pagetable.id table) vfn
 

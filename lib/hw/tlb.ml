@@ -20,7 +20,7 @@ let lookup t ~space_id vfn =
   end
   else begin
     Cost.charge t.ledger "tlb-miss" t.costs.Cost.tlb_miss_walk;
-    if !Trace.on then Trace.emit (Trace.Walk { space = space_id; vfn });
+    if Trace.enabled () then Trace.emit (Trace.Walk { space = space_id; vfn });
     Hashtbl.replace t.cached key ();
     false
   end
@@ -28,20 +28,20 @@ let lookup t ~space_id vfn =
 (* A hypervisor that "forgets" TLB maintenance does no work at all: the
    omitted flush charges nothing and invalidates nothing. *)
 let flush_entry t ~space_id vfn =
-  if !Plan.on && Plan.fire Site.Tlb_omit_flush then ()
+  if Plan.armed () && Plan.fire Site.Tlb_omit_flush then ()
   else begin
     Hashtbl.remove t.cached (space_id, vfn);
     Cost.charge t.ledger "tlb-flush" t.costs.Cost.tlb_flush_entry;
-    if !Trace.on then Trace.emit (Trace.Tlb_flush { full = false })
+    if Trace.enabled () then Trace.emit (Trace.Tlb_flush { full = false })
   end
 
 let flush_all t =
-  if !Plan.on && Plan.fire Site.Tlb_omit_flush then ()
+  if Plan.armed () && Plan.fire Site.Tlb_omit_flush then ()
   else begin
     Hashtbl.reset t.cached;
     t.full_flushes <- t.full_flushes + 1;
     Cost.charge t.ledger "tlb-flush" t.costs.Cost.tlb_flush_full;
-    if !Trace.on then Trace.emit (Trace.Tlb_flush { full = true })
+    if Trace.enabled () then Trace.emit (Trace.Tlb_flush { full = true })
   end
 
 let entries t = Hashtbl.length t.cached

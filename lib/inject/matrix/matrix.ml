@@ -307,40 +307,51 @@ let runtime_probe ~seed site kind =
 
 (* --- the matrix -------------------------------------------------------- *)
 
-let run ?(seed = 2026L) ?(sites = Site.all) ?(attacks = Attacks.Suite.all) () =
+let run ?(seed = 2026L) ?domains ?(sites = Site.all) ?(attacks = Attacks.Suite.all) () =
   let kinds = [ Plain_sev; Fidelius ] in
   (* Fault-free references, one per (kind, attack), with the same stack
-     seeds the faulted runs use. *)
+     seeds the faulted runs use. Each reference is an independent job —
+     fresh stack, no plan installed — so the pool shards them freely. *)
+  let ref_jobs =
+    List.concat_map (fun kind -> List.mapi (fun i a -> (kind, i, a)) attacks) kinds
+  in
+  let ref_rows =
+    Fidelius_fleet.Pool.map_list ?domains
+      (fun (kind, i, (attack : Surface.attack)) ->
+        let stack = build kind ~seed:(Int64.add seed (Int64.of_int (i * 10))) in
+        (kind, attack.Surface.id, guard (fun () -> attack.Surface.run stack)))
+      ref_jobs
+  in
   let references =
     List.map
       (fun kind ->
         ( kind,
-          List.mapi
-            (fun i (attack : Surface.attack) ->
-              let stack = build kind ~seed:(Int64.add seed (Int64.of_int (i * 10))) in
-              (attack.Surface.id, guard (fun () -> attack.Surface.run stack)))
-            attacks ))
+          List.filter_map
+            (fun (k, id, o) -> if k = kind then Some (id, o) else None)
+            ref_rows ))
       kinds
   in
+  (* One pool job per (site × stack) cell. Every probe builds its own
+     stacks and arms its own single-shot plan in the worker's domain-local
+     slot, so cells never interact; results come back in canonical
+     (site-major, kind-minor) order whatever the domain count. *)
+  let cell_jobs = List.concat_map (fun site -> List.map (fun kind -> (site, kind)) kinds) sites in
   let cells =
-    List.concat_map
-      (fun site ->
-        List.map
-          (fun kind ->
-            let probes =
-              [ attack_probe ~seed ~references:(List.assoc kind references) site kind
-                  attacks;
-                migration_probe ~seed site kind;
-                runtime_probe ~seed site kind ]
-            in
-            let verdict, detail =
-              List.fold_left
-                (fun (wv, wd) (v, d) -> if severity v > severity wv then (v, d) else (wv, wd))
-                (List.hd probes) (List.tl probes)
-            in
-            { site; stack = kind; verdict; detail })
-          kinds)
-      sites
+    Fidelius_fleet.Pool.map_list ?domains
+      (fun (site, kind) ->
+        let probes =
+          [ attack_probe ~seed ~references:(List.assoc kind references) site kind
+              attacks;
+            migration_probe ~seed site kind;
+            runtime_probe ~seed site kind ]
+        in
+        let verdict, detail =
+          List.fold_left
+            (fun (wv, wd) (v, d) -> if severity v > severity wv then (v, d) else (wv, wd))
+            (List.hd probes) (List.tl probes)
+        in
+        { site; stack = kind; verdict; detail })
+      cell_jobs
   in
   { seed; cells }
 

@@ -55,13 +55,19 @@ type report = {
 
 val run :
   ?seed:int64 ->
+  ?domains:int ->
   ?sites:Site.t list ->
   ?attacks:Fidelius_attacks.Surface.attack list ->
   unit ->
   report
 (** Run the matrix. [sites] defaults to {!Site.all}; [attacks] defaults
     to the full suite ([Fidelius_attacks.Suite.all]) — tests pass a
-    subset to keep runtime down. *)
+    subset to keep runtime down. [domains] (default
+    [Fidelius_fleet.Pool.recommended_domains ()]) shards the fault-free
+    reference runs and then the (site × stack) cells across that many
+    OCaml domains; each cell arms its plan in its own domain-local slot,
+    and the report is identical for every domain count (pinned by a
+    test). *)
 
 val fidelius_clean : report -> bool
 (** True iff no Fidelius-column cell is [Silent_corruption] or

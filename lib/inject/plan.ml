@@ -39,19 +39,18 @@ let make ?(seed = 2026L) rules =
 
 let seed t = t.seed
 
-let on = ref false
+(* The active plan is domain-local: each fleet shard arms and clears its
+   own plan without a lock, and a freshly spawned domain starts with no
+   plan installed whatever its parent had armed. *)
+let slot : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 
-let active : t option ref = ref None
+let installed () = !(Domain.DLS.get slot)
 
-let install t =
-  active := Some t;
-  on := true
+let armed () = installed () <> None
 
-let uninstall () =
-  on := false;
-  active := None
+let install t = Domain.DLS.get slot := Some t
 
-let installed () = !active
+let uninstall () = Domain.DLS.get slot := None
 
 (* splitmix64 finalizer — the decision for (seed, site, counter) is a pure
    hash, so no site's schedule depends on what other sites did. *)
@@ -72,7 +71,7 @@ let to_unit_float h =
   Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53
 
 let fire site =
-  match !active with
+  match installed () with
   | None -> false
   | Some t ->
       let i = Site.index site in
@@ -82,7 +81,7 @@ let fire site =
       if p <= 0. || t.fired.(i) >= t.max_fires.(i) then false
       else if to_unit_float (hash t.seed ~salt:0 ~site:i ~counter:k) < p then begin
         t.fired.(i) <- t.fired.(i) + 1;
-        if !Fidelius_obs.Trace.on then
+        if Fidelius_obs.Trace.enabled () then
           Fidelius_obs.Trace.emit
             (Fault { site = Site.to_string site; hit = t.fired.(i) });
         true
@@ -91,7 +90,7 @@ let fire site =
 
 let draw site ~bound =
   if bound <= 0 then invalid_arg "Plan.draw: bound must be positive";
-  match !active with
+  match installed () with
   | None -> invalid_arg "Plan.draw: no plan installed"
   | Some t ->
       let i = Site.index site in

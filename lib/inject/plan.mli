@@ -1,10 +1,20 @@
 (** Deterministic, seed-driven fault plan.
 
     A plan arms a subset of {!Site.t}s with a firing probability and an
-    optional firing budget. Product code asks [if !Plan.on && Plan.fire
-    Site.X then ...] at each instrumented site — the same
-    zero-cost-when-off discipline as [Obs.Trace]: with no plan installed
-    the guard is a single mutable-bool load and nothing else runs.
+    optional firing budget. Product code asks [if Plan.armed () &&
+    Plan.fire Site.X then ...] at each instrumented site — the same
+    cheap-when-off discipline as [Obs.Trace]: with no plan installed the
+    guard is a single domain-local load and nothing else runs.
+
+    {2 Thread-safety: one plan per domain}
+
+    The installed plan is [Domain.DLS]-backed: {!install}, {!fire},
+    {!draw} and {!uninstall} all act on the calling domain's slot only.
+    Fleet shards ([Fidelius_fleet.Pool]) arm independent plans
+    concurrently without locks; a freshly spawned domain starts with no
+    plan installed. A plan value carries mutable counters, so installing
+    the same [t] in two domains at once is a data race — build one plan
+    per shard ({!make} is cheap).
 
     {2 Determinism}
 
@@ -46,19 +56,23 @@ val make : ?seed:int64 -> rule list -> t
     negative [max_fires]. *)
 
 val seed : t -> int64
+(** The seed the plan's firing schedule and parameter draws hash over. *)
 
-val on : bool ref
-(** The cheap guard; true iff a plan is installed. Do not set directly. *)
+val armed : unit -> bool
+(** The cheap guard: true iff the calling domain has a plan installed.
+    One domain-local load, no allocation. *)
 
 val install : t -> unit
-(** Makes [t] the process-global active plan (replacing any previous one)
-    and raises {!on}. Counters are {e not} reset — install a fresh plan
-    for a fresh schedule. *)
+(** Makes [t] the calling domain's active plan (replacing any previous
+    one). Counters are {e not} reset — install a fresh plan for a fresh
+    schedule. *)
 
 val uninstall : unit -> unit
-(** Clears {!on}; subsequent [fire] calls return false. *)
+(** Clears the calling domain's plan; subsequent [fire] calls return
+    false. *)
 
 val installed : unit -> t option
+(** The calling domain's active plan, if any. *)
 
 val fire : Site.t -> bool
 (** Decide occurrence [k] at this site (and advance the site's occurrence

@@ -23,9 +23,8 @@ type entry = {
 
 let default_capacity = 65536
 
-let on = ref false
-
 type state = {
+  mutable on : bool;
   mutable buf : entry array;
   mutable capacity : int;
   mutable next : int;  (* slot the next entry lands in *)
@@ -36,39 +35,53 @@ type state = {
 
 let dummy = { seq = -1; ts = 0; scope = ""; event = Mark "" }
 
-let st =
-  { buf = [||];
+let fresh_state () =
+  { on = false;
+    buf = [||];
     capacity = default_capacity;
     next = 0;
     total = 0;
     clock = (fun () -> 0);
     scopes = [] }
 
-let enabled () = !on
+(* One recording per domain: every fleet shard (and the main domain) owns
+   its own ring, clock and scope stack, so concurrent shards can record
+   without a lock and without perturbing each other. *)
+let key = Domain.DLS.new_key fresh_state
+
+let st () = Domain.DLS.get key
+
+let enabled () = (st ()).on
 
 let clear () =
+  let st = st () in
   st.buf <- [||];
   st.next <- 0;
   st.total <- 0
 
-let set_clock f = st.clock <- f
+let set_clock f = (st ()).clock <- f
 
 let enable ?(capacity = default_capacity) ?clock () =
   if capacity <= 0 then invalid_arg "Trace.enable: capacity must be positive";
   clear ();
+  let st = st () in
   st.capacity <- capacity;
   (match clock with Some f -> st.clock <- f | None -> ());
-  on := true
+  st.on <- true
 
-let disable () = on := false
+let disable () = (st ()).on <- false
 
-let push_scope s = st.scopes <- s :: st.scopes
+let push_scope s =
+  let st = st () in
+  st.scopes <- s :: st.scopes
 
 let pop_scope () =
+  let st = st () in
   match st.scopes with [] -> () | _ :: rest -> st.scopes <- rest
 
 let emit event =
-  if !on then begin
+  let st = st () in
+  if st.on then begin
     if Array.length st.buf = 0 then st.buf <- Array.make st.capacity dummy;
     let scope = match st.scopes with [] -> "" | s :: _ -> s in
     st.buf.(st.next) <- { seq = st.total; ts = st.clock (); scope; event };
@@ -76,11 +89,13 @@ let emit event =
     st.total <- st.total + 1
   end
 
-let emitted () = st.total
+let emitted () = (st ()).total
 
-let dropped () = max 0 (st.total - st.capacity)
+let dropped () =
+  let st = st () in
+  max 0 (st.total - st.capacity)
 
-let entries () =
+let entries_of st =
   let n = min st.total st.capacity in
   if n = 0 then []
   else begin
@@ -88,6 +103,22 @@ let entries () =
     let start = if st.total > st.capacity then st.next else 0 in
     List.init n (fun i -> st.buf.((start + i) mod st.capacity))
   end
+
+let entries () = entries_of (st ())
+
+let capture ?(capacity = default_capacity) ?clock f =
+  if capacity <= 0 then invalid_arg "Trace.capture: capacity must be positive";
+  let saved = Domain.DLS.get key in
+  let s = fresh_state () in
+  s.capacity <- capacity;
+  (match clock with Some c -> s.clock <- c | None -> ());
+  s.on <- true;
+  Domain.DLS.set key s;
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set key saved)
+    (fun () ->
+      let result = f () in
+      (result, entries_of s))
 
 (* --- export ------------------------------------------------------------ *)
 
@@ -132,30 +163,30 @@ let entry_json e =
       ("name", Json.Str (event_name e.event));
       ("args", Json.Obj (event_args e.event)) ]
 
-let to_jsonl () =
+let jsonl_of entries =
   let buf = Buffer.create 4096 in
   List.iter
     (fun e ->
       Json.to_buffer buf (entry_json e);
       Buffer.add_char buf '\n')
-    (entries ());
+    entries;
   Buffer.contents buf
 
+let to_jsonl () = jsonl_of (entries ())
+
+let chrome_event ?(pid = 1) ?(tid = 1) e =
+  Json.Obj
+    [ ("name", Json.Str (event_name e.event));
+      ("cat", Json.Str (if e.scope = "" then "platform" else e.scope));
+      ("ph", Json.Str "i");
+      ("s", Json.Str "t");
+      ("ts", Json.Int e.ts);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj (("seq", Json.Int e.seq) :: event_args e.event)) ]
+
 let to_chrome ?(attribution = []) ?total_cycles () =
-  let events =
-    List.map
-      (fun e ->
-        Json.Obj
-          [ ("name", Json.Str (event_name e.event));
-            ("cat", Json.Str (if e.scope = "" then "platform" else e.scope));
-            ("ph", Json.Str "i");
-            ("s", Json.Str "t");
-            ("ts", Json.Int e.ts);
-            ("pid", Json.Int 1);
-            ("tid", Json.Int 1);
-            ("args", Json.Obj (("seq", Json.Int e.seq) :: event_args e.event)) ])
-      (entries ())
-  in
+  let events = List.map chrome_event (entries ()) in
   let other =
     [ ("emitted", Json.Int (emitted ())); ("dropped", Json.Int (dropped ())) ]
     @ (match total_cycles with Some t -> [ ("total_cycles", Json.Int t) ] | None -> [])

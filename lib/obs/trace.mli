@@ -9,12 +9,22 @@
 
     The store is a ring buffer: once [capacity] events have been recorded
     the oldest are overwritten and counted in {!dropped}. The disabled
-    path is one mutable-bool load — emit sites guard with
-    [if !Trace.on then Trace.emit ...] so no event is even allocated.
+    path is one domain-local load — emit sites guard with
+    [if Trace.enabled () then Trace.emit ...] so no event is allocated
+    when tracing is off.
 
-    This is process-global state (like a tracing daemon's ring), intended
-    for single-machine scenario runs; {!enable} clears any previous
-    recording. *)
+    {2 Thread-safety: one recording per domain}
+
+    All recording state (ring, clock, scope stack, on/off flag) lives in
+    [Domain.DLS]: each domain owns an independent recording, and every
+    function in this interface reads or writes only the calling domain's
+    state. Fleet shards ([Fidelius_fleet.Pool]) therefore trace
+    concurrently without locks and without perturbing one another — a
+    shard records with {!capture} and returns its entries to the caller,
+    which merges them in canonical shard order. Entries themselves are
+    immutable and may be handed freely across domains; what must not be
+    shared is a live recording. A freshly spawned domain starts with
+    tracing disabled regardless of the spawning domain's state. *)
 
 type event =
   | Vmrun of { domid : int }
@@ -41,50 +51,83 @@ type entry = {
   event : event;
 }
 
-val on : bool ref
-(** The cheap guard. Do not set directly; use {!enable}/{!disable}. *)
-
 val enabled : unit -> bool
+(** Whether the calling domain is recording. The cheap guard for emit
+    sites: one domain-local load, no allocation. *)
 
 val enable : ?capacity:int -> ?clock:(unit -> int) -> unit -> unit
-(** Clears the buffer and starts recording. [capacity] defaults to 65536
-    entries; [clock] defaults to the previously installed clock (a
-    constant 0 if none was ever installed). *)
+(** Clears the calling domain's buffer and starts recording. [capacity]
+    defaults to 65536 entries; [clock] defaults to the previously
+    installed clock (a constant 0 if none was ever installed). Raises
+    [Invalid_argument] if [capacity <= 0]. *)
 
 val disable : unit -> unit
-(** Stops recording; the buffer is retained for export. *)
+(** Stops recording on the calling domain; the buffer is retained for
+    export. *)
 
 val clear : unit -> unit
+(** Drops every recorded entry (and the emitted/dropped counters) of the
+    calling domain's recording; on/off state and clock are untouched. *)
 
 val set_clock : (unit -> int) -> unit
-(** Install the timestamp source, typically
-    [fun () -> Cost.total machine.ledger]. *)
+(** Install the timestamp source for the calling domain, typically
+    [fun () -> Cost.total machine.ledger]. Timestamps are simulated
+    cycles, never wall time — the determinism contract depends on it. *)
 
 val push_scope : string -> unit
+(** Scope tagging for emitted events; driven by [Cost.with_scope]. *)
+
 val pop_scope : unit -> unit
-(** Scope tagging for emitted events; driven by [Cost.with_scope].
-    [pop_scope] on an empty stack is a no-op. *)
+(** Inverse of {!push_scope}; a no-op on an empty scope stack. *)
 
 val emit : event -> unit
+(** Record one event in the calling domain's ring (a no-op when
+    disabled). Timestamped with the installed clock, tagged with the
+    innermost scope. *)
+
+val capture : ?capacity:int -> ?clock:(unit -> int) -> (unit -> 'a) -> 'a * entry list
+(** [capture f] runs [f] under a fresh, enabled, domain-local recording
+    and returns [f]'s result together with everything it emitted (oldest
+    first). The previous recording — whatever the domain had active,
+    enabled or not — is saved and restored afterwards, even on
+    exceptions, so captures nest and never leak state. This is the
+    per-shard recording primitive of the fleet runner: each shard
+    captures its own entries and the caller merges them in canonical
+    order. [capacity] defaults to 65536; [clock] defaults to constant 0
+    until [f] installs one with {!set_clock}. Raises [Invalid_argument]
+    if [capacity <= 0]. *)
 
 val entries : unit -> entry list
-(** Oldest first. *)
+(** The calling domain's recorded entries, oldest first. *)
 
 val emitted : unit -> int
 (** Total events emitted since the last {!clear}, including dropped. *)
 
 val dropped : unit -> int
+(** How many of the emitted events the ring has overwritten. *)
 
 val event_name : event -> string
+(** Stable wire name of the event constructor (e.g. ["tlb-flush"]). *)
+
 val event_args : event -> (string * Json.t) list
+(** The event's payload as JSON fields, in declaration order —
+    deterministic, so exports are byte-stable. *)
+
+val jsonl_of : entry list -> string
+(** Render any entry list (e.g. a fleet shard's capture) as JSONL, one
+    [{"seq":N,"ts":N,"scope":S,"name":S,"args":{...}}] object per line. *)
 
 val to_jsonl : unit -> string
-(** One JSON object per line:
-    [{"seq":N,"ts":N,"scope":S,"name":S,"args":{...}}]. *)
+(** {!jsonl_of} applied to the calling domain's {!entries}. *)
+
+val chrome_event : ?pid:int -> ?tid:int -> entry -> Json.t
+(** One Chrome [trace_event] instant-event object. [pid]/[tid] default to
+    1; the fleet's merged export gives each shard its own [pid] row. *)
 
 val to_chrome : ?attribution:(string * int) list -> ?total_cycles:int -> unit -> Json.t
 (** Chrome [trace_event] format: an object with a [traceEvents] array of
     instant events (timestamps in ledger cycles) and an [otherData]
     section carrying the per-scope cycle attribution and the ledger
     total, so viewers and tests can check that attribution sums to the
-    total. *)
+    total. Single-recording export ([pid] 1 throughout); for the
+    multi-shard variant see [Fidelius_fleet.Merge.chrome_of_shards]. *)

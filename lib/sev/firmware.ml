@@ -55,7 +55,7 @@ module Trace = Fidelius_obs.Trace
 
 let charge_cmd t name =
   Cost.charge t.machine.Machine.ledger "sev-fw" t.machine.Machine.costs.Cost.firmware_cmd;
-  if !Trace.on then Trace.emit (Trace.Fw_cmd name)
+  if Trace.enabled () then Trace.emit (Trace.Fw_cmd name)
 
 (* The secure processor's stores are coherent with the CPU caches: evict
    any stale plaintext lines whenever the firmware rewrites a frame. *)
@@ -68,7 +68,7 @@ let coherent_encrypt t ~key pfn =
   Fidelius_hw.Cache.invalidate_page t.machine.Machine.cache pfn
 let charge_page t name =
   Cost.charge t.machine.Machine.ledger "sev-fw" t.machine.Machine.costs.Cost.firmware_page;
-  if !Trace.on then Trace.emit (Trace.Fw_cmd name)
+  if Trace.enabled () then Trace.emit (Trace.Fw_cmd name)
 
 let ( let* ) = Result.bind
 
@@ -270,7 +270,7 @@ let receive_update t ~handle ~index ~cipher ~dst_pfn =
   | None -> Error "RECEIVE_UPDATE: no transport key"
   | Some tek ->
       if Bytes.length cipher <> Addr.page_size then Error "RECEIVE_UPDATE: need a full page"
-      else if !Plan.on && Plan.fire Site.Fw_drop then
+      else if Plan.armed () && Plan.fire Site.Fw_drop then
         (* a hostile platform silently discards the command yet reports
            success; the gap must surface at RECEIVE_FINISH, not here *)
         Ok ()
@@ -281,7 +281,7 @@ let receive_update t ~handle ~index ~cipher ~dst_pfn =
           coherent_write t ~key:c.kvek dst_pfn plain
         in
         apply ();
-        if !Plan.on && Plan.fire Site.Fw_replay then apply ();
+        if Plan.armed () && Plan.fire Site.Fw_replay then apply ();
         Ok ()
       end
 

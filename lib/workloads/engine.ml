@@ -45,6 +45,11 @@ let sample_exits = 32
 
 let boot_stack profile config seed =
   let machine = Hw.Machine.create ~seed () in
+  (* If this domain is recording a trace (fleet shards capture one per
+     VM), timestamp it in this machine's simulated cycles — never wall
+     time — so the trace bytes depend only on the seed. *)
+  if Fidelius_obs.Trace.enabled () then
+    Fidelius_obs.Trace.set_clock (fun () -> Hw.Cost.total machine.Hw.Machine.ledger);
   let hv = Xen.Hypervisor.boot machine in
   let memory_pages = profile.Profile.working_set_pages + 8 in
   match config with
@@ -132,8 +137,8 @@ let overhead_pct ~base result =
   100.0 *. (float_of_int result.cycles -. float_of_int base.cycles)
   /. float_of_int base.cycles
 
-let run_suite profiles =
-  List.map
+let run_suite ?domains profiles =
+  Fidelius_fleet.Pool.map_list ?domains
     (fun p ->
       let base = run p Xen_baseline in
       let fid = run p Fidelius in

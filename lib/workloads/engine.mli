@@ -46,6 +46,12 @@ val run : Profile.t -> config -> result
 val overhead_pct : base:result -> result -> float
 (** [(cycles - base.cycles) / base.cycles * 100]. *)
 
-val run_suite : Profile.t list -> (Profile.t * float * float) list
+val run_suite :
+  ?domains:int -> Profile.t list -> (Profile.t * float * float) list
 (** For each profile: (profile, Fidelius overhead %, Fidelius-enc overhead %)
-    against the Xen baseline. *)
+    against the Xen baseline. Each profile's three runs are one
+    independent job on [Fidelius_fleet.Pool] — [domains] (default
+    [Fidelius_fleet.Pool.recommended_domains ()]) shards profiles across
+    that many OCaml domains; every run builds a fresh machine from
+    {!seed_of}, so the returned list is identical for any domain
+    count. *)

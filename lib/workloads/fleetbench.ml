@@ -1,0 +1,50 @@
+module Trace = Fidelius_obs.Trace
+module Pool = Fidelius_fleet.Pool
+module Merge = Fidelius_fleet.Merge
+
+type vm_row = {
+  vm : int;
+  profile : string;
+  cycles : int;
+  per_access : float;
+  per_exit : float;
+  events : int;
+}
+
+type t = {
+  rows : vm_row list;
+  shards : (string * Trace.entry list) list;
+}
+
+(* The fleet cycles through the full profile catalogue so VM k's workload
+   is a pure function of k — no RNG, no wall clock. *)
+let profiles = Array.of_list (Spec2006.all @ Parsec.all)
+
+let run_vm vm =
+  let p = profiles.(vm mod Array.length profiles) in
+  (* Engine.boot_stack installs the ledger clock into this capture as
+     soon as the VM's machine exists, so every event is stamped in the
+     VM's own simulated cycles. *)
+  let result, entries = Trace.capture (fun () -> Engine.run p Engine.Fidelius_enc) in
+  ( { vm;
+      profile = p.Profile.name;
+      cycles = result.Engine.cycles;
+      per_access = result.Engine.per_access;
+      per_exit = result.Engine.per_exit;
+      events = List.length entries },
+    (Printf.sprintf "vm%d:%s" vm p.Profile.name, entries) )
+
+let run ?domains ?(vms = 16) () =
+  if vms < 0 then invalid_arg "Fleetbench.run: vms must be >= 0";
+  let results = Pool.map ?domains ~njobs:vms run_vm in
+  { rows = List.map fst results; shards = List.map snd results }
+
+let csv t =
+  Merge.csv ~header:"vm,profile,cycles,per_access_cycles,per_exit_cycles,trace_events"
+    (List.map
+       (fun r ->
+         [ Printf.sprintf "%d,%s,%d,%.2f,%.2f,%d" r.vm r.profile r.cycles r.per_access
+             r.per_exit r.events ])
+       t.rows)
+
+let chrome t = Merge.chrome_of_shards t.shards

@@ -1,0 +1,52 @@
+(** The fleet scaling benchmark: N independent guest-VM simulations
+    sharded across a domain pool.
+
+    This is the shared core behind [bench fleet] and the fleet
+    determinism tests: both call {!run} so the benchmark and the test
+    exercise exactly the same code path. Each VM job boots a fresh
+    protected stack ([Engine.run] under [Fidelius_enc]) inside its own
+    {!Fidelius_obs.Trace.capture}, so every VM produces a result row plus
+    its own trace shard; {!csv} and {!chrome} merge them in canonical VM
+    order.
+
+    {2 Determinism contract}
+
+    Everything here except wall-clock timing is a pure function of
+    [(vms)]: VM [k] always runs profile [profiles.(k mod |profiles|)]
+    with {!Engine.seed_of}-derived seeds, on a fresh machine, in a fresh
+    capture. {!csv} and {!chrome} bytes are therefore identical for any
+    [domains] value — the property the fleet tests pin. Wall-clock
+    throughput (VMs/sec) is measured by the {e caller} around {!run};
+    it is the only nondeterministic quantity and never appears in the
+    merged artifacts. *)
+
+type vm_row = {
+  vm : int;                        (** canonical job index, [0 .. vms-1] *)
+  profile : string;                (** workload profile name *)
+  cycles : int;                    (** extrapolated total simulated cycles *)
+  per_access : float;              (** sampled cycles per 64-byte access *)
+  per_exit : float;                (** sampled cycles per hypervisor round trip *)
+  events : int;                    (** trace entries the VM's capture recorded *)
+}
+
+type t = {
+  rows : vm_row list;              (** one per VM, canonical order *)
+  shards : (string * Fidelius_obs.Trace.entry list) list;
+      (** per-VM trace shards, canonical order — feed to {!chrome} *)
+}
+
+val run : ?domains:int -> ?vms:int -> unit -> t
+(** Boots and measures [vms] (default 16) protected VMs across
+    [domains] (default [Fidelius_fleet.Pool.recommended_domains ()])
+    worker domains. Raises [Invalid_argument] if [vms < 0]. *)
+
+val csv : t -> string
+(** The per-VM result table:
+    [vm,profile,cycles,per_access_cycles,per_exit_cycles,trace_events].
+    Cycle columns are simulated cycles ([per_*] to 2 decimal places) —
+    no wall time, so bytes are domain-count-independent. *)
+
+val chrome : t -> Fidelius_obs.Json.t
+(** The merged multi-process Chrome trace
+    ({!Fidelius_fleet.Merge.chrome_of_shards}): VM [k] is [pid = k + 1],
+    labelled ["vm<k>:<profile>"]. Timestamps are simulated cycles. *)

@@ -153,7 +153,7 @@ let do_vmrun_effect t dom =
   let machine = t.machine in
   let cpu = machine.Hw.Machine.cpu in
   Hw.Cost.charge machine.Hw.Machine.ledger "world-switch" machine.Hw.Machine.costs.Hw.Cost.vmrun;
-  if !Trace.on then Trace.emit (Trace.Vmrun { domid = dom.Domain.domid });
+  if Trace.enabled () then Trace.emit (Trace.Vmrun { domid = dom.Domain.domid });
   if dom.Domain.sev_es then begin
     (* Hardware consistency check: an ES guest cannot be re-entered with
        its SEV control stripped. *)
@@ -373,7 +373,7 @@ let vmexit t dom reason ~info1 ~info2 =
   let cpu = machine.Hw.Machine.cpu in
   t.vmexit_count <- t.vmexit_count + 1;
   Hw.Cost.charge machine.Hw.Machine.ledger "world-switch" machine.Hw.Machine.costs.Hw.Cost.vmexit;
-  if !Trace.on then
+  if Trace.enabled () then
     Trace.emit
       (Trace.Vmexit
          { domid = dom.Domain.domid; reason = Hw.Vmcb.exit_reason_to_string reason });
@@ -419,7 +419,7 @@ let vmrun t dom =
 
 let handle_npf t dom ~gfn =
   t.npf_count <- t.npf_count + 1;
-  if !Trace.on then Trace.emit (Trace.Npf { domid = dom.Domain.domid; gfn });
+  if Trace.enabled () then Trace.emit (Trace.Npf { domid = dom.Domain.domid; gfn });
   match Hw.Pagetable.lookup dom.Domain.npt gfn with
   | Some _ ->
       (* Mapping exists (permission-level violation): leave it to policy. *)
@@ -441,7 +441,7 @@ let service_npf t dom ~gfn ~ctx =
   | Error e -> raise (Npf_unresolved ("vmrun after " ^ ctx ^ ": " ^ e))
 
 let rec in_guest_unscoped t dom f =
-  if !Plan.on && Plan.fire Site.Spurious_npf then
+  if Plan.armed () && Plan.fire Site.Spurious_npf then
     (* Unsolicited exit/resume cycle on the guest's first gfn: the platform
        interrupts the guest for no architectural reason. Every mediation
        hook on the fault path still runs, so a defence that cannot survive
@@ -516,7 +516,7 @@ let dispatch t dom call =
   let machine = t.machine in
   Hw.Cost.charge machine.Hw.Machine.ledger "hypercall"
     machine.Hw.Machine.costs.Hw.Cost.hypercall_base;
-  if !Trace.on then Trace.emit (Trace.Hypercall (Hypercall.to_string call));
+  if Trace.enabled () then Trace.emit (Trace.Hypercall (Hypercall.to_string call));
   match call with
   | Hypercall.Void -> Ok 0L
   | Hypercall.Console_write s ->

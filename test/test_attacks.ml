@@ -148,6 +148,49 @@ let mechanism_checks =
     ("unmap-monitor-text", "may not be revoked");
     ("dma-overwrite-pt", "IOMMU") ]
 
+(* --- isolation regressions (SCALING.md) ---------------------------------
+
+   The conspirator used to live in a module-global list keyed by physical
+   equality on the hypervisor, and per-attack seeds used to come from the
+   attack's *position* in the catalogue — both made an attack's outcome
+   depend on what ran before it. These pin the fix: an attack's row is a
+   pure function of (attack, base seed). *)
+
+let rows_equal (a : Runner.row) (b : Runner.row) =
+  a.Runner.attack.Surface.id = b.Runner.attack.Surface.id
+  && a.Runner.baseline = b.Runner.baseline
+  && a.Runner.sev_es = b.Runner.sev_es
+  && a.Runner.fidelius = b.Runner.fidelius
+
+let test_outcomes_independent_of_suite_order () =
+  (* Running the catalogue in reverse must give each attack the same row
+     the forward suite gave it. *)
+  let forward = Lazy.force rows in
+  let reverse = List.map Runner.run_one (List.rev Suite.all) in
+  List.iter
+    (fun (fwd : Runner.row) ->
+      let id = fwd.Runner.attack.Surface.id in
+      match
+        List.find_opt (fun r -> r.Runner.attack.Surface.id = id) reverse
+      with
+      | None -> Alcotest.fail ("missing from reverse run: " ^ id)
+      | Some rev ->
+          Alcotest.(check bool)
+            (id ^ " row identical when the suite runs in reverse")
+            true (rows_equal fwd rev))
+    forward
+
+let test_outcomes_independent_of_domains () =
+  let one = Runner.run_all ~domains:1 () in
+  let many = Runner.run_all ~domains:5 () in
+  Alcotest.(check int) "same row count" (List.length one) (List.length many);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (a.Runner.attack.Surface.id ^ " row identical on 1 and 5 domains")
+        true (rows_equal a b))
+    one many
+
 let () =
   Alcotest.run "attacks"
     [ ( "fidelius-defends",
@@ -173,6 +216,11 @@ let () =
           (fun (id, frag) ->
             Alcotest.test_case (id ^ " via " ^ frag) `Quick (fidelius_blocked_by id frag))
           mechanism_checks );
+      ( "isolation",
+        [ Alcotest.test_case "order-independent outcomes" `Quick
+            test_outcomes_independent_of_suite_order;
+          Alcotest.test_case "domain-count-independent outcomes" `Quick
+            test_outcomes_independent_of_domains ] );
       ( "summary",
         [ Alcotest.test_case "totals" `Quick test_summary;
           Alcotest.test_case "no harness errors" `Quick test_no_harness_errors;

@@ -1,0 +1,198 @@
+(* Tests for the fleet runner: the chunked-scheduling partition property,
+   pool edge cases (empty job list, more domains than jobs, failing jobs),
+   per-shard trace isolation, and the determinism contract — the fleet
+   benchmark's merged artifacts and the fault matrix's verdicts must be
+   byte-identical for any domain count (SCALING.md). *)
+
+module Pool = Fidelius_fleet.Pool
+module Merge = Fidelius_fleet.Merge
+module Trace = Fidelius_obs.Trace
+module Json = Fidelius_obs.Json
+module W = Fidelius_workloads
+module Matrix = Fidelius_inject_matrix.Matrix
+module Site = Fidelius_inject.Site
+
+(* --- chunks: the static schedule ----------------------------------------- *)
+
+let test_chunks_partition =
+  QCheck.Test.make ~count:200 ~name:"chunks partition 0..njobs-1 evenly"
+    QCheck.(pair (int_bound 200) (int_range 1 32))
+    (fun (njobs, ndomains) ->
+      let cs = Pool.chunks ~njobs ~ndomains in
+      let covered = List.concat_map (fun (s, l) -> List.init l (fun i -> s + i)) cs in
+      let lens = List.map snd cs in
+      let lo = List.fold_left min max_int lens and hi = List.fold_left max 0 lens in
+      (* contiguous in-order cover of the job range... *)
+      covered = List.init njobs (fun j -> j)
+      (* ...with chunk sizes differing by at most one... *)
+      && (njobs = 0 || hi - lo <= 1)
+      (* ...and never more domains than jobs. *)
+      && List.length cs <= max njobs 1)
+
+let test_chunks_pure () =
+  Alcotest.(check bool) "same inputs, same schedule" true
+    (Pool.chunks ~njobs:17 ~ndomains:4 = Pool.chunks ~njobs:17 ~ndomains:4);
+  Alcotest.(check (list (pair int int))) "13 jobs over 4 domains"
+    [ (0, 4); (4, 3); (7, 3); (10, 3) ]
+    (Pool.chunks ~njobs:13 ~ndomains:4);
+  Alcotest.check_raises "njobs < 0 rejected"
+    (Invalid_argument "Pool.chunks: njobs must be >= 0") (fun () ->
+      ignore (Pool.chunks ~njobs:(-1) ~ndomains:2));
+  Alcotest.check_raises "ndomains < 1 rejected"
+    (Invalid_argument "Pool.chunks: ndomains must be >= 1") (fun () ->
+      ignore (Pool.chunks ~njobs:4 ~ndomains:0))
+
+(* --- map: order, edge cases, failure ------------------------------------- *)
+
+let test_map_canonical_order () =
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "squares in job order on %d domains" domains)
+        (List.init 23 (fun j -> j * j))
+        (Pool.map ~domains ~njobs:23 (fun j -> j * j)))
+    [ 1; 2; 7; 64 ]
+
+let test_map_empty () =
+  Alcotest.(check (list int)) "njobs = 0 is []" [] (Pool.map ~domains:4 ~njobs:0 (fun j -> j))
+
+let test_map_fewer_jobs_than_domains () =
+  Alcotest.(check (list int)) "2 jobs on 8 domains" [ 0; 10 ]
+    (Pool.map ~domains:8 ~njobs:2 (fun j -> j * 10))
+
+let test_map_list () =
+  Alcotest.(check (list string)) "map_list preserves list order"
+    [ "a!"; "b!"; "c!" ]
+    (Pool.map_list ~domains:2 (fun s -> s ^ "!") [ "a"; "b"; "c" ])
+
+let test_map_failure_deterministic () =
+  (* Jobs 1 and 3 raise, on different shards; the pool must finish every
+     other job and then report the LOWEST failing index, whichever domain
+     crashed first. *)
+  let completed = Atomic.make 0 in
+  let attempt () =
+    Pool.map ~domains:2 ~njobs:5 (fun j ->
+        if j = 1 || j = 3 then failwith (Printf.sprintf "job %d boom" j)
+        else (Atomic.incr completed; j))
+  in
+  (match attempt () with
+  | _ -> Alcotest.fail "expected Job_failed"
+  | exception Pool.Job_failed { job; exn = Failure m } ->
+      Alcotest.(check int) "lowest failing job reported" 1 job;
+      Alcotest.(check string) "original exception preserved" "job 1 boom" m
+  | exception e -> Alcotest.fail ("unexpected exception: " ^ Printexc.to_string e));
+  Alcotest.(check int) "non-failing jobs all completed" 3 (Atomic.get completed)
+
+let test_map_validates () =
+  Alcotest.check_raises "domains < 1 rejected"
+    (Invalid_argument "Pool.map: domains must be >= 1") (fun () ->
+      ignore (Pool.map ~domains:0 ~njobs:3 (fun j -> j)))
+
+(* --- per-shard trace isolation ------------------------------------------- *)
+
+let test_shard_trace_isolation () =
+  (* A recording on the caller's domain must be invisible to pool jobs
+     (they start from pristine DLS state), and their captures must not
+     perturb it. *)
+  Trace.enable ();
+  Trace.emit (Trace.Mark "outer");
+  let inside =
+    Pool.map ~domains:2 ~njobs:4 (fun j ->
+        let enabled_at_entry = Trace.enabled () in
+        let (), entries = Trace.capture (fun () -> Trace.emit (Trace.Mark "inner")) in
+        (enabled_at_entry, List.length entries, j))
+  in
+  let outer = Trace.entries () in
+  Trace.disable ();
+  Trace.clear ();
+  List.iter
+    (fun (enabled_at_entry, n, j) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "job %d starts with tracing off" j)
+        false enabled_at_entry;
+      Alcotest.(check int) (Printf.sprintf "job %d captured its own event" j) 1 n)
+    inside;
+  Alcotest.(check int) "outer recording untouched by shards" 1 (List.length outer)
+
+(* --- merge helpers -------------------------------------------------------- *)
+
+let test_sum_counts () =
+  Alcotest.(check (list (pair string int))) "pointwise sum, canonical order"
+    [ ("dram", 12); ("gate", 5); ("tlb", 5) ]
+    (Merge.sum_counts [ [ ("dram", 4); ("tlb", 5) ]; [ ("dram", 8); ("gate", 5) ] ])
+
+let test_chrome_of_shards_shape () =
+  let doc = Merge.chrome_of_shards [ ("vm0", []); ("vm1", []) ] in
+  (match Json.member "traceEvents" doc with
+  | Some (Json.Arr events) ->
+      (* one process_name metadata event per shard, pids 1 and 2 *)
+      Alcotest.(check int) "two metadata events" 2 (List.length events);
+      List.iteri
+        (fun k e ->
+          Alcotest.(check (option bool)) "is metadata" (Some true)
+            (Option.map (( = ) (Json.Str "M")) (Json.member "ph" e));
+          Alcotest.(check (option bool))
+            (Printf.sprintf "shard %d gets pid %d" k (k + 1))
+            (Some true)
+            (Option.map (( = ) (Json.Int (k + 1))) (Json.member "pid" e)))
+        events
+  | _ -> Alcotest.fail "traceEvents missing");
+  match Json.member "otherData" doc with
+  | Some other ->
+      Alcotest.(check (option bool)) "shard count" (Some true)
+        (Option.map (( = ) (Json.Int 2)) (Json.member "shards" other))
+  | None -> Alcotest.fail "otherData missing"
+
+(* --- the determinism contract --------------------------------------------- *)
+
+let test_fleetbench_domain_count_invariance () =
+  let a = W.Fleetbench.run ~domains:1 ~vms:3 () in
+  let b = W.Fleetbench.run ~domains:3 ~vms:3 () in
+  Alcotest.(check string) "per-VM CSV byte-identical across domain counts"
+    (W.Fleetbench.csv a) (W.Fleetbench.csv b);
+  Alcotest.(check string) "merged Chrome trace byte-identical across domain counts"
+    (Json.to_string (W.Fleetbench.chrome a))
+    (Json.to_string (W.Fleetbench.chrome b));
+  List.iter
+    (fun (r : W.Fleetbench.vm_row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "vm %d recorded trace events" r.W.Fleetbench.vm)
+        true (r.W.Fleetbench.events > 0))
+    a.W.Fleetbench.rows
+
+let reduced_attacks () =
+  match Fidelius_attacks.Suite.all with
+  | a :: b :: _ -> [ a; b ]
+  | _ -> Alcotest.fail "attack suite too small"
+
+let test_matrix_domain_count_invariance () =
+  let run domains =
+    Matrix.run ~seed:11L ~domains
+      ~sites:[ Site.Snapshot_truncate; Site.Fw_drop ]
+      ~attacks:(reduced_attacks ()) ()
+  in
+  let r1 = run 1 and r4 = run 4 in
+  Alcotest.(check bool) "identical report on 1 and 4 domains" true (r1 = r4)
+
+let () =
+  Alcotest.run "fleet"
+    [ ( "chunks",
+        [ QCheck_alcotest.to_alcotest test_chunks_partition;
+          Alcotest.test_case "pure and validated" `Quick test_chunks_pure ] );
+      ( "pool",
+        [ Alcotest.test_case "canonical order" `Quick test_map_canonical_order;
+          Alcotest.test_case "empty job list" `Quick test_map_empty;
+          Alcotest.test_case "fewer jobs than domains" `Quick test_map_fewer_jobs_than_domains;
+          Alcotest.test_case "map_list" `Quick test_map_list;
+          Alcotest.test_case "deterministic failure" `Quick test_map_failure_deterministic;
+          Alcotest.test_case "validates domains" `Quick test_map_validates ] );
+      ( "isolation",
+        [ Alcotest.test_case "shard traces isolated" `Quick test_shard_trace_isolation ] );
+      ( "merge",
+        [ Alcotest.test_case "sum_counts" `Quick test_sum_counts;
+          Alcotest.test_case "chrome shards" `Quick test_chrome_of_shards_shape ] );
+      ( "determinism",
+        [ Alcotest.test_case "fleet bench artifacts" `Quick
+            test_fleetbench_domain_count_invariance;
+          Alcotest.test_case "fault matrix verdicts" `Quick
+            test_matrix_domain_count_invariance ] ) ]

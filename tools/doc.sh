@@ -4,12 +4,18 @@
 # odoc is an optional dependency: environments without it (including the
 # minimal CI image) skip doc generation rather than fail the build, so
 # `make check` stays green everywhere while still enforcing warning-free
-# docs wherever odoc is available.
+# docs wherever odoc is available. Set ODOC_REQUIRED=1 (make doc-strict)
+# to turn a missing odoc into a failure instead — for environments that
+# are supposed to publish the docs.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 if ! command -v odoc >/dev/null 2>&1; then
+  if [ "${ODOC_REQUIRED:-0}" = "1" ]; then
+    echo "doc: odoc not installed and ODOC_REQUIRED=1; failing"
+    exit 1
+  fi
   echo "doc: odoc not installed; skipping API-doc build (install odoc to enable)"
   exit 0
 fi
