@@ -9,9 +9,11 @@
 #                    silent corruption or harness error in the Fidelius column)
 #   make fleet       fleet scaling benchmark: VMs/sec vs domain count
 #                    (results/fleet.csv, results/fleet_trace.json, bench.json)
+#   make perf        re-measure the bechamel primitives and print the
+#                    speedup against the recorded results/bench.json baseline
 #   make check       what CI runs: build + tests + matrix + fleet smoke + docs
 
-.PHONY: build test doc doc-strict matrix fleet fleet-smoke check clean
+.PHONY: build test doc doc-strict matrix fleet fleet-smoke perf check clean
 
 build:
 	dune build @all
@@ -33,6 +35,9 @@ fleet:
 
 fleet-smoke:
 	dune build @fleet-smoke
+
+perf:
+	dune exec bench/main.exe -- perf
 
 check: build test matrix fleet-smoke doc
 

@@ -4,9 +4,11 @@
    the security matrix, the ablations of DESIGN.md §4, and Bechamel
    wall-clock measurements of the hot primitives.
 
-   Usage: main.exe [fig5|fig6|tab3|micro|xsa|attacks|tab1|tab2|ablate|bechamel|fleet|all]
+   Usage: main.exe [fig5|fig6|tab3|micro|xsa|attacks|tab1|tab2|ablate|bechamel|perf|fleet|all]
           main.exe fleet [--vms N] [--domains 1,2,4,8]
-   With no argument (or "all"), everything runs in paper order. *)
+   With no argument (or "all"), everything runs in paper order.
+   `perf` re-measures the bechamel primitives and prints the speedup of
+   this build against the recorded results/bench.json baseline. *)
 
 module Hw = Fidelius_hw
 module Xen = Fidelius_xen
@@ -330,70 +332,6 @@ let write_bench_json results =
   close_out oc;
   Printf.printf "  [written: %s]\n" path
 
-(* [quota] bounds the measurement time per test; the smoke variant uses a
-   tiny quota so CI can catch perf-path breakage (a primitive that stops
-   running at all, or regresses by an order of magnitude) in seconds.
-   Smoke numbers are noisy, so only the full run records results/bench.json
-   (the machine-readable perf trajectory future PRs compare against). *)
-let bechamel ?(quota = 0.25) ?(record = true) () =
-  header "Bechamel: real wall-clock cost of the hot primitives (ns/run)";
-  let open Bechamel in
-  let open Toolkit in
-  let rng = Rng.create 99L in
-  let key = Fidelius_crypto.Aes.expand (Rng.bytes rng 16) in
-  let block = Rng.bytes rng 16 in
-  let page = Rng.bytes rng 4096 in
-  let kilobyte = Rng.bytes rng 1024 in
-  let stack = installed_stack 95L in
-  let m, hv, fid = stack in
-  let dom = protected_guest stack "bench" 8 in
-  let pit = fid.Core.Ctx.pit in
-  let exec_ok = Hw.Mmu.exec_ok m hv.Xen.Hypervisor.host_space in
-  let tests =
-    Test.make_grouped ~name:"fidelius"
-      [ Test.make ~name:"aes-128-block" (Staged.stage (fun () ->
-            ignore (Fidelius_crypto.Aes.encrypt_block key block)));
-        Test.make ~name:"xex-page-4KiB" (Staged.stage (fun () ->
-            ignore (Fidelius_crypto.Modes.xex_encrypt key ~tweak:0x40L page)));
-        Test.make ~name:"sha256-1KiB" (Staged.stage (fun () ->
-            ignore (Fidelius_crypto.Sha256.digest kilobyte)));
-        Test.make ~name:"pit-lookup" (Staged.stage (fun () -> ignore (Core.Pit.get pit 100)));
-        Test.make ~name:"gate1-crossing" (Staged.stage (fun () ->
-            ignore (Core.Gate.with_type1 fid (fun () -> Ok ()))));
-        Test.make ~name:"checking-loop" (Staged.stage (fun () ->
-            ignore (Hw.Insn.execute m.Hw.Machine.insns ~exec_ok Hw.Insn.Mov_cr4 0x100000L)));
-        Test.make ~name:"void-hypercall" (Staged.stage (fun () ->
-            ignore (Xen.Hypervisor.hypercall hv dom Xen.Hypercall.Void)));
-        Test.make ~name:"guest-read-64B" (Staged.stage (fun () ->
-            ignore
-              (Xen.Hypervisor.in_guest hv dom (fun () ->
-                   Xen.Domain.read m dom ~addr:0x2000 ~len:64)))) ]
-  in
-  let benchmark () =
-    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-    let instances = Instance.[ monotonic_clock ] in
-    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) () in
-    let raw = Benchmark.all cfg instances tests in
-    let results = Analyze.all ols Instance.monotonic_clock raw in
-    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
-    |> List.sort compare
-  in
-  let estimates =
-    List.filter_map
-      (fun (name, ols) ->
-        match Analyze.OLS.estimates ols with
-        | Some [ est ] ->
-            Printf.printf "  %-22s %12.1f ns/run\n" name est;
-            Some (name, est)
-        | _ ->
-            Printf.printf "  %-22s (no estimate)\n" name;
-            None)
-      (benchmark ())
-  in
-  if record then write_bench_json estimates
-
-(* ---- fleet scaling (SCALING.md) ---------------------------------------------------- *)
-
 (* bench.json is written by two sections (bechamel and fleet); each must
    merge into the existing file, not clobber the other's keys. The file
    is our own line-per-entry format, so the "parser" is a line scan. *)
@@ -431,6 +369,99 @@ let update_bench_json kvs =
   let keep (k, _) = not (List.mem_assoc k kvs) in
   write_bench_json (List.filter keep (read_bench_json ()) @ kvs)
 
+(* [quota] bounds the measurement time per test; the smoke variant uses a
+   tiny quota so CI can catch perf-path breakage (a primitive that stops
+   running at all, or regresses by an order of magnitude) in seconds.
+   Smoke numbers are noisy, so only the full run records results/bench.json
+   (the machine-readable perf trajectory future PRs compare against). *)
+let bechamel ?(quota = 0.25) ?(record = true) () =
+  header "Bechamel: real wall-clock cost of the hot primitives (ns/run)";
+  let open Bechamel in
+  let open Toolkit in
+  let rng = Rng.create 99L in
+  let key = Fidelius_crypto.Aes.expand (Rng.bytes rng 16) in
+  let block = Rng.bytes rng 16 in
+  let page = Rng.bytes rng 4096 in
+  let kilobyte = Rng.bytes rng 1024 in
+  let sixty_four = Rng.bytes rng 64 in
+  let stack = installed_stack 95L in
+  let m, hv, fid = stack in
+  let dom = protected_guest stack "bench" 8 in
+  let pit = fid.Core.Ctx.pit in
+  let exec_ok = Hw.Mmu.exec_ok m hv.Xen.Hypervisor.host_space in
+  (* The BMT entries run against their own machine so their tree/ledger
+     traffic can't perturb the stack the gate benchmarks measure. The
+     fetch-check input is dumped once, outside the staged closure: the
+     entry times the O(1) check itself, not a page copy per run. *)
+  let bm = Hw.Machine.create ~nr_frames:256 ~seed:97L () in
+  let bmt_frames = List.init 256 (fun i -> i) in
+  let bmt = Hw.Bmt.create bm ~frames:bmt_frames in
+  let fetched = Hw.Physmem.dump bm.Hw.Machine.mem 100 in
+  let batch64 = List.init 64 (fun i -> 3 * i) in
+  let tests =
+    Test.make_grouped ~name:"fidelius"
+      [ Test.make ~name:"aes-128-block" (Staged.stage (fun () ->
+            ignore (Fidelius_crypto.Aes.encrypt_block key block)));
+        Test.make ~name:"xex-page-4KiB" (Staged.stage (fun () ->
+            ignore (Fidelius_crypto.Modes.xex_encrypt key ~tweak:0x40L page)));
+        Test.make ~name:"sha256-1KiB" (Staged.stage (fun () ->
+            ignore (Fidelius_crypto.Sha256.digest kilobyte)));
+        Test.make ~name:"sha256-64B" (Staged.stage (fun () ->
+            ignore (Fidelius_crypto.Sha256.digest sixty_four)));
+        Test.make ~name:"bmt-fetch-check" (Staged.stage (fun () ->
+            ignore (Hw.Bmt.verify_fetched bmt 100 ~data:fetched)));
+        Test.make ~name:"bmt-update-batch-64pages" (Staged.stage (fun () ->
+            Hw.Bmt.update_many bmt batch64));
+        Test.make ~name:"pit-lookup" (Staged.stage (fun () -> ignore (Core.Pit.get pit 100)));
+        Test.make ~name:"gate1-crossing" (Staged.stage (fun () ->
+            ignore (Core.Gate.with_type1 fid (fun () -> Ok ()))));
+        Test.make ~name:"checking-loop" (Staged.stage (fun () ->
+            ignore (Hw.Insn.execute m.Hw.Machine.insns ~exec_ok Hw.Insn.Mov_cr4 0x100000L)));
+        Test.make ~name:"void-hypercall" (Staged.stage (fun () ->
+            ignore (Xen.Hypervisor.hypercall hv dom Xen.Hypercall.Void)));
+        Test.make ~name:"guest-read-64B" (Staged.stage (fun () ->
+            ignore
+              (Xen.Hypervisor.in_guest hv dom (fun () ->
+                   Xen.Domain.read m dom ~addr:0x2000 ~len:64)))) ]
+  in
+  let benchmark () =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) () in
+    let raw = Benchmark.all cfg instances tests in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort compare
+  in
+  let estimates =
+    List.filter_map
+      (fun (name, ols) ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] ->
+            Printf.printf "  %-28s %12.1f ns/run\n" name est;
+            Some (name, est)
+        | _ ->
+            Printf.printf "  %-28s (no estimate)\n" name;
+            None)
+      (benchmark ())
+  in
+  (* Fail loudly (smoke included) if a tracked primitive stops producing a
+     number — a silently vanished key would otherwise survive in
+     bench.json as a stale measurement forever. *)
+  List.iter
+    (fun k ->
+      if not (List.mem_assoc k estimates) then
+        failwith (Printf.sprintf "bechamel: no estimate for required benchmark %S" k))
+    [ "fidelius/aes-128-block"; "fidelius/xex-page-4KiB"; "fidelius/sha256-1KiB";
+      "fidelius/sha256-64B"; "fidelius/bmt-fetch-check"; "fidelius/bmt-update-batch-64pages";
+      "fidelius/pit-lookup"; "fidelius/gate1-crossing"; "fidelius/checking-loop";
+      "fidelius/void-hypercall"; "fidelius/guest-read-64B" ];
+  (* Merge, don't clobber: the fleet section owns the fleet/* keys. *)
+  if record then update_bench_json estimates;
+  estimates
+
+(* ---- fleet scaling (SCALING.md) ---------------------------------------------------- *)
+
 let write_file name contents =
   (try Unix.mkdir results_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let path = Filename.concat results_dir name in
@@ -449,43 +480,104 @@ let fleet ?(vms = 16) ?(domain_counts = [ 1; 2; 4; 8 ]) ?(record = true) () =
     (Printf.sprintf
        "Fleet: %d protected-VM simulations sharded across OCaml domains (see SCALING.md)" vms);
   Printf.printf "%8s %10s %10s %10s\n" "domains" "seconds" "VMs/sec" "speedup";
+  (* Each timed entry must see the same heap: one untimed warmup so
+     first-run effects (code paging, lazy init) don't land on the first
+     entry, a compaction before each run so all start from the same
+     major-heap state, and — crucially — no run's results (tens of
+     thousands of trace events) are kept alive while a later run is
+     timed. Retaining them made every entry measurably slower than the
+     previous one, which read as a scaling inversion. Artifacts come from
+     the last entry only; the determinism contract (pinned in
+     test/test_fleet.ml and by the smoke rule) says every entry produced
+     identical bytes anyway. *)
+  ignore (W.Fleetbench.run ~domains:1 ~vms:(min vms 4) ());
+  let last = List.length domain_counts - 1 in
   let timed =
-    List.map
-      (fun d ->
+    List.mapi
+      (fun i d ->
+        Gc.compact ();
         let t0 = Unix.gettimeofday () in
         let t = W.Fleetbench.run ~domains:d ~vms () in
         let dt = Unix.gettimeofday () -. t0 in
-        (d, dt, t))
+        if i = last then begin
+          write_file "fleet.csv" (W.Fleetbench.csv t);
+          write_file "fleet_trace.json"
+            (Fidelius_obs.Json.to_string (W.Fleetbench.chrome t) ^ "\n")
+        end;
+        (d, dt))
       domain_counts
   in
-  let base_dt = match timed with (_, dt, _) :: _ -> dt | [] -> 1.0 in
+  let base_dt = match timed with (_, dt) :: _ -> dt | [] -> 1.0 in
   let curve =
     List.map
-      (fun (d, dt, _) ->
+      (fun (d, dt) ->
         let rate = float_of_int vms /. dt in
         Printf.printf "%8d %10.3f %10.1f %9.2fx\n" d dt rate (base_dt /. dt);
         (Printf.sprintf "fleet/vms-per-sec-d%d" d, rate))
       timed
   in
-  (match List.rev timed with
-  | (_, _, t) :: _ ->
-      write_file "fleet.csv" (W.Fleetbench.csv t);
-      write_file "fleet_trace.json" (Fidelius_obs.Json.to_string (W.Fleetbench.chrome t) ^ "\n")
-  | [] -> ());
   if record then update_bench_json curve
 
-(* Tiny fleet for CI: checks the sharded run still works and that two
-   domain counts produce byte-identical artifacts, in a few seconds. *)
+(* Tiny fleet for CI: checks the sharded run still works, that two domain
+   counts produce byte-identical artifacts, and that asking for more
+   domains does not make the run slower (the scaling inversion this PR
+   fixed), in a few seconds. *)
 let fleet_smoke () =
-  let a = W.Fleetbench.run ~domains:1 ~vms:4 () in
-  let b = W.Fleetbench.run ~domains:3 ~vms:4 () in
-  if W.Fleetbench.csv a <> W.Fleetbench.csv b then
-    failwith "fleet-smoke: per-VM CSV differs between domain counts";
-  if
-    Fidelius_obs.Json.to_string (W.Fleetbench.chrome a)
-    <> Fidelius_obs.Json.to_string (W.Fleetbench.chrome b)
-  then failwith "fleet-smoke: merged Chrome trace differs between domain counts";
-  Printf.printf "fleet-smoke: 4 VMs, domains 1 vs 3: artifacts byte-identical\n"
+  (* Scope the determinism check so neither run's results (trace events)
+     stay alive during the timed comparison below. *)
+  let check_artifacts () =
+    let a = W.Fleetbench.run ~domains:1 ~vms:4 () in
+    let b = W.Fleetbench.run ~domains:3 ~vms:4 () in
+    if W.Fleetbench.csv a <> W.Fleetbench.csv b then
+      failwith "fleet-smoke: per-VM CSV differs between domain counts";
+    if
+      Fidelius_obs.Json.to_string (W.Fleetbench.chrome a)
+      <> Fidelius_obs.Json.to_string (W.Fleetbench.chrome b)
+    then failwith "fleet-smoke: merged Chrome trace differs between domain counts"
+  in
+  check_artifacts ();
+  Printf.printf "fleet-smoke: 4 VMs, domains 1 vs 3: artifacts byte-identical\n";
+  (* The two runs above double as warmup. Generous slack (d2 may be up to
+     1/0.7 = 1.43x slower) because a smoke box is noisy; the real curve is
+     recorded by the full fleet section. Before the worker-domain cap in
+     Fidelius_fleet.Pool, d2 was reliably beyond even this slack on a
+     single-core host. *)
+  let timed d =
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    ignore (W.Fleetbench.run ~domains:d ~vms:8 ());
+    Unix.gettimeofday () -. t0
+  in
+  let t1 = timed 1 in
+  let t2 = timed 2 in
+  let rate1 = 8.0 /. t1 and rate2 = 8.0 /. t2 in
+  if rate2 < 0.7 *. rate1 then
+    failwith
+      (Printf.sprintf
+         "fleet-smoke: scaling inversion: domains=2 ran at %.1f VMs/s vs %.1f VMs/s for \
+          domains=1 (below the 0.7x slack)"
+         rate2 rate1);
+  Printf.printf "fleet-smoke: 8 VMs, d1 %.1f VMs/s vs d2 %.1f VMs/s: no inversion\n" rate1 rate2
+
+(* ---- perf delta ------------------------------------------------------------------------ *)
+
+(* Compare the recorded perf trajectory (results/bench.json, written by the
+   last full `bechamel`/`fleet` run and committed alongside perf PRs)
+   against a fresh measurement of the same primitives. *)
+let perf () =
+  let baseline = read_bench_json () in
+  if baseline = [] then
+    Printf.printf "perf: no results/bench.json baseline; recording one first.\n";
+  let fresh = bechamel ~record:(baseline = []) () in
+  header "Perf delta: recorded baseline -> this build";
+  Printf.printf "  %-28s %14s %14s %9s\n" "benchmark" "baseline" "now" "speedup";
+  List.iter
+    (fun (name, now) ->
+      match List.assoc_opt name baseline with
+      | Some was ->
+          Printf.printf "  %-28s %11.1f ns %11.1f ns %8.2fx\n" name was now (was /. now)
+      | None -> Printf.printf "  %-28s %14s %11.1f ns\n" name "(new)" now)
+    fresh
 
 (* ---- driver --------------------------------------------------------------------------- *)
 
@@ -500,7 +592,7 @@ let all () =
   micro ();
   ablate ();
   fleet ();
-  bechamel ()
+  ignore (bechamel ())
 
 (* [--flag v] scanned from the section's trailing arguments. *)
 let flag_arg name =
@@ -531,15 +623,16 @@ let () =
   | "tab1" -> tab1 ()
   | "tab2" -> tab2 ()
   | "ablate" -> ablate ()
-  | "bechamel" -> bechamel ()
-  | "bechamel-smoke" -> bechamel ~quota:0.01 ~record:false ()
+  | "bechamel" -> ignore (bechamel ())
+  | "bechamel-smoke" -> ignore (bechamel ~quota:0.01 ~record:false ())
+  | "perf" -> perf ()
   | "fleet" -> fleet_cli ()
   | "fleet-smoke" -> fleet_smoke ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
         "unknown section %S; expected \
-         fig5|fig6|tab3|micro|xsa|attacks|tab1|tab2|ablate|bechamel|bechamel-smoke|fleet|\
-         fleet-smoke|all\n"
+         fig5|fig6|tab3|micro|xsa|attacks|tab1|tab2|ablate|bechamel|bechamel-smoke|perf|\
+         fleet|fleet-smoke|all\n"
         other;
       exit 1

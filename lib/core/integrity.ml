@@ -50,7 +50,10 @@ let guest_write t ~addr data =
   Xen.Hypervisor.in_guest t.ctx.Ctx.hv t.dom (fun () ->
       Xen.Domain.write t.ctx.Ctx.machine t.dom ~addr data);
   match frames_of_range t ~addr ~len:(Bytes.length data) with
-  | Ok frames -> List.iter (Hw.Bmt.update t.bmt) frames
+  | Ok frames ->
+      (* One batch: a write spanning k frames rebuilds each shared
+         ancestor once instead of once per frame. *)
+      Hw.Bmt.update_many t.bmt frames
   | Error _ -> ()
 
 let verify_domain t = Hw.Bmt.verify_all t.bmt

@@ -37,10 +37,10 @@ let in_group x = Int64.compare x 1L > 0 && Int64.compare x p < 0
 let shared_secret mine theirs =
   if not (in_group theirs) then invalid_arg "Dh.shared_secret: public value out of group";
   let element = powmod theirs mine in
-  let material = Bytes.create (8 + 11) in
-  Bytes.set_int64_be material 0 element;
-  Bytes.blit_string "fidelius-dh" 0 material 8 11;
-  Sha256.digest material
+  (* KDF over element(8, big-endian) || "fidelius-dh", fed in parts. *)
+  Sha256.digest_build (fun ctx ->
+      Sha256.feed_u64_be ctx element;
+      Sha256.feed_string ctx "fidelius-dh")
 
 let public_to_bytes pub =
   let b = Bytes.create 8 in

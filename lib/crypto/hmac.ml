@@ -1,31 +1,73 @@
 let block_size = 64
 
-let normalize_key key =
-  let key = if Bytes.length key > block_size then Sha256.digest key else key in
-  let padded = Bytes.make block_size '\000' in
-  Bytes.blit key 0 padded 0 (Bytes.length key);
-  padded
+(* A prepared key is the two padded blocks HMAC actually feeds: ipad =
+   K' xor 0x36.., opad = K' xor 0x5c.. — derived once instead of per MAC. *)
+type key = { ipad : Bytes.t; opad : Bytes.t }
 
-let xor_pad key byte =
-  Bytes.map (fun c -> Char.chr (Char.code c lxor byte)) key
+let key raw =
+  let raw = if Bytes.length raw > block_size then Sha256.digest raw else raw in
+  let ipad = Bytes.make block_size '\x36' in
+  let opad = Bytes.make block_size '\x5c' in
+  Bytes.iteri
+    (fun i c ->
+      Bytes.set ipad i (Char.chr (Char.code c lxor 0x36));
+      Bytes.set opad i (Char.chr (Char.code c lxor 0x5c)))
+    raw;
+  { ipad; opad }
 
-let mac ~key data =
-  let key = normalize_key key in
-  let inner = Sha256.init () in
-  Sha256.feed inner (xor_pad key 0x36);
-  Sha256.feed inner data;
-  let inner_digest = Sha256.finalize inner in
-  let outer = Sha256.init () in
-  Sha256.feed outer (xor_pad key 0x5c);
-  Sha256.feed outer inner_digest;
-  Sha256.finalize outer
+(* Per-domain scratch: a hash context plus buffers for the inner digest and
+   the recomputed tag, so steady-state MACs allocate nothing. *)
+type scratch_state = { ctx : Sha256.ctx; inner : Bytes.t; tag : Bytes.t }
 
-let verify ~key ~tag data =
-  let expected = mac ~key data in
-  if Bytes.length tag <> Bytes.length expected then false
+let scratch : scratch_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { ctx = Sha256.init (); inner = Bytes.create 32; tag = Bytes.create 32 })
+
+(* [fill_tag k f dst dst_off] computes HMAC(k, message fed by [f]) into
+   [dst]. [f] receives the running inner hash context; it must only feed. *)
+let fill_tag k f dst dst_off =
+  let s = Domain.DLS.get scratch in
+  Sha256.reset s.ctx;
+  Sha256.feed s.ctx k.ipad;
+  f s.ctx;
+  Sha256.finalize_into s.ctx ~dst:s.inner ~dst_off:0;
+  Sha256.reset s.ctx;
+  Sha256.feed s.ctx k.opad;
+  Sha256.feed s.ctx s.inner;
+  Sha256.finalize_into s.ctx ~dst ~dst_off
+
+let mac_build_into k f ~dst ~dst_off = fill_tag k f dst dst_off
+
+let mac_build k f =
+  let out = Bytes.create 32 in
+  fill_tag k f out 0;
+  out
+
+let mac_with k data = mac_build k (fun ctx -> Sha256.feed ctx data)
+
+let mac ~key:raw data = mac_with (key raw) data
+
+(* Fold over every byte rather than short-circuiting. *)
+let eq_32 a a_off b b_off =
+  let diff = ref 0 in
+  for i = 0 to 31 do
+    diff :=
+      !diff
+      lor (Char.code (Bytes.get a (a_off + i))
+          lxor Char.code (Bytes.get b (b_off + i)))
+  done;
+  !diff = 0
+
+let verify_build k f ~tag ~tag_off =
+  if tag_off < 0 || tag_off + 32 > Bytes.length tag then false
   else begin
-    (* Fold over every byte rather than short-circuiting. *)
-    let diff = ref 0 in
-    Bytes.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code (Bytes.get tag i))) expected;
-    !diff = 0
+    let s = Domain.DLS.get scratch in
+    fill_tag k f s.tag 0;
+    eq_32 s.tag 0 tag tag_off
   end
+
+let verify_with k ~tag data =
+  Bytes.length tag = 32
+  && verify_build k (fun ctx -> Sha256.feed ctx data) ~tag ~tag_off:0
+
+let verify ~key:raw ~tag data = verify_with (key raw) ~tag data

@@ -1,11 +1,55 @@
 (** HMAC-SHA256 (RFC 2104).
 
     Used as the integrity primitive keyed by the transport integrity key
-    (Ktik) over SEV SEND/RECEIVE images, and for the key-wrapping tag. *)
+    (Ktik) over SEV SEND/RECEIVE images, for the key-wrapping tag, and for
+    the secure-channel record MACs.
+
+    The fast path mirrors {!Sha256}: prepare a {!type-key} once (the two
+    xor-padded blocks are derived eagerly instead of per MAC), then MAC with
+    the [_build]/[_into] entry points, which feed message parts straight
+    into the running hash and write tags into caller-supplied buffers —
+    no concatenation, no per-call allocation.
+
+    {b Thread-safety.} The MAC entry points share a per-domain scratch
+    context, so they are safe to call concurrently from different fleet
+    domains, but a [_build] callback must not itself invoke [Hmac]. *)
+
+type key
+(** A prepared MAC key. Derive once with {!val-key}, reuse for every MAC
+    under that key. *)
+
+val key : bytes -> key
+(** [key raw] prepares [raw] for MACing. Keys of any length are accepted
+    (hashed down if longer than the block size, per RFC 2104). *)
 
 val mac : key:bytes -> bytes -> bytes
-(** [mac ~key data] is the 32-byte HMAC-SHA256 tag. Keys of any length are
-    accepted (hashed down if longer than the block size, per RFC 2104). *)
+(** [mac ~key data] is the 32-byte HMAC-SHA256 tag — one-shot convenience
+    that re-derives the prepared key each call; hot paths should use
+    {!val-key} + {!mac_with}. *)
+
+val mac_with : key -> bytes -> bytes
+(** [mac_with k data] is the 32-byte tag over [data]. *)
+
+val mac_build : key -> (Sha256.ctx -> unit) -> bytes
+(** [mac_build k f] MACs the message [f] feeds into the given hash context
+    ({!Sha256.feed} / {!Sha256.feed_sub} / {!Sha256.feed_u64_be}) — for
+    messages made of parts, without concatenating them. [f] must only feed
+    the context it is given. *)
+
+val mac_build_into : key -> (Sha256.ctx -> unit) -> dst:bytes -> dst_off:int -> unit
+(** Zero-allocation {!mac_build}: the tag lands in [dst] at [dst_off].
+    [dst] may be the very buffer the message was fed from, provided the tag
+    range lies outside the fed range. *)
 
 val verify : key:bytes -> tag:bytes -> bytes -> bool
-(** Constant-shape comparison of a received tag against the recomputed one. *)
+(** Constant-shape comparison of a received tag against the recomputed one
+    (one-shot; re-derives the prepared key). *)
+
+val verify_with : key -> tag:bytes -> bytes -> bool
+(** {!verify} with a prepared key. *)
+
+val verify_build : key -> (Sha256.ctx -> unit) -> tag:bytes -> tag_off:int -> bool
+(** [verify_build k f ~tag ~tag_off] recomputes the MAC of the message [f]
+    feeds and compares it, constant-shape, against the 32 bytes of [tag] at
+    [tag_off] — so a tag can be checked in place inside a record without
+    slicing it out. Returns [false] if the tag range leaves the buffer. *)

@@ -6,16 +6,19 @@ type wrapped = {
 
 (* Derive distinct encryption and MAC keys from the KEK so the same secret
    is never used for both purposes. *)
-let subkeys kek =
-  let enc = Sha256.digest (Bytes.cat kek (Bytes.of_string "wrap-enc")) in
-  let mac = Sha256.digest (Bytes.cat kek (Bytes.of_string "wrap-mac")) in
-  (Aes.expand (Bytes.sub enc 0 16), mac)
+let enc_label = Bytes.of_string "wrap-enc"
+let mac_label = Bytes.of_string "wrap-mac"
 
-let authed_payload nonce ciphertext =
-  let b = Bytes.create (8 + Bytes.length ciphertext) in
-  Bytes.set_int64_be b 0 nonce;
-  Bytes.blit ciphertext 0 b 8 (Bytes.length ciphertext);
-  b
+let subkeys kek =
+  let enc = Sha256.digest_pair kek enc_label in
+  let mac = Sha256.digest_pair kek mac_label in
+  (Aes.expand (Bytes.sub enc 0 16), Hmac.key mac)
+
+(* The authenticated payload is nonce || ciphertext, fed to the MAC as two
+   parts rather than materialized. *)
+let feed_payload nonce ciphertext ctx =
+  Sha256.feed_u64_be ctx nonce;
+  Sha256.feed ctx ciphertext
 
 let nonce_counter = ref 0L
 
@@ -24,13 +27,15 @@ let wrap ~kek key =
   nonce_counter := Int64.add !nonce_counter 1L;
   let nonce = !nonce_counter in
   let ciphertext = Modes.ctr_transform enc_key ~nonce key in
-  let tag = Hmac.mac ~key:mac_key (authed_payload nonce ciphertext) in
+  let tag = Hmac.mac_build mac_key (feed_payload nonce ciphertext) in
   { nonce; ciphertext; tag }
 
 let unwrap ~kek w =
   let enc_key, mac_key = subkeys kek in
-  if Hmac.verify ~key:mac_key ~tag:w.tag (authed_payload w.nonce w.ciphertext) then
-    Some (Modes.ctr_transform enc_key ~nonce:w.nonce w.ciphertext)
+  if
+    Hmac.verify_build mac_key (feed_payload w.nonce w.ciphertext) ~tag:w.tag
+      ~tag_off:0
+  then Some (Modes.ctr_transform enc_key ~nonce:w.nonce w.ciphertext)
   else None
 
 let to_bytes w =

@@ -3,8 +3,8 @@ type role = Client | Server
 type session = {
   enc_send : Aes.key;
   enc_recv : Aes.key;
-  mac_send : bytes;
-  mac_recv : bytes;
+  mac_send : Hmac.key;
+  mac_recv : Hmac.key;
   mutable seq_send : int64;
   mutable seq_recv : int64;
 }
@@ -13,13 +13,15 @@ type session = {
 let overhead = 8 + 4 + 32
 
 let derive shared label =
-  Sha256.digest (Bytes.cat shared (Bytes.of_string label))
+  Sha256.digest_build (fun ctx ->
+      Sha256.feed ctx shared;
+      Sha256.feed_string ctx label)
 
 let session_of shared role =
   let c2s_enc = Bytes.sub (derive shared "c2s-enc") 0 16 in
   let s2c_enc = Bytes.sub (derive shared "s2c-enc") 0 16 in
-  let c2s_mac = derive shared "c2s-mac" in
-  let s2c_mac = derive shared "s2c-mac" in
+  let c2s_mac = Hmac.key (derive shared "c2s-mac") in
+  let s2c_mac = Hmac.key (derive shared "s2c-mac") in
   match role with
   | Client ->
       { enc_send = Aes.expand c2s_enc;
@@ -66,8 +68,10 @@ let seal t plain =
   Bytes.set_int64_be record 0 seq;
   Bytes.set_int32_be record 8 (Int32.of_int n);
   Bytes.blit cipher 0 record 12 n;
-  let tag = Hmac.mac ~key:t.mac_send (Bytes.sub record 0 (12 + n)) in
-  Bytes.blit tag 0 record (12 + n) 32;
+  (* MAC the header+ciphertext prefix in place; the tag lands just after. *)
+  Hmac.mac_build_into t.mac_send
+    (fun ctx -> Sha256.feed_sub ctx record ~off:0 ~len:(12 + n))
+    ~dst:record ~dst_off:(12 + n);
   record
 
 let open_record t record =
@@ -81,9 +85,12 @@ let open_record t record =
         (Printf.sprintf "record: sequence %Ld, expected %Ld (replayed or reordered)" seq
            t.seq_recv)
     else begin
-      let tag = Bytes.sub record (12 + n) 32 in
-      if not (Hmac.verify ~key:t.mac_recv ~tag (Bytes.sub record 0 (12 + n))) then
-        Error "record: MAC failure (tampered in transit)"
+      if
+        not
+          (Hmac.verify_build t.mac_recv
+             (fun ctx -> Sha256.feed_sub ctx record ~off:0 ~len:(12 + n))
+             ~tag:record ~tag_off:(12 + n))
+      then Error "record: MAC failure (tampered in transit)"
       else begin
         t.seq_recv <- Int64.add seq 1L;
         Ok (Modes.ctr_transform t.enc_recv ~nonce:seq (Bytes.sub record 12 n))

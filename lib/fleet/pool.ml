@@ -32,11 +32,34 @@ let map ?domains ~njobs f =
       done
     in
     (* Jobs run on spawned domains even when the pool has a single worker,
-       so a job sees pristine domain-local state (no inherited trace ring
-       or fault plan) regardless of the domain count — otherwise
-       [~domains:1] and [~domains:n] could observably differ. *)
-    chunks ~njobs ~ndomains
-    |> List.map (fun chunk -> Domain.spawn (worker chunk))
+       so no job ever inherits the caller's domain-local state (trace
+       ring, fault plan) — otherwise [~domains:1] and [~domains:n] could
+       observably differ.
+
+       At most [recommended_domains ()] worker domains exist per call:
+       chunks beyond the cap are multiplexed round-robin onto the workers,
+       each of which runs its chunks in order. Two failure modes are
+       avoided at once. Spawning all requested domains concurrently
+       oversubscribes the cores, and OCaml 5's minor GC is a
+       stop-the-world rendezvous across running domains, so every
+       allocation pause waits on timesliced stragglers — that is what made
+       [~domains:2] run slower than [~domains:1] on a single-core host.
+       And spawning them sequentially pays a domain lifecycle
+       (spawn/teardown against a warm major heap measures ~10ms) per
+       chunk. With the cap, [~domains:n] on one core spawns exactly one
+       domain and executes jobs 0..njobs-1 in the same order as
+       [~domains:1]. The job → chunk assignment is untouched: the cap only
+       changes which OS-level domain hosts a chunk, never the chunking or
+       the slot each job writes, so results and artifacts stay
+       byte-identical for every domain count. *)
+    let chunk_list = chunks ~njobs ~ndomains in
+    let nworkers = min (recommended_domains ()) (List.length chunk_list) in
+    let groups = Array.make nworkers [] in
+    List.iteri (fun i c -> groups.(i mod nworkers) <- c :: groups.(i mod nworkers)) chunk_list;
+    Array.to_list groups
+    |> List.map (fun rev_chunks ->
+           let mine = List.rev rev_chunks in
+           Domain.spawn (fun () -> List.iter (fun chunk -> worker chunk ()) mine))
     |> List.iter Domain.join;
     (* Report the lowest failing job, not the first domain to crash. *)
     Array.iteri

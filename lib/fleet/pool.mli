@@ -16,15 +16,33 @@
     work-stealing and no shared queue, so no lock, no contention, and no
     run-to-run variation in which domain executes which job.
 
+    Requested parallelism and spawned domains are decoupled: [domains]
+    fixes the chunking (and therefore the results), while the number of
+    worker domains actually spawned is capped at {!recommended_domains},
+    with excess chunks multiplexed round-robin onto the workers. OCaml
+    5's minor GC is a stop-the-world rendezvous over all running
+    domains, so running more domains than cores stalls every allocation
+    on timesliced stragglers, and even {e sequential} extra domains pay
+    a measurable spawn/teardown cost against a warm heap — both were
+    measured as [~domains:2] running slower than [~domains:1] on one
+    core before the cap. The cap changes only which domain hosts a
+    chunk, never the chunking itself, so results and artifacts remain
+    byte-identical across domain counts.
+
     {2 State ownership}
 
-    Jobs always execute on freshly spawned domains — never on the caller's
-    domain, even when [domains = 1] — so every job starts from pristine
-    [Domain.DLS] state: tracing disabled ({!Fidelius_obs.Trace}), no fault
-    plan installed ([Fidelius_inject.Plan]). A job must construct (or be
-    handed exclusive ownership of) every piece of mutable state it
-    touches; sharing a machine, ledger, or expanded AES key between jobs
-    is a data race. *)
+    Jobs always execute on freshly spawned worker domains — never on the
+    caller's domain, even when [domains = 1] — so no job inherits the
+    caller's [Domain.DLS] state: tracing disabled ({!Fidelius_obs.Trace}),
+    no fault plan installed ([Fidelius_inject.Plan]). Jobs mapped to the
+    same worker share that worker's DLS (this was always true within a
+    chunk: [domains = 1] runs every job on one domain), so a job that
+    mutates DLS must restore it — e.g. scope tracing with
+    [Trace.capture] — or jobs could observe co-scheduled neighbours and
+    break domain-count invariance. A job must construct (or be handed
+    exclusive ownership of) every piece of mutable state it touches;
+    sharing a machine, ledger, or expanded AES key between jobs is a
+    data race. *)
 
 val recommended_domains : unit -> int
 (** The runtime's suggested parallelism ([Domain.recommended_domain_count]),

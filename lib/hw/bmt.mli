@@ -37,18 +37,46 @@ val verify_all : t -> (unit, string) result
 (** Whole-tree sweep (boot-time or attestation-time check). *)
 
 val verify_fetched : t -> Addr.pfn -> data:bytes -> (unit, string) result
-(** Inline check of the page [data] a fetch actually returned against the
-    tree path for [pfn]. Unlike {!verify} this catches misrouted fetches
-    (address-aliasing/remap faults) where DRAM still holds pristine bytes
-    but the bus delivered another frame's. Modeled as the engine's
-    parallel verification pipeline: charges no cycles and does not count
-    toward {!hashes_performed}, so enabling it leaves the ablation's
-    explicit verify costs untouched. *)
+(** Inline check of the page [data] a fetch actually returned: hash it and
+    compare against the stored level-0 digest for [pfn] — O(1) hashes per
+    fetch, the way real BMT engines check a fill. Unlike {!verify} this
+    catches misrouted fetches (address-aliasing/remap faults) where DRAM
+    still holds pristine bytes but the bus delivered another frame's.
+
+    {b Trust argument.} Comparing against the stored leaf is as strong as
+    rewalking to the root: the leaf digests, interior nodes and root are
+    the engine's own on-die state, mutated only through {!create} /
+    {!update} / {!update_many} — software and physical attack channels
+    (DMA, Rowhammer, bus interposers) reach DRAM but never this state. A
+    fetch that mismatches its trusted leaf is detected directly; a fetch
+    that matches it is exactly what the root already commits to, since
+    every interior node was computed by the engine from these leaves under
+    a collision-resistant hash. The root walk only adds value if interior
+    state could be corrupted independently — a channel outside the threat
+    model, and one {!verify}/{!verify_all} still cover for attestation.
+
+    Modeled as the engine's parallel verification pipeline: charges no
+    cycles and does not count toward {!hashes_performed} (it has its own
+    {!fetch_hashes_performed} counter), so enabling it leaves the
+    ablation's explicit verify costs untouched. *)
 
 val update : t -> Addr.pfn -> unit
 (** Recompute the path after an *authorized* write to the frame (the secure
     processor witnesses legitimate writes; attackers cannot call this —
-    physical channels bypass the CPU entirely). *)
+    physical channels bypass the CPU entirely). Equivalent to
+    [update_many t [pfn]]. *)
+
+val update_many : t -> Addr.pfn list -> unit
+(** Batched {!update} after a multi-frame write: refreshes every dirty
+    leaf, then rebuilds each affected interior node exactly once per batch
+    — shared ancestors are hashed once, not once per frame, so a k-page
+    contiguous write costs k leaf hashes plus the union of the k paths
+    instead of k full paths. The resulting tree is bit-identical to
+    sequential {!update}s; duplicates and uncovered frames are ignored. *)
 
 val hashes_performed : t -> int
-(** Total leaf+node hash computations so far, for the ablation. *)
+(** Total charged leaf+node hash computations so far, for the ablation. *)
+
+val fetch_hashes_performed : t -> int
+(** Total (uncharged) inline fetch-check hashes — exactly one per
+    {!verify_fetched} call on a covered frame, regardless of tree size. *)

@@ -23,8 +23,9 @@ val write_raw : t -> Addr.pfn -> off:int -> bytes -> unit
 
 val page : t -> Addr.pfn -> bytes
 (** The backing store of one page, shared (mutations are visible). Reserved
-    for the memory controller; everything else goes through the raw/MMU
-    paths. *)
+    for the memory controller and the on-die integrity engine ({!Bmt}
+    hashes frames without a cold-boot copy); everything else goes through
+    the raw/MMU paths. *)
 
 val flip_bit : t -> Addr.pfn -> off:int -> bit:int -> unit
 (** Rowhammer-style disturbance: flip one bit in place. *)

@@ -17,7 +17,7 @@ type guest_ctx = {
   kvek : bytes;
   policy : int;
   mutable asid : int option;
-  mutable tek : bytes option;
+  mutable tek : Transport.tek_key option;
   mutable tik : bytes option;
   mutable nonce : int64;
   mutable measure : Measure.t;
@@ -199,7 +199,7 @@ let send_start t ~handle ~target_public ~nonce =
     else Ok ()
   in
   let tek = Rng.bytes t.rng 16 and tik = Rng.bytes t.rng 32 in
-  c.tek <- Some tek;
+  c.tek <- Some (Transport.tek_key tek);
   c.tik <- Some tik;
   c.nonce <- nonce;
   c.measure <- Measure.create ();
@@ -241,7 +241,7 @@ let receive_start t ~wrapped ~origin_public ~nonce ~policy ?kvek_of () =
   | None -> Error "RECEIVE_START: transport key unwrap failed (wrong platform or tampered)"
   | Some keys when Bytes.length keys <> 48 -> Error "RECEIVE_START: malformed transport keys"
   | Some keys -> (
-      let tek = Bytes.sub keys 0 16 and tik = Bytes.sub keys 16 32 in
+      let tek = Transport.tek_key (Bytes.sub keys 0 16) and tik = Bytes.sub keys 16 32 in
       let* kvek =
         match kvek_of with
         | None -> Ok (Rng.bytes t.rng 16)
@@ -300,7 +300,7 @@ let send_update_io t ~handle ~nonce ~src_pfn ~len =
       else begin
         let plain_page = Memctrl.fw_decrypt_page t.machine.Machine.ctrl ~key:c.kvek src_pfn in
         let plain = Bytes.sub plain_page 0 len in
-        Ok (Fidelius_crypto.Modes.ctr_transform (Fidelius_crypto.Aes.expand tek) ~nonce plain)
+        Ok (Fidelius_crypto.Modes.ctr_transform tek.Transport.aes ~nonce plain)
       end
 
 let receive_update_io t ~handle ~nonce ~cipher ~dst_pfn =
@@ -314,7 +314,7 @@ let receive_update_io t ~handle ~nonce ~cipher ~dst_pfn =
       if len <= 0 || len > Addr.page_size then Error "RECEIVE_UPDATE(io): bad length"
       else begin
         let plain =
-          Fidelius_crypto.Modes.ctr_transform (Fidelius_crypto.Aes.expand tek) ~nonce cipher
+          Fidelius_crypto.Modes.ctr_transform tek.Transport.aes ~nonce cipher
         in
         (* Read-modify-write the destination frame under Kvek so only the
            payload prefix changes. *)

@@ -7,9 +7,7 @@ let create () = { ctx = Sha256.init (); finalized = None }
 
 let add_page t ~index plain =
   assert (t.finalized = None);
-  let header = Bytes.create 8 in
-  Bytes.set_int64_be header 0 (Int64.of_int index);
-  Sha256.feed t.ctx header;
+  Sha256.feed_u64_be t.ctx (Int64.of_int index);
   Sha256.feed t.ctx plain
 
 let add_data t data =

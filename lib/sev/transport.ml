@@ -13,20 +13,25 @@ type image = {
   nonce : int64;
 }
 
+(* The transport key with its AES schedule expanded once per image, not
+   once per page. [raw] is kept for wrapping/serialization. *)
+type tek_key = { raw : bytes; aes : Aes.key }
+
+let tek_key raw = { raw; aes = Aes.expand raw }
+
 (* Transport pages use CTR with the page index as nonce: deterministic,
    and any reordering is caught by the index-bound measurement. *)
 let page_cipher ~tek ~index plain =
-  Modes.ctr_transform (Aes.expand tek) ~nonce:(Int64.of_int index) plain
+  Modes.ctr_transform tek.aes ~nonce:(Int64.of_int index) plain
 
 let page_plain ~tek ~index cipher =
-  Modes.ctr_transform (Aes.expand tek) ~nonce:(Int64.of_int index) cipher
+  Modes.ctr_transform tek.aes ~nonce:(Int64.of_int index) cipher
 
 let derive_master_secret ~secret ~peer_public ~nonce =
   let shared = Dh.shared_secret secret peer_public in
-  let material = Bytes.create (32 + 8) in
-  Bytes.blit shared 0 material 0 32;
-  Bytes.set_int64_be material 32 nonce;
-  Sha256.digest material
+  Sha256.digest_build (fun ctx ->
+      Sha256.feed ctx shared;
+      Sha256.feed_u64_be ctx nonce)
 
 let measurement_meta ~policy ~nonce =
   let meta = Bytes.create 12 in
@@ -56,7 +61,8 @@ module Owner = struct
         if Bytes.length p <> Addr.page_size then
           invalid_arg "Transport.Owner.prepare: kernel pages must be page-sized")
       kernel_pages;
-    let tek = Rng.bytes rng 16 and tik = Rng.bytes rng 32 in
+    let tek_raw = Rng.bytes rng 16 and tik = Rng.bytes rng 32 in
+    let tek = tek_key tek_raw in
     let kblk = Rng.bytes rng 16 in
     let nonce = Rng.next64 rng in
     let owner_secret, owner_public = Dh.generate rng in
@@ -75,6 +81,6 @@ module Owner = struct
       List.map (fun (index, plain) -> (index, page_cipher ~tek ~index plain)) plain_pages
     in
     let kek = derive_master_secret ~secret:owner_secret ~peer_public:platform_public ~nonce in
-    let wrapped_keys = Keywrap.wrap ~kek (Bytes.cat tek tik) in
+    let wrapped_keys = Keywrap.wrap ~kek (Bytes.cat tek_raw tik) in
     { image = { pages; measurement; policy; nonce }; wrapped_keys; owner_public; kblk }
 end

@@ -19,11 +19,21 @@ type image = {
   nonce : int64;               (** guest-provided anti-replay nonce (Nvm) *)
 }
 
-val page_cipher : tek:bytes -> index:int -> bytes -> bytes
+type tek_key = {
+  raw : bytes;                    (** Ktek bytes, for wrapping *)
+  aes : Fidelius_crypto.Aes.key;  (** schedule expanded once per image *)
+}
+(** A transport encryption key prepared with {!tek_key} — per-page commands
+    reuse the expanded schedule instead of re-running the AES key schedule
+    for every page. *)
+
+val tek_key : bytes -> tek_key
+
+val page_cipher : tek:tek_key -> index:int -> bytes -> bytes
 (** Encrypt one page for transport (CTR keyed by Ktek, nonce bound to the
     page index and the image nonce is folded into the measurement). *)
 
-val page_plain : tek:bytes -> index:int -> bytes -> bytes
+val page_plain : tek:tek_key -> index:int -> bytes -> bytes
 
 module Owner : sig
   type prepared = {

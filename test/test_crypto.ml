@@ -144,6 +144,106 @@ let test_sha_streaming_equals_oneshot =
       Sha256.feed ctx (Bytes.sub data cut (n - cut));
       Bytes.equal (Sha256.finalize ctx) (Sha256.digest data))
 
+let test_sha_backend_known () =
+  Alcotest.(check bool)
+    (Printf.sprintf "backend %S is a known dispatch target" Sha256.backend)
+    true
+    (List.mem Sha256.backend [ "sha-ni"; "c-scalar" ])
+
+(* The accelerated backend (SHA-NI or the C scalar core) against the
+   pure-OCaml executable specification, under arbitrary multi-way
+   chunking across all three feed variants. This is the test that makes
+   the C stub trustworthy: any divergence in the schedule recurrence,
+   padding, or partial-block handling shows up here. *)
+let test_sha_chunked_matches_reference =
+  QCheck.Test.make ~name:"accelerated backend = OCaml reference (random chunking)" ~count:200
+    (QCheck.pair QCheck.string (QCheck.list QCheck.small_nat))
+    (fun (s, cuts) ->
+      let data = Bytes.of_string s in
+      let n = Bytes.length data in
+      let ctx = Sha256.init () in
+      let pos = ref 0 in
+      List.iter
+        (fun c ->
+          let len = min c (n - !pos) in
+          if len > 0 then begin
+            (* Rotate through the feed variants so each sees odd offsets. *)
+            (match len mod 3 with
+            | 0 -> Sha256.feed ctx (Bytes.sub data !pos len)
+            | 1 -> Sha256.feed_sub ctx data ~off:!pos ~len
+            | _ -> Sha256.feed_string ctx (Bytes.sub_string data !pos len));
+            pos := !pos + len
+          end)
+        cuts;
+      Sha256.feed_sub ctx data ~off:!pos ~len:(n - !pos);
+      let ref_digest = Sha256.digest_reference data in
+      Bytes.equal (Sha256.finalize ctx) ref_digest
+      && Bytes.equal (Sha256.digest data) ref_digest)
+
+let test_sha_into_matches_alloc () =
+  let rng = Rng.create 31L in
+  let a = Rng.bytes rng 100 and b = Rng.bytes rng 37 in
+  let dst = Bytes.make 80 '\xff' in
+  Sha256.digest_into a ~dst ~dst_off:5;
+  Alcotest.(check bool) "digest_into = digest" true
+    (Bytes.equal (Bytes.sub dst 5 32) (Sha256.digest a));
+  let ctx = Sha256.init () in
+  Sha256.feed ctx a;
+  Sha256.feed ctx b;
+  Sha256.finalize_into ctx ~dst ~dst_off:48;
+  Alcotest.(check bool) "finalize_into = digest (cat)" true
+    (Bytes.equal (Bytes.sub dst 48 32) (Sha256.digest (Bytes.cat a b)));
+  Alcotest.(check char) "guard byte untouched" '\xff' (Bytes.get dst 4)
+
+let test_sha_pair_matches_cat =
+  QCheck.Test.make ~name:"digest_pair a b = digest (cat a b)" ~count:100
+    (QCheck.pair QCheck.string QCheck.string)
+    (fun (sa, sb) ->
+      let a = Bytes.of_string sa and b = Bytes.of_string sb in
+      let cat = Sha256.digest (Bytes.cat a b) in
+      let dst = Bytes.create 32 in
+      Sha256.digest_pair_into a b ~dst ~dst_off:0;
+      Bytes.equal (Sha256.digest_pair a b) cat && Bytes.equal dst cat)
+
+let test_sha_pair_into_aliases () =
+  (* The BMT verify walk hashes (walk, sibling) back into walk itself. *)
+  let rng = Rng.create 33L in
+  let a = Rng.bytes rng 32 and b = Rng.bytes rng 32 in
+  let expect = Sha256.digest (Bytes.cat a b) in
+  let walk = Bytes.copy a in
+  Sha256.digest_pair_into walk b ~dst:walk ~dst_off:0;
+  Alcotest.(check bool) "dst aliasing left input" true (Bytes.equal walk expect)
+
+let test_sha_feed_u64_be =
+  QCheck.Test.make ~name:"feed_u64_be = feeding 8 BE bytes" ~count:200
+    (QCheck.pair QCheck.int64 QCheck.string)
+    (fun (v, prefix) ->
+      let eight = Bytes.create 8 in
+      Bytes.set_int64_be eight 0 v;
+      let d1 =
+        Sha256.digest_build (fun ctx ->
+            Sha256.feed_string ctx prefix;
+            Sha256.feed_u64_be ctx v)
+      in
+      let d2 =
+        Sha256.digest_build (fun ctx ->
+            Sha256.feed_string ctx prefix;
+            Sha256.feed ctx eight)
+      in
+      Bytes.equal d1 d2)
+
+let test_sha_reset_reuse () =
+  let rng = Rng.create 35L in
+  let msgs = List.init 5 (fun i -> Rng.bytes rng (17 * (i + 1))) in
+  let ctx = Sha256.init () in
+  List.iter
+    (fun m ->
+      Sha256.reset ctx;
+      Sha256.feed ctx m;
+      Alcotest.(check bool) "reset context rehashes cleanly" true
+        (Bytes.equal (Sha256.finalize ctx) (Sha256.digest m)))
+    msgs
+
 (* --- HMAC (RFC 4231) ----------------------------------------------------- *)
 
 let test_hmac_rfc4231 () =
@@ -174,6 +274,42 @@ let test_hmac_verify () =
   Alcotest.(check bool) "tampered tag rejected" false (Hmac.verify ~key ~tag:bad data);
   Alcotest.(check bool) "wrong length rejected" false
     (Hmac.verify ~key ~tag:(Bytes.create 4) data)
+
+(* The prepared-key fast path against the legacy one-shot entry points:
+   same tags, same verdicts, for keys of every length class (short,
+   block-size, longer-than-block). *)
+let test_hmac_prepared_matches_oneshot =
+  QCheck.Test.make ~name:"prepared key = one-shot mac/verify" ~count:200
+    (QCheck.pair QCheck.string QCheck.string)
+    (fun (k, d) ->
+      let raw = Bytes.of_string k and data = Bytes.of_string d in
+      let prepared = Hmac.key raw in
+      let tag = Hmac.mac ~key:raw data in
+      Bytes.equal (Hmac.mac_with prepared data) tag
+      && Bytes.equal (Hmac.mac_build prepared (fun ctx -> Sha256.feed ctx data)) tag
+      && Hmac.verify_with prepared ~tag data
+      && Hmac.verify_build prepared (fun ctx -> Sha256.feed ctx data) ~tag ~tag_off:0)
+
+let test_hmac_build_into_in_place () =
+  (* The secure-channel record shape: message and tag share one buffer. *)
+  let key = Hmac.key (Bytes.of_string "record key") in
+  let record = Bytes.make 52 '\000' in
+  Bytes.blit_string "some sealed payload!" 0 record 0 20;
+  Hmac.mac_build_into key (fun ctx -> Sha256.feed_sub ctx record ~off:0 ~len:20)
+    ~dst:record ~dst_off:20;
+  let expect = Hmac.mac_with key (Bytes.sub record 0 20) in
+  Alcotest.(check bool) "in-place tag = sliced mac" true
+    (Bytes.equal (Bytes.sub record 20 32) expect);
+  Alcotest.(check bool) "verify_build in place" true
+    (Hmac.verify_build key (fun ctx -> Sha256.feed_sub ctx record ~off:0 ~len:20)
+       ~tag:record ~tag_off:20);
+  Bytes.set record 3 'X';
+  Alcotest.(check bool) "tampered message rejected" false
+    (Hmac.verify_build key (fun ctx -> Sha256.feed_sub ctx record ~off:0 ~len:20)
+       ~tag:record ~tag_off:20);
+  Alcotest.(check bool) "tag range off the end rejected" false
+    (Hmac.verify_build key (fun ctx -> Sha256.feed_sub ctx record ~off:0 ~len:20)
+       ~tag:record ~tag_off:40)
 
 let test_hmac_distinct_keys =
   QCheck.Test.make ~name:"hmac differs under different keys" ~count:100
@@ -451,11 +587,20 @@ let () =
           prop test_aes_key_sensitivity ] );
       ( "sha256",
         [ Alcotest.test_case "FIPS vectors" `Quick test_sha_vectors;
-          prop test_sha_streaming_equals_oneshot ] );
+          Alcotest.test_case "backend dispatch" `Quick test_sha_backend_known;
+          Alcotest.test_case "into variants" `Quick test_sha_into_matches_alloc;
+          Alcotest.test_case "pair_into dst aliasing" `Quick test_sha_pair_into_aliases;
+          Alcotest.test_case "reset reuse" `Quick test_sha_reset_reuse;
+          prop test_sha_streaming_equals_oneshot;
+          prop test_sha_chunked_matches_reference;
+          prop test_sha_pair_matches_cat;
+          prop test_sha_feed_u64_be ] );
       ( "hmac",
         [ Alcotest.test_case "RFC 4231 cases 1-3" `Quick test_hmac_rfc4231;
           Alcotest.test_case "RFC 4231 long key" `Quick test_hmac_long_key;
           Alcotest.test_case "verify" `Quick test_hmac_verify;
+          Alcotest.test_case "build_into in place" `Quick test_hmac_build_into_in_place;
+          prop test_hmac_prepared_matches_oneshot;
           prop test_hmac_distinct_keys ] );
       ( "modes",
         [ prop test_ecb_roundtrip;

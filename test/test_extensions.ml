@@ -84,6 +84,121 @@ let test_bmt_charges_cycles () =
     (Hw.Cost.category m.Hw.Machine.ledger "bmt" > before
     && Bmt.hashes_performed bmt > hashes_before)
 
+(* --- BMT fast paths: batched updates, O(1) fetch checks --------------------- *)
+
+let test_bmt_update_many_equals_sequential =
+  QCheck.Test.make
+    ~name:"update_many = sequential updates (same tree, strictly fewer hashes)" ~count:40
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 10) (QCheck.int_bound 15))
+    (fun picks ->
+      (* Two identical machines and trees; dirty the same frames in both,
+         then rebind one with a single batch and the other frame by frame. *)
+      let m1, frames1, bmt1 = bmt_env 16 in
+      let m2, frames2, bmt2 = bmt_env 16 in
+      let dirty m frames =
+        List.map
+          (fun i ->
+            let pfn = List.nth frames i in
+            Hw.Physmem.write_raw m.Hw.Machine.mem pfn ~off:7 (Bytes.of_string "dirtied");
+            pfn)
+          picks
+      in
+      let dirty1 = dirty m1 frames1 and dirty2 = dirty m2 frames2 in
+      let h1 = Bmt.hashes_performed bmt1 and h2 = Bmt.hashes_performed bmt2 in
+      Bmt.update_many bmt1 dirty1;
+      List.iter (Bmt.update bmt2) dirty2;
+      let batch = Bmt.hashes_performed bmt1 - h1 in
+      let seq = Bmt.hashes_performed bmt2 - h2 in
+      let distinct = List.length (List.sort_uniq compare picks) in
+      Bytes.equal (Bmt.root bmt1) (Bmt.root bmt2)
+      && Result.is_ok (Bmt.verify_all bmt1)
+      && List.for_all (fun pfn -> Result.is_ok (Bmt.verify bmt1 pfn)) dirty1
+      (* Shared ancestors (at minimum the root) are hashed once per batch,
+         not once per frame — so any batch of >= 2 distinct leaves does
+         strictly less hash work than the sequential loop. *)
+      && (if distinct >= 2 then batch < seq else batch <= seq))
+
+let test_bmt_update_many_single_frame_cost () =
+  (* A one-frame batch charges exactly what the sequential update always
+     did: one page hash plus one node hash per interior level
+     (16 leaves -> 4 levels). The cost model must not drift. *)
+  let m, frames, bmt = bmt_env 16 in
+  let before = Hw.Cost.category m.Hw.Machine.ledger "bmt" in
+  Bmt.update_many bmt [ List.nth frames 5 ];
+  Alcotest.(check int) "single-frame batch cycles"
+    (1600 + (4 * 80))
+    (Hw.Cost.category m.Hw.Machine.ledger "bmt" - before)
+
+let test_bmt_update_many_ignores_uncovered () =
+  let m, frames, bmt = bmt_env 4 in
+  let pfn = List.hd frames in
+  Hw.Physmem.write_raw m.Hw.Machine.mem pfn ~off:0 (Bytes.of_string "new bytes");
+  (* Duplicates collapse; uncovered frames are ignored, not an error. *)
+  Bmt.update_many bmt [ pfn; pfn; 99; pfn ];
+  Alcotest.(check bool) "tree consistent after mixed batch" true
+    (Result.is_ok (Bmt.verify_all bmt));
+  Bmt.update_many bmt [];
+  Alcotest.(check bool) "empty batch is a no-op" true (Result.is_ok (Bmt.verify_all bmt))
+
+let test_bmt_fetch_check_o1 () =
+  (* The inline fetch check hashes exactly once per call — independent of
+     tree size — books no cycles, and never touches the charged walk
+     counter. This is the O(1) claim of the fast path, pinned. *)
+  let check n =
+    let m, frames, bmt = bmt_env n in
+    let pfn = List.nth frames (n / 2) in
+    let data = Hw.Physmem.dump m.Hw.Machine.mem pfn in
+    let charged = Hw.Cost.category m.Hw.Machine.ledger "bmt" in
+    let walked = Bmt.hashes_performed bmt in
+    let before = Bmt.fetch_hashes_performed bmt in
+    Alcotest.(check bool)
+      (Printf.sprintf "clean fetch passes (%d leaves)" n)
+      true
+      (Result.is_ok (Bmt.verify_fetched bmt pfn ~data));
+    Alcotest.(check int)
+      (Printf.sprintf "exactly one hash per check (%d leaves)" n)
+      1
+      (Bmt.fetch_hashes_performed bmt - before);
+    Alcotest.(check int) "no charged walk hashes" walked (Bmt.hashes_performed bmt);
+    Alcotest.(check int) "no cycles booked" charged
+      (Hw.Cost.category m.Hw.Machine.ledger "bmt")
+  in
+  check 2;
+  check 8;
+  check 64
+
+let test_bmt_fetch_check_detects () =
+  let m, frames, bmt = bmt_env 6 in
+  let pfn = List.nth frames 2 in
+  (* Tampered fill: the bus delivers bytes differing from the bound page. *)
+  let data = Hw.Physmem.dump m.Hw.Machine.mem pfn in
+  Bytes.set data 40 (Char.chr (Char.code (Bytes.get data 40) lxor 0x20));
+  Alcotest.(check bool) "tampered fill detected" true
+    (Result.is_error (Bmt.verify_fetched bmt pfn ~data));
+  (* Stale leaf: DRAM rewritten behind the tree's back — an honest fill of
+     the *new* bytes must still fail until the leaf is rebound. *)
+  Hw.Physmem.write_raw m.Hw.Machine.mem pfn ~off:0 (Bytes.of_string "silent rewrite");
+  let fresh = Hw.Physmem.dump m.Hw.Machine.mem pfn in
+  Alcotest.(check bool) "stale leaf detected" true
+    (Result.is_error (Bmt.verify_fetched bmt pfn ~data:fresh));
+  Bmt.update bmt pfn;
+  Alcotest.(check bool) "rebinding clears it" true
+    (Result.is_ok
+       (Bmt.verify_fetched bmt pfn ~data:(Hw.Physmem.dump m.Hw.Machine.mem pfn)));
+  Alcotest.(check bool) "uncovered frame fails closed" true
+    (Result.is_error (Bmt.verify_fetched bmt 99 ~data:fresh))
+
+let test_bmt_verify_cost_pin () =
+  (* The explicit walk keeps its exact pre-fast-path price: one page hash
+     plus one node hash per interior level (8 leaves -> 3 levels). *)
+  let m, frames, bmt = bmt_env 8 in
+  let before = Hw.Cost.category m.Hw.Machine.ledger "bmt" in
+  let hashes = Bmt.hashes_performed bmt in
+  ignore (Bmt.verify bmt (List.hd frames));
+  Alcotest.(check int) "walk cycles" (1600 + (3 * 80))
+    (Hw.Cost.category m.Hw.Machine.ledger "bmt" - before);
+  Alcotest.(check int) "walk hashes" 4 (Bmt.hashes_performed bmt - hashes)
+
 (* --- Integrity (core layer) ------------------------------------------------- *)
 
 let protected_env () =
@@ -237,7 +352,15 @@ let () =
           Alcotest.test_case "fails closed" `Quick test_bmt_uncovered_fails_closed;
           Alcotest.test_case "single-leaf tree" `Quick test_bmt_single_frame_tree;
           Alcotest.test_case "odd-width levels" `Quick test_bmt_odd_width_levels;
-          Alcotest.test_case "cycle accounting" `Quick test_bmt_charges_cycles ] );
+          Alcotest.test_case "cycle accounting" `Quick test_bmt_charges_cycles;
+          prop test_bmt_update_many_equals_sequential;
+          Alcotest.test_case "single-frame batch cost" `Quick
+            test_bmt_update_many_single_frame_cost;
+          Alcotest.test_case "mixed batch tolerated" `Quick
+            test_bmt_update_many_ignores_uncovered;
+          Alcotest.test_case "fetch check is O(1)" `Quick test_bmt_fetch_check_o1;
+          Alcotest.test_case "fetch check detects" `Quick test_bmt_fetch_check_detects;
+          Alcotest.test_case "verify cost pinned" `Quick test_bmt_verify_cost_pin ] );
       ( "integrity",
         [ Alcotest.test_case "verified access" `Quick test_integrity_flow;
           Alcotest.test_case "rowhammer detected" `Quick test_integrity_detects_rowhammer;

@@ -200,6 +200,33 @@ let test_matrix_fidelius_clean_on_transport_faults () =
           (c.Matrix.verdict = Matrix.Detected))
     report.Matrix.cells
 
+(* The DRAM disturbance sites are the ones the BMT's O(1) inline fetch
+   check exists for: a flipped or misrouted fill reaches the Fidelius stack
+   through Integrity.verified_read, whose armed fetch check hashes exactly
+   the delivered bytes against the stored leaf. Plain SEV has nothing
+   watching and garbles state silently — the differential the paper's
+   Section 8 extension closes. *)
+let test_matrix_dram_faults_detected_by_fetch_check () =
+  let report =
+    Matrix.run ~seed:11L
+      ~sites:[ Site.Dram_flip; Site.Dram_remap ]
+      ~attacks:(reduced_attacks ()) ()
+  in
+  List.iter
+    (fun (c : Matrix.cell) ->
+      match c.Matrix.stack with
+      | Matrix.Fidelius ->
+          Alcotest.(check string)
+            (Site.to_string c.Matrix.site ^ " detected on Fidelius")
+            "detected"
+            (Matrix.verdict_to_string c.Matrix.verdict)
+      | Matrix.Plain_sev ->
+          Alcotest.(check string)
+            (Site.to_string c.Matrix.site ^ " silent on plain SEV")
+            "SILENT-CORRUPTION"
+            (Matrix.verdict_to_string c.Matrix.verdict))
+    report.Matrix.cells
+
 let () =
   Alcotest.run "inject"
     [ ( "plan",
@@ -216,5 +243,7 @@ let () =
       ( "matrix",
         [ Alcotest.test_case "deterministic" `Quick test_matrix_deterministic;
           Alcotest.test_case "fidelius column clean" `Quick
-            test_matrix_fidelius_clean_on_transport_faults ] )
+            test_matrix_fidelius_clean_on_transport_faults;
+          Alcotest.test_case "dram faults caught by fetch check" `Quick
+            test_matrix_dram_faults_detected_by_fetch_check ] )
     ]

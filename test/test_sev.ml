@@ -343,7 +343,7 @@ let test_owner_page_size_check () =
                 ~kernel_pages:[ Bytes.create 100 ]))
 
 let test_transport_page_cipher () =
-  let tek = Bytes.make 16 'T' in
+  let tek = Transport.tek_key (Bytes.make 16 'T') in
   let plain = page 'p' in
   let c = Transport.page_cipher ~tek ~index:3 plain in
   Alcotest.(check bool) "encrypts" false (Bytes.equal c plain);
