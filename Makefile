@@ -11,9 +11,13 @@
 #                    (results/fleet.csv, results/fleet_trace.json, bench.json)
 #   make perf        re-measure the bechamel primitives and print the
 #                    speedup against the recorded results/bench.json baseline
-#   make check       what CI runs: build + tests + matrix + fleet smoke + docs
+#   make crypto-selftest  report the CPUID-selected AES/SHA backends and
+#                    cross-check every tier against the executable
+#                    specification (nonzero exit on any mismatch)
+#   make check       what CI runs: build + tests + crypto self-test + matrix
+#                    + fleet smoke + docs
 
-.PHONY: build test doc doc-strict matrix fleet fleet-smoke perf check clean
+.PHONY: build test doc doc-strict matrix fleet fleet-smoke perf crypto-selftest check clean
 
 build:
 	dune build @all
@@ -39,7 +43,10 @@ fleet-smoke:
 perf:
 	dune exec bench/main.exe -- perf
 
-check: build test matrix fleet-smoke doc
+crypto-selftest:
+	dune exec bin/fidelius_sim.exe -- cpu-features
+
+check: build test crypto-selftest matrix fleet-smoke doc
 
 clean:
 	dune clean

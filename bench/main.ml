@@ -376,6 +376,11 @@ let update_bench_json kvs =
    (the machine-readable perf trajectory future PRs compare against). *)
 let bechamel ?(quota = 0.25) ?(record = true) () =
   header "Bechamel: real wall-clock cost of the hot primitives (ns/run)";
+  (* Which silicon ran the crypto numbers below — without this a bench.json
+     delta between two machines (or a VM masking AES-NI) is uninterpretable. *)
+  Printf.printf "  crypto backends: aes=%s sha256=%s (cpu: %s)\n\n"
+    (Fidelius_crypto.Aes.backend ()) Fidelius_crypto.Sha256.backend
+    (String.concat " " (Fidelius_crypto.Aes.cpu_features ()));
   let open Bechamel in
   let open Toolkit in
   let rng = Rng.create 99L in
@@ -398,12 +403,23 @@ let bechamel ?(quota = 0.25) ?(record = true) () =
   let bmt = Hw.Bmt.create bm ~frames:bmt_frames in
   let fetched = Hw.Physmem.dump bm.Hw.Machine.mem 100 in
   let batch64 = List.init 64 (fun i -> 3 * i) in
+  (* xex-span-4KiB writes into this preallocated buffer so the entry times
+     the cipher alone; the allocating xex-page-4KiB entry above it keeps
+     measuring what callers of the wrapper actually pay. *)
+  let span_dst = Bytes.create 4096 in
   let tests =
     Test.make_grouped ~name:"fidelius"
       [ Test.make ~name:"aes-128-block" (Staged.stage (fun () ->
             ignore (Fidelius_crypto.Aes.encrypt_block key block)));
         Test.make ~name:"xex-page-4KiB" (Staged.stage (fun () ->
             ignore (Fidelius_crypto.Modes.xex_encrypt key ~tweak:0x40L page)));
+        Test.make ~name:"xex-span-4KiB" (Staged.stage (fun () ->
+            Fidelius_crypto.Modes.xex_encrypt_span key ~tweak0:0x40L ~tweak_step:16L
+              ~src:page ~src_off:0 ~dst:span_dst ~dst_off:0 ~len:4096));
+        Test.make ~name:"ctr-4KiB" (Staged.stage (fun () ->
+            ignore (Fidelius_crypto.Modes.ctr_transform key ~nonce:0x99L page)));
+        Test.make ~name:"ecb-4KiB" (Staged.stage (fun () ->
+            ignore (Fidelius_crypto.Modes.ecb_encrypt key page)));
         Test.make ~name:"sha256-1KiB" (Staged.stage (fun () ->
             ignore (Fidelius_crypto.Sha256.digest kilobyte)));
         Test.make ~name:"sha256-64B" (Staged.stage (fun () ->
@@ -452,7 +468,8 @@ let bechamel ?(quota = 0.25) ?(record = true) () =
     (fun k ->
       if not (List.mem_assoc k estimates) then
         failwith (Printf.sprintf "bechamel: no estimate for required benchmark %S" k))
-    [ "fidelius/aes-128-block"; "fidelius/xex-page-4KiB"; "fidelius/sha256-1KiB";
+    [ "fidelius/aes-128-block"; "fidelius/xex-page-4KiB"; "fidelius/xex-span-4KiB";
+      "fidelius/ctr-4KiB"; "fidelius/ecb-4KiB"; "fidelius/sha256-1KiB";
       "fidelius/sha256-64B"; "fidelius/bmt-fetch-check"; "fidelius/bmt-update-batch-64pages";
       "fidelius/pit-lookup"; "fidelius/gate1-crossing"; "fidelius/checking-loop";
       "fidelius/void-hypercall"; "fidelius/guest-read-64B" ];

@@ -1,18 +1,69 @@
-(* AES-128 per FIPS-197, implemented with 32-bit T-tables.
+(* AES-128 per FIPS-197.
 
-   Each Te/Td entry fuses SubBytes + MixColumns for one byte position, so a
-   round is 16 table lookups and 16 XORs over four 32-bit words instead of
-   byte-wise SubBytes/ShiftRows/MixColumns passes. ShiftRows is absorbed into
-   which state word each lookup reads from. Words are big-endian: byte i of
-   the block is byte i of word i/4, so word w holds column w of the FIPS
-   state (input byte i lands at row [i mod 4], column [i / 4]).
+   Two layers live here:
 
-   The decrypt path uses the equivalent inverse cipher: InvMixColumns is
-   pre-applied to round keys 1..9 at expansion time, which lets the inverse
-   rounds use the same lookup-and-XOR shape as the forward rounds. *)
+   - The OCaml T-table implementation below is the *executable
+     specification*: each Te/Td entry fuses SubBytes + MixColumns for one
+     byte position, so a round is 16 table lookups and 16 XORs over four
+     32-bit words. ShiftRows is absorbed into which state word each lookup
+     reads from. Words are big-endian: byte i of the block is byte i of
+     word i/4, so word w holds column w of the FIPS state. The decrypt path
+     uses the equivalent inverse cipher: InvMixColumns is pre-applied to
+     round keys 1..9 at expansion time. It is exposed as the
+     [*_reference] entry points and cross-checked against the C backends
+     by the test suite.
+
+   - The production entry points dispatch to aes_stubs.c, which probes
+     CPUID once at startup and selects VAES (256-bit), AES-NI (128-bit,
+     pipelined 8 blocks) or a portable C T-table core. The C side works
+     from [rk], a 352-byte serialized schedule (see aes_stubs.c for the
+     layout) that matches [ek]/[dk] byte for byte. *)
 
 let block_size = 16
 let key_size = 16
+
+(* C backend entry points (aes_stubs.c). The stubs trust the caller for
+   bounds — every OCaml wrapper below validates before calling. *)
+external stub_backend : unit -> int = "fidelius_aes_backend" [@@noalloc]
+external stub_force : int -> int = "fidelius_aes_force_backend" [@@noalloc]
+external stub_cpu_flags : unit -> int = "fidelius_aes_cpu_flags" [@@noalloc]
+external stub_expand : bytes -> bytes -> unit = "fidelius_aes_expand" [@@noalloc]
+
+external stub_blocks : bytes -> bool -> bytes -> int -> bytes -> int -> int -> unit
+  = "fidelius_aes_blocks_bytecode" "fidelius_aes_blocks"
+[@@noalloc]
+
+external stub_ctr : bytes -> int64 -> bytes -> bytes -> int -> unit
+  = "fidelius_aes_ctr"
+[@@noalloc]
+
+external stub_xex :
+  bytes -> bool -> int64 -> int64 -> bytes -> int -> bytes -> int -> int -> unit
+  = "fidelius_aes_xex_bytecode" "fidelius_aes_xex"
+[@@noalloc]
+
+(* Probe the CPU once at module initialisation so the first hot-path call
+   never pays (or races on) detection. *)
+let () = ignore (stub_backend () : int)
+
+let backend_name = function
+  | 1 -> "vaes"
+  | 2 -> "aes-ni"
+  | _ -> "c-portable"
+
+let backend () = backend_name (stub_backend ())
+
+let set_backend mode =
+  let want = match mode with `Auto -> 0 | `Vaes -> 1 | `Aesni -> 2 | `Portable -> 3 in
+  let got = stub_force want in
+  want = 0 || got = want
+
+let cpu_features () =
+  let f = stub_cpu_flags () in
+  List.filter_map
+    (fun (bit, name) -> if f land bit <> 0 then Some name else None)
+    [ (1, "aes"); (2, "ssse3"); (4, "sse4.1"); (8, "avx2");
+      (16, "vaes"); (32, "sha"); (64, "ymm-os") ]
 
 let sbox = [|
   0x63; 0x7c; 0x77; 0x7b; 0xf2; 0x6b; 0x6f; 0xc5; 0x30; 0x01; 0x67; 0x2b; 0xfe; 0xd7; 0xab; 0x76;
@@ -91,8 +142,11 @@ type key = {
   ek : int array;  (* 44 encryption round-key words, big-endian packed *)
   dk : int array;  (* decryption schedule: reversed rounds, InvMixColumns
                       pre-applied to rounds 1..9 (equivalent inverse cipher) *)
-  st : int array;  (* 4-word scratch for the round state; reusing it keeps
-                      the block functions allocation-free (single-threaded) *)
+  st : int array;  (* 4-word scratch for the reference round state; reusing
+                      it keeps the reference block functions allocation-free
+                      (single-threaded) *)
+  rk : Bytes.t;    (* the same two schedules serialized for the C backends:
+                      bytes 0..175 encryption, 176..351 decryption *)
 }
 
 let sub_word w =
@@ -139,9 +193,16 @@ let expand raw =
   for i = 4 to 39 do
     dk.(i) <- inv_mix_word dk.(i)
   done;
-  { ek; dk; st = Array.make 4 0 }
+  (* The C side re-expands from the raw key (with aeskeygenassist on the
+     hardware tiers); the result is byte-identical to ek/dk, which the test
+     suite checks via [schedule_bytes]. *)
+  let rk = Bytes.create 352 in
+  stub_expand raw rk;
+  { ek; dk; st = Array.make 4 0; rk }
 
 let schedule_words { ek; _ } = Array.copy ek
+
+let schedule_bytes { rk; _ } = Bytes.copy rk
 
 let load_word src off =
   (Char.code (Bytes.unsafe_get src off) lsl 24)
@@ -161,7 +222,7 @@ let check_range name buf off =
 
 (* The four state words are fully loaded before anything is stored, so
    src and dst may alias (in-place block operations are safe). *)
-let encrypt_block_into key ~src ~src_off ~dst ~dst_off =
+let encrypt_block_reference_into key ~src ~src_off ~dst ~dst_off =
   check_range "src" src src_off;
   check_range "dst" dst dst_off;
   let ek = key.ek and st = key.st in
@@ -195,7 +256,7 @@ let encrypt_block_into key ~src ~src_off ~dst ~dst_off =
     (((sbox.(s3 lsr 24) lsl 24) lor (sbox.((s0 lsr 16) land 0xff) lsl 16)
       lor (sbox.((s1 lsr 8) land 0xff) lsl 8) lor sbox.(s2 land 0xff)) lxor ek.(43))
 
-let decrypt_block_into key ~src ~src_off ~dst ~dst_off =
+let decrypt_block_reference_into key ~src ~src_off ~dst ~dst_off =
   check_range "src" src src_off;
   check_range "dst" dst dst_off;
   let dk = key.dk and st = key.st in
@@ -229,6 +290,18 @@ let decrypt_block_into key ~src ~src_off ~dst ~dst_off =
     (((inv_sbox.(s3 lsr 24) lsl 24) lor (inv_sbox.((s2 lsr 16) land 0xff) lsl 16)
       lor (inv_sbox.((s1 lsr 8) land 0xff) lsl 8) lor inv_sbox.(s0 land 0xff)) lxor dk.(43))
 
+(* Production block entry points: same bounds checks, C backend body. *)
+
+let encrypt_block_into key ~src ~src_off ~dst ~dst_off =
+  check_range "src" src src_off;
+  check_range "dst" dst dst_off;
+  stub_blocks key.rk true src src_off dst dst_off 1
+
+let decrypt_block_into key ~src ~src_off ~dst ~dst_off =
+  check_range "src" src src_off;
+  check_range "dst" dst dst_off;
+  stub_blocks key.rk false src src_off dst dst_off 1
+
 let check_block plain =
   if Bytes.length plain <> block_size then invalid_arg "Aes: block must be 16 bytes"
 
@@ -243,3 +316,39 @@ let decrypt_block key cipher =
   let out = Bytes.create block_size in
   decrypt_block_into key ~src:cipher ~src_off:0 ~dst:out ~dst_off:0;
   out
+
+let encrypt_block_reference key plain =
+  check_block plain;
+  let out = Bytes.create block_size in
+  encrypt_block_reference_into key ~src:plain ~src_off:0 ~dst:out ~dst_off:0;
+  out
+
+let decrypt_block_reference key cipher =
+  check_block cipher;
+  let out = Bytes.create block_size in
+  decrypt_block_reference_into key ~src:cipher ~src_off:0 ~dst:out ~dst_off:0;
+  out
+
+(* Bulk entry points — one C call per run of blocks. The C side trusts the
+   caller, so all bounds are validated here. *)
+
+let check_run name buf off nbytes =
+  if off < 0 || nbytes < 0 || off + nbytes > Bytes.length buf then
+    invalid_arg ("Aes: " ^ name ^ " range out of bounds")
+
+let blocks_into key ~encrypt ~src ~src_off ~dst ~dst_off ~nblocks =
+  check_run "src" src src_off (nblocks * block_size);
+  check_run "dst" dst dst_off (nblocks * block_size);
+  stub_blocks key.rk encrypt src src_off dst dst_off nblocks
+
+let ctr_into key ~nonce ~src ~dst ~len =
+  check_run "src" src 0 len;
+  check_run "dst" dst 0 len;
+  stub_ctr key.rk nonce src dst len
+
+let xex_span_into key ~encrypt ~tweak0 ~tweak_step ~src ~src_off ~dst ~dst_off ~len =
+  if len mod block_size <> 0 then
+    invalid_arg "Aes.xex_span_into: len must be a multiple of 16";
+  check_run "src" src src_off len;
+  check_run "dst" dst dst_off len;
+  stub_xex key.rk encrypt tweak0 tweak_step src src_off dst dst_off len

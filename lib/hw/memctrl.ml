@@ -66,7 +66,9 @@ let key_of t = function
 
 (* The XEX tweak is the physical block address, binding ciphertext to its
    location. Consecutive blocks step the tweak by the block size, which is
-   what lets a multi-block span go through one [Modes.xex_*_span] call. *)
+   what lets a multi-block span go through one [Modes.xex_*_span] call —
+   since the AES hardware backend that is one C call per page: tweak
+   generation, whitening and the block cipher all happen in-register. *)
 let tweak_of pfn block = Int64.of_int (Addr.addr_of pfn (block * Addr.block_size))
 
 let tweak_step = Int64.of_int Addr.block_size

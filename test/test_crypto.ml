@@ -441,12 +441,189 @@ let test_ctr_random_lengths =
       let pt = Bytes.of_string p in
       Bytes.equal (Modes.ctr_transform key ~nonce (Modes.ctr_transform key ~nonce pt)) pt)
 
-(* Golden digests captured from the seed (pre-T-table) implementation: any
-   drift in ciphertext bits across the rewrite fails these. *)
 let golden_key () = Aes.expand (unhex "000102030405060708090a0b0c0d0e0f")
 
 let golden_page () = Bytes.init 4096 (fun i -> Char.chr ((i * 7 + 3) land 0xff))
 
+(* --- AES backend dispatch ------------------------------------------------ *)
+
+(* The C backends (VAES / AES-NI / portable C) against the OCaml executable
+   specification. Every tier this CPU can run is forced in turn and checked
+   for byte-identical output; the selection is restored to auto afterwards.
+   This is what makes the hardware path trustworthy: tweak-stride
+   arithmetic, pipelining tails, partial CTR blocks and the equivalent
+   inverse cipher all diverge here if the stubs are wrong. *)
+
+let backend_tiers =
+  let tiers =
+    List.filter
+      (fun (_, t) -> Aes.set_backend t)
+      [ ("vaes", `Vaes); ("aes-ni", `Aesni); ("c-portable", `Portable) ]
+  in
+  ignore (Aes.set_backend `Auto);
+  tiers
+
+let with_tier tier f =
+  ignore (Aes.set_backend tier);
+  Fun.protect ~finally:(fun () -> ignore (Aes.set_backend `Auto)) f
+
+let for_all_tiers f =
+  List.for_all (fun (name, tier) -> with_tier tier (fun () -> f name)) backend_tiers
+
+let test_aes_backend_known () =
+  Alcotest.(check bool)
+    (Printf.sprintf "backend %S is a known dispatch target" (Aes.backend ()))
+    true
+    (List.mem (Aes.backend ()) [ "vaes"; "aes-ni"; "c-portable" ]);
+  (* The portable tier exists everywhere, so the sweep below is never empty. *)
+  Alcotest.(check bool) "portable tier always available" true
+    (List.mem_assoc "c-portable" backend_tiers)
+
+(* The C key expansion (aeskeygenassist on hardware tiers) must serialize to
+   exactly the OCaml ek schedule; the dk half is exercised by every decrypt
+   equivalence test below. *)
+let test_schedule_bytes_match_reference =
+  QCheck.Test.make ~name:"C key schedule = OCaml ek words" ~count:100
+    (sized_string 16)
+    (fun k ->
+      let key = Aes.expand (Bytes.of_string k) in
+      let rk = Aes.schedule_bytes key in
+      let w = Aes.schedule_words key in
+      Bytes.length rk = 352
+      && Array.for_all
+           (fun i -> Int32.to_int (Bytes.get_int32_be rk (4 * i)) land 0xFFFFFFFF = w.(i))
+           (Array.init 44 Fun.id))
+
+let test_backend_fips_kats () =
+  List.iter
+    (fun (name, tier) ->
+      with_tier tier (fun () ->
+          let key = Aes.expand (unhex "000102030405060708090a0b0c0d0e0f") in
+          let ct = Aes.encrypt_block key (unhex "00112233445566778899aabbccddeeff") in
+          check_hex (name ^ ": FIPS C.1") "69c4e0d86a7b0430d8cdb78070b4c55a" ct;
+          Alcotest.(check bool) (name ^ ": FIPS C.1 decrypt") true
+            (Bytes.equal (Aes.decrypt_block key ct)
+               (unhex "00112233445566778899aabbccddeeff"));
+          let key = Aes.expand (unhex "2b7e151628aed2a6abf7158809cf4f3c") in
+          check_hex (name ^ ": FIPS appendix B") "3925841d02dc09fbdc118597196a0b32"
+            (Aes.encrypt_block key (unhex "3243f6a8885a308d313198a2e0370734"))))
+    backend_tiers
+
+let test_backend_block_equivalence =
+  QCheck.Test.make ~name:"every backend: block = reference" ~count:200
+    (QCheck.pair (sized_string 16) (sized_string 16))
+    (fun (k, p) ->
+      let key = Aes.expand (Bytes.of_string k) in
+      let pt = Bytes.of_string p in
+      let ect = Aes.encrypt_block_reference key pt in
+      let dct = Aes.decrypt_block_reference key pt in
+      for_all_tiers (fun _ ->
+          Bytes.equal (Aes.encrypt_block key pt) ect
+          && Bytes.equal (Aes.decrypt_block key pt) dct))
+
+let test_backend_ecb_equivalence =
+  QCheck.Test.make ~name:"every backend: ECB = reference (random nblocks)" ~count:100
+    (QCheck.pair (sized_string 16) (QCheck.int_bound 20))
+    (fun (k, nblocks) ->
+      let key = Aes.expand (Bytes.of_string k) in
+      let rng = Rng.create (Int64.of_int (nblocks + 1)) in
+      let pt = Rng.bytes rng (nblocks * 16) in
+      let ect = Modes.ecb_encrypt_reference key pt in
+      let dct = Modes.ecb_decrypt_reference key pt in
+      for_all_tiers (fun _ ->
+          Bytes.equal (Modes.ecb_encrypt key pt) ect
+          && Bytes.equal (Modes.ecb_decrypt key pt) dct))
+
+let test_backend_ctr_equivalence =
+  QCheck.Test.make ~name:"every backend: CTR = reference (random length/nonce)" ~count:100
+    (QCheck.triple (sized_string 16) (QCheck.int_bound 300) QCheck.int64)
+    (fun (k, n, nonce) ->
+      let key = Aes.expand (Bytes.of_string k) in
+      let rng = Rng.create (Int64.add nonce (Int64.of_int n)) in
+      let pt = Rng.bytes rng n in
+      let expect = Modes.ctr_transform_reference key ~nonce pt in
+      for_all_tiers (fun _ -> Bytes.equal (Modes.ctr_transform key ~nonce pt) expect))
+
+let test_backend_xex_span_equivalence =
+  QCheck.Test.make
+    ~name:"every backend: XEX span = reference (random tweak/stride/offset/len)" ~count:100
+    (QCheck.quad (sized_string 16) (QCheck.pair QCheck.int64 QCheck.int64)
+       (QCheck.pair (QCheck.int_bound 31) (QCheck.int_bound 31))
+       (QCheck.int_bound 20))
+    (fun (k, (tweak0, tweak_step), (src_off, dst_off), nblocks) ->
+      let nblocks = nblocks + 1 in
+      let len = nblocks * 16 in
+      let key = Aes.expand (Bytes.of_string k) in
+      let rng = Rng.create (Int64.logxor tweak0 tweak_step) in
+      let src = Rng.bytes rng (src_off + len + 5) in
+      let expect = Bytes.make (dst_off + len + 3) '\000' in
+      Modes.xex_encrypt_span_reference key ~tweak0 ~tweak_step ~src ~src_off ~dst:expect
+        ~dst_off ~len;
+      for_all_tiers (fun _ ->
+          let dst = Bytes.make (dst_off + len + 3) '\000' in
+          Modes.xex_encrypt_span key ~tweak0 ~tweak_step ~src ~src_off ~dst ~dst_off ~len;
+          let back = Bytes.make (src_off + len + 5) '\000' in
+          Modes.xex_decrypt_span key ~tweak0 ~tweak_step ~src:dst ~src_off:dst_off
+            ~dst:back ~dst_off:src_off ~len;
+          Bytes.equal (Bytes.sub dst dst_off len) (Bytes.sub expect dst_off len)
+          && Bytes.equal (Bytes.sub back src_off len) (Bytes.sub src src_off len)))
+
+(* The mli permits src == dst at the same offset; the SIMD cores load a
+   whole 8-block group before storing it, so this pins that contract. *)
+let test_backend_inplace_aliasing =
+  QCheck.Test.make ~name:"every backend: in-place (src == dst) = out-of-place" ~count:100
+    (QCheck.triple (sized_string 16) QCheck.int64 (QCheck.int_bound 20))
+    (fun (k, tweak0, nblocks) ->
+      let nblocks = nblocks + 1 in
+      let len = nblocks * 16 in
+      let key = Aes.expand (Bytes.of_string k) in
+      let rng = Rng.create tweak0 in
+      let pt = Rng.bytes rng len in
+      for_all_tiers (fun _ ->
+          let out = Bytes.make len '\000' in
+          Modes.xex_encrypt_span key ~tweak0 ~tweak_step:16L ~src:pt ~src_off:0 ~dst:out
+            ~dst_off:0 ~len;
+          let buf = Bytes.copy pt in
+          Modes.xex_encrypt_span key ~tweak0 ~tweak_step:16L ~src:buf ~src_off:0 ~dst:buf
+            ~dst_off:0 ~len;
+          let ecb = Modes.ecb_encrypt key pt in
+          let ebuf = Bytes.copy pt in
+          Aes.blocks_into key ~encrypt:true ~src:ebuf ~src_off:0 ~dst:ebuf ~dst_off:0
+            ~nblocks;
+          Bytes.equal buf out && Bytes.equal ebuf ecb))
+
+let test_backend_golden_sweep () =
+  (* The DESIGN.md 4c invariant, per backend: ciphertext bits never depend
+     on which core computed them. *)
+  List.iter
+    (fun (name, tier) ->
+      with_tier tier (fun () ->
+          let ct = Modes.xex_encrypt (golden_key ()) ~tweak:0x40L (golden_page ()) in
+          check_hex (name ^ ": XEX page digest")
+            "1e91d6ec9633bfbe5eeaebdd40436a81156eca32ea8ca50945602ee573f3fb60"
+            (Sha256.digest ct)))
+    backend_tiers
+
+let test_bulk_validation () =
+  let key = Aes.expand (Bytes.create 16) in
+  Alcotest.check_raises "blocks_into src overrun"
+    (Invalid_argument "Aes: src range out of bounds") (fun () ->
+      Aes.blocks_into key ~encrypt:true ~src:(Bytes.create 31) ~src_off:0
+        ~dst:(Bytes.create 32) ~dst_off:0 ~nblocks:2);
+  Alcotest.check_raises "blocks_into negative offset"
+    (Invalid_argument "Aes: dst range out of bounds") (fun () ->
+      Aes.blocks_into key ~encrypt:false ~src:(Bytes.create 32) ~src_off:0
+        ~dst:(Bytes.create 32) ~dst_off:(-1) ~nblocks:2);
+  Alcotest.check_raises "xex_span_into ragged len"
+    (Invalid_argument "Aes.xex_span_into: len must be a multiple of 16") (fun () ->
+      Aes.xex_span_into key ~encrypt:true ~tweak0:0L ~tweak_step:1L
+        ~src:(Bytes.create 32) ~src_off:0 ~dst:(Bytes.create 32) ~dst_off:0 ~len:24);
+  Alcotest.check_raises "ctr_into short dst"
+    (Invalid_argument "Aes: dst range out of bounds") (fun () ->
+      Aes.ctr_into key ~nonce:0L ~src:(Bytes.create 32) ~dst:(Bytes.create 16) ~len:32)
+
+(* Golden digests captured from the seed (pre-T-table) implementation: any
+   drift in ciphertext bits across the rewrite fails these. *)
 let test_golden_xex_page () =
   let ct = Modes.xex_encrypt (golden_key ()) ~tweak:0x40L (golden_page ()) in
   check_hex "XEX page digest" "1e91d6ec9633bfbe5eeaebdd40436a81156eca32ea8ca50945602ee573f3fb60"
@@ -614,6 +791,17 @@ let () =
           prop test_xex_span_equals_blocks;
           prop test_xex_span_step_one_matches_into;
           prop test_ctr_random_lengths ] );
+      ( "aes-backend",
+        [ Alcotest.test_case "backend dispatch" `Quick test_aes_backend_known;
+          Alcotest.test_case "FIPS KATs per tier" `Quick test_backend_fips_kats;
+          Alcotest.test_case "golden digest per tier" `Quick test_backend_golden_sweep;
+          Alcotest.test_case "bulk bounds validation" `Quick test_bulk_validation;
+          prop test_schedule_bytes_match_reference;
+          prop test_backend_block_equivalence;
+          prop test_backend_ecb_equivalence;
+          prop test_backend_ctr_equivalence;
+          prop test_backend_xex_span_equivalence;
+          prop test_backend_inplace_aliasing ] );
       ( "golden",
         [ Alcotest.test_case "XEX page ciphertext" `Quick test_golden_xex_page;
           Alcotest.test_case "CTR keystream" `Quick test_golden_ctr;
