@@ -9,15 +9,18 @@
 #                    silent corruption or harness error in the Fidelius column)
 #   make fleet       fleet scaling benchmark: VMs/sec vs domain count
 #                    (results/fleet.csv, results/fleet_trace.json, bench.json)
+#   make serve       traffic-serving benchmark over the batched PV datapath
+#                    (ring throughput sync vs batched, serve sweep -> bench.json)
+#   make serve-smoke fast doorbell-amortization and determinism check
 #   make perf        re-measure the bechamel primitives and print the
 #                    speedup against the recorded results/bench.json baseline
 #   make crypto-selftest  report the CPUID-selected AES/SHA backends and
 #                    cross-check every tier against the executable
 #                    specification (nonzero exit on any mismatch)
 #   make check       what CI runs: build + tests + crypto self-test + matrix
-#                    + fleet smoke + docs
+#                    + fleet smoke + serve smoke + docs
 
-.PHONY: build test doc doc-strict matrix fleet fleet-smoke perf crypto-selftest check clean
+.PHONY: build test doc doc-strict matrix fleet fleet-smoke serve serve-smoke perf crypto-selftest check clean
 
 build:
 	dune build @all
@@ -40,13 +43,19 @@ fleet:
 fleet-smoke:
 	dune build @fleet-smoke
 
+serve-smoke:
+	dune build @serve-smoke
+
+serve:
+	dune exec bench/main.exe -- serve
+
 perf:
 	dune exec bench/main.exe -- perf
 
 crypto-selftest:
 	dune exec bin/fidelius_sim.exe -- cpu-features
 
-check: build test crypto-selftest matrix fleet-smoke doc
+check: build test crypto-selftest matrix fleet-smoke serve-smoke doc
 
 clean:
 	dune clean

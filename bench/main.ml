@@ -576,6 +576,86 @@ let fleet_smoke () =
          rate2 rate1);
   Printf.printf "fleet-smoke: 8 VMs, d1 %.1f VMs/s vs d2 %.1f VMs/s: no inversion\n" rate1 rate2
 
+(* ---- serve: traffic over the batched PV datapath --------------------------------------- *)
+
+(* Wall-clock requests/second through the shared ring: the same kernel at
+   1 and [batch] descriptors per doorbell. Median of three runs — the
+   doorbell (a full protected-guest world switch) dominates the synchronous
+   path, so the ratio is what the batching actually buys. *)
+let ring_rates ?(iters = 4000) ?(runs = 3) batch =
+  let kernel = W.Serve.ring_workload ~batch ~iters in
+  kernel ();
+  (* warmup *)
+  let sample () =
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    kernel ();
+    float_of_int iters /. (Unix.gettimeofday () -. t0)
+  in
+  let samples = List.sort compare (List.init runs (fun _ -> sample ())) in
+  List.nth samples (runs / 2)
+
+let serve ?(requests = 512) ?(batches = [ 1; 2; 4; 8 ]) ?(record = true) () =
+  header "Serve: open-loop mixed blk/net traffic over the batched PV datapath";
+  let sync_rate = ring_rates 1 in
+  let batch_rate = ring_rates 8 in
+  Printf.printf
+    "ring wall-clock: sync %.0f req/s, batch-8 %.0f req/s  (%.2fx per doorbell amortization)\n\n"
+    sync_rate batch_rate (batch_rate /. sync_rate);
+  Printf.printf "%6s %10s %10s %10s %10s %12s %10s\n" "batch" "req/s" "p50 us" "p90 us"
+    "p99 us" "hypercalls" "blk-doorb";
+  let rows =
+    List.map
+      (fun b -> W.Serve.run { W.Serve.default_config with W.Serve.batch = b; requests })
+      batches
+  in
+  List.iter
+    (fun (r : W.Serve.report) ->
+      Printf.printf "%6d %10.0f %10.1f %10.1f %10.1f %12d %10d\n" r.W.Serve.batch
+        r.W.Serve.rps r.W.Serve.p50_us r.W.Serve.p90_us r.W.Serve.p99_us
+        r.W.Serve.hypercalls r.W.Serve.blk_notifications)
+    rows;
+  let kvs =
+    [ ("serve/ring-req-per-sec-sync", sync_rate);
+      ("serve/ring-req-per-sec-b8", batch_rate);
+      ("serve/ring-speedup-b8", batch_rate /. sync_rate) ]
+    @ List.concat_map
+        (fun (r : W.Serve.report) ->
+          let b = r.W.Serve.batch in
+          [ (Printf.sprintf "serve/req-per-sec-b%d" b, r.W.Serve.rps);
+            (Printf.sprintf "serve/p50-us-b%d" b, r.W.Serve.p50_us);
+            (Printf.sprintf "serve/p99-us-b%d" b, r.W.Serve.p99_us);
+            (Printf.sprintf "serve/hypercalls-b%d" b, float_of_int r.W.Serve.hypercalls) ])
+        rows
+  in
+  if record then update_bench_json kvs
+
+(* Serve smoke for CI: the batched datapath must still amortize the
+   doorbell (generous slack against the >= 5x full-bench criterion, smoke
+   boxes are noisy), batching must reduce world switches, and the batch-1
+   report must be deterministic for a fixed seed. Seconds, not minutes. *)
+let serve_smoke () =
+  let sync_rate = ring_rates ~iters:2000 1 in
+  let batch_rate = ring_rates ~iters:2000 8 in
+  let ratio = batch_rate /. sync_rate in
+  if ratio < 3.5 then
+    failwith
+      (Printf.sprintf
+         "serve-smoke: batch-8 ring throughput only %.2fx the synchronous path (smoke slack \
+          3.5x; the full bench criterion is 5x)"
+         ratio);
+  let run b = W.Serve.run { W.Serve.default_config with W.Serve.batch = b; requests = 64 } in
+  let r1 = run 1 and r1' = run 1 and r8 = run 8 in
+  if r1 <> r1' then failwith "serve-smoke: batch-1 serve report is not deterministic";
+  if r8.W.Serve.hypercalls >= r1.W.Serve.hypercalls then
+    failwith
+      (Printf.sprintf "serve-smoke: batch-8 took %d world switches vs %d at batch-1"
+         r8.W.Serve.hypercalls r1.W.Serve.hypercalls);
+  Printf.printf
+    "serve-smoke: ring batch-8 %.2fx sync; %d -> %d hypercalls at batch 8; batch-1 \
+     deterministic\n"
+    ratio r1.W.Serve.hypercalls r8.W.Serve.hypercalls
+
 (* ---- perf delta ------------------------------------------------------------------------ *)
 
 (* Compare the recorded perf trajectory (results/bench.json, written by the
@@ -608,6 +688,7 @@ let all () =
   tab3 ();
   micro ();
   ablate ();
+  serve ();
   fleet ();
   ignore (bechamel ())
 
@@ -645,11 +726,20 @@ let () =
   | "perf" -> perf ()
   | "fleet" -> fleet_cli ()
   | "fleet-smoke" -> fleet_smoke ()
+  | "serve" ->
+      let requests = Option.map int_of_string (flag_arg "--requests") in
+      let batches =
+        Option.map
+          (fun s -> List.map int_of_string (String.split_on_char ',' s))
+          (flag_arg "--batches")
+      in
+      serve ?requests ?batches ()
+  | "serve-smoke" -> serve_smoke ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
         "unknown section %S; expected \
          fig5|fig6|tab3|micro|xsa|attacks|tab1|tab2|ablate|bechamel|bechamel-smoke|perf|\
-         fleet|fleet-smoke|all\n"
+         fleet|fleet-smoke|serve|serve-smoke|all\n"
         other;
       exit 1

@@ -3,7 +3,7 @@
      fidelius_sim demo              full life-cycle walkthrough
      fidelius_sim attacks [--id X]  security matrix (or one attack)
      fidelius_sim xsa               quantitative XSA analysis
-     fidelius_sim bench SUITE       workload overheads (spec|parsec|fio)
+     fidelius_sim bench SUITE       workload overheads (spec|parsec|fio|serve)
      fidelius_sim trace demo        record an event trace of a scenario
      fidelius_sim inject matrix     differential fault-injection matrix
      fidelius_sim inspect           post-install system inventory *)
@@ -197,12 +197,27 @@ let bench suite breakdown =
             r.W.Fio.xen_rate r.W.Fio.pattern.W.Fio.unit_name r.W.Fio.fidelius_rate
             r.W.Fio.pattern.W.Fio.unit_name r.W.Fio.slowdown_pct)
         (W.Fio.table ())
-  | other -> Printf.eprintf "unknown suite %S (spec|parsec|fio)\n" other);
+  | "serve" ->
+      if breakdown then
+        prerr_endline "note: --breakdown applies to the sampled suites (spec|parsec) only";
+      (* Simulated-time sweep only; the wall-clock ring-throughput numbers
+         (sync vs batched doorbells) come from `bench/main.exe serve`,
+         which links a timer. *)
+      Printf.printf "%6s %10s %10s %10s %10s %12s %10s\n" "batch" "req/s" "p50 us" "p90 us"
+        "p99 us" "hypercalls" "blk-doorb";
+      List.iter
+        (fun b ->
+          let r = W.Serve.run { W.Serve.default_config with W.Serve.batch = b } in
+          Printf.printf "%6d %10.0f %10.1f %10.1f %10.1f %12d %10d\n" r.W.Serve.batch
+            r.W.Serve.rps r.W.Serve.p50_us r.W.Serve.p90_us r.W.Serve.p99_us
+            r.W.Serve.hypercalls r.W.Serve.blk_notifications)
+        [ 1; 2; 4; 8 ]
+  | other -> Printf.eprintf "unknown suite %S (spec|parsec|fio|serve)\n" other);
   `Ok ()
 
 let bench_cmd =
   let suite =
-    Arg.(value & pos 0 string "spec" & info [] ~docv:"SUITE" ~doc:"spec, parsec or fio.")
+    Arg.(value & pos 0 string "spec" & info [] ~docv:"SUITE" ~doc:"spec, parsec, fio or serve.")
   in
   let breakdown =
     Arg.(

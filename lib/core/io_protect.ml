@@ -9,11 +9,24 @@ let sector_size = Xen.Vdisk.sector_size
 
 (* Tweak space: each sector owns 64 consecutive tweak values (only 32 are
    used), so sectors never collide. *)
-let sector_tweak sector = Int64.of_int (sector * 64)
+let tweaks_per_sector = 64
 
-let xex_sector ~key ~sector ~encrypt data =
-  if encrypt then Modes.xex_encrypt key ~tweak:(sector_tweak sector) data
-  else Modes.xex_decrypt key ~tweak:(sector_tweak sector) data
+let sector_tweak sector = Int64.of_int (sector * tweaks_per_sector)
+
+(* Whole-run transform: a batch of consecutive sectors rides ONE bulk Aes
+   call (like the Memctrl page path) instead of a per-sector loop — the
+   sector-lane tweak layout above is exactly what Modes.xex_*_sectors
+   encodes. Byte-identical to per-sector Modes.xex_encrypt calls. *)
+let xex_sectors ~key ~sector ~encrypt data =
+  let n = Bytes.length data in
+  if n mod sector_size <> 0 then invalid_arg "io_protect: data must be whole sectors";
+  let out = Bytes.create n in
+  (if encrypt then Modes.xex_encrypt_sectors else Modes.xex_decrypt_sectors)
+    key ~tweak0:(sector_tweak sector)
+    ~sector_stride:(Int64.of_int tweaks_per_sector)
+    ~sector_bytes:sector_size ~src:data ~src_off:0 ~dst:out ~dst_off:0
+    ~nsectors:(n / sector_size);
+  out
 
 let per_sector f ~sector data =
   let n = Bytes.length data in
@@ -37,12 +50,11 @@ let keyed_codec ctx ~name ~rate ~label ~kblk =
     encode =
       (fun ~sector data ->
         charge_blocks ctx label rate data;
-        per_sector (fun ~sector piece -> xex_sector ~key ~sector ~encrypt:true piece) ~sector data);
+        xex_sectors ~key ~sector ~encrypt:true data);
     decode =
       (fun ~sector data ->
         charge_blocks ctx label rate data;
-        per_sector (fun ~sector piece -> xex_sector ~key ~sector ~encrypt:false piece) ~sector
-          data) }
+        xex_sectors ~key ~sector ~encrypt:false data) }
 
 let aesni_codec ctx ~kblk =
   keyed_codec ctx ~name:"aes-ni"
@@ -218,10 +230,8 @@ let pad_sectors data =
 
 let encrypt_disk ~kblk data =
   let key = Aes.expand kblk in
-  per_sector (fun ~sector piece -> xex_sector ~key ~sector ~encrypt:true piece) ~sector:0
-    (pad_sectors data)
+  xex_sectors ~key ~sector:0 ~encrypt:true (pad_sectors data)
 
 let decrypt_disk ~kblk data =
   let key = Aes.expand kblk in
-  per_sector (fun ~sector piece -> xex_sector ~key ~sector ~encrypt:false piece) ~sector:0
-    (pad_sectors data)
+  xex_sectors ~key ~sector:0 ~encrypt:false (pad_sectors data)

@@ -42,6 +42,11 @@ external stub_xex :
   = "fidelius_aes_xex_bytecode" "fidelius_aes_xex"
 [@@noalloc]
 
+external stub_xex_sectors :
+  bytes -> bool -> int64 -> int64 -> bytes -> int -> bytes -> int -> int -> int -> unit
+  = "fidelius_aes_xex_sectors_bytecode" "fidelius_aes_xex_sectors"
+[@@noalloc]
+
 (* Probe the CPU once at module initialisation so the first hot-path call
    never pays (or races on) detection. *)
 let () = ignore (stub_backend () : int)
@@ -352,3 +357,13 @@ let xex_span_into key ~encrypt ~tweak0 ~tweak_step ~src ~src_off ~dst ~dst_off ~
   check_run "src" src src_off len;
   check_run "dst" dst dst_off len;
   stub_xex key.rk encrypt tweak0 tweak_step src src_off dst dst_off len
+
+let xex_sectors_into key ~encrypt ~tweak0 ~sector_stride ~sector_bytes ~src ~src_off ~dst
+    ~dst_off ~nsectors =
+  if sector_bytes <= 0 || sector_bytes mod block_size <> 0 then
+    invalid_arg "Aes.xex_sectors_into: sector_bytes must be a positive multiple of 16";
+  if nsectors < 0 then invalid_arg "Aes.xex_sectors_into: nsectors must be >= 0";
+  check_run "src" src src_off (nsectors * sector_bytes);
+  check_run "dst" dst dst_off (nsectors * sector_bytes);
+  stub_xex_sectors key.rk encrypt tweak0 sector_stride src src_off dst dst_off sector_bytes
+    nsectors

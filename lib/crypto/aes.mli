@@ -82,6 +82,17 @@ val xex_span_into :
     single C call — this is the memory controller's per-page fast path.
     [len] must be a multiple of 16. *)
 
+val xex_sectors_into :
+  key -> encrypt:bool -> tweak0:int64 -> sector_stride:int64 -> sector_bytes:int ->
+  src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> nsectors:int -> unit
+(** Sector-granular XEX: [nsectors] consecutive tiles of [sector_bytes]
+    each, where tile [i]'s tweak restarts at [tweak0 + i * sector_stride]
+    and advances by 1 per block inside the tile — the disk-codec layout
+    (each 512-byte sector owns a 64-wide tweak lane). The tile sequence is
+    not one affine tweak progression, so it cannot ride {!xex_span_into};
+    this runs a whole batch of sectors in one C call. [sector_bytes] must
+    be a positive multiple of 16. *)
+
 (** {2 Executable specification}
 
     The original OCaml T-table implementation, kept as the reference the

@@ -887,17 +887,10 @@ CAMLprim value fidelius_aes_ctr(value vrk, value vnonce, value vsrc,
   return Val_unit;
 }
 
-CAMLprim value fidelius_aes_xex(value vrk, value venc, value vt0, value vstep,
-                                value vsrc, value vsoff, value vdst,
-                                value vdoff, value vlen)
+static void xex_dispatch(const uint8_t *rk, int enc, uint64_t t0,
+                         uint64_t step, const uint8_t *src, uint8_t *dst,
+                         long nblocks)
 {
-  const uint8_t *rk = (const uint8_t *)Bytes_val(vrk);
-  int enc = Bool_val(venc);
-  uint64_t t0 = (uint64_t)Int64_val(vt0);
-  uint64_t step = (uint64_t)Int64_val(vstep);
-  const uint8_t *src = (const uint8_t *)Bytes_val(vsrc) + Long_val(vsoff);
-  uint8_t *dst = (uint8_t *)Bytes_val(vdst) + Long_val(vdoff);
-  long nblocks = Long_val(vlen) / 16;
   switch (detect()) {
 #ifdef FIDELIUS_VAES_POSSIBLE
     case BK_VAES:
@@ -910,6 +903,17 @@ CAMLprim value fidelius_aes_xex(value vrk, value venc, value vt0, value vstep,
 #endif
     default: portable_xex(rk, enc, t0, step, src, dst, nblocks); break;
   }
+}
+
+CAMLprim value fidelius_aes_xex(value vrk, value venc, value vt0, value vstep,
+                                value vsrc, value vsoff, value vdst,
+                                value vdoff, value vlen)
+{
+  xex_dispatch((const uint8_t *)Bytes_val(vrk), Bool_val(venc),
+               (uint64_t)Int64_val(vt0), (uint64_t)Int64_val(vstep),
+               (const uint8_t *)Bytes_val(vsrc) + Long_val(vsoff),
+               (uint8_t *)Bytes_val(vdst) + Long_val(vdoff),
+               Long_val(vlen) / 16);
   return Val_unit;
 }
 
@@ -918,4 +922,39 @@ CAMLprim value fidelius_aes_xex_bytecode(value *argv, int argn)
   (void)argn;
   return fidelius_aes_xex(argv[0], argv[1], argv[2], argv[3], argv[4],
                           argv[5], argv[6], argv[7], argv[8]);
+}
+
+/* Sector-granular XEX: [nsectors] equal tiles of [sector_bytes] each, the
+ * tweak restarting at t0 + i*stride for tile i and advancing by 1 per
+ * 16-byte block inside the tile — the disk-codec layout, where each
+ * 512-byte sector owns a 64-wide tweak lane.  The per-sector tweak
+ * sequence is not one affine progression (the stride between tiles differs
+ * from the intra-tile step), so it cannot ride fidelius_aes_xex; this
+ * entry runs the whole multi-sector batch in one FFI crossing instead. */
+CAMLprim value fidelius_aes_xex_sectors(value vrk, value venc, value vt0,
+                                        value vstride, value vsrc, value vsoff,
+                                        value vdst, value vdoff,
+                                        value vsector_bytes, value vnsectors)
+{
+  const uint8_t *rk = (const uint8_t *)Bytes_val(vrk);
+  int enc = Bool_val(venc);
+  uint64_t t0 = (uint64_t)Int64_val(vt0);
+  uint64_t stride = (uint64_t)Int64_val(vstride);
+  const uint8_t *src = (const uint8_t *)Bytes_val(vsrc) + Long_val(vsoff);
+  uint8_t *dst = (uint8_t *)Bytes_val(vdst) + Long_val(vdoff);
+  long sector_bytes = Long_val(vsector_bytes);
+  long nsectors = Long_val(vnsectors);
+  long nblocks = sector_bytes / 16;
+  long i;
+  for (i = 0; i < nsectors; i++)
+    xex_dispatch(rk, enc, t0 + (uint64_t)i * stride, 1,
+                 src + i * sector_bytes, dst + i * sector_bytes, nblocks);
+  return Val_unit;
+}
+
+CAMLprim value fidelius_aes_xex_sectors_bytecode(value *argv, int argn)
+{
+  (void)argn;
+  return fidelius_aes_xex_sectors(argv[0], argv[1], argv[2], argv[3], argv[4],
+                                  argv[5], argv[6], argv[7], argv[8], argv[9]);
 }

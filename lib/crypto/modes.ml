@@ -44,6 +44,23 @@ let xex_decrypt_span key ~tweak0 ~tweak_step ~src ~src_off ~dst ~dst_off ~len =
   Aes.xex_span_into key ~encrypt:false ~tweak0 ~tweak_step ~src ~src_off ~dst
     ~dst_off ~len
 
+let check_sectors name sector_bytes nsectors =
+  if sector_bytes <= 0 || sector_bytes mod 16 <> 0 then
+    invalid_arg (name ^ ": sector_bytes must be a positive multiple of 16");
+  if nsectors < 0 then invalid_arg (name ^ ": nsectors must be >= 0")
+
+let xex_encrypt_sectors key ~tweak0 ~sector_stride ~sector_bytes ~src ~src_off ~dst ~dst_off
+    ~nsectors =
+  check_sectors "Modes.xex_encrypt_sectors" sector_bytes nsectors;
+  Aes.xex_sectors_into key ~encrypt:true ~tweak0 ~sector_stride ~sector_bytes ~src ~src_off
+    ~dst ~dst_off ~nsectors
+
+let xex_decrypt_sectors key ~tweak0 ~sector_stride ~sector_bytes ~src ~src_off ~dst ~dst_off
+    ~nsectors =
+  check_sectors "Modes.xex_decrypt_sectors" sector_bytes nsectors;
+  Aes.xex_sectors_into key ~encrypt:false ~tweak0 ~sector_stride ~sector_bytes ~src ~src_off
+    ~dst ~dst_off ~nsectors
+
 let xex_encrypt_into key ~tweak ~src ~src_off ~dst ~dst_off ~len =
   xex_encrypt_span key ~tweak0:tweak ~tweak_step:1L ~src ~src_off ~dst ~dst_off ~len
 
@@ -164,3 +181,17 @@ let xex_decrypt_span_reference key ~tweak0 ~tweak_step ~src ~src_off ~dst ~dst_o
     Aes.decrypt_block_reference_into key ~src:dst ~src_off:(dst_off + o) ~dst ~dst_off:(dst_off + o);
     xor_into mask dst (dst_off + o)
   done
+
+let xex_sectors_reference span key ~tweak0 ~sector_stride ~sector_bytes ~src ~src_off ~dst
+    ~dst_off ~nsectors =
+  check_sectors "Modes.xex_sectors_reference" sector_bytes nsectors;
+  for i = 0 to nsectors - 1 do
+    let o = i * sector_bytes in
+    span key
+      ~tweak0:(Int64.add tweak0 (Int64.mul sector_stride (Int64.of_int i)))
+      ~tweak_step:1L ~src ~src_off:(src_off + o) ~dst ~dst_off:(dst_off + o)
+      ~len:sector_bytes
+  done
+
+let xex_encrypt_sectors_reference = xex_sectors_reference xex_encrypt_span_reference
+let xex_decrypt_sectors_reference = xex_sectors_reference xex_decrypt_span_reference

@@ -62,6 +62,22 @@ val xex_decrypt_span :
   tweak0:int64 -> tweak_step:int64 ->
   src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> len:int -> unit
 
+val xex_encrypt_sectors :
+  Aes.key ->
+  tweak0:int64 -> sector_stride:int64 -> sector_bytes:int ->
+  src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> nsectors:int -> unit
+(** Sector-granular XEX: [nsectors] tiles of [sector_bytes], tile [i]'s
+    tweak restarting at [tweak0 + i * sector_stride] and stepping by 1 per
+    block inside the tile. This is the disk-codec tweak layout (each sector
+    owns its own tweak lane), which is not a single affine progression —
+    hence a dedicated bulk call rather than {!xex_encrypt_span}. One C call
+    for a whole batch of sectors, byte-identical to the per-sector loop. *)
+
+val xex_decrypt_sectors :
+  Aes.key ->
+  tweak0:int64 -> sector_stride:int64 -> sector_bytes:int ->
+  src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> nsectors:int -> unit
+
 val cbc_mac : Aes.key -> bytes -> bytes
 (** 16-byte tag over a buffer of any length (zero-padded internally; callers
     authenticate fixed-format data only, so length-extension shaping is not a
@@ -87,3 +103,13 @@ val xex_decrypt_span_reference :
   Aes.key ->
   tweak0:int64 -> tweak_step:int64 ->
   src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> len:int -> unit
+
+val xex_encrypt_sectors_reference :
+  Aes.key ->
+  tweak0:int64 -> sector_stride:int64 -> sector_bytes:int ->
+  src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> nsectors:int -> unit
+
+val xex_decrypt_sectors_reference :
+  Aes.key ->
+  tweak0:int64 -> sector_stride:int64 -> sector_bytes:int ->
+  src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> nsectors:int -> unit

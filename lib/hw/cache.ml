@@ -1,6 +1,10 @@
 type t = {
   lines : (int * int, bytes) Hashtbl.t;
   order : (int * int) Queue.t;
+  (* Resident-line count per frame, so the MMU can skip the per-block probe
+     loop in O(1) for frames with nothing cached (a probe miss has no
+     ledger effect, so the skip is cycle- and byte-identical). *)
+  per_frame : (int, int) Hashtbl.t;
   nr_lines : int;
   ledger : Cost.ledger;
   costs : Cost.table;
@@ -9,21 +13,32 @@ type t = {
 let create ?(nr_lines = 4096) ledger =
   { lines = Hashtbl.create nr_lines;
     order = Queue.create ();
+    per_frame = Hashtbl.create 64;
     nr_lines;
     ledger;
     costs = Cost.default }
+
+let frame_count t pfn = Option.value ~default:0 (Hashtbl.find_opt t.per_frame pfn)
+
+let bump t pfn delta =
+  let n = frame_count t pfn + delta in
+  if n <= 0 then Hashtbl.remove t.per_frame pfn else Hashtbl.replace t.per_frame pfn n
 
 let fill t pfn ~block plain =
   let key = (pfn, block) in
   if not (Hashtbl.mem t.lines key) then begin
     if Queue.length t.order >= t.nr_lines then begin
       let victim = Queue.pop t.order in
+      if Hashtbl.mem t.lines victim then bump t (fst victim) (-1);
       Hashtbl.remove t.lines victim
     end;
-    Queue.push key t.order
+    Queue.push key t.order;
+    bump t pfn 1
   end;
   Hashtbl.replace t.lines key (Bytes.copy plain);
   Cost.charge t.ledger "cache-fill" t.costs.Cost.cacheline_write
+
+let frame_resident t pfn = frame_count t pfn > 0
 
 let probe t pfn ~block =
   match Hashtbl.find_opt t.lines (pfn, block) with
@@ -34,7 +49,10 @@ let probe t pfn ~block =
 
 let invalidate_page t pfn =
   for block = 0 to Addr.blocks_per_page - 1 do
-    Hashtbl.remove t.lines (pfn, block)
+    if Hashtbl.mem t.lines (pfn, block) then begin
+      Hashtbl.remove t.lines (pfn, block);
+      bump t pfn (-1)
+    end
   done
 
 let resident t = Hashtbl.length t.lines

@@ -21,6 +21,11 @@ val fill : t -> Addr.pfn -> block:int -> bytes -> unit
 val probe : t -> Addr.pfn -> block:int -> bytes option
 (** A hit returns resident plaintext — regardless of who asks. *)
 
+val frame_resident : t -> Addr.pfn -> bool
+(** [true] iff at least one line of the frame is resident. A probe miss has
+    no ledger effect, so callers may skip whole probe loops when this is
+    [false] without changing charged costs or observable bytes. *)
+
 val invalidate_page : t -> Addr.pfn -> unit
 (** WBINVD-style eviction of all lines of a frame (used when ownership
     changes hands under Fidelius policy). *)

@@ -75,10 +75,18 @@ let default = {
   shadow_roundtrip = 661;
 }
 
+(* The accumulators of an active scope, resolved once at [with_scope] entry
+   so the hot [charge] path touches one hash table per active scope instead
+   of three. *)
+type scope_frame = {
+  sf_total : int ref;
+  sf_cats : (string, int ref) Hashtbl.t;
+}
+
 type ledger = {
   mutable cycles : int;
   by_category : (string, int ref) Hashtbl.t;
-  mutable scope_stack : string list;  (* innermost first *)
+  mutable scope_stack : scope_frame list;  (* innermost first *)
   by_scope : (string, int ref) Hashtbl.t;
   by_scope_category : (string, (string, int ref) Hashtbl.t) Hashtbl.t;
 }
@@ -106,21 +114,32 @@ let charge l cat n =
      implicit root remainder) then partition the global total exactly. *)
   match l.scope_stack with
   | [] -> ()
-  | scope :: _ ->
-      bump l.by_scope scope n;
-      let cats =
-        match Hashtbl.find_opt l.by_scope_category scope with
-        | Some h -> h
-        | None ->
-            let h = Hashtbl.create 8 in
-            Hashtbl.add l.by_scope_category scope h;
-            h
-      in
-      bump cats cat n
+  | frame :: _ ->
+      frame.sf_total := !(frame.sf_total) + n;
+      bump frame.sf_cats cat n
+
+let scope_frame_of l scope =
+  let sf_total =
+    match Hashtbl.find_opt l.by_scope scope with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add l.by_scope scope r;
+        r
+  in
+  let sf_cats =
+    match Hashtbl.find_opt l.by_scope_category scope with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 8 in
+        Hashtbl.add l.by_scope_category scope h;
+        h
+  in
+  { sf_total; sf_cats }
 
 let with_scope l scope f =
   if scope = root_scope then invalid_arg "Cost.with_scope: (root) is reserved";
-  l.scope_stack <- scope :: l.scope_stack;
+  l.scope_stack <- scope_frame_of l scope :: l.scope_stack;
   if Trace.enabled () then Trace.push_scope scope;
   Fun.protect
     ~finally:(fun () ->

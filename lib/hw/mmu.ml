@@ -64,17 +64,24 @@ let cached_read (m : Machine.t) sel pfn ~off ~len =
           (Bytes.sub lines ((blk - run_first) * Addr.block_size) Addr.block_size)
       done
   in
-  let pending = ref (-1) in
-  (* start of the current miss run, -1 if none *)
-  let flush upto = if !pending >= 0 then (fetch_run !pending upto; pending := -1) in
-  for blk = first to last do
-    match Cache.probe m.cache pfn ~block:blk with
-    | Some line ->
-        flush (blk - 1);
-        Bytes.blit line 0 span ((blk - first) * Addr.block_size) Addr.block_size
-    | None -> if !pending < 0 then pending := blk
-  done;
-  flush last;
+  if not (Cache.frame_resident m.cache pfn) then
+    (* No line of this frame is resident, so every probe would miss and the
+       whole range is one fetch run. Probe misses charge nothing, so this
+       shortcut is ledger-identical. *)
+    fetch_run first last
+  else begin
+    let pending = ref (-1) in
+    (* start of the current miss run, -1 if none *)
+    let flush upto = if !pending >= 0 then (fetch_run !pending upto; pending := -1) in
+    for blk = first to last do
+      match Cache.probe m.cache pfn ~block:blk with
+      | Some line ->
+          flush (blk - 1);
+          Bytes.blit line 0 span ((blk - first) * Addr.block_size) Addr.block_size
+      | None -> if !pending < 0 then pending := blk
+    done;
+    flush last
+  end;
   Bytes.sub span (off - (first * Addr.block_size)) len
 
 let cached_write (m : Machine.t) sel pfn ~off data =
@@ -85,27 +92,31 @@ let cached_write (m : Machine.t) sel pfn ~off data =
     (* Write-through: refresh plaintext lines for the fully covered blocks;
        invalidate partially covered ones so stale plaintext cannot linger.
        [Cache.fill] copies its argument, so one line buffer serves the whole
-       span. *)
-    let line_buf = Bytes.create Addr.block_size in
-    let first = off / Addr.block_size in
-    let last = (off + len - 1) / Addr.block_size in
-    for blk = first to last do
-      let blk_start = blk * Addr.block_size in
-      if encrypted && blk_start >= off && blk_start + Addr.block_size <= off + len then begin
-        Bytes.blit data (blk_start - off) line_buf 0 Addr.block_size;
-        Cache.fill m.cache pfn ~block:blk line_buf
-      end
-      else
-        match Cache.probe m.cache pfn ~block:blk with
-        | Some _ ->
-            (* Partial overwrite of a resident line: reload it through the
-               engine to keep it coherent. *)
-            let line =
-              Memctrl.read m.ctrl sel pfn ~off:blk_start ~len:Addr.block_size
-            in
-            if encrypted then Cache.fill m.cache pfn ~block:blk line
-        | None -> ()
-    done
+       span. Plain traffic never fills, so when the frame has no resident
+       lines the loop would be all probe misses — skip it (misses charge
+       nothing, so the shortcut is ledger-identical). *)
+    if encrypted || Cache.frame_resident m.cache pfn then begin
+      let line_buf = Bytes.create Addr.block_size in
+      let first = off / Addr.block_size in
+      let last = (off + len - 1) / Addr.block_size in
+      for blk = first to last do
+        let blk_start = blk * Addr.block_size in
+        if encrypted && blk_start >= off && blk_start + Addr.block_size <= off + len then begin
+          Bytes.blit data (blk_start - off) line_buf 0 Addr.block_size;
+          Cache.fill m.cache pfn ~block:blk line_buf
+        end
+        else
+          match Cache.probe m.cache pfn ~block:blk with
+          | Some _ ->
+              (* Partial overwrite of a resident line: reload it through the
+                 engine to keep it coherent. *)
+              let line =
+                Memctrl.read m.ctrl sel pfn ~off:blk_start ~len:Addr.block_size
+              in
+              if encrypted then Cache.fill m.cache pfn ~block:blk line
+          | None -> ()
+      done
+    end
   end
 
 let read_frame_as (m : Machine.t) ~sel pfn ~off ~len = cached_read m sel pfn ~off ~len

@@ -11,207 +11,392 @@ let identity_codec =
 
 let sectors_per_frame = Hw.Addr.page_size / Vdisk.sector_size
 
+(* One ring + its data frames + its event channel. Queues are independent:
+   a submitting vCPU owns one queue and the backend drains each queue on
+   its own notification, so queues never contend on descriptor slots. *)
+type queue = {
+  q_ring : Ring.t;
+  q_port : int;                    (* frontend-side event port *)
+  q_grefs : int array;             (* grant references of the data frames *)
+  q_gvas : int array;              (* guest VA of each data frame *)
+  q_frames : Hw.Addr.pfn array;    (* backend-resolved host frames *)
+}
+
 type backend = {
   hv : Hypervisor.t;
   disk : Vdisk.t;
-  ring : Ring.t;
-  gref : int;
-  b_shared_frame : Hw.Addr.pfn;
+  b_queues : queue array;
   mutable served : int;
+  mutable rejected : int;
+  mutable notifications : int;
 }
 
 type frontend = {
   f_hv : Hypervisor.t;
   dom : Domain.t;
-  f_ring : Ring.t;
-  f_gref : int;
-  buffer_gva : int;
-  event_port : int;
+  f_queues : queue array;
   mutable codec : codec;
   mutable next_req_id : int;
 }
 
 let ( let* ) = Result.bind
 
-let process_ring be =
+(* --- backend ----------------------------------------------------------- *)
+
+(* Everything in a request descriptor crossed the shared ring from the
+   (untrusted) frontend: validate it all against the vdisk and the granted
+   data frames *before* charging or touching memory, and answer malformed
+   descriptors with a typed error instead of serving them. [seen] holds the
+   req_ids already drained in this batch; duplicate ids — whose responses
+   the frontend could not tell apart — fail closed too. *)
+let validate_request be q seen (req : Ring.request) =
+  let len = req.Ring.count * Vdisk.sector_size in
+  if req.Ring.count < 1 || req.Ring.count > sectors_per_frame then
+    Error (Ring.Bad_count { count = req.Ring.count; max_count = sectors_per_frame })
+  else if req.Ring.sector < 0 || req.Ring.sector + req.Ring.count > Vdisk.nr_sectors be.disk
+  then
+    Error
+      (Ring.Bad_sector
+         { sector = req.Ring.sector;
+           count = req.Ring.count;
+           nr_sectors = Vdisk.nr_sectors be.disk })
+  else if req.Ring.data_off < 0 || req.Ring.data_off + len > Hw.Addr.page_size then
+    Error (Ring.Bad_span { data_off = req.Ring.data_off; len; frame_bytes = Hw.Addr.page_size })
+  else if Hashtbl.mem seen req.Ring.req_id then
+    Error (Ring.Duplicate_req_id { req_id = req.Ring.req_id })
+  else begin
+    Hashtbl.replace seen req.Ring.req_id ();
+    let rec find i =
+      if i >= Array.length q.q_grefs then
+        Error
+          (Ring.Bad_gref
+             { gref = req.Ring.data_gref; reason = "not a data grant of this queue" })
+      else if q.q_grefs.(i) = req.Ring.data_gref then Ok i
+      else find (i + 1)
+    in
+    let* slot = find 0 in
+    match Granttab.get be.hv.Hypervisor.granttab req.Ring.data_gref with
+    | None -> Error (Ring.Bad_gref { gref = req.Ring.data_gref; reason = "grant vanished" })
+    | Some entry when entry.Granttab.target <> 0 ->
+        Error (Ring.Bad_gref { gref = req.Ring.data_gref; reason = "grant not for dom0" })
+    | Some _ -> Ok q.q_frames.(slot)
+  end
+
+let serve_request be (req : Ring.request) frame =
+  let len = req.Ring.count * Vdisk.sector_size in
+  let costs = be.hv.Hypervisor.machine.Hw.Machine.costs in
+  Hw.Cost.charge be.hv.Hypervisor.machine.Hw.Machine.ledger "blk-io"
+    (costs.Hw.Cost.io_sector * req.Ring.count);
+  try
+    (match req.Ring.op with
+    | Ring.Write ->
+        let data = Hypervisor.host_read be.hv frame ~off:req.Ring.data_off ~len in
+        Vdisk.write be.disk ~sector:req.Ring.sector data
+    | Ring.Read ->
+        let data = Vdisk.read be.disk ~sector:req.Ring.sector ~count:req.Ring.count in
+        Hypervisor.host_write be.hv frame ~off:req.Ring.data_off data);
+    Ok ()
+  with
+  | Invalid_argument m -> Error (Ring.Backend_fault m)
+  | Hw.Mmu.Fault { reason; _ } -> Error (Ring.Backend_fault reason)
+
+(* One event notification drains the whole queue: N descriptors, one
+   world-switch — the batching that amortizes the 9.9 µs hypercall. *)
+let process_queue be qi =
+  let q = be.b_queues.(qi) in
+  be.notifications <- be.notifications + 1;
+  let seen = Hashtbl.create 8 in
   let rec loop () =
-    match Ring.pop_request be.ring with
+    match Ring.pop_request q.q_ring with
     | None -> ()
     | Some req ->
         be.served <- be.served + 1;
-        let len = req.Ring.count * Vdisk.sector_size in
-        let costs = be.hv.Hypervisor.machine.Hw.Machine.costs in
-        Hw.Cost.charge be.hv.Hypervisor.machine.Hw.Machine.ledger "blk-io"
-          (costs.Hw.Cost.io_sector * req.Ring.count);
         let status =
-          match Granttab.get be.hv.Hypervisor.granttab req.Ring.data_gref with
-          | None -> Error "backend: data grant vanished"
-          | Some entry when entry.Granttab.target <> 0 -> Error "backend: grant not for dom0"
-          | Some _ -> (
-              try
-                (match req.Ring.op with
-                | Ring.Write ->
-                    let data =
-                      Hypervisor.host_read be.hv be.b_shared_frame ~off:req.Ring.data_off ~len
-                    in
-                    Vdisk.write be.disk ~sector:req.Ring.sector data
-                | Ring.Read ->
-                    let data = Vdisk.read be.disk ~sector:req.Ring.sector ~count:req.Ring.count in
-                    Hypervisor.host_write be.hv be.b_shared_frame ~off:req.Ring.data_off data);
-                Ok ()
-              with
-              | Invalid_argument m -> Error m
-              | Hw.Mmu.Fault { reason; _ } -> Error ("backend fault: " ^ reason))
+          let* frame = validate_request be q seen req in
+          serve_request be req frame
         in
-        Ring.push_response be.ring { Ring.resp_id = req.Ring.req_id; status };
+        if Result.is_error status then be.rejected <- be.rejected + 1;
+        (* Response slots cannot overrun: both halves have equal capacity
+           and every response answers a popped request. *)
+        (match Ring.push_response q.q_ring { Ring.resp_id = req.Ring.req_id; status } with
+        | Ok () -> ()
+        | Error _ -> assert false);
         loop ()
   in
   loop ()
 
-let connect hv dom ~disk ~buffer_gvfn =
+(* --- connect ----------------------------------------------------------- *)
+
+let connect ?(ring_size = Ring.default_size) ?(buffer_pages = 1) ?(nr_queues = 1) hv dom ~disk
+    ~buffer_gvfn =
+  if buffer_pages < 1 || nr_queues < 1 then
+    invalid_arg "Blkif.connect: buffer_pages and nr_queues must be >= 1";
   let machine = hv.Hypervisor.machine in
-  (* The guest sets up an unencrypted buffer page (DMA memory cannot carry
-     the C-bit) and faults it in. *)
-  let buffer_gfn = Domain.alloc_gfn dom in
-  Domain.guest_map dom ~gvfn:buffer_gvfn ~gfn:buffer_gfn ~writable:true ~executable:false
-    ~c_bit:false;
-  let buffer_gva = Hw.Addr.addr_of buffer_gvfn 0 in
-  Hypervisor.in_guest hv dom (fun () ->
-      Domain.write machine dom ~addr:buffer_gva (Bytes.make Hw.Addr.page_size '\000'));
-  (* Declare the sharing intent first (Fidelius' pre_sharing_op; a no-op on
-     stock Xen), then grant to dom0 and publish the wiring via XenStore. *)
-  let* _ =
-    Hypervisor.hypercall hv dom
-      (Hypercall.Pre_sharing { target = 0; gfn = buffer_gfn; nr = 1; writable = true })
+  let connect_queue qi =
+    (* The guest sets up unencrypted buffer pages (DMA memory cannot carry
+       the C-bit) and faults them in. *)
+    let base_gvfn = buffer_gvfn + (qi * buffer_pages) in
+    let gfns =
+      Array.init buffer_pages (fun pi ->
+          let gfn = Domain.alloc_gfn dom in
+          Domain.guest_map dom ~gvfn:(base_gvfn + pi) ~gfn ~writable:true ~executable:false
+            ~c_bit:false;
+          Hypervisor.in_guest hv dom (fun () ->
+              Domain.write machine dom
+                ~addr:(Hw.Addr.addr_of (base_gvfn + pi) 0)
+                (Bytes.make Hw.Addr.page_size '\000'));
+          gfn)
+    in
+    let gvas = Array.init buffer_pages (fun pi -> Hw.Addr.addr_of (base_gvfn + pi) 0) in
+    (* Declare the sharing intent first (Fidelius' pre_sharing_op; a no-op
+       on stock Xen) — one declaration covers the queue's whole run of data
+       pages — then grant each to dom0 and publish the wiring via XenStore. *)
+    let* _ =
+      Hypervisor.hypercall hv dom
+        (Hypercall.Pre_sharing { target = 0; gfn = gfns.(0); nr = buffer_pages; writable = true })
+    in
+    let rec grant pi acc =
+      if pi = buffer_pages then Ok (List.rev acc)
+      else
+        let* gref64 =
+          Hypervisor.hypercall hv dom
+            (Hypercall.Grant_table_op
+               (Hypercall.Grant_access { target = 0; gfn = gfns.(pi); writable = true }))
+        in
+        grant (pi + 1) (Int64.to_int gref64 :: acc)
+    in
+    let* grefs = grant 0 [] in
+    let grefs = Array.of_list grefs in
+    let event_port = Event.alloc_unbound hv.Hypervisor.events ~domid:dom.Domain.domid ~remote:0 in
+    let path leaf =
+      if qi = 0 then Printf.sprintf "/local/domain/%d/device/vbd/%s" dom.Domain.domid leaf
+      else Printf.sprintf "/local/domain/%d/device/vbd/queue-%d/%s" dom.Domain.domid qi leaf
+    in
+    Xenstore.write hv.Hypervisor.store ~domid:dom.Domain.domid ~path:(path "ring-ref")
+      (string_of_int grefs.(0));
+    Xenstore.write hv.Hypervisor.store ~domid:dom.Domain.domid ~path:(path "event-channel")
+      (string_of_int event_port);
+    (* Back-end side: bind the channel and resolve the grants to frames. *)
+    let* back_port = Event.bind hv.Hypervisor.events ~domid:0 ~remote_port:event_port in
+    let rec resolve pi acc =
+      if pi = buffer_pages then Ok (List.rev acc)
+      else
+        match Granttab.get hv.Hypervisor.granttab grefs.(pi) with
+        | None -> Error "backend: grant not found"
+        | Some entry -> (
+            match Hw.Pagetable.lookup dom.Domain.npt entry.Granttab.gfn with
+            | None -> Error "backend: granted gfn unbacked"
+            | Some npte -> resolve (pi + 1) (npte.Hw.Pagetable.frame :: acc))
+    in
+    let* frames = resolve 0 [] in
+    let q =
+      { q_ring = Ring.create ~size:ring_size ();
+        q_port = event_port;
+        q_grefs = grefs;
+        q_gvas = gvas;
+        q_frames = Array.of_list frames }
+    in
+    Ok (q, back_port)
   in
-  let* gref64 =
-    Hypervisor.hypercall hv dom
-      (Hypercall.Grant_table_op
-         (Hypercall.Grant_access { target = 0; gfn = buffer_gfn; writable = true }))
+  let rec build qi acc =
+    if qi = nr_queues then Ok (List.rev acc)
+    else
+      let* q = connect_queue qi in
+      build (qi + 1) (q :: acc)
   in
-  let gref = Int64.to_int gref64 in
-  let event_port = Event.alloc_unbound hv.Hypervisor.events ~domid:dom.Domain.domid ~remote:0 in
-  Xenstore.write hv.Hypervisor.store ~domid:dom.Domain.domid
-    ~path:(Printf.sprintf "/local/domain/%d/device/vbd/ring-ref" dom.Domain.domid)
-    (string_of_int gref);
-  Xenstore.write hv.Hypervisor.store ~domid:dom.Domain.domid
-    ~path:(Printf.sprintf "/local/domain/%d/device/vbd/event-channel" dom.Domain.domid)
-    (string_of_int event_port);
-  (* Back-end side: bind the channel and resolve the grant to a frame. *)
-  let* back_port = Event.bind hv.Hypervisor.events ~domid:0 ~remote_port:event_port in
-  ignore back_port;
-  match Granttab.get hv.Hypervisor.granttab gref with
-  | None -> Error "backend: grant not found"
-  | Some entry -> (
-      match Hw.Pagetable.lookup dom.Domain.npt entry.Granttab.gfn with
-      | None -> Error "backend: granted gfn unbacked"
-      | Some npte ->
-          let ring = Ring.create () in
-          let be =
-            { hv;
-              disk;
-              ring;
-              gref;
-              b_shared_frame = npte.Hw.Pagetable.frame;
-              served = 0 }
-          in
-          Event.on_event hv.Hypervisor.events ~domid:0 ~port:back_port (fun () ->
-              process_ring be);
-          let fe =
-            { f_hv = hv;
-              dom;
-              f_ring = ring;
-              f_gref = gref;
-              buffer_gva;
-              event_port;
-              codec = identity_codec;
-              next_req_id = 1 }
-          in
-          Ok (fe, be))
+  let* queues = build 0 [] in
+  let qarr = Array.of_list (List.map fst queues) in
+  let be = { hv; disk; b_queues = qarr; served = 0; rejected = 0; notifications = 0 } in
+  List.iteri
+    (fun qi (_, back_port) ->
+      Event.on_event hv.Hypervisor.events ~domid:0 ~port:back_port (fun () ->
+          process_queue be qi))
+    queues;
+  let fe = { f_hv = hv; dom; f_queues = qarr; codec = identity_codec; next_req_id = 1 } in
+  Ok (fe, be)
 
 let set_codec fe codec = fe.codec <- codec
+
+let nr_queues fe = Array.length fe.f_queues
+let buffer_pages fe = Array.length fe.f_queues.(0).q_grefs
+
+(* Multi-queue rings are keyed per vCPU: a submitting vCPU owns queue
+   [vcpu mod nr_queues]. *)
+let queue_for fe ~vcpu =
+  let n = nr_queues fe in
+  ((vcpu mod n) + n) mod n
 
 let fresh_req_id fe =
   let id = fe.next_req_id in
   fe.next_req_id <- id + 1;
   id
 
-let submit fe req =
-  Ring.push_request fe.f_ring req;
-  let* _ =
-    Hypervisor.hypercall fe.f_hv fe.dom (Hypercall.Event_send { port = fe.event_port })
-  in
-  match Ring.pop_response fe.f_ring with
-  | None -> Error "frontend: no response from backend"
-  | Some resp -> resp.Ring.status
+let data_gref ?(queue = 0) fe ~page = fe.f_queues.(queue).q_grefs.(page)
 
-let write_sectors fe ~sector data =
-  let len = Bytes.length data in
-  if len mod Vdisk.sector_size <> 0 then
-    Error "write_sectors: length must be a multiple of 512"
+(* --- frontend submission ----------------------------------------------- *)
+
+(* Push N descriptors, ring the doorbell once (a single Event_send
+   hypercall covers the whole batch), then collect the responses. The
+   backend serves FIFO, so responses must come back in request order with
+   matching ids — anything else (a stray response, a missing one) is a
+   protocol violation and fails the whole batch closed. *)
+let submit_batch ?(queue = 0) fe reqs =
+  let q = fe.f_queues.(queue) in
+  let n = List.length reqs in
+  if n = 0 then Ok []
+  else if n > Ring.free_request_slots q.q_ring then
+    Error
+      (Printf.sprintf "frontend: ring full (%d in flight, %d free, %d requested)"
+         (Ring.requests_pending q.q_ring)
+         (Ring.free_request_slots q.q_ring)
+         n)
   else begin
-    let machine = fe.f_hv.Hypervisor.machine in
-    let rec chunk sector off remaining =
-      if remaining = 0 then Ok ()
-      else begin
-        let count = min (remaining / Vdisk.sector_size) sectors_per_frame in
-        let clen = count * Vdisk.sector_size in
-        let piece = Bytes.sub data off clen in
-        let encoded = fe.codec.encode ~sector piece in
-        if Bytes.length encoded <> clen then Error "codec changed the payload size"
-        else begin
-          Hypervisor.in_guest fe.f_hv fe.dom (fun () ->
-              Domain.write machine fe.dom ~addr:fe.buffer_gva encoded);
-          let* () =
-            submit fe
-              { Ring.req_id = fresh_req_id fe;
-                op = Ring.Write;
-                sector;
-                count;
-                data_gref = fe.f_gref;
-                data_off = 0 }
-          in
-          chunk (sector + count) (off + clen) (remaining - clen)
-        end
-      end
-    in
-    chunk sector 0 len
+    List.iter
+      (fun r ->
+        match Ring.push_request q.q_ring r with Ok () -> () | Error _ -> assert false)
+      reqs;
+    let* _ = Hypervisor.hypercall fe.f_hv fe.dom (Hypercall.Event_send { port = q.q_port }) in
+    let resps = Ring.pop_responses q.q_ring ~max:n in
+    if List.length resps <> n then
+      Error (Printf.sprintf "frontend: %d responses for %d requests" (List.length resps) n)
+    else if Ring.responses_pending q.q_ring > 0 then
+      Error "frontend: response without request left on the ring"
+    else
+      let rec check acc rs ps =
+        match (rs, ps) with
+        | [], [] -> Ok (List.rev acc)
+        | (r : Ring.request) :: rs, (p : Ring.response) :: ps ->
+            if p.Ring.resp_id <> r.Ring.req_id then
+              Error
+                (Printf.sprintf
+                   "frontend: response id %d does not match request id %d (response without \
+                    request)"
+                   p.Ring.resp_id r.Ring.req_id)
+            else check (p.Ring.status :: acc) rs ps
+        | _ -> Error "frontend: response count mismatch"
+      in
+      check [] reqs resps
   end
 
-let read_sectors fe ~sector ~count =
+(* Split a transfer into ring requests of at most a frame each; the batched
+   paths below serve them [batch] requests per doorbell, each request on
+   its own data frame of the queue. *)
+let plan_chunks ~sector ~total_sectors =
+  let rec go s off acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      let n = min remaining sectors_per_frame in
+      go (s + n) (off + (n * Vdisk.sector_size)) ((s, off, n) :: acc) (remaining - n)
+  in
+  go sector 0 [] total_sectors
+
+let rec take n = function
+  | [] -> ([], [])
+  | x :: rest when n > 0 ->
+      let got, left = take (n - 1) rest in
+      (x :: got, left)
+  | l -> ([], l)
+
+let all_ok statuses =
+  List.fold_left
+    (fun acc st ->
+      let* () = acc in
+      Result.map_error Ring.error_to_string st)
+    (Ok ()) statuses
+
+let write_sectors ?(batch = 1) ?(queue = 0) fe ~sector data =
+  let len = Bytes.length data in
+  if len mod Vdisk.sector_size <> 0 then Error "write_sectors: length must be a multiple of 512"
+  else begin
+    let machine = fe.f_hv.Hypervisor.machine in
+    let q = fe.f_queues.(queue) in
+    let batch = max 1 (min batch (Array.length q.q_grefs)) in
+    let rec groups chunks =
+      match chunks with
+      | [] -> Ok ()
+      | _ ->
+          let grp, rest = take batch chunks in
+          let stage i (s, off, n) =
+            let clen = n * Vdisk.sector_size in
+            let piece = Bytes.sub data off clen in
+            let encoded = fe.codec.encode ~sector:s piece in
+            if Bytes.length encoded <> clen then Error "codec changed the payload size"
+            else begin
+              Hypervisor.in_guest fe.f_hv fe.dom (fun () ->
+                  Domain.write machine fe.dom ~addr:q.q_gvas.(i) encoded);
+              Ok
+                { Ring.req_id = fresh_req_id fe;
+                  op = Ring.Write;
+                  sector = s;
+                  count = n;
+                  data_gref = q.q_grefs.(i);
+                  data_off = 0 }
+            end
+          in
+          let rec stage_all i acc = function
+            | [] -> Ok (List.rev acc)
+            | c :: cs ->
+                let* r = stage i c in
+                stage_all (i + 1) (r :: acc) cs
+          in
+          let* reqs = stage_all 0 [] grp in
+          let* statuses = submit_batch ~queue fe reqs in
+          let* () = all_ok statuses in
+          groups rest
+    in
+    groups (plan_chunks ~sector ~total_sectors:(len / Vdisk.sector_size))
+  end
+
+let read_sectors ?(batch = 1) ?(queue = 0) fe ~sector ~count =
   if count <= 0 then Error "read_sectors: count must be positive"
   else begin
     let machine = fe.f_hv.Hypervisor.machine in
+    let q = fe.f_queues.(queue) in
+    let batch = max 1 (min batch (Array.length q.q_grefs)) in
     let out = Bytes.create (count * Vdisk.sector_size) in
-    let rec chunk sector done_sectors =
-      if done_sectors = count then Ok out
-      else begin
-        let n = min (count - done_sectors) sectors_per_frame in
-        let clen = n * Vdisk.sector_size in
-        let* () =
-          submit fe
-            { Ring.req_id = fresh_req_id fe;
-              op = Ring.Read;
-              sector;
-              count = n;
-              data_gref = fe.f_gref;
-              data_off = 0 }
-        in
-        let raw =
-          Hypervisor.in_guest fe.f_hv fe.dom (fun () ->
-              Domain.read machine fe.dom ~addr:fe.buffer_gva ~len:clen)
-        in
-        let decoded = fe.codec.decode ~sector raw in
-        if Bytes.length decoded <> clen then Error "codec changed the payload size"
-        else begin
-          Bytes.blit decoded 0 out (done_sectors * Vdisk.sector_size) clen;
-          chunk (sector + n) (done_sectors + n)
-        end
-      end
+    let rec groups chunks =
+      match chunks with
+      | [] -> Ok out
+      | _ ->
+          let grp, rest = take batch chunks in
+          let reqs =
+            List.mapi
+              (fun i (s, _off, n) ->
+                { Ring.req_id = fresh_req_id fe;
+                  op = Ring.Read;
+                  sector = s;
+                  count = n;
+                  data_gref = q.q_grefs.(i);
+                  data_off = 0 })
+              grp
+          in
+          let* statuses = submit_batch ~queue fe reqs in
+          let* () = all_ok statuses in
+          let rec unload i = function
+            | [] -> Ok ()
+            | (s, off, n) :: rest ->
+                let clen = n * Vdisk.sector_size in
+                let raw =
+                  Hypervisor.in_guest fe.f_hv fe.dom (fun () ->
+                      Domain.read machine fe.dom ~addr:q.q_gvas.(i) ~len:clen)
+                in
+                let decoded = fe.codec.decode ~sector:s raw in
+                if Bytes.length decoded <> clen then Error "codec changed the payload size"
+                else begin
+                  Bytes.blit decoded 0 out off clen;
+                  unload (i + 1) rest
+                end
+          in
+          let* () = unload 0 grp in
+          groups rest
     in
-    chunk sector 0
+    groups (plan_chunks ~sector ~total_sectors:count)
   end
 
-let shared_frame be = be.b_shared_frame
+let frontend_ring ?(queue = 0) fe = fe.f_queues.(queue).q_ring
+
+let shared_frame be = be.b_queues.(0).q_frames.(0)
 let backend_disk be = be.disk
 let requests_served be = be.served
+let requests_rejected be = be.rejected
+let notifications be = be.notifications

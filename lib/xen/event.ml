@@ -62,7 +62,16 @@ let peer t ~domid ~port =
   in
   find t.channels
 
-let on_event t ~domid ~port f = Hashtbl.replace t.handlers (domid, port) f
+(* A notification that arrived before the handler was registered parks in
+   [pending_set]; registration must drain it, or the event — and with it
+   e.g. a whole ring batch — is lost forever. Real Xen keeps the pending
+   bit set and re-checks it when the vCPU unmasks the port. *)
+let on_event t ~domid ~port f =
+  Hashtbl.replace t.handlers (domid, port) f;
+  if Hashtbl.mem t.pending_set (domid, port) then begin
+    Hashtbl.remove t.pending_set (domid, port);
+    f ()
+  end
 
 let send t ~domid ~port =
   match peer t ~domid ~port with

@@ -18,7 +18,9 @@ val bind : t -> domid:int -> remote_port:port -> (port, string) result
 (** Complete the interdomain binding; returns the local port. *)
 
 val on_event : t -> domid:int -> port:port -> (unit -> unit) -> unit
-(** Register the handler run when this port is notified. *)
+(** Register the handler run when this port is notified. If a notification
+    already parked on the port (sent before any handler existed), it is
+    delivered immediately — events are edge-triggered but never lost. *)
 
 val send : t -> domid:int -> port:port -> (unit, string) result
 (** Notify the peer port; its handler (if any) runs synchronously here,

@@ -127,6 +127,21 @@ let place_baseline_insns t =
         ~handler)
     handlers
 
+(* Stock Xen's text holds two VMRUN sites, identified by role rather than
+   bare positions so a shrunken text section degrades gracefully instead of
+   raising: the dispatch-loop entry lives in the first text frame, and the
+   context-switch copy sits five frames in (or as deep as the text goes).
+   An empty text section is a boot-image bug and is reported as such. *)
+let vmrun_sites = function
+  | [] -> invalid_arg "Hypervisor.boot: xen_text has no frames to hold VMRUN"
+  | entry :: rest ->
+      let context_switch_copy =
+        match List.nth_opt rest 4 with
+        | Some page -> Some page
+        | None -> ( match List.rev rest with last :: _ -> Some last | [] -> None)
+      in
+      entry :: Option.to_list context_switch_copy
+
 (* The GHCB protocol of SEV-ES: the guest explicitly exposes and accepts
    exactly the registers the (hardware-recorded) exit reason requires —
    everything else stays in the encrypted VMSA. *)
@@ -241,11 +256,10 @@ let boot machine =
     | None -> Error (Printf.sprintf "VMRUN: no such domain %Ld" v)
     | Some dom -> do_vmrun_effect t dom
   in
-  List.iteri
-    (fun i page ->
-      ignore i;
+  List.iter
+    (fun page ->
       Hw.Insn.place machine.Hw.Machine.insns Hw.Insn.Vmrun ~page ~handler:vmrun_handler)
-    [ List.nth xen_text 0; List.nth xen_text 5 ];
+    (vmrun_sites xen_text);
   t
 
 (* --- host mappings ---------------------------------------------------- *)

@@ -3,6 +3,7 @@ module Hw = Fidelius_hw
 type wire = {
   mutable endpoints : endpoint list; (* at most two, in connect order *)
   queues : (int, bytes Queue.t) Hashtbl.t; (* receiver slot -> inbound frames *)
+  capacity : int;             (* per-slot inbound bound; senders see backpressure *)
   mutable log : bytes list;
   mutable forwarded : int;
 }
@@ -16,11 +17,16 @@ and endpoint = {
   shared_frame : Hw.Addr.pfn;
 }
 
-let create_wire () =
+let default_capacity = 512
+
+let create_wire ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Netif.create_wire: capacity must be >= 1";
   let queues = Hashtbl.create 2 in
   Hashtbl.replace queues 0 (Queue.create ());
   Hashtbl.replace queues 1 (Queue.create ());
-  { endpoints = []; queues; log = []; forwarded = 0 }
+  { endpoints = []; queues; capacity; log = []; forwarded = 0 }
+
+let wire_capacity wire = wire.capacity
 
 let ( let* ) = Result.bind
 
@@ -58,17 +64,30 @@ let connect hv dom ~wire ~buffer_gvfn =
         Ok ep
   end
 
-let frame_cost ep n =
+(* Per-transfer costs split in two: the event-channel doorbell, paid once
+   per notification, and the copy cost, paid per frame. A batch of N frames
+   pays one doorbell + N copies; a single frame pays exactly what the
+   unbatched path always charged. *)
+let notify_cost ep =
+  let machine = ep.hv.Hypervisor.machine in
+  Hw.Cost.charge machine.Hw.Machine.ledger "netif" machine.Hw.Machine.costs.Hw.Cost.event_channel
+
+let copy_cost ep n =
   let machine = ep.hv.Hypervisor.machine in
   Hw.Cost.charge machine.Hw.Machine.ledger "netif"
-    (machine.Hw.Machine.costs.Hw.Cost.event_channel
-    + (n / Hw.Addr.block_size * machine.Hw.Machine.costs.Hw.Cost.memcpy_block / 10))
+    (n / Hw.Addr.block_size * machine.Hw.Machine.costs.Hw.Cost.memcpy_block / 10)
+
+let frame_cost ep n =
+  notify_cost ep;
+  copy_cost ep n
 
 (* Frames are length-prefixed in the shared buffer so the backend copies
    exactly what the guest wrote. *)
 let send ep frame =
   let n = Bytes.length frame in
   if n + 4 > Hw.Addr.page_size then Error "netif: frame larger than the shared buffer"
+  else if Queue.length (Hashtbl.find ep.e_wire.queues (1 - ep.slot)) >= ep.e_wire.capacity then
+    Error "netif: wire queue full (backpressure)"
   else begin
     let machine = ep.hv.Hypervisor.machine in
     frame_cost ep n;
@@ -119,6 +138,102 @@ let recv ep =
       Error "netif: corrupt frame length on the shared ring"
     else Ok (Some (Bytes.sub raw 4 len))
   end
+
+(* --- batched transfers -------------------------------------------------- *)
+
+(* Frames staged back-to-back in the shared page, each length-prefixed:
+   [len0 || payload0 || len1 || payload1 || ...]. One guest write, one
+   backend read, one doorbell for the whole batch. *)
+let staged_size frames = List.fold_left (fun acc f -> acc + 4 + Bytes.length f) 0 frames
+
+let stage_frames frames =
+  let total = staged_size frames in
+  let staged = Bytes.create total in
+  let off = ref 0 in
+  List.iter
+    (fun f ->
+      let n = Bytes.length f in
+      Bytes.set_int32_be staged !off (Int32.of_int n);
+      Bytes.blit f 0 staged (!off + 4) n;
+      off := !off + 4 + n)
+    frames;
+  staged
+
+(* Parse [count] length-prefixed frames back out of a staged region. Every
+   prefix crossed a guest-writable shared page, so each is validated before
+   it indexes anything — one corrupt length fails the whole batch closed. *)
+let parse_frames raw count =
+  let total = Bytes.length raw in
+  let rec go acc off k =
+    if k = 0 then Ok (List.rev acc)
+    else if off + 4 > total then Error "netif: truncated frame header on the shared ring"
+    else
+      let len = Int32.to_int (Bytes.get_int32_be raw off) in
+      if len < 0 || off + 4 + len > total then
+        Error "netif: corrupt frame length on the shared ring"
+      else go (Bytes.sub raw (off + 4) len :: acc) (off + 4 + len) (k - 1)
+  in
+  go [] 0 count
+
+let send_batch ep frames =
+  match frames with
+  | [] -> Ok ()
+  | _ ->
+      let total = staged_size frames in
+      let nframes = List.length frames in
+      let dest_q = Hashtbl.find ep.e_wire.queues (1 - ep.slot) in
+      if total > Hw.Addr.page_size then Error "netif: batch larger than the shared buffer"
+      else if Queue.length dest_q + nframes > ep.e_wire.capacity then
+        Error "netif: wire queue full (backpressure)"
+      else begin
+        let machine = ep.hv.Hypervisor.machine in
+        notify_cost ep;
+        List.iter (fun f -> copy_cost ep (Bytes.length f)) frames;
+        let staged = stage_frames frames in
+        Hypervisor.in_guest ep.hv ep.dom (fun () ->
+            Domain.write machine ep.dom ~addr:ep.buffer_gva staged);
+        let raw = Hypervisor.host_read ep.hv ep.shared_frame ~off:0 ~len:total in
+        match parse_frames raw nframes with
+        | Error e -> Error e
+        | Ok payloads ->
+            List.iter
+              (fun payload ->
+                Queue.push payload dest_q;
+                ep.e_wire.log <- payload :: ep.e_wire.log;
+                ep.e_wire.forwarded <- ep.e_wire.forwarded + 1)
+              payloads;
+            Ok ()
+      end
+
+let recv_batch ?max ep =
+  let q = Hashtbl.find ep.e_wire.queues ep.slot in
+  let limit = match max with Some m -> min m (Queue.length q) | None -> Queue.length q in
+  (* Take as many queued frames as both the limit and the shared page
+     allow; the rest stay queued for the next notification. *)
+  let rec collect acc used k =
+    if k = 0 then List.rev acc
+    else
+      match Queue.peek_opt q with
+      | None -> List.rev acc
+      | Some f when used + 4 + Bytes.length f > Hw.Addr.page_size -> List.rev acc
+      | Some f ->
+          ignore (Queue.pop q);
+          collect (f :: acc) (used + 4 + Bytes.length f) (k - 1)
+  in
+  let frames = collect [] 0 (Stdlib.max 0 limit) in
+  match frames with
+  | [] -> Ok []
+  | _ ->
+      let machine = ep.hv.Hypervisor.machine in
+      notify_cost ep;
+      List.iter (fun f -> copy_cost ep (Bytes.length f)) frames;
+      let staged = stage_frames frames in
+      Hypervisor.host_write ep.hv ep.shared_frame ~off:0 staged;
+      let raw =
+        Hypervisor.in_guest ep.hv ep.dom (fun () ->
+            Domain.read machine ep.dom ~addr:ep.buffer_gva ~len:(Bytes.length staged))
+      in
+      parse_frames raw (List.length frames)
 
 let pending ep = Queue.length (Hashtbl.find ep.e_wire.queues ep.slot)
 

@@ -17,7 +17,12 @@ module Hw = Fidelius_hw
 type wire
 type endpoint
 
-val create_wire : unit -> wire
+val create_wire : ?capacity:int -> unit -> wire
+(** The wire's inbound queues are bounded ([capacity] frames per receiver,
+    default 512): a sender overrunning a slow receiver gets a typed
+    backpressure error instead of unbounded growth. *)
+
+val wire_capacity : wire -> int
 
 val connect :
   Hypervisor.t -> Domain.t -> wire:wire -> buffer_gvfn:Hw.Addr.vfn ->
@@ -34,6 +39,20 @@ val send : endpoint -> bytes -> (unit, string) result
 val recv : endpoint -> (bytes option, string) result
 (** Take the next queued inbound frame, copied in through the shared
     buffer. [None] when the queue is empty. *)
+
+val send_batch : endpoint -> bytes list -> (unit, string) result
+(** Transmit N frames with one event-channel notification: the frames are
+    staged back-to-back (length-prefixed) in the shared page, written and
+    forwarded in one doorbell. Costs one event-channel charge plus N copy
+    charges — at N = 1 exactly what {!send} charges. Fails closed (before
+    charging or staging) when the batch exceeds the page or would overrun
+    the wire queue, and on any corrupt length prefix. *)
+
+val recv_batch : ?max:int -> endpoint -> (bytes list, string) result
+(** Take up to [max] (default: all) queued inbound frames in one
+    notification, as many as fit the shared page; the remainder stays
+    queued. [[]] when nothing is pending. Same cost shape as
+    {!send_batch}. *)
 
 val pending : endpoint -> int
 

@@ -591,6 +591,47 @@ let test_software_codec_roundtrip () =
   let b2 = ok (Xen.Blkif.read_sectors fe ~sector:1 ~count:1) in
   Alcotest.(check bool) "codecs interoperate" true (Bytes.for_all (fun c -> c = 's') b2)
 
+(* Golden pins captured on the pre-batching synchronous implementation with
+   the AES-NI codec on a protected guest: the span-granular codec (one bulk
+   XEX call per batch of sectors) must reproduce the per-sector path's
+   cycles, categories and ciphertext exactly at batch size 1. *)
+let test_aesni_codec_batch1_golden () =
+  let pattern n = Bytes.init n (fun i -> Char.chr (((i * 7) + 13) land 0xff)) in
+  let hex b =
+    String.concat ""
+      (List.map (Printf.sprintf "%02x") (List.map Char.code (List.init (Bytes.length b) (Bytes.get b))))
+  in
+  let m = Hw.Machine.create ~seed:31L () in
+  let hv = Hv.boot m in
+  let fid = Fid.install hv in
+  let rng = Rng.create 8L in
+  let prepared =
+    Sev.Transport.Owner.prepare ~rng ~platform_public:(Fid.platform_key fid)
+      ~policy:Sev.Firmware.policy_nodbg
+      ~kernel_pages:[ Bytes.make Hw.Addr.page_size '\000' ]
+  in
+  let dom = ok (Fid.boot_protected_vm fid ~name:"io-guest" ~memory_pages:24 ~prepared) in
+  let kblk = Fid.kblk_of_guest fid dom in
+  let disk = Xen.Vdisk.of_bytes (Core.Io_protect.encrypt_disk ~kblk (pattern (32 * 512))) in
+  let fe, _ = ok (Xen.Blkif.connect hv dom ~disk ~buffer_gvfn:200) in
+  Xen.Blkif.set_codec fe (Fid.aesni_codec fid ~kblk);
+  let ledger = m.Hw.Machine.ledger in
+  Alcotest.(check int) "setup cycles unchanged" 1259697 (Hw.Cost.total ledger);
+  ok (Xen.Blkif.write_sectors fe ~sector:10 (pattern (8 * 512)));
+  Alcotest.(check int) "write cycles unchanged" 1470754 (Hw.Cost.total ledger);
+  Alcotest.(check int) "write codec charge unchanged" 29440
+    (Hw.Cost.category ledger "io-encode-aesni");
+  let rd = ok (Xen.Blkif.read_sectors fe ~sector:4 ~count:16) in
+  Alcotest.(check int) "read cycles unchanged" 1892716 (Hw.Cost.total ledger);
+  Alcotest.(check int) "read codec charge unchanged" 88320
+    (Hw.Cost.category ledger "io-encode-aesni");
+  Alcotest.(check string) "platter ciphertext unchanged"
+    "336192fb6fd612bb00e8788c2f83ce93d814b1c816654d95a2734f515709b0b5"
+    (hex (Fidelius_crypto.Sha256.digest (Xen.Vdisk.peek disk ~sector:0 ~count:32)));
+  Alcotest.(check string) "decoded read-back unchanged"
+    "6738eee8048c39a92b801d999b4c1811fdf07f1c64925fe360d752715675ccab"
+    (hex (Fidelius_crypto.Sha256.digest rd))
+
 let test_sev_io_needs_protection () =
   let _, hv, fid = installed () in
   let plain_dom = Hv.create_domain hv ~name:"plain" ~memory_pages:4 in
@@ -1110,6 +1151,7 @@ let () =
           Alcotest.test_case "disk helpers" `Quick test_disk_encrypt_helpers;
           Alcotest.test_case "sev codec" `Quick test_sev_codec_roundtrip;
           Alcotest.test_case "software codec" `Quick test_software_codec_roundtrip;
+          Alcotest.test_case "aes-ni batch-1 golden pins" `Quick test_aesni_codec_batch1_golden;
           Alcotest.test_case "needs protection" `Quick test_sev_io_needs_protection ] );
       ( "sharing",
         [ Alcotest.test_case "flow" `Quick test_sharing_flow;

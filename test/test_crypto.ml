@@ -568,6 +568,35 @@ let test_backend_xex_span_equivalence =
           Bytes.equal (Bytes.sub dst dst_off len) (Bytes.sub expect dst_off len)
           && Bytes.equal (Bytes.sub back src_off len) (Bytes.sub src src_off len)))
 
+(* The disk-codec tweak layout: per-sector tweak lanes (stride between
+   sectors, step 1 inside) in one bulk call. Reference is the per-sector
+   span loop, so this also pins sectors = N independent span calls. *)
+let test_backend_xex_sectors_equivalence =
+  QCheck.Test.make
+    ~name:"every backend: XEX sectors = per-sector span loop (random stride/offsets)"
+    ~count:100
+    (QCheck.quad (sized_string 16) (QCheck.pair QCheck.int64 QCheck.int64)
+       (QCheck.pair (QCheck.int_bound 31) (QCheck.int_bound 31))
+       (QCheck.pair (QCheck.int_bound 7) (QCheck.int_bound 5)))
+    (fun (k, (tweak0, sector_stride), (src_off, dst_off), (nsectors, sblocks)) ->
+      let sector_bytes = (sblocks + 1) * 16 in
+      let len = nsectors * sector_bytes in
+      let key = Aes.expand (Bytes.of_string k) in
+      let rng = Rng.create (Int64.logxor tweak0 sector_stride) in
+      let src = Rng.bytes rng (src_off + len + 5) in
+      let expect = Bytes.make (dst_off + len + 3) '\000' in
+      Modes.xex_encrypt_sectors_reference key ~tweak0 ~sector_stride ~sector_bytes ~src
+        ~src_off ~dst:expect ~dst_off ~nsectors;
+      for_all_tiers (fun _ ->
+          let dst = Bytes.make (dst_off + len + 3) '\000' in
+          Modes.xex_encrypt_sectors key ~tweak0 ~sector_stride ~sector_bytes ~src ~src_off
+            ~dst ~dst_off ~nsectors;
+          let back = Bytes.make (src_off + len + 5) '\000' in
+          Modes.xex_decrypt_sectors key ~tweak0 ~sector_stride ~sector_bytes ~src:dst
+            ~src_off:dst_off ~dst:back ~dst_off:src_off ~nsectors;
+          Bytes.equal (Bytes.sub dst dst_off len) (Bytes.sub expect dst_off len)
+          && Bytes.equal (Bytes.sub back src_off len) (Bytes.sub src src_off len)))
+
 (* The mli permits src == dst at the same offset; the SIMD cores load a
    whole 8-block group before storing it, so this pins that contract. *)
 let test_backend_inplace_aliasing =
@@ -801,6 +830,7 @@ let () =
           prop test_backend_ecb_equivalence;
           prop test_backend_ctr_equivalence;
           prop test_backend_xex_span_equivalence;
+          prop test_backend_xex_sectors_equivalence;
           prop test_backend_inplace_aliasing ] );
       ( "golden",
         [ Alcotest.test_case "XEX page ciphertext" `Quick test_golden_xex_page;

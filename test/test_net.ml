@@ -124,6 +124,88 @@ let test_netif_dom0_snoops_plaintext () =
   Alcotest.(check bool) "dom0 reads the frame" true
     (List.exists (fun f -> Bytes.to_string f = "PLAINTEXT-CREDENTIALS") (Xen.Netif.snoop wire))
 
+let test_netif_batch_roundtrip () =
+  let _, _, wire, ea, eb = net_env () in
+  let frames = List.init 5 (fun i -> Bytes.of_string (Printf.sprintf "frame-%d" i)) in
+  ok (Xen.Netif.send_batch ea frames);
+  Alcotest.(check int) "all queued" 5 (Xen.Netif.pending eb);
+  Alcotest.(check int) "forwarded once each" 5 (Xen.Netif.frames_forwarded wire);
+  (* Partial drain keeps the remainder queued, in order. *)
+  let first = ok (Xen.Netif.recv_batch ~max:2 eb) in
+  Alcotest.(check (list string)) "first two" [ "frame-0"; "frame-1" ]
+    (List.map Bytes.to_string first);
+  let rest = ok (Xen.Netif.recv_batch eb) in
+  Alcotest.(check (list string)) "remainder" [ "frame-2"; "frame-3"; "frame-4" ]
+    (List.map Bytes.to_string rest);
+  Alcotest.(check (list string)) "empty drain" [] (List.map Bytes.to_string (ok (Xen.Netif.recv_batch eb)));
+  (* Zero-length frames survive the length-prefixed staging. *)
+  ok (Xen.Netif.send_batch ea [ Bytes.create 0; Bytes.of_string "x" ]);
+  Alcotest.(check (list int)) "zero-length frame preserved" [ 0; 1 ]
+    (List.map Bytes.length (ok (Xen.Netif.recv_batch eb)))
+
+let test_netif_batch_cost_parity () =
+  (* A batch of one charges exactly what the synchronous path charges: the
+     amortization claim is event_channel x1 instead of xN, nothing else. *)
+  let run f =
+    let m, _, _, ea, eb = net_env () in
+    let before = Hw.Cost.total m.Hw.Machine.ledger in
+    f ea eb;
+    Hw.Cost.total m.Hw.Machine.ledger - before
+  in
+  let frame = Bytes.make 300 'f' in
+  let sync =
+    run (fun ea eb ->
+        ok (Xen.Netif.send ea frame);
+        ignore (ok (Xen.Netif.recv eb)))
+  in
+  let batch1 =
+    run (fun ea eb ->
+        ok (Xen.Netif.send_batch ea [ frame ]);
+        ignore (ok (Xen.Netif.recv_batch ~max:1 eb)))
+  in
+  Alcotest.(check int) "batch of 1 = synchronous cycles" sync batch1;
+  (* N frames batched cost less than N synchronous sends. *)
+  let n = 6 in
+  let sync_n =
+    run (fun ea eb ->
+        for _ = 1 to n do
+          ok (Xen.Netif.send ea frame);
+          ignore (ok (Xen.Netif.recv eb))
+        done)
+  in
+  let batch_n =
+    run (fun ea eb ->
+        ok (Xen.Netif.send_batch ea (List.init n (fun _ -> frame)));
+        ignore (ok (Xen.Netif.recv_batch eb)))
+  in
+  Alcotest.(check bool) "batching amortizes the doorbell" true (batch_n < sync_n)
+
+let test_netif_backpressure () =
+  let m = Hw.Machine.create ~seed:34L () in
+  let hv = Xen.Hypervisor.boot m in
+  let a = Xen.Hypervisor.create_domain hv ~name:"a" ~memory_pages:8 in
+  let b = Xen.Hypervisor.create_domain hv ~name:"b" ~memory_pages:8 in
+  let wire = Xen.Netif.create_wire ~capacity:3 () in
+  Alcotest.(check int) "capacity readable" 3 (Xen.Netif.wire_capacity wire);
+  let ea = ok (Xen.Netif.connect hv a ~wire ~buffer_gvfn:100) in
+  let eb = ok (Xen.Netif.connect hv b ~wire ~buffer_gvfn:100) in
+  for i = 1 to 3 do
+    ok (Xen.Netif.send ea (Bytes.of_string (string_of_int i)))
+  done;
+  let before = Hw.Cost.total m.Hw.Machine.ledger in
+  Alcotest.(check bool) "4th frame backpressured" true
+    (Result.is_error (Xen.Netif.send ea (Bytes.of_string "4")));
+  Alcotest.(check bool) "batched send backpressured" true
+    (Result.is_error (Xen.Netif.send_batch ea [ Bytes.of_string "4" ]));
+  Alcotest.(check int) "refused sends charge nothing" before (Hw.Cost.total m.Hw.Machine.ledger);
+  (* Draining the receiver reopens the wire. *)
+  ignore (ok (Xen.Netif.recv eb));
+  ok (Xen.Netif.send ea (Bytes.of_string "4"));
+  Alcotest.(check int) "queue refilled" 3 (Xen.Netif.pending eb);
+  Alcotest.check_raises "nonpositive capacity rejected"
+    (Invalid_argument "Netif.create_wire: capacity must be >= 1") (fun () ->
+      ignore (Xen.Netif.create_wire ~capacity:0 ()))
+
 let contains needle hay =
   let s = Bytes.to_string hay in
   let n = String.length s and m = String.length needle in
@@ -174,5 +256,8 @@ let () =
         [ Alcotest.test_case "roundtrip" `Quick test_netif_roundtrip;
           Alcotest.test_case "bidirectional" `Quick test_netif_bidirectional;
           Alcotest.test_case "limits" `Quick test_netif_limits;
+          Alcotest.test_case "batch roundtrip" `Quick test_netif_batch_roundtrip;
+          Alcotest.test_case "batch cost parity" `Quick test_netif_batch_cost_parity;
+          Alcotest.test_case "backpressure" `Quick test_netif_backpressure;
           Alcotest.test_case "dom0 snoops plaintext" `Quick test_netif_dom0_snoops_plaintext ] );
       ("tls-over-pv", [ Alcotest.test_case "end to end" `Quick test_tls_over_netif ]) ]

@@ -249,6 +249,28 @@ let test_event_channels () =
   Alcotest.(check bool) "unbound send fails" true
     (Result.is_error (Event.send ev ~domid:9 ~port:1234))
 
+(* Regression: an event sent before the handler existed used to be parked
+   forever — on_event never consulted the pending set, so the backend
+   missed any doorbell that raced its registration. Registration must
+   deliver parked events immediately (the pending bit is level-ish, as on
+   real Xen). *)
+let test_event_parked_delivery () =
+  let l = Hw.Cost.ledger () in
+  let ev = Event.create l in
+  let port = Event.alloc_unbound ev ~domid:1 ~remote:2 in
+  let bport = ok (Event.bind ev ~domid:2 ~remote_port:port) in
+  (* Doorbell rings before anyone listens: parked, not lost. *)
+  ok (Event.send ev ~domid:1 ~port);
+  ok (Event.send ev ~domid:1 ~port);
+  Alcotest.(check bool) "parked while unhandled" true (Event.pending ev ~domid:2 ~port:bport);
+  let fired = ref 0 in
+  Event.on_event ev ~domid:2 ~port:bport (fun () -> incr fired);
+  Alcotest.(check int) "delivered at registration" 1 !fired;
+  Alcotest.(check bool) "pending cleared" false (Event.pending ev ~domid:2 ~port:bport);
+  (* Later sends go straight through. *)
+  ok (Event.send ev ~domid:1 ~port);
+  Alcotest.(check int) "live delivery still works" 2 !fired
+
 let test_xenstore () =
   let s = Xenstore.create () in
   Xenstore.write s ~domid:3 ~path:"/local/domain/3/device/vbd/ring-ref" "17";
@@ -265,17 +287,93 @@ let test_xenstore () =
 
 (* --- ring / vdisk ---------------------------------------------------------------------- *)
 
+let req ?(op = Ring.Read) ?(sector = 0) ?(count = 1) ?(data_gref = 0) ?(data_off = 0) req_id =
+  { Ring.req_id; op; sector; count; data_gref; data_off }
+
+let push_ok r q =
+  match Ring.push_request r q with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("unexpected push failure: " ^ Ring.error_to_string e)
+
 let test_ring () =
   let r = Ring.create () in
   Alcotest.(check bool) "empty" true (Ring.pop_request r = None);
-  Ring.push_request r
-    { Ring.req_id = 1; op = Ring.Read; sector = 0; count = 1; data_gref = 0; data_off = 0 };
+  push_ok r (req 1);
   Alcotest.(check int) "pending" 1 (Ring.requests_pending r);
+  Alcotest.(check int) "free slots" (Ring.default_size - 1) (Ring.free_request_slots r);
   (match Ring.pop_request r with
-  | Some req -> Alcotest.(check int) "fifo" 1 req.Ring.req_id
+  | Some q -> Alcotest.(check int) "fifo" 1 q.Ring.req_id
   | None -> Alcotest.fail "pop");
-  Ring.push_response r { Ring.resp_id = 1; status = Ok () };
+  (match Ring.push_response r { Ring.resp_id = 1; status = Ok () } with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "response push");
   Alcotest.(check bool) "response" true (Ring.pop_response r <> None)
+
+let test_ring_backpressure () =
+  let r = Ring.create ~size:4 () in
+  for i = 1 to 4 do push_ok r (req i) done;
+  Alcotest.(check int) "no free slots" 0 (Ring.free_request_slots r);
+  (match Ring.push_request r (req 5) with
+  | Error (Ring.Ring_full { capacity }) -> Alcotest.(check int) "capacity reported" 4 capacity
+  | Ok () -> Alcotest.fail "overfull push accepted"
+  | Error e -> Alcotest.fail ("wrong error: " ^ Ring.error_to_string e));
+  (* Consuming one slot relieves the backpressure. *)
+  ignore (Ring.pop_request r);
+  push_ok r (req 5);
+  Alcotest.(check (list int)) "fifo preserved across refill" [ 2; 3; 4; 5 ]
+    (List.map (fun q -> q.Ring.req_id) (Ring.pop_requests r ~max:10));
+  Alcotest.check_raises "non-power-of-two rejected"
+    (Invalid_argument "Ring.create: size 3 must be a power of two >= 2") (fun () ->
+      ignore (Ring.create ~size:3 ()));
+  Alcotest.check_raises "size 0 rejected"
+    (Invalid_argument "Ring.create: size 0 must be a power of two >= 2") (fun () ->
+      ignore (Ring.create ~size:0 ()))
+
+let test_ring_wraparound () =
+  let r = Ring.create ~size:4 () in
+  (* Push/pop far past the slot count: free-running indices must keep FIFO
+     order through many wraps. *)
+  let next = ref 0 in
+  for _round = 1 to 10 do
+    for _ = 1 to 3 do
+      push_ok r (req !next);
+      incr next
+    done;
+    let drained = Ring.pop_requests r ~max:3 in
+    Alcotest.(check int) "drained all" 3 (List.length drained)
+  done;
+  let (req_prod, req_cons), _ = Ring.indices r in
+  Alcotest.(check int) "producer free-running" 30 req_prod;
+  Alcotest.(check int) "consumer caught up" 30 req_cons;
+  Alcotest.(check int) "empty after wraps" 0 (Ring.requests_pending r)
+
+(* Model check: the bounded ring behaves exactly like a capacity-limited
+   FIFO queue under an arbitrary interleaving of pushes and pops. *)
+let prop_ring_matches_bounded_queue =
+  QCheck.Test.make ~count:200 ~name:"ring = bounded FIFO queue"
+    QCheck.(list small_int)
+    (fun ops ->
+      let size = 4 in
+      let r = Ring.create ~size () in
+      let model = Queue.create () in
+      List.for_all
+        (fun x ->
+          if x land 1 = 0 then
+            (* push *)
+            let fits = Queue.length model < size in
+            if fits then Queue.push x model;
+            (match Ring.push_request r (req x) with
+            | Ok () -> fits
+            | Error (Ring.Ring_full _) -> not fits
+            | Error _ -> false)
+          else
+            (* pop *)
+            match (Ring.pop_request r, Queue.take_opt model) with
+            | None, None -> true
+            | Some q, Some m -> q.Ring.req_id = m
+            | _ -> false)
+        ops
+      && Ring.requests_pending r = Queue.length model)
 
 let test_vdisk () =
   let d = Vdisk.create ~nr_sectors:8 in
@@ -328,6 +426,170 @@ let test_blkif_validation () =
     (Result.is_error (Blkif.read_sectors fe ~sector:0 ~count:0));
   Alcotest.(check bool) "oob read surfaces backend error" true
     (Result.is_error (Blkif.read_sectors fe ~sector:7 ~count:4))
+
+(* Everything in a descriptor is attacker-controlled: each malformed shape
+   must come back as its typed error, with nothing charged and nothing
+   copied. *)
+let test_blkif_malformed_descriptors () =
+  let m, hv = boot () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:8 in
+  let disk = Vdisk.create ~nr_sectors:64 in
+  let fe, be = ok (Blkif.connect hv dom ~disk ~buffer_gvfn:100) in
+  let gref = Blkif.data_gref fe ~page:0 in
+  let blkio_before = Hw.Cost.category m.Hw.Machine.ledger "blk-io" in
+  let bad =
+    [ req ~data_gref:gref ~count:0 1;                                  (* zero-length *)
+      req ~data_gref:gref ~count:(-3) 2;
+      req ~data_gref:gref ~count:(Blkif.sectors_per_frame + 1) 3;
+      req ~data_gref:gref ~sector:60 ~count:8 4;                       (* runs off the disk *)
+      req ~data_gref:gref ~sector:(-1) 5;
+      req ~data_gref:gref ~data_off:4000 6;                            (* span leaves the frame *)
+      req ~data_gref:99999 7 ]                                         (* not a data grant *)
+  in
+  let statuses = ok (Blkif.submit_batch fe bad) in
+  let expect name pred st =
+    Alcotest.(check bool) name true (match st with Error e -> pred e | Ok () -> false)
+  in
+  (match statuses with
+  | [ s1; s2; s3; s4; s5; s6; s7 ] ->
+      expect "count 0" (function Ring.Bad_count { count = 0; _ } -> true | _ -> false) s1;
+      expect "count negative" (function Ring.Bad_count _ -> true | _ -> false) s2;
+      expect "count > frame" (function Ring.Bad_count { count = 9; _ } -> true | _ -> false) s3;
+      expect "sector overrun"
+        (function Ring.Bad_sector { sector = 60; count = 8; nr_sectors = 64 } -> true | _ -> false)
+        s4;
+      expect "sector negative" (function Ring.Bad_sector _ -> true | _ -> false) s5;
+      expect "span overrun" (function Ring.Bad_span { data_off = 4000; _ } -> true | _ -> false) s6;
+      expect "foreign gref" (function Ring.Bad_gref { gref = 99999; _ } -> true | _ -> false) s7
+  | l -> Alcotest.fail (Printf.sprintf "expected 7 statuses, got %d" (List.length l)));
+  (* Fail-closed means validate-then-charge: rejects cost the guest nothing. *)
+  Alcotest.(check int) "no blk-io charged for rejects" blkio_before
+    (Hw.Cost.category m.Hw.Machine.ledger "blk-io");
+  Alcotest.(check int) "all rejected" 7 (Blkif.requests_rejected be);
+  (* Duplicate req_id inside one batch: first wins, second fails closed. *)
+  let statuses =
+    ok (Blkif.submit_batch fe [ req ~data_gref:gref ~sector:1 42; req ~data_gref:gref ~sector:2 42 ])
+  in
+  (match statuses with
+  | [ Ok (); Error (Ring.Duplicate_req_id { req_id = 42 }) ] -> ()
+  | _ -> Alcotest.fail "duplicate req_id not failed closed");
+  Alcotest.(check int) "only the duplicate rejected" 8 (Blkif.requests_rejected be)
+
+let test_blkif_response_without_request () =
+  let _, hv = boot () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:8 in
+  let disk = Vdisk.create ~nr_sectors:64 in
+  let fe, _ = ok (Blkif.connect hv dom ~disk ~buffer_gvfn:100) in
+  (* dom0 (or a descriptor forgery) plants a response nobody asked for. *)
+  (match Ring.push_response (Blkif.frontend_ring fe) { Ring.resp_id = 99; status = Ok () } with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "stray push");
+  (match Blkif.submit_batch fe [ req ~data_gref:(Blkif.data_gref fe ~page:0) 1 ] with
+  | Error msg ->
+      (* either the id-mismatch or the leftover-response detector fires *)
+      let contains s needle =
+        let nl = String.length needle and sl = String.length s in
+        let rec at i = i + nl <= sl && (String.sub s i nl = needle || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) "names the protocol violation" true (contains msg "response")
+  | Ok _ -> Alcotest.fail "stray response accepted");
+  (* The sector helpers fail closed on the same forgery. *)
+  (match Ring.push_response (Blkif.frontend_ring fe) { Ring.resp_id = 98; status = Ok () } with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "stray push");
+  Alcotest.(check bool) "read fails closed" true
+    (Result.is_error (Blkif.read_sectors fe ~sector:0 ~count:1))
+
+let test_blkif_submit_backpressure () =
+  let _, hv = boot () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:8 in
+  let disk = Vdisk.create ~nr_sectors:64 in
+  let fe, be = ok (Blkif.connect hv ~ring_size:4 dom ~disk ~buffer_gvfn:100) in
+  let gref = Blkif.data_gref fe ~page:0 in
+  let vmexits_before, _ = Hv.stats hv in
+  let five = List.init 5 (fun i -> req ~data_gref:gref ~sector:i (i + 1)) in
+  (match Blkif.submit_batch fe five with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized batch accepted");
+  let vmexits_after, _ = Hv.stats hv in
+  Alcotest.(check int) "no doorbell hypercall for a refused batch" vmexits_before vmexits_after;
+  Alcotest.(check int) "nothing left on the ring" 0
+    (Ring.requests_pending (Blkif.frontend_ring fe));
+  Alcotest.(check int) "backend untouched" 0 (Blkif.requests_served be);
+  (* A batch that exactly fills the ring goes through. *)
+  let four = List.init 4 (fun i -> req ~data_gref:gref ~sector:i (i + 10)) in
+  let statuses = ok (Blkif.submit_batch fe four) in
+  Alcotest.(check int) "full-ring batch served" 4 (List.length statuses);
+  List.iter (fun st -> Alcotest.(check bool) "served ok" true (st = Ok ())) statuses
+
+let test_blkif_multiqueue () =
+  let _, hv = boot () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:16 in
+  let disk = Vdisk.create ~nr_sectors:64 in
+  let fe, be = ok (Blkif.connect ~nr_queues:2 ~buffer_pages:2 hv dom ~disk ~buffer_gvfn:100) in
+  Alcotest.(check int) "two queues" 2 (Blkif.nr_queues fe);
+  Alcotest.(check int) "vcpu 0 -> q0" 0 (Blkif.queue_for fe ~vcpu:0);
+  Alcotest.(check int) "vcpu 1 -> q1" 1 (Blkif.queue_for fe ~vcpu:1);
+  Alcotest.(check int) "vcpu 4 -> q0" 0 (Blkif.queue_for fe ~vcpu:4);
+  (* vCPU 1 writes through its own queue; vCPU 0 reads the same disk back
+     through queue 0 — the queues share the vdisk, not descriptor slots. *)
+  ok (Blkif.write_sectors ~queue:1 ~batch:2 fe ~sector:8 (Bytes.make 4096 'Q'));
+  let b = ok (Blkif.read_sectors ~queue:0 fe ~sector:8 ~count:8) in
+  Alcotest.(check bool) "cross-queue roundtrip" true (Bytes.for_all (fun c -> c = 'Q') b);
+  Alcotest.(check bool) "both directions served" true (Blkif.requests_served be >= 2)
+
+(* Golden pins captured on the pre-batching synchronous implementation
+   (identity codec, all defaults): the refactored datapath at batch size 1
+   must charge the exact same cumulative cycle totals and produce the same
+   bytes. Guards the PR's byte-identity contract. *)
+let test_blkif_batch1_golden () =
+  let pattern n = Bytes.init n (fun i -> Char.chr (((i * 7) + 13) land 0xff)) in
+  let m, hv = boot () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:8 in
+  let disk = Vdisk.create ~nr_sectors:64 in
+  let fe, be = ok (Blkif.connect hv dom ~disk ~buffer_gvfn:100) in
+  let total () = Hw.Cost.total m.Hw.Machine.ledger in
+  Alcotest.(check int) "connect cycles unchanged" 1109548 (total ());
+  let data = pattern 4096 in
+  ok (Blkif.write_sectors fe ~sector:5 data);
+  Alcotest.(check int) "write cycles unchanged" 1289903 (total ());
+  let rd = ok (Blkif.read_sectors fe ~sector:5 ~count:8) in
+  Alcotest.(check int) "read cycles unchanged" 1470182 (total ());
+  Alcotest.(check int) "request count unchanged" 2 (Blkif.requests_served be);
+  Alcotest.(check bool) "platter bytes unchanged" true
+    (Bytes.equal data (Vdisk.peek disk ~sector:5 ~count:8));
+  Alcotest.(check bool) "read-back bytes unchanged" true (Bytes.equal data rd)
+
+(* Batching changes only how many doorbells ring: disk artifacts, read-back
+   bytes and the charged per-sector I/O cost are invariant in the batch
+   size. *)
+let prop_batch_invariance =
+  QCheck.Test.make ~count:8 ~name:"batch=8 artifacts = batch=1 artifacts"
+    QCheck.(pair (int_bound 40) (int_range 1 16))
+    (fun (sector, nsec) ->
+      QCheck.assume (sector + nsec <= 64);
+      let run ~batch ~pages =
+        let m = Hw.Machine.create ~seed:41L () in
+        let hv = Hv.boot m in
+        let dom = Hv.create_domain hv ~name:"g" ~memory_pages:16 in
+        let disk = Vdisk.create ~nr_sectors:64 in
+        let fe, be = ok (Blkif.connect ~buffer_pages:pages hv dom ~disk ~buffer_gvfn:100) in
+        let data =
+          Bytes.init (nsec * Vdisk.sector_size) (fun i -> Char.chr ((i * 31 + sector) land 0xff))
+        in
+        ok (Blkif.write_sectors ~batch fe ~sector data);
+        let rd = ok (Blkif.read_sectors ~batch fe ~sector ~count:nsec) in
+        ( Vdisk.peek disk ~sector:0 ~count:64,
+          rd,
+          Hw.Cost.category m.Hw.Machine.ledger "blk-io",
+          Blkif.notifications be,
+          Blkif.requests_rejected be )
+      in
+      let disk1, rd1, io1, notif1, rej1 = run ~batch:1 ~pages:1 in
+      let disk8, rd8, io8, notif8, rej8 = run ~batch:8 ~pages:8 in
+      Bytes.equal disk1 disk8 && Bytes.equal rd1 rd8 && io1 = io8 && rej1 = 0 && rej8 = 0
+      && notif8 <= notif1)
 
 (* --- sched ------------------------------------------------------------------------------- *)
 
@@ -464,11 +726,22 @@ let () =
           Alcotest.test_case "find_free" `Quick test_granttab_find_free ] );
       ( "events-store",
         [ Alcotest.test_case "event channels" `Quick test_event_channels;
+          Alcotest.test_case "parked event delivery" `Quick test_event_parked_delivery;
           Alcotest.test_case "xenstore" `Quick test_xenstore ] );
       ( "block",
         [ Alcotest.test_case "ring" `Quick test_ring;
+          Alcotest.test_case "ring backpressure" `Quick test_ring_backpressure;
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          QCheck_alcotest.to_alcotest prop_ring_matches_bounded_queue;
           Alcotest.test_case "vdisk" `Quick test_vdisk;
           Alcotest.test_case "blkif roundtrip" `Quick test_blkif_roundtrip;
           Alcotest.test_case "chunking" `Quick test_blkif_large_transfer_chunks;
-          Alcotest.test_case "validation" `Quick test_blkif_validation ] );
+          Alcotest.test_case "validation" `Quick test_blkif_validation;
+          Alcotest.test_case "malformed descriptors" `Quick test_blkif_malformed_descriptors;
+          Alcotest.test_case "response without request" `Quick
+            test_blkif_response_without_request;
+          Alcotest.test_case "submit backpressure" `Quick test_blkif_submit_backpressure;
+          Alcotest.test_case "multiqueue" `Quick test_blkif_multiqueue;
+          Alcotest.test_case "batch-1 golden pins" `Quick test_blkif_batch1_golden;
+          QCheck_alcotest.to_alcotest prop_batch_invariance ] );
       ("sched", [ Alcotest.test_case "round robin" `Quick test_sched ]) ]
