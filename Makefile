@@ -12,15 +12,18 @@
 #   make serve       traffic-serving benchmark over the batched PV datapath
 #                    (ring throughput sync vs batched, serve sweep -> bench.json)
 #   make serve-smoke fast doorbell-amortization and determinism check
+#   make migrate     fleet live-migration benchmark: pages sent vs downtime
+#                    budget across fleet sizes (results/migrate.csv, bench.json)
+#   make migrate-smoke  fast pre-copy/monotonicity/determinism/rollback check
 #   make perf        re-measure the bechamel primitives and print the
 #                    speedup against the recorded results/bench.json baseline
 #   make crypto-selftest  report the CPUID-selected AES/SHA backends and
 #                    cross-check every tier against the executable
 #                    specification (nonzero exit on any mismatch)
 #   make check       what CI runs: build + tests + crypto self-test + matrix
-#                    + fleet smoke + serve smoke + docs
+#                    + fleet smoke + serve smoke + migrate smoke + docs
 
-.PHONY: build test doc doc-strict matrix fleet fleet-smoke serve serve-smoke perf crypto-selftest check clean
+.PHONY: build test doc doc-strict matrix fleet fleet-smoke serve serve-smoke migrate migrate-smoke perf crypto-selftest check clean
 
 build:
 	dune build @all
@@ -49,13 +52,19 @@ serve-smoke:
 serve:
 	dune exec bench/main.exe -- serve
 
+migrate:
+	dune exec bench/main.exe -- migrate
+
+migrate-smoke:
+	dune build @migrate-smoke
+
 perf:
 	dune exec bench/main.exe -- perf
 
 crypto-selftest:
 	dune exec bin/fidelius_sim.exe -- cpu-features
 
-check: build test crypto-selftest matrix fleet-smoke serve-smoke doc
+check: build test crypto-selftest matrix fleet-smoke serve-smoke migrate-smoke doc
 
 clean:
 	dune clean

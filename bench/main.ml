@@ -4,8 +4,9 @@
    the security matrix, the ablations of DESIGN.md §4, and Bechamel
    wall-clock measurements of the hot primitives.
 
-   Usage: main.exe [fig5|fig6|tab3|micro|xsa|attacks|tab1|tab2|ablate|bechamel|perf|fleet|all]
+   Usage: main.exe [fig5|fig6|tab3|micro|xsa|attacks|tab1|tab2|ablate|bechamel|perf|fleet|migrate|all]
           main.exe fleet [--vms N] [--domains 1,2,4,8]
+          main.exe migrate [--budgets 2.5,10,40] [--fleets 8,16]
    With no argument (or "all"), everything runs in paper order.
    `perf` re-measures the bechamel primitives and prints the speedup of
    this build against the recorded results/bench.json baseline. *)
@@ -656,6 +657,112 @@ let serve_smoke () =
      deterministic\n"
     ratio r1.W.Serve.hypercalls r8.W.Serve.hypercalls
 
+(* ---- migrate: fleet live migration under a downtime budget ----------------------------- *)
+
+(* The pages-sent vs downtime-budget trade-off across fleet sizes: every
+   (budget, fleet) cell is a complete fleet of live migrations — both
+   hosts, attesting owner, secret injection — sharded over OCaml domains.
+   Pre-copy resends cost wire pages; a looser budget stops the pre-copy
+   earlier, so total pages sent decreases monotonically as the budget
+   grows (the guest's working set halves every round). All per-VM rows
+   land in results/migrate.csv; the artifacts are deterministic at any
+   domain count (the SCALING.md contract, re-checked by migrate-smoke). *)
+let migrate_bench ?(budgets = [ 2.5; 10.0; 40.0 ]) ?(fleets = [ 8; 16 ]) ?(record = true) () =
+  header "Migrate: fleet live migration, pages sent vs downtime budget (attested key release)";
+  Printf.printf "%10s %6s %10s %10s %13s %13s\n" "budget-us" "vms" "seconds" "VMs/sec"
+    "total-pages" "avg-downtime";
+  ignore (W.Migratebench.run ~domains:1 ~vms:2 ~budget_us:10.0 ());
+  (* warmup *)
+  let cells =
+    List.concat_map
+      (fun budget_us ->
+        List.map
+          (fun vms ->
+            Gc.compact ();
+            let t0 = Unix.gettimeofday () in
+            let t = W.Migratebench.run ~vms ~budget_us () in
+            let dt = Unix.gettimeofday () -. t0 in
+            if not (W.Migratebench.all_keys_delivered t) then
+              failwith "bench migrate: a migration finished without its disk key";
+            let pages = W.Migratebench.total_pages t in
+            let downtime =
+              List.fold_left (fun a r -> a +. r.W.Migratebench.downtime_us) 0.0
+                t.W.Migratebench.rows
+              /. float_of_int (max 1 vms)
+            in
+            Printf.printf "%10.1f %6d %10.3f %10.1f %13d %11.1fus\n" budget_us vms dt
+              (float_of_int vms /. dt) pages downtime;
+            (budget_us, vms, dt, pages, t))
+          fleets)
+      budgets
+  in
+  write_csv "migrate.csv" "vm,budget_us,rounds,pages_sent,residual_pages,downtime_us,key_delivered"
+    (List.concat_map
+       (fun (_, _, _, _, t) ->
+         List.map
+           (fun r ->
+             Printf.sprintf "%d,%.1f,%d,%d,%d,%.1f,%b" r.W.Migratebench.vm
+               r.W.Migratebench.budget_us r.W.Migratebench.rounds r.W.Migratebench.pages_sent
+               r.W.Migratebench.residual_pages r.W.Migratebench.downtime_us
+               r.W.Migratebench.key_delivered)
+           t.W.Migratebench.rows)
+       cells);
+  if record then
+    update_bench_json
+      (List.concat_map
+         (fun (budget_us, vms, dt, pages, _) ->
+           [ (Printf.sprintf "migrate/vms-per-sec-b%g-f%d" budget_us vms,
+              float_of_int vms /. dt);
+             (Printf.sprintf "migrate/total-pages-b%g-f%d" budget_us vms, float_of_int pages) ])
+         cells)
+
+(* Migrate smoke for CI: real pre-copy rounds must happen, the pages-sent
+   vs budget trade-off must be monotone, the per-VM CSV must be
+   byte-identical across domain counts, and a firmware-rollback platform
+   must be refused with the typed error and the disk key provably never
+   released. Seconds, not minutes. *)
+let migrate_smoke () =
+  let tight = W.Migratebench.run ~domains:1 ~vms:4 ~budget_us:2.5 () in
+  let loose = W.Migratebench.run ~domains:1 ~vms:4 ~budget_us:40.0 () in
+  if not (List.exists (fun r -> r.W.Migratebench.rounds > 2) tight.W.Migratebench.rows) then
+    failwith "migrate-smoke: no migration took multiple pre-copy rounds";
+  let pt = W.Migratebench.total_pages tight and pl = W.Migratebench.total_pages loose in
+  if pt <= pl then
+    failwith
+      (Printf.sprintf
+         "migrate-smoke: pages-sent not monotone vs downtime budget (%d @2.5us <= %d @40us)" pt
+         pl);
+  if not (W.Migratebench.all_keys_delivered tight && W.Migratebench.all_keys_delivered loose)
+  then failwith "migrate-smoke: a migration finished without its disk key";
+  let a = W.Migratebench.csv (W.Migratebench.run ~domains:1 ~vms:4 ~budget_us:10.0 ()) in
+  let b = W.Migratebench.csv (W.Migratebench.run ~domains:2 ~vms:4 ~budget_us:10.0 ()) in
+  if a <> b then failwith "migrate-smoke: per-VM CSV differs between domain counts";
+  (* Rollback: the destination host quotes from a firmware blob older than
+     the owner's floor; the owner must refuse with the typed error and the
+     release gate must never open. *)
+  let stack1 = installed_stack 71L in
+  let _, _, fid1 = stack1 in
+  let dom = protected_guest stack1 "smoke" 16 in
+  let _, _, fid2 = installed_stack 72L in
+  let owner = Core.Migrate.Owner.create (Rng.create 73L) in
+  Fidelius_inject.Plan.install
+    (Fidelius_inject.Plan.make ~seed:1L
+       [ Fidelius_inject.Plan.always Fidelius_inject.Site.Stale_firmware ]);
+  let result = Core.Migrate.migrate_live ~owner ~src:fid1 ~dst:fid2 dom in
+  Fidelius_inject.Plan.uninstall ();
+  (match result with
+  | Error (Core.Migrate.Stale_firmware _) -> ()
+  | Error e ->
+      failwith ("migrate-smoke: rollback refused with the wrong error: "
+                ^ Core.Migrate.error_to_string e)
+  | Ok _ -> failwith "migrate-smoke: rolled-back platform was accepted");
+  if Core.Migrate.Owner.released owner || Core.Migrate.Owner.release_count owner <> 0 then
+    failwith "migrate-smoke: disk key released to a rolled-back platform";
+  Printf.printf
+    "migrate-smoke: %d pages @2.5us > %d pages @40us; d1 vs d2 byte-identical; rollback \
+     refused, key never released\n"
+    pt pl
+
 (* ---- perf delta ------------------------------------------------------------------------ *)
 
 (* Compare the recorded perf trajectory (results/bench.json, written by the
@@ -689,6 +796,7 @@ let all () =
   micro ();
   ablate ();
   serve ();
+  migrate_bench ();
   fleet ();
   ignore (bechamel ())
 
@@ -735,11 +843,24 @@ let () =
       in
       serve ?requests ?batches ()
   | "serve-smoke" -> serve_smoke ()
+  | "migrate" ->
+      let budgets =
+        Option.map
+          (fun s -> List.map float_of_string (String.split_on_char ',' s))
+          (flag_arg "--budgets")
+      in
+      let fleets =
+        Option.map
+          (fun s -> List.map int_of_string (String.split_on_char ',' s))
+          (flag_arg "--fleets")
+      in
+      migrate_bench ?budgets ?fleets ()
+  | "migrate-smoke" -> migrate_smoke ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
         "unknown section %S; expected \
          fig5|fig6|tab3|micro|xsa|attacks|tab1|tab2|ablate|bechamel|bechamel-smoke|perf|\
-         fleet|fleet-smoke|serve|serve-smoke|all\n"
+         fleet|fleet-smoke|serve|serve-smoke|migrate|migrate-smoke|all\n"
         other;
       exit 1

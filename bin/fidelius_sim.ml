@@ -6,7 +6,8 @@
      fidelius_sim bench SUITE       workload overheads (spec|parsec|fio|serve)
      fidelius_sim trace demo        record an event trace of a scenario
      fidelius_sim inject matrix     differential fault-injection matrix
-     fidelius_sim inspect           post-install system inventory *)
+     fidelius_sim inspect           post-install system inventory
+     fidelius_sim migrate           live migration + attested key release demo *)
 
 module Hw = Fidelius_hw
 module Xen = Fidelius_xen
@@ -430,6 +431,8 @@ let quote seed nonce =
   Printf.printf "platform quote (nonce %Ld):\n" nonce;
   Printf.printf "  hypervisor text: %s\n"
     (Fidelius_crypto.Sha256.hex q.Core.Attest.xen_measurement);
+  Printf.printf "  firmware:        %s\n"
+    (Sev.Firmware.version_to_string q.Core.Attest.fw_version);
   Printf.printf "  guest domid:     %s\n"
     (match q.Core.Attest.guest_domid with Some d -> string_of_int d | None -> "-");
   Printf.printf "  MAC:             %s\n" (Fidelius_crypto.Sha256.hex q.Core.Attest.mac);
@@ -439,7 +442,7 @@ let quote seed nonce =
        ~expected_xen_measurement:q.Core.Attest.xen_measurement ~nonce q
    with
   | Ok () -> print_endline "  verifier: quote ACCEPTED"
-  | Error e -> Printf.printf "  verifier: REJECTED (%s)\n" e);
+  | Error e -> Printf.printf "  verifier: REJECTED (%s)\n" (Core.Attest.error_to_string e));
   `Ok ()
 
 let quote_cmd =
@@ -448,6 +451,79 @@ let quote_cmd =
   in
   let term = Term.(ret (const quote $ seed_arg $ nonce)) in
   Cmd.v (Cmd.info "quote" ~doc:"Produce and verify a remote-attestation quote") term
+
+(* --- migrate ------------------------------------------------------------------ *)
+
+(* Live-migration walkthrough: a pre-copy migration between two simulated
+   hosts with attested secret injection, then the rollback scenario — the
+   destination quoting from a downgraded firmware blob — refused with the
+   typed error and the disk key provably withheld. *)
+let migrate seed budget_us =
+  let machine1, hv1, fid1 = stack seed in
+  let dom = boot_guest fid1 "traveller" 16 in
+  Xen.Hypervisor.in_guest hv1 dom (fun () ->
+      Xen.Domain.write machine1 dom ~addr:0xC000 (Bytes.of_string "runtime state"));
+  let _machine2, hv2, fid2 = stack (Int64.add seed 1L) in
+  let mutate round =
+    let w = max 1 (8 lsr round) in
+    for p = 1 to w do
+      Xen.Hypervisor.in_guest hv1 dom (fun () ->
+          Xen.Domain.write machine1 dom ~addr:(Hw.Addr.addr_of p 0)
+            (Bytes.of_string (Printf.sprintf "dirty r%d" round)))
+    done
+  in
+  let owner = Core.Migrate.Owner.create (Rng.create (Int64.add seed 2L)) in
+  let config = { Core.Migrate.downtime_budget_us = budget_us; max_rounds = 8 } in
+  Printf.printf "live migration, downtime budget %.1fus (%d-page stop-and-copy residual):\n"
+    budget_us (Core.Migrate.budget_pages config);
+  match Core.Migrate.migrate_live ~config ~owner ~mutate ~src:fid1 ~dst:fid2 dom with
+  | Error e -> `Error (false, "migration failed: " ^ Core.Migrate.error_to_string e)
+  | Ok (dom', rep) ->
+      Printf.printf "  rounds:      %d (%d pages sent, residual %d)\n" rep.Core.Migrate.rounds
+        rep.Core.Migrate.pages_sent rep.Core.Migrate.residual_pages;
+      Printf.printf "  downtime:    %.1fus\n" rep.Core.Migrate.downtime_us;
+      Printf.printf "  attestation: firmware %s accepted, disk key released %d time(s)\n"
+        (Sev.Firmware.version_to_string (Sev.Firmware.version hv2.Xen.Hypervisor.fw))
+        (Core.Migrate.Owner.release_count owner);
+      Printf.printf "  guest dom%d now runs on the destination host (key %s)\n"
+        dom'.Xen.Domain.domid
+        (if Bytes.equal (Fid.kblk_of_guest fid2 dom') (Core.Migrate.Owner.disk_key owner)
+         then "delivered intact"
+         else "MISSING");
+      (* Rollback: fresh pair, but the destination firmware is downgraded
+         to a vulnerable-but-genuine blob before it quotes. *)
+      let _, _, fid3 = stack (Int64.add seed 3L) in
+      let dom3 = boot_guest fid3 "traveller2" 16 in
+      let _, hv4, fid4 = stack (Int64.add seed 4L) in
+      Sev.Firmware.load_blob hv4.Xen.Hypervisor.fw Sev.Firmware.vulnerable_version;
+      let owner2 = Core.Migrate.Owner.create (Rng.create (Int64.add seed 5L)) in
+      Printf.printf "\nrollback scenario: destination firmware downgraded to %s:\n"
+        (Sev.Firmware.version_to_string Sev.Firmware.vulnerable_version);
+      (match Core.Migrate.migrate_live ~config ~owner:owner2 ~src:fid3 ~dst:fid4 dom3 with
+      | Ok _ -> `Error (false, "rollback scenario: vulnerable platform was ACCEPTED")
+      | Error e ->
+          Printf.printf "  owner refused: %s\n" (Core.Migrate.error_to_string e);
+          Printf.printf "  disk key released: %b (release count %d)\n"
+            (Core.Migrate.Owner.released owner2)
+            (Core.Migrate.Owner.release_count owner2);
+          Printf.printf "  source guest still running on the origin host: %b\n"
+            (dom3.Xen.Domain.state = Xen.Domain.Runnable);
+          `Ok ())
+
+let migrate_cmd =
+  let budget =
+    Arg.(value & opt float 10.0
+         & info [ "budget" ] ~docv:"US"
+             ~doc:"Downtime budget in microseconds; decides when pre-copy stops and the \
+                   residual is stop-and-copied.")
+  in
+  let term = Term.(ret (const migrate $ seed_arg $ budget)) in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:
+         "Live-migrate a protected guest between two simulated hosts with attested secret \
+          injection, then show the firmware-rollback refusal")
+    term
 
 (* --- cpu-features ------------------------------------------------------------- *)
 
@@ -519,6 +595,6 @@ let main_cmd =
   let doc = "Fidelius: comprehensive VM protection against an untrusted hypervisor (HPCA'18), simulated" in
   Cmd.group (Cmd.info "fidelius_sim" ~version:"1.0.0" ~doc)
     [ demo_cmd; attacks_cmd; xsa_cmd; bench_cmd; trace_cmd; inject_cmd; inspect_cmd; quote_cmd;
-      cpu_features_cmd ]
+      migrate_cmd; cpu_features_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

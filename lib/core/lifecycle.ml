@@ -41,79 +41,123 @@ let load_cipher_page ctx (dom : Xen.Domain.t) ~gfn ~cipher =
       let* () = hv.Xen.Hypervisor.med.Xen.Hypervisor.host_map_update pfn None in
       Ok pfn
 
-let boot_protected_vm ctx ~name ~memory_pages ~prepared =
+(* A partially received protected domain: RECEIVE_START has run, pages may
+   stream in incrementally (live migration delivers them round by round),
+   and nothing has been measured or activated yet. Any failure rolls the
+   partial domain back and poisons the session. *)
+type session = {
+  ctx : Ctx.t;
+  dom : Xen.Domain.t;
+  handle : Sev.Firmware.handle;
+  memory_pages : int;
+  mutable closed : bool;
+}
+
+let session_domain s = s.dom
+
+let rollback_session s err =
+  let ctx = s.ctx in
   let hv = ctx.Ctx.hv in
+  s.closed <- true;
+  ctx.Ctx.boot_window <- None;
+  ctx.Ctx.protected_domids <-
+    List.filter (fun d -> d <> s.dom.Xen.Domain.domid) ctx.Ctx.protected_domids;
+  ctx.Ctx.teardown_for <- Some s.dom.Xen.Domain.domid;
+  List.iter
+    (fun (gfn, _) -> ignore (hv.Xen.Hypervisor.med.Xen.Hypervisor.npt_update s.dom gfn None))
+    (Hw.Pagetable.mapped_frames s.dom.Xen.Domain.npt);
+  ctx.Ctx.teardown_for <- None;
+  Xen.Hypervisor.destroy_domain hv s.dom;
+  Error err
+
+let receive_abort s = if not s.closed then ignore (rollback_session s (Failed "aborted"))
+
+let receive_begin ctx ~name ~memory_pages ~wrapped_keys ~origin_public ~nonce ~policy =
+  let hv = ctx.Ctx.hv in
+  (* 0. The frames allocated for this domain must be revoked from the
+     hypervisor as they are handed out. *)
+  ctx.Ctx.next_domain_protected <- true;
+  let dom = Xen.Hypervisor.create_domain hv ~name ~memory_pages in
+  ctx.Ctx.next_domain_protected <- false;
+  ctx.Ctx.protected_domids <- dom.Xen.Domain.domid :: ctx.Ctx.protected_domids;
+  ignore (Iso.new_shadow ctx dom);
+  let s = { ctx; dom; handle = 0; memory_pages; closed = false } in
+  (* 1. RECEIVE_START: unwrap Ktek/Ktik via the platform identity. *)
+  match
+    Sev.Firmware.receive_start hv.Xen.Hypervisor.fw ~wrapped:wrapped_keys
+      ~origin_public ~nonce ~policy ()
+  with
+  | Error e -> rollback_session s (Rejected ("boot: " ^ e))
+  | Ok handle -> Ok { s with handle }
+
+let receive_pages s pages =
+  if s.closed then Error (Failed "boot: receive session already closed")
+  else begin
+    let ctx = s.ctx in
+    let hv = ctx.Ctx.hv in
+    (* 2./3. Load each transport page and re-encrypt it in place, inside
+       the temporary hypervisor write window. *)
+    ctx.Ctx.boot_window <- Some s.dom.Xen.Domain.domid;
+    let load_all =
+      List.fold_left
+        (fun acc (index, gfn, cipher) ->
+          let* () = acc in
+          let* pfn = load_cipher_page ctx s.dom ~gfn ~cipher in
+          Sev.Firmware.receive_update_in_place hv.Xen.Hypervisor.fw ~handle:s.handle ~index
+            ~pfn)
+        (Ok ()) pages
+    in
+    ctx.Ctx.boot_window <- None;
+    match load_all with
+    | Error e -> rollback_session s (Failed ("boot: " ^ e))
+    | Ok () -> Ok ()
+  end
+
+let receive_complete s ~expected =
+  if s.closed then Error (Failed "boot: receive session already closed")
+  else begin
+    let ctx = s.ctx in
+    let hv = ctx.Ctx.hv in
+    let dom = s.dom in
+    (* 4. Verify the keyed measurement before the guest can run. *)
+    match Sev.Firmware.receive_finish hv.Xen.Hypervisor.fw ~handle:s.handle ~expected with
+    | Error e -> rollback_session s (Rejected ("boot: " ^ e))
+    | Ok () -> (
+        match Sev.Firmware.activate hv.Xen.Hypervisor.fw ~handle:s.handle ~asid:dom.Xen.Domain.asid with
+        | Error e -> rollback_session s (Failed ("boot: " ^ e))
+        | Ok () ->
+            dom.Xen.Domain.sev_handle <- Some s.handle;
+            dom.Xen.Domain.sev_protected <- true;
+            Hw.Vmcb.set dom.Xen.Domain.vmcb Hw.Vmcb.Sev_enabled 1L;
+            (* The guest kernel maps its memory with the C-bit. *)
+            for gvfn = 0 to s.memory_pages - 1 do
+              Xen.Domain.guest_map dom ~gvfn ~gfn:gvfn ~writable:true ~executable:true
+                ~c_bit:true
+            done;
+            (* 5. First entry through the gated VMRUN. *)
+            (match start ctx dom with
+            | Ok () ->
+                s.closed <- true;
+                Ok dom
+            | Error e -> rollback_session s (Failed ("boot: first vmrun: " ^ e))))
+  end
+
+let boot_protected_vm ctx ~name ~memory_pages ~prepared =
   let { Sev.Transport.Owner.image; wrapped_keys; owner_public; kblk = _ } = prepared in
   if List.length image.Sev.Transport.pages > memory_pages then
     Error (Failed "boot: encrypted image larger than guest memory")
-  else begin
-    (* 0. The frames allocated for this domain must be revoked from the
-       hypervisor as they are handed out. *)
-    ctx.Ctx.next_domain_protected <- true;
-    let dom = Xen.Hypervisor.create_domain hv ~name ~memory_pages in
-    ctx.Ctx.next_domain_protected <- false;
-    ctx.Ctx.protected_domids <- dom.Xen.Domain.domid :: ctx.Ctx.protected_domids;
-    ignore (Iso.new_shadow ctx dom);
-    let rollback err =
-      ctx.Ctx.boot_window <- None;
-      ctx.Ctx.protected_domids <-
-        List.filter (fun d -> d <> dom.Xen.Domain.domid) ctx.Ctx.protected_domids;
-      ctx.Ctx.teardown_for <- Some dom.Xen.Domain.domid;
-      List.iter
-        (fun (gfn, _) ->
-          ignore (hv.Xen.Hypervisor.med.Xen.Hypervisor.npt_update dom gfn None))
-        (Hw.Pagetable.mapped_frames dom.Xen.Domain.npt);
-      ctx.Ctx.teardown_for <- None;
-      Xen.Hypervisor.destroy_domain hv dom;
-      Error err
+  else
+    let* s =
+      receive_begin ctx ~name ~memory_pages ~wrapped_keys ~origin_public:owner_public
+        ~nonce:image.Sev.Transport.nonce ~policy:image.Sev.Transport.policy
     in
-    (* 1. RECEIVE_START: unwrap Ktek/Ktik via the platform identity. *)
-    match
-      Sev.Firmware.receive_start hv.Xen.Hypervisor.fw ~wrapped:wrapped_keys
-        ~origin_public:owner_public ~nonce:image.Sev.Transport.nonce
-        ~policy:image.Sev.Transport.policy ()
-    with
-    | Error e -> rollback (Rejected ("boot: " ^ e))
-    | Ok handle -> (
-        (* 2./3. Load each transport page and re-encrypt it in place. *)
-        ctx.Ctx.boot_window <- Some dom.Xen.Domain.domid;
-        let load_all =
-          List.fold_left
-            (fun acc (index, cipher) ->
-              let* () = acc in
-              let* pfn = load_cipher_page ctx dom ~gfn:index ~cipher in
-              Sev.Firmware.receive_update_in_place hv.Xen.Hypervisor.fw ~handle ~index ~pfn)
-            (Ok ()) image.Sev.Transport.pages
-        in
-        ctx.Ctx.boot_window <- None;
-        match load_all with
-        | Error e -> rollback (Failed ("boot: " ^ e))
-        | Ok () -> (
-            (* 4. Verify the keyed measurement before the guest can run. *)
-            match
-              Sev.Firmware.receive_finish hv.Xen.Hypervisor.fw ~handle
-                ~expected:image.Sev.Transport.measurement
-            with
-            | Error e -> rollback (Rejected ("boot: " ^ e))
-            | Ok () -> (
-                match
-                  Sev.Firmware.activate hv.Xen.Hypervisor.fw ~handle ~asid:dom.Xen.Domain.asid
-                with
-                | Error e -> rollback (Failed ("boot: " ^ e))
-                | Ok () ->
-                    dom.Xen.Domain.sev_handle <- Some handle;
-                    dom.Xen.Domain.sev_protected <- true;
-                    Hw.Vmcb.set dom.Xen.Domain.vmcb Hw.Vmcb.Sev_enabled 1L;
-                    (* The guest kernel maps its memory with the C-bit. *)
-                    for gvfn = 0 to memory_pages - 1 do
-                      Xen.Domain.guest_map dom ~gvfn ~gfn:gvfn ~writable:true ~executable:true
-                        ~c_bit:true
-                    done;
-                    (* 5. First entry through the gated VMRUN. *)
-                    (match start ctx dom with
-                    | Ok () -> Ok dom
-                    | Error e -> rollback (Failed ("boot: first vmrun: " ^ e))))))
-  end
+    (* The one-shot boot is the degenerate single-round receive: transport
+       index and placement gfn coincide. *)
+    let* () =
+      receive_pages s
+        (List.map (fun (index, cipher) -> (index, index, cipher)) image.Sev.Transport.pages)
+    in
+    receive_complete s ~expected:image.Sev.Transport.measurement
 
 let shutdown_protected_vm ctx dom =
   let hv = ctx.Ctx.hv in

@@ -34,7 +34,70 @@ val boot_protected_vm :
     success the domain is RUNNING in the firmware, ACTIVATEd, its frames are
     unmapped from the hypervisor, its NPT write-protected, its guest page
     table C-bit-mapped, and the first VMRUN has executed through the type-3
-    gate. Any failure rolls the partial domain back before returning. *)
+    gate. Any failure rolls the partial domain back before returning.
+
+    Internally this is the degenerate form of the incremental receive
+    below: one {!receive_pages} round, transport index equal to placement
+    gfn. *)
+
+(** {2 Incremental receive (live migration)}
+
+    Live migration delivers memory in several dirty rounds, so the
+    RECEIVE side is also exposed as a session: {!receive_begin} runs
+    RECEIVE_START and allocates the (not yet runnable) domain,
+    {!receive_pages} loads one round of ciphertext pages, and
+    {!receive_complete} verifies the keyed measurement and performs the
+    first gated VMRUN. Every input to the session arrives over the
+    untrusted migration channel — nothing is trusted until
+    RECEIVE_FINISH's measurement check inside {!receive_complete}
+    passes. Any failing step rolls the partial domain back and poisons
+    the session; later calls on a poisoned (or completed) session return
+    [Failed]. *)
+
+type session
+(** A partially received protected domain: keys unwrapped, zero or more
+    page rounds loaded, not yet measured or activated. *)
+
+val receive_begin :
+  Ctx.t ->
+  name:string ->
+  memory_pages:int ->
+  wrapped_keys:Fidelius_crypto.Keywrap.wrapped ->
+  origin_public:Fidelius_crypto.Dh.public ->
+  nonce:int64 ->
+  policy:int ->
+  (session, boot_error) result
+(** Allocate the target domain (frames revoked from the hypervisor as they
+    are handed out) and run RECEIVE_START. [wrapped_keys], [origin_public],
+    [nonce] and [policy] all arrived over the wire; a wrong or tampered
+    wrap is refused here as [Rejected] (key unwrap is the platform's first
+    verification verdict). *)
+
+val receive_pages :
+  session -> (int * Hw.Addr.gfn * bytes) list -> (unit, boot_error) result
+(** Load one round of [(transport_index, gfn, ciphertext)] triples: each
+    page is written through a temporary hypervisor write window and
+    re-encrypted in place by RECEIVE_UPDATE under the transport index.
+    The index both keys the transport CTR stream and is folded into the
+    running measurement, so a page replayed at the wrong index or placed
+    at the wrong gfn changes the measurement verified later. Mechanical
+    failures (unpopulated gfn, mediation refusal) are [Failed]. *)
+
+val receive_complete : session -> expected:bytes -> (Xen.Domain.t, boot_error) result
+(** RECEIVE_FINISH against the sender's keyed measurement [expected]
+    (untrusted — but forging it requires Ktik), then ACTIVATE, C-bit
+    mapping and the first gated VMRUN. A measurement mismatch is
+    [Rejected]; the partial domain is destroyed and no guest instruction
+    has executed. *)
+
+val receive_abort : session -> unit
+(** Tear the partial domain down (idempotent; no-op after completion or a
+    rollback). The migration driver calls this when the wire breaks
+    mid-stream. *)
+
+val session_domain : session -> Xen.Domain.t
+(** The not-yet-runnable domain under construction — exposed for
+    diagnostics only; it must not be started by hand. *)
 
 val start : Ctx.t -> Xen.Domain.t -> (unit, string) result
 (** (Re-)enter the guest through the gated VMRUN path. *)

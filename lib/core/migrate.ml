@@ -2,6 +2,9 @@ module Hw = Fidelius_hw
 module Xen = Fidelius_xen
 module Sev = Fidelius_sev
 module Rng = Fidelius_crypto.Rng
+module Keywrap = Fidelius_crypto.Keywrap
+module Dh = Fidelius_crypto.Dh
+module Sha256 = Fidelius_crypto.Sha256
 module Plan = Fidelius_inject.Plan
 module Site = Fidelius_inject.Site
 
@@ -21,19 +24,323 @@ type error =
   | Malformed of string
   | Rejected of string
   | Boot_failed of string
+  | Unknown_version of { got : int; expected : int }
+  | Protocol_violation of string
+  | Stale_firmware of { got : Sev.Firmware.version; minimum : Sev.Firmware.version }
+  | Attest_refused of Attest.error
 
 let pp_error fmt = function
   | Not_protected -> Format.pp_print_string fmt "migrate: domain is not SEV-protected"
   | Send_refused e -> Format.fprintf fmt "migrate: send refused: %s" e
   | Truncated { expected; got } ->
-      Format.fprintf fmt "migrate: snapshot truncated (expected %d pages, got %d)" expected got
-  | Malformed e -> Format.fprintf fmt "migrate: malformed snapshot: %s" e
+      Format.fprintf fmt "migrate: stream truncated (expected %d, got %d)" expected got
+  | Malformed e -> Format.fprintf fmt "migrate: malformed stream: %s" e
   | Rejected e -> Format.fprintf fmt "migrate: target platform rejected the image: %s" e
   | Boot_failed e -> Format.fprintf fmt "migrate: receive-side boot failed: %s" e
+  | Unknown_version { got; expected } ->
+      Format.fprintf fmt "migrate: unknown wire version %d (this build speaks %d)" got expected
+  | Protocol_violation e -> Format.fprintf fmt "migrate: protocol violation: %s" e
+  | Stale_firmware { got; minimum } ->
+      Format.fprintf fmt
+        "migrate: target firmware %a is below the owner's policy floor %a; disk key withheld"
+        Sev.Firmware.pp_version got Sev.Firmware.pp_version minimum
+  | Attest_refused e ->
+      Format.fprintf fmt "migrate: owner refused the target's quote: %a" Attest.pp_error e
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
 let ( let* ) = Result.bind
+
+(* Transport indices are composite: placement gfn in the low bits, dirty
+   round above. Two birds: a gfn resent in a later round gets a fresh CTR
+   stream (no keystream reuse across rounds), and the index is folded into
+   the keyed measurement, so the receiver deriving the placement from the
+   index means a page cannot be silently re-homed. Round 0 indices equal
+   the gfn, which keeps the one-shot snapshot format unchanged. *)
+let gfn_bits = 20
+let index_of ~round ~gfn = (round lsl gfn_bits) lor gfn
+let gfn_of_index index = index land ((1 lsl gfn_bits) - 1)
+
+(* Downtime accounting: one RECEIVE_UPDATE costs [Cost.firmware_page]
+   cycles; at the simulator's nominal 1 GHz that is cycles/1000 µs. *)
+let page_us = float_of_int Hw.Cost.default.Hw.Cost.firmware_page /. 1000.
+
+module Wire = struct
+  let magic = "FIDM"
+  let version = 2
+  let header_len = 4 + 2 + 1 + 4
+
+  let tag_start = 1
+  let tag_update = 2
+  let tag_finish = 3
+  let tag_attest_req = 4
+  let tag_attest_resp = 5
+  let tag_secret = 6
+
+  type frame =
+    | Start of {
+        name : string;
+        memory_pages : int;
+        policy : int;
+        nonce : int64;
+        wrapped_keys : Keywrap.wrapped;
+        origin_public : Dh.public;
+      }
+    | Update of { round : int; pages : (int * bytes) list }
+    | Finish of {
+        measurement : bytes;
+        gpt_entries : (Hw.Addr.vfn * Hw.Pagetable.proto) list;
+      }
+    | Attest_req of { nonce : int64 }
+    | Attest_resp of { quote : bytes }
+    | Secret of { wrapped : bytes }
+
+  let frame_bytes ~tag payload =
+    let plen = Bytes.length payload in
+    let b = Bytes.create (header_len + plen) in
+    Bytes.blit_string magic 0 b 0 4;
+    Bytes.set_uint16_be b 4 version;
+    Bytes.set_uint8 b 6 tag;
+    Bytes.set_int32_be b 7 (Int32.of_int plen);
+    Bytes.blit payload 0 b header_len plen;
+    b
+
+  let put_blob buf s =
+    Buffer.add_uint16_be buf (Bytes.length s);
+    Buffer.add_bytes buf s
+
+  let encode = function
+    | Start { name; memory_pages; policy; nonce; wrapped_keys; origin_public } ->
+        let buf = Buffer.create 96 in
+        Buffer.add_uint16_be buf (String.length name);
+        Buffer.add_string buf name;
+        Buffer.add_int32_be buf (Int32.of_int memory_pages);
+        Buffer.add_int32_be buf (Int32.of_int policy);
+        Buffer.add_int64_be buf nonce;
+        put_blob buf (Keywrap.to_bytes wrapped_keys);
+        put_blob buf (Dh.public_to_bytes origin_public);
+        frame_bytes ~tag:tag_start (Buffer.to_bytes buf)
+    | Update { round; pages } ->
+        let buf = Buffer.create 4096 in
+        Buffer.add_int32_be buf (Int32.of_int round);
+        Buffer.add_int32_be buf (Int32.of_int (List.length pages));
+        List.iter
+          (fun (index, cipher) ->
+            Buffer.add_int32_be buf (Int32.of_int index);
+            Buffer.add_int32_be buf (Int32.of_int (Bytes.length cipher));
+            Buffer.add_bytes buf cipher)
+          pages;
+        frame_bytes ~tag:tag_update (Buffer.to_bytes buf)
+    | Finish { measurement; gpt_entries } ->
+        let buf = Buffer.create 256 in
+        put_blob buf measurement;
+        Buffer.add_int32_be buf (Int32.of_int (List.length gpt_entries));
+        List.iter
+          (fun (gvfn, (p : Hw.Pagetable.proto)) ->
+            Buffer.add_int32_be buf (Int32.of_int gvfn);
+            Buffer.add_int32_be buf (Int32.of_int p.Hw.Pagetable.frame);
+            Buffer.add_uint8 buf
+              ((if p.Hw.Pagetable.writable then 1 else 0)
+              lor (if p.Hw.Pagetable.executable then 2 else 0)
+              lor if p.Hw.Pagetable.c_bit then 4 else 0))
+          gpt_entries;
+        frame_bytes ~tag:tag_finish (Buffer.to_bytes buf)
+    | Attest_req { nonce } ->
+        let buf = Buffer.create 8 in
+        Buffer.add_int64_be buf nonce;
+        frame_bytes ~tag:tag_attest_req (Buffer.to_bytes buf)
+    | Attest_resp { quote } ->
+        let buf = Buffer.create 96 in
+        put_blob buf quote;
+        frame_bytes ~tag:tag_attest_resp (Buffer.to_bytes buf)
+    | Secret { wrapped } ->
+        let buf = Buffer.create 64 in
+        put_blob buf wrapped;
+        frame_bytes ~tag:tag_secret (Buffer.to_bytes buf)
+
+  exception Short
+
+  let decode b =
+    if Bytes.length b < header_len then Error (Malformed "frame shorter than header")
+    else if Bytes.sub_string b 0 4 <> magic then Error (Malformed "bad magic")
+    else
+      let got_version = Bytes.get_uint16_be b 4 in
+      if got_version <> version then
+        Error (Unknown_version { got = got_version; expected = version })
+      else begin
+        let tag = Bytes.get_uint8 b 6 in
+        let plen = Int32.to_int (Bytes.get_int32_be b 7) in
+        let avail = Bytes.length b - header_len in
+        if plen < 0 then Error (Malformed "negative payload length")
+        else if avail < plen then Error (Truncated { expected = plen; got = avail })
+        else begin
+          let p = Bytes.sub b header_len plen in
+          let pos = ref 0 in
+          let need n = if n < 0 || !pos + n > plen then raise Short in
+          let u8 () =
+            need 1;
+            let v = Bytes.get_uint8 p !pos in
+            pos := !pos + 1;
+            v
+          in
+          let u16 () =
+            need 2;
+            let v = Bytes.get_uint16_be p !pos in
+            pos := !pos + 2;
+            v
+          in
+          let u32 () =
+            need 4;
+            let v = Int32.to_int (Bytes.get_int32_be p !pos) in
+            pos := !pos + 4;
+            v
+          in
+          let i64 () =
+            need 8;
+            let v = Bytes.get_int64_be p !pos in
+            pos := !pos + 8;
+            v
+          in
+          let raw n =
+            need n;
+            let v = Bytes.sub p !pos n in
+            pos := !pos + n;
+            v
+          in
+          let blob () = raw (u16 ()) in
+          let rec records n f acc =
+            if n = 0 then List.rev acc else records (n - 1) f (f () :: acc)
+          in
+          try
+            if tag = tag_start then begin
+              let name = Bytes.to_string (blob ()) in
+              let memory_pages = u32 () in
+              let policy = u32 () in
+              let nonce = i64 () in
+              let wrapped = blob () in
+              let pub = blob () in
+              match Keywrap.of_bytes wrapped with
+              | None -> Error (Malformed "START: undecodable key wrap")
+              | Some wrapped_keys ->
+                  Ok
+                    (Start
+                       { name;
+                         memory_pages;
+                         policy;
+                         nonce;
+                         wrapped_keys;
+                         origin_public = Dh.public_of_bytes pub })
+            end
+            else if tag = tag_update then begin
+              let round = u32 () in
+              let count = u32 () in
+              if count < 0 || count > plen then Error (Malformed "UPDATE: absurd page count")
+              else
+                let pages =
+                  records count
+                    (fun () ->
+                      let index = u32 () in
+                      let len = u32 () in
+                      (index, raw len))
+                    []
+                in
+                Ok (Update { round; pages })
+            end
+            else if tag = tag_finish then begin
+              let measurement = blob () in
+              let count = u32 () in
+              if count < 0 || count > plen then Error (Malformed "FINISH: absurd entry count")
+              else
+                let gpt_entries =
+                  records count
+                    (fun () ->
+                      let gvfn = u32 () in
+                      let frame = u32 () in
+                      let flags = u8 () in
+                      ( gvfn,
+                        { Hw.Pagetable.frame;
+                          writable = flags land 1 <> 0;
+                          executable = flags land 2 <> 0;
+                          c_bit = flags land 4 <> 0 } ))
+                    []
+                in
+                Ok (Finish { measurement; gpt_entries })
+            end
+            else if tag = tag_attest_req then Ok (Attest_req { nonce = i64 () })
+            else if tag = tag_attest_resp then Ok (Attest_resp { quote = blob () })
+            else if tag = tag_secret then Ok (Secret { wrapped = blob () })
+            else Error (Malformed (Printf.sprintf "unknown frame tag %d" tag))
+          with
+          | Short -> Error (Malformed "payload overruns its declared length")
+          | Invalid_argument _ -> Error (Malformed "undecodable field")
+        end
+      end
+
+  let is_update b = Bytes.length b >= header_len && Bytes.get_uint8 b 6 = tag_update
+
+  (* Rewrite an UPDATE frame's page list while keeping the framing
+     consistent (counts and lengths patched by re-encoding). *)
+  let reencode_update f b =
+    match decode b with
+    | Ok (Update { round; pages }) when pages <> [] -> (
+        match f pages with None -> b | Some pages -> encode (Update { round; pages }))
+    | _ -> b
+
+  (* The untrusted channel. With no plan installed it is the identity;
+     with a fault plan armed it perturbs the encoded frame the way a
+     hostile relay would. Every path — one-shot [migrate], the live
+     driver, even the attestation replies — routes through here, so the
+     fault matrix exercises exactly the framing production code uses. *)
+  let transmit b =
+    if not (Plan.armed ()) then b
+    else begin
+      (* Surgical: the last page record vanishes but the frame is
+         re-framed consistently, so only the keyed measurement (or the
+         one-shot page-count check) can notice. *)
+      let b =
+        if is_update b && Plan.fire Site.Round_truncate then
+          reencode_update
+            (fun pages -> Some (List.filteri (fun i _ -> i < List.length pages - 1) pages))
+            b
+        else b
+      in
+      (* One ciphertext bit flips in transit. *)
+      let b =
+        if is_update b && Plan.fire Site.Snapshot_flip then
+          reencode_update
+            (fun pages ->
+              let victim = Plan.draw Site.Snapshot_flip ~bound:(List.length pages) in
+              Some
+                (List.mapi
+                   (fun i (index, cipher) ->
+                     if i <> victim || Bytes.length cipher = 0 then (index, cipher)
+                     else begin
+                       let c = Bytes.copy cipher in
+                       let bit = Plan.draw Site.Snapshot_flip ~bound:(Bytes.length c * 8) in
+                       let byte = bit / 8 in
+                       Bytes.set c byte
+                         (Char.chr (Char.code (Bytes.get c byte) lxor (1 lsl (bit mod 8))));
+                       (index, c)
+                     end)
+                   pages))
+            b
+        else b
+      in
+      (* Lossy: a page-sized tail of the frame never arrives. The header
+         still claims the full length, so decode reports the deficit. *)
+      let b =
+        if
+          is_update b
+          && Bytes.length b > header_len + Hw.Addr.page_size
+          && Plan.fire Site.Snapshot_truncate
+        then Bytes.sub b 0 (Bytes.length b - Hw.Addr.page_size)
+        else b
+      in
+      b
+    end
+end
+
+(* --- one-shot stop-and-copy (the original API, now over real framing) --- *)
 
 let send ctx (dom : Xen.Domain.t) ~target_public =
   let hv = ctx.Ctx.hv in
@@ -43,7 +350,9 @@ let send ctx (dom : Xen.Domain.t) ~target_public =
   | Some handle ->
       let refuse r = Result.map_error (fun e -> Send_refused e) r in
       let nonce = Rng.next64 ctx.Ctx.machine.Fidelius_hw.Machine.rng in
-      (* SEND_START stops the guest: no live migration (paper 4.3.6). *)
+      (* SEND_START then an immediate pause: the one-shot path stops the
+         guest for the whole copy (paper 4.3.6); [migrate_live] below keeps
+         it running instead. *)
       let* wrapped_keys = refuse (Sev.Firmware.send_start fw ~handle ~target_public ~nonce) in
       dom.Xen.Domain.state <- Xen.Domain.Paused;
       let mapped =
@@ -63,14 +372,9 @@ let send ctx (dom : Xen.Domain.t) ~target_public =
           (Ok []) mapped
       in
       let pages = List.rev pages in
-      let* raw_measurement = refuse (Sev.Firmware.send_finish fw ~handle) in
-      (* The transport image format folds policy and nonce into the keyed
-         measurement; replicate the owner-side framing so RECEIVE_FINISH on
-         the target verifies the same value. The firmware's page-only
-         measurement is replaced by the framed one below. *)
-      ignore raw_measurement;
+      let* measurement = refuse (Sev.Firmware.send_finish fw ~handle) in
       let policy = Sev.Firmware.policy_nodbg in
-      let snapshot_of measurement =
+      let snap =
         { image = { Sev.Transport.pages; measurement; policy; nonce };
           wrapped_keys;
           origin_public = Sev.Firmware.platform_public fw;
@@ -78,44 +382,50 @@ let send ctx (dom : Xen.Domain.t) ~target_public =
           gpt_entries = Hw.Pagetable.mapped_frames dom.Xen.Domain.gpt;
           name = dom.Xen.Domain.name }
       in
-      let snap = snapshot_of raw_measurement in
       Lifecycle.shutdown_protected_vm ctx dom;
       Ok snap
 
-(* The untrusted channel between [send] and [receive]. With a fault plan
-   armed it may lose trailing pages or flip ciphertext bits; with no plan
-   installed it is the identity. [migrate] routes through it, so the fault
-   matrix exercises the same path production code uses. *)
+let frames_of_snapshot snap =
+  [ Wire.Start
+      { name = snap.name;
+        memory_pages = snap.memory_pages;
+        policy = snap.image.Sev.Transport.policy;
+        nonce = snap.image.Sev.Transport.nonce;
+        wrapped_keys = snap.wrapped_keys;
+        origin_public = snap.origin_public };
+    Wire.Update { round = 0; pages = snap.image.Sev.Transport.pages };
+    Wire.Finish
+      { measurement = snap.image.Sev.Transport.measurement;
+        gpt_entries = snap.gpt_entries } ]
+
+(* The one-shot snapshot crosses the channel as three frames. The
+   reassembled snapshot is what the target actually received — a damaged
+   stream surfaces here as a typed decode error. *)
 let transmit snap =
-  if not (Plan.armed ()) then snap
-  else begin
-    let pages = snap.image.Sev.Transport.pages in
-    let pages =
-      if pages <> [] && Plan.fire Site.Snapshot_truncate then
-        (* lossy channel: the trailing page never arrives *)
-        List.filteri (fun i _ -> i < List.length pages - 1) pages
-      else pages
-    in
-    let pages =
-      if pages <> [] && Plan.fire Site.Snapshot_flip then begin
-        let victim = Plan.draw Site.Snapshot_flip ~bound:(List.length pages) in
-        List.mapi
-          (fun i (gfn, cipher) ->
-            if i <> victim then (gfn, cipher)
-            else begin
-              let c = Bytes.copy cipher in
-              let bit = Plan.draw Site.Snapshot_flip ~bound:(Bytes.length c * 8) in
-              let byte = bit / 8 in
-              Bytes.set c byte
-                (Char.chr (Char.code (Bytes.get c byte) lxor (1 lsl (bit mod 8))));
-              (gfn, c)
-            end)
-          pages
-      end
-      else pages
-    in
-    { snap with image = { snap.image with Sev.Transport.pages } }
-  end
+  let* rev_frames =
+    List.fold_left
+      (fun acc f ->
+        let* acc = acc in
+        let* f = Wire.decode (Wire.transmit (Wire.encode f)) in
+        Ok (f :: acc))
+      (Ok []) (frames_of_snapshot snap)
+  in
+  match List.rev rev_frames with
+  | [ Wire.Start { name; memory_pages; policy; nonce; wrapped_keys; origin_public };
+      Wire.Update { round = _; pages };
+      Wire.Finish { measurement; gpt_entries } ] ->
+      Ok
+        { image =
+            { Sev.Transport.pages = List.map (fun (i, c) -> (gfn_of_index i, c)) pages;
+              measurement;
+              policy;
+              nonce };
+          wrapped_keys;
+          origin_public;
+          memory_pages;
+          gpt_entries;
+          name }
+  | _ -> Error (Malformed "unexpected frame sequence")
 
 (* Structural checks first, so an obviously damaged snapshot is refused
    with a precise typed error before any firmware state is created. *)
@@ -124,9 +434,7 @@ let validate snap =
   let got = List.length pages in
   if got < snap.memory_pages then Error (Truncated { expected = snap.memory_pages; got })
   else begin
-    let bad =
-      List.find_opt (fun (_, c) -> Bytes.length c <> Hw.Addr.page_size) pages
-    in
+    let bad = List.find_opt (fun (_, c) -> Bytes.length c <> Hw.Addr.page_size) pages in
     match bad with
     | Some (gfn, c) ->
         Error
@@ -167,4 +475,343 @@ let migrate ~src ~dst dom =
   | Some _ ->
       let target_public = Sev.Firmware.platform_public dst.Ctx.hv.Xen.Hypervisor.fw in
       let* snap = send src dom ~target_public in
-      receive dst (transmit snap)
+      let* snap = transmit snap in
+      receive dst snap
+
+(* --- attested secret injection ------------------------------------------ *)
+
+module Owner = struct
+  type t = {
+    disk_key : bytes;
+    minimum_fw_version : Sev.Firmware.version;
+    nonce : int64;
+    mutable release_count : int;
+  }
+
+  let create ?(minimum_fw_version = Sev.Firmware.minimum_safe_version) rng =
+    { disk_key = Rng.bytes rng 16;
+      minimum_fw_version;
+      nonce = Rng.next64 rng;
+      release_count = 0 }
+
+  let released t = t.release_count > 0
+  let release_count t = t.release_count
+  let disk_key t = t.disk_key
+end
+
+(* The secret travels wrapped under a key derived from the verified quote's
+   MAC: releasing it is meaningful only after the owner has seen (and
+   checked) exactly that quote. This stands in for the TIK/TEK-session wrap
+   of real LAUNCH_SECRET — the property under test is the gating order, not
+   wire secrecy (the simulator's group is toy-sized anyway, DESIGN.md §1). *)
+let secret_kek (q : Attest.quote) =
+  Sha256.digest (Bytes.cat (Bytes.of_string "fidelius/migrate/secret-kek\x00") q.Attest.mac)
+
+(* --- receive-side state machine ----------------------------------------- *)
+
+type rx_state =
+  | Expect_start
+  | Streaming of { session : Lifecycle.session; next_round : int }
+  | Attesting of { dom : Xen.Domain.t; quote : Attest.quote option }
+  | Complete of Xen.Domain.t
+  | Rx_failed
+
+type rx = { rx_ctx : Ctx.t; mutable rx_state : rx_state }
+
+let rx_create ctx = { rx_ctx = ctx; rx_state = Expect_start }
+
+let rx_domain rx =
+  match rx.rx_state with
+  | Attesting { dom; _ } | Complete dom -> Some dom
+  | Expect_start | Streaming _ | Rx_failed -> None
+
+let of_boot = function
+  | Lifecycle.Rejected e -> Rejected e
+  | Lifecycle.Failed e -> Boot_failed e
+
+let rx_fail rx err =
+  (match rx.rx_state with
+  | Streaming { session; _ } -> Lifecycle.receive_abort session
+  | _ -> ());
+  rx.rx_state <- Rx_failed;
+  Error err
+
+let state_name = function
+  | Expect_start -> "EXPECT_START"
+  | Streaming _ -> "STREAMING"
+  | Attesting _ -> "ATTESTING"
+  | Complete _ -> "COMPLETE"
+  | Rx_failed -> "FAILED"
+
+let inject_secret ctx dom key =
+  (* Firmware-assisted injection into the encrypted guest: the key lands at
+     the well-known kblk slot in guest page 0, where the guest's unlock code
+     (and Lifecycle.kblk_of_guest) looks for it. *)
+  Xen.Hypervisor.in_guest ctx.Ctx.hv dom (fun () ->
+      Xen.Domain.write ctx.Ctx.machine dom
+        ~addr:(Hw.Addr.addr_of 0 Sev.Transport.Owner.kblk_offset)
+        key)
+
+let rx_deliver rx b =
+  match Wire.decode b with
+  | Error e ->
+      (* wire damage kills the incoming migration: abort any partial
+         domain rather than leave it half-streamed *)
+      rx_fail rx e
+  | Ok frame -> (
+  match (rx.rx_state, frame) with
+  | Rx_failed, _ -> Error (Protocol_violation "migration stream already failed")
+  | Expect_start, Wire.Start { name; memory_pages; policy; nonce; wrapped_keys; origin_public }
+    -> (
+      match
+        Lifecycle.receive_begin rx.rx_ctx ~name ~memory_pages ~wrapped_keys ~origin_public
+          ~nonce ~policy
+      with
+      | Error e -> rx_fail rx (of_boot e)
+      | Ok session ->
+          rx.rx_state <- Streaming { session; next_round = 0 };
+          Ok None)
+  | Streaming { session; next_round }, Wire.Update { round; pages } ->
+      if round <> next_round then
+        rx_fail rx
+          (Protocol_violation
+             (Printf.sprintf "UPDATE round %d arrived, expected %d" round next_round))
+      else begin
+        match List.find_opt (fun (_, c) -> Bytes.length c <> Hw.Addr.page_size) pages with
+        | Some (index, c) ->
+            rx_fail rx
+              (Malformed
+                 (Printf.sprintf "page at index 0x%x is %d bytes, want %d" index
+                    (Bytes.length c) Hw.Addr.page_size))
+        | None -> (
+            let triples =
+              List.map (fun (index, cipher) -> (index, gfn_of_index index, cipher)) pages
+            in
+            match Lifecycle.receive_pages session triples with
+            | Error e -> rx_fail rx (of_boot e)
+            | Ok () ->
+                rx.rx_state <- Streaming { session; next_round = next_round + 1 };
+                Ok None)
+      end
+  | Streaming { session; _ }, Wire.Finish { measurement; gpt_entries } -> (
+      match Lifecycle.receive_complete session ~expected:measurement with
+      | Error e -> rx_fail rx (of_boot e)
+      | Ok dom ->
+          List.iter
+            (fun (gvfn, proto) -> Hw.Pagetable.hw_set dom.Xen.Domain.gpt gvfn (Some proto))
+            gpt_entries;
+          rx.rx_state <- Attesting { dom; quote = None };
+          Ok None)
+  | Attesting { dom; quote = _ }, Wire.Attest_req { nonce } ->
+      let q = Attest.quote rx.rx_ctx ~guest:dom ~nonce () in
+      rx.rx_state <- Attesting { dom; quote = Some q };
+      Ok (Some (Wire.transmit (Wire.encode (Wire.Attest_resp { quote = Attest.serialize q }))))
+  | Attesting { quote = None; _ }, Wire.Secret _ ->
+      (* The guest stays up; the secret stays out. No teardown: refusing
+         the injection is the fail-closed behaviour. *)
+      Error (Protocol_violation "SECRET before any attestation quote was issued")
+  | Attesting { dom; quote = Some q }, Wire.Secret { wrapped } -> (
+      match Keywrap.of_bytes wrapped with
+      | None -> Error (Malformed "SECRET: undecodable wrap")
+      | Some w -> (
+          match Keywrap.unwrap ~kek:(secret_kek q) w with
+          | None -> Error (Rejected "SECRET: wrap not bound to this platform's quote")
+          | Some key ->
+              inject_secret rx.rx_ctx dom key;
+              rx.rx_state <- Complete dom;
+              Ok None))
+  | state, frame ->
+      let tag =
+        match frame with
+        | Wire.Start _ -> "START"
+        | Wire.Update _ -> "UPDATE"
+        | Wire.Finish _ -> "FINISH"
+        | Wire.Attest_req _ -> "ATTEST_REQ"
+        | Wire.Attest_resp _ -> "ATTEST_RESP"
+        | Wire.Secret _ -> "SECRET"
+      in
+      rx_fail rx
+        (Protocol_violation (Printf.sprintf "%s frame in state %s" tag (state_name state))))
+
+(* --- live pre-copy driver ----------------------------------------------- *)
+
+type config = { downtime_budget_us : float; max_rounds : int }
+
+let default_config = { downtime_budget_us = 10.; max_rounds = 8 }
+
+let budget_pages config =
+  max 0 (int_of_float (config.downtime_budget_us /. page_us))
+
+type report = {
+  rounds : int;
+  pages_sent : int;
+  residual_pages : int;
+  downtime_us : float;
+  secret_released : bool;
+}
+
+let migrate_live ?(config = default_config) ?owner ?(mutate = fun _ -> ()) ~src ~dst dom =
+  let hv = src.Ctx.hv in
+  let fw = hv.Xen.Hypervisor.fw in
+  match dom.Xen.Domain.sev_handle with
+  | None -> Error Not_protected
+  | Some handle -> (
+      let nonce = Rng.next64 src.Ctx.machine.Hw.Machine.rng in
+      let target_public = Sev.Firmware.platform_public dst.Ctx.hv.Xen.Hypervisor.fw in
+      match Sev.Firmware.send_start fw ~handle ~target_public ~nonce with
+      | Error e -> Error (Send_refused e)
+      | Ok wrapped_keys ->
+          (* The guest keeps running; from here on the dirty log records
+             what the pre-copy loop still owes the target. *)
+          Hw.Dirty.start dom.Xen.Domain.dirty;
+          let fail e =
+            (* A failed migration must leave the source guest running. *)
+            Hw.Dirty.stop dom.Xen.Domain.dirty;
+            if dom.Xen.Domain.state = Xen.Domain.Paused then
+              dom.Xen.Domain.state <- Xen.Domain.Runnable;
+            Error e
+          in
+          let ( let* ) r k = match r with Error e -> fail e | Ok v -> k v in
+          let rx = rx_create dst in
+          let deliver frame = rx_deliver rx (Wire.transmit (Wire.encode frame)) in
+          let mapped =
+            Hw.Pagetable.mapped_frames dom.Xen.Domain.npt
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          let span = List.fold_left (fun m (g, _) -> max m (g + 1)) 0 mapped in
+          let send_pages round gfns =
+            List.fold_left
+              (fun acc gfn ->
+                match acc with
+                | Error _ as e -> e
+                | Ok acc -> (
+                    match Hw.Pagetable.lookup dom.Xen.Domain.npt gfn with
+                    | None -> Ok acc (* unmapped since it was dirtied: nothing to send *)
+                    | Some npte -> (
+                        let index = index_of ~round ~gfn in
+                        match
+                          Sev.Firmware.send_update fw ~handle ~index
+                            ~src_pfn:npte.Hw.Pagetable.frame
+                        with
+                        | Error e -> Error (Send_refused e)
+                        | Ok cipher -> Ok ((index, cipher) :: acc))))
+              (Ok []) gfns
+            |> Result.map List.rev
+          in
+          let* _ =
+            deliver
+              (Wire.Start
+                 { name = dom.Xen.Domain.name;
+                   memory_pages = span;
+                   policy = Sev.Firmware.policy_nodbg;
+                   nonce;
+                   wrapped_keys;
+                   origin_public = Sev.Firmware.platform_public fw })
+          in
+          let budget = budget_pages config in
+          let finish_with ~round ~pages_sent ~residual =
+            match Sev.Firmware.send_finish fw ~handle with
+            | Error e -> fail (Send_refused e)
+            | Ok measurement ->
+                let* _ =
+                  deliver
+                    (Wire.Finish
+                       { measurement;
+                         gpt_entries = Hw.Pagetable.mapped_frames dom.Xen.Domain.gpt })
+                in
+                let report ~secret_released =
+                  { rounds = round + 2;
+                    pages_sent;
+                    residual_pages = residual;
+                    downtime_us = float_of_int residual *. page_us;
+                    secret_released }
+                in
+                let complete ~secret_released =
+                  let dst_dom =
+                    match rx_domain rx with Some d -> d | None -> assert false
+                  in
+                  (* Cut over: only now does the source instance die. *)
+                  Lifecycle.shutdown_protected_vm src dom;
+                  Ok (dst_dom, report ~secret_released)
+                in
+                (match owner with
+                | None -> complete ~secret_released:false
+                | Some o ->
+                    (* On any refusal the cut-over is cancelled: the target
+                       instance is destroyed and the source resumes. *)
+                    let refuse err =
+                      (match rx_domain rx with
+                      | Some d -> Lifecycle.shutdown_protected_vm dst d
+                      | None -> ());
+                      fail err
+                    in
+                    if Plan.armed () && Plan.fire Site.Secret_before_attest then begin
+                      (* Broken tooling pushes a LAUNCH_SECRET before any
+                         quote was requested. The owner released nothing;
+                         whatever blob the tooling fabricated is bound to no
+                         quote and the receiver must refuse it. *)
+                      let bogus =
+                        Keywrap.wrap ~kek:(Bytes.make 32 '\000') (Bytes.make 16 '\000')
+                      in
+                      match deliver (Wire.Secret { wrapped = Keywrap.to_bytes bogus }) with
+                      | Error e -> refuse e
+                      | Ok _ ->
+                          refuse
+                            (Protocol_violation "receiver accepted a SECRET sent before attestation")
+                    end
+                    else
+                      match deliver (Wire.Attest_req { nonce = o.Owner.nonce }) with
+                      | Error e -> refuse e
+                      | Ok None -> refuse (Protocol_violation "no quote came back")
+                      | Ok (Some reply) -> (
+                          match Wire.decode reply with
+                          | Error e -> refuse e
+                          | Ok (Wire.Attest_resp { quote }) -> (
+                              match Attest.deserialize quote with
+                              | None -> refuse (Malformed "quote has the wrong wire length")
+                              | Some q -> (
+                                  let attestation_key =
+                                    Sev.Firmware.attestation_key dst.Ctx.hv.Xen.Hypervisor.fw
+                                  in
+                                  match
+                                    Attest.verify ~attestation_key
+                                      ~expected_xen_measurement:dst.Ctx.xen_measurement
+                                      ~minimum_fw_version:o.Owner.minimum_fw_version
+                                      ~nonce:o.Owner.nonce q
+                                  with
+                                  | Error (Attest.Stale_firmware { got; minimum }) ->
+                                      refuse (Stale_firmware { got; minimum })
+                                  | Error e -> refuse (Attest_refused e)
+                                  | Ok () -> (
+                                      o.Owner.release_count <- o.Owner.release_count + 1;
+                                      let wrapped =
+                                        Keywrap.wrap ~kek:(secret_kek q) o.Owner.disk_key
+                                      in
+                                      match
+                                        deliver
+                                          (Wire.Secret { wrapped = Keywrap.to_bytes wrapped })
+                                      with
+                                      | Error e -> refuse e
+                                      | Ok _ -> complete ~secret_released:true)))
+                          | Ok _ -> refuse (Protocol_violation "expected an ATTEST_RESP reply")))
+          in
+          let rec precopy round gfns pages_sent =
+            let* pages = send_pages round gfns in
+            let* _ = deliver (Wire.Update { round; pages }) in
+            let pages_sent = pages_sent + List.length pages in
+            (* The guest ran while the round was on the wire. *)
+            mutate round;
+            let dirty = Hw.Dirty.drain dom.Xen.Domain.dirty in
+            if List.length dirty <= budget || round + 1 >= config.max_rounds then begin
+              (* Residual fits the downtime budget (or we hit the round
+                 cap): stop-and-copy what remains. *)
+              dom.Xen.Domain.state <- Xen.Domain.Paused;
+              Hw.Dirty.stop dom.Xen.Domain.dirty;
+              let* residual = send_pages (round + 1) dirty in
+              let* _ = deliver (Wire.Update { round = round + 1; pages = residual }) in
+              finish_with ~round ~pages_sent:(pages_sent + List.length residual)
+                ~residual:(List.length residual)
+            end
+            else precopy (round + 1) dirty pages_sent
+          in
+          precopy 0 (List.map fst mapped) 0)

@@ -1,10 +1,25 @@
-(** Protected VM migration (paper Section 4.3.6).
+(** VM migration between Fidelius hosts (paper Section 4.3.6-4.3.7).
 
-    Not live: SEND_START moves the firmware context out of RUNNING, stopping
-    the guest, before its pages are exported. The snapshot crosses the
-    untrusted channel as Ktek ciphertext with a Ktik-keyed measurement; the
-    target platform's firmware re-encrypts under a fresh Kvek and verifies
-    the measurement before the guest can resume. *)
+    Two datapaths share one wire format and one receive-side state machine:
+
+    - the original {b one-shot stop-and-copy} ({!send} → {!transmit} →
+      {!receive}), which pauses the guest for the whole copy, and
+    - the {b live pre-copy driver} {!migrate_live}: the guest keeps running
+      while memory crosses in iterative dirty rounds, and the final
+      stop-and-copy residual is sized by a downtime budget.
+
+    On top of the live path sits {b attested secret injection}: the guest
+    owner releases the disk encryption key to the target host only after
+    verifying a fresh attestation quote — including the target's
+    {e firmware version}, because the platform identity key survives a
+    firmware downgrade ("Insecure Until Proven Updated") and only the
+    version policy check can refuse a rolled-back platform.
+
+    Everything that crosses {!Wire.transmit} is attacker-controlled: the
+    hypervisors on both ends relay the frames and may drop, truncate,
+    reorder or rewrite them. The security argument is that every such
+    perturbation lands in a typed {!error}, never in a silently wrong
+    guest. *)
 
 module Hw = Fidelius_hw
 module Xen = Fidelius_xen
@@ -13,48 +28,250 @@ module Sev = Fidelius_sev
 type snapshot = {
   image : Sev.Transport.image;
   wrapped_keys : Fidelius_crypto.Keywrap.wrapped;
+      (** Ktek/Ktik wrapped to the target platform; opaque to the channel *)
   origin_public : Fidelius_crypto.Dh.public;
   memory_pages : int;
   gpt_entries : (Hw.Addr.vfn * Hw.Pagetable.proto) list;
-      (** guest page table image (part of guest memory in reality) *)
+      (** the guest page table (in reality part of the migrated memory) *)
   name : string;
 }
+(** A one-shot migration image: everything the target needs to re-create
+    the guest. Confidentiality and integrity come from the transport keys,
+    not from the snapshot structure — every field is readable (and
+    writable) by the relaying hypervisors. *)
 
+(** Why a migration failed. Classified by call site so callers (tests, the
+    fault matrix, the CLI) never match on error strings. *)
 type error =
-  | Not_protected  (** the domain has no SEV firmware context *)
-  | Send_refused of string  (** source firmware refused a SEND command *)
+  | Not_protected
+      (** the domain has no SEV context — Fidelius only migrates protected
+          guests through the firmware path *)
+  | Send_refused of string
+      (** the source firmware refused SEND_START/UPDATE/FINISH (wrong
+          state, NOSEND policy bit, bad handle) *)
   | Truncated of { expected : int; got : int }
-      (** snapshot arrived with fewer pages than the source exported *)
-  | Malformed of string  (** a snapshot page is not page-sized *)
+      (** the stream lost data in transit: a frame's payload is shorter
+          than its header claims, or the one-shot image carries fewer pages
+          than the guest spans. Trigger: a lossy channel, or the
+          [Snapshot_truncate] fault site *)
+  | Malformed of string
+      (** framing damage that is not a clean truncation: bad magic, a
+          payload overrunning its declared length, an undecodable field, a
+          non-page-sized page *)
   | Rejected of string
-      (** target platform's verification verdict: transport-key unwrap or
-          measurement check refused the image *)
+      (** the {e target platform's} verification verdict: RECEIVE_START
+          key unwrap or RECEIVE_FINISH measurement refused the image.
+          Trigger: tampered ciphertext ([Snapshot_flip]), a consistently
+          re-framed but incomplete round ([Round_truncate]), or a snapshot
+          addressed to a different platform *)
   | Boot_failed of string
-      (** receive-side construction failed before the guest ran *)
+      (** mechanical receive-side failure (allocation, mediation, ACTIVATE,
+          first VMRUN) — the target rolled the partial domain back *)
+  | Unknown_version of { got : int; expected : int }
+      (** the peer speaks a different wire revision; refused before any
+          payload byte is interpreted *)
+  | Protocol_violation of string
+      (** frames arrived in an order the receive state machine forbids —
+          e.g. a dirty round out of sequence, or a LAUNCH_SECRET before any
+          attestation quote was issued ([Secret_before_attest]) *)
+  | Stale_firmware of { got : Sev.Firmware.version; minimum : Sev.Firmware.version }
+      (** the target's quote is genuine but reports a firmware build below
+          the owner's policy floor — the rollback attack (the
+          [Stale_firmware] fault site). The disk key was {b not} released *)
+  | Attest_refused of Attest.error
+      (** the owner refused the target's quote for any other reason (bad
+          nonce, bad MAC, wrong hypervisor measurement); the disk key was
+          not released *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
-val send : Ctx.t -> Xen.Domain.t -> target_public:Fidelius_crypto.Dh.public ->
-  (snapshot, error) result
-(** Export a protected guest for the platform identified by
-    [target_public]. The source domain is stopped (SENT state) and then
-    destroyed. *)
+(** {2 Wire format}
 
-val transmit : snapshot -> snapshot
-(** The untrusted channel between {!send} and {!receive}. The identity
-    unless a fault plan ({!Fidelius_inject.Plan}) arms the
-    [Snapshot_truncate]/[Snapshot_flip] sites, in which case trailing
-    pages may be dropped or ciphertext bits flipped — deterministically,
-    per the plan's seed. *)
+    Every frame is [magic "FIDM"] ‖ [u16 version] ‖ [u8 tag] ‖
+    [u32 payload-len] ‖ payload, big-endian. {!Wire.decode} refuses a wrong
+    magic or an overrunning payload as [Malformed], a short payload as
+    [Truncated] and a foreign version as [Unknown_version] — {e before}
+    interpreting anything else, so a fault acting on real framing surfaces
+    as a typed error, never as garbage fed to the firmware. *)
+module Wire : sig
+  val version : int
+  (** The wire revision this build speaks. Bumped on any framing change;
+      there is no negotiation — migration partners must match exactly. *)
+
+  type frame =
+    | Start of {
+        name : string;
+        memory_pages : int;
+        policy : int;
+        nonce : int64;
+        wrapped_keys : Fidelius_crypto.Keywrap.wrapped;
+        origin_public : Fidelius_crypto.Dh.public;
+      }  (** opens a migration: everything RECEIVE_START needs *)
+    | Update of { round : int; pages : (int * bytes) list }
+        (** one pre-copy round of [(transport-index, ciphertext)] pages;
+            the placement gfn is derived from the index (see {!index_of}) *)
+    | Finish of {
+        measurement : bytes;
+        gpt_entries : (Hw.Addr.vfn * Hw.Pagetable.proto) list;
+      }  (** the sender's keyed measurement; triggers RECEIVE_FINISH *)
+    | Attest_req of { nonce : int64 }
+        (** owner → target: quote yourself under this fresh nonce *)
+    | Attest_resp of { quote : bytes }  (** a serialized {!Attest.quote} *)
+    | Secret of { wrapped : bytes }
+        (** the owner's disk key, wrapped to the verified quote *)
+
+  val encode : frame -> bytes
+
+  val decode : bytes -> (frame, error) result
+  (** Total: any byte string yields a frame or a typed error. The payload
+      is untrusted; internal counts are sanity-bounded before use. *)
+
+  val transmit : bytes -> bytes
+  (** The untrusted channel. Identity with no fault plan installed; with a
+      plan armed it perturbs encoded [Update] frames the way a hostile
+      relay would: [Round_truncate] drops the last page record and
+      re-frames consistently, [Snapshot_flip] flips one ciphertext bit,
+      [Snapshot_truncate] drops a page-sized tail while the header still
+      claims the full length. *)
+end
+
+val index_of : round:int -> gfn:int -> int
+(** Composite transport index: [(round lsl 20) lor gfn]. A page resent in
+    a later round gets a fresh CTR stream (no two-time pad across rounds),
+    and because the receiver derives the placement gfn from the measured
+    index, a relay cannot silently re-home a page. Round-0 indices equal
+    the gfn, which keeps the one-shot snapshot format unchanged. *)
+
+val gfn_of_index : int -> int
+
+(** {2 One-shot stop-and-copy} *)
+
+val send :
+  Ctx.t -> Xen.Domain.t -> target_public:Fidelius_crypto.Dh.public ->
+  (snapshot, error) result
+(** SEND_START (pausing the guest), SEND_UPDATE per mapped page,
+    SEND_FINISH; on success the source instance is destroyed and the
+    snapshot is the only live copy. [target_public] identifies the target
+    platform; its authenticity is the guest owner's concern — a wrong one
+    yields a snapshot only that wrong platform can unwrap. *)
+
+val transmit : snapshot -> (snapshot, error) result
+(** Carry the snapshot across the untrusted channel as real frames: each
+    of [Start]/[Update]/[Finish] is encoded, passed through
+    {!Wire.transmit}, and decoded again. The reassembled snapshot is what
+    the target actually received; channel damage surfaces here as the
+    decoder's typed error. *)
 
 val receive : Ctx.t -> snapshot -> (Xen.Domain.t, error) result
-(** Import on the target platform. Fails closed with a typed error:
-    structurally damaged snapshots are refused up front ([Truncated],
-    [Malformed]) before any firmware state exists; a tampered image
-    surfaces as [Rejected] when RECEIVE_FINISH's keyed measurement check
-    fails, after the partial domain is rolled back. *)
+(** Validate structurally (page count, page sizes), then boot through the
+    RECEIVE path; the firmware's measurement check is what actually
+    authenticates the image. The snapshot is untrusted input in its
+    entirety. *)
 
 val migrate : src:Ctx.t -> dst:Ctx.t -> Xen.Domain.t -> (Xen.Domain.t, error) result
-(** {!send} on [src], {!transmit} across the channel, {!receive} on
-    [dst]. *)
+(** [send] → [transmit] → [receive]: whole-VM stop-and-copy between two
+    simulated hosts. *)
+
+(** {2 Attested secret injection} *)
+
+(** The guest owner's side of the key-release protocol. The owner is the
+    trust root: it holds the disk key, chooses the attestation nonce and
+    the firmware-version floor, and releases the key only after
+    {!Attest.verify} accepts the target's quote. *)
+module Owner : sig
+  type t
+
+  val create : ?minimum_fw_version:Sev.Firmware.version -> Fidelius_crypto.Rng.t -> t
+  (** Fresh owner with a random 16-byte disk key and a fresh attestation
+      nonce. [minimum_fw_version] defaults to
+      {!Sev.Firmware.minimum_safe_version}. *)
+
+  val released : t -> bool
+  (** Whether the disk key has ever been released. Stays [false] across
+      every refused migration — the rollback tests assert exactly this. *)
+
+  val release_count : t -> int
+
+  val disk_key : t -> bytes
+  (** The plaintext disk key (test oracle: compare against what the
+      migrated guest can read back from its kblk slot). *)
+end
+
+(** {2 Receive-side state machine}
+
+    [EXPECT_START → STREAMING → ATTESTING → COMPLETE], with [FAILED]
+    absorbing. Driven by delivering raw frame bytes; any out-of-order or
+    undecodable frame is refused with a typed error, and failures during
+    streaming roll the partial domain back. *)
+
+type rx
+
+val rx_create : Ctx.t -> rx
+
+val rx_deliver : rx -> bytes -> (bytes option, error) result
+(** Deliver one frame from the wire. [Ok (Some reply)] carries an encoded
+    response frame (only [Attest_req] produces one). The bytes are wholly
+    untrusted; a [Secret] delivered before a quote was issued is refused
+    as [Protocol_violation] {e without} tearing down the already verified
+    and running guest — refusing the injection is the fail-closed
+    behaviour there. *)
+
+val rx_domain : rx -> Xen.Domain.t option
+(** The received domain, once RECEIVE_FINISH has accepted it. *)
+
+(** {2 Live pre-copy driver} *)
+
+type config = {
+  downtime_budget_us : float;
+      (** stop-and-copy tolerance: the final paused copy may take at most
+          this long, at the per-page firmware cost of
+          {!Hw.Cost.default} *)
+  max_rounds : int;
+      (** forced-stop cap for guests that dirty faster than the wire
+          drains — pre-copy must terminate *)
+}
+
+val default_config : config
+(** 10 µs budget, 8 rounds. *)
+
+val budget_pages : config -> int
+(** How many residual pages fit the downtime budget. *)
+
+type report = {
+  rounds : int;  (** UPDATE frames sent, residual round included *)
+  pages_sent : int;  (** total pages on the wire, resends included *)
+  residual_pages : int;  (** pages in the final stop-and-copy round *)
+  downtime_us : float;  (** time the guest was paused *)
+  secret_released : bool;
+      (** whether the owner released the disk key (always [false] without
+          an owner) *)
+}
+
+val migrate_live :
+  ?config:config ->
+  ?owner:Owner.t ->
+  ?mutate:(int -> unit) ->
+  src:Ctx.t ->
+  dst:Ctx.t ->
+  Xen.Domain.t ->
+  (Xen.Domain.t * report, error) result
+(** Live-migrate a protected guest. Round 0 copies every mapped page while
+    the guest runs; each later round resends what the dirty log recorded;
+    when the residual fits [config]'s downtime budget (or [max_rounds] is
+    hit) the guest pauses for the final stop-and-copy. With [owner] set,
+    the owner then challenges the target for a quote and — only on
+    successful verification — releases the disk key as a wrapped [Secret]
+    frame the target injects at the guest's kblk slot.
+
+    [mutate] models the still-running guest: it is invoked once per
+    pre-copy round (with the round number) and typically performs guest
+    writes on the source, which the dirty log picks up.
+
+    Failure semantics: on any error the source guest {e keeps running}
+    (unpaused if the failure struck mid-blackout), the partial or
+    already-booted target instance is destroyed, and — for every
+    attestation-path refusal ([Stale_firmware], [Attest_refused],
+    [Protocol_violation]) — the owner's key is provably unreleased
+    ({!Owner.released} stays [false]). Only after full success is the
+    source destroyed. *)

@@ -110,17 +110,28 @@ let secret_survives machine hv dom =
   in
   Bytes.to_string b = Attacks.Env.secret
 
-(* Fidelius migration: the product path, Core.Migrate.migrate, whose
-   transmit stage is the instrumented untrusted channel. *)
+(* Fidelius migration: the product path, Core.Migrate.migrate_live with an
+   attesting owner — every wire frame crosses the instrumented untrusted
+   channel, a mutator keeps the dirty rounds nonzero, and the disk key is
+   gated on the target's quote, so the channel sites (Round_truncate and
+   both Snapshot sites) and the attestation sites (Stale_firmware,
+   Secret_before_attest) all strike the path production code uses. *)
 let fidelius_migration_probe ~seed site =
   let src = Attacks.Env.protected_ ~seed in
   let fid1 = Option.get src.Surface.fid in
+  let dom = src.Surface.victim in
   let m2 = Hw.Machine.create ~seed:(Int64.add seed 31L) () in
   let hv2 = Xen.Hypervisor.boot m2 in
   let fid2 = Core.Fidelius.install hv2 in
+  let owner = Core.Migrate.Owner.create m2.Hw.Machine.rng in
+  let mutate _round =
+    Xen.Hypervisor.in_guest src.Surface.hv dom (fun () ->
+        Xen.Domain.write src.Surface.machine dom ~addr:0x7000
+          (Bytes.of_string "pre-copy dirtier"))
+  in
   let outcome =
     with_plan ~seed site (fun () ->
-        try `Result (Core.Migrate.migrate ~src:fid1 ~dst:fid2 src.Surface.victim) with
+        try `Result (Core.Migrate.migrate_live ~owner ~mutate ~src:fid1 ~dst:fid2 dom) with
         | Hw.Denial.Denied m -> `Denied m
         | Xen.Hypervisor.Npf_unresolved m -> `Denied m
         | Hw.Mmu.Fault { reason; _ } -> `Denied reason
@@ -131,14 +142,25 @@ let fidelius_migration_probe ~seed site =
   | `Exn m -> (Harness_error, "migration raised: " ^ m)
   | `Result (Error (Core.Migrate.Truncated _ as e))
   | `Result (Error (Core.Migrate.Malformed _ as e))
-  | `Result (Error (Core.Migrate.Rejected _ as e)) ->
+  | `Result (Error (Core.Migrate.Rejected _ as e))
+  | `Result (Error (Core.Migrate.Unknown_version _ as e))
+  | `Result (Error (Core.Migrate.Protocol_violation _ as e))
+  | `Result (Error (Core.Migrate.Stale_firmware _ as e))
+  | `Result (Error (Core.Migrate.Attest_refused _ as e)) ->
+      (* a defence (framing, measurement, state machine or the owner's
+         attestation policy) named the fault; the key was never released *)
       (Detected, Core.Migrate.error_to_string e)
   | `Result (Error e) ->
       (* refused or rolled back before any guest ran: closed, undetected *)
       (Fail_closed, Core.Migrate.error_to_string e)
-  | `Result (Ok dom') ->
-      if secret_survives m2 hv2 dom' then (Fail_closed, "round trip intact")
-      else (Silent_corruption, "guest resumed with corrupted state")
+  | `Result (Ok (dom', report)) ->
+      if not (secret_survives m2 hv2 dom') then
+        (Silent_corruption, "guest resumed with corrupted state")
+      else if
+        (not report.Core.Migrate.secret_released)
+        || not (Bytes.equal (Core.Lifecycle.kblk_of_guest fid2 dom') (Core.Migrate.Owner.disk_key owner))
+      then (Silent_corruption, "disk key not delivered intact")
+      else (Fail_closed, "round trip intact")
 
 (* Plain-SEV migration: the same firmware commands, driven by the stock
    (untrusted) hypervisor with no Fidelius validation layer — the
@@ -194,7 +216,11 @@ let plain_migration_probe ~seed site =
       let received =
         with_plan ~seed site (fun () ->
             try
-              let snap = Core.Migrate.transmit snap in
+              let* snap =
+                Result.map_error
+                  (fun e -> `Wire (Core.Migrate.error_to_string e))
+                  (Core.Migrate.transmit snap)
+              in
               let memory_pages = snap.Core.Migrate.memory_pages in
               let dom2 = Xen.Hypervisor.create_domain hv2 ~name:"victim" ~memory_pages in
               let* handle2 =
@@ -241,6 +267,7 @@ let plain_migration_probe ~seed site =
             | e -> Error (`Exn (Printexc.to_string e)))
       in
       match received with
+      | Error (`Wire e) -> (Detected, "channel damage detected: " ^ e)
       | Error (`Rejected e) -> (Detected, "target firmware refused: " ^ e)
       | Error (`Denied m) -> (Detected, "denied: " ^ m)
       | Error (`Mechanical e) -> (Fail_closed, "receive failed closed: " ^ e)

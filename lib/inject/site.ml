@@ -7,10 +7,14 @@ type t =
   | Spurious_npf
   | Snapshot_truncate
   | Snapshot_flip
+  | Round_truncate
+  | Stale_firmware
+  | Secret_before_attest
 
 let all =
   [ Dram_flip; Dram_remap; Fw_drop; Fw_replay; Tlb_omit_flush; Spurious_npf;
-    Snapshot_truncate; Snapshot_flip ]
+    Snapshot_truncate; Snapshot_flip; Round_truncate; Stale_firmware;
+    Secret_before_attest ]
 
 let index = function
   | Dram_flip -> 0
@@ -21,6 +25,9 @@ let index = function
   | Spurious_npf -> 5
   | Snapshot_truncate -> 6
   | Snapshot_flip -> 7
+  | Round_truncate -> 8
+  | Stale_firmware -> 9
+  | Secret_before_attest -> 10
 
 let to_string = function
   | Dram_flip -> "dram-flip"
@@ -31,6 +38,9 @@ let to_string = function
   | Spurious_npf -> "spurious-npf"
   | Snapshot_truncate -> "snapshot-truncate"
   | Snapshot_flip -> "snapshot-flip"
+  | Round_truncate -> "round-truncate"
+  | Stale_firmware -> "stale-firmware"
+  | Secret_before_attest -> "secret-before-attest"
 
 let of_string s = List.find_opt (fun t -> to_string t = s) all
 

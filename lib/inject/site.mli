@@ -19,13 +19,25 @@ type t =
   | Spurious_npf  (** raise an unsolicited nested page fault mid-guest *)
   | Snapshot_truncate  (** drop trailing pages from a migration snapshot *)
   | Snapshot_flip  (** flip one bit of a migration snapshot page *)
+  | Round_truncate
+      (** surgically drop the trailing page record of a live-migration
+          round and re-frame the wire message consistently — framing
+          checks cannot see it, only the keyed measurement can *)
+  | Stale_firmware
+      (** the hypervisor swaps in an old, vulnerable secure-processor
+          firmware blob before the target platform is quoted — the quote
+          MAC still verifies; only the owner's version policy can refuse *)
+  | Secret_before_attest
+      (** compromised owner-side tooling pushes the LAUNCH_SECRET packet
+          before the attestation exchange has produced a quote *)
 
 val all : t list
 (** Every site, in declaration order. *)
 
 val index : t -> int
 (** Stable 0-based position in {!all}; part of the determinism contract
-    (the firing schedule hashes over it). *)
+    (the firing schedule hashes over it). New sites must be appended,
+    never inserted, so existing indices stay stable. *)
 
 val to_string : t -> string
 val of_string : string -> t option

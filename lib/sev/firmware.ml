@@ -11,6 +11,29 @@ module Site = Fidelius_inject.Site
 
 type handle = int
 
+type version = { api_major : int; api_minor : int; build : int }
+
+(* The blob AMD ships today, the last blob with a published key-extraction
+   bug, and the owner-policy floor between them ("Insecure Until Proven
+   Updated": the guest owner must refuse any platform reporting a build
+   below the first fixed one, whatever its measurement says). *)
+let current_version = { api_major = 0; api_minor = 24; build = 15 }
+let vulnerable_version = { api_major = 0; api_minor = 17; build = 5 }
+let minimum_safe_version = { api_major = 0; api_minor = 22; build = 3 }
+
+let version_compare a b =
+  match compare a.api_major b.api_major with
+  | 0 -> (
+      match compare a.api_minor b.api_minor with
+      | 0 -> compare a.build b.build
+      | c -> c)
+  | c -> c
+
+let version_at_least v ~minimum = version_compare v minimum >= 0
+
+let version_to_string v = Printf.sprintf "%d.%d.%d" v.api_major v.api_minor v.build
+let pp_version fmt v = Format.pp_print_string fmt (version_to_string v)
+
 type guest_ctx = {
   handle : handle;
   mutable state : State.t;
@@ -33,12 +56,13 @@ type t = {
   rng : Rng.t;
   geks : (handle * int, bytes) Hashtbl.t;
   mutable next_gek : int;
+  mutable fw_version : version;
 }
 
 let policy_nodbg = 1
 let policy_nosend = 2
 
-let create machine =
+let create ?(version = current_version) machine =
   let rng = Rng.split machine.Machine.rng in
   let platform_secret, platform_pub = Dh.generate rng in
   { machine;
@@ -49,7 +73,16 @@ let create machine =
     platform_pub;
     rng;
     geks = Hashtbl.create 16;
-    next_gek = 1 }
+    next_gek = 1;
+    fw_version = version }
+
+(* The hypervisor controls which blob the secure processor boots — that is
+   the rollback attack, and nothing here stops it. The platform identity
+   key survives the swap (old firmware held the same fuses), so quotes from
+   the downgraded blob still MAC-verify; the reported version is the only
+   tell, which is exactly why the owner's verifier must check it. *)
+let load_blob t v = t.fw_version <- v
+let version t = t.fw_version
 
 module Trace = Fidelius_obs.Trace
 

@@ -17,9 +17,46 @@ type t
 
 type handle = int
 
-val create : Fidelius_hw.Machine.t -> t
+(** {2 Firmware versioning (rollback policy)}
+
+    The secure processor runs whatever blob the (untrusted) hypervisor
+    loads. Old blobs carry published key-extraction bugs, and the platform
+    identity key survives a downgrade — so a quote from a vulnerable blob
+    still MAC-verifies. "Insecure Until Proven Updated" (PAPERS.md): the
+    guest owner must check the {e reported version} against a policy floor
+    before trusting the platform with any secret. *)
+
+type version = { api_major : int; api_minor : int; build : int }
+
+val current_version : version
+(** The up-to-date blob every platform boots by default. *)
+
+val vulnerable_version : version
+(** The last blob with a published key-extraction bug — what a rollback
+    attacker loads. *)
+
+val minimum_safe_version : version
+(** The owner-policy floor: the first build with the fix. Verifiers refuse
+    any platform reporting a version below this. *)
+
+val version_compare : version -> version -> int
+val version_at_least : version -> minimum:version -> bool
+val version_to_string : version -> string
+val pp_version : Format.formatter -> version -> unit
+
+val create : ?version:version -> Fidelius_hw.Machine.t -> t
 (** Attach a secure processor to a platform. Generates the platform ECDH
-    identity key. *)
+    identity key. [version] (default {!current_version}) is the firmware
+    blob the platform boots with. *)
+
+val load_blob : t -> version -> unit
+(** The hypervisor swaps the firmware blob — the rollback attack. Nothing
+    authenticates this transition: the caller is the untrusted hypervisor
+    and the platform identity key survives, so only a verifier's version
+    policy can catch the downgrade. *)
+
+val version : t -> version
+(** The blob currently running, as reported in attestation payloads. *)
 
 val init : t -> (unit, string) result
 (** Platform INIT; all other commands fail before it. *)

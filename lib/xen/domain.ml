@@ -24,6 +24,7 @@ type t = {
   mutable frames : Hw.Addr.pfn list;
   mutable next_free_gfn : Hw.Addr.gfn;
   msrs : (int, int64) Hashtbl.t;
+  dirty : Hw.Dirty.t;
 }
 
 let create machine ~domid ~name ~is_dom0 ~asid =
@@ -45,7 +46,8 @@ let create machine ~domid ~name ~is_dom0 ~asid =
     state = Created;
     frames = [];
     next_free_gfn = 0;
-    msrs = Hashtbl.create 8 }
+    msrs = Hashtbl.create 8;
+    dirty = Hw.Dirty.create () }
 
 let guest_map t ~gvfn ~gfn ~writable ~executable ~c_bit =
   Hw.Pagetable.hw_set t.gpt gvfn
@@ -56,7 +58,20 @@ let guest_unmap t ~gvfn = Hw.Pagetable.hw_set t.gpt gvfn None
 let read machine t ~addr ~len =
   Hw.Mmu.guest_read machine ~domid:t.domid ~gpt:t.gpt ~npt:t.npt ~asid:t.asid ~addr ~len
 
+(* Dirty logging rides the guest-store path: every frame a write touches
+   is marked before the MMU sees the store, so a faulting write can only
+   over-report (a resent clean page is harmless; a missed dirty page would
+   corrupt the migrated guest). One boolean test when tracking is off. *)
+let log_dirty t ~addr ~len =
+  if Hw.Dirty.tracking t.dirty && len > 0 then
+    for gvfn = Hw.Addr.frame_of addr to Hw.Addr.frame_of (addr + len - 1) do
+      match Hw.Pagetable.lookup t.gpt gvfn with
+      | Some gpte -> Hw.Dirty.mark t.dirty gpte.Hw.Pagetable.frame
+      | None -> ()
+    done
+
 let write machine t ~addr data =
+  log_dirty t ~addr ~len:(Bytes.length data);
   Hw.Mmu.guest_write machine ~domid:t.domid ~gpt:t.gpt ~npt:t.npt ~asid:t.asid ~addr data
 
 let alloc_gfn t =

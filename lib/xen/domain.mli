@@ -37,6 +37,10 @@ type t = {
   mutable frames : Hw.Addr.pfn list; (** host frames allocated to this domain *)
   mutable next_free_gfn : Hw.Addr.gfn;
   msrs : (int, int64) Hashtbl.t;     (** guest-visible model-specific registers *)
+  dirty : Hw.Dirty.t;
+      (** dirty-page log for live migration; {!write} marks touched frames
+          while tracking is on. Owned by the domain (and so by whichever
+          fleet job owns the domain's machine) — see SCALING.md *)
 }
 
 val create :
@@ -55,6 +59,9 @@ val read : Hw.Machine.t -> t -> addr:int -> len:int -> bytes
     run loop turn that into an NPF vmexit. *)
 
 val write : Hw.Machine.t -> t -> addr:int -> bytes -> unit
+(** Guest-mode memory store. While {!Hw.Dirty.tracking} is on for this
+    domain, the guest-physical frames the store touches are marked dirty
+    before the MMU applies it (live-migration pre-copy hook). *)
 
 val alloc_gfn : t -> Hw.Addr.gfn
 (** Next unused guest-physical frame number (simple bump allocator). *)
