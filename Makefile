@@ -9,6 +9,8 @@
 #                    silent corruption or harness error in the Fidelius column)
 #   make fleet       fleet scaling benchmark: VMs/sec vs domain count
 #                    (results/fleet.csv, results/fleet_trace.json, bench.json)
+#   make fleet-scale scaling gate: d4 must beat d1 by >= 2.0x (nonzero exit
+#                    otherwise; skips with a message on hosts under 4 cores)
 #   make serve       traffic-serving benchmark over the batched PV datapath
 #                    (ring throughput sync vs batched, serve sweep -> bench.json)
 #   make serve-smoke fast doorbell-amortization and determinism check
@@ -23,7 +25,7 @@
 #   make check       what CI runs: build + tests + crypto self-test + matrix
 #                    + fleet smoke + serve smoke + migrate smoke + docs
 
-.PHONY: build test doc doc-strict matrix fleet fleet-smoke serve serve-smoke migrate migrate-smoke perf crypto-selftest check clean
+.PHONY: build test doc doc-strict matrix fleet fleet-smoke fleet-scale serve serve-smoke migrate migrate-smoke perf crypto-selftest check clean
 
 build:
 	dune build @all
@@ -45,6 +47,9 @@ fleet:
 
 fleet-smoke:
 	dune build @fleet-smoke
+
+fleet-scale:
+	dune exec bench/main.exe -- fleet-scale
 
 serve-smoke:
 	dune build @serve-smoke

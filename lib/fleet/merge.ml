@@ -1,15 +1,26 @@
 module Trace = Fidelius_obs.Trace
 module Json = Fidelius_obs.Json
 
+let process_meta ~pid label =
+  Json.Obj
+    [ ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 1);
+      ("args", Json.Obj [ ("name", Json.Str label) ]) ]
+
+let chrome_other_data shards =
+  Json.Obj
+    [ ("shards", Json.Int (List.length shards));
+      ("events_per_shard", Json.Obj (List.map (fun (label, n) -> (label, Json.Int n)) shards)) ]
+
+let chrome_header = "{\"traceEvents\":["
+
+let chrome_footer ~shards =
+  "],\"displayTimeUnit\":\"ns\",\"otherData\":" ^ Json.to_string (chrome_other_data shards) ^ "}"
+
 let chrome_of_shards shards =
-  let process_meta pid label =
-    Json.Obj
-      [ ("name", Json.Str "process_name");
-        ("ph", Json.Str "M");
-        ("pid", Json.Int pid);
-        ("tid", Json.Int 1);
-        ("args", Json.Obj [ ("name", Json.Str label) ]) ]
-  in
+  let process_meta pid label = process_meta ~pid label in
   let events =
     List.concat
       (List.mapi
@@ -18,16 +29,11 @@ let chrome_of_shards shards =
            process_meta pid label :: List.map (Trace.chrome_event ~pid) entries)
          shards)
   in
-  let per_shard =
-    List.map (fun (label, entries) -> (label, Json.Int (List.length entries))) shards
-  in
+  let counts = List.map (fun (label, entries) -> (label, List.length entries)) shards in
   Json.Obj
     [ ("traceEvents", Json.Arr events);
       ("displayTimeUnit", Json.Str "ns");
-      ("otherData",
-       Json.Obj
-         [ ("shards", Json.Int (List.length shards));
-           ("events_per_shard", Json.Obj per_shard) ]) ]
+      ("otherData", chrome_other_data counts) ]
 
 let sum_counts listings =
   let tbl = Hashtbl.create 32 in
@@ -37,6 +43,32 @@ let sum_counts listings =
     listings;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (ka, a) (kb, b) -> if a <> b then compare b a else compare ka kb)
+
+(* --- spill files: streaming shard output -------------------------------- *)
+
+let concat_spills ~out ?(header = "") ?(footer = "") paths =
+  let oc = open_out_bin out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc header;
+      let buf = Bytes.create 65536 in
+      List.iter
+        (fun path ->
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () ->
+              let rec pump () =
+                let n = input ic buf 0 (Bytes.length buf) in
+                if n > 0 then begin
+                  output oc buf 0 n;
+                  pump ()
+                end
+              in
+              pump ()))
+        paths;
+      output_string oc footer)
 
 let csv ~header rows =
   let buf = Buffer.create 256 in

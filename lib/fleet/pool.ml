@@ -7,6 +7,9 @@ let chunks ~njobs ~ndomains =
   let q = njobs / d and r = njobs mod d in
   List.init d (fun i -> ((i * q) + min i r, q + if i < r then 1 else 0))
 
+let workers ~njobs ~ndomains =
+  min (recommended_domains ()) (List.length (chunks ~njobs ~ndomains))
+
 exception Job_failed of { job : int; exn : exn }
 
 (* One slot per job, written by exactly one worker domain; [Domain.join]
@@ -16,21 +19,17 @@ type 'a slot =
   | Done of 'a
   | Raised of exn
 
-let map ?domains ~njobs f =
+let map_gen ~who ?domains ~njobs ~init ~finish f =
   let ndomains =
     match domains with
     | None -> recommended_domains ()
-    | Some d -> if d < 1 then invalid_arg "Pool.map: domains must be >= 1" else d
+    | Some d ->
+        if d < 1 then invalid_arg (Printf.sprintf "Pool.%s: domains must be >= 1" who) else d
   in
-  if njobs < 0 then invalid_arg "Pool.map: njobs must be >= 0";
+  if njobs < 0 then invalid_arg (Printf.sprintf "Pool.%s: njobs must be >= 0" who);
   if njobs = 0 then []
   else begin
     let slots = Array.make njobs Pending in
-    let worker (start, len) () =
-      for j = start to start + len - 1 do
-        slots.(j) <- (try Done (f j) with e -> Raised e)
-      done
-    in
     (* Jobs run on spawned domains even when the pool has a single worker,
        so no job ever inherits the caller's domain-local state (trace
        ring, fault plan) — otherwise [~domains:1] and [~domains:n] could
@@ -56,17 +55,54 @@ let map ?domains ~njobs f =
     let nworkers = min (recommended_domains ()) (List.length chunk_list) in
     let groups = Array.make nworkers [] in
     List.iteri (fun i c -> groups.(i mod nworkers) <- c :: groups.(i mod nworkers)) chunk_list;
-    Array.to_list groups
-    |> List.map (fun rev_chunks ->
-           let mine = List.rev rev_chunks in
-           Domain.spawn (fun () -> List.iter (fun chunk -> worker chunk ()) mine))
-    |> List.iter Domain.join;
+    let spawned =
+      Array.to_list
+        (Array.mapi
+           (fun w rev_chunks ->
+             let mine = List.rev rev_chunks in
+             Domain.spawn (fun () ->
+                 (* Worker-local state (an arena) lives for the whole worker:
+                    [init] runs before the first chunk, [finish] after the
+                    last — even when jobs raise, since job exceptions are
+                    confined to their slots. *)
+                 let st = init w in
+                 Fun.protect
+                   ~finally:(fun () -> finish w st)
+                   (fun () ->
+                     List.iter
+                       (fun (start, len) ->
+                         for j = start to start + len - 1 do
+                           slots.(j) <- (try Done (f st j) with e -> Raised e)
+                         done)
+                       mine)))
+           groups)
+    in
+    (* Join every worker before propagating anything: an [init]/[finish]
+       failure on one worker must not leave others unjoined (their slot
+       writes would be unpublished and their domains leaked). The lowest
+       worker's exception wins, deterministically. *)
+    let worker_failure =
+      List.fold_left
+        (fun acc d ->
+          match Domain.join d with
+          | () -> acc
+          | exception e -> ( match acc with None -> Some e | some -> some))
+        None spawned
+    in
+    (match worker_failure with Some e -> raise e | None -> ());
     (* Report the lowest failing job, not the first domain to crash. *)
     Array.iteri
       (fun job -> function Raised exn -> raise (Job_failed { job; exn }) | _ -> ())
       slots;
     Array.to_list (Array.map (function Done v -> v | Raised _ | Pending -> assert false) slots)
   end
+
+let map ?domains ~njobs f =
+  map_gen ~who:"map" ?domains ~njobs ~init:(fun _ -> ()) ~finish:(fun _ _ -> ())
+    (fun () j -> f j)
+
+let map_with ?domains ~njobs ~init ?(finish = fun _ _ -> ()) f =
+  map_gen ~who:"map_with" ?domains ~njobs ~init ~finish f
 
 let map_list ?domains f xs =
   let arr = Array.of_list xs in

@@ -48,6 +48,17 @@ val recommended_domains : unit -> int
 (** The runtime's suggested parallelism ([Domain.recommended_domain_count]),
     at least 1. The default for every [?domains] argument in the fleet. *)
 
+val workers : njobs:int -> ndomains:int -> int
+(** [workers ~njobs ~ndomains] is how many worker domains {!map} (and
+    {!map_with}) will actually spawn for that job/domain request:
+    [min (recommended_domains ()) (List.length (chunks ~njobs ~ndomains))].
+    Deterministic for a fixed host ({!recommended_domains} is the only
+    environment-dependent input); never 0 for [njobs >= 0]. Callers that
+    size per-worker accumulators (e.g. one GC report slot per worker)
+    must use this, not [ndomains] — requested domains beyond the cap are
+    multiplexed and own no worker of their own. Raises
+    [Invalid_argument] like {!chunks}. *)
+
 val chunks : njobs:int -> ndomains:int -> (int * int) list
 (** [chunks ~njobs ~ndomains] is the static job → domain assignment: one
     [(start, len)] pair per worker domain, covering [0 .. njobs - 1] with
@@ -74,6 +85,46 @@ val map : ?domains:int -> njobs:int -> (int -> 'a) -> 'a list
     (failure of one shard never aborts another's work), and once every
     worker has joined, {!Job_failed} is raised for the lowest failing job
     index. Raises [Invalid_argument] if [njobs < 0] or [domains < 1]. *)
+
+val map_with :
+  ?domains:int ->
+  njobs:int ->
+  init:(int -> 'w) ->
+  ?finish:(int -> 'w -> unit) ->
+  ('w -> int -> 'a) ->
+  'a list
+(** [map_with ~njobs ~init ~finish f] is {!map} with worker-lifetime
+    state — the hook the per-domain arenas hang off. On each spawned
+    worker domain [w] (indices [0 .. workers ~njobs ~ndomains - 1]):
+
+    - [init w] runs once, {e on the worker domain}, before its first
+      chunk — allocate the arena (reusable machine backing, trace ring,
+      scratch buffers) and snapshot GC baselines here;
+    - every job [j] assigned to [w] runs as [f st j] with the state [st]
+      that [init] returned — jobs on the same worker see the {e same}
+      [st], in canonical job order within each chunk;
+    - [finish w st] runs once after the worker's last chunk, still on the
+      worker domain, {e even when jobs raised} (job exceptions are
+      confined to their result slots) — close spill channels and publish
+      GC deltas here.
+
+    Determinism contract: [st] is a reuse pool, never an input — [f st j]
+    must return (and write) bytes that are a pure function of [j], so a
+    run that reuses a neighbour's arena is byte-identical to one that
+    allocates fresh. The qcheck arena-reuse property in
+    [test/test_fleet.ml] pins exactly this.
+
+    Error behaviour: a job exception is recorded and re-raised as
+    {!Job_failed} for the lowest failing index, after all workers joined.
+    An exception escaping [init] or [finish] itself aborts the call —
+    every worker is still joined first (no leaked domains, no unpublished
+    slots), then the lowest-indexed worker's exception is re-raised
+    verbatim. Raises [Invalid_argument] if [njobs < 0] or [domains < 1].
+
+    Thread-safety: [init]/[f]/[finish] run concurrently across workers —
+    anything they share must be safe for that (the arena itself must not
+    be shared; per-worker slot arrays with disjoint writes are the
+    intended pattern, published by the internal joins). *)
 
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_list f xs] is {!map} over the elements of [xs], preserving list

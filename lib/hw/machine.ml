@@ -16,10 +16,25 @@ type t = {
   mutable iommu : (Addr.pfn -> bool) option;
 }
 
-let create ?(nr_frames = 8192) ~seed () =
+let default_nr_frames = 8192
+
+let create ?(nr_frames = default_nr_frames) ?mem ~seed () =
   let ledger = Cost.ledger () in
   let rng = Rng.create seed in
-  let mem = Physmem.create ~nr_frames in
+  let mem =
+    match mem with
+    | None -> Physmem.create ~nr_frames
+    | Some m ->
+        (* Arena reuse: a recycled backing must behave exactly like a
+           fresh one, so its geometry must match and its contents are
+           zeroed before anything reads them. *)
+        if Physmem.nr_frames m <> nr_frames then
+          invalid_arg
+            (Printf.sprintf "Machine.create: reused backing has %d frames, expected %d"
+               (Physmem.nr_frames m) nr_frames);
+        Physmem.reset m;
+        m
+  in
   (* Frame 0 stays reserved so that "frame 0" can never be a valid mapping
      target, catching uninitialized-entry bugs early. *)
   let free = List.init (nr_frames - 1) (fun i -> nr_frames - 1 - i) in

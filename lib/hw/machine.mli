@@ -23,8 +23,25 @@ type t = {
       (** DMA filter; [None] models a platform without IOMMU protection. *)
 }
 
-val create : ?nr_frames:int -> seed:int64 -> unit -> t
-(** Fresh platform. Default 8192 frames (32 MiB). Frame 0 is reserved. *)
+val default_nr_frames : int
+(** Frame count [create] defaults to (8192 = 32 MiB). Arena owners size
+    their reusable {!Physmem.t} backing with this so it matches what
+    [create] expects. *)
+
+val create : ?nr_frames:int -> ?mem:Physmem.t -> seed:int64 -> unit -> t
+(** Fresh platform. Default {!default_nr_frames} frames (32 MiB). Frame 0
+    is reserved.
+
+    [mem] recycles an existing DRAM backing instead of allocating one —
+    the per-worker-arena fast path of the fleet runner: the backing is
+    {!Physmem.reset} (zeroed in place), so the resulting machine is
+    byte-for-byte indistinguishable from one built on a fresh backing;
+    every other component (ledger, RNG, caches, TLB, allocator) is
+    always freshly built from [seed]. The caller hands over exclusive
+    ownership for the machine's lifetime — reusing a backing while a
+    previous machine built on it is still live, or sharing it across
+    worker domains, is a data race. Raises [Invalid_argument] if the
+    backing's frame count differs from [nr_frames]. *)
 
 val alloc_frame : t -> Addr.pfn
 (** Pop a free frame (zeroed). Raises [Failure] when exhausted. *)

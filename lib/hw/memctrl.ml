@@ -18,6 +18,12 @@ type t = {
   fw_keys : (string, Aes.key) Hashtbl.t;
   costs : Cost.table;
   mutable fetch_check : (Addr.pfn -> bytes -> (unit, string) result) option;
+  (* Span scratch for the encrypted read-modify-write paths: plaintext
+     spans never outlive the call (reads copy out with [Bytes.sub]), so
+     one page-sized buffer per controller replaces a [Bytes.create] per
+     encrypted DRAM access — the hottest allocation in a fleet run.
+     Machine-local, hence job-local under the fleet ownership rules. *)
+  scratch : bytes;
 }
 
 let fw_key_cache_max = 256
@@ -29,7 +35,8 @@ let create mem ledger rng =
     slots = Hashtbl.create 16;
     fw_keys = Hashtbl.create 16;
     costs = Cost.default;
-    fetch_check = None }
+    fetch_check = None;
+    scratch = Bytes.create Addr.page_size }
 
 let set_fetch_check t check = t.fetch_check <- check
 
@@ -113,7 +120,7 @@ let read t sel pfn ~off ~len =
     | Some key ->
         charge_blocks t ~encrypted:true (last - first + 1);
         let span = (last - first + 1) * Addr.block_size in
-        let plain = Bytes.create span in
+        let plain = t.scratch in
         let page = Physmem.page t.mem src_pfn in
         (* Integrity engine, if armed: check the ciphertext actually
            fetched against the tree entry for the *requested* frame, so a
@@ -142,7 +149,7 @@ let write t sel pfn ~off data =
            neighbouring plaintext intact. *)
         charge_blocks t ~encrypted:true (last - first + 1);
         let span = (last - first + 1) * Addr.block_size in
-        let plain = Bytes.create span in
+        let plain = t.scratch in
         let page = Physmem.page t.mem pfn in
         Modes.xex_decrypt_span key ~tweak0:(tweak_of pfn first) ~tweak_step
           ~src:page ~src_off:(first * Addr.block_size) ~dst:plain ~dst_off:0 ~len:span;

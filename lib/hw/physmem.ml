@@ -6,6 +6,13 @@ let create ~nr_frames =
 
 let nr_frames t = Array.length t.frames
 
+(* Reuse path for the fleet arenas: a reset backing must be
+   indistinguishable from [create]'s fresh zeroed memory — [Bytes.fill]
+   is the memset the allocator would otherwise pay as fresh-page zeroing,
+   without the 32 MiB of major-heap churn per simulated machine. *)
+let reset t =
+  Array.iter (fun frame -> Bytes.fill frame 0 (Bytes.length frame) '\000') t.frames
+
 let check t pfn off len =
   if pfn < 0 || pfn >= Array.length t.frames then
     invalid_arg (Printf.sprintf "Physmem: frame 0x%x out of bounds" pfn);

@@ -14,6 +14,15 @@ val create : nr_frames:int -> t
 
 val nr_frames : t -> int
 
+val reset : t -> unit
+(** Zero every frame in place, making the backing byte-identical to a
+    fresh [create ~nr_frames] result. The arena-reuse primitive behind
+    [Machine.create ?mem]: a fleet worker resets one backing per job
+    instead of allocating (and garbage-collecting) 32 MiB of pages per
+    simulated machine. Not thread-safe against concurrent users of the
+    same [t] — the caller owns the backing exclusively across the reset
+    (the per-worker arena discipline guarantees this). *)
+
 val read_raw : t -> Addr.pfn -> off:int -> len:int -> bytes
 (** Physical-channel read (no decryption). Raises [Invalid_argument] when the
     range leaves the page or the frame is out of bounds. *)

@@ -106,19 +106,65 @@ let entries_of st =
 
 let entries () = entries_of (st ())
 
-let capture ?(capacity = default_capacity) ?clock f =
-  if capacity <= 0 then invalid_arg "Trace.capture: capacity must be positive";
-  let saved = Domain.DLS.get key in
+(* --- reusable rings ---------------------------------------------------- *)
+
+(* A ring is just an un-installed recording state: [record_into] swaps it
+   into the domain's DLS slot for the duration of one run, so reuse means
+   resetting counters — the entry array survives across runs and the
+   steady-state fleet loop stops reallocating 64k-slot arrays per VM. *)
+type ring = state
+
+let ring ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Trace.ring: capacity must be positive";
   let s = fresh_state () in
   s.capacity <- capacity;
-  (match clock with Some c -> s.clock <- c | None -> ());
-  s.on <- true;
-  Domain.DLS.set key s;
+  s
+
+let ring_capacity (r : ring) = r.capacity
+
+let ring_reset (r : ring) =
+  r.on <- false;
+  r.next <- 0;
+  r.total <- 0;
+  r.scopes <- [];
+  (* The clock is job state, not arena state: a stale neighbour's clock
+     must never stamp the first events of the next job. *)
+  r.clock <- (fun () -> 0)
+
+let record_into (r : ring) ?clock f =
+  ring_reset r;
+  (match clock with Some c -> r.clock <- c | None -> ());
+  r.on <- true;
+  let saved = Domain.DLS.get key in
+  Domain.DLS.set key r;
   Fun.protect
-    ~finally:(fun () -> Domain.DLS.set key saved)
-    (fun () ->
-      let result = f () in
-      (result, entries_of s))
+    ~finally:(fun () ->
+      r.on <- false;
+      Domain.DLS.set key saved)
+    f
+
+let ring_entries (r : ring) = entries_of r
+
+let ring_length (r : ring) = min r.total r.capacity
+
+let ring_emitted (r : ring) = r.total
+
+let ring_dropped (r : ring) = max 0 (r.total - r.capacity)
+
+let ring_iter (r : ring) g =
+  let n = min r.total r.capacity in
+  if n > 0 then begin
+    let start = if r.total > r.capacity then r.next else 0 in
+    for i = 0 to n - 1 do
+      g r.buf.((start + i) mod r.capacity)
+    done
+  end
+
+let capture ?(capacity = default_capacity) ?clock f =
+  if capacity <= 0 then invalid_arg "Trace.capture: capacity must be positive";
+  let r = ring ~capacity () in
+  let result = record_into r ?clock f in
+  (result, entries_of r)
 
 (* --- export ------------------------------------------------------------ *)
 

@@ -97,6 +97,75 @@ val capture : ?capacity:int -> ?clock:(unit -> int) -> (unit -> 'a) -> 'a * entr
     until [f] installs one with {!set_clock}. Raises [Invalid_argument]
     if [capacity <= 0]. *)
 
+(** {2 Reusable rings (per-worker arenas)}
+
+    {!capture} allocates a fresh ring per call; a fleet worker that runs
+    hundreds of VM jobs back-to-back would churn one [capacity]-slot
+    array (plus one entry list) per job through the major heap — exactly
+    the allocation pattern that forces OCaml 5's stop-the-world GC
+    rendezvous across domains and flattens the fleet curve. A {!ring} is
+    the reusable alternative: allocate it once per worker, then
+    {!record_into} it for each job. The slot array survives across jobs;
+    only counters, scope stack and clock are reset. *)
+
+type ring
+(** A reusable recording: the same state {!capture} builds internally,
+    not yet installed on any domain. Owned by exactly one worker at a
+    time — installing one ring on two domains concurrently is a data
+    race, same rule as any live recording. *)
+
+val ring : ?capacity:int -> unit -> ring
+(** A fresh, empty, disabled ring. [capacity] defaults to 65536 entries
+    and is fixed for the ring's lifetime. Raises [Invalid_argument] if
+    [capacity <= 0]. *)
+
+val ring_capacity : ring -> int
+(** The capacity the ring was created with. *)
+
+val record_into : ring -> ?clock:(unit -> int) -> (unit -> 'a) -> 'a
+(** [record_into r f] is {!capture} into a caller-owned ring: resets [r]
+    (counters, scope stack, clock — {e not} the slot array), enables it,
+    installs it as the calling domain's recording, runs [f], and restores
+    the previous recording afterwards — even on exceptions, which
+    propagate unchanged. Entries stay in [r] for the caller to read
+    ({!ring_entries}/{!ring_iter}) until the next [record_into] on it.
+
+    Determinism: because the reset clears everything a previous job could
+    have left behind (clock included — a stale neighbour clock never
+    stamps the next job's events), the entries recorded for [f] are
+    byte-identical to what [capture f] would have returned; the qcheck
+    arena-reuse property in [test/test_fleet.ml] pins this. Stale
+    entries from earlier runs beyond the new run's count are never
+    observable: both readers bound themselves by the current counters. *)
+
+val ring_entries : ring -> entry list
+(** The ring's recorded entries, oldest first (allocates the list; for
+    the zero-copy path use {!ring_iter}). *)
+
+val ring_iter : ring -> (entry -> unit) -> unit
+(** [ring_iter r g] applies [g] to each recorded entry, oldest first,
+    without allocating a list — the streaming-serialization path: fleet
+    workers fold entries straight into a spill buffer. [g] must not
+    re-enter the ring (emit into or reset [r]). *)
+
+val ring_length : ring -> int
+(** How many entries the ring currently holds:
+    [min (ring_emitted r) (ring_capacity r)]. *)
+
+val ring_emitted : ring -> int
+(** Total events emitted into the ring during its last [record_into]
+    (including any the ring overwrote after wrapping). *)
+
+val ring_dropped : ring -> int
+(** How many of those the ring overwrote:
+    [max 0 (ring_emitted r - ring_capacity r)]. *)
+
+val ring_reset : ring -> unit
+(** Disable the ring and drop its recorded entries (counters, scope
+    stack and clock revert to the fresh state; the slot array is kept for
+    reuse). {!record_into} does this implicitly; explicit reset is for
+    releasing entry references early without dropping the arena. *)
+
 val entries : unit -> entry list
 (** The calling domain's recorded entries, oldest first. *)
 

@@ -43,8 +43,8 @@ let access_bytes = 64
 let sample_accesses = 512
 let sample_exits = 32
 
-let boot_stack profile config seed =
-  let machine = Hw.Machine.create ~seed () in
+let boot_stack ?mem profile config seed =
+  let machine = Hw.Machine.create ?mem ~seed () in
   (* If this domain is recording a trace (fleet shards capture one per
      VM), timestamp it in this machine's simulated cycles — never wall
      time — so the trace bytes depend only on the seed. *)
@@ -84,9 +84,9 @@ let boot_stack profile config seed =
           | Fidelius | Xen_baseline -> ());
           (machine, hv, dom))
 
-let run profile config =
+let run ?mem profile config =
   let seed = seed_of profile config in
-  let machine, hv, dom = boot_stack profile config seed in
+  let machine, hv, dom = boot_stack ?mem profile config seed in
   let ledger = machine.Hw.Machine.ledger in
   let costs = machine.Hw.Machine.costs in
   let rng = Rng.create (Int64.add seed 101L) in

@@ -41,7 +41,16 @@ type result = {
           run ledger's total *)
 }
 
-val run : Profile.t -> config -> result
+val run : ?mem:Fidelius_hw.Physmem.t -> Profile.t -> config -> result
+(** Boot and measure one stack. [mem] recycles a DRAM backing for the
+    machine ([Hw.Machine.create ?mem] — reset to all-zeroes first), the
+    fleet arena fast path; the result is a pure function of
+    [(profile, config)] whether or not a backing is reused, which the
+    arena-reuse qcheck property in [test/test_fleet.ml] pins. The caller
+    must own the backing exclusively for the duration of the run. Raises
+    [Invalid_argument] if the backing's frame count differs from
+    [Hw.Machine.default_nr_frames], and [Failure] if the protected boot
+    itself fails. *)
 
 val overhead_pct : base:result -> result -> float
 (** [(cycles - base.cycles) / base.cycles * 100]. *)

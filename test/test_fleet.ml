@@ -88,6 +88,77 @@ let test_map_validates () =
     (Invalid_argument "Pool.map: domains must be >= 1") (fun () ->
       ignore (Pool.map ~domains:0 ~njobs:3 (fun j -> j)))
 
+(* --- map_with: worker-lifetime state -------------------------------------- *)
+
+let test_map_with_init_finish_once_per_worker () =
+  (* init and finish must each run exactly once per worker domain, and
+     every job on a worker must see the state its init returned. *)
+  let njobs = 13 and domains = 4 in
+  let nworkers = Pool.workers ~njobs ~ndomains:domains in
+  let inits = Atomic.make 0 and finishes = Atomic.make 0 in
+  let results =
+    Pool.map_with ~domains ~njobs
+      ~init:(fun w -> Atomic.incr inits; (w, ref 0))
+      ~finish:(fun w (w', jobs_seen) ->
+        Atomic.incr finishes;
+        Alcotest.(check int) "finish sees its own worker's state" w w';
+        Alcotest.(check bool) "worker ran at least one job" true (!jobs_seen > 0))
+      (fun (w, jobs_seen) j -> incr jobs_seen; (w, j))
+  in
+  Alcotest.(check int) "one init per worker" nworkers (Atomic.get inits);
+  Alcotest.(check int) "one finish per worker" nworkers (Atomic.get finishes);
+  Alcotest.(check (list int)) "jobs in canonical order"
+    (List.init njobs (fun j -> j))
+    (List.map snd results);
+  (* A worker's jobs are its chunk: contiguous, so each worker index must
+     tag a contiguous run of job indices. *)
+  let chunk_workers = List.map fst results in
+  let deduped =
+    List.fold_left (fun acc w -> match acc with x :: _ when x = w -> acc | _ -> w :: acc) []
+      chunk_workers
+  in
+  Alcotest.(check int) "each worker owns one contiguous job range" nworkers
+    (List.length deduped)
+
+let test_map_with_shared_state_sequential () =
+  (* Jobs on one worker reuse the same state sequentially: a per-worker
+     counter must count that worker's jobs without ever racing. *)
+  let rows =
+    Pool.map_with ~domains:2 ~njobs:10
+      ~init:(fun _ -> ref 0)
+      (fun c j -> incr c; (j, !c))
+  in
+  List.iter
+    (fun (j, nth) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "job %d is its worker's %dth (1-based, within chunk)" j nth)
+        true
+        (nth >= 1 && nth <= 10))
+    rows;
+  (* First job of the run is always some worker's first. *)
+  Alcotest.(check int) "job 0 is its worker's first" 1 (List.assoc 0 rows)
+
+let test_map_with_finish_runs_on_job_failure () =
+  let finished = Atomic.make 0 in
+  (match
+     Pool.map_with ~domains:2 ~njobs:6
+       ~init:(fun _ -> ())
+       ~finish:(fun _ () -> Atomic.incr finished)
+       (fun () j -> if j = 2 then failwith "boom" else j)
+   with
+  | _ -> Alcotest.fail "expected Job_failed"
+  | exception Pool.Job_failed { job; _ } ->
+      Alcotest.(check int) "lowest failing job" 2 job);
+  Alcotest.(check int) "finish ran on every worker despite the failure"
+    (Pool.workers ~njobs:6 ~ndomains:2)
+    (Atomic.get finished)
+
+let test_map_with_validates () =
+  Alcotest.check_raises "domains < 1 rejected"
+    (Invalid_argument "Pool.map_with: domains must be >= 1") (fun () ->
+      ignore
+        (Pool.map_with ~domains:0 ~njobs:3 ~init:(fun _ -> ()) (fun () j -> j)))
+
 (* --- per-shard trace isolation ------------------------------------------- *)
 
 let test_shard_trace_isolation () =
@@ -143,7 +214,150 @@ let test_chrome_of_shards_shape () =
         (Option.map (( = ) (Json.Int 2)) (Json.member "shards" other))
   | None -> Alcotest.fail "otherData missing"
 
+(* --- reusable rings: wraparound and reuse hygiene -------------------------- *)
+
+let test_ring_wraparound_and_reuse () =
+  let r = Trace.ring ~capacity:4 () in
+  Trace.record_into r (fun () ->
+      for i = 0 to 9 do
+        Trace.emit (Trace.Mark (Printf.sprintf "m%d" i))
+      done);
+  Alcotest.(check int) "emitted counts past capacity" 10 (Trace.ring_emitted r);
+  Alcotest.(check int) "dropped = emitted - capacity" 6 (Trace.ring_dropped r);
+  Alcotest.(check int) "length capped at capacity" 4 (Trace.ring_length r);
+  let seqs = List.map (fun (e : Trace.entry) -> e.Trace.seq) (Trace.ring_entries r) in
+  Alcotest.(check (list int)) "survivors are the newest, oldest first" [ 6; 7; 8; 9 ] seqs;
+  (* ring_iter must agree with ring_entries byte for byte. *)
+  let via_iter = ref [] in
+  Trace.ring_iter r (fun e -> via_iter := e :: !via_iter);
+  Alcotest.(check bool) "ring_iter = ring_entries" true
+    (List.rev !via_iter = Trace.ring_entries r);
+  (* Reuse after a wrapped run: nothing stale may leak into the next job. *)
+  Trace.record_into r (fun () -> Trace.emit (Trace.Mark "fresh"));
+  Alcotest.(check int) "reused ring: emitted reset" 1 (Trace.ring_emitted r);
+  Alcotest.(check int) "reused ring: dropped reset" 0 (Trace.ring_dropped r);
+  (match Trace.ring_entries r with
+  | [ { Trace.seq = 0; event = Trace.Mark "fresh"; _ } ] -> ()
+  | _ -> Alcotest.fail "stale entries leaked across ring reuse");
+  Alcotest.check_raises "capacity <= 0 rejected"
+    (Invalid_argument "Trace.ring: capacity must be positive") (fun () ->
+      ignore (Trace.ring ~capacity:0 ()))
+
+(* --- streaming merge: header/footer composition and spill concat ----------- *)
+
+let test_chrome_streaming_envelope () =
+  (* The streamed document (header ^ fragments ^ footer) must be
+     byte-identical to the in-memory Json.to_string rendering — this is
+     what makes spill-file concatenation a legal merge. *)
+  let mk label n =
+    ( label,
+      snd (Trace.capture (fun () ->
+               for i = 0 to n - 1 do
+                 Trace.emit (Trace.Mark (Printf.sprintf "%s-%d" label i))
+               done)) )
+  in
+  let shards = [ mk "vm0:a" 3; mk "vm1:b" 0; mk "vm2:c" 2 ] in
+  let in_memory = Json.to_string (Merge.chrome_of_shards shards) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf Merge.chrome_header;
+  List.iteri
+    (fun k (label, entries) ->
+      if k > 0 then Buffer.add_char buf ',';
+      Json.to_buffer buf (Merge.process_meta ~pid:(k + 1) label);
+      List.iter
+        (fun e ->
+          Buffer.add_char buf ',';
+          Json.to_buffer buf (Trace.chrome_event ~pid:(k + 1) e))
+        entries)
+    shards;
+  Buffer.add_string buf
+    (Merge.chrome_footer
+       ~shards:(List.map (fun (l, es) -> (l, List.length es)) shards));
+  Alcotest.(check string) "streamed envelope = in-memory rendering" in_memory
+    (Buffer.contents buf)
+
+let test_concat_spills () =
+  let dir = Filename.temp_file "fleet-spill" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let spill n contents =
+    let p = Filename.concat dir (Printf.sprintf "s-%d" n) in
+    let oc = open_out_bin p in
+    output_string oc contents; close_out oc; p
+  in
+  let paths = [ spill 0 "alpha,"; spill 1 ""; spill 2 "beta" ] in
+  let out = Filename.concat dir "merged" in
+  Merge.concat_spills ~out ~header:"H[" ~footer:"]F" paths;
+  let ic = open_in_bin out in
+  let merged = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "header + spills in order + footer" "H[alpha,beta]F" merged;
+  List.iter Sys.remove (out :: paths);
+  Sys.rmdir dir
+
 (* --- the determinism contract --------------------------------------------- *)
+
+(* The arena-reuse property, at the pool/ring level: a run whose workers
+   reuse one ring + one scratch buffer across all their jobs must produce
+   bytes identical to a run that captures into fresh state per job, for
+   random (njobs, ndomains, seed). The job itself is seed-dependent so
+   reuse bugs (stale counters, stale clock, stale scratch) have plenty of
+   surface to corrupt. *)
+let test_arena_reuse_byte_identical =
+  QCheck.Test.make ~count:40 ~name:"arena reuse is byte-invisible"
+    QCheck.(triple (int_bound 24) (int_range 1 6) (int_bound 1000))
+    (fun (njobs, ndomains, seed) ->
+      let job_events j =
+        (* deterministic, seed- and job-dependent event stream *)
+        let n = 1 + ((seed + (j * 7)) mod 5) in
+        for i = 0 to n - 1 do
+          Trace.emit (Trace.Mark (Printf.sprintf "s%d-j%d-e%d" seed j i))
+        done;
+        n
+      in
+      let serialize buf j entries =
+        Buffer.clear buf;
+        List.iter
+          (fun e -> Json.to_buffer buf (Trace.chrome_event ~pid:(j + 1) e))
+          entries;
+        Buffer.contents buf
+      in
+      let fresh =
+        Pool.map ~domains:ndomains ~njobs (fun j ->
+            let n, entries = Trace.capture (fun () -> job_events j) in
+            (n, serialize (Buffer.create 64) j entries))
+      in
+      let reused =
+        Pool.map_with ~domains:ndomains ~njobs
+          ~init:(fun _ -> (Trace.ring ~capacity:8 (), Buffer.create 64))
+          (fun (ring, buf) j ->
+            let n = Trace.record_into ring (fun () -> job_events j) in
+            (n, serialize buf j (Trace.ring_entries ring)))
+      in
+      fresh = reused)
+
+(* The same property end-to-end: run_stream (arenas + spill files) must
+   write byte-for-byte what run (fresh allocation, in-memory merge) would
+   serialize, for random population and domain counts. *)
+let test_stream_matches_run =
+  QCheck.Test.make ~count:6 ~name:"run_stream artifacts = run artifacts"
+    QCheck.(pair (int_bound 5) (int_range 1 3))
+    (fun (vms, domains) ->
+      let csv_f = Filename.temp_file "fleet" ".csv" in
+      let trc_f = Filename.temp_file "fleet" ".json" in
+      let read f = let ic = open_in_bin f in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic; s
+      in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove csv_f; Sys.remove trc_f)
+        (fun () ->
+          let _summary =
+            W.Fleetbench.run_stream ~domains ~vms ~csv:csv_f ~trace:trc_f ()
+          in
+          let t = W.Fleetbench.run ~domains:1 ~vms () in
+          read csv_f = W.Fleetbench.csv t
+          && read trc_f = Json.to_string (W.Fleetbench.chrome t) ^ "\n"))
 
 let test_fleetbench_domain_count_invariance () =
   let a = W.Fleetbench.run ~domains:1 ~vms:3 () in
@@ -186,13 +400,28 @@ let () =
           Alcotest.test_case "map_list" `Quick test_map_list;
           Alcotest.test_case "deterministic failure" `Quick test_map_failure_deterministic;
           Alcotest.test_case "validates domains" `Quick test_map_validates ] );
+      ( "map_with",
+        [ Alcotest.test_case "init/finish once per worker" `Quick
+            test_map_with_init_finish_once_per_worker;
+          Alcotest.test_case "shared state is sequential" `Quick
+            test_map_with_shared_state_sequential;
+          Alcotest.test_case "finish survives job failure" `Quick
+            test_map_with_finish_runs_on_job_failure;
+          Alcotest.test_case "validates domains" `Quick test_map_with_validates ] );
       ( "isolation",
         [ Alcotest.test_case "shard traces isolated" `Quick test_shard_trace_isolation ] );
+      ( "arena",
+        [ Alcotest.test_case "ring wraparound and reuse" `Quick
+            test_ring_wraparound_and_reuse;
+          QCheck_alcotest.to_alcotest test_arena_reuse_byte_identical ] );
       ( "merge",
         [ Alcotest.test_case "sum_counts" `Quick test_sum_counts;
-          Alcotest.test_case "chrome shards" `Quick test_chrome_of_shards_shape ] );
+          Alcotest.test_case "chrome shards" `Quick test_chrome_of_shards_shape;
+          Alcotest.test_case "streaming envelope" `Quick test_chrome_streaming_envelope;
+          Alcotest.test_case "concat_spills" `Quick test_concat_spills ] );
       ( "determinism",
         [ Alcotest.test_case "fleet bench artifacts" `Quick
             test_fleetbench_domain_count_invariance;
+          QCheck_alcotest.to_alcotest test_stream_matches_run;
           Alcotest.test_case "fault matrix verdicts" `Quick
             test_matrix_domain_count_invariance ] ) ]
