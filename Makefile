@@ -19,13 +19,17 @@
 #   make migrate-smoke  fast pre-copy/monotonicity/determinism/rollback check
 #   make perf        re-measure the bechamel primitives and print the
 #                    speedup against the recorded results/bench.json baseline
+#   make perf-gate   regression gate over the pinned fast-path keys: any key
+#                    slower than 2x its recorded bench.json baseline fails
+#                    (best of two runs; PERF_GATE_SKIP=1 to skip)
 #   make crypto-selftest  report the CPUID-selected AES/SHA backends and
 #                    cross-check every tier against the executable
 #                    specification (nonzero exit on any mismatch)
 #   make check       what CI runs: build + tests + crypto self-test + matrix
-#                    + fleet smoke + serve smoke + migrate smoke + docs
+#                    + fleet smoke + serve smoke + migrate smoke + perf gate
+#                    + docs
 
-.PHONY: build test doc doc-strict matrix fleet fleet-smoke fleet-scale serve serve-smoke migrate migrate-smoke perf crypto-selftest check clean
+.PHONY: build test doc doc-strict matrix fleet fleet-smoke fleet-scale serve serve-smoke migrate migrate-smoke perf perf-gate crypto-selftest check clean
 
 build:
 	dune build @all
@@ -66,10 +70,13 @@ migrate-smoke:
 perf:
 	dune exec bench/main.exe -- perf
 
+perf-gate:
+	dune exec bench/main.exe -- perf-gate
+
 crypto-selftest:
 	dune exec bin/fidelius_sim.exe -- cpu-features
 
-check: build test crypto-selftest matrix fleet-smoke serve-smoke migrate-smoke doc
+check: build test crypto-selftest matrix fleet-smoke serve-smoke migrate-smoke perf-gate doc
 
 clean:
 	dune clean

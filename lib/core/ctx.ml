@@ -9,7 +9,9 @@ type t = {
   shadows : (int, Shadow.t) Hashtbl.t;
   fid_text : Hw.Addr.pfn list;
   vmrun_page : Hw.Addr.pfn;
+  vmrun_pfns : Hw.Addr.pfn list;
   cr3_page : Hw.Addr.pfn;
+  host_exec_ok : Hw.Addr.pfn -> bool;
   xen_measurement : bytes;
   mutable protected_domids : int list;
   mutable next_domain_protected : bool;

@@ -17,7 +17,13 @@ type t = {
   shadows : (int, Shadow.t) Hashtbl.t;  (** domid -> shadow state *)
   fid_text : Hw.Addr.pfn list;          (** Fidelius code, mapped RX in Xen *)
   vmrun_page : Hw.Addr.pfn;             (** VMRUN's only home, normally unmapped *)
+  vmrun_pfns : Hw.Addr.pfn list;
+      (** [[vmrun_page]], preallocated so the per-crossing type-3 gate call
+          does not cons a fresh singleton *)
   cr3_page : Hw.Addr.pfn;               (** mov-CR3's only home, normally unmapped *)
+  host_exec_ok : Hw.Addr.pfn -> bool;
+      (** [Mmu.exec_ok machine hv.host_space], closed over once at install
+          so gate WP toggles don't build the partial application per call *)
   xen_measurement : bytes;              (** SHA-256 of hypervisor text at late launch *)
   mutable protected_domids : int list;
   mutable next_domain_protected : bool;

@@ -26,8 +26,11 @@ let capacity t = Array.length t.frames * entries_per_frame
 
 let locate t idx = (t.frames.(idx / entries_per_frame), idx mod entries_per_frame * entry_size)
 
+let c_git = Hw.Cost.intern "git"
+
 let charge t =
-  Hw.Cost.charge t.machine.Hw.Machine.ledger "git" t.machine.Hw.Machine.costs.Hw.Cost.git_lookup
+  Hw.Cost.charge_id t.machine.Hw.Machine.ledger c_git
+    t.machine.Hw.Machine.costs.Hw.Cost.git_lookup
 
 let read_slot t idx =
   let pfn, off = locate t idx in

@@ -38,22 +38,29 @@ let per_sector f ~sector data =
   done;
   out
 
-let charge_blocks ctx label rate data =
+(* Per-codec charge labels, interned once (at module init for the fixed
+   codecs, at codec construction for [keyed_codec]) so the per-transfer
+   charge never hashes the label string. *)
+let c_io_sev = Hw.Cost.intern "io-encode-sev"
+let c_io_gek = Hw.Cost.intern "io-encode-gek"
+
+let charge_blocks ctx label_id rate data =
   let machine = ctx.Ctx.machine in
   let blocks = (Bytes.length data + Hw.Addr.block_size - 1) / Hw.Addr.block_size in
   let extra = max 0 (rate - machine.Hw.Machine.costs.Hw.Cost.memcpy_block) in
-  Hw.Cost.charge machine.Hw.Machine.ledger label (blocks * extra)
+  Hw.Cost.charge_id machine.Hw.Machine.ledger label_id (blocks * extra)
 
 let keyed_codec ctx ~name ~rate ~label ~kblk =
   let key = Aes.expand kblk in
+  let label_id = Hw.Cost.intern label in
   { Xen.Blkif.codec_name = name;
     encode =
       (fun ~sector data ->
-        charge_blocks ctx label rate data;
+        charge_blocks ctx label_id rate data;
         xex_sectors ~key ~sector ~encrypt:true data);
     decode =
       (fun ~sector data ->
-        charge_blocks ctx label rate data;
+        charge_blocks ctx label_id rate data;
         xex_sectors ~key ~sector ~encrypt:false data) }
 
 let aesni_codec ctx ~kblk =
@@ -116,7 +123,7 @@ let sev_codec io =
   let rate = machine.Hw.Machine.costs.Hw.Cost.sev_engine_block in
   let fail msg = failwith ("sev_codec: " ^ msg) in
   let encode ~sector data =
-    charge_blocks ctx "io-encode-sev" rate data;
+    charge_blocks ctx c_io_sev rate data;
     per_sector
       (fun ~sector piece ->
         (* Stage through Md (guest-private, Kvek), then SEND_UPDATE turns
@@ -132,7 +139,7 @@ let sev_codec io =
       ~sector data
   in
   let decode ~sector data =
-    charge_blocks ctx "io-encode-sev" rate data;
+    charge_blocks ctx c_io_sev rate data;
     per_sector
       (fun ~sector piece ->
         match
@@ -190,7 +197,7 @@ let gek_codec io =
   let rate = machine.Hw.Machine.costs.Hw.Cost.sev_engine_block in
   let fail msg = failwith ("gek_codec: " ^ msg) in
   let encode ~sector data =
-    charge_blocks ctx "io-encode-gek" rate data;
+    charge_blocks ctx c_io_gek rate data;
     per_sector
       (fun ~sector piece ->
         Xen.Hypervisor.in_guest hv io.g_dom (fun () ->
@@ -204,7 +211,7 @@ let gek_codec io =
       ~sector data
   in
   let decode ~sector data =
-    charge_blocks ctx "io-encode-gek" rate data;
+    charge_blocks ctx c_io_gek rate data;
     per_sector
       (fun ~sector piece ->
         match

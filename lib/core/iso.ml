@@ -2,6 +2,9 @@ module Hw = Fidelius_hw
 module Xen = Fidelius_xen
 module Sha256 = Fidelius_crypto.Sha256
 
+(* Charge site of the shadowing round trip, interned once. *)
+let c_shadow = Hw.Cost.intern "shadow"
+
 let raw_map ctx pfn proto =
   let hv = ctx.Ctx.hv in
   Hw.Mmu.set_pte ctx.Ctx.machine ~space:hv.Xen.Hypervisor.host_space
@@ -52,9 +55,9 @@ let protect_table_pages ctx table usage =
   mark_pit_frames ctx
 
 let new_shadow ctx (dom : Xen.Domain.t) =
-  match Hashtbl.find_opt ctx.Ctx.shadows dom.Xen.Domain.domid with
-  | Some s -> s
-  | None ->
+  match Hashtbl.find ctx.Ctx.shadows dom.Xen.Domain.domid with
+  | s -> s
+  | exception Not_found ->
       let machine = ctx.Ctx.machine in
       let backing = Hw.Machine.alloc_frame machine in
       Pit.set ctx.Ctx.pit backing
@@ -161,7 +164,7 @@ let install_hooks ctx =
   med.Xen.Hypervisor.on_vmexit <-
     (fun dom reason ->
       if Ctx.is_protected ctx dom.Xen.Domain.domid then begin
-        Hw.Cost.charge machine.Hw.Machine.ledger "shadow"
+        Hw.Cost.charge_id machine.Hw.Machine.ledger c_shadow
           (machine.Hw.Machine.costs.Hw.Cost.shadow_roundtrip / 2);
         let shadow = new_shadow ctx dom in
         Shadow.capture shadow machine dom.Xen.Domain.vmcb reason
@@ -170,25 +173,24 @@ let install_hooks ctx =
   med.Xen.Hypervisor.before_vmrun <-
     (fun dom ->
       if Ctx.is_protected ctx dom.Xen.Domain.domid then begin
-        Hw.Cost.charge machine.Hw.Machine.ledger "shadow"
+        Hw.Cost.charge_id machine.Hw.Machine.ledger c_shadow
           ((machine.Hw.Machine.costs.Hw.Cost.shadow_roundtrip + 1) / 2);
         let shadow = new_shadow ctx dom in
-        match Shadow.last_exit shadow with
-        | None ->
-            (* First entry: the VMCB was legitimately prepared by the boot
-               flow; there is nothing to verify against yet. *)
-            Ok ()
-        | Some _ -> (
-            match Shadow.verify_and_restore shadow machine dom.Xen.Domain.vmcb with
-            | Ok () -> Ok ()
-            | Error msg ->
-                Ctx.audit ctx msg;
-                Error msg)
+        if not (Shadow.has_capture shadow) then
+          (* First entry: the VMCB was legitimately prepared by the boot
+             flow; there is nothing to verify against yet. *)
+          Ok ()
+        else
+          match Shadow.verify_and_restore shadow machine dom.Xen.Domain.vmcb with
+          | Ok () -> Ok ()
+          | Error msg ->
+              Ctx.audit ctx msg;
+              Error msg
       end
       else Ok ());
 
   med.Xen.Hypervisor.vmrun_gate <-
-    (fun f -> Gate.with_type3 ctx ~pfns:[ ctx.Ctx.vmrun_page ] ~executable:true f);
+    (fun f -> Gate.with_type3 ctx ~pfns:ctx.Ctx.vmrun_pfns ~executable:true f);
 
   med.Xen.Hypervisor.on_guest_frame_alloc <-
     (fun dom pfn ->
@@ -265,7 +267,9 @@ let place_gated_insns ctx =
   let machine = ctx.Ctx.machine in
   let cpu = machine.Hw.Machine.cpu in
   let insns = machine.Hw.Machine.insns in
-  let bit v pos = not (Int64.equal (Int64.logand v (Int64.shift_left 1L pos)) 0L) in
+  (* All tested bits sit below 62, so the untagged-int view is exact and
+     the extraction never boxes an intermediate [int64]. *)
+  let bit v pos = (Int64.to_int v lsr pos) land 1 = 1 in
   let fid_page = List.hd ctx.Ctx.fid_text in
   let gate2 check apply v =
     (* The checking loop charges only hypervisor-originated executions;
@@ -324,7 +328,11 @@ let install hv =
       shadows = Hashtbl.create 8;
       fid_text;
       vmrun_page;
+      vmrun_pfns = [ vmrun_page ];
       cr3_page;
+      host_exec_ok =
+        (let host = hv.Xen.Hypervisor.host_space in
+         fun pfn -> Hw.Mmu.exec_ok machine host pfn);
       xen_measurement;
       protected_domids = [];
       next_domain_protected = false;

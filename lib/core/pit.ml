@@ -1,5 +1,7 @@
 module Hw = Fidelius_hw
 
+let c_pit = Hw.Cost.intern "pit"
+
 type owner =
   | Nobody
   | Xen
@@ -118,7 +120,7 @@ let walk t pfn ~alloc =
   let l2_slot = pfn / entries_per_page mod slots_per_page in
   let root_slot = pfn / (entries_per_page * slots_per_page) in
   if root_slot >= slots_per_page then invalid_arg "Pit: pfn out of radix range";
-  Hw.Cost.charge t.machine.Hw.Machine.ledger "pit"
+  Hw.Cost.charge_id t.machine.Hw.Machine.ledger c_pit
     t.machine.Hw.Machine.costs.Hw.Cost.pit_lookup;
   match child t t.root root_slot ~alloc with
   | None -> None

@@ -29,100 +29,142 @@ let updatable_fields = function
 let protected_fields =
   Vmcb.save_area @ [ Vmcb.Asid; Vmcb.Np_cr3; Vmcb.Sev_enabled; Vmcb.Np_enabled; Vmcb.Intercepts ]
 
-(* Backing-frame layout: 15 VMCB fields (8 bytes each) at offset 0, the 16
-   GPRs at offset 128, exit-reason code at 256, an in-use flag at 264. *)
-let field_off f =
-  let rec index i = function
-    | [] -> assert false
-    | x :: rest -> if x = f then i else index (i + 1) rest
-  in
-  8 * index 0 Vmcb.fields
+(* ---- preindexed views -------------------------------------------------
 
-let reg_off r =
-  let rec index i = function
-    | [] -> assert false
-    | x :: rest -> if x = r then i else index (i + 1) rest
-  in
-  128 + (8 * index 0 Cpu.regs)
+   The reason-keyed lists above stay the single source of truth; at module
+   init they are folded into per-reason bitmasks over the dense VMCB-field
+   and GPR indices, so the per-crossing capture/verify/restore loops are
+   straight [for] loops testing mask bits — no [List.mem] scans and no
+   allocation. *)
 
+let reason_index = function
+  | Vmcb.Cpuid -> 0 | Vmcb.Hlt -> 1 | Vmcb.Vmmcall -> 2 | Vmcb.Npf -> 3
+  | Vmcb.Ioio -> 4 | Vmcb.Msr -> 5 | Vmcb.Intr -> 6 | Vmcb.Shutdown -> 7
+
+let reasons =
+  [| Vmcb.Cpuid; Vmcb.Hlt; Vmcb.Vmmcall; Vmcb.Npf;
+     Vmcb.Ioio; Vmcb.Msr; Vmcb.Intr; Vmcb.Shutdown |]
+
+let field_mask l = List.fold_left (fun m f -> m lor (1 lsl Vmcb.index f)) 0 l
+let reg_mask l = List.fold_left (fun m r -> m lor (1 lsl Cpu.reg_index r)) 0 l
+
+let vis_f_masks = Array.map (fun r -> field_mask (visible_fields r)) reasons
+let upd_f_masks = Array.map (fun r -> field_mask (updatable_fields r)) reasons
+let vis_r_masks = Array.map (fun r -> reg_mask (visible_regs r)) reasons
+let upd_r_masks = Array.map (fun r -> reg_mask (updatable_regs r)) reasons
+let save_area_mask = field_mask Vmcb.save_area
+
+(* Protected fields as dense indices, preserving [protected_fields] order
+   so a tamper report names the same field the list-scan version did. *)
+let protected_idx = Array.of_list (List.map Vmcb.index protected_fields)
+
+(* Backing-frame layout: 15 VMCB fields (8 bytes each) at offset 0 in
+   {!Vmcb.fields} order, the 16 GPRs at offset 128 in {!Cpu.regs} order,
+   exit-reason code at 256, an in-use flag at 264. *)
 let exit_off = 256
 let flag_off = 264
 
 type t = {
   frame : Hw.Addr.pfn;
-  mutable captured : Vmcb.exit_reason option;
+  (* The backing frame stays the externally visible artifact (it is what
+     Fidelius unmaps from the hypervisor); [snap_fields]/[snap_regs] cache
+     the identical [int64] values so verify/restore move pointers between
+     arrays instead of re-boxing each field out of the page bytes. *)
+  page : bytes;
+  snap_fields : int64 array;
+  snap_regs : int64 array;
+  mutable has_capture : bool;
+  mutable reason : Vmcb.exit_reason;
 }
 
-let create machine ~backing =
-  ignore machine;
-  { frame = backing; captured = None }
+let create (machine : Hw.Machine.t) ~backing =
+  { frame = backing;
+    page = Hw.Physmem.page machine.Hw.Machine.mem backing;
+    snap_fields = Array.make Vmcb.nr_fields 0L;
+    snap_regs = Array.make Cpu.nr_regs 0L;
+    has_capture = false;
+    reason = Vmcb.Cpuid }
 
 let backing t = t.frame
 
-let page (machine : Hw.Machine.t) t = Hw.Physmem.page machine.Hw.Machine.mem t.frame
-
 let capture t machine vmcb reason =
   let cpu = machine.Hw.Machine.cpu in
-  let bytes = page machine t in
-  (* Snapshot. *)
-  List.iter (fun f -> Bytes.set_int64_be bytes (field_off f) (Vmcb.get vmcb f)) Vmcb.fields;
-  List.iter (fun r -> Bytes.set_int64_be bytes (reg_off r) (Cpu.get_reg cpu r)) Cpu.regs;
+  let bytes = t.page in
+  (* Snapshot: arrays first (pointer moves), then one fused pass that
+     serializes each snapshotted value into the backing frame and applies
+     the mask — zero the save area except the reason's visible fields, and
+     zero every register the hypervisor has no business reading. *)
+  Vmcb.snapshot_into vmcb t.snap_fields;
+  Cpu.snapshot_regs_into cpu t.snap_regs;
+  let ri = reason_index reason in
+  let vis_f = vis_f_masks.(ri) and vis_r = vis_r_masks.(ri) in
+  for i = 0 to Vmcb.nr_fields - 1 do
+    Bytes.set_int64_be bytes (8 * i) (Array.unsafe_get t.snap_fields i);
+    if save_area_mask land (1 lsl i) <> 0 && vis_f land (1 lsl i) = 0 then
+      Vmcb.unsafe_set_i vmcb i 0L
+  done;
+  for i = 0 to Cpu.nr_regs - 1 do
+    Bytes.set_int64_be bytes (128 + (8 * i)) (Array.unsafe_get t.snap_regs i);
+    if vis_r land (1 lsl i) = 0 then Cpu.unsafe_set_reg_i cpu i 0L
+  done;
   Bytes.set_int64_be bytes exit_off (Vmcb.exit_reason_to_int64 reason);
   Bytes.set bytes flag_off '\001';
-  t.captured <- Some reason;
+  t.has_capture <- true;
+  t.reason <- reason;
   if Trace.enabled () then
-    Trace.emit (Trace.Shadow_capture (Vmcb.exit_reason_to_string reason));
-  (* Mask: zero the save area except the reason's visible fields, and zero
-     every register the hypervisor has no business reading. *)
-  let vis_f = visible_fields reason and vis_r = visible_regs reason in
-  List.iter (fun f -> if not (List.mem f vis_f) then Vmcb.set vmcb f 0L) Vmcb.save_area;
-  List.iter (fun r -> if not (List.mem r vis_r) then Cpu.set_reg cpu r 0L) Cpu.regs
+    Trace.emit (Trace.Shadow_capture (Vmcb.exit_reason_to_string reason))
 
-let last_exit t = t.captured
+let has_capture t = t.has_capture
+let last_exit t = if t.has_capture then Some t.reason else None
 
 let verify_and_restore t machine vmcb =
-  match t.captured with
-  | None -> Error "shadow: no captured state (VMRUN without a prior vmexit)"
-  | Some reason ->
-      let cpu = machine.Hw.Machine.cpu in
-      let bytes = page machine t in
-      let upd_f = updatable_fields reason in
-      let vis_f = visible_fields reason in
-      (* A non-updatable field must come back exactly as it was handed to
-         the hypervisor: the shadow value if it was visible, the mask (zero)
-         if it was hidden. *)
-      let handed f =
-        if List.mem f Vmcb.save_area && not (List.mem f vis_f) then 0L
-        else Bytes.get_int64_be bytes (field_off f)
-      in
-      let tampered =
-        List.find_opt
-          (fun f ->
-            (not (List.mem f upd_f)) && not (Int64.equal (Vmcb.get vmcb f) (handed f)))
-          protected_fields
-      in
-      (match tampered with
-      | Some f ->
-          if Trace.enabled () then Trace.emit (Trace.Shadow_verify { ok = false });
-          Error
-            (Printf.sprintf "shadow: VMCB field %s tampered during %s exit"
-               (Vmcb.field_to_string f)
-               (Vmcb.exit_reason_to_string reason))
-      | None ->
-          if Trace.enabled () then Trace.emit (Trace.Shadow_verify { ok = true });
-          (* Restore: non-updatable fields and registers come back from the
-             shadow; the hypervisor's updates to the allowed set stand. *)
-          let upd_r = updatable_regs reason in
-          List.iter
-            (fun f ->
-              if not (List.mem f upd_f) then
-                Vmcb.set vmcb f (Bytes.get_int64_be bytes (field_off f)))
-            Vmcb.fields;
-          List.iter
-            (fun r ->
-              if not (List.mem r upd_r) then
-                Cpu.set_reg cpu r (Bytes.get_int64_be bytes (reg_off r)))
-            Cpu.regs;
-          t.captured <- None;
-          Bytes.set bytes flag_off '\000';
-          Ok ())
+  if not t.has_capture then
+    Error "shadow: no captured state (VMRUN without a prior vmexit)"
+  else begin
+    let reason = t.reason in
+    let cpu = machine.Hw.Machine.cpu in
+    let bytes = t.page in
+    let ri = reason_index reason in
+    let upd_f = upd_f_masks.(ri) and vis_f = vis_f_masks.(ri) in
+    (* A non-updatable field must come back exactly as it was handed to
+       the hypervisor: the shadow value if it was visible, the mask (zero)
+       if it was hidden. *)
+    let tampered = ref (-1) in
+    let n = Array.length protected_idx in
+    let k = ref 0 in
+    while !tampered < 0 && !k < n do
+      let i = Array.unsafe_get protected_idx !k in
+      if upd_f land (1 lsl i) = 0 then begin
+        let handed =
+          if save_area_mask land (1 lsl i) <> 0 && vis_f land (1 lsl i) = 0 then 0L
+          else Array.unsafe_get t.snap_fields i
+        in
+        if not (Int64.equal (Vmcb.unsafe_get_i vmcb i) handed) then tampered := i
+      end;
+      incr k
+    done;
+    if !tampered >= 0 then begin
+      if Trace.enabled () then Trace.emit (Trace.Shadow_verify { ok = false });
+      Error
+        (Printf.sprintf "shadow: VMCB field %s tampered during %s exit"
+           (Vmcb.field_to_string (Vmcb.field_of_index !tampered))
+           (Vmcb.exit_reason_to_string reason))
+    end
+    else begin
+      if Trace.enabled () then Trace.emit (Trace.Shadow_verify { ok = true });
+      (* Restore: non-updatable fields and registers come back from the
+         shadow; the hypervisor's updates to the allowed set stand. *)
+      let upd_r = upd_r_masks.(ri) in
+      for i = 0 to Vmcb.nr_fields - 1 do
+        if upd_f land (1 lsl i) = 0 then
+          Vmcb.unsafe_set_i vmcb i (Array.unsafe_get t.snap_fields i)
+      done;
+      for i = 0 to Cpu.nr_regs - 1 do
+        if upd_r land (1 lsl i) = 0 then
+          Cpu.unsafe_set_reg_i cpu i (Array.unsafe_get t.snap_regs i)
+      done;
+      t.has_capture <- false;
+      Bytes.set bytes flag_off '\000';
+      Ok ()
+    end
+  end

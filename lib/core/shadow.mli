@@ -48,3 +48,7 @@ val verify_and_restore :
     return [Error] naming the field. *)
 
 val last_exit : t -> Hw.Vmcb.exit_reason option
+
+val has_capture : t -> bool
+(** Whether a vmexit capture is pending re-entry — [last_exit t <> None]
+    without allocating the option. *)

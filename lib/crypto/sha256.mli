@@ -64,6 +64,43 @@ val digest_build : (ctx -> unit) -> bytes
     heterogeneous parts ([feed] / {!feed_u64_be}) without concatenating
     them first. [f] must not itself call the one-shot helpers. *)
 
+(** {2 Two-stream hashing}
+
+    The hash unit folds two independent messages in lockstep: on SHA-NI
+    each stream's [sha256rnds2] chain is serial, so interleaving a second
+    stream fills the first one's latency shadow and a pair costs well
+    under two single hashes. The BMT batch update hashes dirty leaves and
+    dirty interior nodes two at a time through these entry points.
+
+    Results are bit-identical to hashing each stream alone (the test
+    suite cross-checks against {!digest_reference}). When the two streams
+    have different lengths the calls transparently fall back to two
+    sequential one-shot digests. *)
+
+val digest2 : bytes -> bytes -> bytes * bytes
+(** [digest2 a b] is [(digest a, digest b)], computed in lockstep when
+    the lengths match. *)
+
+val digest2_into :
+  bytes -> bytes -> dst1:bytes -> dst1_off:int -> dst2:bytes -> dst2_off:int -> unit
+(** Zero-allocation {!digest2}: writes the two digests into the
+    caller-supplied buffers. *)
+
+val digest2_prefixed_into :
+  prefix1:int64 -> bytes -> dst1:bytes -> dst1_off:int ->
+  prefix2:int64 -> bytes -> dst2:bytes -> dst2_off:int -> unit
+(** Each stream hashes the eight big-endian bytes of its prefix followed
+    by its data ({!feed_u64_be} then {!feed}) — the BMT leaf shape
+    ([pfn || page]), two leaves per call. *)
+
+val digest_pair2_into :
+  bytes -> bytes -> dst1:bytes -> dst1_off:int ->
+  bytes -> bytes -> dst2:bytes -> dst2_off:int -> unit
+(** [digest_pair2_into a1 b1 ~dst1 ~dst1_off a2 b2 ~dst2 ~dst2_off] is
+    two {!digest_pair_into} calls in lockstep — the Merkle node shape,
+    two parents per call. Destinations may alias inputs; both messages
+    are staged before either digest is written. *)
+
 val hex : bytes -> string
 (** Lowercase hex rendering of a digest (or any byte string). *)
 

@@ -15,6 +15,9 @@ type t = {
   mutable fetch_hashes : int;         (* uncharged inline fetch checks *)
   scratch : Sha256.ctx;               (* per-tree hash unit state *)
   walk : Bytes.t;                     (* 32-byte running digest for walks *)
+  upd_a : int array;                  (* dirty-index scratch, even levels *)
+  upd_b : int array;                  (* dirty-index scratch, odd levels *)
+  upd_mark : Bytes.t;                 (* per-leaf dedup marks, cleared after use *)
 }
 
 (* Hash of one leaf — pfn header || page contents — into [dst] at
@@ -25,13 +28,15 @@ let leaf_digest_into t pfn ~dst ~dst_off =
   Sha256.feed t.scratch (Physmem.page t.machine.Machine.mem pfn);
   Sha256.finalize_into t.scratch ~dst ~dst_off
 
+let c_bmt = Cost.intern "bmt"
+
 let charge_leaf t =
   t.hashes <- t.hashes + 1;
-  Cost.charge t.machine.Machine.ledger "bmt" hash_page_cycles
+  Cost.charge_id t.machine.Machine.ledger c_bmt hash_page_cycles
 
 let charge_node t =
   t.hashes <- t.hashes + 1;
-  Cost.charge t.machine.Machine.ledger "bmt" hash_node_cycles
+  Cost.charge_id t.machine.Machine.ledger c_bmt hash_node_cycles
 
 let leaf_hash t pfn =
   charge_leaf t;
@@ -60,7 +65,10 @@ let create machine ~frames =
   Array.iteri (fun i pfn -> Hashtbl.replace index_of pfn i) frames;
   let t =
     { machine; frames; index_of; levels = [||]; hashes = 0; fetch_hashes = 0;
-      scratch = Sha256.init (); walk = Bytes.create 32 }
+      scratch = Sha256.init (); walk = Bytes.create 32;
+      upd_a = Array.make (Array.length frames) 0;
+      upd_b = Array.make (Array.length frames) 0;
+      upd_mark = Bytes.make (Array.length frames) '\000' }
   in
   let leaves = Array.map (fun pfn -> leaf_hash t pfn) frames in
   let rec build acc level =
@@ -123,40 +131,133 @@ let verify_all t =
     (fun acc pfn -> Result.bind acc (fun () -> verify t pfn))
     (Ok ()) t.frames
 
+(* Collect the distinct covered indices of [pfns] into [t.upd_a], returning
+   how many were written. The mark bytes dedup in O(1) per element; the
+   caller clears them again before sorting. *)
+let rec collect_dirty t pfns n =
+  match pfns with
+  | [] -> n
+  | pfn :: rest ->
+      let n =
+        match Hashtbl.find t.index_of pfn with
+        | idx ->
+            if Bytes.unsafe_get t.upd_mark idx = '\000' then begin
+              Bytes.unsafe_set t.upd_mark idx '\001';
+              t.upd_a.(n) <- idx;
+              n + 1
+            end
+            else n
+        | exception Not_found -> n
+      in
+      collect_dirty t rest n
+
+(* In-place insertion sort of the first [n] slots. Batches are small and
+   contiguous writes arrive already ascending, where this is both
+   allocation-free and near-linear. *)
+let sort_prefix a n =
+  for i = 1 to n - 1 do
+    let v = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && a.(!j) > v do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- v
+  done
+
 (* Batched update: refresh every dirty leaf, then rebuild each affected
    interior node exactly once per level — shared ancestors of a multi-frame
    write are hashed once, not once per frame. Charges are per hash actually
    recomputed, so a single-frame batch costs exactly what the sequential
-   update always did. *)
+   update always did.
+
+   The pipeline is preallocated in the tree ([upd_a]/[upd_b]/[upd_mark]):
+   dirty indices are deduped with mark bytes, sorted in place, and walked
+   level by level through the two ping-pong arrays — sorted children yield
+   non-decreasing parents, so per-level dedup is one comparison against
+   the previous parent. No per-node allocation, and leaves and nodes are
+   hashed two at a time on the hash unit's paired stream. *)
 let update_many t pfns =
-  let idxs =
-    List.filter_map (fun pfn -> Hashtbl.find_opt t.index_of pfn) pfns
-    |> List.sort_uniq compare
-  in
-  if idxs <> [] then begin
-    List.iter
-      (fun idx ->
-        charge_leaf t;
-        leaf_digest_into t t.frames.(idx) ~dst:t.levels.(0).(idx) ~dst_off:0)
-      idxs;
-    let dirty = ref idxs in
+  let n = collect_dirty t pfns 0 in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set t.upd_mark t.upd_a.(i) '\000'
+  done;
+  if n > 0 then begin
+    sort_prefix t.upd_a n;
+    let leaves = t.levels.(0) in
+    let i = ref 0 in
+    while !i + 1 < n do
+      let ia = t.upd_a.(!i) and ib = t.upd_a.(!i + 1) in
+      charge_leaf t;
+      charge_leaf t;
+      Sha256.digest2_prefixed_into
+        ~prefix1:(Int64.of_int t.frames.(ia))
+        (Physmem.page t.machine.Machine.mem t.frames.(ia))
+        ~dst1:leaves.(ia) ~dst1_off:0
+        ~prefix2:(Int64.of_int t.frames.(ib))
+        (Physmem.page t.machine.Machine.mem t.frames.(ib))
+        ~dst2:leaves.(ib) ~dst2_off:0;
+      i := !i + 2
+    done;
+    if !i < n then begin
+      let idx = t.upd_a.(!i) in
+      charge_leaf t;
+      leaf_digest_into t t.frames.(idx) ~dst:leaves.(idx) ~dst_off:0
+    end;
+    let count = ref n in
     for level = 0 to Array.length t.levels - 2 do
-      let parents = List.sort_uniq compare (List.map (fun i -> i / 2) !dirty) in
-      List.iter
-        (fun parent ->
-          let below = t.levels.(level) in
-          let left = below.(2 * parent) in
-          let right = sibling below (2 * parent) in
-          charge_node t;
-          Sha256.digest_pair_into left right
-            ~dst:t.levels.(level + 1).(parent)
-            ~dst_off:0)
-        parents;
-      dirty := parents
+      let src = if level land 1 = 0 then t.upd_a else t.upd_b in
+      let dst = if level land 1 = 0 then t.upd_b else t.upd_a in
+      let m = ref 0 in
+      let last = ref (-1) in
+      for j = 0 to !count - 1 do
+        let parent = src.(j) lsr 1 in
+        if parent <> !last then begin
+          dst.(!m) <- parent;
+          incr m;
+          last := parent
+        end
+      done;
+      let below = t.levels.(level) in
+      let above = t.levels.(level + 1) in
+      let j = ref 0 in
+      while !j + 1 < !m do
+        let pa = dst.(!j) and pb = dst.(!j + 1) in
+        charge_node t;
+        charge_node t;
+        Sha256.digest_pair2_into
+          below.(2 * pa) (sibling below (2 * pa)) ~dst1:above.(pa) ~dst1_off:0
+          below.(2 * pb) (sibling below (2 * pb)) ~dst2:above.(pb) ~dst2_off:0;
+        j := !j + 2
+      done;
+      if !j < !m then begin
+        let parent = dst.(!j) in
+        charge_node t;
+        Sha256.digest_pair_into below.(2 * parent) (sibling below (2 * parent))
+          ~dst:above.(parent) ~dst_off:0
+      end;
+      count := !m
     done
   end
 
-let update t pfn = update_many t [ pfn ]
+(* Single-frame update: the direct leaf-to-root walk, sharing nothing to
+   amortize — bit-identical tree and charges to [update_many t [pfn]]
+   without staging the batch pipeline. *)
+let update t pfn =
+  match Hashtbl.find t.index_of pfn with
+  | exception Not_found -> ()
+  | idx ->
+      charge_leaf t;
+      leaf_digest_into t pfn ~dst:t.levels.(0).(idx) ~dst_off:0;
+      let i = ref idx in
+      for level = 0 to Array.length t.levels - 2 do
+        let parent = !i lsr 1 in
+        let below = t.levels.(level) in
+        charge_node t;
+        Sha256.digest_pair_into below.(2 * parent) (sibling below (2 * parent))
+          ~dst:t.levels.(level + 1).(parent) ~dst_off:0;
+        i := parent
+      done
 
 let hashes_performed t = t.hashes
 let fetch_hashes_performed t = t.fetch_hashes

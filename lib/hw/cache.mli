@@ -18,8 +18,18 @@ val create : ?nr_lines:int -> Cost.ledger -> t
 val fill : t -> Addr.pfn -> block:int -> bytes -> unit
 (** Record the plaintext of a 16-byte block after a CPU access. *)
 
+val fill_from : t -> Addr.pfn -> block:int -> bytes -> src_off:int -> unit
+(** [fill] reading the block at [src_off] of a larger span — same ledger
+    effect, no per-block [Bytes.sub] at the call site, and a refill of a
+    resident line reuses the line buffer instead of allocating. *)
+
 val probe : t -> Addr.pfn -> block:int -> bytes option
 (** A hit returns resident plaintext — regardless of who asks. *)
+
+val probe_into : t -> Addr.pfn -> block:int -> dst:bytes -> dst_off:int -> bool
+(** Allocation-free {!probe}: a hit blits the resident plaintext into
+    [dst] at [dst_off] and returns [true]; a miss touches nothing and (as
+    always) charges nothing. *)
 
 val frame_resident : t -> Addr.pfn -> bool
 (** [true] iff at least one line of the frame is resident. A probe miss has
@@ -31,3 +41,11 @@ val invalidate_page : t -> Addr.pfn -> unit
     changes hands under Fidelius policy). *)
 
 val resident : t -> int
+
+val order_live : t -> int
+(** Number of FIFO-queued keys whose line is still resident. The eviction
+    discipline keeps [order_live t = resident t] at all times (ghost keys
+    left by {!invalidate_page} are purged lazily and never counted). *)
+
+val order_length : t -> int
+(** Raw FIFO length, including not-yet-purged ghosts. *)

@@ -53,10 +53,29 @@ type ledger
 
 val ledger : unit -> ledger
 
+type id
+(** Dense interned handle for a category label. Charge sites resolve their
+    label once ([let c_tlb_hit = Cost.intern "tlb-hit"] at module init) so
+    the per-access {!charge_id} is an array add plus one cached scope-slot
+    add — no string hashing on the hot path. *)
+
+val intern : string -> id
+(** Resolve a label to its id, registering it on first use. Idempotent;
+    safe from any domain (the registry is mutex-guarded). *)
+
+val id_label : id -> string
+(** The label a given id was registered under. *)
+
+val charge_id : ledger -> id -> int -> unit
+(** Interned fast path of {!charge}: identical booking semantics (total,
+    category row — visible even for a 0-cycle charge — and the innermost
+    active scope), without string hashing or allocation. *)
+
 val charge : ledger -> string -> int -> unit
 (** [charge l category cycles] adds to the total, the category, and (when a
     scope is active) the innermost scope. Negative amounts would corrupt
-    the attribution invariants and raise [Invalid_argument]. *)
+    the attribution invariants and raise [Invalid_argument]. Thin wrapper
+    over {!intern} + {!charge_id}; hot sites should pre-intern. *)
 
 val root_scope : string
 (** ["(root)"] — the implicit scope owning every cycle charged outside any
@@ -69,6 +88,16 @@ val with_scope : ledger -> string -> (unit -> 'a) -> 'a
     a charge is attributed to the innermost only, so
     [sum (scopes l) = total l] holds at all times. The scope is popped on
     exceptions too. *)
+
+val scope_enter : ledger -> string -> unit
+(** Push a scope without the closure {!with_scope} costs per call. The
+    caller must guarantee a matching {!scope_exit} on every path out,
+    including exceptions — use {!with_scope} unless the call site is on an
+    allocation-free fast path. *)
+
+val scope_exit : ledger -> unit
+(** Pop the innermost scope pushed by {!scope_enter} (no-op at depth 0,
+    matching [with_scope]'s pop). *)
 
 val total : ledger -> int
 

@@ -52,6 +52,12 @@ let set_mode t m = t.cpu_mode <- m
 
 let get_reg t r = t.gprs.(reg_index r)
 let set_reg t r v = t.gprs.(reg_index r) <- v
+let nr_regs = 16
+let get_reg_i t i = t.gprs.(i)
+let set_reg_i t i v = t.gprs.(i) <- v
+let unsafe_get_reg_i t i = Array.unsafe_get t.gprs i
+let unsafe_set_reg_i t i v = Array.unsafe_set t.gprs i v
+let snapshot_regs_into t dst = Array.blit t.gprs 0 dst 0 16
 let all_regs t = List.map (fun r -> (r, get_reg t r)) regs
 let clear_regs t = Array.fill t.gprs 0 16 0L
 

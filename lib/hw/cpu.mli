@@ -28,6 +28,27 @@ val set_mode : t -> mode -> unit
 
 val get_reg : t -> reg -> int64
 val set_reg : t -> reg -> int64 -> unit
+
+val nr_regs : int
+(** 16. *)
+
+val reg_index : reg -> int
+(** Dense 0-based index ([Rax] = 0 … [R15] = 15), matching {!regs} order. *)
+
+val get_reg_i : t -> int -> int64
+val set_reg_i : t -> int -> int64 -> unit
+(** Indexed register access for preindexed loops (world-switch capture and
+    restore); moving [int64]s between arrays this way copies pointers only,
+    so the loops allocate nothing. *)
+
+val unsafe_get_reg_i : t -> int -> int64
+val unsafe_set_reg_i : t -> int -> int64 -> unit
+(** Unchecked variants for the per-crossing loops whose bounds are pinned
+    to [0 .. nr_regs - 1]; the caller guarantees the range. *)
+
+val snapshot_regs_into : t -> int64 array -> unit
+(** Blit all 16 GPRs into a caller-owned array (allocation-free). *)
+
 val all_regs : t -> (reg * int64) list
 val clear_regs : t -> unit
 (** Zero every GPR (used when masking guest state on exit). *)

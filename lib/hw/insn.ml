@@ -44,18 +44,35 @@ let instances t op =
 
 let monopolized t op = List.length (instances t op) = 1
 
-let execute t ~exec_ok op value =
-  let candidates = List.filter (fun (o, _) -> o = op) t.placed in
-  match candidates with
-  | [] -> Error (Printf.sprintf "#UD: no %s instruction exists in the code region" (op_to_string op))
-  | _ -> (
-      Cost.charge t.ledger "insn-fetch" 1;
-      match List.find_opt (fun (_, inst) -> exec_ok inst.page) candidates with
-      | None ->
-          Error
-            (Printf.sprintf "#PF(fetch): every %s instance lives in a non-executable page"
-               (op_to_string op))
-      | Some (_, inst) -> inst.handler value)
+(* One pass over the placement list, no intermediate list: charge the
+   fetch when the first instance of [op] is seen (same single charge the
+   filter-then-find version made), dispatch to the first executable one. *)
+let c_insn_fetch = Cost.intern "insn-fetch"
+
+(* Module-level so the dispatch loop is closure-free: a guest re-entry
+   (VMRUN) runs this once per world switch. *)
+let rec exec_scan t ~exec_ok op value l seen =
+  match l with
+  | [] ->
+      if seen then
+        Error
+          (Printf.sprintf "#PF(fetch): every %s instance lives in a non-executable page"
+             (op_to_string op))
+      else
+        Error
+          (Printf.sprintf "#UD: no %s instruction exists in the code region"
+             (op_to_string op))
+  | (o, inst) :: rest ->
+      (* [op] values are constant constructors, so physical equality is
+         exact and skips the generic compare call seven times per scan. *)
+      if o == op then begin
+        if not seen then Cost.charge_id t.ledger c_insn_fetch 1;
+        if exec_ok inst.page then inst.handler value
+        else exec_scan t ~exec_ok op value rest true
+      end
+      else exec_scan t ~exec_ok op value rest seen
+
+let execute t ~exec_ok op value = exec_scan t ~exec_ok op value t.placed false
 
 let inject t ~wx_ok op ~page ~handler =
   if wx_ok page then begin

@@ -1,5 +1,8 @@
 module Rng = Fidelius_crypto.Rng
 
+(* Charge sites, interned once. *)
+let c_dma = Cost.intern "dma"
+
 type t = {
   mem : Physmem.t;
   ctrl : Memctrl.t;
@@ -14,6 +17,8 @@ type t = {
   mutable next_table_id : int;
   mutable enforce_paging : bool;
   mutable iommu : (Addr.pfn -> bool) option;
+  mmu_span : bytes;
+  mmu_line : bytes;
 }
 
 let default_nr_frames = 8192
@@ -50,7 +55,9 @@ let create ?(nr_frames = default_nr_frames) ?mem ~seed () =
     free_frames = free;
     next_table_id = 1;
     enforce_paging = false;
-    iommu = None }
+    iommu = None;
+    mmu_span = Bytes.create Addr.page_size;
+    mmu_line = Bytes.create Addr.block_size }
 
 let alloc_frame t =
   match t.free_frames with
@@ -79,7 +86,7 @@ let dma_allowed t pfn =
 
 let dma_write t pfn ~off data =
   if dma_allowed t pfn then begin
-    Cost.charge t.ledger "dma" t.costs.Cost.dram_access;
+    Cost.charge_id t.ledger c_dma t.costs.Cost.dram_access;
     Physmem.write_raw t.mem pfn ~off data;
     Ok ()
   end
@@ -87,7 +94,7 @@ let dma_write t pfn ~off data =
 
 let dma_read t pfn ~off ~len =
   if dma_allowed t pfn then begin
-    Cost.charge t.ledger "dma" t.costs.Cost.dram_access;
+    Cost.charge_id t.ledger c_dma t.costs.Cost.dram_access;
     Ok (Physmem.read_raw t.mem pfn ~off ~len)
   end
   else Error (Printf.sprintf "IOMMU: DMA read from frame 0x%x denied" pfn)

@@ -21,6 +21,12 @@ type t = {
           update is permission-checked against the acting address space. *)
   mutable iommu : (Addr.pfn -> bool) option;
       (** DMA filter; [None] models a platform without IOMMU protection. *)
+  mmu_span : bytes;
+      (** Page-sized scratch owned by the MMU's cached-access span
+          assembly. Machine-local, hence job-local under the fleet
+          ownership rules; contents never outlive one access. *)
+  mmu_line : bytes;
+      (** Block-sized scratch for the MMU's write-through line refresh. *)
 }
 
 val default_nr_frames : int

@@ -5,6 +5,10 @@ module Trace = Fidelius_obs.Trace
 module Plan = Fidelius_inject.Plan
 module Site = Fidelius_inject.Site
 
+(* Charge sites, interned once. *)
+let c_dram = Cost.intern "dram"
+let c_enc_engine = Cost.intern "enc-engine"
+
 type selector =
   | Plain
   | Smek
@@ -81,8 +85,9 @@ let tweak_of pfn block = Int64.of_int (Addr.addr_of pfn (block * Addr.block_size
 let tweak_step = Int64.of_int Addr.block_size
 
 let charge_blocks t ~encrypted nblocks =
-  Cost.charge t.ledger "dram" (t.costs.Cost.dram_access * nblocks);
-  if encrypted then Cost.charge t.ledger "enc-engine" (t.costs.Cost.enc_extra * nblocks);
+  Cost.charge_id t.ledger c_dram (t.costs.Cost.dram_access * nblocks);
+  if encrypted then
+    Cost.charge_id t.ledger c_enc_engine (t.costs.Cost.enc_extra * nblocks);
   if Trace.enabled () then Trace.emit (Trace.Dram { blocks = nblocks; encrypted })
 
 let block_range off len =
@@ -106,9 +111,8 @@ let faulted_src t pfn ~off ~len =
     (if pfn + 1 < Physmem.nr_frames t.mem then pfn + 1 else pfn - 1)
   else pfn
 
-let read t sel pfn ~off ~len =
-  if len = 0 then Bytes.create 0
-  else begin
+let read_into t sel pfn ~off ~len ~dst ~dst_off =
+  if len > 0 then begin
     let src_pfn = if Plan.armed () then faulted_src t pfn ~off ~len else pfn in
     let first, last = block_range off len in
     match key_of t sel with
@@ -116,7 +120,7 @@ let read t sel pfn ~off ~len =
         (* DRAM traffic is block-granular even without encryption: an
            unaligned access touching two blocks costs two accesses. *)
         charge_blocks t ~encrypted:false (last - first + 1);
-        Physmem.read_raw t.mem src_pfn ~off ~len
+        Bytes.blit (Physmem.page t.mem src_pfn) off dst dst_off len
     | Some key ->
         charge_blocks t ~encrypted:true (last - first + 1);
         let span = (last - first + 1) * Addr.block_size in
@@ -133,8 +137,13 @@ let read t sel pfn ~off ~len =
             | Error e -> Denial.deny "memory integrity: %s" e));
         Modes.xex_decrypt_span key ~tweak0:(tweak_of pfn first) ~tweak_step
           ~src:page ~src_off:(first * Addr.block_size) ~dst:plain ~dst_off:0 ~len:span;
-        Bytes.sub plain (off - (first * Addr.block_size)) len
+        Bytes.blit plain (off - (first * Addr.block_size)) dst dst_off len
   end
+
+let read t sel pfn ~off ~len =
+  let out = Bytes.create len in
+  read_into t sel pfn ~off ~len ~dst:out ~dst_off:0;
+  out
 
 let write t sel pfn ~off data =
   let len = Bytes.length data in
@@ -175,7 +184,7 @@ let copy_page t ~src_sel ~src ~dst_sel ~dst =
   write t dst_sel dst ~off:0 plain
 
 let fw_charge t =
-  Cost.charge t.ledger "enc-engine"
+  Cost.charge_id t.ledger c_enc_engine
     ((t.costs.Cost.dram_access + t.costs.Cost.enc_extra) * Addr.blocks_per_page);
   if Trace.enabled () then
     Trace.emit (Trace.Dram { blocks = Addr.blocks_per_page; encrypted = true })

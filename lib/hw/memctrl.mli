@@ -38,6 +38,12 @@ val read : t -> selector -> Addr.pfn -> off:int -> len:int -> bytes
     containing 16-byte blocks. Charges DRAM plus, for encrypted selectors,
     the engine's added latency. *)
 
+val read_into :
+  t -> selector -> Addr.pfn -> off:int -> len:int -> dst:bytes -> dst_off:int -> unit
+(** {!read} into a caller-provided buffer — same ledger charges and trace
+    events, no result allocation. The MMU's cached-access loop threads its
+    per-machine scratch through this. *)
+
 val write : t -> selector -> Addr.pfn -> off:int -> bytes -> unit
 (** Encrypting write (read-modify-write of partial blocks). *)
 

@@ -52,6 +52,13 @@ val set_pte :
     mapping while CR0.WP is clear. Flushes the affected TLB entry. Before
     [Machine.enforce_paging] is set (early boot), the check is waived. *)
 
+val set_pte_packed :
+  Machine.t -> space:Pagetable.t -> table:Pagetable.t -> Addr.vfn -> int -> unit
+(** {!set_pte} taking a {!Pagetable.lookup_packed}-style packed entry
+    ({!Pagetable.packed_absent} clears) — the gates' PTE toggles precompute
+    their packed values once, so the per-crossing store allocates
+    nothing. *)
+
 val check_frame_writable : Machine.t -> space:Pagetable.t -> Addr.pfn -> unit
 (** The store-permission rule applied to a physical frame: the acting space
     must hold a writable mapping of it, or any mapping while CR0.WP is
@@ -78,6 +85,21 @@ val guest_write :
   Machine.t ->
   domid:int -> gpt:Pagetable.t -> npt:Pagetable.t -> asid:int ->
   addr:int -> bytes -> unit
+
+val guest_read_sel :
+  Machine.t ->
+  domid:int -> gpt:Pagetable.t -> npt:Pagetable.t -> asid_sel:Memctrl.selector ->
+  addr:int -> len:int -> bytes
+
+val guest_write_sel :
+  Machine.t ->
+  domid:int -> gpt:Pagetable.t -> npt:Pagetable.t -> asid_sel:Memctrl.selector ->
+  addr:int -> bytes -> unit
+(** Like {!guest_read}/{!guest_write}, but the caller supplies the
+    selector used for guest-C-bit traffic (normally its cached
+    [Memctrl.Asid asid]) so the per-access path does not allocate one.
+    Results are identical to the [~asid] variants when
+    [asid_sel = Asid asid]. *)
 
 val read_frame_as :
   Machine.t -> sel:Memctrl.selector -> Addr.pfn -> off:int -> len:int -> bytes

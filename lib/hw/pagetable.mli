@@ -35,6 +35,38 @@ val lookup : t -> Addr.vfn -> proto option
 (** Walk one entry, reading the authoritative bytes in physical memory (so
     physical-channel corruption of a PTE is observed, as on hardware). *)
 
+(** {2 Packed entries}
+
+    Allocation-free view of the same authoritative bytes: an entry is one
+    tagged [int] — {!packed_absent} when not present, otherwise
+    [frame lsl 3 | writable lsl 2 | executable lsl 1 | c_bit] — read and
+    written byte-by-byte so no [int64] or [proto] record is ever boxed.
+    The hot paths (MMU translate, instruction-fetch checks, the type-3
+    gate's PTE toggles) use these; {!lookup}/{!hw_set} are wrappers. *)
+
+val packed_absent : int
+
+val packed_make :
+  frame:Addr.pfn -> writable:bool -> executable:bool -> c_bit:bool -> int
+
+val packed_frame : int -> Addr.pfn
+val packed_writable : int -> bool
+val packed_executable : int -> bool
+val packed_c_bit : int -> bool
+
+val lookup_packed : t -> Addr.vfn -> int
+(** {!lookup} without the option/record allocation. *)
+
+val hw_set_packed : t -> Addr.vfn -> int -> unit
+(** {!hw_set} taking a packed entry ({!packed_absent} clears). *)
+
+val frame_is_mapped : t -> Addr.pfn -> bool
+(** [frame_mapped t pfn <> []], in O(1) and without building the list. *)
+
+val frame_mapped_writable : t -> Addr.pfn -> bool
+(** Whether any live mapping of [pfn] is writable — the write-protection
+    check of {!Mmu.set_pte}, without allocating the {!frame_mapped} list. *)
+
 val backing_frame_of : t -> Addr.vfn -> Addr.pfn
 (** The page-table-page that holds (or would hold) the entry for [vfn];
     allocates it if absent. *)

@@ -2,26 +2,43 @@ module Trace = Fidelius_obs.Trace
 module Plan = Fidelius_inject.Plan
 module Site = Fidelius_inject.Site
 
+(* Charge sites, interned once. *)
+let c_tlb_hit = Cost.intern "tlb-hit"
+let c_tlb_miss = Cost.intern "tlb-miss"
+let c_tlb_flush = Cost.intern "tlb-flush"
+
 type t = {
-  cached : (int * Addr.vfn, unit) Hashtbl.t;
+  cached : (int, unit) Hashtbl.t;
   ledger : Cost.ledger;
   costs : Cost.table;
   mutable full_flushes : int;
+  (* Most-recently-hit key: straight-line access runs re-translate the
+     same page, so this one-entry front answers most lookups without the
+     hashed probe. [min_int] = empty; charges are identical either way. *)
+  mutable mru : int;
 }
 
+(* One tagged int per translation: the space id above bit 40, the vfn
+   below — no tuple allocation per lookup. 40 bits of vfn is the same
+   ceiling the PTE encoding imposes on frame numbers. *)
+let key ~space_id vfn = (space_id lsl 40) lor vfn
+
 let create ledger =
-  { cached = Hashtbl.create 1024; ledger; costs = Cost.default; full_flushes = 0 }
+  { cached = Hashtbl.create 1024; ledger; costs = Cost.default; full_flushes = 0;
+    mru = min_int }
 
 let lookup t ~space_id vfn =
-  let key = (space_id, vfn) in
-  if Hashtbl.mem t.cached key then begin
-    Cost.charge t.ledger "tlb-hit" t.costs.Cost.cache_hit;
+  let key = key ~space_id vfn in
+  if key = t.mru || Hashtbl.mem t.cached key then begin
+    Cost.charge_id t.ledger c_tlb_hit t.costs.Cost.cache_hit;
+    t.mru <- key;
     true
   end
   else begin
-    Cost.charge t.ledger "tlb-miss" t.costs.Cost.tlb_miss_walk;
+    Cost.charge_id t.ledger c_tlb_miss t.costs.Cost.tlb_miss_walk;
     if Trace.enabled () then Trace.emit (Trace.Walk { space = space_id; vfn });
     Hashtbl.replace t.cached key ();
+    t.mru <- key;
     false
   end
 
@@ -30,8 +47,10 @@ let lookup t ~space_id vfn =
 let flush_entry t ~space_id vfn =
   if Plan.armed () && Plan.fire Site.Tlb_omit_flush then ()
   else begin
-    Hashtbl.remove t.cached (space_id, vfn);
-    Cost.charge t.ledger "tlb-flush" t.costs.Cost.tlb_flush_entry;
+    let key = key ~space_id vfn in
+    if key = t.mru then t.mru <- min_int;
+    Hashtbl.remove t.cached key;
+    Cost.charge_id t.ledger c_tlb_flush t.costs.Cost.tlb_flush_entry;
     if Trace.enabled () then Trace.emit (Trace.Tlb_flush { full = false })
   end
 
@@ -39,8 +58,9 @@ let flush_all t =
   if Plan.armed () && Plan.fire Site.Tlb_omit_flush then ()
   else begin
     Hashtbl.reset t.cached;
+    t.mru <- min_int;
     t.full_flushes <- t.full_flushes + 1;
-    Cost.charge t.ledger "tlb-flush" t.costs.Cost.tlb_flush_full;
+    Cost.charge_id t.ledger c_tlb_flush t.costs.Cost.tlb_flush_full;
     if Trace.enabled () then Trace.emit (Trace.Tlb_flush { full = true })
   end
 

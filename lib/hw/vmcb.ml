@@ -68,9 +68,18 @@ let index = function
 
 type t = int64 array
 
+let nr_fields = 15
+let fields_a = Array.of_list fields
+let field_of_index i = fields_a.(i)
+
 let create () = Array.make 15 0L
 let get t f = t.(index f)
 let set t f v = t.(index f) <- v
+let get_i (t : t) i = t.(i)
+let set_i (t : t) i v = t.(i) <- v
+let unsafe_get_i (t : t) i = Array.unsafe_get t i
+let unsafe_set_i (t : t) i v = Array.unsafe_set t i v
+let snapshot_into (t : t) dst = Array.blit t 0 dst 0 15
 let copy t = Array.copy t
 let blit ~src ~dst = Array.blit src 0 dst 0 15
 

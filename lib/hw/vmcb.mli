@@ -44,6 +44,29 @@ val create : unit -> t
 
 val get : t -> field -> int64
 val set : t -> field -> int64 -> unit
+
+val nr_fields : int
+(** 15. *)
+
+val index : field -> int
+(** Dense 0-based index, matching {!fields} order (save area 0–6, control
+    area 7–14). *)
+
+val field_of_index : int -> field
+
+val get_i : t -> int -> int64
+val set_i : t -> int -> int64 -> unit
+(** Indexed field access for preindexed world-switch loops; moving [int64]s
+    between arrays copies pointers only, so the loops allocate nothing. *)
+
+val unsafe_get_i : t -> int -> int64
+val unsafe_set_i : t -> int -> int64 -> unit
+(** Unchecked variants for the per-crossing loops whose bounds are pinned
+    to [0 .. nr_fields - 1]; the caller guarantees the range. *)
+
+val snapshot_into : t -> int64 array -> unit
+(** Blit all 15 fields into a caller-owned array (allocation-free). *)
+
 val copy : t -> t
 (** Deep copy; used by the Fidelius shadowing step. *)
 

@@ -86,8 +86,10 @@ let version t = t.fw_version
 
 module Trace = Fidelius_obs.Trace
 
+let c_sev_fw = Cost.intern "sev-fw"
+
 let charge_cmd t name =
-  Cost.charge t.machine.Machine.ledger "sev-fw" t.machine.Machine.costs.Cost.firmware_cmd;
+  Cost.charge_id t.machine.Machine.ledger c_sev_fw t.machine.Machine.costs.Cost.firmware_cmd;
   if Trace.enabled () then Trace.emit (Trace.Fw_cmd name)
 
 (* The secure processor's stores are coherent with the CPU caches: evict
@@ -100,7 +102,7 @@ let coherent_encrypt t ~key pfn =
   Memctrl.fw_encrypt_page t.machine.Machine.ctrl ~key pfn;
   Fidelius_hw.Cache.invalidate_page t.machine.Machine.cache pfn
 let charge_page t name =
-  Cost.charge t.machine.Machine.ledger "sev-fw" t.machine.Machine.costs.Cost.firmware_page;
+  Cost.charge_id t.machine.Machine.ledger c_sev_fw t.machine.Machine.costs.Cost.firmware_page;
   if Trace.enabled () then Trace.emit (Trace.Fw_cmd name)
 
 let ( let* ) = Result.bind

@@ -108,6 +108,8 @@ let boot_stack ~protected_ seed =
             { machine; hv; frontend = fe; encode_label = Some "io-encode-aesni" })
   end
 
+let c_device_seek = Hw.Cost.intern "device-seek"
+
 let run_on stack pat =
   let ledger = stack.machine.Hw.Machine.ledger in
   let rng = Rng.create 4242L in
@@ -118,7 +120,7 @@ let run_on stack pat =
     match stack.encode_label with Some l -> Hw.Cost.category ledger l | None -> 0
   in
   for i = 0 to pat.requests - 1 do
-    Hw.Cost.charge ledger "device-seek" pat.seek_cycles;
+    Hw.Cost.charge_id ledger c_device_seek pat.seek_cycles;
     let sector =
       if pat.sequential then i * pat.request_sectors
       else Rng.int rng (disk_sectors - pat.request_sectors)

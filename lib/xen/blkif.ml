@@ -11,6 +11,8 @@ let identity_codec =
 
 let sectors_per_frame = Hw.Addr.page_size / Vdisk.sector_size
 
+let c_blk_io = Hw.Cost.intern "blk-io"
+
 (* One ring + its data frames + its event channel. Queues are independent:
    a submitting vCPU owns one queue and the backend drains each queue on
    its own notification, so queues never contend on descriptor slots. *)
@@ -85,7 +87,7 @@ let validate_request be q seen (req : Ring.request) =
 let serve_request be (req : Ring.request) frame =
   let len = req.Ring.count * Vdisk.sector_size in
   let costs = be.hv.Hypervisor.machine.Hw.Machine.costs in
-  Hw.Cost.charge be.hv.Hypervisor.machine.Hw.Machine.ledger "blk-io"
+  Hw.Cost.charge_id be.hv.Hypervisor.machine.Hw.Machine.ledger c_blk_io
     (costs.Hw.Cost.io_sector * req.Ring.count);
   try
     (match req.Ring.op with

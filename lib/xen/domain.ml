@@ -8,12 +8,18 @@ type lifecycle =
 
 type t = {
   domid : int;
+  domid64 : int64;
+  scope : string;
+  guest_mode : Hw.Cpu.mode;
   name : string;
   is_dom0 : bool;
   gpt : Hw.Pagetable.t;
   npt : Hw.Pagetable.t;
   vmcb : Hw.Vmcb.t;
   mutable asid : int;
+  (* Preallocated [Asid asid] selector for the per-access paths; anything
+     that reassigns [asid] must refresh this alongside it. *)
+  mutable asid_sel : Hw.Memctrl.selector;
   mutable sev_handle : int option;
   mutable sev_protected : bool;
   mutable sev_es : bool;
@@ -25,18 +31,23 @@ type t = {
   mutable next_free_gfn : Hw.Addr.gfn;
   msrs : (int, int64) Hashtbl.t;
   dirty : Hw.Dirty.t;
+  mutable vmrun_thunk : (unit -> (unit, string) result) option;
 }
 
 let create machine ~domid ~name ~is_dom0 ~asid =
   let vmcb = Hw.Vmcb.create () in
   Hw.Vmcb.set vmcb Hw.Vmcb.Asid (Int64.of_int asid);
   { domid;
+    domid64 = Int64.of_int domid;
+    scope = "dom" ^ string_of_int domid;
+    guest_mode = Hw.Cpu.Guest domid;
     name;
     is_dom0;
     gpt = Hw.Machine.new_table machine;
     npt = Hw.Machine.new_table machine;
     vmcb;
     asid;
+    asid_sel = Hw.Memctrl.Asid asid;
     sev_handle = None;
     sev_protected = false;
     sev_es = false;
@@ -47,7 +58,8 @@ let create machine ~domid ~name ~is_dom0 ~asid =
     frames = [];
     next_free_gfn = 0;
     msrs = Hashtbl.create 8;
-    dirty = Hw.Dirty.create () }
+    dirty = Hw.Dirty.create ();
+    vmrun_thunk = None }
 
 let guest_map t ~gvfn ~gfn ~writable ~executable ~c_bit =
   Hw.Pagetable.hw_set t.gpt gvfn
@@ -56,7 +68,8 @@ let guest_map t ~gvfn ~gfn ~writable ~executable ~c_bit =
 let guest_unmap t ~gvfn = Hw.Pagetable.hw_set t.gpt gvfn None
 
 let read machine t ~addr ~len =
-  Hw.Mmu.guest_read machine ~domid:t.domid ~gpt:t.gpt ~npt:t.npt ~asid:t.asid ~addr ~len
+  Hw.Mmu.guest_read_sel machine ~domid:t.domid ~gpt:t.gpt ~npt:t.npt
+    ~asid_sel:t.asid_sel ~addr ~len
 
 (* Dirty logging rides the guest-store path: every frame a write touches
    is marked before the MMU sees the store, so a faulting write can only
@@ -72,7 +85,8 @@ let log_dirty t ~addr ~len =
 
 let write machine t ~addr data =
   log_dirty t ~addr ~len:(Bytes.length data);
-  Hw.Mmu.guest_write machine ~domid:t.domid ~gpt:t.gpt ~npt:t.npt ~asid:t.asid ~addr data
+  Hw.Mmu.guest_write_sel machine ~domid:t.domid ~gpt:t.gpt ~npt:t.npt
+    ~asid_sel:t.asid_sel ~addr data
 
 let alloc_gfn t =
   let gfn = t.next_free_gfn in

@@ -15,12 +15,23 @@ type lifecycle =
 
 type t = {
   domid : int;
+  domid64 : int64;
+      (** [Int64.of_int domid], boxed once — the VMRUN operand every
+          world switch loads, without re-boxing per crossing *)
+  scope : string;
+      (** ["dom<id>"], the per-domain cost-attribution label, built once
+          so scope entry on the hypercall path does not concatenate *)
+  guest_mode : Hw.Cpu.mode;
+      (** [Guest domid], allocated once — VMRUN stores this exact value *)
   name : string;
   is_dom0 : bool;
   gpt : Hw.Pagetable.t;   (** guest-virtual to guest-physical, guest-owned *)
   npt : Hw.Pagetable.t;   (** guest-physical to host-physical, hypervisor-owned *)
   vmcb : Hw.Vmcb.t;
   mutable asid : int;
+  mutable asid_sel : Hw.Memctrl.selector;
+      (** preallocated [Asid asid] for the per-access paths; kept in sync
+          with [asid] *)
   mutable sev_handle : int option;
   mutable sev_protected : bool;
   mutable sev_es : bool;
@@ -41,6 +52,10 @@ type t = {
       (** dirty-page log for live migration; {!write} marks touched frames
           while tracking is on. Owned by the domain (and so by whichever
           fleet job owns the domain's machine) — see SCALING.md *)
+  mutable vmrun_thunk : (unit -> (unit, string) result) option;
+      (** the VMRUN fetch+execute thunk for this domain, built lazily by the
+          owning hypervisor's first {!Hypervisor.vmrun} so re-entry passes a
+          cached closure through the vmrun gate instead of a fresh one *)
 }
 
 val create :

@@ -1,5 +1,7 @@
 module Cost = Fidelius_hw.Cost
 
+let c_evtchn = Cost.intern "evtchn"
+
 type port = int
 
 type channel = {
@@ -77,7 +79,7 @@ let send t ~domid ~port =
   match peer t ~domid ~port with
   | None -> Error (Printf.sprintf "evtchn: dom%d port %d is not bound" domid port)
   | Some (peer_dom, peer_port) ->
-      Cost.charge t.ledger "evtchn" t.costs.Cost.event_channel;
+      Cost.charge_id t.ledger c_evtchn t.costs.Cost.event_channel;
       (match Hashtbl.find_opt t.handlers (peer_dom, peer_port) with
       | Some f -> f ()
       | None -> Hashtbl.replace t.pending_set (peer_dom, peer_port) ());

@@ -8,6 +8,8 @@ type entry = {
   in_use : bool;
 }
 
+let c_grant_write = Hw.Cost.intern "grant-write"
+
 let entry_size = 16
 let entries_per_frame = Hw.Addr.page_size / entry_size
 
@@ -59,7 +61,7 @@ let set machine ~space t gref entry =
   | None -> invalid_arg (Printf.sprintf "Granttab.set: grant ref %d out of range" gref)
   | Some (pfn, off) ->
       Hw.Mmu.check_frame_writable machine ~space pfn;
-      Hw.Cost.charge machine.Hw.Machine.ledger "grant-write"
+      Hw.Cost.charge_id machine.Hw.Machine.ledger c_grant_write
         machine.Hw.Machine.costs.Hw.Cost.cacheline_write;
       let bytes =
         match entry with Some e -> encode e | None -> Bytes.make entry_size '\000'

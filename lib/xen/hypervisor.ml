@@ -6,10 +6,12 @@ module Site = Fidelius_inject.Site
 
 exception Npf_unresolved of string
 
-(* Per-domain cost-attribution scope: every cycle charged while the
-   hypervisor works on behalf of a domain (guest execution, hypercall
-   round trips, NPF handling) is booked to this label. *)
-let dom_scope dom = "dom" ^ string_of_int dom.Domain.domid
+(* Per-domain cost attribution uses [Domain.scope] ("dom<id>", built once
+   at creation): every cycle charged while the hypervisor works on behalf
+   of a domain (guest execution, hypercall round trips, NPF handling) is
+   booked to that label. Charge sites are interned once. *)
+let c_world_switch = Hw.Cost.intern "world-switch"
+let c_hypercall = Hw.Cost.intern "hypercall"
 
 type mediation = {
   mutable npt_update :
@@ -49,6 +51,13 @@ type t = {
 }
 
 let nr_text_frames = 16
+
+(* Domain lookup by id without the per-call closure and [Some] that
+   [List.find_opt] costs on the VMRUN dispatch path. Raises [Not_found]. *)
+let rec find_dom doms target =
+  match doms with
+  | [] -> raise Not_found
+  | d :: rest -> if d.Domain.domid = target then d else find_dom rest target
 
 (* --- stock (baseline) mediation ------------------------------------- *)
 
@@ -157,17 +166,43 @@ let ghcb_regs = function
   | Hw.Vmcb.Msr -> [ Hw.Cpu.Rax; Hw.Cpu.Rdx ]
   | Hw.Vmcb.Npf | Hw.Vmcb.Hlt | Hw.Vmcb.Intr | Hw.Vmcb.Shutdown -> []
 
-let reg_index r =
-  let rec index i = function
-    | [] -> assert false
-    | x :: rest -> if x = r then i else index (i + 1) rest
-  in
-  index 0 Hw.Cpu.regs
+(* The exchange above, preindexed: per exit reason, one bitmask over VMCB
+   field indices and one over GPR indices, plus the shared [Some reason]
+   cell — the ES boundary loops then move int64 pointers under bit tests
+   with nothing allocated per switch. The list functions above stay the
+   authoritative definition; the masks are folds over them at init. *)
+let reason_idx (r : Hw.Vmcb.exit_reason) =
+  match r with
+  | Hw.Vmcb.Cpuid -> 0
+  | Hw.Vmcb.Hlt -> 1
+  | Hw.Vmcb.Vmmcall -> 2
+  | Hw.Vmcb.Npf -> 3
+  | Hw.Vmcb.Ioio -> 4
+  | Hw.Vmcb.Msr -> 5
+  | Hw.Vmcb.Intr -> 6
+  | Hw.Vmcb.Shutdown -> 7
+
+let reasons =
+  [| Hw.Vmcb.Cpuid; Hw.Vmcb.Hlt; Hw.Vmcb.Vmmcall; Hw.Vmcb.Npf;
+     Hw.Vmcb.Ioio; Hw.Vmcb.Msr; Hw.Vmcb.Intr; Hw.Vmcb.Shutdown |]
+
+let some_reasons = Array.map (fun r -> Some r) reasons
+
+let field_mask fs = List.fold_left (fun m f -> m lor (1 lsl Hw.Vmcb.index f)) 0 fs
+let reg_mask rs = List.fold_left (fun m r -> m lor (1 lsl Hw.Cpu.reg_index r)) 0 rs
+let ghcb_f_masks = Array.map (fun r -> field_mask (ghcb_fields r)) reasons
+let ghcb_r_masks = Array.map (fun r -> reg_mask (ghcb_regs r)) reasons
+
+(* The save area is the VMCB's leading fields — the masked loops below
+   rely on that layout, so pin it at init. *)
+let nr_save_fields = List.length Hw.Vmcb.save_area
+let () = List.iteri (fun i f -> assert (Hw.Vmcb.index f = i)) Hw.Vmcb.save_area
 
 let do_vmrun_effect t dom =
   let machine = t.machine in
   let cpu = machine.Hw.Machine.cpu in
-  Hw.Cost.charge machine.Hw.Machine.ledger "world-switch" machine.Hw.Machine.costs.Hw.Cost.vmrun;
+  Hw.Cost.charge_id machine.Hw.Machine.ledger c_world_switch
+    machine.Hw.Machine.costs.Hw.Cost.vmrun;
   if Trace.enabled () then Trace.emit (Trace.Vmrun { domid = dom.Domain.domid });
   if dom.Domain.sev_es then begin
     (* Hardware consistency check: an ES guest cannot be re-entered with
@@ -179,19 +214,25 @@ let do_vmrun_effect t dom =
          reason; restore everything else from the encrypted VMSA. *)
       (match dom.Domain.last_exit with
       | Some reason ->
-          List.iter
-            (fun f -> Hw.Vmcb.set dom.Domain.vmsa f (Hw.Vmcb.get dom.Domain.vmcb f))
-            (ghcb_fields reason);
-          List.iter
-            (fun r -> dom.Domain.vmsa_regs.(reg_index r) <- Hw.Cpu.get_reg cpu r)
-            (ghcb_regs reason)
+          let ri = reason_idx reason in
+          let fm = ghcb_f_masks.(ri) and rm = ghcb_r_masks.(ri) in
+          for i = 0 to Hw.Vmcb.nr_fields - 1 do
+            if fm land (1 lsl i) <> 0 then
+              Hw.Vmcb.set_i dom.Domain.vmsa i (Hw.Vmcb.get_i dom.Domain.vmcb i)
+          done;
+          for i = 0 to Hw.Cpu.nr_regs - 1 do
+            if rm land (1 lsl i) <> 0 then
+              dom.Domain.vmsa_regs.(i) <- Hw.Cpu.get_reg_i cpu i
+          done
       | None -> ());
-      List.iter
-        (fun f -> Hw.Vmcb.set dom.Domain.vmcb f (Hw.Vmcb.get dom.Domain.vmsa f))
-        Hw.Vmcb.save_area;
-      List.iteri (fun i r -> Hw.Cpu.set_reg cpu r dom.Domain.vmsa_regs.(i)) Hw.Cpu.regs;
+      for i = 0 to nr_save_fields - 1 do
+        Hw.Vmcb.set_i dom.Domain.vmcb i (Hw.Vmcb.get_i dom.Domain.vmsa i)
+      done;
+      for i = 0 to Hw.Cpu.nr_regs - 1 do
+        Hw.Cpu.set_reg_i cpu i dom.Domain.vmsa_regs.(i)
+      done;
       Hw.Cpu.set_rip cpu (Hw.Vmcb.get dom.Domain.vmsa Hw.Vmcb.Rip);
-      Hw.Cpu.set_mode cpu (Hw.Cpu.Guest dom.Domain.domid);
+      Hw.Cpu.set_mode cpu dom.Domain.guest_mode;
       Ok ()
     end
   end
@@ -199,7 +240,7 @@ let do_vmrun_effect t dom =
     Hw.Cpu.set_rip cpu (Hw.Vmcb.get dom.Domain.vmcb Hw.Vmcb.Rip);
     Hw.Cpu.set_reg cpu Hw.Cpu.Rax (Hw.Vmcb.get dom.Domain.vmcb Hw.Vmcb.Rax);
     Hw.Cpu.set_reg cpu Hw.Cpu.Rsp (Hw.Vmcb.get dom.Domain.vmcb Hw.Vmcb.Rsp);
-    Hw.Cpu.set_mode cpu (Hw.Cpu.Guest dom.Domain.domid);
+    Hw.Cpu.set_mode cpu dom.Domain.guest_mode;
     Ok ()
   end
 
@@ -252,9 +293,9 @@ let boot machine =
   (* VMRUN: the world-switch instruction, dispatching on the domid the
      hypervisor loaded as its argument. *)
   let vmrun_handler v =
-    match List.find_opt (fun d -> d.Domain.domid = Int64.to_int v) t.domains with
-    | None -> Error (Printf.sprintf "VMRUN: no such domain %Ld" v)
-    | Some dom -> do_vmrun_effect t dom
+    match find_dom t.domains (Int64.to_int v) with
+    | dom -> do_vmrun_effect t dom
+    | exception Not_found -> Error (Printf.sprintf "VMRUN: no such domain %Ld" v)
   in
   List.iter
     (fun page ->
@@ -386,11 +427,13 @@ let vmexit t dom reason ~info1 ~info2 =
   let machine = t.machine in
   let cpu = machine.Hw.Machine.cpu in
   t.vmexit_count <- t.vmexit_count + 1;
-  Hw.Cost.charge machine.Hw.Machine.ledger "world-switch" machine.Hw.Machine.costs.Hw.Cost.vmexit;
+  Hw.Cost.charge_id machine.Hw.Machine.ledger c_world_switch
+    machine.Hw.Machine.costs.Hw.Cost.vmexit;
   if Trace.enabled () then
     Trace.emit
       (Trace.Vmexit
          { domid = dom.Domain.domid; reason = Hw.Vmcb.exit_reason_to_string reason });
+  let ri = reason_idx reason in
   let vmcb = dom.Domain.vmcb in
   Hw.Vmcb.set vmcb Hw.Vmcb.Rip (Hw.Cpu.rip cpu);
   Hw.Vmcb.set vmcb Hw.Vmcb.Rax (Hw.Cpu.get_reg cpu Hw.Cpu.Rax);
@@ -398,38 +441,59 @@ let vmexit t dom reason ~info1 ~info2 =
   Hw.Vmcb.set vmcb Hw.Vmcb.Exit_reason (Hw.Vmcb.exit_reason_to_int64 reason);
   Hw.Vmcb.set vmcb Hw.Vmcb.Exit_info1 info1;
   Hw.Vmcb.set vmcb Hw.Vmcb.Exit_info2 info2;
-  dom.Domain.last_exit <- Some reason;
+  (* The [Some reason] cells are shared per reason — recording the exit
+     does not allocate. *)
+  dom.Domain.last_exit <- some_reasons.(ri);
   if dom.Domain.sev_es then begin
     (* SEV-ES hardware: snapshot the register state into the encrypted
        VMSA, then present the hypervisor only the GHCB-exposed subset. *)
-    List.iter
-      (fun f -> Hw.Vmcb.set dom.Domain.vmsa f (Hw.Vmcb.get vmcb f))
-      Hw.Vmcb.save_area;
-    List.iteri (fun i r -> dom.Domain.vmsa_regs.(i) <- Hw.Cpu.get_reg cpu r) Hw.Cpu.regs;
-    let vis_f = ghcb_fields reason and vis_r = ghcb_regs reason in
-    List.iter
-      (fun f -> if not (List.mem f vis_f) then Hw.Vmcb.set vmcb f 0L)
-      Hw.Vmcb.save_area;
-    List.iter
-      (fun r -> if not (List.mem r vis_r) then Hw.Cpu.set_reg cpu r 0L)
-      Hw.Cpu.regs
+    for i = 0 to nr_save_fields - 1 do
+      Hw.Vmcb.set_i dom.Domain.vmsa i (Hw.Vmcb.get_i vmcb i)
+    done;
+    Hw.Cpu.snapshot_regs_into cpu dom.Domain.vmsa_regs;
+    let fm = ghcb_f_masks.(ri) and rm = ghcb_r_masks.(ri) in
+    for i = 0 to nr_save_fields - 1 do
+      if fm land (1 lsl i) = 0 then Hw.Vmcb.set_i vmcb i 0L
+    done;
+    for i = 0 to Hw.Cpu.nr_regs - 1 do
+      if rm land (1 lsl i) = 0 then Hw.Cpu.set_reg_i cpu i 0L
+    done
   end;
   Hw.Cpu.set_mode cpu Hw.Cpu.Host;
   t.med.on_vmexit dom reason
 
 let vmrun_effect t v =
-  match List.find_opt (fun d -> d.Domain.domid = Int64.to_int v) t.domains with
-  | None -> Error (Printf.sprintf "VMRUN: no such domain %Ld" v)
-  | Some dom -> do_vmrun_effect t dom
+  match find_dom t.domains (Int64.to_int v) with
+  | dom -> do_vmrun_effect t dom
+  | exception Not_found -> Error (Printf.sprintf "VMRUN: no such domain %Ld" v)
+
+(* The VMRUN fetch+execute is one closure per domain, built on first entry
+   and cached: it carries the preapplied exec-ok check and the domain's
+   boxed domid, so re-entering a guest hands the gate an existing thunk
+   instead of consing one per crossing. *)
+let make_vmrun_thunk t dom =
+  let machine = t.machine in
+  let host_space = t.host_space in
+  let exec_ok pfn = Hw.Mmu.exec_ok machine host_space pfn in
+  let domid64 = dom.Domain.domid64 in
+  fun () ->
+    Hw.Insn.execute machine.Hw.Machine.insns ~exec_ok Hw.Insn.Vmrun domid64
 
 let vmrun t dom =
-  let machine = t.machine in
-  let* () = t.med.before_vmrun dom in
-  t.med.vmrun_gate (fun () ->
-      Hw.Insn.execute machine.Hw.Machine.insns
-        ~exec_ok:(Hw.Mmu.exec_ok machine t.host_space)
-        Hw.Insn.Vmrun
-        (Int64.of_int dom.Domain.domid))
+  (* Direct match, not [let*]: the bind continuation would cons a closure
+     per world switch. *)
+  match t.med.before_vmrun dom with
+  | Error _ as e -> e
+  | Ok () ->
+      let thunk =
+        match dom.Domain.vmrun_thunk with
+        | Some f -> f
+        | None ->
+            let f = make_vmrun_thunk t dom in
+            dom.Domain.vmrun_thunk <- Some f;
+            f
+      in
+      t.med.vmrun_gate thunk
 
 let handle_npf t dom ~gfn =
   t.npf_count <- t.npf_count + 1;
@@ -466,9 +530,19 @@ let rec in_guest_unscoped t dom f =
     service_npf t dom ~gfn ~ctx:"NPF";
     in_guest_unscoped t dom f
 
+(* Scope entry/exit by hand (matching [Cost.with_scope]'s discipline,
+   including exceptions) so entering guest context allocates nothing. *)
 let in_guest t dom f =
-  Hw.Cost.with_scope t.machine.Hw.Machine.ledger (dom_scope dom) (fun () ->
-      in_guest_unscoped t dom f)
+  let ledger = t.machine.Hw.Machine.ledger in
+  Hw.Cost.scope_enter ledger dom.Domain.scope;
+  match in_guest_unscoped t dom f with
+  | v ->
+      Hw.Cost.scope_exit ledger;
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Hw.Cost.scope_exit ledger;
+      Printexc.raise_with_backtrace e bt
 
 (* --- hypercalls -------------------------------------------------------- *)
 
@@ -528,7 +602,7 @@ let dispatch_grant t dom op =
 
 let dispatch t dom call =
   let machine = t.machine in
-  Hw.Cost.charge machine.Hw.Machine.ledger "hypercall"
+  Hw.Cost.charge_id machine.Hw.Machine.ledger c_hypercall
     machine.Hw.Machine.costs.Hw.Cost.hypercall_base;
   if Trace.enabled () then Trace.emit (Trace.Hypercall (Hypercall.to_string call));
   match call with
@@ -550,23 +624,38 @@ let dispatch t dom call =
       let* () = t.med.balloon_release dom ~gfn in
       Ok 0L
 
+(* Hypercall numbers as shared int64 boxes, so marshalling the number into
+   RAX is an array load instead of a fresh box per call. *)
+let hypercall_num64 = Array.init 66 Int64.of_int
+
+let hypercall_body t dom call =
+  let machine = t.machine in
+  let cpu = machine.Hw.Machine.cpu in
+  (* Guest marshals the hypercall number, then VMMCALL traps. *)
+  Hw.Cpu.set_reg cpu Hw.Cpu.Rax hypercall_num64.(Hypercall.number call);
+  vmexit t dom Hw.Vmcb.Vmmcall ~info1:0L ~info2:0L;
+  let result = dispatch t dom call in
+  let ret = match result with Ok v -> v | Error _ -> -1L in
+  (* The hypervisor advances the guest RIP past VMMCALL and stores the
+     return value in the VMCB's RAX slot. *)
+  Hw.Vmcb.set dom.Domain.vmcb Hw.Vmcb.Rax ret;
+  Hw.Vmcb.set dom.Domain.vmcb Hw.Vmcb.Rip
+    (Int64.add (Hw.Vmcb.get dom.Domain.vmcb Hw.Vmcb.Rip) 3L);
+  match vmrun t dom with
+  | Ok () -> result
+  | Error e -> Error ("vmrun: " ^ e)
+
 let hypercall t dom call =
-  Hw.Cost.with_scope t.machine.Hw.Machine.ledger (dom_scope dom) (fun () ->
-      let machine = t.machine in
-      let cpu = machine.Hw.Machine.cpu in
-      (* Guest marshals the hypercall number, then VMMCALL traps. *)
-      Hw.Cpu.set_reg cpu Hw.Cpu.Rax (Int64.of_int (Hypercall.number call));
-      vmexit t dom Hw.Vmcb.Vmmcall ~info1:0L ~info2:0L;
-      let result = dispatch t dom call in
-      let ret = match result with Ok v -> v | Error _ -> -1L in
-      (* The hypervisor advances the guest RIP past VMMCALL and stores the
-         return value in the VMCB's RAX slot. *)
-      Hw.Vmcb.set dom.Domain.vmcb Hw.Vmcb.Rax ret;
-      Hw.Vmcb.set dom.Domain.vmcb Hw.Vmcb.Rip
-        (Int64.add (Hw.Vmcb.get dom.Domain.vmcb Hw.Vmcb.Rip) 3L);
-      match vmrun t dom with
-      | Ok () -> result
-      | Error e -> Error ("vmrun: " ^ e))
+  let ledger = t.machine.Hw.Machine.ledger in
+  Hw.Cost.scope_enter ledger dom.Domain.scope;
+  match hypercall_body t dom call with
+  | v ->
+      Hw.Cost.scope_exit ledger;
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Hw.Cost.scope_exit ledger;
+      Printexc.raise_with_backtrace e bt
 
 (* --- instruction emulation --------------------------------------------- *)
 

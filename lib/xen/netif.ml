@@ -68,13 +68,16 @@ let connect hv dom ~wire ~buffer_gvfn =
    per notification, and the copy cost, paid per frame. A batch of N frames
    pays one doorbell + N copies; a single frame pays exactly what the
    unbatched path always charged. *)
+let c_netif = Hw.Cost.intern "netif"
+
 let notify_cost ep =
   let machine = ep.hv.Hypervisor.machine in
-  Hw.Cost.charge machine.Hw.Machine.ledger "netif" machine.Hw.Machine.costs.Hw.Cost.event_channel
+  Hw.Cost.charge_id machine.Hw.Machine.ledger c_netif
+    machine.Hw.Machine.costs.Hw.Cost.event_channel
 
 let copy_cost ep n =
   let machine = ep.hv.Hypervisor.machine in
-  Hw.Cost.charge machine.Hw.Machine.ledger "netif"
+  Hw.Cost.charge_id machine.Hw.Machine.ledger c_netif
     (n / Hw.Addr.block_size * machine.Hw.Machine.costs.Hw.Cost.memcpy_block / 10)
 
 let frame_cost ep n =

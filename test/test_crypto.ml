@@ -232,6 +232,76 @@ let test_sha_feed_u64_be =
       in
       Bytes.equal d1 d2)
 
+(* --- two-stream hashing -------------------------------------------------- *)
+
+let test_sha_digest2_matches_reference =
+  (* Lockstep pair = two independent reference digests, across lengths that
+     exercise every staging path: empty, sub-block, the 55/56/63/64 padding
+     boundaries (with and without the 8-byte prefix shift), multi-block and
+     page-sized. *)
+  QCheck.Test.make ~name:"digest2 = (digest_reference, digest_reference)"
+    ~count:100
+    (QCheck.pair QCheck.small_nat QCheck.small_nat)
+    (fun (seed, pick) ->
+      let sizes = [| 0; 1; 47; 48; 55; 56; 63; 64; 120; 129; 4096 |] in
+      let n = sizes.(pick mod Array.length sizes) in
+      let rng = Rng.create (Int64.of_int (seed + 1)) in
+      let a = Rng.bytes rng n and b = Rng.bytes rng n in
+      let d1, d2 = Sha256.digest2 a b in
+      Bytes.equal d1 (Sha256.digest_reference a)
+      && Bytes.equal d2 (Sha256.digest_reference b))
+
+let test_sha_digest2_prefixed_matches_feed =
+  QCheck.Test.make ~name:"digest2_prefixed = feed_u64_be; feed" ~count:100
+    (QCheck.triple QCheck.int64 QCheck.int64 QCheck.small_nat)
+    (fun (p1, p2, pick) ->
+      let sizes = [| 0; 7; 48; 55; 56; 63; 64; 119; 120; 4096 |] in
+      let n = sizes.(pick mod Array.length sizes) in
+      let rng = Rng.create (Int64.add p1 17L) in
+      let a = Rng.bytes rng n and b = Rng.bytes rng n in
+      let expect prefix data =
+        Sha256.digest_build (fun ctx ->
+            Sha256.feed_u64_be ctx prefix;
+            Sha256.feed ctx data)
+      in
+      let d1 = Bytes.create 32 and d2 = Bytes.create 32 in
+      Sha256.digest2_prefixed_into ~prefix1:p1 a ~dst1:d1 ~dst1_off:0
+        ~prefix2:p2 b ~dst2:d2 ~dst2_off:0;
+      Bytes.equal d1 (expect p1 a) && Bytes.equal d2 (expect p2 b))
+
+let test_sha_pair2_matches_pair () =
+  let rng = Rng.create 37L in
+  for _ = 1 to 20 do
+    let a1 = Rng.bytes rng 32 and b1 = Rng.bytes rng 32 in
+    let a2 = Rng.bytes rng 32 and b2 = Rng.bytes rng 32 in
+    let d1 = Bytes.create 32 and d2 = Bytes.create 32 in
+    Sha256.digest_pair2_into a1 b1 ~dst1:d1 ~dst1_off:0 a2 b2 ~dst2:d2
+      ~dst2_off:0;
+    Alcotest.(check bool) "stream 1 = digest_pair" true
+      (Bytes.equal d1 (Sha256.digest_pair a1 b1));
+    Alcotest.(check bool) "stream 2 = digest_pair" true
+      (Bytes.equal d2 (Sha256.digest_pair a2 b2))
+  done;
+  (* Unequal part lengths take the sequential fallback — same digests. *)
+  let a1 = Rng.bytes rng 16 and b1 = Rng.bytes rng 48 in
+  let a2 = Rng.bytes rng 32 and b2 = Rng.bytes rng 32 in
+  let d1 = Bytes.create 32 and d2 = Bytes.create 32 in
+  Sha256.digest_pair2_into a1 b1 ~dst1:d1 ~dst1_off:0 a2 b2 ~dst2:d2
+    ~dst2_off:0;
+  Alcotest.(check bool) "fallback stream 1" true
+    (Bytes.equal d1 (Sha256.digest_pair a1 b1));
+  Alcotest.(check bool) "fallback stream 2" true
+    (Bytes.equal d2 (Sha256.digest_pair a2 b2))
+
+let test_sha_digest2_unequal_fallback () =
+  let rng = Rng.create 39L in
+  let a = Rng.bytes rng 100 and b = Rng.bytes rng 33 in
+  let d1, d2 = Sha256.digest2 a b in
+  Alcotest.(check bool) "unequal lengths stream 1" true
+    (Bytes.equal d1 (Sha256.digest a));
+  Alcotest.(check bool) "unequal lengths stream 2" true
+    (Bytes.equal d2 (Sha256.digest b))
+
 let test_sha_reset_reuse () =
   let rng = Rng.create 35L in
   let msgs = List.init 5 (fun i -> Rng.bytes rng (17 * (i + 1))) in
@@ -797,10 +867,16 @@ let () =
           Alcotest.test_case "into variants" `Quick test_sha_into_matches_alloc;
           Alcotest.test_case "pair_into dst aliasing" `Quick test_sha_pair_into_aliases;
           Alcotest.test_case "reset reuse" `Quick test_sha_reset_reuse;
+          Alcotest.test_case "pair2 = two digest_pairs" `Quick
+            test_sha_pair2_matches_pair;
+          Alcotest.test_case "digest2 unequal-length fallback" `Quick
+            test_sha_digest2_unequal_fallback;
           prop test_sha_streaming_equals_oneshot;
           prop test_sha_chunked_matches_reference;
           prop test_sha_pair_matches_cat;
-          prop test_sha_feed_u64_be ] );
+          prop test_sha_feed_u64_be;
+          prop test_sha_digest2_matches_reference;
+          prop test_sha_digest2_prefixed_matches_feed ] );
       ( "hmac",
         [ Alcotest.test_case "RFC 4231 cases 1-3" `Quick test_hmac_rfc4231;
           Alcotest.test_case "RFC 4231 long key" `Quick test_hmac_long_key;

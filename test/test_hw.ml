@@ -586,6 +586,66 @@ let test_cache_leak_channel () =
   Alcotest.(check bool) "after eviction only ciphertext" false
     (Bytes.to_string snoop2 = "0123456789abcdef")
 
+(* --- Cache FIFO bookkeeping ------------------------------------------------ *)
+
+(* The eviction queue may carry ghost keys (lines removed by
+   [invalidate_page], purged lazily), but the bookkeeping must never drift:
+   the live-key count seen by the eviction scan equals the resident-line
+   count, residency never exceeds capacity, and compaction bounds the raw
+   queue length. A regression here silently shrinks effective capacity —
+   the bug class this pins down. *)
+let test_cache_fifo_invariants =
+  QCheck.Test.make ~name:"FIFO queue tracks live lines under fill/invalidate"
+    ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 1 400)
+        (triple (int_bound 2) (int_bound 30) (int_bound 7)))
+    (fun ops ->
+      let nr_lines = 8 in
+      let cache = Cache.create ~nr_lines (Cost.ledger ()) in
+      let line = Bytes.make Addr.block_size 'x' in
+      List.iter
+        (fun (op, pfn, block) ->
+          match op with
+          | 0 | 1 -> Cache.fill cache pfn ~block line
+          | _ -> Cache.invalidate_page cache pfn)
+        ops;
+      Cache.order_live cache = Cache.resident cache
+      && Cache.resident cache <= nr_lines
+      && Cache.order_length cache <= (4 * nr_lines) + 1)
+
+(* --- interned charge sites -------------------------------------------------- *)
+
+(* The interned fast path must be observationally identical to the
+   string-keyed ledger: same totals, same category rows, same scope
+   attribution, for any interleaving of charges inside and outside
+   scopes. *)
+let test_ledger_interned_equivalence =
+  QCheck.Test.make ~name:"charge_id = charge (string-keyed reference ledger)"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 100) (pair (int_bound 4) (int_bound 50)))
+    (fun ops ->
+      let labels = [| "alpha"; "beta"; "gamma"; "delta"; "epsilon" |] in
+      let ids = Array.map Cost.intern labels in
+      let by_string = Cost.ledger () and by_id = Cost.ledger () in
+      List.iteri
+        (fun i (k, amt) ->
+          if i mod 3 = 0 then begin
+            Cost.with_scope by_string "s" (fun () -> Cost.charge by_string labels.(k) amt);
+            Cost.with_scope by_id "s" (fun () -> Cost.charge_id by_id ids.(k) amt)
+          end
+          else begin
+            Cost.charge by_string labels.(k) amt;
+            Cost.charge_id by_id ids.(k) amt
+          end)
+        ops;
+      Array.for_all (fun i -> Cost.id_label ids.(i) = labels.(i))
+        [| 0; 1; 2; 3; 4 |]
+      && Cost.total by_string = Cost.total by_id
+      && Cost.categories by_string = Cost.categories by_id
+      && Cost.scopes by_string = Cost.scopes by_id
+      && Cost.scope_categories by_string "s" = Cost.scope_categories by_id "s")
+
 let prop t = QCheck_alcotest.to_alcotest t
 
 let () =
@@ -594,7 +654,8 @@ let () =
         [ prop test_addr_roundtrip; Alcotest.test_case "constants" `Quick test_addr_constants ] );
       ( "cost",
         [ Alcotest.test_case "ledger" `Quick test_ledger;
-          Alcotest.test_case "paper constants" `Quick test_cost_paper_constants ] );
+          Alcotest.test_case "paper constants" `Quick test_cost_paper_constants;
+          prop test_ledger_interned_equivalence ] );
       ( "physmem",
         [ Alcotest.test_case "rw" `Quick test_physmem_rw;
           Alcotest.test_case "bounds" `Quick test_physmem_bounds;
@@ -615,7 +676,8 @@ let () =
         [ Alcotest.test_case "fill/probe" `Quick test_cache_fill_probe;
           Alcotest.test_case "eviction" `Quick test_cache_eviction;
           Alcotest.test_case "invalidate" `Quick test_cache_invalidate;
-          Alcotest.test_case "copies" `Quick test_cache_returns_copies ] );
+          Alcotest.test_case "copies" `Quick test_cache_returns_copies;
+          prop test_cache_fifo_invariants ] );
       ( "pagetable",
         [ prop test_pt_roundtrip;
           Alcotest.test_case "clear" `Quick test_pt_clear;

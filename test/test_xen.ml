@@ -698,6 +698,39 @@ let test_hypercall_numbers_distinct () =
   Alcotest.(check int) "distinct ABI numbers" (List.length numbers)
     (List.length (List.sort_uniq compare numbers))
 
+(* --- allocation regression -------------------------------------------------- *)
+
+(* Minor-heap words per call, after a warm-up pass that takes the one-time
+   allocations (lazy thunks, cached closures, hashtable growth). *)
+let words_per_call n f =
+  for _ = 1 to 100 do f () done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to n do f () done;
+  (Gc.minor_words () -. w0) /. float_of_int n
+
+let test_crossing_allocation_free () =
+  (* The zero-alloc world switch, pinned: with tracing off, a steady-state
+     vmexit+vmrun pair allocates nothing, and a whole void hypercall
+     allocates only the boxed RIP result (3 words). A regression here —
+     a stray closure, an [int64] box, an option — shows up as a fraction
+     of a word and fails loudly. *)
+  Alcotest.(check bool) "tracing off" false (Fidelius_obs.Trace.enabled ());
+  let m, hv = boot () in
+  let dom = Hv.create_domain hv ~name:"g" ~memory_pages:4 in
+  let pair =
+    words_per_call 1000 (fun () ->
+        Hv.vmexit hv dom Hw.Vmcb.Vmmcall ~info1:0L ~info2:0L;
+        ignore (Hv.vmrun hv dom))
+  in
+  Alcotest.(check (float 0.01)) "vmexit+vmrun allocates nothing" 0.0 pair;
+  ignore m;
+  let void =
+    words_per_call 1000 (fun () -> ignore (Hv.hypercall hv dom Hypercall.Void))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "void hypercall <= 4 words/call (got %.1f)" void)
+    true (void <= 4.0)
+
 let () =
   Alcotest.run "xen"
     [ ( "boot",
@@ -712,7 +745,9 @@ let () =
           Alcotest.test_case "kernel too big" `Quick test_sev_kernel_too_big ] );
       ( "world-switch",
         [ Alcotest.test_case "vmexit/vmrun state" `Quick test_vmexit_vmrun_state;
-          Alcotest.test_case "unknown domain" `Quick test_vmrun_unknown_domain ] );
+          Alcotest.test_case "unknown domain" `Quick test_vmrun_unknown_domain;
+          Alcotest.test_case "allocation-free crossing" `Quick
+            test_crossing_allocation_free ] );
       ( "hypercalls",
         [ Alcotest.test_case "void" `Quick test_void_hypercall;
           Alcotest.test_case "console" `Quick test_console_hypercall;
